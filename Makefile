@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/fragmentation_anatomy.exe
+	dune exec examples/elliptic_flow.exe
+	dune exec examples/adpcm_flow.exe
+	dune exec examples/latency_sweep.exe
+	dune exec examples/resource_tradeoff.exe
+
+clean:
+	dune clean
