@@ -1,0 +1,355 @@
+(* hlsopt — command-line driver for the operation-fragmentation HLS flow.
+
+   Subcommands:
+     parse      parse and validate a specification, print its statistics
+     optimize   run the presynthesis transformation, print the new spec
+     schedule   schedule with a chosen flow and print the cycle assignment
+     report     compare the conventional / BLC / optimized flows
+     emit-vhdl  print behavioural or RTL VHDL
+     list       list the built-in workloads *)
+
+module P = Hls_core.Pipeline
+module Graph = Hls_dfg.Graph
+
+let builtins () =
+  [
+    ("chain3", Hls_workloads.Motivational.chain3 ());
+    ("fig3", Hls_workloads.Motivational.fig3 ());
+    ("elliptic", Hls_workloads.Benchmarks.elliptic ());
+    ("diffeq", Hls_workloads.Benchmarks.diffeq ());
+    ("iir4", Hls_workloads.Benchmarks.iir4 ());
+    ("fir2", Hls_workloads.Benchmarks.fir2 ());
+    ("adpcm-iaq", Hls_workloads.Adpcm.iaq ());
+    ("adpcm-ttd", Hls_workloads.Adpcm.ttd ());
+    ("adpcm-opfc-sca", Hls_workloads.Adpcm.opfc_sca ());
+    ("adpcm-decoder", Hls_workloads.Adpcm.decoder ());
+    ("ar-lattice", Hls_workloads.Extra.ar_lattice ());
+    ("dct8", Hls_workloads.Extra.dct8 ());
+  ]
+
+let load ~file ~builtin =
+  match (file, builtin) with
+  | Some path, None ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      (match Hls_speclang.Elaborate.from_string_result src with
+      | Ok g -> Ok g
+      | Error m -> Error m)
+  | None, Some name -> (
+      match List.assoc_opt name (builtins ()) with
+      | Some g -> Ok g
+      | None ->
+          Error
+            (Printf.sprintf "unknown builtin %s (try: %s)" name
+               (String.concat ", " (List.map fst (builtins ())))))
+  | Some _, Some _ -> Error "give either a file or --builtin, not both"
+  | None, None -> Error "give a specification file or --builtin NAME"
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+      prerr_endline ("hlsopt: " ^ m);
+      exit 1
+
+open Cmdliner
+
+let file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"Specification source file.")
+
+let builtin_arg =
+  Arg.(value & opt (some string) None & info [ "builtin"; "b" ] ~docv:"NAME"
+         ~doc:"Use a built-in workload instead of a file.")
+
+let latency_arg =
+  Arg.(value & opt int 3 & info [ "latency"; "l" ] ~docv:"CYCLES"
+         ~doc:"Target latency in clock cycles.")
+
+let print_graph_stats g =
+  Format.printf "graph %s: %d inputs, %d outputs, %d nodes (%d operations)@."
+    (Graph.name g)
+    (List.length g.Graph.inputs)
+    (List.length g.Graph.outputs)
+    (Graph.node_count g)
+    (Graph.behavioural_op_count g);
+  Format.printf "critical path: %d delta (chained 1-bit additions)@."
+    (Hls_timing.Critical_path.critical_delta (Hls_kernel.Extract.run g))
+
+let parse_cmd =
+  let run file builtin =
+    let g = or_die (load ~file ~builtin) in
+    print_graph_stats g;
+    Format.printf "%a@." Graph.pp g
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and validate a specification")
+    Term.(const run $ file_arg $ builtin_arg)
+
+let optimize_cmd =
+  let run file builtin latency vhdl =
+    let g = or_die (load ~file ~builtin) in
+    let kernel = Hls_kernel.Extract.run g in
+    let t = Hls_fragment.Transform.run kernel ~latency in
+    let tg = t.Hls_fragment.Transform.graph in
+    Format.printf "-- critical path %d delta, cycle %d delta, %d fragments@."
+      t.Hls_fragment.Transform.plan.Hls_fragment.Mobility.critical
+      t.Hls_fragment.Transform.plan.Hls_fragment.Mobility.n_bits
+      (Graph.behavioural_op_count tg);
+    if vhdl then print_string (Hls_speclang.Vhdl.emit tg)
+    else
+      match Hls_speclang.Emit.emit tg with
+      | src -> print_string src
+      | exception Hls_speclang.Emit.Unprintable _ ->
+          print_string (Hls_speclang.Vhdl.emit tg)
+  in
+  let vhdl_arg =
+    Arg.(value & flag & info [ "vhdl" ] ~doc:"Emit VHDL instead of the \
+                                              specification language.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Apply the presynthesis transformation and print the new spec")
+    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ vhdl_arg)
+
+(* ASCII Gantt: one row per original operation, columns are cycles. *)
+let print_gantt s latency =
+  let g = Hls_sched.Frag_sched.graph s in
+  let by_op = Hashtbl.create 16 in
+  Hls_dfg.Graph.iter_nodes
+    (fun n ->
+      match (n.Hls_dfg.Types.kind, n.Hls_dfg.Types.origin) with
+      | Hls_dfg.Types.Add, Some o ->
+          let key = o.Hls_dfg.Types.orig_op in
+          let cycles =
+            Option.value (Hashtbl.find_opt by_op key) ~default:[]
+          in
+          Hashtbl.replace by_op key
+            (s.Hls_sched.Frag_sched.cycle_of.(n.Hls_dfg.Types.id) :: cycles)
+      | _ -> ())
+    g;
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_op []
+    |> List.sort compare
+  in
+  let name_w =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 4 rows
+  in
+  Format.printf "%-*s " name_w "op";
+  for c = 1 to latency do Format.printf "%2d " c done;
+  Format.printf "@.";
+  List.iter
+    (fun (k, cycles) ->
+      Format.printf "%-*s " name_w k;
+      for c = 1 to latency do
+        Format.printf " %s "
+          (if List.mem c cycles then "#" else ".")
+      done;
+      Format.printf "@.")
+    rows
+
+let schedule_cmd =
+  let run file builtin latency flow =
+    let g = or_die (load ~file ~builtin) in
+    match flow with
+    | "optimized" ->
+        let opt = P.optimized g ~latency in
+        let s = opt.P.schedule in
+        for cycle = 1 to latency do
+          let adds = Hls_sched.Frag_sched.adds_in_cycle s cycle in
+          Format.printf "cycle %d: %s@." cycle
+            (String.concat ", "
+               (List.map (fun n -> n.Hls_dfg.Types.label) adds))
+        done;
+        List.iter
+          (fun (p : Hls_sched.Frag_sched.cycle_profile) ->
+            Format.printf
+              "cycle %d: chain %d delta, %d fragments, %d adder bits@."
+              p.Hls_sched.Frag_sched.cp_cycle p.cp_used_delta p.cp_fragments
+              p.cp_adder_bits)
+          (Hls_sched.Frag_sched.profile s);
+        Format.printf "achieved chain: %d delta@."
+          (Hls_sched.Frag_sched.used_delta s);
+        Format.printf "@.";
+        print_gantt s latency
+    | "conventional" ->
+        let t = Hls_sched.List_sched.schedule g ~latency in
+        for cycle = 1 to latency do
+          let ops = Hls_sched.List_sched.ops_in_cycle t cycle in
+          Format.printf "cycle %d: %s@." cycle
+            (String.concat ", "
+               (List.map (fun n -> n.Hls_dfg.Types.label) ops))
+        done;
+        Format.printf "cycle length: %d delta@." t.Hls_sched.List_sched.cycle_delta
+    | "blc" ->
+        let t = Hls_sched.Blc_sched.schedule g ~latency in
+        Format.printf "budget: %d delta@." t.Hls_sched.Blc_sched.cycle_delta
+    | other ->
+        prerr_endline ("unknown flow " ^ other);
+        exit 1
+  in
+  let flow_arg =
+    Arg.(value & opt string "optimized"
+         & info [ "flow"; "f" ] ~docv:"FLOW"
+             ~doc:"Flow: conventional, blc or optimized.")
+  in
+  Cmd.v (Cmd.info "schedule" ~doc:"Schedule and print the cycle assignment")
+    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ flow_arg)
+
+let report_cmd =
+  let run file builtin latency cleanup target_ns =
+    let g = or_die (load ~file ~builtin) in
+    print_graph_stats g;
+    let latency =
+      match target_ns with
+      | None -> latency
+      | Some ns -> (
+          match P.optimized_for_cycle g ~target_ns:ns with
+          | Some (l, _) ->
+              Format.printf "target %.2f ns -> latency %d@." ns l;
+              l
+          | None ->
+              prerr_endline "hlsopt: the period target is unreachable";
+              exit 1)
+    in
+    let conv = P.conventional g ~latency in
+    let opt = P.optimized ~cleanup g ~latency in
+    Format.printf "@.%a@.@.%a@." P.pp_report conv P.pp_report
+      opt.P.opt_report;
+    (match P.check_optimized_equivalence g opt with
+    | Ok () -> Format.printf "@.equivalence check: OK@."
+    | Error m -> Format.printf "@.equivalence check FAILED: %s@." m);
+    Format.printf "cycle saved: %.1f %%@."
+      (P.pct_saved ~original:conv.P.cycle_ns
+         ~optimized:opt.P.opt_report.P.cycle_ns)
+  in
+  let cleanup_arg =
+    Arg.(value & flag & info [ "cleanup" ]
+           ~doc:"Run constant folding / CSE / DCE before fragmentation.")
+  in
+  let target_arg =
+    Arg.(value & opt (some float) None
+         & info [ "target-ns" ] ~docv:"NS"
+             ~doc:"Pick the smallest latency meeting this clock period                    instead of --latency.")
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Compare the conventional and optimized flows")
+    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ cleanup_arg
+          $ target_arg)
+
+let emit_vhdl_cmd =
+  let run file builtin latency rtl netlist =
+    let g = or_die (load ~file ~builtin) in
+    if netlist then begin
+      let opt = P.optimized g ~latency in
+      let nl = Hls_rtl.Elaborate_netlist.elaborate opt.P.schedule in
+      print_string
+        (Hls_rtl.Vhdl_netlist.emit
+           ~name:(Hls_speclang.Names.sanitize (Graph.name g))
+           nl)
+    end
+    else if rtl then begin
+      let opt = P.optimized g ~latency in
+      print_string (Hls_rtl.Rtl_vhdl.emit opt.P.schedule)
+    end
+    else print_string (Hls_speclang.Vhdl.emit g)
+  in
+  let rtl_arg =
+    Arg.(value & flag & info [ "rtl" ]
+           ~doc:"Emit the scheduled RTL (FSM + datapath) instead of the \
+                 behavioural source.")
+  in
+  let netlist_arg =
+    Arg.(value & flag & info [ "netlist" ]
+           ~doc:"Emit the gate-level structural netlist.")
+  in
+  Cmd.v (Cmd.info "emit-vhdl" ~doc:"Print VHDL")
+    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ rtl_arg
+          $ netlist_arg)
+
+let emit_verilog_cmd =
+  let run file builtin latency testbench =
+    let g = or_die (load ~file ~builtin) in
+    let opt = P.optimized g ~latency in
+    let nl = Hls_rtl.Elaborate_netlist.elaborate opt.P.schedule in
+    let name = Hls_speclang.Names.sanitize (Graph.name g) in
+    print_string (Hls_rtl.Verilog.emit ~name nl);
+    if testbench then begin
+      let prng = Hls_util.Prng.create ~seed:7 in
+      let vectors =
+        List.init 5 (fun _ ->
+            let inputs = Hls_sim.random_inputs g prng in
+            (inputs, Hls_sim.outputs g ~inputs))
+      in
+      print_newline ();
+      print_string (Hls_rtl.Verilog.testbench ~name nl ~cycles:latency ~vectors)
+    end
+  in
+  let tb_arg =
+    Arg.(value & flag & info [ "testbench" ]
+           ~doc:"Also emit a self-checking testbench with golden vectors.")
+  in
+  Cmd.v
+    (Cmd.info "emit-verilog"
+       ~doc:"Print the gate-level netlist as structural Verilog")
+    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ tb_arg)
+
+let simulate_cmd =
+  let run file builtin latency vcd_path seed =
+    let g = or_die (load ~file ~builtin) in
+    let opt = P.optimized g ~latency in
+    let prng = Hls_util.Prng.create ~seed in
+    let inputs = Hls_sim.random_inputs g prng in
+    Format.printf "inputs:@.";
+    List.iter
+      (fun (n, v) -> Format.printf "  %s = %d@." n (Hls_bitvec.to_int v))
+      inputs;
+    let reference = Hls_sim.outputs g ~inputs in
+    let netlist = Hls_rtl.Elaborate_netlist.elaborate opt.P.schedule in
+    let gates = Hls_rtl.Netlist.run netlist ~cycles:latency ~inputs in
+    Format.printf "outputs (behavioural | gate-level over %d cycles):@."
+      latency;
+    List.iter
+      (fun (n, v) ->
+        Format.printf "  %s = %d | %d@." n (Hls_bitvec.to_int v)
+          (Hls_bitvec.to_int (List.assoc n gates)))
+      reference;
+    match vcd_path with
+    | None -> ()
+    | Some path ->
+        let vcd = Hls_rtl.Netlist.dump_vcd netlist ~cycles:latency ~inputs in
+        let oc = open_out path in
+        output_string oc vcd;
+        close_out oc;
+        Format.printf "waveform written to %s@." path
+  in
+  let vcd_arg =
+    Arg.(value & opt (some string) None
+         & info [ "vcd" ] ~docv:"FILE" ~doc:"Write a VCD waveform.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed for the random input vector.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run one random vector through the gate-level netlist")
+    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ vcd_arg $ seed_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, g) ->
+        Printf.printf "%-16s %3d operations, %2d inputs\n" name
+          (Graph.behavioural_op_count g)
+          (List.length g.Graph.inputs))
+      (builtins ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in workloads") Term.(const run $ const ())
+
+let main =
+  let doc = "operation-fragmentation presynthesis optimization for HLS" in
+  Cmd.group (Cmd.info "hlsopt" ~version:"1.0.0" ~doc)
+    [ parse_cmd; optimize_cmd; schedule_cmd; report_cmd; emit_vhdl_cmd;
+      emit_verilog_cmd; simulate_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

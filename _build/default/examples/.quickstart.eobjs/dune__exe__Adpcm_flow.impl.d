@@ -1,0 +1,1 @@
+examples/adpcm_flow.ml: Format Hls_alloc Hls_bitvec Hls_core Hls_rtl Hls_sim Hls_techlib Hls_util Hls_workloads List String

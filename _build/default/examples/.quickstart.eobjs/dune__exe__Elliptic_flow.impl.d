@@ -1,0 +1,1 @@
+examples/elliptic_flow.ml: Array Format Hls_alloc Hls_bitvec Hls_core Hls_dfg Hls_kernel Hls_rtl Hls_timing Hls_workloads List Printf

@@ -1,0 +1,1 @@
+examples/fragmentation_anatomy.ml: Array Format Hls_alloc Hls_core Hls_dfg Hls_fragment Hls_sched Hls_timing Hls_util Hls_workloads List Printf String

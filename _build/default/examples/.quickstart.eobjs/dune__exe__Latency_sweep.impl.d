@@ -1,0 +1,1 @@
+examples/latency_sweep.ml: Bytes Hls_core Hls_workloads List Printf

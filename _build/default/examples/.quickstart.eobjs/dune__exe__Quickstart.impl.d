@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hls_bitvec Hls_core Hls_dfg Hls_fragment Hls_rtl Hls_sched Hls_speclang List String

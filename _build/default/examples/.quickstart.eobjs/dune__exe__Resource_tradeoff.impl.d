@@ -1,0 +1,1 @@
+examples/resource_tradeoff.ml: Hls_dfg Hls_kernel Hls_sched Hls_timing Hls_workloads List Printf

@@ -1,0 +1,1 @@
+lib/alloc/bind_blc.ml: Array Bind_shared Datapath Hls_dfg Hls_sched Lifetime List Printf

@@ -1,0 +1,1 @@
+lib/alloc/bind_blc.mli: Datapath Hls_sched

@@ -1,0 +1,1 @@
+lib/alloc/bind_frag.ml: Array Datapath Hashtbl Hls_bitvec Hls_dfg Hls_sched Hls_timing Hls_util Lifetime List Option Printf

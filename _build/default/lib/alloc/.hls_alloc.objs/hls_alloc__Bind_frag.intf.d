@@ -1,0 +1,1 @@
+lib/alloc/bind_frag.mli: Datapath Hls_dfg Hls_sched Lifetime

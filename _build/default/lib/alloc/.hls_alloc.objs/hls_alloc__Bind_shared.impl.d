@@ -1,0 +1,1 @@
+lib/alloc/bind_shared.ml: Array Datapath Hls_dfg Hls_sched Hls_util Lifetime List Printf

@@ -1,0 +1,1 @@
+lib/alloc/datapath.ml: Format Hls_techlib Hls_util Lifetime List

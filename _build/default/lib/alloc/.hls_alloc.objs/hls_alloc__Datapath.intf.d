@@ -1,0 +1,1 @@
+lib/alloc/datapath.mli: Format Hls_techlib Lifetime

@@ -1,0 +1,68 @@
+(** Allocation & binding for bit-level-chaining schedules (the Fig. 1 d
+    baseline).
+
+    Chained operations cannot share hardware, so every additive operation
+    gets its own dedicated functional unit and no operand multiplexers are
+    needed.  This is the paper's fastest-but-largest comparison point:
+    minimal execution time, maximal FU area.  Whole values crossing cycle
+    boundaries (λ > 1) are stored as in the conventional flow. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+module Blc_sched = Hls_sched.Blc_sched
+
+let bind (t : Blc_sched.t) =
+  let g = t.Blc_sched.graph in
+  let fus =
+    Graph.fold_nodes
+      (fun acc (n : node) ->
+        match Bind_shared.class_of n with
+        | None -> acc
+        | Some cls ->
+            let w1, w2 = Bind_shared.op_widths n in
+            {
+              Datapath.fu_label =
+                (if n.label = "" then Printf.sprintf "n%d" n.id else n.label);
+              fu_class = cls;
+              fu_width = w1;
+              fu_width2 = w2;
+            }
+            :: acc)
+      [] g
+    |> List.rev
+  in
+  let intervals =
+    Graph.fold_nodes
+      (fun acc (n : node) ->
+        let def = t.Blc_sched.cycle_of.(n.id) in
+        let last_use =
+          List.fold_left
+            (fun acc (consumer, _) ->
+              max acc t.Blc_sched.cycle_of.(consumer.id))
+            0 (Graph.consumers g n.id)
+        in
+        match Lifetime.storage_interval ~def ~last_use with
+        | None -> acc
+        | Some (from_, to_) ->
+            {
+              Lifetime.iv_label =
+                (if n.label = "" then Printf.sprintf "n%d" n.id else n.label);
+              iv_width = n.width;
+              iv_from = from_;
+              iv_to = to_;
+            }
+            :: acc)
+      [] g
+  in
+  let registers = Lifetime.left_edge intervals in
+  {
+    Datapath.name = Graph.name g ^ "_blc";
+    latency = t.Blc_sched.latency;
+    chain_delta = Blc_sched.used_delta t;
+    mux_levels = 0;
+    fus;
+    registers;
+    muxes = [];
+    ctrl_states = t.Blc_sched.latency;
+    ctrl_signals = Datapath.count_signals ~muxes:[] ~registers;
+  }

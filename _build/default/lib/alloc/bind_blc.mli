@@ -1,0 +1,6 @@
+(** Allocation & binding for bit-level-chaining schedules (the Fig. 1 d
+    baseline): chained operations cannot share hardware, so every additive
+    operation gets a dedicated FU, no operand muxes, and whole values
+    crossing cycle boundaries are stored. *)
+
+val bind : Hls_sched.Blc_sched.t -> Datapath.t

@@ -1,0 +1,311 @@
+(** Allocation & binding for fragmented schedules: the "optimized
+    specification" datapath.
+
+    Following the paper, every *original* operation gets a dedicated adder
+    whose width is the widest merged fragment the operation executes in any
+    single cycle ("every adder is dedicated to calculate just one addition
+    in the behavioural description").  Operand steering across cycles —
+    different bit slices of the sources in different cycles — becomes
+    multiplexers on the adder ports, and the carry link between fragments
+    in different cycles becomes a 1-bit carry-select mux.
+
+    Storage is allocated at *bit* granularity: a result bit is stored only
+    if some consumer reads it in a later cycle, and consecutive such bits
+    with identical storage intervals share one register; registers are then
+    packed by the left-edge algorithm.  On the paper's Fig. 2 example this
+    reproduces Table I exactly: cycle 1 stores C5, E4 and three carry-outs
+    — five 1-bit registers after sharing. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+module Operand = Hls_dfg.Operand
+module Frag_sched = Hls_sched.Frag_sched
+module Bitdep = Hls_timing.Bitdep
+
+let op_key (n : node) =
+  match n.origin with
+  | Some o -> o.orig_op
+  | None -> if n.label = "" then Printf.sprintf "n%d" n.id else n.label
+
+(* δ-costly result bits of an Add node: the adder cells it occupies. *)
+let costly_bits g (n : node) =
+  List.length
+    (List.filter
+       (fun pos -> fst (Bitdep.bit_deps g n pos) > 0)
+       (Hls_util.List_ext.range 0 n.width))
+
+type op_group = {
+  og_key : string;
+  og_frags : node list;
+  og_cycles : int list;  (** cycles where the operation is active *)
+  og_width : int;  (** widest merged per-cycle addition *)
+}
+
+(* Group fragments by original operation; fragments of one op sharing a
+   cycle chain into one wider addition on the same adder. *)
+let op_groups (s : Frag_sched.t) =
+  let g = Frag_sched.graph s in
+  let by_op : (string, (int * node) list) Hashtbl.t = Hashtbl.create 16 in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      if n.kind = Add then begin
+        let key = op_key n in
+        let prev = Option.value (Hashtbl.find_opt by_op key) ~default:[] in
+        Hashtbl.replace by_op key ((s.Frag_sched.cycle_of.(n.id), n) :: prev)
+      end)
+    g;
+  Hashtbl.fold
+    (fun key frags acc ->
+      let cycles = Hls_util.List_ext.dedup ~eq:( = ) (List.map fst frags) in
+      let width_in cycle =
+        Hls_util.List_ext.sum_by
+          (fun (c, n) -> if c = cycle then costly_bits g n else 0)
+          frags
+      in
+      let og_width =
+        List.fold_left (fun acc c -> max acc (width_in c)) 1 cycles
+      in
+      { og_key = key; og_frags = List.map snd frags; og_cycles = cycles;
+        og_width }
+      :: acc)
+    by_op []
+  |> List.sort (fun a b -> compare a.og_key b.og_key)
+
+(* Distinct (source, range) configurations over a fragment list's
+   operand port [port]. *)
+let port_configs frags ~port =
+  List.map
+    (fun (n : node) ->
+      match List.nth_opt n.operands port with
+      | Some o -> (o.src, o.hi, o.lo)
+      | None -> (Const (Hls_bitvec.zero 1), 0, 0))
+    frags
+  |> Hls_util.List_ext.dedup ~eq:( = )
+
+(* Pack operations onto adders: two operations may share one adder when
+   they are never active in the same cycle (the conventional allocator's
+   view of the transformed specification); an operation chained to another
+   in the same cycle necessarily has its own adder.  Widest-first greedy
+   packing keeps shared widths tight; among cycle-compatible adders the
+   packer prefers the one whose already-bound fragments read the most of
+   the candidate's operand sources — interconnect-aware binding that cuts
+   the steering multiplexers the fragmented datapath otherwise pays. *)
+let dedicated_fus (s : Frag_sched.t) =
+  let groups =
+    List.sort (fun a b -> compare b.og_width a.og_width) (op_groups s)
+  in
+  let fus : (Datapath.fu * node list * int list) list ref = ref [] in
+  let shared_sources og frags =
+    Hls_util.List_ext.sum_by
+      (fun port ->
+        let mine = port_configs og.og_frags ~port in
+        let theirs = port_configs frags ~port in
+        List.length (List.filter (fun c -> List.mem c theirs) mine))
+      [ 0; 1; 2 ]
+  in
+  List.iter
+    (fun og ->
+      let compatible =
+        List.filter
+          (fun (_, _, cycles) ->
+            List.for_all (fun c -> not (List.mem c cycles)) og.og_cycles)
+          !fus
+      in
+      match compatible with
+      | [] ->
+          fus :=
+            ( {
+                Datapath.fu_label = og.og_key;
+                fu_class = Datapath.Adder;
+                fu_width = og.og_width;
+                fu_width2 = og.og_width;
+              },
+              og.og_frags,
+              og.og_cycles )
+            :: !fus
+      | _ ->
+          (* Best host: most shared operand sources, then least width
+             growth. *)
+          let score ((fu : Datapath.fu), frags, _) =
+            ( shared_sources og frags,
+              -max 0 (og.og_width - fu.Datapath.fu_width) )
+          in
+          let best =
+            Hls_util.List_ext.max_by score compatible
+          in
+          let best_fu, _, _ = best in
+          fus :=
+            List.map
+              (fun ((fu : Datapath.fu), frags, cycles) ->
+                if fu.Datapath.fu_label = best_fu.Datapath.fu_label then
+                  ( { fu with
+                      fu_width = max fu.fu_width og.og_width;
+                      fu_width2 = max fu.fu_width2 og.og_width },
+                    og.og_frags @ frags,
+                    og.og_cycles @ cycles )
+                else (fu, frags, cycles))
+              !fus)
+    groups;
+  List.rev_map (fun (fu, frags, _) -> (fu, frags)) !fus
+
+(* Operand-steering muxes of one dedicated adder: one per input port whose
+   fragments read distinct source slices, plus a carry-in mux when the
+   carry source changes across fragments. *)
+let fu_muxes ((fu : Datapath.fu), (frags : node list)) =
+  if List.length frags <= 1 then []
+  else begin
+    let port_sources port = port_configs frags ~port in
+    let data_muxes =
+      List.filter_map
+        (fun port ->
+          let srcs = port_sources port in
+          if List.length srcs > 1 then
+            Some
+              { Datapath.mux_inputs = List.length srcs; mux_width = fu.fu_width }
+          else None)
+        [ 0; 1 ]
+    in
+    let carry_srcs = port_sources 2 in
+    if List.length carry_srcs > 1 then
+      { Datapath.mux_inputs = List.length carry_srcs; mux_width = 1 }
+      :: data_muxes
+    else data_muxes
+  end
+
+(* Bit-granular storage: last cycle each node bit is read in, looking
+   through glue (wiring adds no cycle). *)
+let last_use_cycles (s : Frag_sched.t) =
+  let g = Frag_sched.graph s in
+  let n_nodes = Graph.node_count g in
+  let last_use =
+    Array.init n_nodes (fun id -> Array.make (Graph.node g id).width 0)
+  in
+  let record src bit cycle =
+    match src with
+    | Input _ | Const _ -> ()
+    | Node id -> last_use.(id).(bit) <- max last_use.(id).(bit) cycle
+  in
+  (* Direct uses by additions, at the addition's cycle. *)
+  Graph.iter_nodes
+    (fun (n : node) ->
+      if n.kind = Add then
+        let cycle = s.Frag_sched.cycle_of.(n.id) in
+        for pos = 0 to n.width - 1 do
+          let _, deps = Bitdep.bit_deps g n pos in
+          List.iter
+            (function
+              | Bitdep.Self _ -> ()
+              | Bitdep.Bit (src, i) -> record src i cycle)
+            deps
+        done)
+    g;
+  (* Glue transparency: a use of a glue bit is a use of the bits it
+     forwards, at the same cycle. *)
+  for id = n_nodes - 1 downto 0 do
+    let n = Graph.node g id in
+    if n.kind <> Add then
+      for pos = 0 to n.width - 1 do
+        let u = last_use.(id).(pos) in
+        if u > 0 then
+          let _, deps = Bitdep.bit_deps g n pos in
+          List.iter
+            (function
+              | Bitdep.Self _ -> ()
+              | Bitdep.Bit (src, i) -> record src i u)
+            deps
+      done
+  done;
+  last_use
+
+type stored_run = {
+  sr_node : int;  (** node id *)
+  sr_lo : int;  (** lowest stored bit *)
+  sr_width : int;
+  sr_from : int;  (** first cycle the run must be held in *)
+  sr_to : int;  (** last cycle it is read in *)
+}
+
+(** Per-bit storage decisions: maximal runs of consecutive result bits with
+    identical storage intervals.  The cycle-accurate RTL simulator checks
+    every cross-cycle read against this set. *)
+let stored_runs (s : Frag_sched.t) =
+  let g = Frag_sched.graph s in
+  let last_use = last_use_cycles s in
+  let runs = ref [] in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      if n.kind = Add then begin
+        let bit_interval pos =
+          let def = s.Frag_sched.bit_time.(n.id).(pos).Frag_sched.bt_cycle in
+          Lifetime.storage_interval ~def ~last_use:last_use.(n.id).(pos)
+        in
+        let groups =
+          Hls_util.List_ext.group_runs
+            ~eq:(fun a b -> bit_interval a = bit_interval b)
+            (Hls_util.List_ext.range 0 n.width)
+        in
+        List.iter
+          (fun run ->
+            match bit_interval (List.hd run) with
+            | None -> ()
+            | Some (from_, to_) ->
+                runs :=
+                  {
+                    sr_node = n.id;
+                    sr_lo = List.hd run;
+                    sr_width = List.length run;
+                    sr_from = from_;
+                    sr_to = to_;
+                  }
+                  :: !runs)
+          groups
+      end)
+    g;
+  List.rev !runs
+
+(** Is bit [bit] of node [id] stored across the boundary after [cycle]? *)
+let bit_stored_after runs ~id ~bit ~cycle =
+  List.exists
+    (fun r ->
+      r.sr_node = id
+      && bit >= r.sr_lo
+      && bit < r.sr_lo + r.sr_width
+      && cycle + 1 >= r.sr_from
+      && cycle + 1 <= r.sr_to)
+    runs
+
+let registers (s : Frag_sched.t) =
+  let g = Frag_sched.graph s in
+  let intervals =
+    List.map
+      (fun r ->
+        {
+          Lifetime.iv_label =
+            Printf.sprintf "%s[%d+%d]"
+              (op_key (Graph.node g r.sr_node))
+              r.sr_lo r.sr_width;
+          iv_width = r.sr_width;
+          iv_from = r.sr_from;
+          iv_to = r.sr_to;
+        })
+      (stored_runs s)
+  in
+  Lifetime.left_edge intervals
+
+(** Build the optimized datapath summary from a fragment schedule. *)
+let bind (s : Frag_sched.t) =
+  let fus_with_frags = dedicated_fus s in
+  let fus = List.map fst fus_with_frags in
+  let muxes = List.concat_map fu_muxes fus_with_frags in
+  let registers = registers s in
+  {
+    Datapath.name = Graph.name (Frag_sched.graph s) ^ "_optimized";
+    latency = s.Frag_sched.latency;
+    chain_delta = Frag_sched.used_delta s;
+    mux_levels = (if muxes = [] then 0 else 1);
+    fus;
+    registers;
+    muxes;
+    ctrl_states = s.Frag_sched.latency;
+    ctrl_signals = Datapath.count_signals ~muxes ~registers;
+  }

@@ -1,0 +1,164 @@
+(** Allocation & binding for conventional (operation-atomic) schedules: the
+    "original specification" datapath.
+
+    Functional units are shared across cycles: the number of instances of a
+    class is its peak per-cycle population, operations are bound widest-to-
+    widest so instance widths stay minimal, and every instance input port
+    whose bound operations read from different sources gets a multiplexer.
+    Whole values that cross a cycle boundary are stored; registers are
+    shared by the left-edge algorithm.  Dedicated input/output port
+    registers are not counted (the paper excludes them: they are identical
+    in all implementations). *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+module Operand = Hls_dfg.Operand
+module List_sched = Hls_sched.List_sched
+
+let class_of (n : node) =
+  match n.kind with
+  | Add | Sub | Neg | Max | Min -> Some Datapath.Adder
+  | Mul -> Some Datapath.Multiplier
+  | Lt | Le | Gt | Ge | Eq | Neq -> Some Datapath.Comparator
+  | Not | And | Or | Xor | Gate | Mux | Concat | Reduce_or | Wire -> None
+
+let op_widths (n : node) =
+  match class_of n with
+  | Some Datapath.Multiplier -> (
+      match n.operands with
+      | a :: b :: _ -> (
+          (* Constant factors synthesize as CSD shift-add rows: the FU's
+             effective second dimension is the digit count, not the full
+             operand width. *)
+          let const_of = Operand.const_int ~signedness:n.signedness in
+          match (const_of a, const_of b) with
+          | Some v, None ->
+              (Operand.width b, max 1 (Hls_util.Csd.digit_count v))
+          | None, Some v ->
+              (Operand.width a, max 1 (Hls_util.Csd.digit_count v))
+          | Some _, Some _ -> (1, 1)
+          | None, None -> (Operand.width a, Operand.width b))
+      | _ -> (n.width, n.width))
+  | _ ->
+      let w =
+        List.fold_left
+          (fun acc o -> max acc (Operand.width o))
+          n.width n.operands
+      in
+      (w, w)
+
+(* Bind the ops of one class: rank ops within each cycle by width; instance
+   k serves the k-th widest op of every cycle.  Returns instances with the
+   ops bound to them. *)
+let bind_class ~latency ops_in_cycle cls =
+  let per_cycle =
+    List.map
+      (fun cycle ->
+        ops_in_cycle cycle
+        |> List.filter (fun n -> class_of n = Some cls)
+        |> List.sort (fun a b -> compare (op_widths b) (op_widths a)))
+      (Hls_util.List_ext.range 1 (latency + 1))
+  in
+  let instances = List.fold_left (fun acc l -> max acc (List.length l)) 0 per_cycle in
+  List.map
+    (fun k ->
+      let bound =
+        List.concat_map
+          (fun ops -> match List.nth_opt ops k with Some n -> [ n ] | None -> [])
+          per_cycle
+      in
+      let w1, w2 =
+        List.fold_left
+          (fun (w1, w2) n ->
+            let a, b = op_widths n in
+            (max w1 a, max w2 b))
+          (1, 1) bound
+      in
+      let fu =
+        {
+          Datapath.fu_label = Printf.sprintf "%s%d"
+              (match cls with
+              | Datapath.Adder -> "add"
+              | Datapath.Multiplier -> "mul"
+              | Datapath.Comparator -> "cmp")
+              k;
+          fu_class = cls;
+          fu_width = w1;
+          fu_width2 = w2;
+        }
+      in
+      (fu, bound))
+    (Hls_util.List_ext.range 0 instances)
+
+(* Distinct operand sources feeding input port [port] of an instance. *)
+let port_mux ~width (bound : node list) ~port =
+  let sources =
+    List.filter_map
+      (fun (n : node) ->
+        match List.nth_opt n.operands port with
+        | Some o -> Some (o.src, o.hi, o.lo)
+        | None -> None)
+      bound
+  in
+  let distinct = Hls_util.List_ext.dedup ~eq:( = ) sources in
+  if List.length distinct > 1 then
+    Some { Datapath.mux_inputs = List.length distinct; mux_width = width }
+  else None
+
+let registers (t : List_sched.t) =
+  let g = t.List_sched.graph in
+  let intervals =
+    Graph.fold_nodes
+      (fun acc (n : node) ->
+        let def = t.List_sched.cycle_of.(n.id) in
+        let last_use =
+          List.fold_left
+            (fun acc (consumer, _) ->
+              max acc t.List_sched.cycle_of.(consumer.id))
+            0 (Graph.consumers g n.id)
+        in
+        match Lifetime.storage_interval ~def ~last_use with
+        | None -> acc
+        | Some (from_, to_) ->
+            {
+              Lifetime.iv_label =
+                (if n.label = "" then Printf.sprintf "n%d" n.id else n.label);
+              iv_width = n.width;
+              iv_from = from_;
+              iv_to = to_;
+            }
+            :: acc)
+      [] g
+  in
+  Lifetime.left_edge intervals
+
+(** Build the datapath summary for a conventional schedule. *)
+let bind (t : List_sched.t) =
+  let fus_with_ops =
+    List.concat_map
+      (fun cls -> bind_class ~latency:t.List_sched.latency
+           (List_sched.ops_in_cycle t) cls)
+      [ Datapath.Adder; Datapath.Multiplier; Datapath.Comparator ]
+  in
+  let fus = List.map fst fus_with_ops in
+  let muxes =
+    List.concat_map
+      (fun ((fu : Datapath.fu), bound) ->
+        List.filter_map
+          (fun port -> port_mux ~width:fu.fu_width bound ~port)
+          [ 0; 1 ])
+      fus_with_ops
+  in
+  let registers = registers t in
+  let mux_levels = if muxes = [] then 0 else 1 in
+  {
+    Datapath.name = Graph.name t.List_sched.graph ^ "_conventional";
+    latency = t.List_sched.latency;
+    chain_delta = t.List_sched.cycle_delta;
+    mux_levels;
+    fus;
+    registers;
+    muxes;
+    ctrl_states = t.List_sched.latency;
+    ctrl_signals = Datapath.count_signals ~muxes ~registers;
+  }

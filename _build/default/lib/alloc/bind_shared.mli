@@ -1,0 +1,20 @@
+(** Allocation & binding for conventional (operation-atomic) schedules:
+    shared FUs sized by peak per-cycle population, operand muxes from
+    distinct bound sources, whole-value left-edge registers.  Dedicated
+    input/output port registers are not counted (the paper excludes
+    them). *)
+
+open Hls_dfg.Types
+
+(** FU class of a behavioural operation; [None] for glue. *)
+val class_of : node -> Datapath.fu_class option
+
+(** Effective FU dimensions of one operation (constant multipliers count
+    their CSD digits as the second dimension). *)
+val op_widths : node -> int * int
+
+(** Whole-value storage with left-edge sharing. *)
+val registers : Hls_sched.List_sched.t -> Lifetime.register list
+
+(** Build the datapath summary for a conventional schedule. *)
+val bind : Hls_sched.List_sched.t -> Datapath.t

@@ -1,0 +1,104 @@
+(** Structural summary of an allocated RTL datapath, and its area/timing
+    report through a technology library.
+
+    This is the unit of comparison of the paper's experiments: Table I and
+    Fig. 3 h break a design into functional units, registers, routing
+    (multiplexers) and controller, and report gate counts plus the cycle
+    length in ns. *)
+
+type fu_class = Adder | Multiplier | Comparator
+
+type fu = {
+  fu_label : string;
+  fu_class : fu_class;
+  fu_width : int;  (** result/ripple width *)
+  fu_width2 : int;  (** second operand width (multipliers) *)
+}
+
+type mux = { mux_inputs : int; mux_width : int }
+
+type t = {
+  name : string;
+  latency : int;
+  chain_delta : int;  (** longest combinational chain per cycle, in δ *)
+  mux_levels : int;  (** operand-steering depth on the critical path *)
+  fus : fu list;
+  registers : Lifetime.register list;
+  muxes : mux list;
+  ctrl_states : int;
+  ctrl_signals : int;
+}
+
+type area = {
+  fu_gates : int;
+  register_gates : int;
+  mux_gates : int;
+  controller_gates : int;
+  total_gates : int;
+}
+
+let fu_gates lib fu =
+  match fu.fu_class with
+  | Adder -> Hls_techlib.adder_gates lib ~width:fu.fu_width
+  | Multiplier ->
+      Hls_techlib.multiplier_gates lib ~wa:fu.fu_width ~wb:fu.fu_width2
+  | Comparator -> Hls_techlib.comparator_gates lib ~width:fu.fu_width
+
+let area lib t =
+  let fu_gates = Hls_util.List_ext.sum_by (fu_gates lib) t.fus in
+  let register_gates =
+    Hls_util.List_ext.sum_by
+      (fun (r : Lifetime.register) ->
+        Hls_techlib.register_gates lib ~width:r.reg_width)
+      t.registers
+  in
+  let mux_gates =
+    Hls_util.List_ext.sum_by
+      (fun m ->
+        Hls_techlib.mux_gates lib ~inputs:m.mux_inputs ~width:m.mux_width)
+      t.muxes
+  in
+  let controller_gates =
+    Hls_techlib.controller_gates lib ~states:t.ctrl_states
+      ~signals:t.ctrl_signals
+  in
+  {
+    fu_gates;
+    register_gates;
+    mux_gates;
+    controller_gates;
+    total_gates = fu_gates + register_gates + mux_gates + controller_gates;
+  }
+
+let datapath_gates lib t =
+  let a = area lib t in
+  a.fu_gates + a.register_gates + a.mux_gates
+
+let cycle_ns lib t =
+  Hls_techlib.cycle_ns lib ~chain_delta:t.chain_delta ~mux_levels:t.mux_levels
+
+let execution_ns lib t = float_of_int t.latency *. cycle_ns lib t
+
+let register_bits t = Lifetime.total_register_bits t.registers
+let fu_count t = List.length t.fus
+let mux_count t = List.length t.muxes
+
+(* The number of single-bit control outputs the FSM must drive. *)
+let count_signals ~muxes ~registers =
+  Hls_util.List_ext.sum_by
+    (fun m -> if m.mux_inputs > 1 then Hls_util.Int_math.clog2 m.mux_inputs else 0)
+    muxes
+  + List.length registers
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>datapath %s: latency %d, chain %d delta, %d FUs, %d regs (%d \
+     bits), %d muxes, %d ctrl signals@]"
+    t.name t.latency t.chain_delta (List.length t.fus)
+    (List.length t.registers) (register_bits t) (List.length t.muxes)
+    t.ctrl_signals
+
+let pp_area ppf a =
+  Format.fprintf ppf
+    "@[<v>FU %d + registers %d + routing %d + controller %d = %d gates@]"
+    a.fu_gates a.register_gates a.mux_gates a.controller_gates a.total_gates

@@ -1,0 +1,54 @@
+(** Structural summary of an allocated RTL datapath, and its area/timing
+    report through a technology library — the unit of comparison of the
+    paper's Table I and Fig. 3 h (FU / registers / routing / controller
+    gates, cycle ns). *)
+
+type fu_class = Adder | Multiplier | Comparator
+
+type fu = {
+  fu_label : string;
+  fu_class : fu_class;
+  fu_width : int;  (** result/ripple width *)
+  fu_width2 : int;  (** second operand width (multipliers: CSD digits) *)
+}
+
+type mux = { mux_inputs : int; mux_width : int }
+
+type t = {
+  name : string;
+  latency : int;
+  chain_delta : int;  (** longest combinational chain per cycle, in δ *)
+  mux_levels : int;  (** operand-steering depth on the critical path *)
+  fus : fu list;
+  registers : Lifetime.register list;
+  muxes : mux list;
+  ctrl_states : int;
+  ctrl_signals : int;
+}
+
+type area = {
+  fu_gates : int;
+  register_gates : int;
+  mux_gates : int;
+  controller_gates : int;
+  total_gates : int;
+}
+
+val area : Hls_techlib.t -> t -> area
+
+(** FU + registers + routing, without the controller (the paper's
+    "datapath area"). *)
+val datapath_gates : Hls_techlib.t -> t -> int
+
+val cycle_ns : Hls_techlib.t -> t -> float
+val execution_ns : Hls_techlib.t -> t -> float
+val register_bits : t -> int
+val fu_count : t -> int
+val mux_count : t -> int
+
+(** Single-bit control outputs the FSM must drive (mux selects + register
+    enables). *)
+val count_signals : muxes:mux list -> registers:Lifetime.register list -> int
+
+val pp : Format.formatter -> t -> unit
+val pp_area : Format.formatter -> area -> unit

@@ -1,0 +1,56 @@
+(** Value lifetimes and left-edge register allocation.
+
+    A value produced in cycle [def] and last consumed in cycle [use] must
+    sit in a register during cycles [def+1 .. use] (a value consumed only
+    in its production cycle is forwarded combinationally and never stored —
+    the effect behind the paper's register savings).
+
+    The classic left-edge algorithm packs values with disjoint storage
+    intervals into the same physical register; a register's width is the
+    widest value it ever holds. *)
+
+type interval = {
+  iv_label : string;
+  iv_width : int;
+  iv_from : int;  (** first cycle the value must be held in *)
+  iv_to : int;  (** last cycle the value is read in *)
+}
+
+(** [storage_interval ~def ~last_use] is [None] when the value never
+    crosses a cycle boundary. *)
+let storage_interval ~def ~last_use =
+  if last_use <= def then None else Some (def + 1, last_use)
+
+type register = { reg_width : int; reg_values : interval list }
+
+(** Left-edge packing: sort by start, greedily reuse the first register
+    whose last interval ends before the candidate starts. *)
+let left_edge intervals =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.iv_from b.iv_from with
+        | 0 -> compare b.iv_width a.iv_width
+        | c -> c)
+      intervals
+  in
+  let place regs iv =
+    let rec go acc = function
+      | [] -> List.rev ({ reg_width = iv.iv_width; reg_values = [ iv ] } :: acc)
+      | r :: rest -> (
+          match r.reg_values with
+          | last :: _ when last.iv_to < iv.iv_from ->
+              List.rev_append acc
+                ({
+                   reg_width = max r.reg_width iv.iv_width;
+                   reg_values = iv :: r.reg_values;
+                 }
+                :: rest)
+          | _ -> go (r :: acc) rest)
+    in
+    go [] regs
+  in
+  List.fold_left place [] sorted
+
+let total_register_bits regs =
+  Hls_util.List_ext.sum_by (fun r -> r.reg_width) regs

@@ -1,0 +1,27 @@
+(** Value lifetimes and left-edge register allocation.
+
+    A value produced in cycle [def] and last consumed in cycle [use] must
+    sit in a register during cycles [def+1 .. use]; values consumed only in
+    their production cycle are forwarded combinationally and never stored —
+    the effect behind the paper's register savings. *)
+
+type interval = {
+  iv_label : string;
+  iv_width : int;
+  iv_from : int;  (** first cycle the value must be held in *)
+  iv_to : int;  (** last cycle the value is read in *)
+}
+
+(** [None] when the value never crosses a cycle boundary. *)
+val storage_interval : def:int -> last_use:int -> (int * int) option
+
+type register = {
+  reg_width : int;  (** the widest value the register ever holds *)
+  reg_values : interval list;  (** newest first *)
+}
+
+(** Left-edge packing: values with disjoint storage intervals share one
+    physical register. *)
+val left_edge : interval list -> register list
+
+val total_register_bits : register list -> int

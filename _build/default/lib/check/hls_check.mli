@@ -1,0 +1,49 @@
+(** Equivalence checking strategies over DFGs.
+
+    {!Hls_sim.equivalent} draws uniform random vectors; this module adds
+    the strategies a verification engineer would actually reach for:
+
+    - {!exhaustive}: every input combination, when the total input width is
+      small enough to enumerate — a proof, not a sample;
+    - {!corners}: the classic corner vectors (all-zeros, all-ones, walking
+      ones, min/max per signed port) that catch carry and sign bugs random
+      sampling misses;
+    - {!equivalent}: the combined strategy — exhaustive when affordable,
+      otherwise corners plus random sampling. *)
+
+type verdict =
+  | Proved  (** exhaustively checked: the graphs are equivalent *)
+  | Passed of int  (** sampled [n] vectors without a mismatch *)
+  | Failed of {
+      input : (string * Hls_bitvec.t) list;
+      port : string;
+      left : Hls_bitvec.t;
+      right : Hls_bitvec.t;
+    }
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** Total input bits of a graph. *)
+val input_bits : Hls_dfg.Graph.t -> int
+
+(** Exhaustive check; [Invalid_argument] when the input space exceeds
+    [max_bits] (default 20). *)
+val exhaustive :
+  ?max_bits:int -> Hls_dfg.Graph.t -> Hls_dfg.Graph.t -> verdict
+
+(** The corner vectors for a graph's ports. *)
+val corner_vectors :
+  Hls_dfg.Graph.t -> (string * Hls_bitvec.t) list list
+
+(** Check the corner vectors only. *)
+val corners : Hls_dfg.Graph.t -> Hls_dfg.Graph.t -> verdict
+
+(** Combined strategy: exhaustive if the input space fits in
+    [exhaustive_budget] bits (default 16), else corners + [samples] random
+    vectors (default 200). *)
+val equivalent :
+  ?exhaustive_budget:int -> ?samples:int -> ?seed:int ->
+  Hls_dfg.Graph.t -> Hls_dfg.Graph.t -> verdict
+
+(** True for [Proved] or [Passed _]. *)
+val ok : verdict -> bool

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Hls_alloc Hls_dfg Hls_sched Hls_techlib Hls_util Hls_workloads List Pipeline

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Hls_dfg Hls_sched Hls_techlib Pipeline

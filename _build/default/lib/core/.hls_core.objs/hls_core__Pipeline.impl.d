@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Format Hls_alloc Hls_check Hls_dfg Hls_fragment Hls_kernel Hls_opt Hls_sched Hls_techlib Hls_timing Hls_util

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Format Hls_alloc Hls_dfg Hls_fragment Hls_sched Hls_techlib

@@ -1,0 +1,164 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation (experiment index E1–E8 in DESIGN.md).
+
+    Absolute nanoseconds and gate counts come from the calibrated
+    {!Hls_techlib} model rather than Synopsys tools, so the comparisons are
+    meaningful *within* a table (original vs optimized vs BLC of the same
+    graph through the same flow), which is exactly what the paper's
+    percentages measure. *)
+
+module Graph = Hls_dfg.Graph
+module Datapath = Hls_alloc.Datapath
+module P = Pipeline
+
+(** {1 Table I — the motivational example} *)
+
+type table1 = {
+  t1_conventional : P.report;  (** Fig. 1 b: one shared 16-bit adder *)
+  t1_blc : P.report;  (** Fig. 1 d: three chained adders, λ=1 *)
+  t1_optimized : P.report;  (** Fig. 2: the transformed specification *)
+}
+
+let table1 ?(lib = Hls_techlib.default) ?(width = 16) () =
+  let g = Hls_workloads.Motivational.chain ~width ~ops:3 () in
+  {
+    t1_conventional = P.conventional ~lib g ~latency:3;
+    t1_blc = P.blc ~lib g ~latency:1;
+    t1_optimized = (P.optimized ~lib g ~latency:3).P.opt_report;
+  }
+
+(** {1 Fig. 3 g/h — the 8-operation DFG} *)
+
+type fig3 = {
+  f3_conventional : P.report;
+  f3_optimized : P.report;
+  f3_schedule : Hls_sched.Frag_sched.t;
+      (** the fragment schedule, for printing the per-cycle assignment *)
+}
+
+let fig3 ?(lib = Hls_techlib.default) () =
+  let g = Hls_workloads.Motivational.fig3 () in
+  let opt = P.optimized ~lib g ~latency:3 in
+  {
+    f3_conventional = P.conventional ~lib g ~latency:3;
+    f3_optimized = opt.P.opt_report;
+    f3_schedule = opt.P.schedule;
+  }
+
+(** {1 Table II — classical benchmarks} *)
+
+type bench_row = {
+  bench : string;
+  row_latency : int;
+  cycle_original_ns : float;
+  cycle_optimized_ns : float;
+  cycle_saved_pct : float;
+  datapath_original_gates : int;
+  datapath_optimized_gates : int;
+  area_increment_pct : float;  (** positive = optimized is bigger *)
+  ops_original : int;
+  ops_optimized : int;
+      (** operations after kernel extraction (the paper's "+34 %" basis) *)
+  fragments : int;  (** additions actually scheduled *)
+  equivalence : (unit, string) result;
+      (** bit-true check of the transformed specification *)
+}
+
+let bench_row ?(lib = Hls_techlib.default) ?(check_equivalence = true) ~name
+    graph ~latency =
+  let conv = P.conventional ~lib graph ~latency in
+  let opt = P.optimized ~lib graph ~latency in
+  let r = opt.P.opt_report in
+  let datapath_original_gates = Datapath.datapath_gates lib conv.P.datapath in
+  let datapath_optimized_gates = Datapath.datapath_gates lib r.P.datapath in
+  {
+    bench = name;
+    row_latency = latency;
+    cycle_original_ns = conv.P.cycle_ns;
+    cycle_optimized_ns = r.P.cycle_ns;
+    cycle_saved_pct =
+      P.pct_saved ~original:conv.P.cycle_ns ~optimized:r.P.cycle_ns;
+    datapath_original_gates;
+    datapath_optimized_gates;
+    area_increment_pct =
+      -.Hls_util.Pretty.pct
+          ~from:(float_of_int datapath_original_gates)
+          ~to_:(float_of_int datapath_optimized_gates);
+    ops_original = conv.P.op_count;
+    ops_optimized = r.P.op_count;
+    fragments = r.P.fragment_count;
+    equivalence =
+      (if check_equivalence then P.check_optimized_equivalence graph opt
+       else Ok ());
+  }
+
+let table2 ?(lib = Hls_techlib.default) ?(width = 16) () =
+  List.concat_map
+    (fun (name, graph, latencies) ->
+      List.map (fun latency -> bench_row ~lib ~name graph ~latency) latencies)
+    (Hls_workloads.Benchmarks.table2_set ~width ())
+
+(** {1 Table III — ADPCM decoder modules} *)
+
+let table3 ?(lib = Hls_techlib.default) () =
+  List.map
+    (fun (name, graph, latency) -> bench_row ~lib ~name graph ~latency)
+    (Hls_workloads.Adpcm.table3_set ())
+
+(** Average cycle saving over a row list (the paper quotes 67 % for
+    Table II and 66 % for Table III). *)
+let average_cycle_saved rows =
+  match rows with
+  | [] -> 0.
+  | _ ->
+      Hls_util.List_ext.sum_by (fun _ -> 1) rows |> fun n ->
+      List.fold_left (fun acc r -> acc +. r.cycle_saved_pct) 0. rows
+      /. float_of_int n
+
+let average_area_increment rows =
+  match rows with
+  | [] -> 0.
+  | _ ->
+      List.fold_left (fun acc r -> acc +. r.area_increment_pct) 0. rows
+      /. float_of_int (List.length rows)
+
+let average_op_increase_pct rows =
+  match rows with
+  | [] -> 0.
+  | _ ->
+      List.fold_left
+        (fun acc r ->
+          acc
+          +. (float_of_int (r.ops_optimized - r.ops_original)
+              /. float_of_int (max 1 r.ops_original)
+              *. 100.))
+        0. rows
+      /. float_of_int (List.length rows)
+
+(** {1 Fig. 4 — cycle length vs latency} *)
+
+type fig4_point = {
+  f4_latency : int;
+  f4_original_ns : float;
+  f4_optimized_ns : float;
+}
+
+(** Sweep λ over [latencies] for [graph] (the paper sweeps 3..15 on a
+    behavioural description; the bench uses the elliptic filter). *)
+let fig4 ?(lib = Hls_techlib.default) ?(latencies = Hls_util.List_ext.range 3 16)
+    graph =
+  List.filter_map
+    (fun latency ->
+      match
+        ( P.conventional ~lib graph ~latency,
+          P.optimized ~lib graph ~latency )
+      with
+      | conv, opt ->
+          Some
+            {
+              f4_latency = latency;
+              f4_original_ns = conv.P.cycle_ns;
+              f4_optimized_ns = opt.P.opt_report.P.cycle_ns;
+            }
+      | exception Hls_sched.List_sched.Infeasible _ -> None)
+    latencies

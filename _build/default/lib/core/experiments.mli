@@ -1,0 +1,64 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation (experiment index E1–E8 in DESIGN.md). *)
+
+module P = Pipeline
+
+(** {1 Table I — the motivational example} *)
+
+type table1 = {
+  t1_conventional : P.report;  (** Fig. 1 b: one shared 16-bit adder *)
+  t1_blc : P.report;  (** Fig. 1 d: three chained adders, λ=1 *)
+  t1_optimized : P.report;  (** Fig. 2: the transformed specification *)
+}
+
+val table1 : ?lib:Hls_techlib.t -> ?width:int -> unit -> table1
+
+(** {1 Fig. 3 g/h — the 8-operation DFG} *)
+
+type fig3 = {
+  f3_conventional : P.report;
+  f3_optimized : P.report;
+  f3_schedule : Hls_sched.Frag_sched.t;
+}
+
+val fig3 : ?lib:Hls_techlib.t -> unit -> fig3
+
+(** {1 Tables II / III — benchmark rows} *)
+
+type bench_row = {
+  bench : string;
+  row_latency : int;
+  cycle_original_ns : float;
+  cycle_optimized_ns : float;
+  cycle_saved_pct : float;
+  datapath_original_gates : int;
+  datapath_optimized_gates : int;
+  area_increment_pct : float;  (** positive = optimized is bigger *)
+  ops_original : int;
+  ops_optimized : int;
+      (** operations after kernel extraction (the paper's "+34 %" basis) *)
+  fragments : int;  (** additions actually scheduled *)
+  equivalence : (unit, string) result;
+}
+
+val bench_row :
+  ?lib:Hls_techlib.t -> ?check_equivalence:bool -> name:string ->
+  Hls_dfg.Graph.t -> latency:int -> bench_row
+
+val table2 : ?lib:Hls_techlib.t -> ?width:int -> unit -> bench_row list
+val table3 : ?lib:Hls_techlib.t -> unit -> bench_row list
+val average_cycle_saved : bench_row list -> float
+val average_area_increment : bench_row list -> float
+val average_op_increase_pct : bench_row list -> float
+
+(** {1 Fig. 4 — cycle length vs latency} *)
+
+type fig4_point = {
+  f4_latency : int;
+  f4_original_ns : float;
+  f4_optimized_ns : float;
+}
+
+val fig4 :
+  ?lib:Hls_techlib.t -> ?latencies:int list -> Hls_dfg.Graph.t ->
+  fig4_point list

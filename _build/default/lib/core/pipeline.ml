@@ -1,0 +1,145 @@
+(** The three synthesis flows the paper compares.
+
+    - {!conventional}: the baseline — schedule the original behavioural
+      specification with an operation-atomic chaining scheduler at the
+      minimal feasible cycle, then share functional units and registers.
+    - {!optimized}: the paper's method — operative kernel extraction
+      (§3.1), cycle estimation (§3.2), operation fragmentation (§3.3), a
+      conventional schedule of the fragments, dedicated adders, bit-level
+      registers.
+    - {!blc}: the strongest prior art (bit-level chaining): operations stay
+      atomic but overlap at the bit level within a cycle; dedicated FUs.
+
+    Every flow returns the same report shape so tables compare directly. *)
+
+module Graph = Hls_dfg.Graph
+module Datapath = Hls_alloc.Datapath
+
+type report = {
+  flow : string;
+  latency : int;
+  cycle_delta : int;  (** cycle length in δ (chained 1-bit additions) *)
+  cycle_ns : float;
+  execution_ns : float;
+  op_count : int;
+      (** operations in the specification: for the optimized flow this is
+          the operation count *after kernel extraction* — fragments still
+          belong to their parent operation, matching how the paper counts
+          its "+34 %" growth *)
+  fragment_count : int;  (** additions actually scheduled (fragments) *)
+  datapath : Datapath.t;
+  area : Datapath.area;
+}
+
+let report ~flow ~lib ~op_count ?(fragment_count = op_count)
+    (dp : Datapath.t) =
+  {
+    flow;
+    latency = dp.Datapath.latency;
+    cycle_delta = dp.Datapath.chain_delta;
+    cycle_ns = Datapath.cycle_ns lib dp;
+    execution_ns = Datapath.execution_ns lib dp;
+    op_count;
+    fragment_count;
+    datapath = dp;
+    area = Datapath.area lib dp;
+  }
+
+(** Baseline flow on the original behavioural graph.  Operation delays
+    come from the technology library, so a carry-lookahead library gives
+    the baseline its faster (logarithmic-depth) atoms. *)
+let conventional ?(lib = Hls_techlib.default) graph ~latency =
+  let delay = Hls_sched.Op_delay.delay_with ~lib in
+  let sched = Hls_sched.List_sched.schedule ~delay graph ~latency in
+  let dp = Hls_alloc.Bind_shared.bind sched in
+  report ~flow:"conventional" ~lib
+    ~op_count:(Graph.behavioural_op_count graph)
+    dp
+
+(** Bit-level-chaining baseline on the original behavioural graph. *)
+let blc ?(lib = Hls_techlib.default) graph ~latency =
+  let sched = Hls_sched.Blc_sched.schedule graph ~latency in
+  let dp = Hls_alloc.Bind_blc.bind sched in
+  report ~flow:"blc" ~lib ~op_count:(Graph.behavioural_op_count graph) dp
+
+type optimized_result = {
+  opt_report : report;
+  kernel : Graph.t;  (** graph after operative kernel extraction *)
+  transformed : Hls_fragment.Transform.t;
+  schedule : Hls_sched.Frag_sched.t;
+}
+
+(** The paper's presynthesis-transformation flow.  [cleanup] additionally
+    runs constant folding / CSE / DCE on the kernel-form graph before
+    fragmentation (off by default: the paper's flow has no such pass, and
+    all pinned reproduction numbers are measured without it). *)
+let optimized ?(lib = Hls_techlib.default) ?policy ?balance
+    ?(cleanup = false) graph ~latency =
+  let kernel = Hls_kernel.Extract.run graph in
+  let kernel = if cleanup then Hls_opt.Normalize.run kernel else kernel in
+  let transformed = Hls_fragment.Transform.run ?policy kernel ~latency in
+  let schedule = Hls_sched.Frag_sched.schedule ?balance transformed in
+  let dp = Hls_alloc.Bind_frag.bind schedule in
+  {
+    opt_report =
+      report ~flow:"optimized" ~lib
+        ~op_count:(Graph.behavioural_op_count kernel)
+        ~fragment_count:(Hls_fragment.Transform.op_count transformed)
+        dp;
+    kernel;
+    transformed;
+    schedule;
+  }
+
+(** End-to-end functional check: the transformed, scheduled specification
+    still computes the original behaviour.  Uses the combined strategy of
+    {!Hls_check}: exhaustive when the input space is small, corner vectors
+    plus [trials] random samples otherwise. *)
+let check_optimized_equivalence ?(trials = 40) ?(seed = 99) graph result =
+  match
+    Hls_check.equivalent ~samples:trials ~seed graph
+      result.transformed.Hls_fragment.Transform.graph
+  with
+  | Hls_check.Proved | Hls_check.Passed _ -> Ok ()
+  | Hls_check.Failed _ as f ->
+      Error (Format.asprintf "%a" Hls_check.pp_verdict f)
+
+(** The latency a conventional tool would pick when free to choose: the
+    ASAP schedule length at the tightest single-operation cycle (the
+    paper's Table III uses the latency BC selects in free-floating mode). *)
+let free_floating_latency graph =
+  let c = Hls_sched.Op_delay.max_delay graph in
+  let finish = Hls_sched.List_sched.asap_finish graph ~cycle_delta:c in
+  Hls_sched.List_sched.latency_of_finish ~cycle_delta:c finish
+
+(** The dual problem: given a clock-period target in ns, find the smallest
+    latency whose fragmented schedule meets it, and run the optimized flow
+    there.  Returns [None] when even a 1 δ chain misses the target (the
+    period is below the sequential overhead). *)
+let optimized_for_cycle ?(lib = Hls_techlib.default) graph ~target_ns =
+  let kernel = Hls_kernel.Extract.run graph in
+  let critical = Hls_timing.Critical_path.critical_delta kernel in
+  (* Invert the period model: usable chain = (target - overhead - mux). *)
+  let chain_budget =
+    int_of_float
+      ((target_ns -. lib.Hls_techlib.seq_overhead_ns
+        -. lib.Hls_techlib.mux_delay_ns)
+       /. lib.Hls_techlib.delta_ns)
+  in
+  if chain_budget < 1 then None
+  else
+    let latency =
+      Hls_timing.Critical_path.latency_for_cycle_delta ~critical
+        ~n_bits:chain_budget
+    in
+    Some (latency, optimized ~lib graph ~latency)
+
+let pct_saved ~original ~optimized =
+  Hls_util.Pretty.pct ~from:original ~to_:optimized
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: latency %d, cycle %d delta = %.2f ns, exec %.2f ns, %d ops \
+     (%d scheduled additions)@ %a@]"
+    r.flow r.latency r.cycle_delta r.cycle_ns r.execution_ns r.op_count
+    r.fragment_count Datapath.pp_area r.area

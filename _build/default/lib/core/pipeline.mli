@@ -1,0 +1,64 @@
+(** The three synthesis flows the paper compares, with a common report
+    shape. *)
+
+type report = {
+  flow : string;
+  latency : int;
+  cycle_delta : int;  (** cycle length in δ (chained 1-bit additions) *)
+  cycle_ns : float;
+  execution_ns : float;
+  op_count : int;
+      (** operations in the specification: for the optimized flow this is
+          the operation count *after kernel extraction* — fragments still
+          belong to their parent operation, matching how the paper counts
+          its "+34 %" growth *)
+  fragment_count : int;  (** additions actually scheduled (fragments) *)
+  datapath : Hls_alloc.Datapath.t;
+  area : Hls_alloc.Datapath.area;
+}
+
+(** Baseline flow on the original behavioural graph: operation-atomic
+    chaining schedule at the minimal feasible cycle, shared FUs,
+    whole-value registers.  Operation delays come from the technology
+    library (carry-lookahead libraries get faster atoms). *)
+val conventional :
+  ?lib:Hls_techlib.t -> Hls_dfg.Graph.t -> latency:int -> report
+
+(** Bit-level-chaining baseline: dedicated FUs, fastest cycles. *)
+val blc : ?lib:Hls_techlib.t -> Hls_dfg.Graph.t -> latency:int -> report
+
+type optimized_result = {
+  opt_report : report;
+  kernel : Hls_dfg.Graph.t;  (** graph after operative kernel extraction *)
+  transformed : Hls_fragment.Transform.t;
+  schedule : Hls_sched.Frag_sched.t;
+}
+
+(** The paper's presynthesis-transformation flow: kernel extraction →
+    cycle estimation → fragmentation ([policy]) → conventional fragment
+    scheduling ([balance]) → dedicated-adder binding with bit-level
+    registers. *)
+val optimized :
+  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
+  ?balance:bool -> ?cleanup:bool -> Hls_dfg.Graph.t -> latency:int ->
+  optimized_result
+
+(** End-to-end functional check: the transformed, scheduled specification
+    still computes the original behaviour. *)
+val check_optimized_equivalence :
+  ?trials:int -> ?seed:int -> Hls_dfg.Graph.t -> optimized_result ->
+  (unit, string) result
+
+(** The dual problem: given a clock-period target in ns, find the smallest
+    latency whose fragmented schedule meets it and run the optimized flow
+    there; [None] when the period is below the sequential overhead. *)
+val optimized_for_cycle :
+  ?lib:Hls_techlib.t -> Hls_dfg.Graph.t -> target_ns:float ->
+  (int * optimized_result) option
+
+(** The latency a conventional tool would pick when free to choose: the
+    ASAP schedule length at the tightest single-operation cycle. *)
+val free_floating_latency : Hls_dfg.Graph.t -> int
+
+val pct_saved : original:float -> optimized:float -> float
+val pp_report : Format.formatter -> report -> unit

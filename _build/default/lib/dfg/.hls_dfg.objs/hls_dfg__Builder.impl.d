@@ -1,0 +1,1 @@
+lib/dfg/builder.ml: Array Graph List Operand Printf String Types

@@ -1,0 +1,1 @@
+lib/dfg/graph.ml: Array Format Hashtbl Hls_bitvec Hls_util List Operand Printf String Types

@@ -1,0 +1,1 @@
+lib/dfg/operand.ml: Format Hls_bitvec String Types

@@ -1,0 +1,1 @@
+lib/dfg/operand.mli: Format Hls_bitvec Types

@@ -1,0 +1,1 @@
+lib/dfg/types.ml: Hls_bitvec

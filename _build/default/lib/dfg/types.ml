@@ -1,0 +1,132 @@
+(** Core types of the dataflow-graph IR.
+
+    A behavioural specification is a DAG of operation nodes over primary
+    input ports.  Nodes are identified by dense integer ids and, by
+    construction (see {!Builder}), an operand may only reference a node with
+    a *smaller* id — so every graph is acyclic and node order is a
+    topological order.
+
+    Width conventions:
+    - every node has an explicit result width [width];
+    - an operand selects a bit range [lo..hi] of its source and is extended
+      (zero or sign, per [ext]) to whatever width the consuming operation
+      computes at;
+    - an [Add] node computes the full sum of its (extended) operands plus
+      the optional carry-in, truncated to [width].  Declaring [width] one
+      bit wider than the operands keeps the carry-out as the top result bit
+      — exactly the ["0" & a) + ("0" & b)] idiom of the paper's transformed
+      VHDL (Fig. 2a). *)
+
+type node_id = int
+
+type signedness = Unsigned | Signed
+
+(** How an operand narrower than the computation width is extended. *)
+type ext = Zext | Sext
+
+type source =
+  | Input of string  (** primary input port *)
+  | Node of node_id  (** result of an earlier node *)
+  | Const of Hls_bitvec.t
+
+type operand = {
+  src : source;
+  hi : int;  (** most significant selected bit of the source *)
+  lo : int;  (** least significant selected bit of the source *)
+  ext : ext;
+}
+
+(** Operation kinds.
+
+    The first group ([Add] .. [Min]) may appear in behavioural
+    specifications.  The second group is the glue logic produced by
+    operative-kernel extraction; only [Add] contributes to the chained-
+    addition delay metric (§3.2 of the paper measures paths in 1-bit
+    additions and ignores non-additive logic). *)
+type kind =
+  | Add  (** operands [a; b] or [a; b; cin] with [cin] 1 bit *)
+  | Sub  (** [a; b] — a - b truncated to [width] *)
+  | Mul  (** [a; b] — product truncated to [width] *)
+  | Neg  (** [a] — two's complement negation *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Neq  (** comparisons: width-1 results, signedness-aware *)
+  | Max
+  | Min
+  | Not
+  | And
+  | Or
+  | Xor  (** bitwise glue *)
+  | Gate  (** [a; bit] — a AND replicate(bit): a partial-product row *)
+  | Mux  (** [cond; if_true; if_false] *)
+  | Concat  (** operands listed least-significant first *)
+  | Reduce_or  (** [a] — 1 when any bit of [a] is set *)
+  | Wire  (** [a] — identity / explicit slice materialization *)
+
+(** Provenance of a node with respect to the *original* specification.
+    Fragmentation records which original operation a fragment computes and
+    which result bits; dedicated-FU allocation and fragment merging key on
+    this. *)
+type origin = {
+  orig_op : string;  (** name of the original operation *)
+  orig_lo : int;  (** lowest original result bit this node produces *)
+  orig_hi : int;  (** highest original result bit this node produces *)
+}
+
+type node = {
+  id : node_id;
+  kind : kind;
+  signedness : signedness;
+  width : int;  (** result width in bits *)
+  operands : operand list;
+  label : string;  (** variable-name hint used by emitters; may be "" *)
+  origin : origin option;
+}
+
+type port = { port_name : string; port_width : int; port_signed : signedness }
+
+let kind_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Neg -> "neg"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Eq -> "eq"
+  | Neq -> "neq"
+  | Max -> "max"
+  | Min -> "min"
+  | Not -> "not"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Gate -> "gate"
+  | Mux -> "mux"
+  | Concat -> "concat"
+  | Reduce_or -> "reduce_or"
+  | Wire -> "wire"
+
+(** Operation kinds allowed in a behavioural (pre-kernel) specification. *)
+let is_behavioural = function
+  | Add | Sub | Mul | Neg | Lt | Le | Gt | Ge | Eq | Neq | Max | Min -> true
+  | Not | And | Or | Xor | Gate | Mux | Concat | Reduce_or | Wire -> false
+
+(** Kinds carrying an additive kernel: they are rewritten into additions by
+    {!Hls_kernel}. *)
+let is_additive = function
+  | Add | Sub | Mul | Neg | Lt | Le | Gt | Ge | Eq | Neq | Max | Min -> true
+  | _ -> false
+
+(** Glue logic: zero cost in the chained-1-bit-addition delay metric. *)
+let is_glue = function
+  | Not | And | Or | Xor | Gate | Mux | Concat | Reduce_or | Wire -> true
+  | _ -> false
+
+let signedness_to_string = function
+  | Unsigned -> "unsigned"
+  | Signed -> "signed"

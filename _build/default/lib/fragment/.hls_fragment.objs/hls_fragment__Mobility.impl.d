@@ -1,0 +1,1 @@
+lib/fragment/mobility.ml: Array Format Hls_dfg Hls_timing Hls_util List Printf

@@ -1,0 +1,1 @@
+lib/fragment/mobility.mli: Format Hls_dfg

@@ -1,0 +1,1 @@
+lib/fragment/transform.ml: Array Hashtbl Hls_bitvec Hls_dfg List Mobility Option Printf

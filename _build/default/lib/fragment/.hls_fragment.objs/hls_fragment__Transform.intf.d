@@ -1,0 +1,1 @@
+lib/fragment/transform.mli: Hls_dfg Mobility

@@ -1,0 +1,24 @@
+(** Specification transformation: rebuild a kernel-form graph with every
+    multi-fragment addition replaced by a chain of smaller additions linked
+    through named carry bits (the paper's Fig. 2a idiom), reassembled by
+    pure wiring so the graph's function is unchanged. *)
+
+type t = {
+  graph : Hls_dfg.Graph.t;
+  plan : Mobility.plan;
+  source : Hls_dfg.Graph.t;
+      (** the kernel-form graph the transform started from *)
+  windows : (int * int) array;
+      (** per transformed-node id: (ASAP, ALAP) cycle window *)
+}
+
+(** Apply a fragmentation plan. *)
+val apply : Hls_dfg.Graph.t -> Mobility.plan -> t
+
+(** Plan + apply in one step. *)
+val run :
+  ?n_bits:int -> ?policy:Mobility.policy -> Hls_dfg.Graph.t -> latency:int ->
+  t
+
+(** Number of additive operations in the transformed specification. *)
+val op_count : t -> int

@@ -1,0 +1,1 @@
+lib/kernel/extract.ml: Array Hashtbl Hls_dfg List Lower

@@ -1,0 +1,1 @@
+lib/kernel/extract.mli: Hls_dfg

@@ -1,0 +1,1 @@
+lib/kernel/lower.ml: Hashtbl Hls_bitvec Hls_dfg Hls_util List Printf

@@ -1,0 +1,1 @@
+lib/kernel/lower.mli: Hashtbl Hls_dfg

@@ -1,0 +1,20 @@
+(** Operative-kernel extraction driver (paper §3.1).
+
+    Rewrites every behavioural operation into unsigned additions plus glue
+    logic — the *additive kernel form* that both the cycle estimation
+    (§3.2) and the fragmentation (§3.3) expect — and removes logic that
+    reaches no output. *)
+
+(** A graph is in additive kernel form when no behavioural kind other than
+    plain addition remains. *)
+val is_kernel_form : Hls_dfg.Graph.t -> bool
+
+(** Lower every behavioural operation; the result satisfies
+    {!is_kernel_form}. *)
+val extract : Hls_dfg.Graph.t -> Hls_dfg.Graph.t
+
+(** Remove nodes whose value reaches no output port. *)
+val eliminate_dead : Hls_dfg.Graph.t -> Hls_dfg.Graph.t
+
+(** Full phase 1: lower, then drop dead logic. *)
+val run : Hls_dfg.Graph.t -> Hls_dfg.Graph.t

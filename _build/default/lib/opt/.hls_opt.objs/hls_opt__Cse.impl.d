@@ -1,0 +1,1 @@
+lib/opt/cse.ml: Hashtbl Hls_dfg List Rewrite

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array Hashtbl Hls_dfg List

@@ -1,0 +1,1 @@
+lib/opt/fold.ml: Hls_bitvec Hls_dfg Hls_sim List Option Rewrite

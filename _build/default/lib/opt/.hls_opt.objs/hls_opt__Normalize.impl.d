@@ -1,0 +1,1 @@
+lib/opt/normalize.ml: Cse Dce Fold Hls_dfg

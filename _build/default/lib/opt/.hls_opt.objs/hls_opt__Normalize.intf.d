@@ -1,0 +1,1 @@
+lib/opt/normalize.mli: Hls_dfg

@@ -1,0 +1,1 @@
+lib/opt/rewrite.ml: Hashtbl Hls_dfg List

@@ -1,0 +1,39 @@
+(** Common-subexpression elimination: structurally identical nodes (same
+    kind, signedness, width and remapped operands) are computed once.
+    Labels and origins of the surviving node win; duplicates simply alias
+    it. *)
+
+open Hls_dfg.Types
+module B = Hls_dfg.Builder
+
+(* A structural key for a node over the *new* graph's operands. *)
+type key = {
+  k_kind : kind;
+  k_sign : signedness;
+  k_width : int;
+  k_operands : (source * int * int * ext) list;
+}
+
+let key_of (n : node) operands =
+  {
+    k_kind = n.kind;
+    k_sign = n.signedness;
+    k_width = n.width;
+    k_operands = List.map (fun o -> (o.src, o.hi, o.lo, o.ext)) operands;
+  }
+
+let run g =
+  let table : (key, operand) Hashtbl.t = Hashtbl.create 64 in
+  Rewrite.run g ~f:(fun ctx n ->
+      let operands = List.map (Rewrite.map_operand ctx) n.operands in
+      let key = key_of n operands in
+      match Hashtbl.find_opt table key with
+      | Some existing -> existing
+      | None ->
+          let o =
+            B.node ctx.Rewrite.b n.kind ~width:n.width
+              ~signedness:n.signedness ~label:n.label ?origin:n.origin
+              operands
+          in
+          Hashtbl.replace table key o;
+          o)

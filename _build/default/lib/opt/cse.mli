@@ -1,0 +1,4 @@
+(** Common-subexpression elimination: structurally identical nodes (same
+    kind, signedness, width and remapped operands) are computed once. *)
+
+val run : Hls_dfg.Graph.t -> Hls_dfg.Graph.t

@@ -1,0 +1,47 @@
+(** Dead-code elimination: drop nodes whose value never reaches an output
+    port. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+module B = Hls_dfg.Builder
+
+let run (g : Graph.t) =
+  let n = Graph.node_count g in
+  let live = Array.make n false in
+  let rec mark (o : operand) =
+    match o.src with
+    | Input _ | Const _ -> ()
+    | Node id ->
+        if not live.(id) then begin
+          live.(id) <- true;
+          List.iter mark (Graph.node g id).operands
+        end
+  in
+  List.iter (fun (_, o) -> mark o) g.Graph.outputs;
+  let b = B.create ~name:(Graph.name g) in
+  List.iter
+    (fun p ->
+      ignore (B.input b p.port_name ~width:p.port_width ~signed:p.port_signed))
+    g.Graph.inputs;
+  let remap = Hashtbl.create n in
+  let map_operand (o : operand) =
+    match o.src with
+    | Input _ | Const _ -> o
+    | Node id -> { o with src = Node (Hashtbl.find remap id) }
+  in
+  Graph.iter_nodes
+    (fun nd ->
+      if live.(nd.id) then begin
+        let o =
+          B.node b nd.kind ~width:nd.width ~signedness:nd.signedness
+            ~label:nd.label ?origin:nd.origin
+            (List.map map_operand nd.operands)
+        in
+        Hashtbl.replace remap nd.id (B.node_id_of o)
+      end)
+    g;
+  List.iter (fun (name, o) -> B.output b name (map_operand o)) g.Graph.outputs;
+  B.finish b
+
+(** Nodes removed by a DCE pass, for reporting. *)
+let dead_count g = Graph.node_count g - Graph.node_count (run g)

@@ -1,0 +1,7 @@
+(** Dead-code elimination: drop nodes whose value never reaches an output
+    port. *)
+
+val run : Hls_dfg.Graph.t -> Hls_dfg.Graph.t
+
+(** Nodes a DCE pass would remove, for reporting. *)
+val dead_count : Hls_dfg.Graph.t -> int

@@ -1,0 +1,5 @@
+(** Constant folding and algebraic simplification: all-constant nodes are
+    evaluated with the reference simulator's own semantics; x+0, x-0, x·1,
+    x·0, x&0, x|0 and constant-select muxes collapse. *)
+
+val run : Hls_dfg.Graph.t -> Hls_dfg.Graph.t

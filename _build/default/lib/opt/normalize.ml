@@ -1,0 +1,21 @@
+(** The standard presynthesis cleanup pipeline: fold constants, share
+    common subexpressions, drop dead logic — iterated to a fixed point
+    (folding can expose sharing, sharing can expose dead nodes).  Sound by
+    construction: every constituent pass is semantics-preserving, and the
+    test-suite re-checks the composition by simulation. *)
+
+module Graph = Hls_dfg.Graph
+
+let one_round g = Dce.run (Cse.run (Fold.run g))
+
+(** Iterate the cleanup until the node count stops shrinking (at most
+    [max_rounds], default 4 — real graphs settle in one or two). *)
+let run ?(max_rounds = 4) g =
+  let rec go g rounds =
+    if rounds >= max_rounds then g
+    else
+      let g' = one_round g in
+      if Graph.node_count g' >= Graph.node_count g then g'
+      else go g' (rounds + 1)
+  in
+  go g 0

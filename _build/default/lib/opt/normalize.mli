@@ -1,0 +1,6 @@
+(** The standard presynthesis cleanup pipeline — fold, CSE, DCE — iterated
+    to a fixed point.  Semantics-preserving by construction and re-checked
+    by simulation in the test-suite. *)
+
+val one_round : Hls_dfg.Graph.t -> Hls_dfg.Graph.t
+val run : ?max_rounds:int -> Hls_dfg.Graph.t -> Hls_dfg.Graph.t

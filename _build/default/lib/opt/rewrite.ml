@@ -1,0 +1,46 @@
+(** Shared machinery for graph-to-graph rewriting passes: walk the nodes in
+    topological order, let the pass map each node to an operand over the
+    new graph (either a fresh node or a replacement), and rebuild the port
+    bindings. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+module B = Hls_dfg.Builder
+
+type ctx = {
+  b : B.t;
+  map : (node_id, operand) Hashtbl.t;
+}
+
+let map_operand ctx (o : operand) =
+  match o.src with
+  | Input _ | Const _ -> o
+  | Node id ->
+      let base = Hashtbl.find ctx.map id in
+      { base with hi = base.lo + o.hi; lo = base.lo + o.lo; ext = o.ext }
+
+(** Rebuild [g], computing each node's replacement with [f] (which receives
+    the rewriting context and the node with operands NOT yet remapped; use
+    {!map_operand}).  The result is validated. *)
+let run g ~f =
+  let b = B.create ~name:(Graph.name g) in
+  List.iter
+    (fun p ->
+      ignore (B.input b p.port_name ~width:p.port_width ~signed:p.port_signed))
+    g.Graph.inputs;
+  let ctx = { b; map = Hashtbl.create 64 } in
+  Graph.iter_nodes
+    (fun n ->
+      let replacement = f ctx n in
+      Hashtbl.replace ctx.map n.id replacement)
+    g;
+  List.iter
+    (fun (name, o) -> B.output b name (map_operand ctx o))
+    g.Graph.outputs;
+  B.finish b
+
+(** The identity rewrite of one node: copy it with remapped operands. *)
+let copy ctx (n : node) =
+  B.node ctx.b n.kind ~width:n.width ~signedness:n.signedness ~label:n.label
+    ?origin:n.origin
+    (List.map (map_operand ctx) n.operands)

@@ -1,0 +1,1 @@
+lib/rtl/control.ml: Array Format Hls_alloc Hls_dfg Hls_sched Hls_util List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/control.mli: Format Hls_dfg Hls_sched

@@ -1,0 +1,1 @@
+lib/rtl/cycle_sim.ml: Array Format Hls_alloc Hls_bitvec Hls_dfg Hls_sched Hls_sim Hls_util List Option

@@ -1,0 +1,1 @@
+lib/rtl/cycle_sim.mli: Hls_bitvec Hls_sched

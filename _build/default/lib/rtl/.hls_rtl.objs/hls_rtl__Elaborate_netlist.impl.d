@@ -1,0 +1,1 @@
+lib/rtl/elaborate_netlist.ml: Array Format Hashtbl Hls_alloc Hls_bitvec Hls_dfg Hls_sched Hls_util List Netlist Option

@@ -1,0 +1,1 @@
+lib/rtl/elaborate_netlist.mli: Hls_bitvec Hls_sched Netlist

@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Array Buffer Char Hashtbl Hls_bitvec Hls_techlib List Option Printf String

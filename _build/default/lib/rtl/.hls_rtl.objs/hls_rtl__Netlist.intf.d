@@ -1,0 +1,1 @@
+lib/rtl/netlist.mli: Hls_bitvec Hls_techlib

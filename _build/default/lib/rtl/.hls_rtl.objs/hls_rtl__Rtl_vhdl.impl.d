@@ -1,0 +1,1 @@
+lib/rtl/rtl_vhdl.ml: Array Buffer Control Hls_alloc Hls_bitvec Hls_dfg Hls_sched Hls_speclang Hls_timing Hls_util List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/rtl_vhdl.mli: Hls_sched

@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Buffer Hashtbl Hls_bitvec Hls_util List Netlist Option Printf String

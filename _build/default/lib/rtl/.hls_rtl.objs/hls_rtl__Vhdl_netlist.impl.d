@@ -1,0 +1,1 @@
+lib/rtl/vhdl_netlist.ml: Buffer Hashtbl List Netlist Option Printf

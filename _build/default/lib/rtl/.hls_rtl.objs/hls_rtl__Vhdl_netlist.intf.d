@@ -1,0 +1,1 @@
+lib/rtl/vhdl_netlist.mli: Netlist

@@ -1,0 +1,90 @@
+(** Controller extraction: per-cycle control words for a fragment
+    schedule.
+
+    The controller of the synthesized implementation is a Moore FSM with
+    one state per cycle; in each state it must (a) activate the additions
+    of that cycle — i.e. select the right operand slices at the adder
+    ports — and (b) enable the registers capturing the bits that cross the
+    following cycle boundary.  This module derives that table; the RTL
+    emitter prints it and the area model's signal count is checked against
+    it in the tests. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+module Frag_sched = Hls_sched.Frag_sched
+module Bind_frag = Hls_alloc.Bind_frag
+
+type activation = {
+  act_node : node_id;  (** the Add node executing *)
+  act_label : string;
+}
+
+type capture = {
+  cap_node : node_id;
+  cap_lo : int;
+  cap_width : int;  (** bits [cap_lo .. cap_lo+cap_width-1] are latched *)
+}
+
+type state = {
+  st_cycle : int;  (** 1-based *)
+  st_activations : activation list;
+  st_captures : capture list;
+}
+
+type t = { states : state list; latency : int }
+
+let extract (s : Frag_sched.t) =
+  let g = Frag_sched.graph s in
+  let runs = Bind_frag.stored_runs s in
+  let states =
+    List.map
+      (fun cycle ->
+        let st_activations =
+          Graph.fold_nodes
+            (fun acc (n : node) ->
+              if n.kind = Add && s.Frag_sched.cycle_of.(n.id) = cycle then
+                { act_node = n.id; act_label = n.label } :: acc
+              else acc)
+            [] g
+          |> List.rev
+        in
+        let st_captures =
+          List.filter_map
+            (fun (r : Bind_frag.stored_run) ->
+              (* A run is captured at the end of the cycle producing it. *)
+              if r.Bind_frag.sr_from = cycle + 1 then
+                Some
+                  {
+                    cap_node = r.Bind_frag.sr_node;
+                    cap_lo = r.Bind_frag.sr_lo;
+                    cap_width = r.Bind_frag.sr_width;
+                  }
+              else None)
+            runs
+        in
+        { st_cycle = cycle; st_activations; st_captures })
+      (Hls_util.List_ext.range 1 (s.Frag_sched.latency + 1))
+  in
+  { states; latency = s.Frag_sched.latency }
+
+(** Total bits latched over the whole schedule. *)
+let total_captured_bits t =
+  Hls_util.List_ext.sum_by
+    (fun st -> Hls_util.List_ext.sum_by (fun c -> c.cap_width) st.st_captures)
+    t.states
+
+let pp ppf t =
+  List.iter
+    (fun st ->
+      Format.fprintf ppf "@[<v>state %d:@ " st.st_cycle;
+      Format.fprintf ppf "  run: %s@ "
+        (String.concat ", "
+           (List.map (fun a -> a.act_label) st.st_activations));
+      Format.fprintf ppf "  capture: %s@ "
+        (String.concat ", "
+           (List.map
+              (fun c ->
+                Printf.sprintf "n%d[%d+%d]" c.cap_node c.cap_lo c.cap_width)
+              st.st_captures));
+      Format.fprintf ppf "@]")
+    t.states

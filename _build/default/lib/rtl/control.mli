@@ -1,0 +1,28 @@
+(** Controller extraction: per-cycle control words of a fragment schedule —
+    which additions are active in each FSM state, and which result-bit runs
+    are captured by registers at the end of each state. *)
+
+open Hls_dfg.Types
+
+type activation = { act_node : node_id; act_label : string }
+
+type capture = {
+  cap_node : node_id;
+  cap_lo : int;
+  cap_width : int;  (** bits [cap_lo .. cap_lo+cap_width-1] are latched *)
+}
+
+type state = {
+  st_cycle : int;  (** 1-based *)
+  st_activations : activation list;
+  st_captures : capture list;
+}
+
+type t = { states : state list; latency : int }
+
+val extract : Hls_sched.Frag_sched.t -> t
+
+(** Total bits latched over the whole schedule. *)
+val total_captured_bits : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** Cycle-accurate simulation of scheduled designs.
+
+    {!run_fragment} executes a fragment schedule cycle by cycle the way the
+    synthesized RTL would: each addition computes in its assigned cycle
+    with a real carry ripple, values read from earlier cycles must have
+    been captured by a register the allocator actually placed, and values
+    read in the same cycle come straight off the combinational chain.
+    Matching the behavioural simulation under this discipline validates
+    the schedule *and* the storage allocation end-to-end. *)
+
+exception Violation of string
+
+type frag_run = {
+  fr_outputs : (string * Hls_bitvec.t) list;
+  fr_cross_cycle_reads : int;  (** reads satisfied by registers *)
+  fr_chained_reads : int;  (** reads satisfied combinationally in-cycle *)
+}
+
+(** Raises {!Violation} on a read-before-write or an unregistered
+    cross-cycle read. *)
+val run_fragment :
+  Hls_sched.Frag_sched.t -> inputs:(string * Hls_bitvec.t) list -> frag_run
+
+type op_run = { or_outputs : (string * Hls_bitvec.t) list }
+
+(** Operation-atomic cycle simulation of a conventional schedule. *)
+val run_op_schedule :
+  Hls_sched.List_sched.t -> inputs:(string * Hls_bitvec.t) list -> op_run

@@ -1,0 +1,15 @@
+(** Elaboration of a scheduled, bound design into a gate-level netlist: a
+    one-hot FSM ring, one physical ripple-adder chain per packed FU with
+    state-steered operand/carry muxes, capture flip-flops for the stored
+    bit runs, glue cells, and output-port capture.  Running the result for
+    λ clock cycles against the behavioural simulator proves the schedule
+    works as steered, shared hardware. *)
+
+exception Error of string
+
+val elaborate : Hls_sched.Frag_sched.t -> Netlist.t
+
+(** Elaborate and run one sample through the gate-level netlist. *)
+val run :
+  Hls_sched.Frag_sched.t -> inputs:(string * Hls_bitvec.t) list ->
+  (string * Hls_bitvec.t) list

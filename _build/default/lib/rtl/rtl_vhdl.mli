@@ -1,0 +1,7 @@
+(** RTL VHDL emission for a scheduled, bound design: the classic
+    two-process FSM-plus-datapath style with a state register cycling
+    through the λ schedule states, a clocked capture process per stored bit
+    run, and per-state combinational additions — mirroring exactly what the
+    area model counts. *)
+
+val emit : Hls_sched.Frag_sched.t -> string

@@ -1,0 +1,15 @@
+(** Structural Verilog emission of a gate-level netlist, plus a
+    self-checking testbench generator with golden vectors from the
+    behavioural simulator — the standard handoff artifacts for an external
+    toolchain. *)
+
+val emit : ?name:string -> Netlist.t -> string
+
+(** [testbench nl ~cycles ~vectors]: each vector is (input valuation,
+    expected outputs); the bench drives the inputs, waits [cycles] clock
+    edges and compares. *)
+val testbench :
+  ?name:string -> Netlist.t -> cycles:int ->
+  vectors:
+    ((string * Hls_bitvec.t) list * (string * Hls_bitvec.t) list) list ->
+  string

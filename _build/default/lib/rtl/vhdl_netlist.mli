@@ -1,0 +1,5 @@
+(** Structural VHDL emission of a gate-level netlist — the counterpart of
+    {!Verilog} for VHDL flows: concurrent assignments for combinational
+    cells, one clocked process per flip-flop. *)
+
+val emit : ?name:string -> Netlist.t -> string

@@ -1,0 +1,1 @@
+lib/sched/blc_sched.ml: Array Format Hls_dfg Hls_timing List Printf String

@@ -1,0 +1,1 @@
+lib/sched/blc_sched.mli: Hls_dfg

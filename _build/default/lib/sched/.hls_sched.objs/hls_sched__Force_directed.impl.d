@@ -1,0 +1,1 @@
+lib/sched/force_directed.ml: Array Hls_dfg Hls_util List List_sched Op_delay Printf

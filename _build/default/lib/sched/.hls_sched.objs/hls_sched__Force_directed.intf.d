@@ -1,0 +1,1 @@
+lib/sched/force_directed.mli: Hls_dfg List_sched

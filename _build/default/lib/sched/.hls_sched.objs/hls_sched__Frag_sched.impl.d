@@ -1,0 +1,1 @@
+lib/sched/frag_sched.ml: Array Format Hashtbl Hls_dfg Hls_fragment Hls_timing Hls_util List Option Printf String

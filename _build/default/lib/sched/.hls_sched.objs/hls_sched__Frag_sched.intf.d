@@ -1,0 +1,1 @@
+lib/sched/frag_sched.mli: Hls_dfg Hls_fragment

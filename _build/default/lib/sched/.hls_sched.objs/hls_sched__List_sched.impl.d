@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Array Format Hls_dfg Hls_util List Op_delay Printf String

@@ -1,0 +1,1 @@
+lib/sched/multicycle_sched.mli: Hls_dfg

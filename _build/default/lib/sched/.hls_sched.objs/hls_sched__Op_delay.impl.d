@@ -1,0 +1,1 @@
+lib/sched/op_delay.ml: Array Hls_dfg Hls_techlib Hls_util List

@@ -1,0 +1,1 @@
+lib/sched/op_delay.mli: Hls_dfg Hls_techlib

@@ -1,0 +1,1 @@
+lib/sched/pipeline_sched.ml: Array Frag_sched Hls_dfg Hls_timing Hls_util List List_sched

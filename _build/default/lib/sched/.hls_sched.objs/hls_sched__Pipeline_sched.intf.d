@@ -1,0 +1,1 @@
+lib/sched/pipeline_sched.mli: Frag_sched List_sched

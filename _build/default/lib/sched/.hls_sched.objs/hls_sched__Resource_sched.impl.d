@@ -1,0 +1,1 @@
+lib/sched/resource_sched.ml: Array Frag_sched Hls_dfg Hls_fragment Hls_timing Hls_util List Printf

@@ -1,0 +1,1 @@
+lib/sched/resource_sched.mli: Frag_sched Hls_dfg

@@ -1,0 +1,171 @@
+(** Bit-level chaining (BLC) baseline scheduler [Park & Choi, ref. 3 of the
+    paper].
+
+    Operations stay atomic — every bit of an operation is computed in the
+    operation's single assigned cycle — but *within* a cycle the carry
+    ripple of data-dependent operations overlaps at the bit level (bit i of
+    a consumer starts as soon as bit i of its producer settles), so a chain
+    of three 16-bit additions costs 18 δ rather than 48 δ (Fig. 1 d/e).
+
+    [schedule] finds the minimal per-cycle budget (in δ) that fits the
+    requested latency under ASAP placement.  This is the strongest
+    conventional competitor the paper compares against: fastest cycles, but
+    chained operations cannot share functional units, so area is maximal
+    (Table I, column "Fig. 1 d"). *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+
+type t = {
+  graph : Graph.t;
+  latency : int;
+  cycle_delta : int;
+  cycle_of : int array;
+  bit_slot : int array array;
+      (** per node, per bit: settle slot (1-based δ within its cycle; 0 =
+          stable at cycle start) *)
+}
+
+exception Infeasible of string
+
+(* ASAP placement under per-cycle budget [c]: each node lands in the
+   earliest cycle where all operand bits are available and its own ripple
+   fits. *)
+let asap graph ~budget:c =
+  let n_nodes = Graph.node_count graph in
+  let cycle_of = Array.make n_nodes 1 in
+  let bit_slot = Array.make n_nodes [||] in
+  let source_time = function
+    | Input _ | Const _ -> fun _ -> (0, 0)
+    | Node id -> fun bit -> (cycle_of.(id), bit_slot.(id).(bit))
+  in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      (* The node's cycle must not precede any producer's cycle. *)
+      let min_cycle =
+        List.fold_left
+          (fun acc (o : operand) ->
+            match o.src with
+            | Input _ | Const _ -> acc
+            | Node id -> max acc cycle_of.(id))
+          1 n.operands
+      in
+      (* Try cycles from min_cycle on; in a later cycle all producers are
+         registered, so two attempts suffice. *)
+      let try_cycle cycle =
+        let slots = Array.make n.width 0 in
+        let ok = ref true in
+        for pos = 0 to n.width - 1 do
+          let cost, deps = Hls_timing.Bitdep.bit_deps graph n pos in
+          let ready =
+            List.fold_left
+              (fun acc d ->
+                let dc, ds =
+                  match d with
+                  | Hls_timing.Bitdep.Self j -> (cycle, slots.(j))
+                  | Hls_timing.Bitdep.Bit (src, i) -> source_time src i
+                in
+                if dc > cycle then begin
+                  ok := false;
+                  acc
+                end
+                else if dc = cycle then max acc ds
+                else acc)
+              0 deps
+          in
+          slots.(pos) <- ready + cost;
+          if slots.(pos) > c then ok := false
+        done;
+        if !ok then Some slots else None
+      in
+      let rec settle cycle =
+        match try_cycle cycle with
+        | Some slots ->
+            cycle_of.(n.id) <- cycle;
+            bit_slot.(n.id) <- slots
+        | None ->
+            if cycle > min_cycle then
+              (* All producers registered and the op still overflows: the
+                 budget is below the op's own ripple. *)
+              raise
+                (Infeasible
+                   (Printf.sprintf "node %d does not fit a %d-delta cycle"
+                      n.id c))
+            else settle (cycle + 1)
+      in
+      settle min_cycle)
+    graph;
+  (cycle_of, bit_slot)
+
+let latency_of cycle_of = Array.fold_left max 1 cycle_of
+
+(** Minimal per-cycle budget scheduling in [latency] cycles. *)
+let min_budget graph ~latency =
+  let critical = Hls_timing.Critical_path.critical_delta graph in
+  let lo = ref 1 and hi = ref (max 1 critical) in
+  let feasible c =
+    match asap graph ~budget:c with
+    | cycle_of, _ -> latency_of cycle_of <= latency
+    | exception Infeasible _ -> false
+  in
+  if not (feasible !hi) then
+    raise (Infeasible "graph cannot be scheduled at its critical path");
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if feasible mid then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let schedule ?budget graph ~latency =
+  if latency < 1 then invalid_arg "Blc_sched.schedule: latency must be >= 1";
+  let c =
+    match budget with
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "Blc_sched.schedule: budget must be >= 1"
+    | None -> min_budget graph ~latency
+  in
+  let cycle_of, bit_slot = asap graph ~budget:c in
+  if latency_of cycle_of > latency then
+    raise
+      (Infeasible
+         (Printf.sprintf "budget %d needs %d cycles, latency is %d" c
+            (latency_of cycle_of) latency));
+  { graph; latency; cycle_delta = c; cycle_of; bit_slot }
+
+(** Longest used chain over all cycles. *)
+let used_delta t =
+  Array.fold_left
+    (fun acc slots -> Array.fold_left max acc slots)
+    0 t.bit_slot
+
+(** Independent checker: every node's bits settle within its cycle's
+    budget, in its single assigned cycle, after all their dependencies. *)
+let verify t =
+  let errs = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      let cy = t.cycle_of.(n.id) in
+      if cy < 1 || cy > t.latency then fail "node %d outside latency" n.id;
+      Array.iteri
+        (fun pos slot ->
+          if slot > t.cycle_delta then
+            fail "node %d bit %d overflows the budget" n.id pos;
+          let cost, deps = Hls_timing.Bitdep.bit_deps t.graph n pos in
+          List.iter
+            (fun d ->
+              let dc, ds =
+                match d with
+                | Hls_timing.Bitdep.Self j -> (cy, t.bit_slot.(n.id).(j))
+                | Hls_timing.Bitdep.Bit (Input _, _)
+                | Hls_timing.Bitdep.Bit (Const _, _) -> (0, 0)
+                | Hls_timing.Bitdep.Bit (Node id, i) ->
+                    (t.cycle_of.(id), t.bit_slot.(id).(i))
+              in
+              if dc > cy then fail "node %d reads a later cycle" n.id
+              else if dc = cy && ds > slot - cost then
+                fail "node %d bit %d chains too early" n.id pos)
+            deps)
+        t.bit_slot.(n.id))
+    t.graph;
+  match !errs with [] -> Ok () | e -> Error (String.concat "; " e)

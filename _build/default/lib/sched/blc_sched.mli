@@ -1,0 +1,27 @@
+(** Bit-level chaining (BLC) baseline scheduler (the paper's reference
+    [3]): operations stay atomic but overlap at the bit level within a
+    cycle, so chained additions cost one extra δ each instead of their full
+    width. *)
+
+type t = {
+  graph : Hls_dfg.Graph.t;
+  latency : int;
+  cycle_delta : int;
+  cycle_of : int array;
+  bit_slot : int array array;
+      (** per node, per bit: settle slot (1-based δ within its cycle) *)
+}
+
+exception Infeasible of string
+
+(** Minimal per-cycle budget (δ) scheduling in [latency] cycles. *)
+val min_budget : Hls_dfg.Graph.t -> latency:int -> int
+
+(** ASAP schedule at the minimal (or forced) budget. *)
+val schedule : ?budget:int -> Hls_dfg.Graph.t -> latency:int -> t
+
+(** Longest used chain over all cycles. *)
+val used_delta : t -> int
+
+(** Independent checker of a BLC schedule. *)
+val verify : t -> (unit, string) result

@@ -1,0 +1,176 @@
+(** Force-directed scheduling (Paulin & Knight), at operation granularity.
+
+    A classic alternative to the mobility-list balancing of {!List_sched}:
+    operations are placed one at a time, always choosing the
+    (operation, cycle) pair with the least *force* — the increase in the
+    expected per-cycle resource distribution caused by committing the
+    operation to that cycle.  Distribution graphs are kept per FU class
+    (adder bits / multiplier cells / comparator bits), so wide operations
+    weigh more, like the allocator that consumes the schedule.
+
+    The result type is {!List_sched.t}, so verification, binding and
+    reporting reuse the conventional pipeline unchanged. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+
+exception Infeasible = List_sched.Infeasible
+
+type frame = { fr_asap : int; fr_alap : int }
+
+(* Per-class weight an operation adds to a cycle's distribution. *)
+let weight (n : node) =
+  match n.kind with
+  | Add | Sub | Neg | Max | Min -> float_of_int n.width
+  | Mul -> float_of_int (n.width * 2)
+  | Lt | Le | Gt | Ge | Eq | Neq -> float_of_int n.width
+  | Not | And | Or | Xor | Gate | Mux | Concat | Reduce_or | Wire -> 0.
+
+let class_index (n : node) =
+  match n.kind with
+  | Add | Sub | Neg | Max | Min -> 0
+  | Mul -> 1
+  | Lt | Le | Gt | Ge | Eq | Neq -> 2
+  | Not | And | Or | Xor | Gate | Mux | Concat | Reduce_or | Wire -> 3
+
+(* Cycle-granular time frames from the chaining-aware ASAP/ALAP of
+   List_sched (conservative: an op's frame is every cycle in which it
+   could finish). *)
+let frames ?(delay = Op_delay.delay) graph ~latency ~cycle_delta =
+  let asap = List_sched.asap_finish ~delay graph ~cycle_delta in
+  let alap = List_sched.alap_finish ~delay graph ~cycle_delta ~latency in
+  Array.init (Graph.node_count graph) (fun id ->
+      {
+        fr_asap = max 1 (Hls_util.Int_math.ceil_div asap.(id) cycle_delta);
+        fr_alap = max 1 (Hls_util.Int_math.ceil_div alap.(id) cycle_delta);
+      })
+
+(** Schedule with force-directed placement at the minimal feasible cycle
+    (or a caller-forced one).  Falls back to the frame bounds of the
+    chaining analysis, so the result respects chaining feasibility via the
+    final {!List_sched.place}-style commitment. *)
+let schedule ?cycle_delta ?(delay = Op_delay.delay) graph ~latency =
+  if latency < 1 then
+    invalid_arg "Force_directed.schedule: latency must be >= 1";
+  let c =
+    match cycle_delta with
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "Force_directed.schedule: cycle_delta must be >= 1"
+    | None -> List_sched.min_cycle_delta ~delay graph ~latency
+  in
+  let fr = frames ~delay graph ~latency ~cycle_delta:c in
+  let n_nodes = Graph.node_count graph in
+  (* Distribution graphs: expected weight per (class, cycle). *)
+  let dist = Array.make_matrix 4 latency 0. in
+  let add_probability id sign =
+    let n = Graph.node graph id in
+    let f = fr.(id) in
+    let span = f.fr_alap - f.fr_asap + 1 in
+    let p = weight n *. float_of_int sign /. float_of_int (max 1 span) in
+    for cycle = f.fr_asap to f.fr_alap do
+      dist.(class_index n).(cycle - 1) <-
+        dist.(class_index n).(cycle - 1) +. p
+    done
+  in
+  Graph.iter_nodes (fun n -> add_probability n.id 1) graph;
+  let committed = Array.make n_nodes 0 in
+  (* Force of committing op [id] to [cycle]: the self-force against the
+     current distribution (successor/predecessor forces are approximated by
+     re-deriving frames after each commitment). *)
+  let self_force id cycle =
+    let n = Graph.node graph id in
+    let f = fr.(id) in
+    let span = float_of_int (f.fr_alap - f.fr_asap + 1) in
+    let avg =
+      let sum = ref 0. in
+      for k = f.fr_asap to f.fr_alap do
+        sum := !sum +. dist.(class_index n).(k - 1)
+      done;
+      !sum /. span
+    in
+    dist.(class_index n).(cycle - 1) -. avg
+  in
+  (* Commit operations in increasing mobility, then lowest force. *)
+  let order =
+    List.sort
+      (fun a b ->
+        let ma = fr.(a).fr_alap - fr.(a).fr_asap
+        and mb = fr.(b).fr_alap - fr.(b).fr_asap in
+        compare (ma, a) (mb, b))
+      (Hls_util.List_ext.range 0 n_nodes)
+  in
+  List.iter
+    (fun id ->
+      let f = fr.(id) in
+      let best = ref None in
+      for cycle = f.fr_asap to f.fr_alap do
+        let force = self_force id cycle in
+        match !best with
+        | Some (_, bf) when bf <= force -> ()
+        | _ -> best := Some (cycle, force)
+      done;
+      match !best with
+      | None -> raise (Infeasible (Printf.sprintf "empty frame for node %d" id))
+      | Some (cycle, _) ->
+          committed.(id) <- cycle;
+          (* Narrow the frame to the commitment and update the
+             distribution. *)
+          add_probability id (-1);
+          fr.(id) <- { fr_asap = cycle; fr_alap = cycle };
+          add_probability id 1)
+    order;
+  (* Final chaining-feasible placement honouring the committed cycles as
+     preferences: walk in topological order; if the committed cycle is
+     chaining-infeasible, take the earliest feasible one at or after it. *)
+  let finish = Array.make n_nodes 0 in
+  let cycle_of = Array.make n_nodes 1 in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      let d = delay n in
+      let ready =
+        List.fold_left
+          (fun acc (o : operand) ->
+            match o.src with
+            | Input _ | Const _ -> acc
+            | Node id -> max acc finish.(id))
+          0 n.operands
+      in
+      let finish_in cycle =
+        let start = max ready ((cycle - 1) * c) in
+        let f = start + d in
+        if f <= cycle * c then Some f else None
+      in
+      let rec settle cycle =
+        if cycle > latency then
+          raise
+            (Infeasible (Printf.sprintf "no feasible cycle for node %d" n.id))
+        else
+          match finish_in cycle with
+          | Some f ->
+              cycle_of.(n.id) <- cycle;
+              finish.(n.id) <- f
+          | None -> settle (cycle + 1)
+      in
+      settle (max committed.(n.id) (max 1 (Hls_util.Int_math.ceil_div ready c))))
+    graph;
+  let finish_slot =
+    Array.mapi (fun id f -> f - ((cycle_of.(id) - 1) * c)) finish
+  in
+  {
+    List_sched.graph;
+    latency;
+    cycle_delta = c;
+    cycle_of;
+    finish_slot;
+  }
+
+(** Peak per-cycle additive bits, for comparing balancers. *)
+let peak_usage (t : List_sched.t) =
+  let usage = Array.make t.List_sched.latency 0 in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      if is_additive n.kind then
+        let cy = t.List_sched.cycle_of.(n.id) in
+        usage.(cy - 1) <- usage.(cy - 1) + n.width)
+    t.List_sched.graph;
+  Array.fold_left max 0 usage

@@ -1,0 +1,15 @@
+(** Force-directed scheduling (Paulin & Knight) at operation granularity: a
+    classic alternative balancer to {!List_sched}'s mobility list; commits
+    operations one at a time to the cycle with the least force against
+    per-FU-class distribution graphs, then finalizes a chaining-feasible
+    placement.  Returns a {!List_sched.t}, so verification, binding and
+    reporting reuse the conventional pipeline. *)
+
+exception Infeasible of string
+
+val schedule :
+  ?cycle_delta:int -> ?delay:(Hls_dfg.Types.node -> int) ->
+  Hls_dfg.Graph.t -> latency:int -> List_sched.t
+
+(** Peak per-cycle additive bits, for comparing balancers. *)
+val peak_usage : List_sched.t -> int

@@ -1,0 +1,291 @@
+(** Conventional scheduler for transformed (fragmented) specifications
+    (paper §3.3 / Fig. 3 g).
+
+    The nodes of a transformed graph are addition fragments — each carrying
+    an (ASAP, ALAP) cycle window — plus glue.  The scheduler walks the
+    graph in topological order and places every fragment in the
+    usage-lightest feasible cycle of its window, so fragments of one
+    original operation may land in several, possibly *unconsecutive*,
+    cycles (the paper's operation A executes in cycles 1 and 3), and a
+    result bit is consumed in the very cycle it is produced.
+
+    Feasibility of a candidate cycle is checked bit by bit: every operand
+    bit must be registered (produced in an earlier cycle) or already
+    settled in the same cycle, the fragment's own ripple must fit the
+    chaining budget, and every bit must settle no later than its global
+    deadline — the last condition guarantees that all still-unplaced
+    successors keep a feasible (ALAP) placement, so the greedy pass never
+    paints itself into a corner.
+
+    Glue is not scheduled: each glue *bit* simply inherits the time of the
+    bits it forwards. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+module Transform = Hls_fragment.Transform
+
+type bit_time = { bt_cycle : int; bt_slot : int }
+(** When a bit settles: δ slot [bt_slot] (1-based) of cycle [bt_cycle];
+    slot 0 means "stable at cycle start". *)
+
+type t = {
+  transformed : Transform.t;
+  latency : int;
+  n_bits : int;
+  cycle_of : int array;  (** cycle of each Add node; 0 for glue *)
+  bit_time : bit_time array array;
+}
+
+exception Infeasible of string
+
+let graph t = t.transformed.Transform.graph
+
+(* Absolute δ slot of a bit time (for deadline comparison). *)
+let absolute ~n_bits { bt_cycle; bt_slot } = ((bt_cycle - 1) * n_bits) + bt_slot
+
+let schedule ?(balance = true) (tr : Transform.t) =
+  let g = tr.Transform.graph in
+  let plan = tr.Transform.plan in
+  let latency = plan.Hls_fragment.Mobility.latency in
+  let n_bits = plan.Hls_fragment.Mobility.n_bits in
+  let n_nodes = Graph.node_count g in
+  let cycle_of = Array.make n_nodes 0 in
+  let bit_time = Array.make n_nodes [||] in
+  (* Deadlines honour each fragment's window: a bit of a fragment whose
+     window ends at cycle k must settle by slot k·n_bits even if the pure
+     dataflow ALAP would allow later — this is what makes window-tightening
+     policies (coalescing) safe for the greedy scheduler. *)
+  let deadline =
+    Hls_timing.Deadline.compute g
+      ~total_slots:(latency * n_bits)
+      ~caps:(fun id _bit ->
+        match (Graph.node g id).kind with
+        | Add ->
+            let _, w_alap = tr.Transform.windows.(id) in
+            w_alap * n_bits
+        | _ -> latency * n_bits)
+  in
+  let usage = Array.make latency 0 in
+  let time_of_source = function
+    | Input _ | Const _ -> fun _ -> { bt_cycle = 0; bt_slot = 0 }
+    | Node id -> fun bit -> bit_time.(id).(bit)
+  in
+  (* Bit times of node [n] placed in [cycle] (glue: cycle ignored, bits
+     inherit dependency times).  None if some dependency is not available
+     or the ripple overflows the budget. *)
+  let try_place (n : node) ~is_add ~cycle =
+    let times = Array.make n.width { bt_cycle = 0; bt_slot = 0 } in
+    let ok = ref true in
+    for pos = 0 to n.width - 1 do
+      let cost, deps = Hls_timing.Bitdep.bit_deps g n pos in
+      let dep_time d =
+        match d with
+        | Hls_timing.Bitdep.Self j -> times.(j)
+        | Hls_timing.Bitdep.Bit (src, i) -> time_of_source src i
+      in
+      if is_add then begin
+        let ready =
+          List.fold_left
+            (fun acc d ->
+              let t = dep_time d in
+              if t.bt_cycle > cycle then begin
+                ok := false;
+                acc
+              end
+              else if t.bt_cycle = cycle then max acc t.bt_slot
+              else acc)
+            0 deps
+        in
+        let slot = ready + cost in
+        if slot > n_bits then ok := false;
+        times.(pos) <- { bt_cycle = cycle; bt_slot = slot };
+        if
+          absolute ~n_bits times.(pos)
+          > Hls_timing.Deadline.slot deadline ~id:n.id ~bit:pos
+        then ok := false
+      end
+      else begin
+        (* Glue: the bit settles exactly when its latest dependency does. *)
+        let t =
+          List.fold_left
+            (fun acc d ->
+              let t = dep_time d in
+              if
+                t.bt_cycle > acc.bt_cycle
+                || (t.bt_cycle = acc.bt_cycle && t.bt_slot > acc.bt_slot)
+              then t
+              else acc)
+            { bt_cycle = 0; bt_slot = 0 } deps
+        in
+        times.(pos) <- t
+      end
+    done;
+    if !ok then Some times else None
+  in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      match n.kind with
+      | Add ->
+          let w_asap, w_alap = tr.Transform.windows.(n.id) in
+          let weight =
+            (* δ-costly bits claim adder area; pure carry columns do not. *)
+            List.length
+              (List.filter
+                 (fun pos -> fst (Hls_timing.Bitdep.bit_deps g n pos) > 0)
+                 (Hls_util.List_ext.range 0 n.width))
+          in
+          let best = ref None in
+          for cycle = w_asap to w_alap do
+            match try_place n ~is_add:true ~cycle with
+            | Some times -> (
+                let u = usage.(cycle - 1) in
+                match !best with
+                | Some _ when not balance -> ()  (* keep the earliest *)
+                | Some (_, _, bu) when bu <= u -> ()
+                | _ -> best := Some (cycle, times, u))
+            | None -> ()
+          done;
+          (match !best with
+          | None ->
+              raise
+                (Infeasible
+                   (Printf.sprintf
+                      "fragment %d (%s) has no feasible cycle in [%d,%d]" n.id
+                      n.label w_asap w_alap))
+          | Some (cycle, times, _) ->
+              cycle_of.(n.id) <- cycle;
+              bit_time.(n.id) <- times;
+              usage.(cycle - 1) <- usage.(cycle - 1) + weight)
+      | _ -> (
+          match try_place n ~is_add:false ~cycle:0 with
+          | Some times -> bit_time.(n.id) <- times
+          | None -> assert false))
+    g;
+  { transformed = tr; latency; n_bits; cycle_of; bit_time }
+
+(** Longest chain actually used in any cycle — the achieved cycle length
+    in δ (at most the budget). *)
+let used_delta t =
+  Array.fold_left
+    (fun acc times ->
+      Array.fold_left (fun acc bt -> max acc bt.bt_slot) acc times)
+    0 t.bit_time
+
+(** Add nodes placed in [cycle]. *)
+let adds_in_cycle t cycle =
+  Graph.fold_nodes
+    (fun acc (n : node) ->
+      if n.kind = Add && t.cycle_of.(n.id) = cycle then n :: acc else acc)
+    [] (graph t)
+  |> List.rev
+
+type cycle_profile = {
+  cp_cycle : int;
+  cp_used_delta : int;  (** longest chain settled in this cycle *)
+  cp_fragments : int;
+  cp_adder_bits : int;  (** δ-costly bits executed in this cycle *)
+}
+
+(** Per-cycle usage report: chain occupation, fragment population and adder
+    pressure — what a designer reads to see where the schedule is tight. *)
+let profile t =
+  let g = graph t in
+  List.map
+    (fun cycle ->
+      let fragments = adds_in_cycle t cycle in
+      let used =
+        List.fold_left
+          (fun acc (n : node) ->
+            Array.fold_left
+              (fun acc bt ->
+                if bt.bt_cycle = cycle then max acc bt.bt_slot else acc)
+              acc t.bit_time.(n.id))
+          0 fragments
+      in
+      let bits =
+        Hls_util.List_ext.sum_by
+          (fun (n : node) ->
+            List.length
+              (List.filter
+                 (fun pos -> fst (Hls_timing.Bitdep.bit_deps g n pos) > 0)
+                 (Hls_util.List_ext.range 0 n.width)))
+          fragments
+      in
+      {
+        cp_cycle = cycle;
+        cp_used_delta = used;
+        cp_fragments = List.length fragments;
+        cp_adder_bits = bits;
+      })
+    (Hls_util.List_ext.range 1 (t.latency + 1))
+
+(** Independent checker of a fragment schedule. *)
+let verify t =
+  let g = graph t in
+  let errs = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      let times = t.bit_time.(n.id) in
+      if Array.length times <> n.width then fail "node %d missing times" n.id;
+      (if n.kind = Add then begin
+         let cy = t.cycle_of.(n.id) in
+         let w_asap, w_alap = t.transformed.Transform.windows.(n.id) in
+         if cy < w_asap || cy > w_alap then
+           fail "node %d placed at %d outside window [%d,%d]" n.id cy w_asap
+             w_alap
+       end);
+      Array.iteri
+        (fun pos bt ->
+          if bt.bt_slot > t.n_bits then
+            fail "node %d bit %d overflows the cycle" n.id pos;
+          let cost, deps = Hls_timing.Bitdep.bit_deps g n pos in
+          List.iter
+            (fun d ->
+              let dt =
+                match d with
+                | Hls_timing.Bitdep.Self j -> times.(j)
+                | Hls_timing.Bitdep.Bit (Input _, _)
+                | Hls_timing.Bitdep.Bit (Const _, _) ->
+                    { bt_cycle = 0; bt_slot = 0 }
+                | Hls_timing.Bitdep.Bit (Node id, i) -> t.bit_time.(id).(i)
+              in
+              if dt.bt_cycle > bt.bt_cycle then
+                fail "node %d bit %d consumes a later cycle" n.id pos
+              else if
+                dt.bt_cycle = bt.bt_cycle && dt.bt_slot > bt.bt_slot - cost
+              then fail "node %d bit %d chains too early" n.id pos)
+            deps)
+        times)
+    g;
+  match !errs with [] -> Ok () | e -> Error (String.concat "; " e)
+
+(** True when some original operation executes in non-consecutive cycles —
+    the capability the paper claims unique to this method. *)
+let has_unconsecutive_execution t =
+  let g = graph t in
+  let by_op = Hashtbl.create 16 in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      match (n.kind, n.origin) with
+      | Add, Some o ->
+          let cycles =
+            Option.value (Hashtbl.find_opt by_op o.orig_op) ~default:[]
+          in
+          Hashtbl.replace by_op o.orig_op (t.cycle_of.(n.id) :: cycles)
+      | _ -> ())
+    g;
+  Hashtbl.fold
+    (fun _ cycles acc ->
+      acc
+      ||
+      let sorted = List.sort_uniq compare cycles in
+      match sorted with
+      | [] | [ _ ] -> false
+      | first :: rest ->
+          let rec gaps prev = function
+            | [] -> false
+            | x :: tl -> x > prev + 1 || gaps x tl
+          in
+          gaps first rest)
+    by_op false

@@ -1,0 +1,54 @@
+(** Conventional scheduler for transformed (fragmented) specifications
+    (paper §3.3 / Fig. 3 g).
+
+    Places every addition fragment in a feasible cycle of its
+    (ASAP, ALAP) window, balancing per-cycle adder usage (or taking the
+    earliest cycle when [balance] is off).  Fragments of one original
+    operation may land in unconsecutive cycles, and a result bit can be
+    consumed in the very cycle it is produced.  Deadline analysis is capped
+    by the fragment windows so greedy choices never strand a successor. *)
+
+type bit_time = { bt_cycle : int; bt_slot : int }
+(** When a bit settles: δ slot [bt_slot] (1-based) of cycle [bt_cycle];
+    slot 0 means "stable at cycle start". *)
+
+type t = {
+  transformed : Hls_fragment.Transform.t;
+  latency : int;
+  n_bits : int;
+  cycle_of : int array;  (** cycle of each Add node; 0 for glue *)
+  bit_time : bit_time array array;
+}
+
+exception Infeasible of string
+
+val graph : t -> Hls_dfg.Graph.t
+
+(** Schedule a transformed specification; raises {!Infeasible} when some
+    fragment has no feasible cycle in its window. *)
+val schedule : ?balance:bool -> Hls_fragment.Transform.t -> t
+
+(** Longest chain actually used in any cycle — the achieved cycle length
+    in δ (at most the budget). *)
+val used_delta : t -> int
+
+(** Add nodes placed in [cycle]. *)
+val adds_in_cycle : t -> int -> Hls_dfg.Types.node list
+
+type cycle_profile = {
+  cp_cycle : int;
+  cp_used_delta : int;  (** longest chain settled in this cycle *)
+  cp_fragments : int;
+  cp_adder_bits : int;  (** δ-costly bits executed in this cycle *)
+}
+
+(** Per-cycle usage report: chain occupation, fragment population and adder
+    pressure. *)
+val profile : t -> cycle_profile list
+
+(** Independent checker of a fragment schedule. *)
+val verify : t -> (unit, string) result
+
+(** True when some original operation executes in non-consecutive cycles —
+    the capability the paper claims unique to this method. *)
+val has_unconsecutive_execution : t -> bool

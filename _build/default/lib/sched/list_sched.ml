@@ -1,0 +1,234 @@
+(** Conventional time-constrained scheduler (the baseline flow).
+
+    Operations are atoms ({!Op_delay}); several data-dependent operations
+    may chain within one cycle, but an operation never spans a cycle
+    boundary and a result is only visible to *later* cycles through a
+    register (or to the same cycle through chaining).
+
+    Given a latency λ, [schedule] first finds the minimal cycle length (in
+    δ) for which an ASAP schedule fits in λ cycles — the number the paper
+    reports as the original specification's cycle duration — then runs a
+    mobility-driven balancing pass that distributes operations across their
+    slack windows to minimize the peak per-cycle adder usage (which drives
+    FU allocation).  Every placement is checked against the ALAP bound, so
+    the balanced schedule is feasible by construction; {!verify} re-checks
+    it independently. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+
+type t = {
+  graph : Graph.t;
+  latency : int;
+  cycle_delta : int;  (** chosen cycle length in δ *)
+  cycle_of : int array;  (** 1-based cycle of each node *)
+  finish_slot : int array;  (** δ offset within the cycle when the result settles *)
+}
+
+exception Infeasible of string
+
+(* Earliest absolute finish times under cycle length [c].  Returns the
+   finish array; raises if some operation exceeds the cycle itself. *)
+let asap_finish ?(delay = Op_delay.delay) graph ~cycle_delta:c =
+  let finish = Array.make (Graph.node_count graph) 0 in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      let d = delay n in
+      if d > c then
+        raise
+          (Infeasible
+             (Printf.sprintf "operation %d needs %d delta, cycle is %d" n.id d
+                c));
+      let ready =
+        List.fold_left
+          (fun acc (o : operand) ->
+            match o.src with
+            | Input _ | Const _ -> acc
+            | Node id -> max acc finish.(id))
+          0 n.operands
+      in
+      (* Fit [ready, ready+d] inside one cycle, else start at the next
+         boundary. *)
+      let cycle_end = Hls_util.Int_math.ceil_div ready c * c in
+      let cycle_end = if cycle_end = ready then ready + c else cycle_end in
+      finish.(n.id) <-
+        (if ready + d <= cycle_end then ready + d
+         else ((cycle_end / c) * c) + d))
+    graph;
+  finish
+
+let latency_of_finish ~cycle_delta finish =
+  Array.fold_left
+    (fun acc f -> max acc (Hls_util.Int_math.ceil_div f cycle_delta))
+    1 finish
+
+(** Smallest cycle length (δ) for which the graph schedules in [latency]
+    cycles with operation chaining. *)
+let min_cycle_delta ?(delay = Op_delay.delay) graph ~latency =
+  let lo = ref (Graph.fold_nodes (fun acc n -> max acc (delay n)) 1 graph) in
+  let hi =
+    ref
+      (max !lo
+         (let finish = Array.make (Graph.node_count graph) 0 in
+          Graph.fold_nodes
+            (fun acc (n : node) ->
+              let ready =
+                List.fold_left
+                  (fun acc (o : operand) ->
+                    match o.src with
+                    | Input _ | Const _ -> acc
+                    | Node id -> max acc finish.(id))
+                  0 n.operands
+              in
+              finish.(n.id) <- ready + delay n;
+              max acc finish.(n.id))
+            0 graph))
+  in
+  let feasible c =
+    match asap_finish ~delay graph ~cycle_delta:c with
+    | finish -> latency_of_finish ~cycle_delta:c finish <= latency
+    | exception Infeasible _ -> false
+  in
+  if not (feasible !hi) then
+    raise
+      (Infeasible
+         (Printf.sprintf "graph cannot be scheduled in %d cycles" latency));
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if feasible mid then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* Latest absolute finish times under cycle length [c] and deadline
+   [latency * c]: every consumer chained at its own latest start bounds its
+   producers. *)
+let alap_finish ?(delay = Op_delay.delay) graph ~cycle_delta:c ~latency =
+  let total = latency * c in
+  let n_nodes = Graph.node_count graph in
+  let deadline = Array.make n_nodes total in
+  (* Snap a raw finish bound to the latest finish whose whole execution
+     interval fits inside one cycle (operations are atomic). *)
+  let snap bound ~delay =
+    if delay = 0 then bound
+    else
+      let k = max 1 (Hls_util.Int_math.ceil_div bound c) in
+      if bound - delay >= (k - 1) * c then bound else (k - 1) * c
+  in
+  for id = n_nodes - 1 downto 0 do
+    let n = Graph.node graph id in
+    let d = delay n in
+    deadline.(id) <- snap deadline.(id) ~delay:d;
+    let start = deadline.(id) - d in
+    List.iter
+      (fun (o : operand) ->
+        match o.src with
+        | Input _ | Const _ -> ()
+        | Node p -> deadline.(p) <- min deadline.(p) start)
+      n.operands
+  done;
+  deadline
+
+(* Greedy placement with balancing: process in topological order, place
+   each operation in the usage-lightest cycle of its feasible window. *)
+let place ?(delay = Op_delay.delay) graph ~latency ~cycle_delta:c =
+  let n_nodes = Graph.node_count graph in
+  let finish = Array.make n_nodes 0 in
+  let cycle_of = Array.make n_nodes 1 in
+  let deadline = alap_finish ~delay graph ~cycle_delta:c ~latency in
+  (* usage.(k-1): adder bits already claimed by cycle k. *)
+  let usage = Array.make latency 0 in
+  let weight (n : node) = if is_additive n.kind then n.width else 0 in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      let d = delay n in
+      let ready =
+        List.fold_left
+          (fun acc (o : operand) ->
+            match o.src with
+            | Input _ | Const _ -> acc
+            | Node id -> max acc finish.(id))
+          0 n.operands
+      in
+      (* Candidate cycles: chained right where the operands settle, or at
+         the start of any later cycle up to the deadline. *)
+      let earliest_cycle = max 1 (Hls_util.Int_math.ceil_div ready c) in
+      let finish_in cycle =
+        let start = max ready ((cycle - 1) * c) in
+        let f = start + d in
+        if f <= cycle * c then Some f else None
+      in
+      let best = ref None in
+      for cycle = earliest_cycle to latency do
+        match finish_in cycle with
+        | Some f when f <= deadline.(n.id) ->
+            let u = usage.(cycle - 1) in
+            (match !best with
+            | Some (_, _, bu) when bu <= u -> ()
+            | _ -> best := Some (cycle, f, u))
+        | _ -> ()
+      done;
+      match !best with
+      | None ->
+          raise
+            (Infeasible
+               (Printf.sprintf "no feasible cycle for node %d" n.id))
+      | Some (cycle, f, _) ->
+          cycle_of.(n.id) <- cycle;
+          finish.(n.id) <- f;
+          usage.(cycle - 1) <- usage.(cycle - 1) + weight n)
+    graph;
+  let finish_slot =
+    Array.mapi (fun id f -> f - ((cycle_of.(id) - 1) * c)) finish
+  in
+  { graph; latency; cycle_delta = c; cycle_of; finish_slot }
+
+(** Schedule [graph] in [latency] cycles at the minimal feasible cycle
+    length (or a caller-forced [cycle_delta]). *)
+let schedule ?cycle_delta ?(delay = Op_delay.delay) graph ~latency =
+  if latency < 1 then invalid_arg "List_sched.schedule: latency must be >= 1";
+  let c =
+    match cycle_delta with
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "List_sched.schedule: cycle_delta must be >= 1"
+    | None -> min_cycle_delta ~delay graph ~latency
+  in
+  place ~delay graph ~latency ~cycle_delta:c
+
+(** Independent checker: precedence (chaining-aware), atomicity, bounds. *)
+let verify t =
+  let ok = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> ok := s :: !ok) fmt in
+  let c = t.cycle_delta in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      let cy = t.cycle_of.(n.id) and fs = t.finish_slot.(n.id) in
+      if cy < 1 || cy > t.latency then fail "node %d outside latency" n.id;
+      if fs < 0 || fs > c then fail "node %d slot %d outside cycle" n.id fs;
+      if fs < Op_delay.delay n then
+        fail "node %d finishes before its own delay" n.id;
+      List.iter
+        (fun (o : operand) ->
+          match o.src with
+          | Input _ | Const _ -> ()
+          | Node p ->
+              let pc = t.cycle_of.(p) and pf = t.finish_slot.(p) in
+              if pc > cy then fail "node %d consumes later node %d" n.id p
+              else if pc = cy && pf > fs - Op_delay.delay n then
+                fail "node %d chains before producer %d settles" n.id p)
+        n.operands)
+    t.graph;
+  match !ok with [] -> Ok () | errs -> Error (String.concat "; " errs)
+
+(** Achieved cycle occupation in δ: the longest used chain over all
+    cycles.  May be below [cycle_delta] when the budget is slack. *)
+let used_delta t =
+  Graph.fold_nodes (fun acc n -> max acc t.finish_slot.(n.id)) 0 t.graph
+
+(** Operations (additive) per cycle, for FU sizing. *)
+let ops_in_cycle t cycle =
+  Graph.fold_nodes
+    (fun acc n ->
+      if t.cycle_of.(n.id) = cycle && is_additive n.kind then n :: acc
+      else acc)
+    [] t.graph
+  |> List.rev

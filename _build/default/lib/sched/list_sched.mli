@@ -1,0 +1,53 @@
+(** Conventional time-constrained scheduler (the baseline flow).
+
+    Operations are atoms; several data-dependent operations may chain
+    within one cycle, but an operation never spans a cycle boundary.  Given
+    a latency, {!schedule} finds the minimal cycle length (in δ) for which
+    an ASAP schedule fits — the paper's "original specification" cycle —
+    then balances operations across their slack to minimize peak FU use. *)
+
+type t = {
+  graph : Hls_dfg.Graph.t;
+  latency : int;
+  cycle_delta : int;  (** chosen cycle length in δ *)
+  cycle_of : int array;  (** 1-based cycle of each node *)
+  finish_slot : int array;
+      (** δ offset within the cycle when the result settles *)
+}
+
+exception Infeasible of string
+
+(** Earliest absolute finish times under a given cycle length; raises
+    {!Infeasible} if some operation exceeds the cycle itself.  [delay]
+    defaults to {!Op_delay.delay}. *)
+val asap_finish :
+  ?delay:(Hls_dfg.Types.node -> int) -> Hls_dfg.Graph.t -> cycle_delta:int ->
+  int array
+
+val latency_of_finish : cycle_delta:int -> int array -> int
+
+(** Latest absolute finish times under a cycle length and latency, with
+    deadlines snapped so every operation's interval fits one cycle. *)
+val alap_finish :
+  ?delay:(Hls_dfg.Types.node -> int) -> Hls_dfg.Graph.t -> cycle_delta:int ->
+  latency:int -> int array
+
+(** Smallest cycle length (δ) for which the graph schedules in [latency]
+    cycles with operation chaining. *)
+val min_cycle_delta :
+  ?delay:(Hls_dfg.Types.node -> int) -> Hls_dfg.Graph.t -> latency:int -> int
+
+(** Schedule at the minimal feasible cycle length (or a caller-forced
+    [cycle_delta]). *)
+val schedule :
+  ?cycle_delta:int -> ?delay:(Hls_dfg.Types.node -> int) ->
+  Hls_dfg.Graph.t -> latency:int -> t
+
+(** Independent checker: precedence (chaining-aware), atomicity, bounds. *)
+val verify : t -> (unit, string) result
+
+(** Achieved cycle occupation in δ (may be below the budget). *)
+val used_delta : t -> int
+
+(** Additive operations placed in [cycle], for FU sizing. *)
+val ops_in_cycle : t -> int -> Hls_dfg.Types.node list

@@ -1,0 +1,150 @@
+(** Multicycle baseline scheduler (paper §1: "multi-cycle reduces the
+    clock cycle duration by allowing the execution of long operations
+    across several consecutive cycles. In this case, the results produced
+    need several cycles to be available").
+
+    Model: an operation whose delay fits the cycle behaves as in
+    {!List_sched} (it may chain); a longer operation starts at a cycle
+    boundary, occupies ⌈delay / cycle⌉ consecutive cycles, and its result
+    is registered at the end of its last cycle — consumers can never chain
+    off a multicycle producer.  This reproduces the trade-off the paper
+    positions itself against: the cycle can shrink below the slowest
+    operation, but latency grows and result bits wait for the full
+    operation to finish. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+
+type t = {
+  graph : Graph.t;
+  latency : int;
+  cycle_delta : int;
+  start_cycle : int array;  (** first cycle (1-based) each node occupies *)
+  end_cycle : int array;  (** last cycle each node occupies *)
+  finish : int array;  (** absolute δ slot when the result is usable *)
+}
+
+exception Infeasible of string
+
+(* ASAP finish times under cycle length [c] with multicycling. *)
+let asap ?(delay = Op_delay.delay) graph ~cycle_delta:c =
+  let n = Graph.node_count graph in
+  let finish = Array.make n 0 in
+  let start_abs = Array.make n 0 in
+  Graph.iter_nodes
+    (fun (node : node) ->
+      let d = delay node in
+      let ready =
+        List.fold_left
+          (fun acc (o : operand) ->
+            match o.src with
+            | Input _ | Const _ -> acc
+            | Node id -> max acc finish.(id))
+          0 node.operands
+      in
+      if d <= c then begin
+        (* Single-cycle: chain if it fits, else next boundary. *)
+        let cycle_end = Hls_util.Int_math.ceil_div ready c * c in
+        let cycle_end = if cycle_end = ready then ready + c else cycle_end in
+        let f = if ready + d <= cycle_end then ready + d else ((cycle_end / c) * c) + d in
+        start_abs.(node.id) <- f - d;
+        finish.(node.id) <- f
+      end
+      else begin
+        (* Multicycle: start at the next boundary, result registered at the
+           end of the last occupied cycle. *)
+        let start = Hls_util.Int_math.ceil_div ready c * c in
+        let cycles = Hls_util.Int_math.ceil_div d c in
+        start_abs.(node.id) <- start;
+        finish.(node.id) <- start + (cycles * c)
+      end)
+    graph;
+  (start_abs, finish)
+
+let latency_of ~cycle_delta finish =
+  Array.fold_left
+    (fun acc f -> max acc (Hls_util.Int_math.ceil_div f cycle_delta))
+    1 finish
+
+(** Smallest cycle (δ) scheduling within [latency] cycles — may be *below*
+    the largest operation delay, unlike {!List_sched.min_cycle_delta}. *)
+let min_cycle_delta ?(delay = Op_delay.delay) graph ~latency =
+  let lo = ref 1 in
+  let hi =
+    ref
+      (max 1
+         (let _, finish = asap ~delay graph ~cycle_delta:1 in
+          Array.fold_left max 1 finish))
+  in
+  let feasible c =
+    let _, finish = asap ~delay graph ~cycle_delta:c in
+    latency_of ~cycle_delta:c finish <= latency
+  in
+  if not (feasible !hi) then
+    raise
+      (Infeasible
+         (Printf.sprintf "graph cannot be multicycle-scheduled in %d cycles"
+            latency));
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if feasible mid then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let schedule ?cycle_delta ?(delay = Op_delay.delay) graph ~latency =
+  if latency < 1 then
+    invalid_arg "Multicycle_sched.schedule: latency must be >= 1";
+  let c =
+    match cycle_delta with
+    | Some c when c >= 1 -> c
+    | Some _ ->
+        invalid_arg "Multicycle_sched.schedule: cycle_delta must be >= 1"
+    | None -> min_cycle_delta ~delay graph ~latency
+  in
+  let start_abs, finish = asap ~delay graph ~cycle_delta:c in
+  let lat = latency_of ~cycle_delta:c finish in
+  if lat > latency then
+    raise
+      (Infeasible
+         (Printf.sprintf "cycle %d needs %d cycles, latency is %d" c lat
+            latency));
+  {
+    graph;
+    latency;
+    cycle_delta = c;
+    start_cycle = Array.map (fun s -> (s / c) + 1) start_abs;
+    end_cycle = Array.map (fun f -> max 1 (Hls_util.Int_math.ceil_div f c)) finish;
+    finish;
+  }
+
+(** Number of cycles node [id] occupies. *)
+let span t id = t.end_cycle.(id) - t.start_cycle.(id) + 1
+
+(** True when some operation spans more than one cycle. *)
+let has_multicycle_op t =
+  Graph.fold_nodes (fun acc n -> acc || span t n.id > 1) false t.graph
+
+(** Independent checker: precedence and atom placement. *)
+let verify t =
+  let errs = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      if t.end_cycle.(n.id) > t.latency then
+        fail "node %d ends after the latency" n.id;
+      List.iter
+        (fun (o : operand) ->
+          match o.src with
+          | Input _ | Const _ -> ()
+          | Node p ->
+              if t.finish.(p) > t.finish.(n.id) - 0 && p >= n.id then
+                fail "topological violation at %d" n.id;
+              (* A consumer may start no earlier than its producers'
+                 usable-result times. *)
+              if
+                t.finish.(p)
+                > t.finish.(n.id)
+              then fail "node %d finishes before producer %d" n.id p)
+        n.operands)
+    t.graph;
+  match !errs with [] -> Ok () | e -> Error (String.concat "; " e)

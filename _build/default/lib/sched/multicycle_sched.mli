@@ -1,0 +1,33 @@
+(** Multicycle baseline scheduler (paper §1): an operation longer than the
+    cycle starts at a boundary, occupies ⌈delay/cycle⌉ consecutive cycles
+    and registers its result at the end — the cycle can shrink below the
+    slowest operation, but latency grows and consumers never chain off a
+    multicycle producer. *)
+
+type t = {
+  graph : Hls_dfg.Graph.t;
+  latency : int;
+  cycle_delta : int;
+  start_cycle : int array;  (** first cycle (1-based) each node occupies *)
+  end_cycle : int array;  (** last cycle each node occupies *)
+  finish : int array;  (** absolute δ slot when the result is usable *)
+}
+
+exception Infeasible of string
+
+(** Smallest cycle (δ) scheduling within [latency] cycles — may be below
+    the largest operation delay, unlike {!List_sched.min_cycle_delta}. *)
+val min_cycle_delta :
+  ?delay:(Hls_dfg.Types.node -> int) -> Hls_dfg.Graph.t -> latency:int -> int
+
+val schedule :
+  ?cycle_delta:int -> ?delay:(Hls_dfg.Types.node -> int) ->
+  Hls_dfg.Graph.t -> latency:int -> t
+
+(** Number of cycles node [id] occupies. *)
+val span : t -> int -> int
+
+(** True when some operation spans more than one cycle. *)
+val has_multicycle_op : t -> bool
+
+val verify : t -> (unit, string) result

@@ -1,0 +1,93 @@
+(** Operation-level delay model, in δ (1-bit chained additions).
+
+    The conventional baseline scheduler treats every behavioural operation
+    as an atom with a fixed execution time — exactly the view of the paper's
+    "original specification" flow, where the clock cycle must accommodate
+    whole (possibly chained) operations:
+
+    - addition / subtraction / negation: one ripple across the result,
+    - multiplication: the array-multiplier ripple, [wa + wb - 1],
+    - comparisons: a borrow ripple plus the verdict gate,
+    - max / min: comparison then steering,
+    - glue: free.
+
+    These atoms deliberately ignore bit-level overlap; the gap between this
+    model and {!Hls_timing.Arrival} is precisely what the paper exploits. *)
+
+open Hls_dfg.Types
+module Operand = Hls_dfg.Operand
+
+let operand_width_max (n : node) =
+  List.fold_left (fun acc o -> max acc (Operand.width o)) 1 n.operands
+
+(* A multiply by a constant is a CSD shift-add network: one ripple plus one
+   extra bit-lag per additional digit. *)
+let mul_delay (n : node) =
+  let const_of = Operand.const_int ~signedness:n.signedness in
+  match n.operands with
+  | [ a; b ] -> (
+      match (const_of a, const_of b) with
+      | Some _, Some _ -> 0
+      | Some v, None | None, Some v ->
+          let digits = max 1 (Hls_util.Csd.digit_count v) in
+          n.width + digits - 1
+      | None, None ->
+          let ws = List.map Operand.width n.operands in
+          Hls_util.List_ext.sum ws - 1)
+  | _ -> n.width
+
+let delay (n : node) =
+  match n.kind with
+  | Add | Sub | Neg -> n.width
+  | Mul -> mul_delay n
+  | Lt | Le | Gt | Ge | Eq | Neq -> operand_width_max n + 1
+  | Max | Min -> operand_width_max n + 2
+  | Not | And | Or | Xor | Gate | Mux | Concat | Reduce_or | Wire -> 0
+
+(** Library-aware operation delays: with carry-lookahead adders the atoms
+    shrink to logarithmic depth, which is how a conventional flow on a
+    faster library narrows (but does not close) the gap to fragmentation
+    (paper §2, closing remark). *)
+let delay_with ~lib (n : node) =
+  let adder w = Hls_techlib.adder_delay_delta lib ~width:(max 1 w) in
+  match n.kind with
+  | Add | Sub | Neg -> adder n.width
+  | Mul -> (
+      let const_of = Operand.const_int ~signedness:n.signedness in
+      match n.operands with
+      | [ a; b ] -> (
+          match (const_of a, const_of b) with
+          | Some _, Some _ -> 0
+          | Some v, None | None, Some v ->
+              adder n.width + max 1 (Hls_util.Csd.digit_count v) - 1
+          | None, None ->
+              (* Row ripple across the array, each row one adder deep. *)
+              let ws = List.map Operand.width n.operands in
+              adder (List.hd ws) + Hls_util.List_ext.sum (List.tl ws) - 1)
+      | _ -> adder n.width)
+  | Lt | Le | Gt | Ge | Eq | Neq -> adder (operand_width_max n) + 1
+  | Max | Min -> adder (operand_width_max n) + 2
+  | Not | And | Or | Xor | Gate | Mux | Concat | Reduce_or | Wire -> 0
+
+(** Longest op-level path in δ: lower bound on total work, used to seed the
+    binary search for the minimal cycle. *)
+let critical graph =
+  let finish = Array.make (Hls_dfg.Graph.node_count graph) 0 in
+  Hls_dfg.Graph.fold_nodes
+    (fun acc (n : node) ->
+      let ready =
+        List.fold_left
+          (fun acc (o : operand) ->
+            match o.src with
+            | Input _ | Const _ -> acc
+            | Node id -> max acc finish.(id))
+          0 n.operands
+      in
+      finish.(n.id) <- ready + delay n;
+      max acc finish.(n.id))
+    0 graph
+
+(** Largest single-operation delay: no schedule can use a shorter cycle
+    without multicycling, which the baseline flow does not do. *)
+let max_delay graph =
+  Hls_dfg.Graph.fold_nodes (fun acc n -> max acc (delay n)) 1 graph

@@ -1,0 +1,21 @@
+(** Operation-level delay model in δ (1-bit chained additions): the atoms
+    the conventional baseline schedules — one ripple per addition, an
+    array ripple per multiplication, CSD shift-add chains for constant
+    multipliers, a borrow ripple per comparison; glue is free. *)
+
+open Hls_dfg.Types
+
+val operand_width_max : node -> int
+
+(** Default (ripple-carry) delay of one operation. *)
+val delay : node -> int
+
+(** Library-aware delays: carry-lookahead adders give logarithmic-depth
+    atoms. *)
+val delay_with : lib:Hls_techlib.t -> node -> int
+
+(** Longest op-level path in δ. *)
+val critical : Hls_dfg.Graph.t -> int
+
+(** Largest single-operation delay: the single-cycle baseline's floor. *)
+val max_delay : Hls_dfg.Graph.t -> int

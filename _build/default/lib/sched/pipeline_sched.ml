@@ -1,0 +1,120 @@
+(** Functional pipelining analysis over a conventional schedule (the
+    paper's §1 prior art, Sehwa [ref. 1] style).
+
+    Successive input samples are launched every [ii] cycles (the
+    initiation interval), overlapping iterations of the λ-cycle schedule.
+    For an acyclic DFG this never changes the cycle length or the latency
+    — the paper's point: "pipelining has been the preferred technique to
+    improve system performance, although it does not reduce the circuit
+    latency" — but it multiplies throughput at the price of functional
+    units: operations whose cycles are congruent modulo [ii] execute
+    simultaneously for different samples and cannot share hardware. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+
+type t = {
+  schedule : List_sched.t;
+  ii : int;  (** initiation interval, in cycles *)
+  stage_usage : int array;
+      (** additive FU bits required per congruence class mod [ii] *)
+}
+
+let analyze (schedule : List_sched.t) ~ii =
+  if ii < 1 || ii > schedule.List_sched.latency then
+    invalid_arg "Pipeline_sched.analyze: ii must be in [1, latency]";
+  let stage_usage = Array.make ii 0 in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      if is_additive n.kind then begin
+        let cycle = schedule.List_sched.cycle_of.(n.id) in
+        let stage = (cycle - 1) mod ii in
+        stage_usage.(stage) <- stage_usage.(stage) + n.width
+      end)
+    schedule.List_sched.graph;
+  { schedule; ii; stage_usage }
+
+(** Peak simultaneous additive bits: the folded FU requirement. *)
+let peak_fu_bits t = Array.fold_left max 0 t.stage_usage
+
+(** Unpipelined FU requirement of the same schedule (one iteration in
+    flight): the maximum per-cycle usage. *)
+let unpipelined_fu_bits (schedule : List_sched.t) =
+  let usage = Array.make schedule.List_sched.latency 0 in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      if is_additive n.kind then begin
+        let cycle = schedule.List_sched.cycle_of.(n.id) in
+        usage.(cycle - 1) <- usage.(cycle - 1) + n.width
+      end)
+    schedule.List_sched.graph;
+  Array.fold_left max 0 usage
+
+(** Samples completed per microsecond at a given cycle length. *)
+let throughput_per_us t ~cycle_ns =
+  1000. /. (float_of_int t.ii *. cycle_ns)
+
+(** Latency of one sample in ns — unchanged by pipelining. *)
+let latency_ns t ~cycle_ns =
+  float_of_int t.schedule.List_sched.latency *. cycle_ns
+
+type comparison = {
+  cmp_ii : int;
+  cmp_fu_bits : int;
+  cmp_throughput : float;  (** samples / µs *)
+  cmp_latency_ns : float;
+}
+
+(** Sweep the initiation interval from fully pipelined (1) to sequential
+    (λ). *)
+let sweep (schedule : List_sched.t) ~cycle_ns =
+  List.map
+    (fun ii ->
+      let t = analyze schedule ~ii in
+      {
+        cmp_ii = ii;
+        cmp_fu_bits = peak_fu_bits t;
+        cmp_throughput = throughput_per_us t ~cycle_ns;
+        cmp_latency_ns = latency_ns t ~cycle_ns;
+      })
+    (Hls_util.List_ext.range 1 (schedule.List_sched.latency + 1))
+
+(** {1 Pipelining a fragmented schedule}
+
+    The natural extension the paper leaves open: overlap iterations of the
+    *transformed* specification.  The fragmented schedule already has a
+    short cycle; folding it modulo an initiation interval gives both the
+    short cycle *and* sample-per-II throughput.  The folded FU requirement
+    counts δ-costly fragment bits per congruence class. *)
+
+type fragmented = {
+  f_schedule : Frag_sched.t;
+  f_ii : int;
+  f_stage_bits : int array;
+}
+
+let analyze_fragmented (s : Frag_sched.t) ~ii =
+  if ii < 1 || ii > s.Frag_sched.latency then
+    invalid_arg "Pipeline_sched.analyze_fragmented: ii must be in [1, latency]";
+  let g = Frag_sched.graph s in
+  let f_stage_bits = Array.make ii 0 in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      if n.kind = Add then begin
+        let cycle = s.Frag_sched.cycle_of.(n.id) in
+        let stage = (cycle - 1) mod ii in
+        let costly =
+          List.length
+            (List.filter
+               (fun pos -> fst (Hls_timing.Bitdep.bit_deps g n pos) > 0)
+               (Hls_util.List_ext.range 0 n.width))
+        in
+        f_stage_bits.(stage) <- f_stage_bits.(stage) + costly
+      end)
+    g;
+  { f_schedule = s; f_ii = ii; f_stage_bits }
+
+let fragmented_peak_bits t = Array.fold_left max 0 t.f_stage_bits
+
+let fragmented_throughput_per_us t ~cycle_ns =
+  1000. /. (float_of_int t.f_ii *. cycle_ns)

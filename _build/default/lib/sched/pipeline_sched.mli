@@ -1,0 +1,50 @@
+(** Functional pipelining analysis over a conventional schedule (the
+    paper's §1 prior art): launching a sample every [ii] cycles multiplies
+    throughput but never shortens one sample's latency, and operations in
+    cycles congruent modulo [ii] need simultaneous hardware. *)
+
+type t = {
+  schedule : List_sched.t;
+  ii : int;  (** initiation interval, in cycles *)
+  stage_usage : int array;
+      (** additive FU bits required per congruence class mod [ii] *)
+}
+
+val analyze : List_sched.t -> ii:int -> t
+
+(** Peak simultaneous additive bits: the folded FU requirement. *)
+val peak_fu_bits : t -> int
+
+(** Unpipelined FU requirement of the same schedule. *)
+val unpipelined_fu_bits : List_sched.t -> int
+
+(** Samples completed per microsecond at a given cycle length. *)
+val throughput_per_us : t -> cycle_ns:float -> float
+
+(** Latency of one sample in ns — unchanged by pipelining. *)
+val latency_ns : t -> cycle_ns:float -> float
+
+type comparison = {
+  cmp_ii : int;
+  cmp_fu_bits : int;
+  cmp_throughput : float;  (** samples / µs *)
+  cmp_latency_ns : float;
+}
+
+(** Sweep the initiation interval from fully pipelined (1) to sequential
+    (λ). *)
+val sweep : List_sched.t -> cycle_ns:float -> comparison list
+
+(** {1 Pipelining a fragmented schedule} — the extension the paper leaves
+    open: overlap iterations of the transformed specification, getting both
+    the short fragmented cycle and sample-per-II throughput. *)
+
+type fragmented = {
+  f_schedule : Frag_sched.t;
+  f_ii : int;
+  f_stage_bits : int array;
+}
+
+val analyze_fragmented : Frag_sched.t -> ii:int -> fragmented
+val fragmented_peak_bits : fragmented -> int
+val fragmented_throughput_per_us : fragmented -> cycle_ns:float -> float

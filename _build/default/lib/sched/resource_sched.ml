@@ -1,0 +1,90 @@
+(** Resource-constrained list scheduling: the classic dual of the paper's
+    time-constrained problem.  Given a budget of adder bits (and optionally
+    multiplier cells) available per cycle, find the smallest latency and a
+    placement that respects both the data dependencies (with operation
+    chaining, as in {!List_sched}) and the per-cycle resource budget.
+
+    Applied to a *transformed* specification's fragments this answers the
+    practical sizing question the paper leaves implicit: "I can afford N
+    adder bits — how fast does the fragmented design go?" *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+module Transform = Hls_fragment.Transform
+
+exception Infeasible of string
+
+type t = {
+  schedule : Frag_sched.t;
+  adder_bit_budget : int;
+  latency : int;  (** achieved latency (≥ the transform's target) *)
+}
+
+(* δ-costly bits of an Add node. *)
+let costly g (n : node) =
+  List.length
+    (List.filter
+       (fun pos -> fst (Hls_timing.Bitdep.bit_deps g n pos) > 0)
+       (Hls_util.List_ext.range 0 n.width))
+
+(** Peak per-cycle adder bits of a fragment schedule. *)
+let peak_adder_bits (s : Frag_sched.t) =
+  let g = Frag_sched.graph s in
+  let usage = Array.make (s.Frag_sched.latency + 1) 0 in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      if n.kind = Add then begin
+        let c = s.Frag_sched.cycle_of.(n.id) in
+        usage.(c) <- usage.(c) + costly g n
+      end)
+    g;
+  Array.fold_left max 0 usage
+
+(** Schedule [graph] (kernel form) under an adder-bit budget: search for
+    the smallest latency whose fragmented, balanced schedule stays within
+    [adder_bits] per cycle.  [max_latency] bounds the search (default:
+    enough cycles to serialize everything). *)
+let schedule ?max_latency graph ~adder_bits =
+  if adder_bits < 1 then
+    invalid_arg "Resource_sched.schedule: adder_bits must be >= 1";
+  let total_bits =
+    Graph.fold_nodes
+      (fun acc n -> if n.kind = Add then acc + costly graph n else acc)
+      0 graph
+  in
+  let critical = Hls_timing.Critical_path.critical_delta graph in
+  let upper =
+    match max_latency with
+    | Some l -> l
+    | None -> max critical (Hls_util.Int_math.ceil_div total_bits adder_bits) * 2
+  in
+  (* Latency feasibility is not monotone in general (shorter cycles spread
+     work differently), so scan upward from the dependency bound. *)
+  let lower =
+    max 1 (Hls_util.Int_math.ceil_div total_bits adder_bits)
+  in
+  let rec search latency =
+    if latency > upper then
+      raise
+        (Infeasible
+           (Printf.sprintf
+              "no latency <= %d meets %d adder bits per cycle" upper
+              adder_bits))
+    else
+      match Frag_sched.schedule (Transform.run graph ~latency) with
+      | s when peak_adder_bits s <= adder_bits ->
+          { schedule = s; adder_bit_budget = adder_bits; latency }
+      | _ -> search (latency + 1)
+      | exception Frag_sched.Infeasible _ -> search (latency + 1)
+  in
+  search lower
+
+(** The area/latency trade curve: smallest achieved latency for each
+    budget in [budgets]. *)
+let sweep graph ~budgets =
+  List.filter_map
+    (fun adder_bits ->
+      match schedule graph ~adder_bits with
+      | t -> Some (adder_bits, t.latency, Frag_sched.used_delta t.schedule)
+      | exception Infeasible _ -> None)
+    budgets

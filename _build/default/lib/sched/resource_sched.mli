@@ -1,0 +1,20 @@
+(** Resource-constrained list scheduling: the dual sizing question — given
+    a per-cycle adder-bit budget, find the smallest latency whose
+    fragmented, balanced schedule fits. *)
+
+exception Infeasible of string
+
+type t = {
+  schedule : Frag_sched.t;
+  adder_bit_budget : int;
+  latency : int;  (** achieved latency *)
+}
+
+(** Peak per-cycle adder bits of a fragment schedule. *)
+val peak_adder_bits : Frag_sched.t -> int
+
+(** Smallest latency meeting the budget, on a kernel-form graph. *)
+val schedule : ?max_latency:int -> Hls_dfg.Graph.t -> adder_bits:int -> t
+
+(** The area/latency trade curve: (budget, latency, achieved chain δ). *)
+val sweep : Hls_dfg.Graph.t -> budgets:int list -> (int * int * int) list

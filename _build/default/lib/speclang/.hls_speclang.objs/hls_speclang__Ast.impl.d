@@ -1,0 +1,1 @@
+lib/speclang/ast.ml: Format List

@@ -1,0 +1,1 @@
+lib/speclang/elaborate.ml: Ast Format Hashtbl Hls_bitvec Hls_dfg Hls_util Lexer List Parser Printf

@@ -1,0 +1,1 @@
+lib/speclang/elaborate.mli: Ast Hls_dfg

@@ -1,0 +1,1 @@
+lib/speclang/emit.ml: Array Buffer Hls_bitvec Hls_dfg List Names Printf String

@@ -1,0 +1,1 @@
+lib/speclang/emit.mli: Hls_dfg

@@ -1,0 +1,1 @@
+lib/speclang/lexer.ml: Format Hls_bitvec List Printf String Token

@@ -1,0 +1,1 @@
+lib/speclang/names.ml: Array Buffer Hashtbl Hls_dfg List Printf String

@@ -1,0 +1,1 @@
+lib/speclang/names.mli: Hls_dfg

@@ -1,0 +1,1 @@
+lib/speclang/parser.ml: Ast Format Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/speclang/parser.mli: Ast

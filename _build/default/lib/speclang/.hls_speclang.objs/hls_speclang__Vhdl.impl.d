@@ -1,0 +1,1 @@
+lib/speclang/vhdl.ml: Array Buffer Hls_bitvec Hls_dfg List Names Printf String

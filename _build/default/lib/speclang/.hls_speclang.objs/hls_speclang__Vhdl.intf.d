@@ -1,0 +1,1 @@
+lib/speclang/vhdl.mli: Hls_dfg

@@ -1,0 +1,82 @@
+(** Abstract syntax of behavioural specifications. *)
+
+type range = { r_hi : int; r_lo : int }
+
+type expr =
+  | Ref of string * range option  (** variable / port, optionally sliced *)
+  | Lit of { value : int; width : int option }
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of call * expr * expr  (** max / min *)
+  | Concat of expr * expr  (** VHDL-style [hi & lo] *)
+  | Slice of expr * range  (** bit-select of a parenthesized expression *)
+  | Ternary of expr * expr * expr  (** cond ? then : else — a multiplexer *)
+
+and binop = Add | Sub | Mul | Lt | Le | Gt | Ge | Eq | Neq
+and unop = Neg
+and call = Max | Min
+
+type decl_kind = Input | Output | Var
+
+type decl = {
+  d_kind : decl_kind;
+  d_name : string;
+  d_width : int;
+  d_signed : bool;
+}
+
+type stmt = {
+  s_target : string;
+  s_range : range option;  (** slice assignment, as in the paper's Fig. 2a *)
+  s_expr : expr;
+}
+
+type t = { name : string; decls : decl list; stmts : stmt list }
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Neq -> "!="
+
+let rec pp_expr ppf = function
+  | Ref (n, None) -> Format.fprintf ppf "%s" n
+  | Ref (n, Some r) -> Format.fprintf ppf "%s[%d:%d]" n r.r_hi r.r_lo
+  | Lit { value; width = None } -> Format.fprintf ppf "%d" value
+  | Lit { value; width = Some w } -> Format.fprintf ppf "%d'%d" value w
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | Unop (Neg, a) -> Format.fprintf ppf "(-%a)" pp_expr a
+  | Call (Max, a, b) -> Format.fprintf ppf "max(%a, %a)" pp_expr a pp_expr b
+  | Call (Min, a, b) -> Format.fprintf ppf "min(%a, %a)" pp_expr a pp_expr b
+  | Concat (a, b) -> Format.fprintf ppf "(%a & %a)" pp_expr a pp_expr b
+  | Slice (e, r) -> Format.fprintf ppf "(%a)[%d:%d]" pp_expr e r.r_hi r.r_lo
+  | Ternary (c, t, e) ->
+      Format.fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr t pp_expr e
+
+let pp_stmt ppf s =
+  match s.s_range with
+  | None -> Format.fprintf ppf "%s = %a;" s.s_target pp_expr s.s_expr
+  | Some r ->
+      Format.fprintf ppf "%s[%d:%d] = %a;" s.s_target r.r_hi r.r_lo pp_expr
+        s.s_expr
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>module %s;@ " t.name;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "%s %s : %d%s;@ "
+        (match d.d_kind with
+        | Input -> "input"
+        | Output -> "output"
+        | Var -> "var")
+        d.d_name d.d_width
+        (if d.d_signed then " signed" else ""))
+    t.decls;
+  List.iter (fun s -> Format.fprintf ppf "%a@ " pp_stmt s) t.stmts;
+  Format.fprintf ppf "end@]"

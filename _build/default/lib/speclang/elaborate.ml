@@ -1,0 +1,306 @@
+(** Elaboration: AST → DFG.
+
+    Width rules follow the VHDL conventions the paper's examples rely on:
+
+    - [+] / [-] produce the wider operand's width (carry kept only when the
+      source pads with an explicit [0 &] prefix, as in Fig. 2a),
+    - [*] produces the sum of the operand widths,
+    - comparisons produce one bit,
+    - [&] concatenates (left operand on top),
+    - assignment extends a narrower expression (sign- or zero- according to
+      the expression's signedness) and rejects silent truncation.
+
+    Variables and outputs may be assigned in bit slices (the shape of a
+    transformed specification); statements execute in order with VHDL
+    variable semantics — a later assignment to the same bits supersedes the
+    earlier one for subsequent reads — and reads over several pieces
+    materialize a [Concat].  Output ports must have every bit assigned by
+    the end and take the final values. *)
+
+open Hls_dfg.Types
+module B = Hls_dfg.Builder
+module Operand = Hls_dfg.Operand
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+
+type piece = { p_hi : int; p_lo : int; p_value : operand }
+
+type binding =
+  | Port of operand
+  | Assembled of { width : int; signed : bool; mutable pieces : piece list }
+
+type env = {
+  b : B.t;
+  table : (string, binding) Hashtbl.t;
+  outputs : (string * int) list;  (** declared outputs and widths *)
+}
+
+(* A value with its signedness, as elaboration tracks it. *)
+type value = { v : operand; signed : bool }
+
+let width_of value = Operand.width value.v
+
+let ext_of signed = if signed then Sext else Zext
+
+(* Extend or reject: a value flowing into a [width]-bit context. *)
+let coerce env ?(label = "") value ~width =
+  let w = width_of value in
+  if w = width then value.v
+  else if w < width then
+    {
+      (B.node env.b Wire ~width ~label
+         [ { value.v with ext = ext_of value.signed } ])
+      with
+      ext = ext_of value.signed;
+    }
+  else
+    error "expression of width %d does not fit in %d bits%s" w width
+      (if label = "" then "" else Printf.sprintf " (assigning %s)" label)
+
+let read_pieces env name (a : binding) ~hi ~lo =
+  match a with
+  | Port o ->
+      if hi >= Operand.width o then
+        error "%s[%d:%d] exceeds the declared width %d" name hi lo
+          (Operand.width o);
+      Operand.reslice o ~hi ~lo
+  | Assembled asm ->
+      if hi >= asm.width then
+        error "%s[%d:%d] exceeds the declared width %d" name hi lo asm.width;
+      (* pieces is newest-first: for each bit the newest covering piece
+         wins (VHDL variable semantics).  Split the read range into maximal
+         sub-ranges served by one piece each. *)
+      let piece_for bit =
+        List.find_opt
+          (fun p -> p.p_lo <= bit && bit <= p.p_hi)
+          asm.pieces
+      in
+      let covering =
+        (* Walk the range, grouping consecutive bits with the same winning
+           piece into one slice. *)
+        let rec go bit acc =
+          if bit > hi then List.rev acc
+          else
+            match piece_for bit with
+            | None -> go (bit + 1) acc  (* gap: caught below *)
+            | Some p ->
+                let upper = min hi p.p_hi in
+                (* Stop early if a newer piece takes over mid-range. *)
+                let rec extent b =
+                  if b > upper then upper
+                  else
+                    match piece_for b with
+                    | Some q when q == p -> extent (b + 1)
+                    | _ -> b - 1
+                in
+                let e = extent bit in
+                go (e + 1) ({ p_lo = bit; p_hi = e; p_value = p.p_value } :: acc)
+        in
+        (* Rebase each sub-range's value to the winning piece's slice. *)
+        go lo []
+        |> List.map (fun sub ->
+               match piece_for sub.p_lo with
+               | Some p ->
+                   {
+                     sub with
+                     p_value =
+                       Operand.reslice p.p_value ~hi:(sub.p_hi - p.p_lo)
+                         ~lo:(sub.p_lo - p.p_lo);
+                   }
+               | None -> assert false)
+      in
+      (* Check full coverage. *)
+      let () =
+        let rec check at = function
+          | [] ->
+              if at <= hi then
+                error "%s[%d:%d] read before bits %d..%d are assigned" name
+                  hi lo at hi
+          | p :: rest ->
+              if p.p_lo > at then
+                error "%s[%d:%d] read before bit %d is assigned" name hi lo at;
+              check (max at (p.p_hi + 1)) rest
+        in
+        check lo (List.sort (fun a b -> compare a.p_lo b.p_lo) covering)
+      in
+      let slices = List.map (fun p -> p.p_value) covering in
+      (match slices with
+      | [ single ] -> single
+      | pieces ->
+          let width = Hls_util.List_ext.sum_by Operand.width pieces in
+          B.node env.b Concat ~width ~label:(name ^ ".read") pieces)
+
+let binding_signed = function
+  | Port o -> o.ext = Sext
+  | Assembled a -> a.signed
+
+let lookup env name =
+  match Hashtbl.find_opt env.table name with
+  | Some b -> b
+  | None -> error "undeclared identifier %s" name
+
+let rec elab env ?(label = "") (e : Ast.expr) : value =
+  match e with
+  | Ast.Ref (name, range) ->
+      let binding = lookup env name in
+      let signed = binding_signed binding in
+      let hi, lo =
+        match range with
+        | Some r -> (r.Ast.r_hi, r.Ast.r_lo)
+        | None -> (
+            match binding with
+            | Port o -> (Operand.width o - 1, 0)
+            | Assembled a -> (a.width - 1, 0))
+      in
+      (* A sub-slice is just bits: unsigned unless it is the full value. *)
+      let full =
+        match binding with
+        | Port o -> lo = 0 && hi = Operand.width o - 1
+        | Assembled a -> lo = 0 && hi = a.width - 1
+      in
+      { v = read_pieces env name binding ~hi ~lo; signed = signed && full }
+  | Ast.Lit { value; width } ->
+      let signed = value < 0 in
+      let width =
+        match width with
+        | Some w -> w
+        | None ->
+            Hls_util.Int_math.bits_for_value (abs value)
+            + (if signed then 1 else 0)
+      in
+      {
+        v = { (Operand.of_const (Hls_bitvec.of_int ~width value)) with
+              ext = ext_of signed };
+        signed;
+      }
+  | Ast.Unop (Ast.Neg, inner) ->
+      let x = elab env inner in
+      let w = width_of x in
+      {
+        v = B.node env.b Neg ~width:w ~label
+            ~signedness:(if x.signed then Signed else Unsigned)
+            [ x.v ];
+        signed = true;
+      }
+  | Ast.Slice (inner, r) ->
+      let x = elab env inner in
+      if r.Ast.r_hi >= width_of x then
+        error "slice [%d:%d] exceeds expression width %d" r.Ast.r_hi
+          r.Ast.r_lo (width_of x);
+      { v = Operand.reslice x.v ~hi:r.Ast.r_hi ~lo:r.Ast.r_lo; signed = false }
+  | Ast.Ternary (c, t, e) ->
+      let cond = elab env c in
+      if width_of cond <> 1 then
+        error "ternary condition must be 1 bit, got %d" (width_of cond);
+      let x = elab env t and y = elab env e in
+      let signed = x.signed && y.signed in
+      let width = max (width_of x) (width_of y) in
+      {
+        v = B.node env.b Mux ~width ~label [ cond.v; x.v; y.v ];
+        signed;
+      }
+  | Ast.Concat (hi, lo) ->
+      let h = elab env hi and l = elab env lo in
+      let width = width_of h + width_of l in
+      { v = B.node env.b Concat ~width ~label [ l.v; h.v ]; signed = false }
+  | Ast.Call (call, a, b) ->
+      let x = elab env a and y = elab env b in
+      let signed = x.signed || y.signed in
+      let width = max (width_of x) (width_of y) in
+      let kind = match call with Ast.Max -> Max | Ast.Min -> Min in
+      {
+        v = B.node env.b kind ~width ~label
+            ~signedness:(if signed then Signed else Unsigned)
+            [ x.v; y.v ];
+        signed;
+      }
+  | Ast.Binop (op, a, b) ->
+      let x = elab env a and y = elab env b in
+      let signed = x.signed || y.signed in
+      let signedness = if signed then Signed else Unsigned in
+      let wmax = max (width_of x) (width_of y) in
+      let kind, width =
+        match op with
+        | Ast.Add -> (Add, wmax)
+        | Ast.Sub -> (Sub, wmax)
+        | Ast.Mul -> (Mul, width_of x + width_of y)
+        | Ast.Lt -> (Lt, 1)
+        | Ast.Le -> (Le, 1)
+        | Ast.Gt -> (Gt, 1)
+        | Ast.Ge -> (Ge, 1)
+        | Ast.Eq -> (Eq, 1)
+        | Ast.Neq -> (Neq, 1)
+      in
+      let fix_ext (val_ : value) =
+        { val_.v with ext = ext_of val_.signed }
+      in
+      {
+        v = B.node env.b kind ~width ~label ~signedness [ fix_ext x; fix_ext y ];
+        signed = signed && op <> Ast.Lt && op <> Ast.Le && op <> Ast.Gt
+                 && op <> Ast.Ge && op <> Ast.Eq && op <> Ast.Neq;
+      }
+
+let assign env (s : Ast.stmt) =
+  let binding = lookup env s.Ast.s_target in
+  match binding with
+  | Port _ -> error "cannot assign to input %s" s.Ast.s_target
+  | Assembled asm ->
+      let hi, lo =
+        match s.Ast.s_range with
+        | Some r -> (r.Ast.r_hi, r.Ast.r_lo)
+        | None -> (asm.width - 1, 0)
+      in
+      if hi >= asm.width then
+        error "%s[%d:%d] exceeds the declared width %d" s.Ast.s_target hi lo
+          asm.width;
+      let value = elab env ~label:s.Ast.s_target s.Ast.s_expr in
+      let coerced =
+        coerce env ~label:s.Ast.s_target value ~width:(hi - lo + 1)
+      in
+      asm.pieces <- { p_hi = hi; p_lo = lo; p_value = coerced } :: asm.pieces
+
+(** Elaborate a parsed specification into a validated graph. *)
+let elaborate (ast : Ast.t) =
+  let b = B.create ~name:ast.Ast.name in
+  let table = Hashtbl.create 16 in
+  let outputs = ref [] in
+  List.iter
+    (fun (d : Ast.decl) ->
+      if Hashtbl.mem table d.Ast.d_name then
+        error "duplicate declaration of %s" d.Ast.d_name;
+      match d.Ast.d_kind with
+      | Ast.Input ->
+          let o =
+            B.input b d.Ast.d_name ~width:d.Ast.d_width
+              ~signed:(if d.Ast.d_signed then Signed else Unsigned)
+          in
+          Hashtbl.add table d.Ast.d_name (Port o)
+      | Ast.Output | Ast.Var ->
+          if d.Ast.d_kind = Ast.Output then
+            outputs := (d.Ast.d_name, d.Ast.d_width) :: !outputs;
+          Hashtbl.add table d.Ast.d_name
+            (Assembled
+               { width = d.Ast.d_width; signed = d.Ast.d_signed; pieces = [] }))
+    ast.Ast.decls;
+  let env = { b; table; outputs = List.rev !outputs } in
+  List.iter (assign env) ast.Ast.stmts;
+  List.iter
+    (fun (name, width) ->
+      let binding = lookup env name in
+      let value = read_pieces env name binding ~hi:(width - 1) ~lo:0 in
+      B.output b name value)
+    env.outputs;
+  B.finish b
+
+(** Parse and elaborate in one step. *)
+let from_string src = elaborate (Parser.parse src)
+
+let from_string_result src =
+  match from_string src with
+  | g -> Ok g
+  | exception Error m -> Error ("elaboration error: " ^ m)
+  | exception Parser.Error m -> Error ("parse error: " ^ m)
+  | exception Lexer.Error m -> Error ("lex error: " ^ m)
+  | exception Hls_dfg.Graph.Invalid m -> Error ("invalid graph: " ^ m)

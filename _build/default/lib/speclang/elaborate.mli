@@ -1,0 +1,16 @@
+(** Elaboration: AST → DFG, with the VHDL-style width rules the paper's
+    examples rely on ([+]/[-] keep the wider operand's width, [*] produces
+    the sum, comparisons one bit, [&] concatenates), slice assignment for
+    transformed-specification shapes, and rejection of silent truncation,
+    double assignment and reads of unassigned bits. *)
+
+exception Error of string
+
+(** Elaborate a parsed specification into a validated graph; raises
+    {!Error} on semantic problems. *)
+val elaborate : Ast.t -> Hls_dfg.Graph.t
+
+(** Parse and elaborate in one step. *)
+val from_string : string -> Hls_dfg.Graph.t
+
+val from_string_result : string -> (Hls_dfg.Graph.t, string) result

@@ -1,0 +1,138 @@
+(** Emit a graph back as specification-language source.
+
+    Covers the behavioural subset plus [Concat] / [Wire] — everything a
+    transformed (fragmented) pure-addition specification contains — so a
+    transformed graph can be printed, re-parsed and re-elaborated; the
+    round trip is checked by simulation in the test-suite.  Kernel glue
+    ([Gate], [Mux], …) has no source syntax: use {!Vhdl} for those. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+module Operand = Hls_dfg.Operand
+
+exception Unprintable of string
+
+let binop_of_kind = function
+  | Add -> Some "+"
+  | Sub -> Some "-"
+  | Mul -> Some "*"
+  | Lt -> Some "<"
+  | Le -> Some "<="
+  | Gt -> Some ">"
+  | Ge -> Some ">="
+  | Eq -> Some "=="
+  | Neq -> Some "!="
+  | _ -> None
+
+let emit graph =
+  let names = Names.assign graph in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "module %s;\n" (Names.sanitize (Graph.name graph));
+  List.iter
+    (fun p ->
+      add "input %s : %d%s;\n" p.port_name p.port_width
+        (if p.port_signed = Signed then " signed" else ""))
+    graph.Graph.inputs;
+  List.iter
+    (fun (name, o) ->
+      add "output %s : %d;\n" name (Operand.width o))
+    graph.Graph.outputs;
+  Graph.iter_nodes
+    (fun n -> add "var %s : %d;\n" names.(n.id) n.width)
+    graph;
+  let operand_src (o : operand) =
+    let base, w =
+      match o.src with
+      | Input name -> (name, Graph.source_width graph o.src)
+      | Node id -> (names.(id), (Graph.node graph id).width)
+      | Const bv ->
+          ( Printf.sprintf "%d'%d"
+              (Hls_bitvec.to_int bv)
+              (Hls_bitvec.width bv),
+            Hls_bitvec.width bv )
+    in
+    if o.lo = 0 && o.hi = w - 1 then base
+    else Printf.sprintf "%s[%d:%d]" base o.hi o.lo
+  in
+  (* Wrap an expression of width [have] so that re-elaboration yields
+     exactly [want] bits: explicit zero padding below, explicit slicing
+     above — the "0 &" / "(e)[k:0]" idioms of the paper's Fig. 2a. *)
+  let wrap expr ~have ~want =
+    if have = want then expr
+    else if have > want then Printf.sprintf "(%s)[%d:0]" expr (want - 1)
+    else Printf.sprintf "(0'%d & %s)" (want - have) expr
+  in
+  (* An operand rendered at exactly [width] bits.  Sign extension has no
+     source syntax for partial operands, so it is only accepted when no
+     padding is needed. *)
+  let operand_at ~width (o : operand) =
+    let w = Operand.width o in
+    if w < width && o.ext = Sext then
+      raise
+        (Unprintable
+           "sign-extended partial operands have no specification syntax");
+    wrap (operand_src o) ~have:w ~want:width
+  in
+  Graph.iter_nodes
+    (fun n ->
+      let o i = List.nth n.operands i in
+      let w = n.width in
+      let stmt =
+        match n.kind with
+        | Add -> (
+            match n.operands with
+            | [ a; b ] ->
+                Printf.sprintf "%s + %s" (operand_at ~width:w a)
+                  (operand_at ~width:w b)
+            | [ a; b; c ] ->
+                Printf.sprintf "%s + %s + %s" (operand_at ~width:w a)
+                  (operand_at ~width:w b) (operand_src c)
+            | _ -> raise (Unprintable "malformed add"))
+        | Sub ->
+            Printf.sprintf "%s - %s" (operand_at ~width:w (o 0))
+              (operand_at ~width:w (o 1))
+        | Neg -> Printf.sprintf "-%s" (operand_at ~width:w (o 0))
+        | Mul ->
+            let have = Operand.width (o 0) + Operand.width (o 1) in
+            wrap
+              (Printf.sprintf "%s * %s" (operand_src (o 0))
+                 (operand_src (o 1)))
+              ~have ~want:w
+        | Lt | Le | Gt | Ge | Eq | Neq -> (
+            match binop_of_kind n.kind with
+            | Some op ->
+                Printf.sprintf "%s %s %s" (operand_src (o 0)) op
+                  (operand_src (o 1))
+            | None -> assert false)
+        | Max | Min ->
+            let have = max (Operand.width (o 0)) (Operand.width (o 1)) in
+            wrap
+              (Printf.sprintf "%s(%s, %s)"
+                 (if n.kind = Max then "max" else "min")
+                 (operand_src (o 0)) (operand_src (o 1)))
+              ~have ~want:w
+        | Mux ->
+            let have = max (Operand.width (o 1)) (Operand.width (o 2)) in
+            wrap
+              (Printf.sprintf "%s ? %s : %s" (operand_src (o 0))
+                 (operand_src (o 1)) (operand_src (o 2)))
+              ~have ~want:w
+        | Wire -> operand_at ~width:n.width (o 0)
+        | Concat ->
+            (* Operands are least-significant-first; the language's [&]
+               puts the left operand on top. *)
+            List.rev_map operand_src n.operands |> String.concat " & "
+        | k ->
+            raise
+              (Unprintable
+                 (Printf.sprintf "%s has no specification syntax"
+                    (kind_to_string k)))
+      in
+      add "%s = %s;\n" names.(n.id) stmt)
+    graph;
+  List.iter
+    (fun (name, o) -> add "%s = %s;\n" name (operand_src o))
+    graph.Graph.outputs;
+  add "end\n";
+  Buffer.contents buf

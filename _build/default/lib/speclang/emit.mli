@@ -1,0 +1,13 @@
+(** Emit a graph back as specification-language source.
+
+    Covers the behavioural subset plus [Concat] / [Wire] — everything a
+    transformed (fragmented) pure-addition specification contains — so a
+    transformed graph can be printed, re-parsed and re-elaborated; the
+    round trip is checked by simulation in the test-suite.  Kernel glue
+    ([Gate], [Mux], …) has no source syntax: use {!Vhdl} for those. *)
+
+exception Unprintable of string
+
+(** Emit source text; raises {!Unprintable} for graphs outside the
+    language's subset. *)
+val emit : Hls_dfg.Graph.t -> string

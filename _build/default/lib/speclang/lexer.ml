@@ -1,0 +1,142 @@
+(** Hand-written lexer for the specification language.
+
+    Comments run from [#] or [--] to end of line.  Numbers are decimal or
+    binary ([0b1010]); identifiers are [[A-Za-z_][A-Za-z0-9_]*]. *)
+
+exception Error of string
+
+let error ~line ~col fmt =
+  Format.kasprintf
+    (fun m -> raise (Error (Printf.sprintf "line %d, col %d: %s" line col m)))
+    fmt
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let skip_line st =
+  let rec go () =
+    match peek st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+        advance st;
+        go ()
+  in
+  go ()
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '#' ->
+      skip_line st;
+      skip_ws st
+  | Some '-' when peek2 st = Some '-' ->
+      skip_line st;
+      skip_ws st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while match peek st with Some c -> is_ident_char c | None -> false do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st ~line ~col =
+  if peek st = Some '0' && peek2 st = Some 'b' then begin
+    advance st;
+    advance st;
+    let start = st.pos in
+    while
+      match peek st with Some ('0' | '1' | '_') -> true | _ -> false
+    do
+      advance st
+    done;
+    if st.pos = start then error ~line ~col "empty binary literal";
+    let digits = String.sub st.src start (st.pos - start) in
+    Hls_bitvec.to_int (Hls_bitvec.of_string digits)
+  end
+  else begin
+    let start = st.pos in
+    while match peek st with Some c -> is_digit c | None -> false do
+      advance st
+    done;
+    int_of_string (String.sub st.src start (st.pos - start))
+  end
+
+let keyword = function
+  | "module" -> Token.Module
+  | "input" -> Token.Input
+  | "output" -> Token.Output
+  | "var" -> Token.Var
+  | "signed" -> Token.Signed
+  | "end" -> Token.End
+  | "max" -> Token.Max
+  | "min" -> Token.Min
+  | s -> Token.Ident s
+
+let next_token st =
+  skip_ws st;
+  let line = st.line and col = st.col in
+  let mk token = { Token.token; line; col } in
+  match peek st with
+  | None -> mk Token.Eof
+  | Some c when is_ident_start c -> mk (keyword (lex_ident st))
+  | Some c when is_digit c -> mk (Token.Number (lex_number st ~line ~col))
+  | Some c ->
+      let two tok = advance st; advance st; mk tok in
+      let one tok = advance st; mk tok in
+      (match (c, peek2 st) with
+      | '<', Some '=' -> two Token.Le
+      | '>', Some '=' -> two Token.Ge
+      | '=', Some '=' -> two Token.Eq_eq
+      | '!', Some '=' -> two Token.Bang_eq
+      | '+', _ -> one Token.Plus
+      | '-', _ -> one Token.Minus
+      | '*', _ -> one Token.Star
+      | '<', _ -> one Token.Lt
+      | '>', _ -> one Token.Gt
+      | '=', _ -> one Token.Assign
+      | '&', _ -> one Token.Amp
+      | ';', _ -> one Token.Semi
+      | ':', _ -> one Token.Colon
+      | ',', _ -> one Token.Comma
+      | '(', _ -> one Token.Lparen
+      | ')', _ -> one Token.Rparen
+      | '[', _ -> one Token.Lbracket
+      | ']', _ -> one Token.Rbracket
+      | '\'', _ -> one Token.Tick
+      | '?', _ -> one Token.Question
+      | _ -> error ~line ~col "unexpected character %c" c)
+
+(** Tokenize the whole source. *)
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next_token st in
+    if t.Token.token = Token.Eof then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

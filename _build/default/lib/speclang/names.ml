@@ -1,0 +1,47 @@
+(** Unique, identifier-safe names for graph nodes, shared by the
+    emitters. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+
+let sanitize s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    s;
+  let s = Buffer.contents buf in
+  if s = "" then "n"
+  else
+    match s.[0] with
+    | '0' .. '9' -> "n" ^ s
+    | _ -> s
+
+(** Assign every node a unique identifier, derived from its label when
+    possible; avoids collisions with port names. *)
+let assign graph =
+  let taken = Hashtbl.create 16 in
+  List.iter
+    (fun p -> Hashtbl.replace taken (String.lowercase_ascii p.port_name) ())
+    graph.Graph.inputs;
+  List.iter
+    (fun (n, _) -> Hashtbl.replace taken (String.lowercase_ascii n) ())
+    graph.Graph.outputs;
+  let names = Array.make (Graph.node_count graph) "" in
+  Graph.iter_nodes
+    (fun n ->
+      let base =
+        if n.label = "" then Printf.sprintf "n%d" n.id else sanitize n.label
+      in
+      let rec pick candidate k =
+        if Hashtbl.mem taken (String.lowercase_ascii candidate) then
+          pick (Printf.sprintf "%s_%d" base k) (k + 1)
+        else candidate
+      in
+      let name = pick base 1 in
+      Hashtbl.replace taken (String.lowercase_ascii name) ();
+      names.(n.id) <- name)
+    graph;
+  names

@@ -1,0 +1,9 @@
+(** Unique, identifier-safe names for graph nodes, shared by the
+    emitters. *)
+
+(** Replace non-identifier characters and leading digits. *)
+val sanitize : string -> string
+
+(** Assign every node a unique identifier, derived from its label when
+    possible; avoids collisions with port names. *)
+val assign : Hls_dfg.Graph.t -> string array

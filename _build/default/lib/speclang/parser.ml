@@ -1,0 +1,235 @@
+(** Recursive-descent parser.
+
+    Grammar:
+    {v
+    spec    := "module" IDENT ";" decl* stmt* "end"
+    decl    := ("input" | "output" | "var") IDENT ":" INT ["signed"] ";"
+    stmt    := IDENT [range] "=" expr ";"
+    range   := "[" INT [":" INT] "]"
+    expr    := cat ["?" expr ":" expr]   (multiplexer)
+    cat     := cmp { "&" cmp }                   (concatenation, hi first)
+    cmp     := addsub [("<"|"<="|">"|">="|"=="|"!=") addsub]
+    addsub  := term { ("+"|"-") term }
+    term    := factor { "*" factor }
+    factor  := IDENT [range] | NUMBER ["'" INT] | "(" expr ")" [range]
+             | "-" factor | ("max"|"min") "(" expr "," expr ")"
+    v} *)
+
+exception Error of string
+
+type state = { mutable tokens : Token.located list }
+
+let error (st : state) fmt =
+  let where =
+    match st.tokens with
+    | { Token.token; line; col } :: _ ->
+        Printf.sprintf " at line %d, col %d (near '%s')" line col
+          (Token.to_string token)
+    | [] -> ""
+  in
+  Format.kasprintf (fun m -> raise (Error (m ^ where))) fmt
+
+let peek st =
+  match st.tokens with
+  | t :: _ -> t.Token.token
+  | [] -> Token.Eof
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else error st "expected '%s'" (Token.to_string tok)
+
+let expect_ident st =
+  match peek st with
+  | Token.Ident n ->
+      advance st;
+      n
+  | _ -> error st "expected an identifier"
+
+let expect_number st =
+  match peek st with
+  | Token.Number n ->
+      advance st;
+      n
+  | _ -> error st "expected a number"
+
+let parse_range st =
+  if peek st <> Token.Lbracket then None
+  else begin
+    advance st;
+    let hi = expect_number st in
+    let lo =
+      if peek st = Token.Colon then begin
+        advance st;
+        expect_number st
+      end
+      else hi
+    in
+    expect st Token.Rbracket;
+    if lo > hi then error st "range [%d:%d] is reversed" hi lo;
+    Some { Ast.r_hi = hi; r_lo = lo }
+  end
+
+(* expr := cat ["?" expr ":" expr] *)
+let rec parse_expr st =
+  let cond = parse_cat st in
+  if peek st = Token.Question then begin
+    advance st;
+    let then_ = parse_expr st in
+    expect st Token.Colon;
+    let else_ = parse_expr st in
+    Ast.Ternary (cond, then_, else_)
+  end
+  else cond
+
+and parse_cat st =
+  let first = parse_cmp st in
+  let rec go acc =
+    if peek st = Token.Amp then begin
+      advance st;
+      let rhs = parse_cmp st in
+      go (Ast.Concat (acc, rhs))
+    end
+    else acc
+  in
+  go first
+
+and parse_cmp st =
+  let lhs = parse_addsub st in
+  let op =
+    match peek st with
+    | Token.Lt -> Some Ast.Lt
+    | Token.Le -> Some Ast.Le
+    | Token.Gt -> Some Ast.Gt
+    | Token.Ge -> Some Ast.Ge
+    | Token.Eq_eq -> Some Ast.Eq
+    | Token.Bang_eq -> Some Ast.Neq
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Binop (op, lhs, parse_addsub st)
+
+and parse_addsub st =
+  let rec go acc =
+    match peek st with
+    | Token.Plus ->
+        advance st;
+        go (Ast.Binop (Ast.Add, acc, parse_term st))
+    | Token.Minus ->
+        advance st;
+        go (Ast.Binop (Ast.Sub, acc, parse_term st))
+    | _ -> acc
+  in
+  go (parse_term st)
+
+and parse_term st =
+  let rec go acc =
+    if peek st = Token.Star then begin
+      advance st;
+      go (Ast.Binop (Ast.Mul, acc, parse_factor st))
+    end
+    else acc
+  in
+  go (parse_factor st)
+
+and parse_factor st =
+  match peek st with
+  | Token.Ident n ->
+      advance st;
+      Ast.Ref (n, parse_range st)
+  | Token.Number v ->
+      advance st;
+      if peek st = Token.Tick then begin
+        advance st;
+        let w = expect_number st in
+        Ast.Lit { value = v; width = Some w }
+      end
+      else Ast.Lit { value = v; width = None }
+  | Token.Minus ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_factor st)
+  | Token.Lparen ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      (match parse_range st with None -> e | Some r -> Ast.Slice (e, r))
+  | Token.Max | Token.Min ->
+      let call = if peek st = Token.Max then Ast.Max else Ast.Min in
+      advance st;
+      expect st Token.Lparen;
+      let a = parse_expr st in
+      expect st Token.Comma;
+      let b = parse_expr st in
+      expect st Token.Rparen;
+      Ast.Call (call, a, b)
+  | _ -> error st "expected an expression"
+
+let parse_decl st kind =
+  advance st;
+  let name = expect_ident st in
+  expect st Token.Colon;
+  let width = expect_number st in
+  let signed =
+    if peek st = Token.Signed then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  expect st Token.Semi;
+  if width < 1 then error st "width of %s must be positive" name;
+  { Ast.d_kind = kind; d_name = name; d_width = width; d_signed = signed }
+
+let parse_stmt st =
+  let target = expect_ident st in
+  let range = parse_range st in
+  expect st Token.Assign;
+  let expr = parse_expr st in
+  expect st Token.Semi;
+  { Ast.s_target = target; s_range = range; s_expr = expr }
+
+(** Parse a full specification from source text. *)
+let parse src =
+  let st = { tokens = Lexer.tokenize src } in
+  expect st Token.Module;
+  let name = expect_ident st in
+  expect st Token.Semi;
+  let decls = ref [] in
+  let rec decl_loop () =
+    match peek st with
+    | Token.Input ->
+        decls := parse_decl st Ast.Input :: !decls;
+        decl_loop ()
+    | Token.Output ->
+        decls := parse_decl st Ast.Output :: !decls;
+        decl_loop ()
+    | Token.Var ->
+        decls := parse_decl st Ast.Var :: !decls;
+        decl_loop ()
+    | _ -> ()
+  in
+  decl_loop ();
+  let stmts = ref [] in
+  let rec stmt_loop () =
+    match peek st with
+    | Token.End ->
+        advance st;
+        expect st Token.Eof
+    | Token.Eof -> error st "missing 'end'"
+    | _ ->
+        stmts := parse_stmt st :: !stmts;
+        stmt_loop ()
+  in
+  stmt_loop ();
+  { Ast.name; decls = List.rev !decls; stmts = List.rev !stmts }
+
+let parse_result src =
+  match parse src with
+  | ast -> Ok ast
+  | exception Error m -> Error ("parse error: " ^ m)
+  | exception Lexer.Error m -> Error ("lex error: " ^ m)

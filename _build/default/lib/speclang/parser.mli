@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the specification language.
+
+    Grammar:
+    {v
+    spec    := "module" IDENT ";" decl* stmt* "end"
+    decl    := ("input" | "output" | "var") IDENT ":" INT ["signed"] ";"
+    stmt    := IDENT [range] "=" expr ";"
+    range   := "[" INT [":" INT] "]"
+    expr    := cat
+    cat     := cmp { "&" cmp }                   (concatenation, hi first)
+    cmp     := addsub [("<"|"<="|">"|">="|"=="|"!=") addsub]
+    addsub  := term { ("+"|"-") term }
+    term    := factor { "*" factor }
+    factor  := IDENT [range] | NUMBER ["'" INT] | "(" expr ")" [range]
+             | "-" factor | ("max"|"min") "(" expr "," expr ")"
+    v} *)
+
+exception Error of string
+
+(** Parse a full specification; raises {!Error} / {!Lexer.Error}. *)
+val parse : string -> Ast.t
+
+val parse_result : string -> (Ast.t, string) result

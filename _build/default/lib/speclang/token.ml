@@ -1,0 +1,74 @@
+(** Tokens of the behavioural specification language.
+
+    The language is a small declarative dialect of the behavioural VHDL the
+    paper uses: port/variable declarations followed by single-assignment
+    statements over +, -, *, comparisons, min/max, bit slices and
+    concatenation.  See {!Parser} for the grammar. *)
+
+type t =
+  | Module
+  | Input
+  | Output
+  | Var
+  | Signed
+  | End
+  | Max
+  | Min
+  | Ident of string
+  | Number of int
+  | Plus
+  | Minus
+  | Star
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq_eq
+  | Bang_eq
+  | Amp  (** concatenation, as in VHDL's [&] *)
+  | Assign
+  | Semi
+  | Colon
+  | Comma
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Tick  (** width suffix separator: [5'8] is value 5 at 8 bits *)
+  | Question
+  | Eof
+
+let to_string = function
+  | Module -> "module"
+  | Input -> "input"
+  | Output -> "output"
+  | Var -> "var"
+  | Signed -> "signed"
+  | End -> "end"
+  | Max -> "max"
+  | Min -> "min"
+  | Ident s -> s
+  | Number n -> string_of_int n
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Amp -> "&"
+  | Assign -> "="
+  | Semi -> ";"
+  | Colon -> ":"
+  | Comma -> ","
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Tick -> "'"
+  | Question -> "?"
+  | Eof -> "<eof>"
+
+type located = { token : t; line : int; col : int }

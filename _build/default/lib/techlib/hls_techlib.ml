@@ -1,0 +1,92 @@
+type adder_style = Ripple | Carry_lookahead
+
+type t = {
+  name : string;
+  adder_style : adder_style;
+  fa_gates_per_bit : int;
+  adder_fixed_gates : int;
+  reg_gates_per_bit : int;
+  reg_fixed_gates : int;
+  mux_base_gates_per_bit : int;
+  ctrl_fixed_gates : int;
+  ctrl_gates_per_state : int;
+  ctrl_gates_per_signal : int;
+  delta_ns : float;
+  seq_overhead_ns : float;
+  mux_delay_ns : float;
+}
+
+let default =
+  {
+    name = "calibrated-ripple";
+    adder_style = Ripple;
+    fa_gates_per_bit = 10;
+    adder_fixed_gates = 2;
+    reg_gates_per_bit = 5;
+    reg_fixed_gates = 6;
+    mux_base_gates_per_bit = 2;
+    ctrl_fixed_gates = 12;
+    ctrl_gates_per_state = 8;
+    ctrl_gates_per_signal = 2;
+    delta_ns = 0.5;
+    seq_overhead_ns = 0.55;
+    mux_delay_ns = 0.15;
+  }
+
+let fast_cla =
+  {
+    default with
+    name = "calibrated-cla";
+    adder_style = Carry_lookahead;
+    fa_gates_per_bit = 14;
+    adder_fixed_gates = 6;
+  }
+
+let check_width name w =
+  if w < 1 then invalid_arg ("Hls_techlib." ^ name ^ ": width must be >= 1")
+
+let adder_gates t ~width =
+  check_width "adder_gates" width;
+  (t.fa_gates_per_bit * width) + t.adder_fixed_gates
+
+let register_gates t ~width =
+  check_width "register_gates" width;
+  (t.reg_gates_per_bit * width) + t.reg_fixed_gates
+
+let mux_gates t ~inputs ~width =
+  check_width "mux_gates" width;
+  if inputs <= 1 then 0
+  else (inputs + t.mux_base_gates_per_bit - 1) * width
+
+let controller_gates t ~states ~signals =
+  if states < 1 then invalid_arg "Hls_techlib.controller_gates: states >= 1";
+  t.ctrl_fixed_gates
+  + (t.ctrl_gates_per_state * states)
+  + (t.ctrl_gates_per_signal * max 0 signals)
+
+let adder_delay_delta t ~width =
+  check_width "adder_delay_delta" width;
+  match t.adder_style with
+  | Ripple -> width
+  | Carry_lookahead -> min width ((2 * Hls_util.Int_math.clog2 width) + 2)
+
+let delta_to_ns t d = float_of_int (max 0 d) *. t.delta_ns
+
+let cycle_ns t ~chain_delta ~mux_levels =
+  t.seq_overhead_ns
+  +. (float_of_int (max 0 mux_levels) *. t.mux_delay_ns)
+  +. delta_to_ns t chain_delta
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>techlib %s:@ adder %d gates/bit + %d@ register %d gates/bit + %d@ \
+     delta %.2f ns, seq overhead %.2f ns, mux %.2f ns@]"
+    t.name t.fa_gates_per_bit t.adder_fixed_gates t.reg_gates_per_bit
+    t.reg_fixed_gates t.delta_ns t.seq_overhead_ns t.mux_delay_ns
+
+let multiplier_gates t ~wa ~wb =
+  check_width "multiplier_gates" wa;
+  check_width "multiplier_gates" wb;
+  (t.fa_gates_per_bit * wa * wb) + t.adder_fixed_gates
+
+let comparator_gates t ~width = adder_gates t ~width

@@ -1,0 +1,85 @@
+(** Technology library: gate-count and delay models.
+
+    The paper reports areas in gates and timings in nanoseconds as produced
+    by Synopsys Design Compiler after logic synthesis.  That tool is
+    unavailable here, so this module provides a consistent linear gate/delay
+    model whose constants are calibrated against the paper's Table I:
+
+    - ripple-carry full adder ≈ 10 gates / bit (16-bit adder = 162 gates),
+    - register ≈ 5 gates / bit plus a small per-register enable overhead,
+    - 2:1 mux = 3 gates / bit, 3:1 mux = 4 gates / bit (n:1 = n+1 / bit),
+    - 1-bit full-adder delay δ = 0.5 ns, sequential overhead = 0.55 ns.
+
+    Experiments compare two RTL implementations produced by the same flow, so
+    only *relative* areas and cycle lengths matter; a consistent linear model
+    preserves those ratios even though absolute figures differ from DC. *)
+
+(** Adder implementation style.  The fragmentation algorithm itself assumes
+    ripple-carry timing (the paper's primary setting); carry-lookahead is
+    provided for the "faster adders" discussion at the end of §2. *)
+type adder_style = Ripple | Carry_lookahead
+
+type t = {
+  name : string;
+  adder_style : adder_style;
+  fa_gates_per_bit : int;  (** combinational gates per result bit of an adder *)
+  adder_fixed_gates : int;  (** per-adder overhead (carry in/out plumbing) *)
+  reg_gates_per_bit : int;
+  reg_fixed_gates : int;  (** per-register load-enable overhead *)
+  mux_base_gates_per_bit : int;  (** n:1 mux costs [n + base - 1] gates/bit *)
+  ctrl_fixed_gates : int;
+  ctrl_gates_per_state : int;
+  ctrl_gates_per_signal : int;
+  delta_ns : float;  (** δ: delay of one chained 1-bit addition *)
+  seq_overhead_ns : float;  (** register clock→q + setup + skew *)
+  mux_delay_ns : float;  (** delay of one mux level on an operand path *)
+}
+
+(** The calibrated default library (ripple-carry). *)
+val default : t
+
+(** Same calibration but carry-lookahead adders: bigger, with delay growing
+    logarithmically in width. *)
+val fast_cla : t
+
+(** {1 Area} *)
+
+(** Gates of one [width]-bit adder. *)
+val adder_gates : t -> width:int -> int
+
+(** Gates of one [width]-bit register. *)
+val register_gates : t -> width:int -> int
+
+(** Gates of one [inputs]:1 multiplexer of [width] bits; 0 when
+    [inputs <= 1] (a wire). *)
+val mux_gates : t -> inputs:int -> width:int -> int
+
+(** Gates of a Moore FSM controller with [states] states driving [signals]
+    single-bit control outputs. *)
+val controller_gates : t -> states:int -> signals:int -> int
+
+(** {1 Delay}
+
+    Delays are expressed first in δ units (chained 1-bit additions) — the
+    paper's internal metric — and converted to ns only for reporting. *)
+
+(** δ units consumed by a [width]-bit addition in this library's style:
+    [width] for ripple-carry, ~2·ceil(log2 width)+2 for carry-lookahead. *)
+val adder_delay_delta : t -> width:int -> int
+
+(** [cycle_ns t ~chain_delta ~mux_levels] is the clock period needed for a
+    cycle whose longest combinational path ripples through [chain_delta]
+    1-bit additions behind [mux_levels] levels of operand steering. *)
+val cycle_ns : t -> chain_delta:int -> mux_levels:int -> float
+
+(** [delta_to_ns t d] converts a pure combinational chain length to ns. *)
+val delta_to_ns : t -> int -> float
+
+val pp : Format.formatter -> t -> unit
+
+(** Gates of an unsigned array multiplier with operand widths [wa] × [wb]
+    (one gated full-adder cell per partial-product bit). *)
+val multiplier_gates : t -> wa:int -> wb:int -> int
+
+(** Gates of a [width]-bit comparator (a borrow-ripple chain). *)
+val comparator_gates : t -> width:int -> int

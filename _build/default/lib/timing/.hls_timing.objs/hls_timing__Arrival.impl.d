@@ -1,0 +1,1 @@
+lib/timing/arrival.ml: Array Bitdep Format Hls_dfg Hls_util List

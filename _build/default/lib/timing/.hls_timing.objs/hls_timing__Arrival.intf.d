@@ -1,0 +1,1 @@
+lib/timing/arrival.mli: Format Hls_dfg

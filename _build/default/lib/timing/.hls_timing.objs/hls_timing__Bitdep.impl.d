@@ -1,0 +1,1 @@
+lib/timing/bitdep.ml: Hls_dfg Hls_util List Option

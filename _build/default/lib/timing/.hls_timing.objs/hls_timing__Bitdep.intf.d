@@ -1,0 +1,1 @@
+lib/timing/bitdep.mli: Hls_dfg

@@ -1,0 +1,1 @@
+lib/timing/critical_path.ml: Array Arrival Deadline Hls_dfg Hls_util List

@@ -1,0 +1,1 @@
+lib/timing/critical_path.mli: Hls_dfg

@@ -1,0 +1,1 @@
+lib/timing/deadline.ml: Array Arrival Bitdep Hls_dfg Hls_util List

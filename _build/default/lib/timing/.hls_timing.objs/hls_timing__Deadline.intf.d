@@ -1,0 +1,1 @@
+lib/timing/deadline.mli: Arrival Hls_dfg

@@ -1,0 +1,73 @@
+(** Forward bit-level arrival analysis (the "rippling" model of Figs. 1e /
+    3b).
+
+    The arrival slot of a result bit is the number of δ units after the
+    start of execution at which that bit is stable, assuming unlimited
+    chaining (no cycle boundaries).  Primary inputs and constants are stable
+    at slot 0.  With a per-cycle chaining budget of [n_bits] δ, the earliest
+    cycle a bit can be produced in is simply [ceil(slot / n_bits)]:
+    registering a value at a cycle boundary never makes it available earlier
+    than its combinational arrival, so the unconstrained arrival time *is*
+    the bit-level ASAP schedule. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+
+type t = {
+  slots : int array array;  (** [slots.(id).(bit)] = arrival slot in δ *)
+}
+
+let source_slot t = function
+  | Input _ | Const _ -> fun _ -> 0
+  | Node id -> fun bit -> t.slots.(id).(bit)
+
+let dep_slot t ~self = function
+  | Bitdep.Self j -> self.(j)
+  | Bitdep.Bit (src, i) -> source_slot t src i
+
+let compute graph =
+  let t = { slots = Array.make (Graph.node_count graph) [||] } in
+  Graph.iter_nodes
+    (fun n ->
+      let slots = Array.make n.width 0 in
+      for pos = 0 to n.width - 1 do
+        let cost, deps = Bitdep.bit_deps graph n pos in
+        let ready =
+          List.fold_left (fun acc d -> max acc (dep_slot t ~self:slots d)) 0 deps
+        in
+        slots.(pos) <- ready + cost
+      done;
+      t.slots.(n.id) <- slots)
+    graph;
+  t
+
+(** Arrival slot of one node bit. *)
+let slot t ~id ~bit = t.slots.(id).(bit)
+
+(** Arrival slot of an operand bit position (before extension). *)
+let operand_slot t (o : operand) ~bit = source_slot t o.src (o.lo + bit)
+
+(** Latest arrival over all bits of all nodes: the critical path length in
+    δ (chained 1-bit additions). *)
+let critical_delta t =
+  Array.fold_left
+    (fun acc slots -> Array.fold_left max acc slots)
+    0 t.slots
+
+(** Earliest cycle (1-based) bit [bit] of node [id] can be computed in,
+    under a chaining budget of [n_bits] δ per cycle.  Bits arriving at slot
+    0 (pure wiring of inputs) belong to cycle 1. *)
+let asap_cycle t ~n_bits ~id ~bit =
+  if n_bits < 1 then invalid_arg "Arrival.asap_cycle: n_bits must be >= 1";
+  let s = t.slots.(id).(bit) in
+  max 1 (Hls_util.Int_math.ceil_div s n_bits)
+
+let pp ppf t =
+  Array.iteri
+    (fun id slots ->
+      Format.fprintf ppf "n%d: %a@ " id
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           Format.pp_print_int)
+        (Array.to_list slots))
+    t.slots

@@ -1,0 +1,31 @@
+(** Forward bit-level arrival analysis — the "rippling" model of the
+    paper's Figs. 1e and 3b.
+
+    The arrival slot of a result bit is the number of δ units (1-bit
+    chained additions) after the start of execution at which that bit is
+    stable, assuming unlimited chaining.  Registering a value at a cycle
+    boundary never makes it available earlier than its combinational
+    arrival, so under a per-cycle budget of [n_bits] δ the earliest cycle a
+    bit can be produced in is simply [ceil(slot / n_bits)]: the
+    unconstrained arrival time *is* the bit-level ASAP schedule. *)
+
+type t
+
+(** Compute arrival slots for every bit of every node. *)
+val compute : Hls_dfg.Graph.t -> t
+
+(** Arrival slot of one node bit (0 = stable at start). *)
+val slot : t -> id:Hls_dfg.Types.node_id -> bit:int -> int
+
+(** Arrival slot of an operand bit position (before extension). *)
+val operand_slot : t -> Hls_dfg.Types.operand -> bit:int -> int
+
+(** Latest arrival over all bits of all nodes: the critical path length in
+    δ. *)
+val critical_delta : t -> int
+
+(** Earliest cycle (1-based) bit [bit] of node [id] can be computed in,
+    under a chaining budget of [n_bits] δ per cycle. *)
+val asap_cycle : t -> n_bits:int -> id:Hls_dfg.Types.node_id -> bit:int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,136 @@
+(** Critical path and clock-cycle estimation (paper §3.2).
+
+    Two models are provided:
+
+    - {!critical_delta}: the exact bit-level model — the latest arrival
+      over all result bits under the rippling analysis of {!Arrival}.  This
+      is what the optimizer uses.
+    - {!path_time} / {!coarse_delta}: the literal algorithm printed in the
+      paper, which walks a path of additive operations from output to input
+      adding the final operation's width, plus 1 δ per crossed operation,
+      plus the LSBs an operation computes that its successor truncates
+      away.  On pure addition chains both models agree (the unit tests pin
+      the paper's three worked examples: 18 δ for Fig. 1e, 9 δ and 8 δ for
+      Fig. 3b); the bit-level model additionally understands glue logic and
+      sign extension.
+
+    The estimated cycle duration for latency λ is
+    [ceil(critical_delta / λ)] chained 1-bit additions (the paper's
+    formula), converted to nanoseconds only for reporting. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+
+(** Exact critical path in δ over the whole graph. *)
+let critical_delta graph = Arrival.critical_delta (Arrival.compute graph)
+
+(** The paper's per-path algorithm.  [ops] lists the path from first to
+    last operation; each element gives the operation's result width and the
+    number of its LSBs its *successor on the path* truncates away (ignored
+    for the last element). *)
+type path_op = { op_width : int; lsbs_truncated_by_successor : int }
+
+let path_time = function
+  | [] -> 0
+  | ops ->
+      let rec go = function
+        | [] -> 0
+        | [ last ] -> last.op_width
+        | cur :: (_ :: _ as rest) ->
+            let penalty =
+              (* Only wider-than-successor operations pay the truncation:
+                 their successor's LSB input is not ready until the carry
+                 has rippled through the dropped bits. *)
+              if cur.lsbs_truncated_by_successor > 0 then
+                cur.lsbs_truncated_by_successor
+              else 0
+            in
+            1 + penalty + go rest
+      in
+      go ops
+
+(** Coarse whole-graph estimate: dynamic programming over additive nodes
+    mirroring {!path_time}; glue nodes forward their operands' values. *)
+let coarse_delta graph =
+  let n_nodes = Graph.node_count graph in
+  (* head.(id): δ consumed on the longest additive chain *before* node id's
+     own result ripples (the Σ(1 + truncation) prefix of path_time). *)
+  let head = Array.make n_nodes 0 in
+  (* through.(id): contribution node id passes to an additive successor. *)
+  let through = Array.make n_nodes 0 in
+  let best = ref 0 in
+  Graph.iter_nodes
+    (fun n ->
+      let operand_contrib (o : operand) =
+        match o.src with
+        | Input _ | Const _ -> 0
+        | Node id ->
+            let producer = Graph.node graph id in
+            if is_additive producer.kind then head.(id) + 1 + o.lo
+            else through.(id)
+      in
+      let h =
+        List.fold_left (fun acc o -> max acc (operand_contrib o)) 0 n.operands
+      in
+      head.(n.id) <- h;
+      through.(n.id) <- h;
+      if is_additive n.kind then best := max !best (h + n.width))
+    graph;
+  !best
+
+(** Paper formula: cycle duration in δ for a target latency. *)
+let cycle_delta_for_latency ~critical ~latency =
+  if latency < 1 then
+    invalid_arg "Critical_path.cycle_delta_for_latency: latency must be >= 1";
+  max 1 (Hls_util.Int_math.ceil_div critical latency)
+
+(** Estimate the chaining budget n_bits for scheduling [graph] in [latency]
+    cycles. *)
+let estimate_n_bits graph ~latency =
+  cycle_delta_for_latency ~critical:(critical_delta graph) ~latency
+
+(** Smallest latency for which a given per-cycle budget suffices — the dual
+    of {!cycle_delta_for_latency}; used by latency sweeps. *)
+let latency_for_cycle_delta ~critical ~n_bits =
+  if n_bits < 1 then
+    invalid_arg "Critical_path.latency_for_cycle_delta: n_bits must be >= 1";
+  max 1 (Hls_util.Int_math.ceil_div critical n_bits)
+
+(** {1 Slack}
+
+    Per-bit slack — the deadline minus the arrival of each result bit
+    under a total budget — tells a designer which parts of the graph pin
+    the cycle down (zero slack = on the critical path). *)
+
+type slack_summary = {
+  sl_zero : int;  (** bits with no slack (critical) *)
+  sl_total_bits : int;
+  sl_min : int;
+  sl_max : int;
+}
+
+let slack graph ~total_slots =
+  let arr = Arrival.compute graph in
+  let dl = Deadline.compute graph ~total_slots in
+  Array.init (Graph.node_count graph) (fun id ->
+      let n = Graph.node graph id in
+      Array.init n.width (fun bit ->
+          Deadline.slot dl ~id ~bit - Arrival.slot arr ~id ~bit))
+
+let slack_summary graph ~total_slots =
+  let s = slack graph ~total_slots in
+  let zero = ref 0 and total = ref 0 in
+  let mn = ref max_int and mx = ref min_int in
+  Array.iter
+    (Array.iter (fun v ->
+         incr total;
+         if v = 0 then incr zero;
+         if v < !mn then mn := v;
+         if v > !mx then mx := v))
+    s;
+  {
+    sl_zero = !zero;
+    sl_total_bits = !total;
+    sl_min = (if !total = 0 then 0 else !mn);
+    sl_max = (if !total = 0 then 0 else !mx);
+  }

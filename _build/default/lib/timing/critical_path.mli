@@ -1,0 +1,42 @@
+(** Critical path and clock-cycle estimation (paper §3.2). *)
+
+(** Exact critical path in δ over the whole graph (bit-level rippling
+    model). *)
+val critical_delta : Hls_dfg.Graph.t -> int
+
+(** The paper's per-path algorithm: the path is listed first-to-last; each
+    element gives the operation's result width and the number of its LSBs
+    its successor truncates away (ignored for the last element). *)
+type path_op = { op_width : int; lsbs_truncated_by_successor : int }
+
+val path_time : path_op list -> int
+
+(** Coarse whole-graph estimate: dynamic programming over additive nodes
+    mirroring {!path_time}; agrees with {!critical_delta} on pure addition
+    chains. *)
+val coarse_delta : Hls_dfg.Graph.t -> int
+
+(** Paper formula: cycle duration in δ for a target latency,
+    [ceil(critical / latency)], at least 1. *)
+val cycle_delta_for_latency : critical:int -> latency:int -> int
+
+(** Estimate the chaining budget n_bits for scheduling [graph] in
+    [latency] cycles. *)
+val estimate_n_bits : Hls_dfg.Graph.t -> latency:int -> int
+
+(** Smallest latency for which a per-cycle budget suffices (the dual). *)
+val latency_for_cycle_delta : critical:int -> n_bits:int -> int
+
+(** {1 Slack} *)
+
+type slack_summary = {
+  sl_zero : int;  (** bits with no slack (on the critical path) *)
+  sl_total_bits : int;
+  sl_min : int;
+  sl_max : int;
+}
+
+(** Per-bit slack (deadline − arrival) under a total δ budget. *)
+val slack : Hls_dfg.Graph.t -> total_slots:int -> int array array
+
+val slack_summary : Hls_dfg.Graph.t -> total_slots:int -> slack_summary

@@ -1,0 +1,78 @@
+(** Backward bit-level deadline (ALAP) analysis.
+
+    Given a total budget of [total_slots] = λ · n_bits δ units, the deadline
+    of a result bit is the latest slot at which it may be produced while
+    every consumer — including the carry chain towards its own upper bits —
+    can still meet the overall deadline.  A consumer bit with cost c needs
+    its dependencies ready c slots earlier; registering across a cycle
+    boundary never relaxes this (a value finished in slot s of cycle k is
+    available from slot s+1 onwards, or from the start of any later cycle,
+    both of which the uniform [l' - cost'] bound captures).
+
+    The latest cycle a bit can be produced in is [ceil(deadline / n_bits)],
+    mirroring {!Arrival.asap_cycle}. *)
+
+open Hls_dfg.Types
+module Graph = Hls_dfg.Graph
+
+type t = {
+  total_slots : int;
+  slots : int array array;  (** [slots.(id).(bit)] = deadline slot in δ *)
+}
+
+(** [compute graph ~total_slots ?caps] — [caps id bit] optionally tightens
+    the initial deadline of individual bits below the global budget (used
+    when fragment windows constrain bits beyond the pure dataflow ALAP,
+    e.g. under the coalesced fragmentation policy). *)
+let compute ?caps graph ~total_slots =
+  if total_slots < 0 then invalid_arg "Deadline.compute: negative budget";
+  let n_nodes = Graph.node_count graph in
+  let cap =
+    match caps with
+    | None -> fun _ _ -> total_slots
+    | Some f -> fun id bit -> min total_slots (f id bit)
+  in
+  let slots =
+    Array.init n_nodes (fun id ->
+        Array.init (Graph.node graph id).width (fun bit -> cap id bit))
+  in
+  let tighten src bit bound =
+    match src with
+    | Input _ | Const _ -> ()
+    | Node id -> slots.(id).(bit) <- min slots.(id).(bit) bound
+  in
+  (* Reverse topological sweep; within a node, upper bits first so the carry
+     chain constraint flows downward. *)
+  for id = n_nodes - 1 downto 0 do
+    let n = Graph.node graph id in
+    for pos = n.width - 1 downto 0 do
+      let cost, deps = Bitdep.bit_deps graph n pos in
+      let bound = slots.(id).(pos) - cost in
+      List.iter
+        (function
+          | Bitdep.Self j -> slots.(id).(j) <- min slots.(id).(j) bound
+          | Bitdep.Bit (src, i) -> tighten src i bound)
+        deps
+    done
+  done;
+  { total_slots; slots }
+
+let slot t ~id ~bit = t.slots.(id).(bit)
+
+(** Latest cycle (1-based) bit [bit] of node [id] may be computed in, under
+    a chaining budget of [n_bits] δ per cycle. *)
+let alap_cycle t ~n_bits ~id ~bit =
+  if n_bits < 1 then invalid_arg "Deadline.alap_cycle: n_bits must be >= 1";
+  max 1 (Hls_util.Int_math.ceil_div t.slots.(id).(bit) n_bits)
+
+(** A schedule is feasible iff no bit's deadline precedes its arrival. *)
+let feasible arrival t =
+  let ok = ref true in
+  Array.iteri
+    (fun id slots ->
+      Array.iteri
+        (fun bit l ->
+          if l < Arrival.slot arrival ~id ~bit then ok := false)
+        slots)
+    t.slots;
+  !ok

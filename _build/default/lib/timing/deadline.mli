@@ -1,0 +1,26 @@
+(** Backward bit-level deadline (ALAP) analysis.
+
+    Given a total budget of [total_slots] = λ·n_bits δ units, the deadline
+    of a result bit is the latest slot at which it may be produced while
+    every consumer — including the carry chain towards its own upper bits —
+    can still meet the overall deadline. *)
+
+type t
+
+(** [compute graph ~total_slots ?caps] — [caps id bit] optionally tightens
+    the initial deadline of individual bits below the global budget (used
+    when fragment windows constrain bits beyond the pure dataflow ALAP,
+    e.g. under the coalesced fragmentation policy). *)
+val compute :
+  ?caps:(Hls_dfg.Types.node_id -> int -> int) -> Hls_dfg.Graph.t ->
+  total_slots:int -> t
+
+(** Deadline slot of one node bit. *)
+val slot : t -> id:Hls_dfg.Types.node_id -> bit:int -> int
+
+(** Latest cycle (1-based) bit [bit] of node [id] may be computed in,
+    under a chaining budget of [n_bits] δ per cycle. *)
+val alap_cycle : t -> n_bits:int -> id:Hls_dfg.Types.node_id -> bit:int -> int
+
+(** A schedule is feasible iff no bit's deadline precedes its arrival. *)
+val feasible : Arrival.t -> t -> bool

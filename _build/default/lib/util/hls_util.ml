@@ -1,0 +1,205 @@
+(** Small shared helpers used across the HLS libraries.
+
+    Nothing here is specific to high-level synthesis; these are the generic
+    integer / list / formatting utilities the rest of the code base leans on
+    so that the domain modules stay focused on their algorithms. *)
+
+module Int_math = struct
+  (** Integer arithmetic helpers for widths, cycles and gate counts. *)
+
+  let ceil_div a b =
+    if b <= 0 then invalid_arg "Int_math.ceil_div: non-positive divisor";
+    if a <= 0 then 0 else (a + b - 1) / b
+
+  (** [clog2 n] is the number of bits needed to represent [n] distinct
+      values, i.e. ceil(log2 n); [clog2 1 = 0]. *)
+  let clog2 n =
+    if n <= 0 then invalid_arg "Int_math.clog2: non-positive argument";
+    let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+    go 0 1
+
+  (** [bits_for_value v] is the number of bits needed to hold the unsigned
+      value [v]; [bits_for_value 0 = 1]. *)
+  let bits_for_value v =
+    if v < 0 then invalid_arg "Int_math.bits_for_value: negative value";
+    if v = 0 then 1
+    else
+      let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+      go 0 v
+
+  let clamp ~lo ~hi v = max lo (min hi v)
+
+  let pow2 n =
+    if n < 0 || n > 62 then invalid_arg "Int_math.pow2: out of range";
+    1 lsl n
+end
+
+module List_ext = struct
+  let rec last = function
+    | [] -> invalid_arg "List_ext.last: empty list"
+    | [ x ] -> x
+    | _ :: tl -> last tl
+
+  let sum = List.fold_left ( + ) 0
+  let sum_by f = List.fold_left (fun acc x -> acc + f x) 0
+
+  let max_by f = function
+    | [] -> invalid_arg "List_ext.max_by: empty list"
+    | x :: tl ->
+        List.fold_left (fun acc y -> if f y > f acc then y else acc) x tl
+
+  let min_by f = function
+    | [] -> invalid_arg "List_ext.min_by: empty list"
+    | x :: tl ->
+        List.fold_left (fun acc y -> if f y < f acc then y else acc) x tl
+
+  (** [range a b] is [a; a+1; ...; b-1] (empty when [b <= a]). *)
+  let range a b = List.init (max 0 (b - a)) (fun i -> a + i)
+
+  (** Group consecutive elements for which [eq] holds into runs,
+      preserving order. *)
+  let group_runs ~eq l =
+    let close run acc = if run = [] then acc else List.rev run :: acc in
+    let rec go run acc = function
+      | [] -> List.rev (close run acc)
+      | x :: tl -> (
+          match run with
+          | [] -> go [ x ] acc tl
+          | y :: _ when eq y x -> go (x :: run) acc tl
+          | _ -> go [ x ] (close run acc) tl)
+    in
+    go [] [] l
+
+  (** Stable deduplication preserving the first occurrence. *)
+  let dedup ~eq l =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | x :: tl ->
+          if List.exists (eq x) acc then go acc tl else go (x :: acc) tl
+    in
+    go [] l
+
+  let take n l =
+    let rec go n acc = function
+      | [] -> List.rev acc
+      | _ when n <= 0 -> List.rev acc
+      | x :: tl -> go (n - 1) (x :: acc) tl
+    in
+    go n [] l
+end
+
+module Pretty = struct
+  (** Formatting helpers for the textual reports the benches print. *)
+
+  let pct ~from ~to_ =
+    if from = 0. then 0. else (from -. to_) /. from *. 100.
+
+  let pp_pct ppf v = Fmt.pf ppf "%.2f %%" v
+  let pp_ns ppf v = Fmt.pf ppf "%.2f ns" v
+  let pp_gates ppf v = Fmt.pf ppf "%d gates" v
+
+  (** Render a table with a header row; columns are padded to the widest
+      cell. Used by the bench harness to print the paper's tables. *)
+  let render_table ~header rows =
+    let all = header :: rows in
+    let ncols =
+      List.fold_left (fun acc r -> max acc (List.length r)) 0 all
+    in
+    let widths = Array.make ncols 0 in
+    List.iter
+      (fun row ->
+        List.iteri
+          (fun i cell ->
+            if i < ncols then
+              widths.(i) <- max widths.(i) (String.length cell))
+          row)
+      all;
+    let buf = Buffer.create 256 in
+    let render_row row =
+      List.iteri
+        (fun i cell ->
+          if i > 0 then Buffer.add_string buf "  ";
+          Buffer.add_string buf cell;
+          if i < ncols - 1 then
+            Buffer.add_string buf
+              (String.make (widths.(i) - String.length cell) ' '))
+        row;
+      Buffer.add_char buf '\n'
+    in
+    render_row header;
+    Buffer.add_string buf
+      (String.make (Array.fold_left ( + ) (2 * (ncols - 1)) widths) '-');
+    Buffer.add_char buf '\n';
+    List.iter render_row rows;
+    Buffer.contents buf
+end
+
+(** Deterministic splittable PRNG used by workload generators so that
+    benchmark DFGs are reproducible run to run. *)
+module Prng = struct
+  type t = { mutable state : int64 }
+
+  let create ~seed = { state = Int64.of_int (seed lxor 0x9E3779B9) }
+
+  (* SplitMix64 step; plenty for generating reproducible workloads. *)
+  let next t =
+    let open Int64 in
+    t.state <- add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  (** [int t bound] draws uniformly from [0, bound). *)
+  let int t bound =
+    if bound <= 0 then invalid_arg "Prng.int: non-positive bound";
+    Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int)
+                    (Int64.of_int bound))
+
+  let bool t = Int64.logand (next t) 1L = 1L
+
+  (** [pick t l] draws a uniformly random element of [l]. *)
+  let pick t l =
+    match l with
+    | [] -> invalid_arg "Prng.pick: empty list"
+    | _ -> List.nth l (int t (List.length l))
+end
+
+module Csd = struct
+  (** Canonical signed-digit recoding of integer constants.
+
+      A constant multiplier is a network of shift-adds, one per nonzero CSD
+      digit; CSD guarantees no two adjacent digits are nonzero, so an
+      n-bit constant has at most ceil((n+1)/2) digits and typically ~n/3.
+      Used to lower multiplications by constants into a handful of
+      additions (as any synthesis tool does for filter coefficients). *)
+
+  (** [digits v] returns the CSD digits of [v] as (bit position, negative?)
+      pairs, least significant first.  [digits 0 = []];
+      Σ ±2^pos reconstructs [v] exactly. *)
+  let digits v =
+    let negative = v < 0 in
+    let v = abs v in
+    (* Standard recoding: examine bits of v + carry; a run of ones becomes
+       +2^(k+1) - 2^j. *)
+    let rec go pos v acc =
+      if v = 0 then List.rev acc
+      else if v land 1 = 0 then go (pos + 1) (v lsr 1) acc
+      else if v land 3 = 3 then
+        (* ...11 -> -1 here, carry up. *)
+        go (pos + 1) ((v lsr 1) + 1) ((pos, true) :: acc)
+      else go (pos + 1) (v lsr 1) ((pos, false) :: acc)
+    in
+    let ds = go 0 v [] in
+    if negative then List.map (fun (p, neg) -> (p, not neg)) ds else ds
+
+  let digit_count v = List.length (digits v)
+
+  (** Reconstruct the integer from its digits (used by tests). *)
+  let value ds =
+    List.fold_left
+      (fun acc (pos, neg) ->
+        let term = 1 lsl pos in
+        if neg then acc - term else acc + term)
+      0 ds
+end

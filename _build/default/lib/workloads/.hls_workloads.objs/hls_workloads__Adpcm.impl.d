@@ -1,0 +1,1 @@
+lib/workloads/adpcm.ml: Hls_bitvec Hls_dfg

@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.ml: Hls_bitvec Hls_dfg List Printf

@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.mli: Hls_dfg

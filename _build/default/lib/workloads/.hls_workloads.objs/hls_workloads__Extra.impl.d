@@ -1,0 +1,1 @@
+lib/workloads/extra.ml: Hls_bitvec Hls_dfg List Printf

@@ -1,0 +1,1 @@
+lib/workloads/extra.mli: Hls_dfg

@@ -1,0 +1,1 @@
+lib/workloads/motivational.ml: Hls_dfg List Printf

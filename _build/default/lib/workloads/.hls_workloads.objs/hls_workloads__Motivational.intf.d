@@ -1,0 +1,1 @@
+lib/workloads/motivational.mli: Hls_dfg

@@ -1,0 +1,1 @@
+lib/workloads/random_dfg.ml: Hls_dfg Hls_util List Printf

@@ -1,0 +1,1 @@
+lib/workloads/random_dfg.mli: Hls_dfg

@@ -1,0 +1,189 @@
+(** Arithmetic kernels of four blocks of the CCITT G.721 ADPCM decoder —
+    the paper's Table III modules.
+
+    The reference C of Recommendation G.721 is not available offline; these
+    graphs model the additive/multiplicative arithmetic of each block at
+    the recommendation's signal widths (log-domain quantities are 11–12
+    bits, linear PCM is 14–16 bits).  Each graph keeps the block's
+    operation mix and dependence depth, which is what the cycle-length /
+    area comparison exercises:
+
+    - {!iaq} (inverse adaptive quantizer): reconstruct the quantized
+      difference signal — log-domain addition [dql = dqln + y/4], antilog
+      mantissa scaling (a multiplication) and sign application.
+    - {!ttd} (tone & transition detector): threshold comparisons over the
+      reconstructed signal and the partially-reconstructed slope.
+    - {!opfc_sca} (output PCM format conversion + synchronous coding
+      adjustment, synthesized together as in the paper): linear→log
+      compression arithmetic followed by the coding-adjustment
+      comparisons and ±1 corrections. *)
+
+open Hls_dfg.Types
+module B = Hls_dfg.Builder
+
+(** Inverse adaptive quantizer (IAQ). *)
+let iaq () =
+  let b = B.create ~name:"adpcm_iaq" in
+  let dqln = B.input b "dqln" ~width:12 ~signed:Signed in
+  let y = B.input b "y" ~width:13 in
+  let antilog_base = B.input b "antilog" ~width:12 in
+  let sign = B.input b "sign" ~width:1 in
+  (* dql = dqln + y >> 2 (log-domain addition). *)
+  let y_scaled = Hls_dfg.Operand.reslice y ~hi:12 ~lo:2 in
+  let dql =
+    B.add b ~width:12 ~signedness:Signed ~label:"dql" dqln
+      { y_scaled with ext = Zext }
+  in
+  (* Antilog: mantissa scaling — (1 + mantissa) · 2^exp modelled as a
+     7x12 multiplication of the mantissa field. *)
+  let mant = Hls_dfg.Operand.reslice dql ~hi:6 ~lo:0 in
+  let dq_mag =
+    B.mul b ~width:16 ~label:"dq_mag" { mant with ext = Zext } antilog_base
+  in
+  (* Apply the sign: dq = sign ? -dq_mag : dq_mag. *)
+  let neg = B.node b Neg ~width:16 ~label:"dq_neg" [ dq_mag ] in
+  let dq = B.node b Mux ~width:16 ~label:"dq" [ sign; neg; dq_mag ] in
+  B.output b "dq" dq;
+  B.finish b
+
+(** Tone & transition detector (TTD). *)
+let ttd () =
+  let b = B.create ~name:"adpcm_ttd" in
+  let a2p = B.input b "a2p" ~width:16 ~signed:Signed in
+  let dq = B.input b "dq" ~width:16 ~signed:Signed in
+  let yl = B.input b "yl" ~width:16 in
+  let thr1 = B.input b "thr1" ~width:16 ~signed:Signed in
+  (* Partially reconstructed signal tone check: a2p < -0.71875 modelled as
+     a2p < thr1. *)
+  let tdp = B.lt b ~signedness:Signed ~label:"tdp" a2p thr1 in
+  (* Transition detect: |dq| > 24 · 2^(yl >> 15)... the kernel is a scaled
+     threshold: thr2 = (yl>>10) + (yl>>12); tr = |dq| > thr2. *)
+  let t1 = Hls_dfg.Operand.reslice yl ~hi:15 ~lo:10 in
+  let t2 = Hls_dfg.Operand.reslice yl ~hi:15 ~lo:12 in
+  let thr2 =
+    B.add b ~width:16 ~label:"thr2" { t1 with ext = Zext }
+      { t2 with ext = Zext }
+  in
+  let dq_neg = B.node b Neg ~width:16 ~signedness:Signed ~label:"negdq" [ dq ] in
+  let is_neg = B.lt b ~signedness:Signed ~label:"sgn" dq
+      (Hls_dfg.Operand.of_const (Hls_bitvec.zero 16)) in
+  let abs_dq =
+    B.node b Mux ~width:16 ~label:"absdq" [ is_neg; dq_neg; dq ]
+  in
+  let tr = B.node b Gt ~width:1 ~label:"tr" [ abs_dq; thr2 ] in
+  (* Composite detector output. *)
+  let both = B.node b And ~width:1 ~label:"tonetr" [ tdp; tr ] in
+  B.output b "tdp" tdp;
+  B.output b "tr" tr;
+  B.output b "tonetr" both;
+  B.finish b
+
+(** Output PCM format conversion + synchronous coding adjustment
+    (OPFC + SCA, synthesized together as in the paper). *)
+let opfc_sca () =
+  let b = B.create ~name:"adpcm_opfc_sca" in
+  let sr = B.input b "sr" ~width:16 ~signed:Signed in
+  let se = B.input b "se" ~width:15 ~signed:Signed in
+  let y = B.input b "y" ~width:13 in
+  let i_code = B.input b "i" ~width:4 in
+  let bias = B.input b "bias" ~width:16 ~signed:Signed in
+  (* OPFC: compressed-domain error sp - se. *)
+  let biased = B.add b ~width:16 ~signedness:Signed ~label:"biased" sr bias in
+  let dx = B.sub b ~width:16 ~signedness:Signed ~label:"dx" biased se in
+  (* Log compress: segment find via thresholded comparisons. *)
+  let seg1 = B.node b Ge ~width:1 ~signedness:Signed ~label:"seg1"
+      [ dx; Hls_dfg.Operand.of_const (Hls_bitvec.of_int ~width:16 16) ] in
+  let seg2 = B.node b Ge ~width:1 ~signedness:Signed ~label:"seg2"
+      [ dx; Hls_dfg.Operand.of_const (Hls_bitvec.of_int ~width:16 256) ] in
+  let seg3 = B.node b Ge ~width:1 ~signedness:Signed ~label:"seg3"
+      [ dx; Hls_dfg.Operand.of_const (Hls_bitvec.of_int ~width:16 4096) ] in
+  let seg12 = B.add b ~width:3 ~label:"seg12"
+      { seg1 with ext = Zext } { seg2 with ext = Zext } in
+  let seg = B.add b ~width:3 ~label:"seg" seg12 { seg3 with ext = Zext } in
+  (* SCA: requantize the error against the adaptive step and adjust ±1. *)
+  let y_scaled = Hls_dfg.Operand.reslice y ~hi:12 ~lo:2 in
+  let dlx = B.sub b ~width:16 ~signedness:Signed ~label:"dlx" dx
+      { y_scaled with ext = Zext } in
+  let im = B.node b Lt ~width:1 ~signedness:Signed ~label:"im"
+      [ dlx; Hls_dfg.Operand.of_const (Hls_bitvec.zero 16) ] in
+  let i_ext = B.node b Wire ~width:5 ~label:"iext" [ i_code ] in
+  let i_plus = B.add b ~width:5 ~label:"i_plus" i_ext
+      (Hls_dfg.Operand.of_const (Hls_bitvec.of_int ~width:1 1)) in
+  let i_minus = B.sub b ~width:5 ~label:"i_minus" i_ext
+      (Hls_dfg.Operand.of_const (Hls_bitvec.of_int ~width:1 1)) in
+  let adjusted =
+    B.node b Mux ~width:5 ~label:"sd" [ im; i_minus; i_plus ]
+  in
+  B.output b "seg" seg;
+  B.output b "sd" adjusted;
+  B.output b "dx" dx;
+  B.finish b
+
+(** The Table III module set with the paper's conventional latencies. *)
+let table3_set () =
+  [ ("IAQ", iaq (), 3); ("TTD", ttd (), 5); ("OPFC+SCA", opfc_sca (), 12) ]
+
+(** The composed decoder path: IAQ reconstructs the difference signal,
+    the reconstructed signal feeds TTD's transition detector, and the
+    OPFC/SCA arithmetic produces the adjusted code — one larger module
+    exercising the same kernels together (the paper synthesizes the blocks
+    separately; this composition is our integration workload). *)
+let decoder () =
+  let b = B.create ~name:"adpcm_decoder" in
+  let dqln = B.input b "dqln" ~width:12 ~signed:Signed in
+  let y = B.input b "y" ~width:13 in
+  let antilog_base = B.input b "antilog" ~width:12 in
+  let sign = B.input b "sign" ~width:1 in
+  let se = B.input b "se" ~width:15 ~signed:Signed in
+  let a2p = B.input b "a2p" ~width:16 ~signed:Signed in
+  let thr1 = B.input b "thr1" ~width:16 ~signed:Signed in
+  let yl = B.input b "yl" ~width:16 in
+  let i_code = B.input b "i" ~width:4 in
+  let bias = B.input b "bias" ~width:16 ~signed:Signed in
+  (* IAQ *)
+  let y_scaled = Hls_dfg.Operand.reslice y ~hi:12 ~lo:2 in
+  let dql =
+    B.add b ~width:12 ~signedness:Signed ~label:"dql" dqln
+      { y_scaled with ext = Zext }
+  in
+  let mant = Hls_dfg.Operand.reslice dql ~hi:6 ~lo:0 in
+  let dq_mag =
+    B.mul b ~width:16 ~label:"dq_mag" { mant with ext = Zext } antilog_base
+  in
+  let neg = B.node b Neg ~width:16 ~label:"dq_neg" [ dq_mag ] in
+  let dq = B.node b Mux ~width:16 ~signedness:Signed ~label:"dq"
+      [ sign; neg; dq_mag ] in
+  (* Reconstructed signal sr = se + dq feeds both TTD and OPFC. *)
+  let sr = B.add b ~width:16 ~signedness:Signed ~label:"sr"
+      { se with ext = Sext } dq in
+  (* TTD on the reconstructed difference. *)
+  let tdp = B.lt b ~signedness:Signed ~label:"tdp" a2p thr1 in
+  let t1 = Hls_dfg.Operand.reslice yl ~hi:15 ~lo:10 in
+  let t2 = Hls_dfg.Operand.reslice yl ~hi:15 ~lo:12 in
+  let thr2 =
+    B.add b ~width:16 ~label:"thr2" { t1 with ext = Zext }
+      { t2 with ext = Zext }
+  in
+  let dq_neg2 = B.node b Neg ~width:16 ~signedness:Signed ~label:"negdq" [ dq ] in
+  let is_neg = B.lt b ~signedness:Signed ~label:"sgn" dq
+      (Hls_dfg.Operand.of_const (Hls_bitvec.zero 16)) in
+  let abs_dq = B.node b Mux ~width:16 ~label:"absdq" [ is_neg; dq_neg2; dq ] in
+  let tr = B.node b Gt ~width:1 ~label:"tr" [ abs_dq; thr2 ] in
+  let tonetr = B.node b And ~width:1 ~label:"tonetr" [ tdp; tr ] in
+  (* OPFC + SCA on sr. *)
+  let biased = B.add b ~width:16 ~signedness:Signed ~label:"biased" sr bias in
+  let dx = B.sub b ~width:16 ~signedness:Signed ~label:"dx" biased se in
+  let dlx = B.sub b ~width:16 ~signedness:Signed ~label:"dlx" dx
+      { y_scaled with ext = Zext } in
+  let im = B.node b Lt ~width:1 ~signedness:Signed ~label:"im"
+      [ dlx; Hls_dfg.Operand.of_const (Hls_bitvec.zero 16) ] in
+  let i_ext = B.node b Wire ~width:5 ~label:"iext" [ i_code ] in
+  let i_plus = B.add b ~width:5 ~label:"i_plus" i_ext
+      (Hls_dfg.Operand.of_const (Hls_bitvec.of_int ~width:1 1)) in
+  let i_minus = B.sub b ~width:5 ~label:"i_minus" i_ext
+      (Hls_dfg.Operand.of_const (Hls_bitvec.of_int ~width:1 1)) in
+  let sd = B.node b Mux ~width:5 ~label:"sd" [ im; i_minus; i_plus ] in
+  B.output b "sr" sr;
+  B.output b "tonetr" tonetr;
+  B.output b "sd" sd;
+  B.finish b

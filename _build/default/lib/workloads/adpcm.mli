@@ -1,0 +1,22 @@
+(** Arithmetic kernels of four blocks of the CCITT G.721 ADPCM decoder —
+    the paper's Table III modules — modelled at the recommendation's signal
+    widths (the reference C is not available offline; the graphs keep each
+    block's operation mix and dependence depth). *)
+
+(** Inverse adaptive quantizer. *)
+val iaq : unit -> Hls_dfg.Graph.t
+
+(** Tone & transition detector. *)
+val ttd : unit -> Hls_dfg.Graph.t
+
+(** Output PCM format conversion + synchronous coding adjustment,
+    synthesized together as in the paper. *)
+val opfc_sca : unit -> Hls_dfg.Graph.t
+
+(** The Table III module set with the paper's latencies. *)
+val table3_set : unit -> (string * Hls_dfg.Graph.t * int) list
+
+(** The composed decoder path (IAQ → reconstruction → TTD + OPFC/SCA): one
+    larger integration workload; the paper synthesizes the blocks
+    separately. *)
+val decoder : unit -> Hls_dfg.Graph.t

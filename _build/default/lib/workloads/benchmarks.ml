@@ -1,0 +1,182 @@
+(** The classical HLS benchmarks of the paper's Table II.
+
+    The paper synthesizes the UCI High-Level Synthesis Workshop benchmarks
+    [Dutt 1992]: the fifth-order elliptic wave filter, the HAL differential
+    equation solver, a fourth-order IIR filter and a second-order FIR
+    filter.  The UCI distribution itself is not available offline, so the
+    graphs below are reconstructed from their standard published structure:
+
+    - [diffeq] is the exact HAL graph (x1 = x + dx; u1 = u - 3xu·dx -
+      3y·dx; y1 = y + u·dx; exit test x1 < a): 6 multiplications, 2
+      subtractions, 2 additions, 1 comparison;
+    - [fir2] is the canonical 3-tap form (3 multiplications, 2 additions);
+    - [iir4] is two cascaded direct-form-II biquads (8 multiplications,
+      8 additions/subtractions);
+    - [elliptic] is a fifth-order wave-digital-filter ladder with the
+      benchmark's canonical operation mix — 26 additions/subtractions and
+      8 multiplications — and a comparable dependence depth.
+
+    All data paths are [width]-bit (16 by default) signed fixed-point;
+    filter coefficients enter through ports, products are truncated back to
+    the data width — the usual HLS-benchmark convention.  The experiments
+    compare two syntheses of the *same* graph, so what matters is the
+    operation mix and dependence structure, not bit-exact UCI source. *)
+
+open Hls_dfg.Types
+module B = Hls_dfg.Builder
+
+let signed_input b name ~width = B.input b name ~width ~signed:Signed
+
+(* Filter coefficients are fixed constants, as in the UCI sources; a
+   synthesis flow multiplies by them with CSD shift-add networks, so each
+   coefficient is chosen with a small (2-3) nonzero-digit recoding, the
+   typical case for real filter tables. *)
+let coef ?(width = 16) v =
+  { (Hls_dfg.Operand.of_const (Hls_bitvec.of_int ~width v)) with ext = Sext }
+
+(** HAL differential equation solver (diffeq). *)
+let diffeq ?(width = 16) () =
+  let b = B.create ~name:"diffeq" in
+  let i = signed_input b in
+  let x = i "x" ~width
+  and y = i "y" ~width
+  and u = i "u" ~width
+  and dx = i "dx" ~width
+  and a = i "a" ~width in
+  let three = coef ~width 3 in
+  let mul l p q = B.mul b ~width ~signedness:Signed ~label:l p q in
+  let add l p q = B.add b ~width ~signedness:Signed ~label:l p q in
+  let sub l p q = B.sub b ~width ~signedness:Signed ~label:l p q in
+  let m1 = mul "3x" three x in
+  let m2 = mul "3xu" m1 u in
+  let m3 = mul "3xudx" m2 dx in
+  let m4 = mul "3y" three y in
+  let m5 = mul "3ydx" m4 dx in
+  let m6 = mul "udx" u dx in
+  let s1 = sub "u-3xudx" u m3 in
+  let u1 = sub "u1" s1 m5 in
+  let x1 = add "x1" x dx in
+  let y1 = add "y1" y m6 in
+  let c = B.lt b ~signedness:Signed ~label:"exit" x1 a in
+  B.output b "x1" x1;
+  B.output b "y1" y1;
+  B.output b "u1" u1;
+  B.output b "c" c;
+  B.finish b
+
+(** Second-order (3-tap) FIR filter. *)
+let fir2 ?(width = 16) () =
+  let b = B.create ~name:"fir2" in
+  let i = signed_input b in
+  let x0 = i "x0" ~width
+  and x1 = i "x1" ~width
+  and x2 = i "x2" ~width in
+  let c0 = coef ~width 10240 (* 2^13 + 2^11 *)
+  and c1 = coef ~width 16388 (* 2^14 + 2^2 *)
+  and c2 = coef ~width (-6144) (* -(2^13 - 2^11) *) in
+  let mul l p q = B.mul b ~width ~signedness:Signed ~label:l p q in
+  let add l p q = B.add b ~width ~signedness:Signed ~label:l p q in
+  let p0 = mul "p0" c0 x0 in
+  let p1 = mul "p1" c1 x1 in
+  let p2 = mul "p2" c2 x2 in
+  let s1 = add "s1" p0 p1 in
+  let y = add "y" s1 p2 in
+  B.output b "y" y;
+  B.finish b
+
+(* One direct-form-II biquad section: w = x - a1·w1 - a2·w2;
+   y = b0·w + b1·w1 + b2·w2. *)
+let biquad b ~width ~tag x (w1, w2) (a1, a2, b0, b1, b2) =
+  let mul l p q =
+    B.mul b ~width ~signedness:Signed ~label:(tag ^ "." ^ l) p q
+  in
+  let add l p q =
+    B.add b ~width ~signedness:Signed ~label:(tag ^ "." ^ l) p q
+  in
+  let sub l p q =
+    B.sub b ~width ~signedness:Signed ~label:(tag ^ "." ^ l) p q
+  in
+  let fb1 = mul "a1w1" a1 w1 in
+  let fb2 = mul "a2w2" a2 w2 in
+  let t = sub "t" x fb1 in
+  let w = sub "w" t fb2 in
+  let f0 = mul "b0w" b0 w in
+  let f1 = mul "b1w1" b1 w1 in
+  let f2 = mul "b2w2" b2 w2 in
+  let s = add "s" f0 f1 in
+  let y = add "y" s f2 in
+  (w, y)
+
+(** Fourth-order IIR filter: two cascaded biquads. *)
+let iir4 ?(width = 16) () =
+  let b = B.create ~name:"iir4" in
+  let i = signed_input b in
+  let x = i "x" ~width in
+  let sec1_state = (i "w11" ~width, i "w12" ~width) in
+  let sec2_state = (i "w21" ~width, i "w22" ~width) in
+  ignore i;
+  let c1 = (coef ~width (-12288), coef ~width 5120, coef ~width 8192,
+            coef ~width 16448, coef ~width 8192) in
+  let c2 = (coef ~width (-20480), coef ~width 9216, coef ~width 4096,
+            coef ~width 8256, coef ~width 4096) in
+  let w1, y1 = biquad b ~width ~tag:"s1" x sec1_state c1 in
+  let w2, y2 = biquad b ~width ~tag:"s2" y1 sec2_state c2 in
+  B.output b "w1" w1;
+  B.output b "w2" w2;
+  B.output b "y" y2;
+  B.finish b
+
+(* One wave-digital two-port adaptor: the elliptic filter's building
+   block.  d = b - a; m = γ·d; y1 = a + m; y2 = b + m. *)
+let adaptor b ~width ~tag a_in b_in gamma =
+  let lbl l = tag ^ "." ^ l in
+  let d = B.sub b ~width ~signedness:Signed ~label:(lbl "d") b_in a_in in
+  let m = B.mul b ~width ~signedness:Signed ~label:(lbl "m") gamma d in
+  let y1 = B.add b ~width ~signedness:Signed ~label:(lbl "y1") a_in m in
+  let y2 = B.add b ~width ~signedness:Signed ~label:(lbl "y2") b_in m in
+  (y1, y2)
+
+(** Fifth-order elliptic wave filter: a ladder of eight adaptors plus the
+    output summations — 26 additions/subtractions and 8 multiplications,
+    the canonical EWF operation mix. *)
+let elliptic ?(width = 16) () =
+  let b = B.create ~name:"elliptic" in
+  let i = signed_input b in
+  let inp = i "inp" ~width in
+  let sv = List.map (fun k -> i (Printf.sprintf "sv%d" k) ~width)
+      [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let gamma =
+    (* Adaptor coefficients: 2-3 CSD digits each. *)
+    List.map (coef ~width)
+      [ 10240; 12288; 20480; 6144; 24576; 5120; 17408; 11264 ]
+  in
+  let g k = List.nth gamma (k - 1) in
+  let s k = List.nth sv (k - 1) in
+  (* Input ladder: source section feeding two series branches. *)
+  let a1, b1 = adaptor b ~width ~tag:"ad1" inp (s 1) (g 1) in
+  let a2, b2 = adaptor b ~width ~tag:"ad2" a1 (s 2) (g 2) in
+  let a3, b3 = adaptor b ~width ~tag:"ad3" b1 (s 3) (g 3) in
+  let a4, b4 = adaptor b ~width ~tag:"ad4" a2 b3 (g 4) in
+  let a5, b5 = adaptor b ~width ~tag:"ad5" a3 (s 4) (g 5) in
+  let a6, b6 = adaptor b ~width ~tag:"ad6" a4 (s 5) (g 6) in
+  let a7, b7 = adaptor b ~width ~tag:"ad7" b5 (s 6) (g 7) in
+  let a8, b8 = adaptor b ~width ~tag:"ad8" a6 b7 (g 8) in
+  (* Output combiners (the remaining two additions of the 26). *)
+  let o1 =
+    B.add b ~width ~signedness:Signed ~label:"out.s1" b2 a5 in
+  let o2 = B.add b ~width ~signedness:Signed ~label:"out" o1 a8 in
+  B.output b "out" o2;
+  B.output b "sv1_next" b4;
+  B.output b "sv2_next" b6;
+  B.output b "sv3_next" b8;
+  B.output b "sv4_next" a7;
+  B.finish b
+
+(** The Table II benchmark set with the latencies the paper sweeps. *)
+let table2_set ?(width = 16) () =
+  [
+    ("elliptic", elliptic ~width (), [ 11; 6; 4 ]);
+    ("diffeq", diffeq ~width (), [ 6; 5; 4 ]);
+    ("iir4", iir4 ~width (), [ 6; 5 ]);
+    ("fir2", fir2 ~width (), [ 5; 3 ]);
+  ]

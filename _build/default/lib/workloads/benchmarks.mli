@@ -1,0 +1,16 @@
+(** The classical HLS benchmarks of the paper's Table II, reconstructed
+    from their standard published structure (the UCI sources are not
+    available offline): the HAL differential equation solver, a 3-tap FIR,
+    two cascaded biquads (IIR4), and a fifth-order wave-digital elliptic
+    filter with the canonical 26-addition / 8-multiplication mix.  Data
+    paths are [width]-bit signed fixed-point; filter coefficients are
+    constants with small CSD recodings, as in real filter tables. *)
+
+val diffeq : ?width:int -> unit -> Hls_dfg.Graph.t
+val fir2 : ?width:int -> unit -> Hls_dfg.Graph.t
+val iir4 : ?width:int -> unit -> Hls_dfg.Graph.t
+val elliptic : ?width:int -> unit -> Hls_dfg.Graph.t
+
+(** The Table II benchmark set with the latencies the paper sweeps. *)
+val table2_set :
+  ?width:int -> unit -> (string * Hls_dfg.Graph.t * int list) list

@@ -1,0 +1,101 @@
+(** Additional data-intensive workloads beyond the paper's own set, for
+    wider benchmark coverage:
+
+    - {!ar_lattice}: a four-stage autoregressive lattice filter (the "AR
+      filter" of the UCI suite family): per stage two constant-coefficient
+      multiplications and two additions, serially dependent — a deep
+      additive critical path that fragments well.
+    - {!dct8}: an 8-point DCT-II butterfly network: a first stage of
+      additions/subtractions followed by constant rotations — wide
+      parallelism with shallow depth, the opposite shape. *)
+
+open Hls_dfg.Types
+module B = Hls_dfg.Builder
+
+let coef ?(width = 16) v =
+  { (Hls_dfg.Operand.of_const (Hls_bitvec.of_int ~width v)) with ext = Sext }
+
+(** Four-stage AR lattice filter. *)
+let ar_lattice ?(width = 16) () =
+  let b = B.create ~name:"ar_lattice" in
+  let input name = B.input b name ~width ~signed:Signed in
+  let add l p q = B.add b ~width ~signedness:Signed ~label:l p q in
+  let mul l p q = B.mul b ~width ~signedness:Signed ~label:l p q in
+  let f0 = input "f_in" in
+  let bs = List.map (fun k -> input (Printf.sprintf "b%d" k)) [ 1; 2; 3; 4 ] in
+  (* Reflection coefficients: 2-3 CSD digits each. *)
+  let ks = List.map (coef ~width) [ 9216; -5120; 12288; -20480 ] in
+  let f_out, b_outs =
+    List.fold_left2
+      (fun (f, outs) b_in k ->
+        let tag = Printf.sprintf "st%d" (List.length outs + 1) in
+        let kb = mul (tag ^ ".kb") k b_in in
+        let f' = add (tag ^ ".f") f kb in
+        let kf = mul (tag ^ ".kf") k f' in
+        let b' = add (tag ^ ".b") b_in kf in
+        (f', b' :: outs))
+      (f0, []) bs ks
+  in
+  B.output b "f_out" f_out;
+  List.iteri
+    (fun i v -> B.output b (Printf.sprintf "b_out%d" (i + 1)) v)
+    (List.rev b_outs);
+  B.finish b
+
+(** 8-point DCT-II butterfly network (Loeffler-style first stages with
+    constant rotations, truncated back to [width] bits). *)
+let dct8 ?(width = 16) () =
+  let b = B.create ~name:"dct8" in
+  let xs =
+    List.map
+      (fun k -> B.input b (Printf.sprintf "x%d" k) ~width ~signed:Signed)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  let x k = List.nth xs k in
+  let add l p q = B.add b ~width ~signedness:Signed ~label:l p q in
+  let sub l p q = B.sub b ~width ~signedness:Signed ~label:l p q in
+  let mul l p q = B.mul b ~width ~signedness:Signed ~label:l p q in
+  (* Stage 1: mirror butterflies. *)
+  let s0 = add "s0" (x 0) (x 7) in
+  let s1 = add "s1" (x 1) (x 6) in
+  let s2 = add "s2" (x 2) (x 5) in
+  let s3 = add "s3" (x 3) (x 4) in
+  let d0 = sub "d0" (x 0) (x 7) in
+  let d1 = sub "d1" (x 1) (x 6) in
+  let d2 = sub "d2" (x 2) (x 5) in
+  let d3 = sub "d3" (x 3) (x 4) in
+  (* Stage 2 (even part). *)
+  let e0 = add "e0" s0 s3 in
+  let e1 = add "e1" s1 s2 in
+  let e2 = sub "e2" s0 s3 in
+  let e3 = sub "e3" s1 s2 in
+  (* Even outputs: X0 = e0 + e1; X4 = e0 - e1; X2/X6 rotate (e2, e3). *)
+  let out0 = add "X0" e0 e1 in
+  let out4 = sub "X4" e0 e1 in
+  (* Rotation by ~c2/s2 (Q13 constants with few CSD digits). *)
+  let c2 = coef ~width 7552 (* ≈ 0.9239 · 2^13 *) in
+  let s2c = coef ~width 3200 (* ≈ 0.3827 · 2^13, 2-digit CSD *) in
+  let out2 = add "X2" (mul "e2c" c2 e2) (mul "e3s" s2c e3) in
+  let out6 = sub "X6" (mul "e2s" s2c e2) (mul "e3c" c2 e3) in
+  (* Odd part: rotations then combining adds. *)
+  let c1 = coef ~width 8064 and s1c = coef ~width 1600 in
+  let c3 = coef ~width 6784 and s3c = coef ~width 4544 in
+  let o0 = add "o0" (mul "d0c" c1 d0) (mul "d3s" s1c d3) in
+  let o3 = sub "o3" (mul "d0s" s1c d0) (mul "d3c" c1 d3) in
+  let o1 = add "o1" (mul "d1c" c3 d1) (mul "d2s" s3c d2) in
+  let o2 = sub "o2" (mul "d1s" s3c d1) (mul "d2c" c3 d2) in
+  let out1 = add "X1" o0 o1 in
+  let out7 = sub "X7" o3 o2 in
+  let out5 = sub "X5" o0 o1 in
+  let out3 = add "X3" o3 o2 in
+  List.iteri
+    (fun i v -> B.output b (Printf.sprintf "X%d" i) v)
+    [ out0; out1; out2; out3; out4; out5; out6; out7 ];
+  B.finish b
+
+(** The extra set with sensible latency sweeps. *)
+let set ?(width = 16) () =
+  [
+    ("ar_lattice", ar_lattice ~width (), [ 8; 4 ]);
+    ("dct8", dct8 ~width (), [ 4; 2 ]);
+  ]

@@ -1,0 +1,10 @@
+(** Additional data-intensive workloads beyond the paper's own set: a
+    four-stage AR lattice filter (deep serial chain) and an 8-point DCT-II
+    butterfly network (wide, shallow) — the two benchmark shapes that
+    bracket the paper's set. *)
+
+val ar_lattice : ?width:int -> unit -> Hls_dfg.Graph.t
+val dct8 : ?width:int -> unit -> Hls_dfg.Graph.t
+
+(** The extra set with sensible latency sweeps. *)
+val set : ?width:int -> unit -> (string * Hls_dfg.Graph.t * int list) list

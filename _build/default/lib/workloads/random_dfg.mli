@@ -1,0 +1,19 @@
+(** Seeded random DFG generator: layered behavioural DAGs with a
+    controllable operation mix, reproducible from the seed.  Used by
+    property tests and stress benchmarks. *)
+
+type profile = {
+  ops : int;  (** number of behavioural operations *)
+  max_width : int;
+  mul_ratio : int;  (** one in [mul_ratio] operations multiplies; 0 = none *)
+  cmp_ratio : int;  (** one in [cmp_ratio] compares; 0 = none *)
+  reuse : int;  (** 1 in [reuse] operands is a fresh input *)
+  signed : bool;
+}
+
+val default_profile : profile
+
+(** Additions/subtractions only. *)
+val additive_profile : profile
+
+val generate : ?profile:profile -> seed:int -> unit -> Hls_dfg.Graph.t

@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest Array Hls_alloc Hls_core Hls_dfg Hls_fragment Hls_kernel Hls_sched Hls_sim Hls_techlib Hls_timing Hls_util Hls_workloads List Printf QCheck QCheck_alcotest

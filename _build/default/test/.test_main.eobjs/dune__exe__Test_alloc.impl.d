@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Array Hls_alloc Hls_core Hls_dfg Hls_sched Hls_techlib Hls_util Hls_workloads List Printf QCheck QCheck_alcotest

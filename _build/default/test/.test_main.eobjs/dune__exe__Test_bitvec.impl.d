@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Hls_bitvec List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Hls_alloc Hls_dfg Hls_fragment Hls_kernel Hls_rtl Hls_sched Hls_speclang Hls_util Hls_workloads List Printf String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Hls_bitvec Hls_core Hls_dfg Hls_sched Hls_sim Hls_util Hls_workloads List Printf

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Hls_bitvec Hls_dfg Hls_workloads List

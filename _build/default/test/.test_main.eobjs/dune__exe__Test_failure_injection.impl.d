@@ -1,0 +1,1 @@
+test/test_failure_injection.ml: Alcotest Array Hls_alloc Hls_bitvec Hls_dfg Hls_fragment Hls_kernel Hls_rtl Hls_sched Hls_workloads List Option

@@ -1,0 +1,1 @@
+test/test_fragment.ml: Alcotest Array Hls_dfg Hls_fragment Hls_kernel Hls_sim Hls_timing Hls_util Hls_workloads List Printf QCheck QCheck_alcotest

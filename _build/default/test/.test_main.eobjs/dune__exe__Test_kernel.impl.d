@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Hls_bitvec Hls_dfg Hls_kernel Hls_sim Hls_timing Hls_util Hls_workloads List Printf QCheck QCheck_alcotest

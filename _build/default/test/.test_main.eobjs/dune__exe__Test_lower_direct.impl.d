@@ -1,0 +1,1 @@
+test/test_lower_direct.ml: Alcotest Hls_bitvec Hls_dfg Hls_kernel Hls_sim List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Hls_alloc Hls_bitvec Hls_fragment Hls_kernel Hls_rtl Hls_sched Hls_sim Hls_techlib Hls_util Hls_workloads List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Hls_bitvec Hls_check Hls_dfg Hls_kernel Hls_opt Hls_sim Hls_util Hls_workloads List Printf QCheck QCheck_alcotest

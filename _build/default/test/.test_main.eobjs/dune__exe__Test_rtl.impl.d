@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Hls_alloc Hls_bitvec Hls_fragment Hls_kernel Hls_rtl Hls_sched Hls_sim Hls_util Hls_workloads List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sched_extra.ml: Alcotest Array Hls_dfg Hls_fragment Hls_kernel Hls_sched Hls_util Hls_workloads List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Hls_bitvec Hls_dfg Hls_sim Hls_util Hls_workloads List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_spec_files.ml: Alcotest Hls_bitvec Hls_core Hls_sim Hls_speclang Hls_util Hls_workloads List

@@ -1,0 +1,1 @@
+test/test_speclang.ml: Alcotest Hls_bitvec Hls_core Hls_dfg Hls_fragment Hls_sim Hls_speclang Hls_util Hls_workloads List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_techlib.ml: Alcotest Hls_techlib

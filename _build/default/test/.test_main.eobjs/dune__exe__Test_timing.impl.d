@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Hls_dfg Hls_timing Hls_util Hls_workloads List Printf QCheck QCheck_alcotest

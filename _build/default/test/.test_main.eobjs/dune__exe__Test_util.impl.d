@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Hls_util Int_math List List_ext Pretty Prng String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hls_bitvec Hls_core Hls_dfg Hls_rtl Hls_sched Hls_sim Hls_timing Hls_util Hls_workloads List Printf

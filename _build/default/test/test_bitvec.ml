@@ -1,0 +1,204 @@
+module Bv = Hls_bitvec
+
+let bv = Alcotest.testable Bv.pp Bv.equal
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun (w, v) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%d @ %d bits" v w)
+        v
+        (Bv.to_int (Bv.of_int ~width:w v)))
+    [ (1, 0); (1, 1); (8, 255); (8, 0); (16, 0xBEEF); (31, 0x3FFFFFFF) ]
+
+let test_of_int_truncates () =
+  Alcotest.(check int) "256 @ 8 bits" 0 (Bv.to_int (Bv.of_int ~width:8 256));
+  Alcotest.(check int) "257 @ 8 bits" 1 (Bv.to_int (Bv.of_int ~width:8 257))
+
+let test_signed_roundtrip () =
+  List.iter
+    (fun (w, v) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%d @ %d bits" v w)
+        v
+        (Bv.to_signed_int (Bv.of_int ~width:w v)))
+    [ (8, -1); (8, -128); (8, 127); (16, -32768); (4, -8); (4, 7) ]
+
+let test_of_string () =
+  Alcotest.(check int) "1010" 10 (Bv.to_int (Bv.of_string "1010"));
+  Alcotest.(check int) "with underscores" 10 (Bv.to_int (Bv.of_string "10_10"));
+  Alcotest.(check string) "roundtrip" "1010" (Bv.to_string (Bv.of_string "1010"))
+
+let test_slice_concat () =
+  let v = Bv.of_string "11010010" in
+  Alcotest.(check string) "slice" "1001" (Bv.to_string (Bv.slice v ~hi:4 ~lo:1));
+  let lo = Bv.slice v ~hi:3 ~lo:0 and hi = Bv.slice v ~hi:7 ~lo:4 in
+  Alcotest.check bv "concat rebuilds" v (Bv.concat ~hi ~lo)
+
+let test_extension () =
+  let v = Bv.of_int ~width:4 0b1010 in
+  Alcotest.(check string) "zext" "00001010" (Bv.to_string (Bv.zero_extend v ~width:8));
+  Alcotest.(check string) "sext" "11111010" (Bv.to_string (Bv.sign_extend v ~width:8));
+  Alcotest.(check string) "trunc" "10" (Bv.to_string (Bv.truncate v ~width:2))
+
+let test_add_sub () =
+  let a = Bv.of_int ~width:8 200 and b = Bv.of_int ~width:8 100 in
+  Alcotest.(check int) "modular add" ((200 + 100) land 255)
+    (Bv.to_int (Bv.add a b));
+  Alcotest.(check int) "add_full keeps carry" 300 (Bv.to_int (Bv.add_full a b));
+  Alcotest.(check int) "sub" 100 (Bv.to_int (Bv.sub a b));
+  Alcotest.(check int) "sub wraps" (256 - 100) (Bv.to_int (Bv.sub b a));
+  Alcotest.(check int) "neg" (-100) (Bv.to_signed_int (Bv.neg b))
+
+let test_ripple_carry_out () =
+  let a = Bv.of_int ~width:4 15 and b = Bv.of_int ~width:4 1 in
+  let sum, cout = Bv.ripple_add ~carry_in:false a b in
+  Alcotest.(check int) "sum wraps" 0 (Bv.to_int sum);
+  Alcotest.(check bool) "carry out" true cout;
+  let sum2, cout2 = Bv.ripple_add ~carry_in:true a (Bv.zero 4) in
+  Alcotest.(check int) "cin ripples" 0 (Bv.to_int sum2);
+  Alcotest.(check bool) "cin carry out" true cout2
+
+let test_mul () =
+  let a = Bv.of_int ~width:8 123 and b = Bv.of_int ~width:8 231 in
+  Alcotest.(check int) "unsigned product" (123 * 231) (Bv.to_int (Bv.mul a b));
+  let sa = Bv.of_int ~width:8 (-57) and sb = Bv.of_int ~width:8 93 in
+  Alcotest.(check int) "signed product" (-57 * 93)
+    (Bv.to_signed_int (Bv.mul_signed sa sb));
+  let na = Bv.of_int ~width:8 (-128) and nb = Bv.of_int ~width:8 (-128) in
+  Alcotest.(check int) "most negative squared" (128 * 128)
+    (Bv.to_signed_int (Bv.mul_signed na nb))
+
+let test_compare () =
+  let mk = Bv.of_int ~width:8 in
+  Alcotest.(check bool) "unsigned lt" true (Bv.lt_unsigned (mk 3) (mk 200));
+  Alcotest.(check bool) "unsigned: -1 is 255" false (Bv.lt_unsigned (mk (-1)) (mk 200));
+  Alcotest.(check bool) "signed: -1 < 200... at 8 bits 200 is negative" false
+    (Bv.lt_signed (mk (-1)) (mk 200));
+  Alcotest.(check bool) "signed lt" true (Bv.lt_signed (mk (-1)) (mk 100));
+  Alcotest.(check int) "eq compares" 0 (Bv.compare_signed (mk 42) (mk 42))
+
+let test_logic () =
+  let a = Bv.of_string "1100" and b = Bv.of_string "1010" in
+  Alcotest.(check string) "and" "1000" (Bv.to_string (Bv.logand a b));
+  Alcotest.(check string) "or" "1110" (Bv.to_string (Bv.logor a b));
+  Alcotest.(check string) "xor" "0110" (Bv.to_string (Bv.logxor a b));
+  Alcotest.(check string) "not" "0011" (Bv.to_string (Bv.lognot a))
+
+let test_shifts () =
+  let a = Bv.of_string "0011" in
+  Alcotest.(check string) "shl" "1100" (Bv.to_string (Bv.shift_left a 2));
+  Alcotest.(check string) "shl drops" "1000" (Bv.to_string (Bv.shift_left a 3));
+  Alcotest.(check string) "shr" "0001" (Bv.to_string (Bv.shift_right_logical a 1))
+
+let test_width_mismatch_raises () =
+  let a = Bv.zero 4 and b = Bv.zero 5 in
+  Alcotest.(check bool) "add raises" true
+    (match Bv.add a b with _ -> false | exception Invalid_argument _ -> true)
+
+(* Property tests: bit-vector arithmetic agrees with OCaml int arithmetic on
+   widths that fit comfortably in an int. *)
+
+let arb_pair_width =
+  QCheck.make
+    ~print:(fun (w, a, b) -> Printf.sprintf "w=%d a=%d b=%d" w a b)
+    QCheck.Gen.(
+      int_range 1 24 >>= fun w ->
+      let bound = 1 lsl w in
+      pair (return w) (pair (int_bound (bound - 1)) (int_bound (bound - 1)))
+      >|= fun (w, (a, b)) -> (w, a, b))
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"add ≡ int add (mod 2^w)" ~count:500 arb_pair_width
+    (fun (w, a, b) ->
+      let open Bv in
+      to_int (add (of_int ~width:w a) (of_int ~width:w b))
+      = (a + b) mod (1 lsl w))
+
+let prop_add_full_exact =
+  QCheck.Test.make ~name:"add_full ≡ exact int add" ~count:500 arb_pair_width
+    (fun (w, a, b) ->
+      Bv.to_int (Bv.add_full (Bv.of_int ~width:w a) (Bv.of_int ~width:w b))
+      = a + b)
+
+let prop_sub_matches_int =
+  QCheck.Test.make ~name:"sub ≡ int sub (mod 2^w)" ~count:500 arb_pair_width
+    (fun (w, a, b) ->
+      Bv.to_int (Bv.sub (Bv.of_int ~width:w a) (Bv.of_int ~width:w b))
+      = ((a - b) land ((1 lsl w) - 1)))
+
+let prop_mul_exact =
+  QCheck.Test.make ~name:"mul ≡ exact int mul" ~count:500
+    (QCheck.make
+       ~print:(fun (w, a, b) -> Printf.sprintf "w=%d a=%d b=%d" w a b)
+       QCheck.Gen.(
+         int_range 1 14 >>= fun w ->
+         let bound = 1 lsl w in
+         pair (return w) (pair (int_bound (bound - 1)) (int_bound (bound - 1)))
+         >|= fun (w, (a, b)) -> (w, a, b)))
+    (fun (w, a, b) ->
+      Bv.to_int (Bv.mul (Bv.of_int ~width:w a) (Bv.of_int ~width:w b)) = a * b)
+
+let prop_mul_signed_exact =
+  QCheck.Test.make ~name:"mul_signed ≡ exact int mul" ~count:500
+    (QCheck.make
+       ~print:(fun (w, a, b) -> Printf.sprintf "w=%d a=%d b=%d" w a b)
+       QCheck.Gen.(
+         int_range 2 14 >>= fun w ->
+         let bound = 1 lsl (w - 1) in
+         pair (return w)
+           (pair (int_range (-bound) (bound - 1)) (int_range (-bound) (bound - 1)))
+         >|= fun (w, (a, b)) -> (w, a, b)))
+    (fun (w, a, b) ->
+      Bv.to_signed_int (Bv.mul_signed (Bv.of_int ~width:w a) (Bv.of_int ~width:w b))
+      = a * b)
+
+let prop_compare_matches_int =
+  QCheck.Test.make ~name:"compare_unsigned ≡ Int.compare" ~count:500
+    arb_pair_width (fun (w, a, b) ->
+      compare
+        (Bv.compare_unsigned (Bv.of_int ~width:w a) (Bv.of_int ~width:w b))
+        0
+      = compare (compare a b) 0)
+
+let prop_neg_involutive =
+  QCheck.Test.make ~name:"neg (neg x) = x" ~count:500
+    QCheck.(pair (int_range 1 24) int)
+    (fun (w, v) ->
+      let x = Bv.of_int ~width:w v in
+      Bv.equal (Bv.neg (Bv.neg x)) x)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string (to_string x) = x" ~count:500
+    QCheck.(pair (int_range 1 32) int)
+    (fun (w, v) ->
+      let x = Bv.of_int ~width:w v in
+      Bv.equal (Bv.of_string (Bv.to_string x)) x)
+
+let suite =
+  [
+    Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+    Alcotest.test_case "of_int truncates" `Quick test_of_int_truncates;
+    Alcotest.test_case "signed roundtrip" `Quick test_signed_roundtrip;
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    Alcotest.test_case "slice/concat" `Quick test_slice_concat;
+    Alcotest.test_case "extension" `Quick test_extension;
+    Alcotest.test_case "add/sub" `Quick test_add_sub;
+    Alcotest.test_case "ripple carry out" `Quick test_ripple_carry_out;
+    Alcotest.test_case "mul" `Quick test_mul;
+    Alcotest.test_case "compare" `Quick test_compare;
+    Alcotest.test_case "logic" `Quick test_logic;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "width mismatch raises" `Quick test_width_mismatch_raises;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_add_matches_int;
+        prop_add_full_exact;
+        prop_sub_matches_int;
+        prop_mul_exact;
+        prop_mul_signed_exact;
+        prop_compare_matches_int;
+        prop_neg_involutive;
+        prop_string_roundtrip;
+      ]

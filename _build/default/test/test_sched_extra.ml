@@ -1,0 +1,318 @@
+(* Tests for the multicycle baseline and the force-directed scheduler. *)
+
+module List_sched = Hls_sched.List_sched
+module Multicycle = Hls_sched.Multicycle_sched
+module Fds = Hls_sched.Force_directed
+module Motivational = Hls_workloads.Motivational
+module Benchmarks = Hls_workloads.Benchmarks
+
+(* --- multicycle --- *)
+
+let test_multicycle_breaks_op_delay_floor () =
+  (* chain3 at λ=6: the single-cycle scheduler is stuck at 16δ; multicycle
+     splits each 16-bit add over two 9δ cycles. *)
+  let g = Motivational.chain3 () in
+  let single = List_sched.min_cycle_delta g ~latency:6 in
+  let multi = Multicycle.min_cycle_delta g ~latency:6 in
+  Alcotest.(check int) "single-cycle floor" 16 single;
+  Alcotest.(check bool)
+    (Printf.sprintf "multicycle %d < 16" multi)
+    true (multi < 16)
+
+let test_multicycle_schedule_shape () =
+  let g = Motivational.chain3 () in
+  let t = Multicycle.schedule g ~latency:6 in
+  Alcotest.(check bool) "has a multicycle op" true
+    (Multicycle.has_multicycle_op t);
+  (match Multicycle.verify t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invalid multicycle schedule: %s" m);
+  (* Execution time (latency × cycle) exceeds the plain λ=3 schedule's: the
+     paper's "extra latencies that may derive from multicycling". *)
+  let plain = List_sched.schedule g ~latency:3 in
+  Alcotest.(check bool) "multicycling costs total time" true
+    (6 * t.Multicycle.cycle_delta >= 3 * plain.List_sched.cycle_delta)
+
+let test_multicycle_equals_single_when_roomy () =
+  (* With a big budget nothing multicycles and results match the plain
+     scheduler. *)
+  let g = Motivational.fig3 () in
+  let t = Multicycle.schedule g ~latency:3 ~cycle_delta:8 in
+  Alcotest.(check bool) "no multicycle op" false
+    (Multicycle.has_multicycle_op t);
+  match Multicycle.verify t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invalid: %s" m
+
+let test_multicycle_registered_result () =
+  (* A consumer never chains off a multicycle producer: its start is at
+     least the producer's registered finish. *)
+  let g = Motivational.chain3 () in
+  let t = Multicycle.schedule g ~latency:6 in
+  let c = t.Multicycle.cycle_delta in
+  Hls_dfg.Graph.iter_nodes
+    (fun n ->
+      List.iter
+        (fun (o : Hls_dfg.Types.operand) ->
+          match o.Hls_dfg.Types.src with
+          | Hls_dfg.Types.Node p when Multicycle.span t p > 1 ->
+              Alcotest.(check int) "producer finish on a boundary" 0
+                (t.Multicycle.finish.(p) mod c);
+              Alcotest.(check bool) "consumer starts after" true
+                (t.Multicycle.start_cycle.(n.Hls_dfg.Types.id)
+                > t.Multicycle.end_cycle.(p) - 1)
+          | _ -> ())
+        n.Hls_dfg.Types.operands)
+    g
+
+let test_multicycle_infeasible () =
+  let g = Motivational.chain3 () in
+  Alcotest.(check bool) "cannot do 48δ of work in 1δ cycles x 3" true
+    (match Multicycle.schedule g ~latency:3 ~cycle_delta:1 with
+    | _ -> false
+    | exception Multicycle.Infeasible _ -> true)
+
+(* --- pipelining analysis --- *)
+
+module Pipe = Hls_sched.Pipeline_sched
+
+let test_pipeline_latency_unchanged () =
+  (* The paper's point: pipelining multiplies throughput, not latency. *)
+  let g = Motivational.chain3 () in
+  let sched = List_sched.schedule g ~latency:3 in
+  let cycle_ns = 8.7 in
+  let full = Pipe.analyze sched ~ii:1 in
+  let seq = Pipe.analyze sched ~ii:3 in
+  Alcotest.(check (float 1e-9)) "same latency"
+    (Pipe.latency_ns full ~cycle_ns)
+    (Pipe.latency_ns seq ~cycle_ns);
+  Alcotest.(check bool) "3x throughput" true
+    (Pipe.throughput_per_us full ~cycle_ns
+    > 2.9 *. Pipe.throughput_per_us seq ~cycle_ns)
+
+let test_pipeline_fu_folding () =
+  (* chain3: one 16-bit add per cycle; fully pipelined, all three run
+     simultaneously for different samples. *)
+  let g = Motivational.chain3 () in
+  let sched = List_sched.schedule g ~latency:3 in
+  Alcotest.(check int) "sequential: 16 bits" 16
+    (Pipe.unpipelined_fu_bits sched);
+  Alcotest.(check int) "ii=1: 48 bits" 48
+    (Pipe.peak_fu_bits (Pipe.analyze sched ~ii:1));
+  Alcotest.(check int) "ii=3 = sequential" 16
+    (Pipe.peak_fu_bits (Pipe.analyze sched ~ii:3))
+
+let test_pipeline_sweep_monotone () =
+  let g = Benchmarks.elliptic () in
+  let sched = List_sched.schedule g ~latency:8 in
+  let sweep = Pipe.sweep sched ~cycle_ns:10. in
+  Alcotest.(check int) "8 points" 8 (List.length sweep);
+  (* Throughput decreases and FU pressure relaxes as ii grows. *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "throughput falls" true
+          (b.Pipe.cmp_throughput <= a.Pipe.cmp_throughput +. 1e-9);
+        Alcotest.(check bool) "fu bits fall or hold" true
+          (b.Pipe.cmp_fu_bits <= a.Pipe.cmp_fu_bits);
+        check rest
+    | _ -> ()
+  in
+  check sweep
+
+let test_pipeline_bad_ii () =
+  let g = Motivational.chain3 () in
+  let sched = List_sched.schedule g ~latency:3 in
+  Alcotest.(check bool) "ii 0 rejected" true
+    (match Pipe.analyze sched ~ii:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "ii > latency rejected" true
+    (match Pipe.analyze sched ~ii:4 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_fragmented_pipelining () =
+  (* The open extension: pipeline the transformed spec — short cycle AND
+     per-II throughput. *)
+  let g = Motivational.chain3 () in
+  let kernel = Hls_kernel.Extract.run g in
+  let tr = Hls_fragment.Transform.run kernel ~latency:3 in
+  let s = Hls_sched.Frag_sched.schedule tr in
+  let full = Pipe.analyze_fragmented s ~ii:1 in
+  let seq = Pipe.analyze_fragmented s ~ii:3 in
+  (* Folded bits: full pipelining needs all three cycles' adder bits at
+     once; sequential folds to the per-cycle maximum. *)
+  Alcotest.(check bool) "ii=1 needs more hardware" true
+    (Pipe.fragmented_peak_bits full > Pipe.fragmented_peak_bits seq);
+  let cycle_ns = 3.7 in
+  Alcotest.(check bool) "3x throughput at ii=1" true
+    (Pipe.fragmented_throughput_per_us full ~cycle_ns
+    > 2.9 *. Pipe.fragmented_throughput_per_us seq ~cycle_ns);
+  (* Combined win: fragmented+pipelined beats conventional+pipelined
+     throughput at the same ii because the cycle is shorter. *)
+  let conv = List_sched.schedule g ~latency:3 in
+  let conv_pipe = Pipe.analyze conv ~ii:1 in
+  Alcotest.(check bool) "beats pipelined conventional" true
+    (Pipe.fragmented_throughput_per_us full ~cycle_ns
+    > Pipe.throughput_per_us conv_pipe ~cycle_ns:8.7)
+
+(* --- force-directed --- *)
+
+let test_fds_verifies () =
+  List.iter
+    (fun (g, latency) ->
+      let t = Fds.schedule g ~latency in
+      match List_sched.verify t with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "FDS schedule invalid at λ=%d: %s" latency m)
+    [
+      (Motivational.chain3 (), 3);
+      (Motivational.fig3 (), 3);
+      (Motivational.fig3 (), 4);
+      (Benchmarks.diffeq (), 5);
+      (Benchmarks.elliptic (), 8);
+    ]
+
+let test_fds_same_cycle_as_list () =
+  (* FDS changes placement, not the achievable cycle length. *)
+  let g = Motivational.fig3 () in
+  let fds = Fds.schedule g ~latency:3 in
+  let ls = List_sched.schedule g ~latency:3 in
+  Alcotest.(check int) "same cycle" ls.List_sched.cycle_delta
+    fds.List_sched.cycle_delta
+
+let test_fds_balances_independent_ops () =
+  (* Six independent adds over 3 cycles: both balancers reach peak 2. *)
+  let b = Hls_dfg.Builder.create ~name:"par6" in
+  let ops =
+    List.map
+      (fun i ->
+        let x = Hls_dfg.Builder.input b (Printf.sprintf "x%d" i) ~width:8 in
+        let y = Hls_dfg.Builder.input b (Printf.sprintf "y%d" i) ~width:8 in
+        Hls_dfg.Builder.add b ~width:8 x y)
+      (Hls_util.List_ext.range 0 6)
+  in
+  List.iteri (fun i o -> Hls_dfg.Builder.output b (Printf.sprintf "o%d" i) o) ops;
+  let g = Hls_dfg.Builder.finish b in
+  let fds = Fds.schedule g ~latency:3 in
+  Alcotest.(check int) "peak 16 bits (2 ops)" 16 (Fds.peak_usage fds)
+
+let test_fds_no_worse_than_asap () =
+  (* On the elliptic benchmark FDS should not be worse than placing
+     everything ASAP (no balancing at all). *)
+  let g = Benchmarks.elliptic () in
+  let latency = 8 in
+  let c = List_sched.min_cycle_delta g ~latency in
+  let fds = Fds.schedule g ~latency ~cycle_delta:c in
+  (* ASAP baseline: greedy earliest placement = List_sched with usage
+     ignored; approximate with the ASAP finish times. *)
+  let asap_peak =
+    let finish = List_sched.asap_finish g ~cycle_delta:c in
+    let usage = Array.make (latency + 1) 0 in
+    Hls_dfg.Graph.iter_nodes
+      (fun n ->
+        if Hls_dfg.Types.is_additive n.Hls_dfg.Types.kind then begin
+          let cy = Hls_util.Int_math.ceil_div finish.(n.Hls_dfg.Types.id) c in
+          usage.(min latency cy) <-
+            usage.(min latency cy) + n.Hls_dfg.Types.width
+        end)
+      g;
+    Array.fold_left max 0 usage
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "FDS peak %d <= ASAP peak %d" (Fds.peak_usage fds)
+       asap_peak)
+    true
+    (Fds.peak_usage fds <= asap_peak)
+
+(* --- resource-constrained --- *)
+
+module Rs = Hls_sched.Resource_sched
+
+let test_resource_constrained_basic () =
+  let g = Hls_kernel.Extract.run (Motivational.chain3 ()) in
+  (* A generous budget: everything fits wherever dependencies allow. *)
+  let roomy = Rs.schedule g ~adder_bits:64 in
+  (match Hls_sched.Frag_sched.verify roomy.Rs.schedule with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "roomy: %s" m);
+  Alcotest.(check bool) "meets budget" true
+    (Rs.peak_adder_bits roomy.Rs.schedule <= 64);
+  (* A tight budget forces more cycles. *)
+  let tight = Rs.schedule g ~adder_bits:8 in
+  Alcotest.(check bool) "meets tight budget" true
+    (Rs.peak_adder_bits tight.Rs.schedule <= 8);
+  Alcotest.(check bool) "tighter budget, more cycles" true
+    (tight.Rs.latency >= roomy.Rs.latency)
+
+let test_resource_sweep_monotone () =
+  let g = Hls_kernel.Extract.run (Benchmarks.fir2 ()) in
+  let curve = Rs.sweep g ~budgets:[ 8; 16; 32; 64 ] in
+  Alcotest.(check bool) "curve nonempty" true (curve <> []);
+  let rec non_increasing = function
+    | (_, l1, _) :: ((_, l2, _) :: _ as rest) ->
+        l2 <= l1 && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "latency falls as budget grows" true
+    (non_increasing curve)
+
+let test_resource_rejects_zero () =
+  let g = Hls_kernel.Extract.run (Motivational.chain3 ()) in
+  Alcotest.(check bool) "0 bits rejected" true
+    (match Rs.schedule g ~adder_bits:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* Property: both extra schedulers always verify on random behavioural
+   DAGs. *)
+let prop_extra_schedulers_verify =
+  QCheck.Test.make ~name:"multicycle + FDS verify on random DAGs" ~count:60
+    QCheck.(pair (int_range 0 5000) (int_range 2 8))
+    (fun (seed, latency) ->
+      if latency < 1 then true
+      else begin
+        let g = Hls_workloads.Random_dfg.generate ~seed () in
+        let fds_ok =
+          match Fds.schedule g ~latency with
+          | t -> List_sched.verify t = Ok ()
+          | exception Fds.Infeasible _ -> true
+        in
+        let mc_ok =
+          match Multicycle.schedule g ~latency with
+          | t -> Multicycle.verify t = Ok ()
+          | exception Multicycle.Infeasible _ -> true
+        in
+        fds_ok && mc_ok
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "multicycle breaks the delay floor" `Quick
+      test_multicycle_breaks_op_delay_floor;
+    Alcotest.test_case "multicycle schedule shape" `Quick
+      test_multicycle_schedule_shape;
+    Alcotest.test_case "multicycle = single when roomy" `Quick
+      test_multicycle_equals_single_when_roomy;
+    Alcotest.test_case "multicycle registers results" `Quick
+      test_multicycle_registered_result;
+    Alcotest.test_case "multicycle infeasible" `Quick test_multicycle_infeasible;
+    Alcotest.test_case "pipeline: latency unchanged" `Quick
+      test_pipeline_latency_unchanged;
+    Alcotest.test_case "pipeline: fu folding" `Quick test_pipeline_fu_folding;
+    Alcotest.test_case "pipeline: sweep monotone" `Quick
+      test_pipeline_sweep_monotone;
+    Alcotest.test_case "pipeline: bad ii" `Quick test_pipeline_bad_ii;
+    Alcotest.test_case "pipeline: fragmented extension" `Quick
+      test_fragmented_pipelining;
+    Alcotest.test_case "fds verifies" `Quick test_fds_verifies;
+    Alcotest.test_case "fds same cycle as list" `Quick test_fds_same_cycle_as_list;
+    Alcotest.test_case "fds balances" `Quick test_fds_balances_independent_ops;
+    Alcotest.test_case "fds no worse than asap" `Quick test_fds_no_worse_than_asap;
+    Alcotest.test_case "resource-constrained basic" `Quick
+      test_resource_constrained_basic;
+    Alcotest.test_case "resource sweep monotone" `Quick
+      test_resource_sweep_monotone;
+    Alcotest.test_case "resource rejects zero" `Quick test_resource_rejects_zero;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_extra_schedulers_verify ]

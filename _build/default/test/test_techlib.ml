@@ -1,0 +1,72 @@
+module T = Hls_techlib
+
+let lib = T.default
+
+(* Table I calibration points. *)
+let test_adder_gates () =
+  Alcotest.(check int) "16-bit adder" 162 (T.adder_gates lib ~width:16);
+  Alcotest.(check int) "three 16-bit adders" 486
+    (3 * T.adder_gates lib ~width:16)
+
+let test_register_gates () =
+  Alcotest.(check int) "16-bit register" 86 (T.register_gates lib ~width:16);
+  Alcotest.(check int) "1-bit register" 11 (T.register_gates lib ~width:1)
+
+let test_mux_gates () =
+  (* Table I routing: 2 3:1 + 1 2:1 muxes of 16 bits = 176 gates. *)
+  let m3 = T.mux_gates lib ~inputs:3 ~width:16 in
+  let m2 = T.mux_gates lib ~inputs:2 ~width:16 in
+  Alcotest.(check int) "original routing" 176 ((2 * m3) + m2);
+  (* Optimized: 6 3:1 of 6 bits + 5 2:1 of 1 bit = 159 gates. *)
+  Alcotest.(check int) "optimized routing" 159
+    ((6 * T.mux_gates lib ~inputs:3 ~width:6)
+    + (5 * T.mux_gates lib ~inputs:2 ~width:1));
+  Alcotest.(check int) "wire is free" 0 (T.mux_gates lib ~inputs:1 ~width:16)
+
+let test_controller_gates () =
+  let c3 = T.controller_gates lib ~states:3 ~signals:12 in
+  Alcotest.(check int) "3-state controller" 60 c3;
+  let c1 = T.controller_gates lib ~states:1 ~signals:6 in
+  Alcotest.(check int) "1-state controller" 32 c1
+
+let test_cycle_ns () =
+  (* 6 chained bits behind one mux level: 0.55 + 0.15 + 3.0 = 3.7 ns. *)
+  Alcotest.(check (float 1e-9)) "cycle" 3.7
+    (T.cycle_ns lib ~chain_delta:6 ~mux_levels:1);
+  Alcotest.(check (float 1e-9)) "raw conversion" 9.0 (T.delta_to_ns lib 18)
+
+let test_cla_faster_for_wide () =
+  let ripple = T.adder_delay_delta T.default ~width:16 in
+  let cla = T.adder_delay_delta T.fast_cla ~width:16 in
+  Alcotest.(check int) "ripple is linear" 16 ripple;
+  Alcotest.(check bool) "cla is sublinear" true (cla < ripple);
+  Alcotest.(check int) "cla 16" 10 cla;
+  (* Narrow adders: CLA never reported slower than the ripple chain. *)
+  Alcotest.(check bool) "width 2" true
+    (T.adder_delay_delta T.fast_cla ~width:2 <= 2)
+
+let test_cla_bigger () =
+  Alcotest.(check bool) "cla costs more area" true
+    (T.adder_gates T.fast_cla ~width:16 > T.adder_gates T.default ~width:16)
+
+let test_invalid_args () =
+  Alcotest.(check bool) "zero width adder" true
+    (match T.adder_gates lib ~width:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero states" true
+    (match T.controller_gates lib ~states:0 ~signals:1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "adder gates (Table I)" `Quick test_adder_gates;
+    Alcotest.test_case "register gates" `Quick test_register_gates;
+    Alcotest.test_case "mux gates (Table I)" `Quick test_mux_gates;
+    Alcotest.test_case "controller gates" `Quick test_controller_gates;
+    Alcotest.test_case "cycle ns" `Quick test_cycle_ns;
+    Alcotest.test_case "cla faster for wide" `Quick test_cla_faster_for_wide;
+    Alcotest.test_case "cla bigger" `Quick test_cla_bigger;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+  ]

@@ -1,0 +1,251 @@
+module B = Hls_dfg.Builder
+module Graph = Hls_dfg.Graph
+module Arrival = Hls_timing.Arrival
+module Deadline = Hls_timing.Deadline
+module Cp = Hls_timing.Critical_path
+module Motivational = Hls_workloads.Motivational
+
+let node_by_label g label =
+  match
+    Graph.fold_nodes
+      (fun acc n -> if n.Hls_dfg.Types.label = label then Some n else acc)
+      None g
+  with
+  | Some n -> n
+  | None -> Alcotest.failf "no node labelled %s" label
+
+let arrival_slots g label =
+  let arr = Arrival.compute g in
+  let n = node_by_label g label in
+  List.map
+    (fun bit -> Arrival.slot arr ~id:n.Hls_dfg.Types.id ~bit)
+    (Hls_util.List_ext.range 0 n.Hls_dfg.Types.width)
+
+let asap_cycles g ~n_bits label =
+  let arr = Arrival.compute g in
+  let n = node_by_label g label in
+  List.map
+    (fun bit -> Arrival.asap_cycle arr ~n_bits ~id:n.Hls_dfg.Types.id ~bit)
+    (Hls_util.List_ext.range 0 n.Hls_dfg.Types.width)
+
+let alap_cycles g ~n_bits ~latency label =
+  let dl = Deadline.compute g ~total_slots:(latency * n_bits) in
+  let n = node_by_label g label in
+  List.map
+    (fun bit -> Deadline.alap_cycle dl ~n_bits ~id:n.Hls_dfg.Types.id ~bit)
+    (Hls_util.List_ext.range 0 n.Hls_dfg.Types.width)
+
+(* Fig. 1e: three chained 16-bit additions execute in 18 δ. *)
+let test_chain3_critical () =
+  let g = Motivational.chain3 () in
+  Alcotest.(check int) "bit-level" 18 (Cp.critical_delta g);
+  Alcotest.(check int) "coarse DP" 18 (Cp.coarse_delta g)
+
+(* Fig. 1e gives the closed form: bit i of C arrives at (i+1)δ, of E at
+   (i+2)δ, of G at (i+3)δ. *)
+let test_chain3_bit_arrivals () =
+  let g = Motivational.chain3 () in
+  Alcotest.(check (list int)) "C" (List.init 16 (fun i -> i + 1))
+    (arrival_slots g "C");
+  Alcotest.(check (list int)) "E" (List.init 16 (fun i -> i + 2))
+    (arrival_slots g "E");
+  Alcotest.(check (list int)) "G" (List.init 16 (fun i -> i + 3))
+    (arrival_slots g "G")
+
+(* Fig. 3b: paths F→H and G→H take 9 δ; path B→C→E takes 8 δ. *)
+let test_fig3_critical () =
+  let g = Motivational.fig3 () in
+  Alcotest.(check int) "bit-level" 9 (Cp.critical_delta g);
+  Alcotest.(check int) "coarse DP" 9 (Cp.coarse_delta g)
+
+(* §3.2 formula: scheduling the Fig. 3 DFG in 3 cycles needs a 3 δ cycle. *)
+let test_fig3_cycle_estimate () =
+  let g = Motivational.fig3 () in
+  Alcotest.(check int) "n_bits" 3 (Cp.estimate_n_bits g ~latency:3);
+  Alcotest.(check int) "lat 2" 5 (Cp.estimate_n_bits g ~latency:2);
+  Alcotest.(check int) "lat 9" 1 (Cp.estimate_n_bits g ~latency:9);
+  Alcotest.(check int) "lat 100 floors at 1" 1 (Cp.estimate_n_bits g ~latency:100)
+
+let test_chain3_cycle_estimates () =
+  let g = Motivational.chain3 () in
+  (* λ=3 → ceil(18/3) = 6 δ per cycle, the paper's Fig. 2 schedule. *)
+  Alcotest.(check int) "λ=3" 6 (Cp.estimate_n_bits g ~latency:3);
+  Alcotest.(check int) "λ=1" 18 (Cp.estimate_n_bits g ~latency:1);
+  Alcotest.(check int) "λ=5" 4 (Cp.estimate_n_bits g ~latency:5)
+
+(* The literal §3.2 path algorithm on the paper's three examples. *)
+let test_path_time_paper_examples () =
+  let op w t = { Cp.op_width = w; lsbs_truncated_by_successor = t } in
+  Alcotest.(check int) "three 16-bit adds" 18
+    (Cp.path_time [ op 16 0; op 16 0; op 16 0 ]);
+  Alcotest.(check int) "F then H" 9 (Cp.path_time [ op 8 0; op 8 0 ]);
+  Alcotest.(check int) "B,C,E" 8 (Cp.path_time [ op 6 0; op 6 0; op 6 0 ]);
+  Alcotest.(check int) "single op" 16 (Cp.path_time [ op 16 0 ]);
+  Alcotest.(check int) "empty" 0 (Cp.path_time [])
+
+let test_path_time_truncation_penalty () =
+  let op w t = { Cp.op_width = w; lsbs_truncated_by_successor = t } in
+  (* An 8-bit op whose successor drops its 3 LSBs: the successor's LSB
+     input only settles after the dropped bits ripple. *)
+  Alcotest.(check int) "with truncation" 9 (Cp.path_time [ op 8 3; op 5 0 ]);
+  Alcotest.(check int) "without" 6 (Cp.path_time [ op 8 0; op 5 0 ])
+
+(* Truncation penalty in the DP: a consumer reading bits [6:3] of a
+   producer pays the 3 dropped LSBs. *)
+let test_coarse_truncation () =
+  let b = B.create ~name:"trunc" in
+  let x = B.input b "x" ~width:8 in
+  let y = B.input b "y" ~width:8 in
+  let p = B.add b ~width:8 x y in
+  let hi = Hls_dfg.Operand.make p.Hls_dfg.Types.src ~hi:6 ~lo:3 in
+  let z = B.input b "z" ~width:4 in
+  let q = B.add b ~width:4 hi z in
+  B.output b "o" q;
+  let g = B.finish b in
+  (* Coarse: width(q)=4 + (1 + 3 lsbs) = 8. *)
+  Alcotest.(check int) "coarse" 8 (Cp.coarse_delta g);
+  (* Exact agrees: q bit 3 needs p bit 6 (slot 7) + 1. *)
+  Alcotest.(check int) "exact" 8 (Cp.critical_delta g)
+
+(* A carry-keeping addition: 5-bit result of 4-bit operands.  The carry bit
+   settles with the top sum bit (0 extra δ). *)
+let test_carry_bit_is_free () =
+  let b = B.create ~name:"carry" in
+  let x = B.input b "x" ~width:4 in
+  let y = B.input b "y" ~width:4 in
+  let s = B.add b ~width:5 x y in
+  B.output b "o" s;
+  let g = B.finish b in
+  Alcotest.(check (list int)) "arrivals" [ 1; 2; 3; 4; 4 ] (arrival_slots g "");
+  Alcotest.(check int) "critical" 4 (Cp.critical_delta g)
+
+(* Glue logic is free: a NOT between two adders adds no δ. *)
+let test_glue_is_free () =
+  let b = B.create ~name:"glue" in
+  let x = B.input b "x" ~width:8 in
+  let y = B.input b "y" ~width:8 in
+  let s = B.add b ~width:8 x y in
+  let inv = B.node b Hls_dfg.Types.Not ~width:8 [ s ] in
+  let t = B.add b ~width:8 inv y in
+  B.output b "o" t;
+  let g = B.finish b in
+  Alcotest.(check int) "two chained adds only" 9 (Cp.critical_delta g)
+
+(* Fig. 3 d/e: per-bit ASAP cycles at n_bits = 3. *)
+let test_fig3_asap_cycles () =
+  let g = Motivational.fig3 () in
+  let check label expected =
+    Alcotest.(check (list int)) label expected (asap_cycles g ~n_bits:3 label)
+  in
+  check "A" [ 1; 1; 1; 2; 2 ];
+  check "B" [ 1; 1; 1; 2; 2; 2 ];
+  check "C" [ 1; 1; 2; 2; 2; 3 ];
+  check "D" [ 1; 1; 1; 2; 2; 2 ];
+  check "E" [ 1; 2; 2; 2; 3; 3 ];
+  check "F" [ 1; 1; 1; 2; 2; 2; 3; 3 ];
+  check "H" [ 1; 1; 2; 2; 2; 3; 3; 3 ]
+
+(* Fig. 3 d/e: per-bit ALAP cycles at n_bits = 3, λ = 3. *)
+let test_fig3_alap_cycles () =
+  let g = Motivational.fig3 () in
+  let check label expected =
+    Alcotest.(check (list int)) label expected
+      (alap_cycles g ~n_bits:3 ~latency:3 label)
+  in
+  check "A" [ 2; 2; 3; 3; 3 ];
+  check "B" [ 1; 1; 2; 2; 2; 3 ];
+  check "C" [ 1; 2; 2; 2; 3; 3 ];
+  check "D" [ 1; 2; 2; 2; 3; 3 ];
+  check "E" [ 2; 2; 2; 3; 3; 3 ];
+  check "F" [ 1; 1; 1; 2; 2; 2; 3; 3 ];
+  check "H" [ 1; 1; 2; 2; 2; 3; 3; 3 ]
+
+let test_fig3_feasible () =
+  let g = Motivational.fig3 () in
+  let arr = Arrival.compute g in
+  let dl = Deadline.compute g ~total_slots:9 in
+  Alcotest.(check bool) "λ=3 feasible" true (Deadline.feasible arr dl);
+  let tight = Deadline.compute g ~total_slots:8 in
+  Alcotest.(check bool) "8 δ infeasible" false (Deadline.feasible arr tight)
+
+let test_latency_for_cycle () =
+  Alcotest.(check int) "dual of estimate" 3
+    (Cp.latency_for_cycle_delta ~critical:9 ~n_bits:3);
+  Alcotest.(check int) "rounds up" 5
+    (Cp.latency_for_cycle_delta ~critical:9 ~n_bits:2)
+
+(* Slack: zero on the critical path, non-negative everywhere at the
+   exact budget. *)
+let test_slack () =
+  let g = Motivational.fig3 () in
+  let s = Cp.slack_summary g ~total_slots:9 in
+  Alcotest.(check bool) "some critical bits" true (s.Cp.sl_zero > 0);
+  Alcotest.(check int) "min slack 0 at exact budget" 0 s.Cp.sl_min;
+  Alcotest.(check bool) "standalone op A has slack" true (s.Cp.sl_max > 0);
+  (* One extra cycle of budget gives every bit at least that much slack. *)
+  let s12 = Cp.slack_summary g ~total_slots:12 in
+  Alcotest.(check int) "relaxed min" 3 s12.Cp.sl_min;
+  Alcotest.(check int) "no critical bits" 0 s12.Cp.sl_zero;
+  (* H's top bit pins the 9δ budget: its slack is zero. *)
+  let per_bit = Cp.slack g ~total_slots:9 in
+  let h = node_by_label g "H" in
+  Alcotest.(check int) "H MSB critical" 0
+    per_bit.(h.Hls_dfg.Types.id).(7)
+
+(* Property: ASAP never exceeds ALAP when the deadline is the critical
+   path rounded up to a whole number of cycles. *)
+let prop_asap_le_alap =
+  QCheck.Test.make ~name:"asap <= alap at estimated cycle" ~count:100
+    QCheck.(pair (int_range 1 6) (int_range 1 20))
+    (fun (latency, seed) ->
+      let prng = Hls_util.Prng.create ~seed in
+      let width () = 2 + Hls_util.Prng.int prng 12 in
+      let b = B.create ~name:"rand" in
+      let nodes = ref [] in
+      let fresh = ref 0 in
+      for _ = 0 to 7 do
+        let w = width () in
+        let operand () =
+          if !nodes = [] || Hls_util.Prng.bool prng then begin
+            incr fresh;
+            B.input b (Printf.sprintf "x%d" !fresh) ~width:w
+          end
+          else Hls_util.Prng.pick prng !nodes
+        in
+        let n = B.add b ~width:w (operand ()) (operand ()) in
+        nodes := n :: !nodes
+      done;
+      List.iteri (fun i n -> B.output b (Printf.sprintf "o%d" i) n) !nodes;
+      let g = B.finish b in
+      let n_bits = Cp.estimate_n_bits g ~latency in
+      let arr = Arrival.compute g in
+      let dl = Deadline.compute g ~total_slots:(latency * n_bits) in
+      Graph.fold_nodes
+        (fun acc n ->
+          acc
+          && List.for_all
+               (fun bit ->
+                 Arrival.asap_cycle arr ~n_bits ~id:n.Hls_dfg.Types.id ~bit
+                 <= Deadline.alap_cycle dl ~n_bits ~id:n.Hls_dfg.Types.id ~bit)
+               (Hls_util.List_ext.range 0 n.Hls_dfg.Types.width))
+        true g)
+
+let suite =
+  [
+    Alcotest.test_case "chain3 critical = 18δ" `Quick test_chain3_critical;
+    Alcotest.test_case "chain3 bit arrivals" `Quick test_chain3_bit_arrivals;
+    Alcotest.test_case "fig3 critical = 9δ" `Quick test_fig3_critical;
+    Alcotest.test_case "fig3 cycle estimate" `Quick test_fig3_cycle_estimate;
+    Alcotest.test_case "chain3 cycle estimates" `Quick test_chain3_cycle_estimates;
+    Alcotest.test_case "path_time paper examples" `Quick test_path_time_paper_examples;
+    Alcotest.test_case "path_time truncation" `Quick test_path_time_truncation_penalty;
+    Alcotest.test_case "coarse truncation" `Quick test_coarse_truncation;
+    Alcotest.test_case "carry bit is free" `Quick test_carry_bit_is_free;
+    Alcotest.test_case "glue is free" `Quick test_glue_is_free;
+    Alcotest.test_case "fig3 ASAP cycles" `Quick test_fig3_asap_cycles;
+    Alcotest.test_case "fig3 ALAP cycles" `Quick test_fig3_alap_cycles;
+    Alcotest.test_case "fig3 feasibility" `Quick test_fig3_feasible;
+    Alcotest.test_case "latency for cycle" `Quick test_latency_for_cycle;
+    Alcotest.test_case "slack" `Quick test_slack;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_asap_le_alap ]
