@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean
+.PHONY: all build test bench examples explore-smoke check clean
 
 all: build
 
@@ -9,6 +9,16 @@ build:
 
 test:
 	dune runtest
+
+# Tiny end-to-end sweep: `hlsopt explore` on chain3 must produce a
+# non-empty Pareto frontier.
+explore-smoke:
+	@out=$$(dune exec bin/hlsopt.exe -- explore --builtin chain3 --latency 2:4 --jobs 2 --json); \
+	echo "$$out" | grep -q '"frontier":' || { echo "explore-smoke: no frontier in output"; exit 1; }; \
+	if echo "$$out" | grep -q '"frontier": \[\]'; then echo "explore-smoke: empty frontier"; exit 1; fi; \
+	echo "explore-smoke: ok (non-empty frontier)"
+
+check: build test explore-smoke
 
 bench:
 	dune exec bench/main.exe

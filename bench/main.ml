@@ -406,6 +406,54 @@ let ablations () =
     [ ("ripple (default)", Hls_techlib.default); ("carry-lookahead", Hls_techlib.fast_cla) ]
 
 (* ------------------------------------------------------------------ *)
+(* Design-space exploration: serial vs parallel sweep wall-time.       *)
+
+let dse () =
+  section "Design-space exploration — serial vs parallel sweep (lib/dse)";
+  let g =
+    match Hls_workloads.Registry.find "elliptic" with
+    | Some g -> g
+    | None -> failwith "elliptic missing from the workload registry"
+  in
+  let space =
+    Hls_dse.Space.make
+      ~latencies:(List.init 12 (fun i -> 3 + i))
+      ~policies:[ `Full; `Coalesced ]
+      ~balance:[ true; false ] ()
+  in
+  let sweep workers = Hls_dse.Explore.run ~workers g space in
+  let serial = sweep 1 in
+  let workers = max 2 (Hls_dse.Pool.default_workers ()) in
+  let parallel = sweep workers in
+  Printf.printf "space: %d jobs (elliptic, latency 3-14, both policies, \
+                 balance on/off)\n" (Hls_dse.Space.size space);
+  Printf.printf "cores (Domain.recommended_domain_count): %d\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "serial   (1 worker):  %6.3f s, %d points, %d failures\n"
+    serial.Hls_dse.Explore.wall_s
+    (List.length serial.Hls_dse.Explore.points)
+    (List.length serial.Hls_dse.Explore.failures);
+  Printf.printf "parallel (%d workers): %6.3f s, %d points, %d failures\n"
+    workers parallel.Hls_dse.Explore.wall_s
+    (List.length parallel.Hls_dse.Explore.points)
+    (List.length parallel.Hls_dse.Explore.failures);
+  Printf.printf "speedup: %.2fx\n"
+    (serial.Hls_dse.Explore.wall_s /. parallel.Hls_dse.Explore.wall_s);
+  if Domain.recommended_domain_count () < 2 then
+    print_endline
+      "note: single-core host — the parallel run here measures multi-domain \
+       overhead,\nnot speedup; on >= 2 cores the sweep scales with the \
+       worker count.";
+  let strip r =
+    List.map
+      (fun (p : Hls_dse.Explore.point) -> (p.Hls_dse.Explore.job, p.Hls_dse.Explore.metrics))
+      r.Hls_dse.Explore.frontier
+  in
+  Printf.printf "frontier: %d points, serial == parallel: %b\n"
+    (List.length serial.Hls_dse.Explore.frontier)
+    (strip serial = strip parallel)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing suite: one Test per table/figure driver.            *)
 
 let speed () =
@@ -505,8 +553,10 @@ let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
   | "all" ->
       all_tables ();
+      dse ();
       speed ()
   | "tables" -> all_tables ()
+  | "dse" -> dse ()
   | "speed" -> speed ()
   | "fig1" | "fig2" -> fig1_fig2 ()
   | "table1" -> table1 ()
@@ -520,6 +570,6 @@ let () =
   | other ->
       prerr_endline
         ("unknown experiment " ^ other
-       ^ " (try: all, tables, speed, fig1, table1, fig3, table2, table3, \
-          fig4)");
+       ^ " (try: all, tables, speed, dse, fig1, table1, fig3, table2, \
+          table3, fig4)");
       exit 1

@@ -5,27 +5,12 @@
      optimize   run the presynthesis transformation, print the new spec
      schedule   schedule with a chosen flow and print the cycle assignment
      report     compare the conventional / BLC / optimized flows
+     explore    sweep the design space and print its Pareto frontier
      emit-vhdl  print behavioural or RTL VHDL
      list       list the built-in workloads *)
 
 module P = Hls_core.Pipeline
 module Graph = Hls_dfg.Graph
-
-let builtins () =
-  [
-    ("chain3", Hls_workloads.Motivational.chain3 ());
-    ("fig3", Hls_workloads.Motivational.fig3 ());
-    ("elliptic", Hls_workloads.Benchmarks.elliptic ());
-    ("diffeq", Hls_workloads.Benchmarks.diffeq ());
-    ("iir4", Hls_workloads.Benchmarks.iir4 ());
-    ("fir2", Hls_workloads.Benchmarks.fir2 ());
-    ("adpcm-iaq", Hls_workloads.Adpcm.iaq ());
-    ("adpcm-ttd", Hls_workloads.Adpcm.ttd ());
-    ("adpcm-opfc-sca", Hls_workloads.Adpcm.opfc_sca ());
-    ("adpcm-decoder", Hls_workloads.Adpcm.decoder ());
-    ("ar-lattice", Hls_workloads.Extra.ar_lattice ());
-    ("dct8", Hls_workloads.Extra.dct8 ());
-  ]
 
 let load ~file ~builtin =
   match (file, builtin) with
@@ -38,12 +23,12 @@ let load ~file ~builtin =
       | Ok g -> Ok g
       | Error m -> Error m)
   | None, Some name -> (
-      match List.assoc_opt name (builtins ()) with
+      match Hls_workloads.Registry.find name with
       | Some g -> Ok g
       | None ->
           Error
             (Printf.sprintf "unknown builtin %s (try: %s)" name
-               (String.concat ", " (List.map fst (builtins ())))))
+               (String.concat ", " (Hls_workloads.Registry.names ()))))
   | Some _, Some _ -> Error "give either a file or --builtin, not both"
   | None, None -> Error "give a specification file or --builtin NAME"
 
@@ -342,14 +327,112 @@ let list_cmd =
         Printf.printf "%-16s %3d operations, %2d inputs\n" name
           (Graph.behavioural_op_count g)
           (List.length g.Graph.inputs))
-      (builtins ())
+      (Hls_workloads.Registry.all ())
   in
   Cmd.v (Cmd.info "list" ~doc:"List built-in workloads") Term.(const run $ const ())
+
+let explore_cmd =
+  let module Dse = Hls_dse in
+  let run file builtin latspec policies libs balance cleanup jobs timeout
+      cache_path feedback json =
+    let g = or_die (load ~file ~builtin) in
+    let latencies = or_die (Dse.Space.parse_latencies latspec) in
+    let policies =
+      match policies with
+      | "both" -> [ `Full; `Coalesced ]
+      | s -> (
+          match Dse.Space.policy_of_name s with
+          | Some p -> [ p ]
+          | None -> or_die (Error (Printf.sprintf "unknown policy %S" s)))
+    in
+    let libs =
+      match libs with
+      | "both" -> Dse.Space.known_libs
+      | s -> (
+          match Dse.Space.lib_of_name s with
+          | Some l -> [ (s, l) ]
+          | None -> or_die (Error (Printf.sprintf "unknown library %S" s)))
+    in
+    let bools ~name spec =
+      match spec with
+      | "both" -> Ok [ true; false ]
+      | "on" -> Ok [ true ]
+      | "off" -> Ok [ false ]
+      | s -> Error (Printf.sprintf "bad %s %S (use on, off or both)" name s)
+    in
+    let balance = or_die (bools ~name:"--balance" balance) in
+    let cleanup = or_die (bools ~name:"--cleanup" cleanup) in
+    let space =
+      Dse.Space.make ~latencies ~policies ~libs ~balance ~cleanup ()
+    in
+    let cache = Dse.Cache.create ?path:cache_path () in
+    let workers = if jobs <= 0 then None else Some jobs in
+    let result =
+      Dse.Explore.run ?workers ?timeout_s:timeout ~cache ~feedback g space
+    in
+    if json then
+      print_endline (Dse.Dse_json.to_string ~indent:true (Dse.Explore.to_json result))
+    else Format.printf "%a" Dse.Explore.pp result
+  in
+  let latency_arg =
+    Arg.(value & opt string "2:6"
+         & info [ "latency"; "l" ] ~docv:"RANGE"
+             ~doc:"Latency axis: N, LO:HI, LO:HI:STEP or a comma list.")
+  in
+  let policies_arg =
+    Arg.(value & opt string "full"
+         & info [ "policies" ] ~docv:"P"
+             ~doc:"Fragmentation policies: full, coalesced or both.")
+  in
+  let libs_arg =
+    Arg.(value & opt string "ripple"
+         & info [ "libs" ] ~docv:"L"
+             ~doc:"Technology libraries: ripple, cla or both.")
+  in
+  let balance_arg =
+    Arg.(value & opt string "on"
+         & info [ "balance" ] ~docv:"B"
+             ~doc:"Scheduler balancing axis: on, off or both.")
+  in
+  let cleanup_arg =
+    Arg.(value & opt string "off"
+         & info [ "cleanup" ] ~docv:"C"
+             ~doc:"Presynthesis cleanup axis: on, off or both.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 0
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains (0 = auto, 1 = serial).")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"S" ~doc:"Per-job timeout in seconds.")
+  in
+  let cache_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache" ] ~docv:"FILE"
+             ~doc:"JSON cache file for incremental re-runs.")
+  in
+  let feedback_arg =
+    Arg.(value & opt int 0
+         & info [ "feedback" ] ~docv:"N"
+             ~doc:"Feedback rounds refining the latency axis around the \
+                   frontier.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the sweep as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Sweep the design space and print its Pareto frontier")
+    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ policies_arg
+          $ libs_arg $ balance_arg $ cleanup_arg $ jobs_arg $ timeout_arg
+          $ cache_arg $ feedback_arg $ json_arg)
 
 let main =
   let doc = "operation-fragmentation presynthesis optimization for HLS" in
   Cmd.group (Cmd.info "hlsopt" ~version:"1.0.0" ~doc)
-    [ parse_cmd; optimize_cmd; schedule_cmd; report_cmd; emit_vhdl_cmd;
-      emit_verilog_cmd; simulate_cmd; list_cmd ]
+    [ parse_cmd; optimize_cmd; schedule_cmd; report_cmd; explore_cmd;
+      emit_vhdl_cmd; emit_verilog_cmd; simulate_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

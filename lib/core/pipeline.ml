@@ -69,14 +69,19 @@ type optimized_result = {
   schedule : Hls_sched.Frag_sched.t;
 }
 
-(** The paper's presynthesis-transformation flow.  [cleanup] additionally
-    runs constant folding / CSE / DCE on the kernel-form graph before
-    fragmentation (off by default: the paper's flow has no such pass, and
-    all pinned reproduction numbers are measured without it). *)
-let optimized ?(lib = Hls_techlib.default) ?policy ?balance
-    ?(cleanup = false) graph ~latency =
+(** The shared prefix of the optimized flow: operative kernel extraction,
+    optionally followed by the cleanup passes.  It depends only on the
+    graph (not on latency, policy or library), which is what makes it
+    worth memoizing across a design-space sweep. *)
+let prepare_kernel ?(cleanup = false) graph =
   let kernel = Hls_kernel.Extract.run graph in
-  let kernel = if cleanup then Hls_opt.Normalize.run kernel else kernel in
+  if cleanup then Hls_opt.Normalize.run kernel else kernel
+
+(** The per-point suffix of the optimized flow, on an already prepared
+    kernel: cycle estimation + fragmentation ([policy]), fragment
+    scheduling ([balance]), dedicated-adder binding. *)
+let optimized_of_kernel ?(lib = Hls_techlib.default) ?policy ?balance
+    kernel ~latency =
   let transformed = Hls_fragment.Transform.run ?policy kernel ~latency in
   let schedule = Hls_sched.Frag_sched.schedule ?balance transformed in
   let dp = Hls_alloc.Bind_frag.bind schedule in
@@ -90,6 +95,14 @@ let optimized ?(lib = Hls_techlib.default) ?policy ?balance
     transformed;
     schedule;
   }
+
+(** The paper's presynthesis-transformation flow.  [cleanup] additionally
+    runs constant folding / CSE / DCE on the kernel-form graph before
+    fragmentation (off by default: the paper's flow has no such pass, and
+    all pinned reproduction numbers are measured without it). *)
+let optimized ?lib ?policy ?balance ?cleanup graph ~latency =
+  optimized_of_kernel ?lib ?policy ?balance (prepare_kernel ?cleanup graph)
+    ~latency
 
 (** End-to-end functional check: the transformed, scheduled specification
     still computes the original behaviour.  Uses the combined strategy of

@@ -34,6 +34,18 @@ type optimized_result = {
   schedule : Hls_sched.Frag_sched.t;
 }
 
+(** The shared, latency-independent prefix of the optimized flow: kernel
+    extraction, optionally followed by the cleanup passes.  Sweeps memoize
+    this per graph and fan the suffix out over it. *)
+val prepare_kernel : ?cleanup:bool -> Hls_dfg.Graph.t -> Hls_dfg.Graph.t
+
+(** The per-point suffix of the optimized flow on a prepared kernel:
+    cycle estimation → fragmentation → fragment scheduling → binding.
+    [optimized g] ≡ [optimized_of_kernel (prepare_kernel g)]. *)
+val optimized_of_kernel :
+  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
+  ?balance:bool -> Hls_dfg.Graph.t -> latency:int -> optimized_result
+
 (** The paper's presynthesis-transformation flow: kernel extraction →
     cycle estimation → fragmentation ([policy]) → conventional fragment
     scheduling ([balance]) → dedicated-adder binding with bit-level

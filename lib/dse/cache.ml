@@ -1,0 +1,173 @@
+(* Content-hash memoization for design-space sweeps.
+
+   A sweep point is keyed by (graph digest, job parameter string): the
+   digest is an MD5 of the graph's full printed form (name, ports, nodes,
+   widths — everything that feeds the flow), so any edit to the
+   specification invalidates its entries while re-runs on the same spec
+   hit.  Values are the scalar metrics of a `Pipeline.report`; the heavy
+   structures (datapath, schedule) are cheap to drop because a hit means
+   we do not need them.
+
+   The store is a single JSON file, loaded whole and rewritten whole on
+   `flush` — sweeps are thousands of entries at most.  Floats round-trip
+   exactly (see Dse_json), so a cache hit reproduces the original metrics
+   byte-for-byte.
+
+   Concurrency: the cache is coordinator-only.  `Explore` looks entries up
+   before dispatching jobs to the pool and inserts results after
+   collecting them, so worker domains never touch it and no locking is
+   needed. *)
+
+type metrics = {
+  m_flow : string;
+  m_latency : int;
+  m_cycle_delta : int;
+  m_cycle_ns : float;
+  m_execution_ns : float;
+  m_op_count : int;
+  m_fragment_count : int;
+  m_fu_gates : int;
+  m_register_gates : int;
+  m_mux_gates : int;
+  m_controller_gates : int;
+  m_total_gates : int;
+}
+
+let metrics_of_report (r : Hls_core.Pipeline.report) =
+  let a = r.Hls_core.Pipeline.area in
+  {
+    m_flow = r.Hls_core.Pipeline.flow;
+    m_latency = r.Hls_core.Pipeline.latency;
+    m_cycle_delta = r.Hls_core.Pipeline.cycle_delta;
+    m_cycle_ns = r.Hls_core.Pipeline.cycle_ns;
+    m_execution_ns = r.Hls_core.Pipeline.execution_ns;
+    m_op_count = r.Hls_core.Pipeline.op_count;
+    m_fragment_count = r.Hls_core.Pipeline.fragment_count;
+    m_fu_gates = a.Hls_alloc.Datapath.fu_gates;
+    m_register_gates = a.Hls_alloc.Datapath.register_gates;
+    m_mux_gates = a.Hls_alloc.Datapath.mux_gates;
+    m_controller_gates = a.Hls_alloc.Datapath.controller_gates;
+    m_total_gates = a.Hls_alloc.Datapath.total_gates;
+  }
+
+let metrics_to_json m =
+  Dse_json.Obj
+    [
+      ("flow", Dse_json.String m.m_flow);
+      ("latency", Dse_json.Int m.m_latency);
+      ("cycle_delta", Dse_json.Int m.m_cycle_delta);
+      ("cycle_ns", Dse_json.Float m.m_cycle_ns);
+      ("execution_ns", Dse_json.Float m.m_execution_ns);
+      ("op_count", Dse_json.Int m.m_op_count);
+      ("fragment_count", Dse_json.Int m.m_fragment_count);
+      ("fu_gates", Dse_json.Int m.m_fu_gates);
+      ("register_gates", Dse_json.Int m.m_register_gates);
+      ("mux_gates", Dse_json.Int m.m_mux_gates);
+      ("controller_gates", Dse_json.Int m.m_controller_gates);
+      ("total_gates", Dse_json.Int m.m_total_gates);
+    ]
+
+let metrics_of_json j =
+  let open Dse_json in
+  let ( let* ) = Option.bind in
+  let* m_flow = Option.bind (member "flow" j) to_str in
+  let* m_latency = Option.bind (member "latency" j) to_int in
+  let* m_cycle_delta = Option.bind (member "cycle_delta" j) to_int in
+  let* m_cycle_ns = Option.bind (member "cycle_ns" j) to_float in
+  let* m_execution_ns = Option.bind (member "execution_ns" j) to_float in
+  let* m_op_count = Option.bind (member "op_count" j) to_int in
+  let* m_fragment_count = Option.bind (member "fragment_count" j) to_int in
+  let* m_fu_gates = Option.bind (member "fu_gates" j) to_int in
+  let* m_register_gates = Option.bind (member "register_gates" j) to_int in
+  let* m_mux_gates = Option.bind (member "mux_gates" j) to_int in
+  let* m_controller_gates = Option.bind (member "controller_gates" j) to_int in
+  let* m_total_gates = Option.bind (member "total_gates" j) to_int in
+  Some
+    {
+      m_flow; m_latency; m_cycle_delta; m_cycle_ns; m_execution_ns;
+      m_op_count; m_fragment_count; m_fu_gates; m_register_gates;
+      m_mux_gates; m_controller_gates; m_total_gates;
+    }
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  path : string option;
+  entries : (string, metrics) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable dirty : bool;
+}
+
+let graph_digest g =
+  Digest.to_hex
+    (Digest.string
+       (Hls_dfg.Graph.name g ^ "\n" ^ Format.asprintf "%a" Hls_dfg.Graph.pp g))
+
+let key ~graph_digest ~job_key =
+  Digest.to_hex (Digest.string (graph_digest ^ "|" ^ job_key))
+
+let load_file path entries =
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    Dse_json.of_string src
+  with
+  | Ok (Dse_json.Obj fields) ->
+      List.iter
+        (fun (k, v) ->
+          match metrics_of_json v with
+          | Some m -> Hashtbl.replace entries k m
+          | None -> () (* skip malformed entries; they will recompute *))
+        fields;
+      Ok ()
+  | Ok _ -> Error (path ^ ": cache root is not an object")
+  | Error m -> Error (path ^ ": " ^ m)
+  | exception Sys_error m -> Error m
+
+let create ?path () =
+  let entries = Hashtbl.create 64 in
+  (match path with
+  | Some p when Sys.file_exists p ->
+      (* A corrupt store must not kill a sweep: start empty instead. *)
+      ignore (load_file p entries : (unit, string) result)
+  | _ -> ());
+  { path; entries; hits = 0; misses = 0; dirty = false }
+
+let find t k =
+  match Hashtbl.find_opt t.entries k with
+  | Some m -> t.hits <- t.hits + 1; Some m
+  | None -> t.misses <- t.misses + 1; None
+
+let mem t k = Hashtbl.mem t.entries k
+
+let add t k m =
+  Hashtbl.replace t.entries k m;
+  t.dirty <- true
+
+let length t = Hashtbl.length t.entries
+let hits t = t.hits
+let misses t = t.misses
+
+let to_json t =
+  let fields =
+    Hashtbl.fold (fun k m acc -> (k, metrics_to_json m) :: acc) t.entries []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Dse_json.Obj fields
+
+let flush t =
+  match t.path with
+  | None -> ()
+  | Some path ->
+      if t.dirty then begin
+        let tmp = path ^ ".tmp" in
+        let oc = open_out_bin tmp in
+        output_string oc (Dse_json.to_string ~indent:true (to_json t));
+        output_char oc '\n';
+        close_out oc;
+        Sys.rename tmp path;
+        t.dirty <- false
+      end

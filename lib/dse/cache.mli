@@ -1,0 +1,57 @@
+(** Content-hash memoization for design-space sweeps.
+
+    Entries are keyed on (graph digest, job parameter string) and hold the
+    scalar metrics of a {!Hls_core.Pipeline.report}.  Optionally backed by
+    a JSON file for incremental re-runs; floats round-trip exactly, so a
+    hit reproduces the original metrics byte-for-byte.
+
+    The cache is coordinator-only (looked up before dispatch, filled after
+    collection), so it needs no locking even under a parallel sweep. *)
+
+type metrics = {
+  m_flow : string;
+  m_latency : int;
+  m_cycle_delta : int;
+  m_cycle_ns : float;
+  m_execution_ns : float;
+  m_op_count : int;
+  m_fragment_count : int;
+  m_fu_gates : int;
+  m_register_gates : int;
+  m_mux_gates : int;
+  m_controller_gates : int;
+  m_total_gates : int;
+}
+
+val metrics_of_report : Hls_core.Pipeline.report -> metrics
+val metrics_to_json : metrics -> Dse_json.t
+val metrics_of_json : Dse_json.t -> metrics option
+
+type t
+
+(** [create ?path ()] — with [path], existing entries are loaded from the
+    file (a missing or corrupt file starts empty) and {!flush} writes back
+    atomically; without, the cache is memory-only. *)
+val create : ?path:string -> unit -> t
+
+(** MD5 of the graph's full printed form: any edit to the specification
+    changes the digest and invalidates its entries. *)
+val graph_digest : Hls_dfg.Graph.t -> string
+
+val key : graph_digest:string -> job_key:string -> string
+
+(** Counted lookup: updates the hit/miss statistics. *)
+val find : t -> string -> metrics option
+
+(** Uncounted membership test. *)
+val mem : t -> string -> bool
+
+val add : t -> string -> metrics -> unit
+val length : t -> int
+val hits : t -> int
+val misses : t -> int
+val to_json : t -> Dse_json.t
+
+(** Write the store back to its file (atomic rename); no-op when
+    memory-only or unchanged. *)
+val flush : t -> unit

@@ -1,0 +1,257 @@
+(* The sweep driver: expand a Space into jobs, satisfy what it can from
+   the cache, fan the rest out over the Pool, and reduce the reports to a
+   Pareto frontier — optionally iterating a feedback loop that refines the
+   latency axis around the current frontier.
+
+   The expensive shared prefix of the optimized flow (kernel extraction,
+   plus cleanup passes when enabled) is computed once per distinct cleanup
+   flag and shared by every job; worker domains only run the per-point
+   suffix (`Pipeline.optimized_of_kernel`).  Results are collected in job
+   order, so the outcome is identical whatever the worker count. *)
+
+module Pipeline = Hls_core.Pipeline
+
+type point = { job : Space.job; metrics : Cache.metrics; from_cache : bool }
+type failure = { f_job : Space.job; f_reason : string }
+
+type t = {
+  graph_name : string;
+  digest : string;
+  points : point list;  (** successful sweep points, in job order *)
+  failures : failure list;
+  frontier : point list;  (** Pareto-optimal subset of [points] *)
+  rounds : int;  (** 1 + executed feedback refinements *)
+  wall_s : float;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let objectives p =
+  {
+    Pareto.cycle_ns = p.metrics.Cache.m_cycle_ns;
+    Pareto.area_gates = p.metrics.Cache.m_total_gates;
+    Pareto.latency = p.metrics.Cache.m_latency;
+  }
+
+let compute_frontier points = Pareto.frontier ~objectives points
+
+(* One batch of jobs: cache hits become points immediately, the rest run
+   on the pool.  Returns points and failures in job order. *)
+let run_round ~cache ~digest ~kernels ~workers ~timeout_s jobs =
+  let lookups =
+    List.map
+      (fun (job : Space.job) ->
+        let key = Cache.key ~graph_digest:digest ~job_key:(Space.job_key job) in
+        (job, key, Cache.find cache key))
+      jobs
+  in
+  let misses =
+    List.filter_map
+      (fun (job, key, hit) ->
+        match hit with None -> Some (job, key) | Some _ -> None)
+      lookups
+  in
+  let thunks =
+    List.map
+      (fun ((job : Space.job), _key) () ->
+        let kernel = List.assoc job.Space.cleanup kernels in
+        let r =
+          Pipeline.optimized_of_kernel ~lib:job.Space.lib
+            ~policy:job.Space.policy ~balance:job.Space.balance kernel
+            ~latency:job.Space.latency
+        in
+        Cache.metrics_of_report r.Pipeline.opt_report)
+      misses
+  in
+  let outcomes = Pool.run ?workers ?timeout_s (Array.of_list thunks) in
+  let computed = Hashtbl.create 16 in
+  List.iteri
+    (fun i (job, key) ->
+      (match outcomes.(i) with
+      | Pool.Done m -> Cache.add cache key m
+      | Pool.Failed _ | Pool.Timed_out _ -> ());
+      Hashtbl.replace computed (Space.job_key job) outcomes.(i))
+    misses;
+  List.fold_left
+    (fun (points, failures) (job, _key, hit) ->
+      match hit with
+      | Some m -> ({ job; metrics = m; from_cache = true } :: points, failures)
+      | None -> (
+          match Hashtbl.find computed (Space.job_key job) with
+          | Pool.Done m ->
+              ({ job; metrics = m; from_cache = false } :: points, failures)
+          | outcome ->
+              let reason = Option.get (Pool.outcome_error outcome) in
+              (points, { f_job = job; f_reason = reason } :: failures)))
+    ([], []) lookups
+  |> fun (points, failures) -> (List.rev points, List.rev failures)
+
+(* Feedback refinement: probe latency±1 around every frontier point
+   (other axes unchanged), skipping anything already attempted. *)
+let refinement_candidates ~attempted frontier =
+  List.concat_map
+    (fun { job = (j : Space.job); _ } ->
+      List.filter_map
+        (fun dl ->
+          let latency = j.Space.latency + dl in
+          if latency < 1 then None
+          else
+            let candidate = { j with Space.latency } in
+            if Hashtbl.mem attempted (Space.job_key candidate) then None
+            else Some candidate)
+        [ -1; 1 ])
+    frontier
+  |> List.sort_uniq (fun a b ->
+         compare (Space.job_key a) (Space.job_key b))
+
+let run ?workers ?timeout_s ?cache ?(feedback = 0) graph (space : Space.t) =
+  let t0 = Unix.gettimeofday () in
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let digest = Cache.graph_digest graph in
+  let kernels =
+    List.map
+      (fun cleanup -> (cleanup, Pipeline.prepare_kernel ~cleanup graph))
+      (List.sort_uniq compare space.Space.cleanup)
+  in
+  let attempted = Hashtbl.create 64 in
+  let points = ref [] and failures = ref [] and rounds = ref 0 in
+  let execute jobs =
+    let jobs =
+      List.filter
+        (fun j -> not (Hashtbl.mem attempted (Space.job_key j)))
+        jobs
+    in
+    List.iter (fun j -> Hashtbl.replace attempted (Space.job_key j) ()) jobs;
+    if jobs <> [] then begin
+      incr rounds;
+      let pts, fls =
+        run_round ~cache ~digest ~kernels ~workers ~timeout_s jobs
+      in
+      points := !points @ pts;
+      failures := !failures @ fls
+    end
+  in
+  execute (Space.jobs space);
+  let remaining = ref feedback in
+  let continue = ref true in
+  while !remaining > 0 && !continue do
+    let candidates =
+      refinement_candidates ~attempted (compute_frontier !points)
+    in
+    if candidates = [] then continue := false
+    else begin
+      execute candidates;
+      decr remaining
+    end
+  done;
+  Cache.flush cache;
+  {
+    graph_name = Hls_dfg.Graph.name graph;
+    digest;
+    points = !points;
+    failures = !failures;
+    frontier = compute_frontier !points;
+    rounds = !rounds;
+    wall_s = Unix.gettimeofday () -. t0;
+    cache_hits = Cache.hits cache;
+    cache_misses = Cache.misses cache;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let job_to_json (j : Space.job) =
+  Dse_json.Obj
+    [
+      ("latency", Dse_json.Int j.Space.latency);
+      ("policy", Dse_json.String (Space.policy_name j.Space.policy));
+      ("lib", Dse_json.String j.Space.lib_name);
+      ("balance", Dse_json.Bool j.Space.balance);
+      ("cleanup", Dse_json.Bool j.Space.cleanup);
+    ]
+
+let point_to_json p =
+  Dse_json.Obj
+    [
+      ("job", job_to_json p.job);
+      ("metrics", Cache.metrics_to_json p.metrics);
+      ("from_cache", Dse_json.Bool p.from_cache);
+    ]
+
+let to_json t =
+  Dse_json.Obj
+    [
+      ("graph", Dse_json.String t.graph_name);
+      ("digest", Dse_json.String t.digest);
+      ("rounds", Dse_json.Int t.rounds);
+      ("wall_s", Dse_json.Float t.wall_s);
+      ( "cache",
+        Dse_json.Obj
+          [
+            ("hits", Dse_json.Int t.cache_hits);
+            ("misses", Dse_json.Int t.cache_misses);
+          ] );
+      ("points", Dse_json.List (List.map point_to_json t.points));
+      ( "failures",
+        Dse_json.List
+          (List.map
+             (fun f ->
+               Dse_json.Obj
+                 [
+                   ("job", job_to_json f.f_job);
+                   ("reason", Dse_json.String f.f_reason);
+                 ])
+             t.failures) );
+      ("frontier", Dse_json.List (List.map point_to_json t.frontier));
+    ]
+
+let pp ppf t =
+  let on_frontier =
+    let keys =
+      List.map (fun p -> Space.job_key p.job) t.frontier
+    in
+    fun p -> List.mem (Space.job_key p.job) keys
+  in
+  let row p =
+    let m = p.metrics in
+    [
+      string_of_int p.job.Space.latency;
+      Space.policy_name p.job.Space.policy;
+      p.job.Space.lib_name;
+      (if p.job.Space.balance then "bal" else "asap");
+      (if p.job.Space.cleanup then "clean" else "-");
+      Printf.sprintf "%.2f" m.Cache.m_cycle_ns;
+      Printf.sprintf "%.2f" m.Cache.m_execution_ns;
+      string_of_int m.Cache.m_total_gates;
+      string_of_int m.Cache.m_fragment_count;
+      (if p.from_cache then "cache" else "run");
+      (if on_frontier p then "*" else "");
+    ]
+  in
+  Format.fprintf ppf "sweep of %s: %d points, %d failures, %d round%s, %.3f s@."
+    t.graph_name (List.length t.points) (List.length t.failures) t.rounds
+    (if t.rounds = 1 then "" else "s")
+    t.wall_s;
+  Format.fprintf ppf "cache: %d hits, %d misses@.@." t.cache_hits
+    t.cache_misses;
+  Format.pp_print_string ppf
+    (Hls_util.Pretty.render_table
+       ~header:
+         [
+           "lat"; "policy"; "lib"; "sched"; "clean"; "cycle/ns"; "exec/ns";
+           "gates"; "frags"; "src"; "pareto";
+         ]
+       (List.map row t.points));
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "failed: %s: %s@." (Space.job_key f.f_job)
+        f.f_reason)
+    t.failures;
+  Format.fprintf ppf "@.Pareto frontier (%d point%s):@."
+    (List.length t.frontier)
+    (if List.length t.frontier = 1 then "" else "s");
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %s -> %a@." (Space.job_key p.job)
+        Pareto.pp_objectives (objectives p))
+    t.frontier

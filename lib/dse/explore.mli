@@ -1,0 +1,43 @@
+(** The sweep driver: expand a {!Space} into jobs, satisfy what it can
+    from the {!Cache}, fan the rest out over the {!Pool}, and reduce the
+    reports to a {!Pareto} frontier.
+
+    The latency-independent prefix of the optimized flow runs once per
+    distinct cleanup flag ({!Hls_core.Pipeline.prepare_kernel}); workers
+    only execute the per-point suffix.  Points are collected in job order,
+    so results are identical whatever the worker count. *)
+
+type point = {
+  job : Space.job;
+  metrics : Cache.metrics;
+  from_cache : bool;
+}
+
+type failure = { f_job : Space.job; f_reason : string }
+
+type t = {
+  graph_name : string;
+  digest : string;
+  points : point list;  (** successful sweep points, in job order *)
+  failures : failure list;
+  frontier : point list;  (** Pareto-optimal subset of [points] *)
+  rounds : int;  (** 1 + executed feedback refinements *)
+  wall_s : float;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val objectives : point -> Pareto.objectives
+
+(** [run ?workers ?timeout_s ?cache ?feedback graph space].  [feedback]
+    bounds the refinement rounds: after each round the latency axis is
+    probed one step either side of every frontier point until nothing new
+    remains or the bound is hit (default 0: plain sweep).  Failed or
+    timed-out jobs are recorded in [failures] and the sweep continues.
+    The cache, when given, is flushed before returning. *)
+val run :
+  ?workers:int -> ?timeout_s:float -> ?cache:Cache.t -> ?feedback:int ->
+  Hls_dfg.Graph.t -> Space.t -> t
+
+val to_json : t -> Dse_json.t
+val pp : Format.formatter -> t -> unit

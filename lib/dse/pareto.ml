@@ -1,0 +1,31 @@
+(* The 3-objective Pareto frontier of a sweep: cycle time (ns), area
+   (gates) and latency (cycles), all minimized.
+
+   A point dominates another when it is no worse on every objective and
+   strictly better on at least one.  The frontier keeps every
+   non-dominated point in input order, so results are deterministic;
+   points with identical objectives do not dominate each other and both
+   survive (they are genuinely interchangeable designs). *)
+
+type objectives = { cycle_ns : float; area_gates : int; latency : int }
+
+let dominates a b =
+  a.cycle_ns <= b.cycle_ns
+  && a.area_gates <= b.area_gates
+  && a.latency <= b.latency
+  && (a.cycle_ns < b.cycle_ns
+     || a.area_gates < b.area_gates
+     || a.latency < b.latency)
+
+let frontier ~objectives points =
+  (* O(n^2); sweeps are at most a few thousand points. *)
+  let objs = List.map (fun p -> (p, objectives p)) points in
+  List.filter_map
+    (fun (p, o) ->
+      if List.exists (fun (_, o') -> dominates o' o) objs then None
+      else Some p)
+    objs
+
+let pp_objectives ppf o =
+  Format.fprintf ppf "cycle %.2f ns, %d gates, latency %d" o.cycle_ns
+    o.area_gates o.latency

@@ -1,0 +1,14 @@
+(** 3-objective Pareto frontier (cycle ns, area gates, latency — all
+    minimized). *)
+
+type objectives = { cycle_ns : float; area_gates : int; latency : int }
+
+(** [dominates a b]: [a] no worse everywhere and strictly better
+    somewhere. *)
+val dominates : objectives -> objectives -> bool
+
+(** Non-dominated points, in input order (deterministic); points with
+    identical objectives all survive. *)
+val frontier : objectives:('a -> objectives) -> 'a list -> 'a list
+
+val pp_objectives : Format.formatter -> objectives -> unit

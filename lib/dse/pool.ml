@@ -1,0 +1,135 @@
+(* A small Domain-based job pool with exception isolation and per-job
+   timeouts.
+
+   Two execution strategies share the same interface:
+
+   - Without a timeout, [workers] persistent domains race down a shared
+     Atomic job counter.  Domain creation is expensive relative to a
+     millisecond scheduling job (thread spawn + runtime synchronization),
+     so spawning once per worker rather than once per job is what makes
+     small sweeps actually scale.  Each result slot is written by exactly
+     one domain and read only after [Domain.join], which provides the
+     happens-before edge.
+
+   - With a timeout, each job gets its own disposable domain (at most
+     [workers] in flight) and the coordinator polls completion cells: a
+     job past its deadline is recorded as [Timed_out] and its domain
+     abandoned — OCaml cannot preempt a domain, so the stray computation
+     runs on harmlessly until process exit while its slot is released and
+     the sweep moves on.  Per-job spawn cost is the price of being able
+     to walk away from a diverging job.
+
+   In both strategies exceptions are caught *inside* the worker domain,
+   so one raising job can never take the sweep down.  With
+   [workers <= 1] jobs run inline in the calling domain (still
+   exception-isolated; timeouts cannot be enforced without a second
+   domain and are ignored — documented in the interface). *)
+
+type 'a outcome = Done of 'a | Failed of string | Timed_out of float
+
+let default_workers () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+type 'a flight = {
+  idx : int;
+  cell : ('a, string) result option Atomic.t;
+  domain : unit Domain.t;
+  started : float;
+}
+
+let run_serial jobs results =
+  Array.iteri
+    (fun i job ->
+      results.(i) <-
+        (match job () with
+        | v -> Done v
+        | exception e -> Failed (Printexc.to_string e)))
+    jobs
+
+let run_pooled ~workers jobs results =
+  let n = Array.length jobs in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <-
+          (match jobs.(i) () with
+          | v -> Done v
+          | exception e -> Failed (Printexc.to_string e));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = List.init (min workers n) (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains
+
+let run_with_deadline ~workers ~timeout_s jobs results =
+  let n = Array.length jobs in
+  let next = ref 0 in
+  let in_flight = ref [] in
+  let spawn i =
+    let cell = Atomic.make None in
+    let domain =
+      Domain.spawn (fun () ->
+          let r =
+            match jobs.(i) () with
+            | v -> Ok v
+            | exception e -> Error (Printexc.to_string e)
+          in
+          Atomic.set cell (Some r))
+    in
+    { idx = i; cell; domain; started = Unix.gettimeofday () }
+  in
+  while !next < n || !in_flight <> [] do
+    while !next < n && List.length !in_flight < workers do
+      in_flight := spawn !next :: !in_flight;
+      incr next
+    done;
+    let now = Unix.gettimeofday () in
+    in_flight :=
+      List.filter
+        (fun f ->
+          match Atomic.get f.cell with
+          | Some (Ok v) ->
+              Domain.join f.domain;
+              results.(f.idx) <- Done v;
+              false
+          | Some (Error m) ->
+              Domain.join f.domain;
+              results.(f.idx) <- Failed m;
+              false
+          | None ->
+              if now -. f.started > timeout_s then begin
+                results.(f.idx) <- Timed_out (now -. f.started);
+                false (* abandoned, see module comment *)
+              end
+              else true)
+        !in_flight;
+    if !in_flight <> [] then Unix.sleepf 0.0002
+  done
+
+let run ?workers ?timeout_s jobs =
+  let workers =
+    match workers with Some w -> max 1 w | None -> default_workers ()
+  in
+  let n = Array.length jobs in
+  let results = Array.make n (Failed "job not run") in
+  if n > 0 then
+    if workers <= 1 || n = 1 then run_serial jobs results
+    else begin
+      match timeout_s with
+      | None -> run_pooled ~workers jobs results
+      | Some timeout_s -> run_with_deadline ~workers ~timeout_s jobs results
+    end;
+  results
+
+let run_list ?workers ?timeout_s jobs =
+  Array.to_list (run ?workers ?timeout_s (Array.of_list jobs))
+
+let outcome_ok = function Done v -> Some v | Failed _ | Timed_out _ -> None
+
+let outcome_error = function
+  | Done _ -> None
+  | Failed m -> Some m
+  | Timed_out s -> Some (Printf.sprintf "timed out after %.2f s" s)

@@ -1,0 +1,34 @@
+(** Domain-based job pool with exception isolation and per-job timeouts.
+
+    Jobs are independent thunks.  Without [timeout_s], [workers]
+    persistent domains race down a shared job counter (domain creation is
+    expensive relative to a millisecond job, so spawning once per worker
+    is what makes small sweeps scale).  With [timeout_s], each job gets a
+    disposable domain: a job exceeding the deadline is recorded as
+    [Timed_out] and its domain abandoned — OCaml cannot preempt a domain,
+    so the stray computation runs on harmlessly until process exit while
+    the sweep continues.  In both modes a raising job is recorded as
+    [Failed]; the exception never escapes the pool. *)
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of string  (** [Printexc.to_string] of the escaped exception *)
+  | Timed_out of float  (** seconds the job had been running *)
+
+(** Recommended domain count, clamped to [1..8]. *)
+val default_workers : unit -> int
+
+(** [run ?workers ?timeout_s jobs] — results are index-aligned with
+    [jobs].  With [workers <= 1] (or a single job) jobs run inline in the
+    calling domain: still exception-isolated, but [timeout_s] is ignored
+    (a timeout needs a second domain to observe it). *)
+val run :
+  ?workers:int -> ?timeout_s:float -> (unit -> 'a) array -> 'a outcome array
+
+val run_list :
+  ?workers:int -> ?timeout_s:float -> (unit -> 'a) list -> 'a outcome list
+
+val outcome_ok : 'a outcome -> 'a option
+
+(** Human-readable reason for a non-[Done] outcome. *)
+val outcome_error : 'a outcome -> string option

@@ -1,0 +1,123 @@
+(* A design-space sweep, declaratively: lists of values per axis, expanded
+   into the cartesian product of concrete jobs.  Axes mirror the knobs of
+   the optimized flow (`Pipeline.optimized`): latency, fragmentation
+   policy, technology library, scheduler balancing, presynthesis cleanup.
+
+   Expansion order is deterministic (latency-major, then policy, lib,
+   balance, cleanup), so sweep results are reproducible and independent of
+   how many workers execute them. *)
+
+type t = {
+  latencies : int list;
+  policies : Hls_fragment.Mobility.policy list;
+  libs : (string * Hls_techlib.t) list;
+  balance : bool list;
+  cleanup : bool list;
+}
+
+type job = {
+  latency : int;
+  policy : Hls_fragment.Mobility.policy;
+  lib_name : string;
+  lib : Hls_techlib.t;
+  balance : bool;
+  cleanup : bool;
+}
+
+let make ?(latencies = [ 3; 4; 5; 6 ]) ?(policies = [ `Full ])
+    ?(libs = [ ("ripple", Hls_techlib.default) ]) ?(balance = [ true ])
+    ?(cleanup = [ false ]) () =
+  if latencies = [] then invalid_arg "Space.make: empty latency axis";
+  if policies = [] then invalid_arg "Space.make: empty policy axis";
+  if libs = [] then invalid_arg "Space.make: empty library axis";
+  if balance = [] then invalid_arg "Space.make: empty balance axis";
+  if cleanup = [] then invalid_arg "Space.make: empty cleanup axis";
+  { latencies; policies; libs; balance; cleanup }
+
+let size (s : t) =
+  List.length s.latencies * List.length s.policies * List.length s.libs
+  * List.length s.balance * List.length s.cleanup
+
+let jobs (s : t) =
+  List.concat_map
+    (fun latency ->
+      List.concat_map
+        (fun policy ->
+          List.concat_map
+            (fun (lib_name, lib) ->
+              List.concat_map
+                (fun balance ->
+                  List.map
+                    (fun cleanup ->
+                      { latency; policy; lib_name; lib; balance; cleanup })
+                    s.cleanup)
+                s.balance)
+            s.libs)
+        s.policies)
+    (List.sort_uniq compare s.latencies)
+
+let policy_name = function `Full -> "full" | `Coalesced -> "coalesced"
+
+let policy_of_name = function
+  | "full" -> Some `Full
+  | "coalesced" -> Some `Coalesced
+  | _ -> None
+
+let known_libs =
+  [ ("ripple", Hls_techlib.default); ("cla", Hls_techlib.fast_cla) ]
+
+let lib_of_name name = List.assoc_opt name known_libs
+
+(* The canonical parameter string of a job: display label and the
+   parameter half of the cache key, so it must mention every axis. *)
+let job_key j =
+  Printf.sprintf "lat=%d policy=%s lib=%s balance=%b cleanup=%b" j.latency
+    (policy_name j.policy) j.lib_name j.balance j.cleanup
+
+(* Latency-axis specifications: "4", "2:6", "2:10:2", "3,5,7". *)
+let parse_latencies spec =
+  let int_of s =
+    match int_of_string_opt (String.trim s) with
+    | Some v when v >= 1 -> Ok v
+    | Some _ -> Error (Printf.sprintf "latency must be >= 1 in %S" spec)
+    | None -> Error (Printf.sprintf "bad latency spec %S" spec)
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' spec with
+  | [ one ] -> (
+      match String.split_on_char ',' one with
+      | [ single ] ->
+          let* v = int_of single in
+          Ok [ v ]
+      | parts ->
+          List.fold_left
+            (fun acc p ->
+              let* acc = acc in
+              let* v = int_of p in
+              Ok (v :: acc))
+            (Ok []) parts
+          |> Result.map List.rev)
+  | [ lo; hi ] | [ lo; hi; "" ] ->
+      let* lo = int_of lo in
+      let* hi = int_of hi in
+      if hi < lo then Error (Printf.sprintf "empty latency range %S" spec)
+      else Ok (List.init (hi - lo + 1) (fun i -> lo + i))
+  | [ lo; hi; step ] ->
+      let* lo = int_of lo in
+      let* hi = int_of hi in
+      let* step = int_of step in
+      if hi < lo then Error (Printf.sprintf "empty latency range %S" spec)
+      else
+        let rec go acc v = if v > hi then List.rev acc else go (v :: acc) (v + step) in
+        Ok (go [] lo)
+  | _ -> Error (Printf.sprintf "bad latency spec %S (use N, LO:HI, LO:HI:STEP or a,b,c)" spec)
+
+let pp ppf (s : t) =
+  Format.fprintf ppf
+    "@[<v>latencies: %s@ policies: %s@ libraries: %s@ balance: %s@ cleanup: %s@ jobs: %d@]"
+    (String.concat ", " (List.map string_of_int s.latencies))
+    (String.concat ", " (List.map policy_name s.policies))
+    (String.concat ", " (List.map fst s.libs))
+    (String.concat ", " (List.map string_of_bool s.balance))
+    (String.concat ", " (List.map string_of_bool s.cleanup))
+    (size s)

@@ -1,0 +1,52 @@
+(** Declarative description of a design-space sweep: one list of values
+    per knob of the optimized flow, expanded into the cartesian product of
+    concrete jobs in a deterministic (latency-major) order. *)
+
+type t = {
+  latencies : int list;
+  policies : Hls_fragment.Mobility.policy list;
+  libs : (string * Hls_techlib.t) list;  (** (display name, library) *)
+  balance : bool list;
+  cleanup : bool list;
+}
+
+type job = {
+  latency : int;
+  policy : Hls_fragment.Mobility.policy;
+  lib_name : string;
+  lib : Hls_techlib.t;
+  balance : bool;
+  cleanup : bool;
+}
+
+(** Defaults: latencies 3–6, [`Full] policy, ripple library, balancing on,
+    cleanup off.  Raises [Invalid_argument] on an empty axis. *)
+val make :
+  ?latencies:int list ->
+  ?policies:Hls_fragment.Mobility.policy list ->
+  ?libs:(string * Hls_techlib.t) list ->
+  ?balance:bool list ->
+  ?cleanup:bool list ->
+  unit -> t
+
+val size : t -> int
+
+(** Cartesian expansion; duplicate latencies are collapsed. *)
+val jobs : t -> job list
+
+val policy_name : Hls_fragment.Mobility.policy -> string
+val policy_of_name : string -> Hls_fragment.Mobility.policy option
+
+(** The libraries a sweep can name on the command line. *)
+val known_libs : (string * Hls_techlib.t) list
+
+val lib_of_name : string -> Hls_techlib.t option
+
+(** Canonical parameter string: display label and the parameter half of
+    the cache key (mentions every axis). *)
+val job_key : job -> string
+
+(** Latency-axis specifications: ["4"], ["2:6"], ["2:10:2"], ["3,5,7"]. *)
+val parse_latencies : string -> (int list, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(* One shared table of every built-in workload, so the CLI subcommands
+   (`list`, `report`, `explore`, ...) and the bench harness agree on the
+   available graphs and their names. *)
+
+let all () =
+  [
+    ("chain3", Motivational.chain3 ());
+    ("fig3", Motivational.fig3 ());
+    ("elliptic", Benchmarks.elliptic ());
+    ("diffeq", Benchmarks.diffeq ());
+    ("iir4", Benchmarks.iir4 ());
+    ("fir2", Benchmarks.fir2 ());
+    ("adpcm-iaq", Adpcm.iaq ());
+    ("adpcm-ttd", Adpcm.ttd ());
+    ("adpcm-opfc-sca", Adpcm.opfc_sca ());
+    ("adpcm-decoder", Adpcm.decoder ());
+    ("ar-lattice", Extra.ar_lattice ());
+    ("dct8", Extra.dct8 ());
+  ]
+
+let names () = List.map fst (all ())
+let find name = List.assoc_opt name (all ())

@@ -1,0 +1,6 @@
+(** The single registry of built-in workloads shared by the [hlsopt]
+    subcommands and the bench harness: name → constructed graph. *)
+
+val all : unit -> (string * Hls_dfg.Graph.t) list
+val names : unit -> string list
+val find : string -> Hls_dfg.Graph.t option

@@ -1,0 +1,297 @@
+(* The design-space exploration engine: sweep expansion, cache hit/miss
+   semantics, Pareto-frontier correctness, pool fault isolation, and an
+   end-to-end sweep matching the serial pipeline bit-for-bit. *)
+
+module P = Hls_core.Pipeline
+module Space = Hls_dse.Space
+module Cache = Hls_dse.Cache
+module Pool = Hls_dse.Pool
+module Pareto = Hls_dse.Pareto
+module Explore = Hls_dse.Explore
+module Json = Hls_dse.Dse_json
+
+(* ------------------------------------------------------------------ *)
+(* Space.                                                              *)
+
+let test_space_expansion () =
+  let space =
+    Space.make ~latencies:[ 3; 4 ] ~policies:[ `Full; `Coalesced ]
+      ~balance:[ true; false ] ()
+  in
+  let jobs = Space.jobs space in
+  Alcotest.(check int) "cartesian size" 8 (List.length jobs);
+  Alcotest.(check int) "size agrees" (Space.size space) (List.length jobs);
+  let keys = List.map Space.job_key jobs in
+  Alcotest.(check int) "keys distinct"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  (* Deterministic latency-major order. *)
+  Alcotest.(check (list int)) "latency-major"
+    [ 3; 3; 3; 3; 4; 4; 4; 4 ]
+    (List.map (fun (j : Space.job) -> j.Space.latency) jobs)
+
+let test_parse_latencies () =
+  let ok spec expect =
+    match Space.parse_latencies spec with
+    | Ok l -> Alcotest.(check (list int)) spec expect l
+    | Error m -> Alcotest.failf "%s: %s" spec m
+  in
+  ok "4" [ 4 ];
+  ok "2:6" [ 2; 3; 4; 5; 6 ];
+  ok "2:10:3" [ 2; 5; 8 ];
+  ok "3,5,7" [ 3; 5; 7 ];
+  List.iter
+    (fun spec ->
+      match Space.parse_latencies spec with
+      | Ok _ -> Alcotest.failf "%s should be rejected" spec
+      | Error _ -> ())
+    [ "x"; "6:2"; "0"; "1:2:3:4"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Cache.                                                              *)
+
+let test_cache_hit_miss () =
+  let g = Hls_workloads.Motivational.chain3 () in
+  let cache = Cache.create () in
+  let space = Space.make ~latencies:[ 3; 4 ] () in
+  let first = Explore.run ~workers:1 ~cache g space in
+  Alcotest.(check int) "first run misses" 2 (Explore.(first.cache_misses));
+  Alcotest.(check int) "first run hits" 0 Explore.(first.cache_hits);
+  Alcotest.(check bool) "fresh points computed" true
+    (List.for_all (fun p -> not p.Explore.from_cache) first.Explore.points);
+  let second = Explore.run ~workers:1 ~cache g space in
+  Alcotest.(check int) "second run all hits" 2
+    (Explore.(second.cache_hits) - Explore.(first.cache_hits));
+  Alcotest.(check int) "second run no recompute" Explore.(first.cache_misses)
+    Explore.(second.cache_misses);
+  Alcotest.(check bool) "points served from cache" true
+    (List.for_all (fun p -> p.Explore.from_cache) second.Explore.points);
+  (* Same digest → identical metrics. *)
+  Alcotest.(check bool) "metrics identical" true
+    (List.map (fun p -> p.Explore.metrics) first.Explore.points
+    = List.map (fun p -> p.Explore.metrics) second.Explore.points);
+  (* A different graph must not hit. *)
+  let g' = Hls_workloads.Motivational.fig3 () in
+  Alcotest.(check bool) "digests differ" true
+    (Cache.graph_digest g <> Cache.graph_digest g');
+  let third = Explore.run ~workers:1 ~cache g' space in
+  Alcotest.(check bool) "other graph recomputes" true
+    (List.for_all (fun p -> not p.Explore.from_cache) third.Explore.points)
+
+let test_cache_disk_roundtrip () =
+  let path = Filename.temp_file "dse-cache" ".json" in
+  let g = Hls_workloads.Motivational.chain3 () in
+  let space = Space.make ~latencies:[ 3 ] () in
+  let c1 = Cache.create ~path () in
+  let r1 = Explore.run ~workers:1 ~cache:c1 g space in
+  (* A fresh cache instance reads the flushed store and serves hits with
+     bit-identical metrics (floats round-trip through the JSON). *)
+  let c2 = Cache.create ~path () in
+  Alcotest.(check int) "persisted entries" 1 (Cache.length c2);
+  let r2 = Explore.run ~workers:1 ~cache:c2 g space in
+  Alcotest.(check bool) "all from disk" true
+    (List.for_all (fun p -> p.Explore.from_cache) r2.Explore.points);
+  Alcotest.(check bool) "metrics bit-identical" true
+    (List.map (fun p -> p.Explore.metrics) r1.Explore.points
+    = List.map (fun p -> p.Explore.metrics) r2.Explore.points);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Pareto.                                                             *)
+
+let test_pareto_frontier () =
+  let mk cycle_ns area_gates latency =
+    { Pareto.cycle_ns; area_gates; latency }
+  in
+  let id x = x in
+  (* Hand-built set: a dominates b; c trades cycle for area with a;
+     d duplicates a's objectives; e is dominated by c. *)
+  let a = mk 2.0 100 3
+  and b = mk 2.5 120 3
+  and c = mk 1.5 150 3
+  and d = mk 2.0 100 3
+  and e = mk 1.5 160 4 in
+  Alcotest.(check bool) "a dominates b" true (Pareto.dominates a b);
+  Alcotest.(check bool) "b not dominates a" false (Pareto.dominates b a);
+  Alcotest.(check bool) "no self-domination" false (Pareto.dominates a a);
+  Alcotest.(check bool) "ties do not dominate" false (Pareto.dominates a d);
+  let front = Pareto.frontier ~objectives:id [ a; b; c; d; e ] in
+  Alcotest.(check int) "frontier size" 3 (List.length front);
+  Alcotest.(check bool) "b excluded" true (not (List.mem b front));
+  Alcotest.(check bool) "e excluded" true (not (List.mem e front));
+  Alcotest.(check bool) "input order kept" true (front = [ a; c; d ]);
+  (* Single point is always on the frontier; empty set is empty. *)
+  Alcotest.(check int) "singleton" 1
+    (List.length (Pareto.frontier ~objectives:id [ a ]));
+  Alcotest.(check int) "empty" 0
+    (List.length (Pareto.frontier ~objectives:id []))
+
+(* ------------------------------------------------------------------ *)
+(* Pool.                                                               *)
+
+let test_pool_exception_isolation () =
+  let jobs =
+    [|
+      (fun () -> 1);
+      (fun () -> failwith "injected failure");
+      (fun () -> 3);
+      (fun () -> raise Exit);
+      (fun () -> 5);
+    |]
+  in
+  List.iter
+    (fun workers ->
+      let outcomes = Pool.run ~workers jobs in
+      let tag = Printf.sprintf "workers=%d" workers in
+      Alcotest.(check int) (tag ^ " results aligned") 5 (Array.length outcomes);
+      Alcotest.(check (list int))
+        (tag ^ " successes survive")
+        [ 1; 3; 5 ]
+        (Array.to_list outcomes |> List.filter_map Pool.outcome_ok);
+      (match outcomes.(1) with
+      | Pool.Failed m ->
+          Alcotest.(check bool) (tag ^ " failure message") true
+            (let needle = "injected" in
+             let rec has i =
+               i + String.length needle <= String.length m
+               && (String.sub m i (String.length needle) = needle || has (i + 1))
+             in
+             has 0)
+      | _ -> Alcotest.fail (tag ^ ": job 1 should have failed"));
+      match outcomes.(3) with
+      | Pool.Failed _ -> ()
+      | _ -> Alcotest.fail (tag ^ ": job 3 should have failed"))
+    [ 1; 2; 4 ]
+
+let test_pool_timeout () =
+  let jobs =
+    [| (fun () -> 1); (fun () -> Unix.sleepf 5.0; 2); (fun () -> 3) |]
+  in
+  let outcomes = Pool.run ~workers:2 ~timeout_s:0.1 jobs in
+  Alcotest.(check (list int)) "fast jobs complete" [ 1; 3 ]
+    (Array.to_list outcomes |> List.filter_map Pool.outcome_ok);
+  match outcomes.(1) with
+  | Pool.Timed_out s -> Alcotest.(check bool) "deadline honoured" true (s >= 0.1)
+  | _ -> Alcotest.fail "sleeping job should have timed out"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end.                                                         *)
+
+(* A 2-point sweep on chain3 must reproduce the serial pipeline exactly:
+   same metrics from Explore (any worker count) as from running
+   Pipeline.optimized by hand at the same parameters. *)
+let test_explore_matches_serial () =
+  let g = Hls_workloads.Motivational.chain3 () in
+  let latencies = [ 3; 6 ] in
+  let space = Space.make ~latencies () in
+  let serial =
+    List.map
+      (fun latency ->
+        Cache.metrics_of_report
+          (P.optimized g ~latency).P.opt_report)
+      latencies
+  in
+  List.iter
+    (fun workers ->
+      let r = Explore.run ~workers g space in
+      let tag = Printf.sprintf "workers=%d" workers in
+      Alcotest.(check int) (tag ^ " all points") 2
+        (List.length r.Explore.points);
+      Alcotest.(check int) (tag ^ " no failures") 0
+        (List.length r.Explore.failures);
+      Alcotest.(check bool) (tag ^ " metrics identical to serial flow") true
+        (List.map (fun p -> p.Explore.metrics) r.Explore.points = serial);
+      Alcotest.(check bool) (tag ^ " non-empty frontier") true
+        (r.Explore.frontier <> []);
+      (* The JSON rendering — what `hlsopt explore --json` prints — is
+         byte-identical across worker counts. *)
+      let strip_wall j =
+        match j with
+        | Json.Obj fields ->
+            Json.Obj (List.filter (fun (k, _) -> k <> "wall_s") fields)
+        | j -> j
+      in
+      Alcotest.(check string) (tag ^ " json deterministic")
+        (Json.to_string ~indent:true
+           (strip_wall (Explore.to_json (Explore.run ~workers:1 g space))))
+        (Json.to_string ~indent:true (strip_wall (Explore.to_json r))))
+    [ 1; 4 ]
+
+let test_explore_survives_infeasible () =
+  (* The coalesced policy is infeasible at some elliptic latencies: the
+     sweep must record those failures and keep the feasible points. *)
+  let g = Hls_workloads.Benchmarks.elliptic () in
+  let space =
+    Space.make ~latencies:[ 5; 6 ] ~policies:[ `Full; `Coalesced ] ()
+  in
+  let r = Explore.run ~workers:2 g space in
+  Alcotest.(check int) "attempted = points + failures" 4
+    (List.length r.Explore.points + List.length r.Explore.failures);
+  Alcotest.(check bool) "full-policy points survive" true
+    (List.exists (fun p -> p.Explore.job.Space.policy = `Full) r.Explore.points);
+  Alcotest.(check bool) "frontier non-empty" true (r.Explore.frontier <> [])
+
+let test_feedback_refines_latency () =
+  let g = Hls_workloads.Motivational.chain3 () in
+  let space = Space.make ~latencies:[ 4 ] () in
+  let r = Explore.run ~workers:1 ~feedback:1 g space in
+  Alcotest.(check int) "two rounds ran" 2 r.Explore.rounds;
+  let latencies =
+    List.map (fun p -> p.Explore.job.Space.latency) r.Explore.points
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "frontier neighbours probed" [ 3; 4; 5 ]
+    latencies
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trips.                                                   *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a \"quoted\"\nline");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 5.2000000000000002);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Float 0.1; Json.Obj [] ]);
+      ]
+  in
+  List.iter
+    (fun indent ->
+      match Json.of_string (Json.to_string ~indent v) with
+      | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+      | Error m -> Alcotest.fail m)
+    [ true; false ];
+  (* Floats survive exactly, including awkward doubles. *)
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') ->
+          Alcotest.(check bool) (string_of_float f) true
+            (Int64.bits_of_float f = Int64.bits_of_float f')
+      | _ -> Alcotest.fail "float did not parse back as float")
+    [ 0.1; 1.0 /. 3.0; 5.2000000000000002; 1e-300; 12345678901234.0 ];
+  match Json.of_string "{\"a\": [1, 2" with
+  | Ok _ -> Alcotest.fail "truncated input should fail"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "space expansion" `Quick test_space_expansion;
+    Alcotest.test_case "latency specs" `Quick test_parse_latencies;
+    Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache disk roundtrip" `Quick test_cache_disk_roundtrip;
+    Alcotest.test_case "pareto frontier" `Quick test_pareto_frontier;
+    Alcotest.test_case "pool isolates exceptions" `Quick
+      test_pool_exception_isolation;
+    Alcotest.test_case "pool per-job timeout" `Quick test_pool_timeout;
+    Alcotest.test_case "explore = serial pipeline" `Quick
+      test_explore_matches_serial;
+    Alcotest.test_case "explore survives infeasible" `Quick
+      test_explore_survives_infeasible;
+    Alcotest.test_case "feedback refines latency" `Quick
+      test_feedback_refines_latency;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+  ]

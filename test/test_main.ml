@@ -24,4 +24,5 @@ let () =
       ("consistency", Test_consistency.suite);
       ("spec_files", Test_spec_files.suite);
       ("lower_direct", Test_lower_direct.suite);
+      ("dse", Test_dse.suite);
     ]
