@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples explore-smoke check clean
+.PHONY: all build test bench bench-smoke examples explore-smoke check clean
 
 all: build
 
@@ -18,7 +18,19 @@ explore-smoke:
 	if echo "$$out" | grep -q '"frontier": \[\]'; then echo "explore-smoke: empty frontier"; exit 1; fi; \
 	echo "explore-smoke: ok (non-empty frontier)"
 
-check: build test explore-smoke
+# Tiny-iteration run of the timing bench (reference vs Bitnet pairs) and a
+# sanity check of the JSON it emits.  The full-quota run that regenerates
+# the committed BENCH_timing.json is `dune exec bench/main.exe -- timing
+# --json`.
+bench-smoke:
+	@out=_build/bench_smoke_timing.json; \
+	dune exec bench/main.exe -- timing --quick --json --out $$out >/dev/null; \
+	grep -q '"bench": "timing"' $$out || { echo "bench-smoke: bad $$out"; exit 1; }; \
+	grep -q '"analysis": "pipeline_sweep"' $$out || { echo "bench-smoke: no pipeline_sweep result"; exit 1; }; \
+	grep -q '"speedup":' $$out || { echo "bench-smoke: no speedup estimates"; exit 1; }; \
+	echo "bench-smoke: ok (timing bench runs and emits sane JSON)"
+
+check: build test explore-smoke bench-smoke
 
 bench:
 	dune exec bench/main.exe

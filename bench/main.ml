@@ -6,7 +6,11 @@
      dune exec bench/main.exe              # all reproductions + timings
      dune exec bench/main.exe -- tables    # reproductions only
      dune exec bench/main.exe -- speed     # Bechamel timings only
-     dune exec bench/main.exe -- table2    # one experiment *)
+     dune exec bench/main.exe -- table2    # one experiment
+     dune exec bench/main.exe -- timing --json
+                                           # timing-core bench -> BENCH_timing.json
+     dune exec bench/main.exe -- timing --quick
+                                           # tiny-quota smoke run *)
 
 module P = Hls_core.Pipeline
 module E = Hls_core.Experiments
@@ -538,6 +542,193 @@ let speed () =
       | _ -> Printf.printf "%-28s (no estimate)\n" name)
     results
 
+(* ------------------------------------------------------------------ *)
+(* Bit-level timing core: per-query Bitdep reference vs the packed     *)
+(* Bitnet, on each analysis alone and on the full optimized pipeline.  *)
+
+let timing () =
+  let flag f = Array.exists (( = ) f) Sys.argv in
+  let json = flag "--json" in
+  let quick = flag "--quick" in
+  let out =
+    let r = ref "BENCH_timing.json" in
+    Array.iteri
+      (fun i a ->
+        if a = "--out" && i + 1 < Array.length Sys.argv then
+          r := Sys.argv.(i + 1))
+      Sys.argv;
+    !r
+  in
+  section "Bit-level timing core: per-query reference vs packed Bitnet";
+  let open Bechamel in
+  let random_dfg =
+    Hls_workloads.Random_dfg.generate
+      ~profile:
+        { Hls_workloads.Random_dfg.default_profile with
+          ops = 120; mul_ratio = 12 }
+      ~seed:42 ()
+  in
+  let workloads =
+    [
+      ("adpcm", Hls_workloads.Adpcm.decoder (), [ 4; 6; 8; 10; 12 ]);
+      ("random120", random_dfg, [ 6; 8; 10; 12; 14 ]);
+    ]
+  in
+  (* Each pair times the same computation twice: [ref] through the
+     retained per-query Bitdep implementations, [net] through the packed
+     dependency net.  Both sides of the single-analysis pairs include
+     their whole cost (the net side rebuilds the net each run); only the
+     pipeline sweep amortizes the prework, which is its point. *)
+  let pairs = ref [] in
+  let tests =
+    List.concat_map
+      (fun (wname, g, latencies) ->
+        let kernel = P.prepare_kernel g in
+        let net = Hls_timing.Bitnet.build kernel in
+        let total =
+          Hls_timing.Arrival.critical_delta (Hls_timing.Arrival.of_net net)
+        in
+        let mid_latency = List.nth latencies (List.length latencies / 2) in
+        let tr = Hls_fragment.Transform.run kernel ~latency:mid_latency in
+        let pair analysis ref_fn net_fn =
+          let name side = Printf.sprintf "%s/%s/%s" wname analysis side in
+          pairs :=
+            (wname, analysis, name "ref", name "net") :: !pairs;
+          [
+            Test.make ~name:(name "ref") (Staged.stage ref_fn);
+            Test.make ~name:(name "net") (Staged.stage net_fn);
+          ]
+        in
+        pair "arrival"
+          (fun () -> ignore (Hls_timing.Arrival.compute_reference kernel))
+          (fun () -> ignore (Hls_timing.Arrival.compute kernel))
+        @ pair "deadline"
+            (fun () ->
+              ignore
+                (Hls_timing.Deadline.compute_reference kernel
+                   ~total_slots:total))
+            (fun () ->
+              ignore (Hls_timing.Deadline.compute kernel ~total_slots:total))
+        @ pair "mobility"
+            (fun () ->
+              ignore
+                (Hls_fragment.Mobility.compute_reference kernel
+                   ~latency:mid_latency))
+            (fun () ->
+              ignore
+                (Hls_fragment.Mobility.compute kernel ~latency:mid_latency))
+        @ pair "frag_sched"
+            (fun () -> ignore (Hls_sched.Frag_sched.schedule_reference tr))
+            (fun () -> ignore (Hls_sched.Frag_sched.schedule tr))
+        @ (let sched = Hls_sched.Frag_sched.schedule tr in
+           pair "bind"
+             (fun () -> ignore (Hls_alloc.Bind_frag.bind_reference sched))
+             (fun () -> ignore (Hls_alloc.Bind_frag.bind sched)))
+        @ pair "pipeline_sweep"
+            (fun () ->
+              (* Pre-net flow: kernel extraction once, then the per-query
+                 reference analyses at every latency of the sweep, ending
+                 in the same report metrics [optimized_of_prepared]
+                 produces. *)
+              let lib = Hls_techlib.default in
+              let kernel = P.prepare_kernel g in
+              List.iter
+                (fun latency ->
+                  let plan =
+                    Hls_fragment.Mobility.compute_reference kernel ~latency
+                  in
+                  let tr = Hls_fragment.Transform.apply kernel plan in
+                  let s = Hls_sched.Frag_sched.schedule_reference tr in
+                  let dp = Hls_alloc.Bind_frag.bind_reference s in
+                  ignore (Hls_alloc.Datapath.cycle_ns lib dp);
+                  ignore (Hls_alloc.Datapath.execution_ns lib dp);
+                  ignore (Hls_alloc.Datapath.area lib dp);
+                  ignore (Hls_dfg.Graph.behavioural_op_count kernel);
+                  ignore (Hls_fragment.Transform.op_count tr))
+                latencies)
+            (fun () ->
+              let p = P.prepare g in
+              List.iter
+                (fun latency ->
+                  ignore (P.optimized_of_prepared p ~latency))
+                latencies))
+      workloads
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.02) ()
+    else Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"timing" ~fmt:"%s %s" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let estimate name =
+    match Hashtbl.find_opt results ("timing " ^ name) with
+    | Some r -> (
+        match Analyze.OLS.estimates r with Some [ est ] -> Some est | _ -> None)
+    | None -> None
+  in
+  let rows =
+    List.filter_map
+      (fun (wname, analysis, ref_name, net_name) ->
+        match (estimate ref_name, estimate net_name) with
+        | Some r, Some n when n > 0. ->
+            Some (wname, analysis, r, n, r /. n)
+        | _ -> None)
+      (List.rev !pairs)
+  in
+  Printf.printf "%-12s %-16s %14s %14s %9s\n" "workload" "analysis"
+    "reference ns" "bitnet ns" "speedup";
+  List.iter
+    (fun (w, a, r, n, s) ->
+      Printf.printf "%-12s %-16s %14.1f %14.1f %8.2fx\n" w a r n s)
+    rows;
+  if rows = [] then prerr_endline "timing: no estimates collected";
+  if json then begin
+    let module J = Hls_dse.Dse_json in
+    let doc =
+      J.Obj
+        [
+          ("bench", J.String "timing");
+          ("quick", J.Bool quick);
+          ( "workloads",
+            J.List
+              (List.map
+                 (fun (w, _, lats) ->
+                   J.Obj
+                     [
+                       ("name", J.String w);
+                       ("latencies", J.List (List.map (fun l -> J.Int l) lats));
+                     ])
+                 workloads) );
+          ( "results",
+            J.List
+              (List.map
+                 (fun (w, a, r, n, s) ->
+                   J.Obj
+                     [
+                       ("workload", J.String w);
+                       ("analysis", J.String a);
+                       ("reference_ns_per_run", J.Float r);
+                       ("bitnet_ns_per_run", J.Float n);
+                       ("speedup", J.Float s);
+                     ])
+                 rows) );
+        ]
+    in
+    let path = out in
+    let oc = open_out path in
+    output_string oc (J.to_string ~indent:true doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end
+
 let all_tables () =
   fig1_fig2 ();
   table1 ();
@@ -558,6 +749,7 @@ let () =
   | "tables" -> all_tables ()
   | "dse" -> dse ()
   | "speed" -> speed ()
+  | "timing" -> timing ()
   | "fig1" | "fig2" -> fig1_fig2 ()
   | "table1" -> table1 ()
   | "fig3" | "fig3h" -> fig3 ()
@@ -570,6 +762,6 @@ let () =
   | other ->
       prerr_endline
         ("unknown experiment " ^ other
-       ^ " (try: all, tables, speed, dse, fig1, table1, fig3, table2, \
-          table3, fig4)");
+       ^ " (try: all, tables, speed, timing, dse, fig1, table1, fig3, \
+          table2, table3, fig4)");
       exit 1

@@ -31,6 +31,7 @@ let bind (t : Blc_sched.t) =
       [] g
     |> List.rev
   in
+  let idx = Graph.index g in
   let intervals =
     Graph.fold_nodes
       (fun acc (n : node) ->
@@ -39,7 +40,7 @@ let bind (t : Blc_sched.t) =
           List.fold_left
             (fun acc (consumer, _) ->
               max acc t.Blc_sched.cycle_of.(consumer.id))
-            0 (Graph.consumers g n.id)
+            0 idx.Graph.uses.(n.id)
         in
         match Lifetime.storage_interval ~def ~last_use with
         | None -> acc

@@ -20,19 +20,12 @@ open Hls_dfg.Types
 module Graph = Hls_dfg.Graph
 module Operand = Hls_dfg.Operand
 module Frag_sched = Hls_sched.Frag_sched
-module Bitdep = Hls_timing.Bitdep
+module Bitnet = Hls_timing.Bitnet
 
 let op_key (n : node) =
   match n.origin with
   | Some o -> o.orig_op
   | None -> if n.label = "" then Printf.sprintf "n%d" n.id else n.label
-
-(* δ-costly result bits of an Add node: the adder cells it occupies. *)
-let costly_bits g (n : node) =
-  List.length
-    (List.filter
-       (fun pos -> fst (Bitdep.bit_deps g n pos) > 0)
-       (Hls_util.List_ext.range 0 n.width))
 
 type op_group = {
   og_key : string;
@@ -41,9 +34,50 @@ type op_group = {
   og_width : int;  (** widest merged per-cycle addition *)
 }
 
+(* The two dependency queries binding needs, abstracted so {!bind_reference}
+   can route them through per-query {!Hls_timing.Bitdep} evaluation — the
+   executable pre-net baseline the timing benchmark compares against. *)
+type dep_model = {
+  dm_costly_width : node -> int;  (** δ-costly result bits of an addition *)
+  dm_iter_uses : id:node_id -> bit:int -> (node_id -> int -> unit) -> unit;
+      (** iterate the cross-node (source id, source bit) dependencies *)
+}
+
+let net_model (s : Frag_sched.t) =
+  let net = s.Frag_sched.net in
+  {
+    dm_costly_width = (fun (n : node) -> Bitnet.costly_width net ~id:n.id);
+    dm_iter_uses =
+      (fun ~id ~bit f ->
+        Bitnet.fold_deps net ~id ~bit ~init:() ~f:(fun () d ->
+            if not (Bitnet.dep_is_self d) then
+              f (Bitnet.dep_node_id d) (Bitnet.dep_node_bit d)));
+  }
+
+let reference_model (s : Frag_sched.t) =
+  let module Bitdep = Hls_timing.Bitdep in
+  let g = Frag_sched.graph s in
+  {
+    dm_costly_width =
+      (fun (n : node) ->
+        List.length
+          (List.filter
+             (fun pos -> fst (Bitdep.bit_deps g n pos) > 0)
+             (Hls_util.List_ext.range 0 n.width)));
+    dm_iter_uses =
+      (fun ~id ~bit f ->
+        let _, deps = Bitdep.bit_deps g (Graph.node g id) bit in
+        List.iter
+          (function
+            | Bitdep.Bit (Node src, i) -> f src i
+            | Bitdep.Self _ | Bitdep.Bit (_, _) -> ())
+          deps);
+  }
+
 (* Group fragments by original operation; fragments of one op sharing a
-   cycle chain into one wider addition on the same adder. *)
-let op_groups (s : Frag_sched.t) =
+   cycle chain into one wider addition on the same adder.  δ-costly widths
+   come from the schedule's net (O(1) prefix-sum queries). *)
+let op_groups dm (s : Frag_sched.t) =
   let g = Frag_sched.graph s in
   let by_op : (string, (int * node) list) Hashtbl.t = Hashtbl.create 16 in
   Graph.iter_nodes
@@ -59,7 +93,8 @@ let op_groups (s : Frag_sched.t) =
       let cycles = Hls_util.List_ext.dedup ~eq:( = ) (List.map fst frags) in
       let width_in cycle =
         Hls_util.List_ext.sum_by
-          (fun (c, n) -> if c = cycle then costly_bits g n else 0)
+          (fun (c, (n : node)) ->
+            if c = cycle then dm.dm_costly_width n else 0)
           frags
       in
       let og_width =
@@ -71,16 +106,31 @@ let op_groups (s : Frag_sched.t) =
     by_op []
   |> List.sort (fun a b -> compare a.og_key b.og_key)
 
-(* Distinct (source, range) configurations over a fragment list's
-   operand port [port]. *)
+(* The (source, range) configuration a fragment presents on operand port
+   [port]. *)
+let port_config (n : node) ~port =
+  match List.nth_opt n.operands port with
+  | Some o -> (o.src, o.hi, o.lo)
+  | None -> (Const (Hls_bitvec.zero 1), 0, 0)
+
+(* Distinct configurations over a fragment list's operand port [port]. *)
 let port_configs frags ~port =
-  List.map
-    (fun (n : node) ->
-      match List.nth_opt n.operands port with
-      | Some o -> (o.src, o.hi, o.lo)
-      | None -> (Const (Hls_bitvec.zero 1), 0, 0))
-    frags
-  |> Hls_util.List_ext.dedup ~eq:( = )
+  List.sort_uniq compare (List.map (port_config ~port) frags)
+
+(* One adder under construction.  The packer's two hot queries — "is this
+   fu active in cycle c" and "how many of the candidate's (port, source
+   slice) configurations does it already read" — are answered from a cycle
+   bitset and an incrementally-grown configuration table instead of being
+   recomputed from the full fragment list on every probe. *)
+type packed_fu = {
+  mutable pf_fu : Datapath.fu;
+  mutable pf_frags : node list;
+  pf_cycles : bool array;  (** indexed by cycle, [1..latency] *)
+  pf_configs : (int, unit) Hashtbl.t;
+      (** interned (port, configuration) ids the bound fragments read *)
+  mutable pf_score : int;  (** shared-source count of the current probe *)
+  mutable pf_gen : int;  (** probe generation [pf_score] belongs to *)
+}
 
 (* Pack operations onto adders: two operations may share one adder when
    they are never active in the same cycle (the conventional allocator's
@@ -90,63 +140,124 @@ let port_configs frags ~port =
    packer prefers the one whose already-bound fragments read the most of
    the candidate's operand sources — interconnect-aware binding that cuts
    the steering multiplexers the fragmented datapath otherwise pays. *)
-let dedicated_fus (s : Frag_sched.t) =
-  let groups =
-    List.sort (fun a b -> compare b.og_width a.og_width) (op_groups s)
+let pack_groups (s : Frag_sched.t) groups =
+  let fus : packed_fu list ref = ref [] in
+  (* Intern (port, configuration) pairs once per fragment, so dedup and
+     scoring work on small ints instead of structural slice descriptors.
+     A [Node] source keys directly on its id; [Input]/[Const] sources pass
+     through a small structural side table, so the hot path never hashes
+     constants or names.  [cfg_fus] inverts the membership relation so a
+     probe touches only the fus that actually read one of the candidate's
+     configurations, with a generation stamp replacing a per-probe counter
+     reset. *)
+  let src_intern : (source, int) Hashtbl.t = Hashtbl.create 16 in
+  let src_key = function
+    | Node id -> id lsl 1
+    | (Input _ | Const _) as src -> (
+        match Hashtbl.find_opt src_intern src with
+        | Some i -> (i lsl 1) lor 1
+        | None ->
+            let i = Hashtbl.length src_intern in
+            Hashtbl.add src_intern src i;
+            (i lsl 1) lor 1)
   in
-  let fus : (Datapath.fu * node list * int list) list ref = ref [] in
-  let shared_sources og frags =
-    Hls_util.List_ext.sum_by
-      (fun port ->
-        let mine = port_configs og.og_frags ~port in
-        let theirs = port_configs frags ~port in
-        List.length (List.filter (fun c -> List.mem c theirs) mine))
-      [ 0; 1; 2 ]
+  let intern : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let cfg_fus : (int, packed_fu list ref) Hashtbl.t = Hashtbl.create 64 in
+  let intern_config port (n : node) =
+    let src, hi, lo = port_config n ~port in
+    let k = ((src_key src lsl 2) lor port, hi, lo) in
+    match Hashtbl.find_opt intern k with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length intern in
+        Hashtbl.add intern k i;
+        i
   in
+  let gen = ref 0 in
   List.iter
     (fun og ->
       let compatible =
         List.filter
-          (fun (_, _, cycles) ->
-            List.for_all (fun c -> not (List.mem c cycles)) og.og_cycles)
+          (fun pf ->
+            List.for_all (fun c -> not pf.pf_cycles.(c)) og.og_cycles)
           !fus
+      in
+      let mine =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun port -> List.map (intern_config port) og.og_frags)
+             [ 0; 1; 2 ])
+      in
+      let merge pf =
+        pf.pf_fu <-
+          { pf.pf_fu with
+            Datapath.fu_width = max pf.pf_fu.Datapath.fu_width og.og_width;
+            fu_width2 = max pf.pf_fu.Datapath.fu_width2 og.og_width };
+        pf.pf_frags <- og.og_frags @ pf.pf_frags;
+        List.iter (fun c -> pf.pf_cycles.(c) <- true) og.og_cycles;
+        List.iter
+          (fun k ->
+            if not (Hashtbl.mem pf.pf_configs k) then begin
+              Hashtbl.replace pf.pf_configs k ();
+              match Hashtbl.find_opt cfg_fus k with
+              | Some l -> l := pf :: !l
+              | None -> Hashtbl.add cfg_fus k (ref [ pf ])
+            end)
+          mine
       in
       match compatible with
       | [] ->
-          fus :=
-            ( {
-                Datapath.fu_label = og.og_key;
-                fu_class = Datapath.Adder;
-                fu_width = og.og_width;
-                fu_width2 = og.og_width;
-              },
-              og.og_frags,
-              og.og_cycles )
-            :: !fus
+          let pf =
+            {
+              pf_fu =
+                {
+                  Datapath.fu_label = og.og_key;
+                  fu_class = Datapath.Adder;
+                  fu_width = og.og_width;
+                  fu_width2 = og.og_width;
+                };
+              pf_frags = [];
+              pf_cycles = Array.make (s.Frag_sched.latency + 1) false;
+              pf_configs = Hashtbl.create 8;
+              pf_score = 0;
+              pf_gen = 0;
+            }
+          in
+          merge pf;
+          fus := pf :: !fus
       | _ ->
           (* Best host: most shared operand sources, then least width
              growth. *)
-          let score ((fu : Datapath.fu), frags, _) =
-            ( shared_sources og frags,
-              -max 0 (og.og_width - fu.Datapath.fu_width) )
-          in
-          let best =
-            Hls_util.List_ext.max_by score compatible
-          in
-          let best_fu, _, _ = best in
-          fus :=
+          incr gen;
+          List.iter
+            (fun k ->
+              match Hashtbl.find_opt cfg_fus k with
+              | None -> ()
+              | Some l ->
+                  List.iter
+                    (fun pf ->
+                      if pf.pf_gen <> !gen then begin
+                        pf.pf_gen <- !gen;
+                        pf.pf_score <- 0
+                      end;
+                      pf.pf_score <- pf.pf_score + 1)
+                    !l)
+            mine;
+          let scored =
             List.map
-              (fun ((fu : Datapath.fu), frags, cycles) ->
-                if fu.Datapath.fu_label = best_fu.Datapath.fu_label then
-                  ( { fu with
-                      fu_width = max fu.fu_width og.og_width;
-                      fu_width2 = max fu.fu_width2 og.og_width },
-                    og.og_frags @ frags,
-                    og.og_cycles @ cycles )
-                else (fu, frags, cycles))
-              !fus)
+              (fun pf ->
+                ( ( (if pf.pf_gen = !gen then pf.pf_score else 0),
+                    -max 0 (og.og_width - pf.pf_fu.Datapath.fu_width) ),
+                  pf ))
+              compatible
+          in
+          merge (snd (Hls_util.List_ext.max_by fst scored)))
     groups;
-  List.rev_map (fun (fu, frags, _) -> (fu, frags)) !fus
+  List.rev_map (fun pf -> (pf.pf_fu, pf.pf_frags)) !fus
+
+let dedicated_fus_with dm (s : Frag_sched.t) =
+  pack_groups s
+    (List.sort (fun a b -> compare b.og_width a.og_width) (op_groups dm s))
 
 (* Operand-steering muxes of one dedicated adder: one per input port whose
    fragments read distinct source slices, plus a carry-in mux when the
@@ -174,16 +285,15 @@ let fu_muxes ((fu : Datapath.fu), (frags : node list)) =
 
 (* Bit-granular storage: last cycle each node bit is read in, looking
    through glue (wiring adds no cycle). *)
-let last_use_cycles (s : Frag_sched.t) =
+let last_use_cycles dm (s : Frag_sched.t) =
   let g = Frag_sched.graph s in
   let n_nodes = Graph.node_count g in
   let last_use =
     Array.init n_nodes (fun id -> Array.make (Graph.node g id).width 0)
   in
-  let record src bit cycle =
-    match src with
-    | Input _ | Const _ -> ()
-    | Node id -> last_use.(id).(bit) <- max last_use.(id).(bit) cycle
+  let record_deps ~id ~bit cycle =
+    dm.dm_iter_uses ~id ~bit (fun src i ->
+        if cycle > last_use.(src).(i) then last_use.(src).(i) <- cycle)
   in
   (* Direct uses by additions, at the addition's cycle. *)
   Graph.iter_nodes
@@ -191,12 +301,7 @@ let last_use_cycles (s : Frag_sched.t) =
       if n.kind = Add then
         let cycle = s.Frag_sched.cycle_of.(n.id) in
         for pos = 0 to n.width - 1 do
-          let _, deps = Bitdep.bit_deps g n pos in
-          List.iter
-            (function
-              | Bitdep.Self _ -> ()
-              | Bitdep.Bit (src, i) -> record src i cycle)
-            deps
+          record_deps ~id:n.id ~bit:pos cycle
         done)
     g;
   (* Glue transparency: a use of a glue bit is a use of the bits it
@@ -206,13 +311,7 @@ let last_use_cycles (s : Frag_sched.t) =
     if n.kind <> Add then
       for pos = 0 to n.width - 1 do
         let u = last_use.(id).(pos) in
-        if u > 0 then
-          let _, deps = Bitdep.bit_deps g n pos in
-          List.iter
-            (function
-              | Bitdep.Self _ -> ()
-              | Bitdep.Bit (src, i) -> record src i u)
-            deps
+        if u > 0 then record_deps ~id ~bit:pos u
       done
   done;
   last_use
@@ -228,9 +327,9 @@ type stored_run = {
 (** Per-bit storage decisions: maximal runs of consecutive result bits with
     identical storage intervals.  The cycle-accurate RTL simulator checks
     every cross-cycle read against this set. *)
-let stored_runs (s : Frag_sched.t) =
+let stored_runs_with dm (s : Frag_sched.t) =
   let g = Frag_sched.graph s in
-  let last_use = last_use_cycles s in
+  let last_use = last_use_cycles dm s in
   let runs = ref [] in
   Graph.iter_nodes
     (fun (n : node) ->
@@ -239,26 +338,31 @@ let stored_runs (s : Frag_sched.t) =
           let def = s.Frag_sched.bit_time.(n.id).(pos).Frag_sched.bt_cycle in
           Lifetime.storage_interval ~def ~last_use:last_use.(n.id).(pos)
         in
-        let groups =
-          Hls_util.List_ext.group_runs
-            ~eq:(fun a b -> bit_interval a = bit_interval b)
-            (Hls_util.List_ext.range 0 n.width)
+        (* One pass over the bits: emit a run at every interval change. *)
+        let lo = ref 0 and cur = ref (bit_interval 0) in
+        let flush hi =
+          match !cur with
+          | None -> ()
+          | Some (from_, to_) ->
+              runs :=
+                {
+                  sr_node = n.id;
+                  sr_lo = !lo;
+                  sr_width = hi - !lo;
+                  sr_from = from_;
+                  sr_to = to_;
+                }
+                :: !runs
         in
-        List.iter
-          (fun run ->
-            match bit_interval (List.hd run) with
-            | None -> ()
-            | Some (from_, to_) ->
-                runs :=
-                  {
-                    sr_node = n.id;
-                    sr_lo = List.hd run;
-                    sr_width = List.length run;
-                    sr_from = from_;
-                    sr_to = to_;
-                  }
-                  :: !runs)
-          groups
+        for pos = 1 to n.width - 1 do
+          let iv = bit_interval pos in
+          if iv <> !cur then begin
+            flush pos;
+            lo := pos;
+            cur := iv
+          end
+        done;
+        flush n.width
       end)
     g;
   List.rev !runs
@@ -274,7 +378,7 @@ let bit_stored_after runs ~id ~bit ~cycle =
       && cycle + 1 <= r.sr_to)
     runs
 
-let registers (s : Frag_sched.t) =
+let registers_with dm (s : Frag_sched.t) =
   let g = Frag_sched.graph s in
   let intervals =
     List.map
@@ -288,16 +392,15 @@ let registers (s : Frag_sched.t) =
           iv_from = r.sr_from;
           iv_to = r.sr_to;
         })
-      (stored_runs s)
+      (stored_runs_with dm s)
   in
   Lifetime.left_edge intervals
 
-(** Build the optimized datapath summary from a fragment schedule. *)
-let bind (s : Frag_sched.t) =
-  let fus_with_frags = dedicated_fus s in
+let bind_with dm (s : Frag_sched.t) =
+  let fus_with_frags = dedicated_fus_with dm s in
   let fus = List.map fst fus_with_frags in
   let muxes = List.concat_map fu_muxes fus_with_frags in
-  let registers = registers s in
+  let registers = registers_with dm s in
   {
     Datapath.name = Graph.name (Frag_sched.graph s) ^ "_optimized";
     latency = s.Frag_sched.latency;
@@ -309,3 +412,16 @@ let bind (s : Frag_sched.t) =
     ctrl_states = s.Frag_sched.latency;
     ctrl_signals = Datapath.count_signals ~muxes ~registers;
   }
+
+let stored_runs s = stored_runs_with (net_model s) s
+let registers s = registers_with (net_model s) s
+let dedicated_fus s = dedicated_fus_with (net_model s) s
+
+(** Build the optimized datapath summary from a fragment schedule. *)
+let bind s = bind_with (net_model s) s
+
+(** Identical binding through per-query {!Hls_timing.Bitdep} evaluation:
+    the executable pre-net baseline for the timing benchmark and the
+    property tests' datapath-identity check. *)
+let bind_reference s = bind_with (reference_model s) s
+

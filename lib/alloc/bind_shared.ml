@@ -107,6 +107,7 @@ let port_mux ~width (bound : node list) ~port =
 
 let registers (t : List_sched.t) =
   let g = t.List_sched.graph in
+  let idx = Graph.index g in
   let intervals =
     Graph.fold_nodes
       (fun acc (n : node) ->
@@ -115,7 +116,7 @@ let registers (t : List_sched.t) =
           List.fold_left
             (fun acc (consumer, _) ->
               max acc t.List_sched.cycle_of.(consumer.id))
-            0 (Graph.consumers g n.id)
+            0 idx.Graph.uses.(n.id)
         in
         match Lifetime.storage_interval ~def ~last_use with
         | None -> acc

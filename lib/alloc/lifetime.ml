@@ -24,7 +24,12 @@ let storage_interval ~def ~last_use =
 type register = { reg_width : int; reg_values : interval list }
 
 (** Left-edge packing: sort by start, greedily reuse the first register
-    whose last interval ends before the candidate starts. *)
+    whose last interval ends before the candidate starts.  Registers live
+    in flat arrays mutated in place — the first-fit scan is the inner loop
+    of binding, so it must not rebuild the register list per interval.
+    Because intervals are placed in ascending [iv_from] order and a
+    register only accepts an interval starting after its head ends, the
+    head of [reg_values] always carries the register's latest end cycle. *)
 let left_edge intervals =
   let sorted =
     List.sort
@@ -34,23 +39,31 @@ let left_edge intervals =
         | c -> c)
       intervals
   in
-  let place regs iv =
-    let rec go acc = function
-      | [] -> List.rev ({ reg_width = iv.iv_width; reg_values = [ iv ] } :: acc)
-      | r :: rest -> (
-          match r.reg_values with
-          | last :: _ when last.iv_to < iv.iv_from ->
-              List.rev_append acc
-                ({
-                   reg_width = max r.reg_width iv.iv_width;
-                   reg_values = iv :: r.reg_values;
-                 }
-                :: rest)
-          | _ -> go (r :: acc) rest)
-    in
-    go [] regs
-  in
-  List.fold_left place [] sorted
+  let cap = max 1 (List.length sorted) in
+  let widths = Array.make cap 0 in
+  let values = Array.make cap [] in
+  let last_to = Array.make cap 0 in
+  let count = ref 0 in
+  List.iter
+    (fun iv ->
+      let rec place i =
+        if i = !count then begin
+          widths.(i) <- iv.iv_width;
+          values.(i) <- [ iv ];
+          last_to.(i) <- iv.iv_to;
+          incr count
+        end
+        else if last_to.(i) < iv.iv_from then begin
+          widths.(i) <- max widths.(i) iv.iv_width;
+          values.(i) <- iv :: values.(i);
+          last_to.(i) <- iv.iv_to
+        end
+        else place (i + 1)
+      in
+      place 0)
+    sorted;
+  List.init !count (fun i ->
+      { reg_width = widths.(i); reg_values = values.(i) })
 
 let total_register_bits regs =
   Hls_util.List_ext.sum_by (fun r -> r.reg_width) regs

@@ -39,9 +39,32 @@ type optimized_result = {
     this per graph and fan the suffix out over it. *)
 val prepare_kernel : ?cleanup:bool -> Hls_dfg.Graph.t -> Hls_dfg.Graph.t
 
-(** The per-point suffix of the optimized flow on a prepared kernel:
+type prepared = {
+  p_kernel : Hls_dfg.Graph.t;  (** graph after operative kernel extraction *)
+  p_net : Hls_timing.Bitnet.t;  (** dependency net of the kernel *)
+  p_arrival : Hls_timing.Arrival.t;
+      (** arrival analysis of the kernel — latency-independent, so one
+          result serves every point of a latency sweep *)
+}
+
+(** Kernel extraction plus the latency-independent timing prework (the
+    kernel's dependency net and arrival analysis). *)
+val prepare : ?cleanup:bool -> Hls_dfg.Graph.t -> prepared
+
+(** Extend an already extracted kernel with its timing prework. *)
+val prepared_of_kernel : Hls_dfg.Graph.t -> prepared
+
+(** The per-point suffix of the optimized flow on prepared timing state:
     cycle estimation → fragmentation → fragment scheduling → binding.
-    [optimized g] ≡ [optimized_of_kernel (prepare_kernel g)]. *)
+    Reuses the prepared net and arrival, so a latency sweep pays for them
+    once per graph. *)
+val optimized_of_prepared :
+  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
+  ?balance:bool -> prepared -> latency:int -> optimized_result
+
+(** The per-point suffix on a bare kernel graph; builds the timing prework
+    on the spot.  [optimized g] ≡ [optimized_of_kernel (prepare_kernel g)].
+    {!optimized_of_prepared} amortizes the prework across sweep points. *)
 val optimized_of_kernel :
   ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
   ?balance:bool -> Hls_dfg.Graph.t -> latency:int -> optimized_result

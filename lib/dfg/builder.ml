@@ -73,6 +73,7 @@ let finish t =
       inputs = List.rev t.inputs;
       outputs = List.rev t.outputs;
       nodes = Array.of_list (List.rev t.rev_nodes);
+      cached_index = Atomic.make None;
     }
   in
   Graph.validate g;

@@ -2,12 +2,24 @@
 
 open Types
 
+type index = {
+  uses : (node * operand) list array;
+      (** per producer id: every (consumer node, operand) reading it, in
+          node order (operands in declaration order within a node) *)
+  out_uses : (string * operand) list array;
+      (** per producer id: the output ports it drives *)
+}
+
 type t = {
   name : string;
   inputs : port list;
   outputs : (string * operand) list;
       (** each output port is driven by one operand *)
   nodes : node array;  (** index = node id; topological by construction *)
+  cached_index : index option Atomic.t;
+      (** lazily built reverse adjacency; the atomic makes concurrent
+          builds from parallel sweep domains race-free (worst case both
+          build, one wins) *)
 }
 
 let name t = t.name
@@ -37,24 +49,52 @@ let source_width t = function
   | Node id -> (node t id).width
   | Const bv -> Hls_bitvec.width bv
 
+(** Build the reverse adjacency in one O(V+E) pass: for every producer,
+    the (consumer, operand) pairs reading it — same order as the old
+    whole-graph scan produced (consumers by ascending id, operands in
+    declaration order). *)
+let build_index t =
+  let n = Array.length t.nodes in
+  let uses = Array.make n [] in
+  let out_uses = Array.make n [] in
+  Array.iter
+    (fun (consumer : node) ->
+      List.iter
+        (fun o ->
+          match o.src with
+          | Node i -> uses.(i) <- (consumer, o) :: uses.(i)
+          | Input _ | Const _ -> ())
+        consumer.operands)
+    t.nodes;
+  List.iter
+    (fun (name, (o : operand)) ->
+      match o.src with
+      | Node i -> out_uses.(i) <- (name, o) :: out_uses.(i)
+      | Input _ | Const _ -> ())
+    t.outputs;
+  {
+    uses = Array.map List.rev uses;
+    out_uses = Array.map List.rev out_uses;
+  }
+
+(** The memoized reverse adjacency of the graph (built on first use). *)
+let index t =
+  match Atomic.get t.cached_index with
+  | Some idx -> idx
+  | None ->
+      let idx = build_index t in
+      Atomic.set t.cached_index (Some idx);
+      idx
+
 (** All (consumer node, operand) pairs reading from node [id]. *)
-let consumers t id =
-  fold_nodes
-    (fun acc n ->
-      List.fold_left
-        (fun acc o ->
-          match o.src with Node i when i = id -> (n, o) :: acc | _ -> acc)
-        acc n.operands)
-    [] t
-  |> List.rev
+let consumers t id = (index t).uses.(id)
 
 (** Output ports (name, operand) driven by node [id]. *)
-let output_consumers t id =
-  List.filter
-    (fun (_, o) -> match o.src with Node i -> i = id | _ -> false)
-    t.outputs
+let output_consumers t id = (index t).out_uses.(id)
 
-let is_dead t id = consumers t id = [] && output_consumers t id = []
+let is_dead t id =
+  let idx = index t in
+  idx.uses.(id) = [] && idx.out_uses.(id) = []
 
 (** Number of behavioural operations (the paper's "operations" count used in
     the +34 % / +30 % observations): nodes whose kind is additive. *)

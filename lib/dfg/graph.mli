@@ -6,12 +6,22 @@
 
 open Types
 
+type index = {
+  uses : (node * operand) list array;
+      (** per producer id: every (consumer node, operand) reading it, in
+          node order (operands in declaration order within a node) *)
+  out_uses : (string * operand) list array;
+      (** per producer id: the output ports it drives *)
+}
+
 type t = {
   name : string;
   inputs : port list;
   outputs : (string * operand) list;
       (** each output port is driven by one operand *)
   nodes : node array;  (** index = node id; topological by construction *)
+  cached_index : index option Atomic.t;
+      (** lazily built reverse adjacency; initialize to [Atomic.make None] *)
 }
 
 val name : t -> string
@@ -29,7 +39,16 @@ val input_exn : t -> string -> port
 (** Width of whatever an operand source produces. *)
 val source_width : t -> source -> int
 
-(** All (consumer node, operand) pairs reading from node [id]. *)
+(** Build the reverse adjacency (consumer index) in one O(V+E) pass. *)
+val build_index : t -> index
+
+(** The memoized reverse adjacency of the graph: built on first use, then
+    O(1) per query.  Callers making many consumer queries should grab the
+    index once and read its arrays directly. *)
+val index : t -> index
+
+(** All (consumer node, operand) pairs reading from node [id] (via the
+    memoized {!index}). *)
 val consumers : t -> node_id -> (node * operand) list
 
 (** Output ports (name, operand) driven by node [id]. *)

@@ -4,9 +4,10 @@
    latency axis around the current frontier.
 
    The expensive shared prefix of the optimized flow (kernel extraction,
-   plus cleanup passes when enabled) is computed once per distinct cleanup
-   flag and shared by every job; worker domains only run the per-point
-   suffix (`Pipeline.optimized_of_kernel`).  Results are collected in job
+   plus cleanup passes when enabled, plus the kernel's bit-dependency net
+   and arrival analysis) is computed once per distinct cleanup flag and
+   shared by every job; worker domains only run the per-point suffix
+   (`Pipeline.optimized_of_prepared`).  Results are collected in job
    order, so the outcome is identical whatever the worker count. *)
 
 module Pipeline = Hls_core.Pipeline
@@ -54,10 +55,10 @@ let run_round ~cache ~digest ~kernels ~workers ~timeout_s jobs =
   let thunks =
     List.map
       (fun ((job : Space.job), _key) () ->
-        let kernel = List.assoc job.Space.cleanup kernels in
+        let prepared = List.assoc job.Space.cleanup kernels in
         let r =
-          Pipeline.optimized_of_kernel ~lib:job.Space.lib
-            ~policy:job.Space.policy ~balance:job.Space.balance kernel
+          Pipeline.optimized_of_prepared ~lib:job.Space.lib
+            ~policy:job.Space.policy ~balance:job.Space.balance prepared
             ~latency:job.Space.latency
         in
         Cache.metrics_of_report r.Pipeline.opt_report)
@@ -110,7 +111,7 @@ let run ?workers ?timeout_s ?cache ?(feedback = 0) graph (space : Space.t) =
   let digest = Cache.graph_digest graph in
   let kernels =
     List.map
-      (fun cleanup -> (cleanup, Pipeline.prepare_kernel ~cleanup graph))
+      (fun cleanup -> (cleanup, Pipeline.prepare ~cleanup graph))
       (List.sort_uniq compare space.Space.cleanup)
   in
   let attempted = Hashtbl.create 64 in

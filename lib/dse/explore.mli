@@ -2,10 +2,11 @@
     from the {!Cache}, fan the rest out over the {!Pool}, and reduce the
     reports to a {!Pareto} frontier.
 
-    The latency-independent prefix of the optimized flow runs once per
-    distinct cleanup flag ({!Hls_core.Pipeline.prepare_kernel}); workers
-    only execute the per-point suffix.  Points are collected in job order,
-    so results are identical whatever the worker count. *)
+    The latency-independent prefix of the optimized flow — kernel
+    extraction plus the kernel's bit-dependency net and arrival analysis
+    ({!Hls_core.Pipeline.prepare}) — runs once per distinct cleanup flag;
+    workers only execute the per-point suffix.  Points are collected in
+    job order, so results are identical whatever the worker count. *)
 
 type point = {
   job : Space.job;

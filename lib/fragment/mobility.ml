@@ -16,6 +16,7 @@ open Hls_dfg.Types
 module Graph = Hls_dfg.Graph
 module Arrival = Hls_timing.Arrival
 module Deadline = Hls_timing.Deadline
+module Bitnet = Hls_timing.Bitnet
 module Critical_path = Hls_timing.Critical_path
 
 type frag = {
@@ -68,19 +69,13 @@ let node_fragments arr dl ~n_bits (n : node) =
   in
   List.rev frags
 
-(* δ-costly bits of a fragment (pure carry columns are free). *)
-let costly_width graph (n : node) f =
-  List.length
-    (List.filter
-       (fun pos -> fst (Hls_timing.Bitdep.bit_deps graph n pos) > 0)
-       (Hls_util.List_ext.range f.f_lo (f.f_hi + 1)))
-
 (* Merge adjacent fragments while the windows intersect, the merged
    costly width fits one cycle, and — slot-level check — some cycle of the
    merged window can hold the whole ripple between every bit's arrival and
    deadline.  Without the slot check a merge can force a fragment and its
-   same-cycle consumer to chain past the budget. *)
-let coalesce arr dl graph ~n_bits (n : node) frags =
+   same-cycle consumer to chain past the budget.  Costly-width queries are
+   O(1) on the net's prefix sums. *)
+let coalesce arr dl net ~n_bits (n : node) frags =
   let merge a b =
     let asap = max a.f_asap b.f_asap and alap = min a.f_alap b.f_alap in
     if asap > alap then None
@@ -88,14 +83,17 @@ let coalesce arr dl graph ~n_bits (n : node) frags =
       let candidate =
         { f_lo = a.f_lo; f_hi = b.f_hi; f_asap = asap; f_alap = alap }
       in
-      if costly_width graph n candidate > n_bits then None
+      if
+        Bitnet.costly_in_range net ~id:n.id ~lo:candidate.f_lo
+          ~hi:candidate.f_hi
+        > n_bits
+      then None
       else
         let feasible_at c =
           let ok = ref true in
           let k = ref 0 in
           for bit = candidate.f_lo to candidate.f_hi do
-            let cost, _ = Hls_timing.Bitdep.bit_deps graph n bit in
-            if cost > 0 then incr k;
+            if Bitnet.cost_of net ~id:n.id ~bit > 0 then incr k;
             let slot = ((c - 1) * n_bits) + max 1 !k in
             if
               Arrival.slot arr ~id:n.id ~bit > slot
@@ -176,11 +174,7 @@ let paper_fragments ~width ~n_bits ~asap ~alap =
   done;
   List.rev !frags
 
-(** Compute the fragmentation plan for scheduling [graph] — which must be
-    in additive kernel form — over [latency] cycles.  [n_bits] defaults to
-    the §3.2 estimate [ceil(critical / latency)]. *)
-let compute ?n_bits ?(policy = `Full) graph ~latency =
-  if latency < 1 then invalid_arg "Mobility.compute: latency must be >= 1";
+let check_kernel_form graph =
   if
     not
       (Graph.fold_nodes
@@ -189,22 +183,48 @@ let compute ?n_bits ?(policy = `Full) graph ~latency =
   then
     invalid_arg
       "Mobility.compute: graph must be in additive kernel form (run \
-       operative kernel extraction first)";
-  let critical = Critical_path.critical_delta graph in
-  let n_bits =
-    match n_bits with
-    | Some n when n >= 1 -> n
-    | Some _ -> invalid_arg "Mobility.compute: n_bits must be >= 1"
-    | None -> Critical_path.cycle_delta_for_latency ~critical ~latency
+       operative kernel extraction first)"
+
+let resolve_n_bits ~critical ~latency = function
+  | Some n when n >= 1 -> n
+  | Some _ -> invalid_arg "Mobility.compute: n_bits must be >= 1"
+  | None -> Critical_path.cycle_delta_for_latency ~critical ~latency
+
+let infeasible_error ~latency ~n_bits ~critical ~witness =
+  let where =
+    match witness with
+    | Some (id, bit) -> Printf.sprintf " (first violated: node %d bit %d)" id bit
+    | None -> ""
   in
-  let arr = Arrival.compute graph in
-  let dl = Deadline.compute graph ~total_slots:(latency * n_bits) in
-  if not (Deadline.feasible arr dl) then
-    invalid_arg
-      (Printf.sprintf
-         "Mobility.compute: %d cycles of %d bits cannot cover a %d-delta \
-          critical path"
-         latency n_bits critical);
+  invalid_arg
+    (Printf.sprintf
+       "Mobility.compute: %d cycles of %d bits cannot cover a %d-delta \
+        critical path%s"
+       latency n_bits critical where)
+
+(** Compute the fragmentation plan for scheduling [graph] — which must be
+    in additive kernel form — over [latency] cycles.  [n_bits] defaults to
+    the §3.2 estimate [ceil(critical / latency)].  [net] and [arrival], if
+    given, must belong to [graph]; passing them lets a latency sweep build
+    both once and share them across every candidate latency. *)
+let compute ?n_bits ?(policy = `Full) ?net ?arrival graph ~latency =
+  if latency < 1 then invalid_arg "Mobility.compute: latency must be >= 1";
+  check_kernel_form graph;
+  let net =
+    match net with
+    | Some (net : Bitnet.t) ->
+        if net.Bitnet.graph != graph then
+          invalid_arg "Mobility.compute: net belongs to a different graph";
+        net
+    | None -> Bitnet.build graph
+  in
+  let arr = match arrival with Some a -> a | None -> Arrival.of_net net in
+  let critical = Arrival.critical_delta arr in
+  let n_bits = resolve_n_bits ~critical ~latency n_bits in
+  let dl = Deadline.of_net net ~total_slots:(latency * n_bits) in
+  (match Deadline.feasible_witness arr dl with
+  | Some _ as witness -> infeasible_error ~latency ~n_bits ~critical ~witness
+  | None -> ());
   let per_node =
     Array.init (Graph.node_count graph) (fun id ->
         let n = Graph.node graph id in
@@ -213,7 +233,81 @@ let compute ?n_bits ?(policy = `Full) graph ~latency =
             let frags = node_fragments arr dl ~n_bits n in
             match policy with
             | `Full -> frags
-            | `Coalesced -> coalesce arr dl graph ~n_bits n frags)
+            | `Coalesced -> coalesce arr dl net ~n_bits n frags)
+        | _ -> [])
+  in
+  { latency; n_bits; critical; per_node }
+
+(* List-based δ-costly width of a fragment, for the reference path. *)
+let costly_width_reference graph (n : node) f =
+  List.length
+    (List.filter
+       (fun pos -> fst (Hls_timing.Bitdep.bit_deps graph n pos) > 0)
+       (Hls_util.List_ext.range f.f_lo (f.f_hi + 1)))
+
+let coalesce_reference arr dl graph ~n_bits (n : node) frags =
+  let merge a b =
+    let asap = max a.f_asap b.f_asap and alap = min a.f_alap b.f_alap in
+    if asap > alap then None
+    else
+      let candidate =
+        { f_lo = a.f_lo; f_hi = b.f_hi; f_asap = asap; f_alap = alap }
+      in
+      if costly_width_reference graph n candidate > n_bits then None
+      else
+        let feasible_at c =
+          let ok = ref true in
+          let k = ref 0 in
+          for bit = candidate.f_lo to candidate.f_hi do
+            let cost, _ = Hls_timing.Bitdep.bit_deps graph n bit in
+            if cost > 0 then incr k;
+            let slot = ((c - 1) * n_bits) + max 1 !k in
+            if
+              Arrival.slot arr ~id:n.id ~bit > slot
+              || Deadline.slot dl ~id:n.id ~bit < slot
+            then ok := false
+          done;
+          !ok
+        in
+        if
+          List.exists feasible_at
+            (Hls_util.List_ext.range asap (alap + 1))
+        then Some candidate
+        else None
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | f :: rest -> (
+        match acc with
+        | prev :: acc_tl -> (
+            match merge prev f with
+            | Some m -> go (m :: acc_tl) rest
+            | None -> go (f :: acc) rest)
+        | [] -> go [ f ] rest)
+  in
+  go [] frags
+
+(** Per-query {!Bitdep.bit_deps} evaluation throughout: the executable
+    reference for property tests and benchmark baselines.  Produces the
+    same plan as {!compute}. *)
+let compute_reference ?n_bits ?(policy = `Full) graph ~latency =
+  if latency < 1 then invalid_arg "Mobility.compute: latency must be >= 1";
+  check_kernel_form graph;
+  let arr = Arrival.compute_reference graph in
+  let critical = Arrival.critical_delta arr in
+  let n_bits = resolve_n_bits ~critical ~latency n_bits in
+  let dl = Deadline.compute_reference graph ~total_slots:(latency * n_bits) in
+  if not (Deadline.feasible arr dl) then
+    infeasible_error ~latency ~n_bits ~critical ~witness:None;
+  let per_node =
+    Array.init (Graph.node_count graph) (fun id ->
+        let n = Graph.node graph id in
+        match n.kind with
+        | Add -> (
+            let frags = node_fragments arr dl ~n_bits n in
+            match policy with
+            | `Full -> frags
+            | `Coalesced -> coalesce_reference arr dl graph ~n_bits n frags)
         | _ -> [])
   in
   { latency; n_bits; critical; per_node }

@@ -43,9 +43,19 @@ val paper_fragments :
 
 (** Compute the fragmentation plan for scheduling [graph] — which must be
     in additive kernel form — over [latency] cycles.  [n_bits] defaults to
-    the §3.2 estimate [ceil(critical / latency)].  Raises
-    [Invalid_argument] on non-kernel-form graphs or infeasible budgets. *)
+    the §3.2 estimate [ceil(critical / latency)].  [net] and [arrival], if
+    given, must belong to [graph]; passing them lets a latency sweep build
+    both once and share them across every candidate latency.  Raises
+    [Invalid_argument] on non-kernel-form graphs or infeasible budgets
+    (naming the first violated bit when one is known). *)
 val compute :
+  ?n_bits:int -> ?policy:policy -> ?net:Hls_timing.Bitnet.t ->
+  ?arrival:Hls_timing.Arrival.t -> Hls_dfg.Graph.t -> latency:int -> plan
+
+(** Per-query {!Hls_timing.Bitdep.bit_deps} evaluation throughout: the
+    executable reference for property tests and benchmark baselines.
+    Produces the same plan as {!compute}. *)
+val compute_reference :
   ?n_bits:int -> ?policy:policy -> Hls_dfg.Graph.t -> latency:int -> plan
 
 (** Number of additive operations after fragmentation. *)

@@ -162,9 +162,10 @@ let apply graph (plan : Mobility.plan) =
   assert (Array.length windows = Graph.node_count g);
   { graph = g; plan; source = graph; windows }
 
-(** Convenience: plan + apply in one step. *)
-let run ?n_bits ?policy graph ~latency =
-  apply graph (Mobility.compute ?n_bits ?policy graph ~latency)
+(** Convenience: plan + apply in one step.  [net]/[arrival] are forwarded
+    to {!Mobility.compute} so sweeps can share them across latencies. *)
+let run ?n_bits ?policy ?net ?arrival graph ~latency =
+  apply graph (Mobility.compute ?n_bits ?policy ?net ?arrival graph ~latency)
 
 (** Number of additive operations in the transformed specification (the
     paper's "+34 % operations" metric numerator). *)

@@ -15,10 +15,11 @@ type t = {
 (** Apply a fragmentation plan. *)
 val apply : Hls_dfg.Graph.t -> Mobility.plan -> t
 
-(** Plan + apply in one step. *)
+(** Plan + apply in one step.  [net]/[arrival] are forwarded to
+    {!Mobility.compute} so sweeps can share them across latencies. *)
 val run :
-  ?n_bits:int -> ?policy:Mobility.policy -> Hls_dfg.Graph.t -> latency:int ->
-  t
+  ?n_bits:int -> ?policy:Mobility.policy -> ?net:Hls_timing.Bitnet.t ->
+  ?arrival:Hls_timing.Arrival.t -> Hls_dfg.Graph.t -> latency:int -> t
 
 (** Number of additive operations in the transformed specification. *)
 val op_count : t -> int

@@ -40,7 +40,8 @@ let fold_node ctx (n : node) =
     let shim = { n with operands } in
     let value =
       Hls_sim.eval_node
-        { Graph.name = "fold"; inputs = []; outputs = []; nodes = [||] }
+        { Graph.name = "fold"; inputs = []; outputs = []; nodes = [||];
+          cached_index = Atomic.make None }
         [||] ~inputs:[] shim
     in
     Operand.of_const value

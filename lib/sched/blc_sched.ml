@@ -30,15 +30,14 @@ exception Infeasible of string
 
 (* ASAP placement under per-cycle budget [c]: each node lands in the
    earliest cycle where all operand bits are available and its own ripple
-   fits. *)
-let asap graph ~budget:c =
+   fits.  Runs on a prebuilt net so the [min_budget] binary search pays
+   for the dependency model once, not once per probed budget. *)
+let asap_net (net : Hls_timing.Bitnet.t) ~budget:c =
+  let module Bitnet = Hls_timing.Bitnet in
+  let graph = net.Bitnet.graph in
   let n_nodes = Graph.node_count graph in
   let cycle_of = Array.make n_nodes 1 in
   let bit_slot = Array.make n_nodes [||] in
-  let source_time = function
-    | Input _ | Const _ -> fun _ -> (0, 0)
-    | Node id -> fun bit -> (cycle_of.(id), bit_slot.(id).(bit))
-  in
   Graph.iter_nodes
     (fun (n : node) ->
       (* The node's cycle must not precede any producer's cycle. *)
@@ -52,28 +51,25 @@ let asap graph ~budget:c =
       in
       (* Try cycles from min_cycle on; in a later cycle all producers are
          registered, so two attempts suffice. *)
+      let base = net.Bitnet.bit_base.(n.id) in
       let try_cycle cycle =
         let slots = Array.make n.width 0 in
         let ok = ref true in
         for pos = 0 to n.width - 1 do
-          let cost, deps = Hls_timing.Bitdep.bit_deps graph n pos in
-          let ready =
-            List.fold_left
-              (fun acc d ->
-                let dc, ds =
-                  match d with
-                  | Hls_timing.Bitdep.Self j -> (cycle, slots.(j))
-                  | Hls_timing.Bitdep.Bit (src, i) -> source_time src i
-                in
-                if dc > cycle then begin
-                  ok := false;
-                  acc
-                end
-                else if dc = cycle then max acc ds
-                else acc)
-              0 deps
-          in
-          slots.(pos) <- ready + cost;
+          let b = base + pos in
+          let ready = ref 0 in
+          for k = net.Bitnet.dep_off.(b) to net.Bitnet.dep_off.(b + 1) - 1 do
+            let d = net.Bitnet.deps.(k) in
+            let dc, ds =
+              if Bitnet.dep_is_self d then (cycle, slots.(Bitnet.dep_self_bit d))
+              else
+                let id = Bitnet.dep_node_id d in
+                (cycle_of.(id), bit_slot.(id).(Bitnet.dep_node_bit d))
+            in
+            if dc > cycle then ok := false
+            else if dc = cycle && ds > !ready then ready := ds
+          done;
+          slots.(pos) <- !ready + net.Bitnet.cost.(b);
           if slots.(pos) > c then ok := false
         done;
         if !ok then Some slots else None
@@ -99,12 +95,13 @@ let asap graph ~budget:c =
 
 let latency_of cycle_of = Array.fold_left max 1 cycle_of
 
-(** Minimal per-cycle budget scheduling in [latency] cycles. *)
-let min_budget graph ~latency =
-  let critical = Hls_timing.Critical_path.critical_delta graph in
+let min_budget_net net ~latency =
+  let critical =
+    Hls_timing.Arrival.critical_delta (Hls_timing.Arrival.of_net net)
+  in
   let lo = ref 1 and hi = ref (max 1 critical) in
   let feasible c =
-    match asap graph ~budget:c with
+    match asap_net net ~budget:c with
     | cycle_of, _ -> latency_of cycle_of <= latency
     | exception Infeasible _ -> false
   in
@@ -116,15 +113,20 @@ let min_budget graph ~latency =
   done;
   !lo
 
+(** Minimal per-cycle budget scheduling in [latency] cycles. *)
+let min_budget graph ~latency =
+  min_budget_net (Hls_timing.Bitnet.build graph) ~latency
+
 let schedule ?budget graph ~latency =
   if latency < 1 then invalid_arg "Blc_sched.schedule: latency must be >= 1";
+  let net = Hls_timing.Bitnet.build graph in
   let c =
     match budget with
     | Some c when c >= 1 -> c
     | Some _ -> invalid_arg "Blc_sched.schedule: budget must be >= 1"
-    | None -> min_budget graph ~latency
+    | None -> min_budget_net net ~latency
   in
-  let cycle_of, bit_slot = asap graph ~budget:c in
+  let cycle_of, bit_slot = asap_net net ~budget:c in
   if latency_of cycle_of > latency then
     raise
       (Infeasible

@@ -17,12 +17,18 @@
     successors keep a feasible (ALAP) placement, so the greedy pass never
     paints itself into a corner.
 
+    The per-candidate-cycle feasibility probe is the innermost loop of the
+    whole flow, so it runs on a prebuilt {!Hls_timing.Bitnet} (flat packed
+    deps, no per-bit allocation); the net is kept in the result for the
+    binder's costly-bit and lifetime queries.
+
     Glue is not scheduled: each glue *bit* simply inherits the time of the
     bits it forwards. *)
 
 open Hls_dfg.Types
 module Graph = Hls_dfg.Graph
 module Transform = Hls_fragment.Transform
+module Bitnet = Hls_timing.Bitnet
 
 type bit_time = { bt_cycle : int; bt_slot : int }
 (** When a bit settles: δ slot [bt_slot] (1-based) of cycle [bt_cycle];
@@ -34,6 +40,7 @@ type t = {
   n_bits : int;
   cycle_of : int array;  (** cycle of each Add node; 0 for glue *)
   bit_time : bit_time array array;
+  net : Bitnet.t;  (** dependency net of the transformed graph *)
 }
 
 exception Infeasible of string
@@ -43,12 +50,20 @@ let graph t = t.transformed.Transform.graph
 (* Absolute δ slot of a bit time (for deadline comparison). *)
 let absolute ~n_bits { bt_cycle; bt_slot } = ((bt_cycle - 1) * n_bits) + bt_slot
 
+let window_caps (tr : Transform.t) ~latency ~n_bits g id _bit =
+  match (Graph.node g id).kind with
+  | Add ->
+      let _, w_alap = tr.Transform.windows.(id) in
+      w_alap * n_bits
+  | _ -> latency * n_bits
+
 let schedule ?(balance = true) (tr : Transform.t) =
   let g = tr.Transform.graph in
   let plan = tr.Transform.plan in
   let latency = plan.Hls_fragment.Mobility.latency in
   let n_bits = plan.Hls_fragment.Mobility.n_bits in
   let n_nodes = Graph.node_count g in
+  let net = Bitnet.build g in
   let cycle_of = Array.make n_nodes 0 in
   let bit_time = Array.make n_nodes [||] in
   (* Deadlines honour each fragment's window: a bit of a fragment whose
@@ -56,23 +71,118 @@ let schedule ?(balance = true) (tr : Transform.t) =
      dataflow ALAP would allow later — this is what makes window-tightening
      policies (coalescing) safe for the greedy scheduler. *)
   let deadline =
-    Hls_timing.Deadline.compute g
+    Hls_timing.Deadline.of_net net
       ~total_slots:(latency * n_bits)
-      ~caps:(fun id _bit ->
-        match (Graph.node g id).kind with
-        | Add ->
-            let _, w_alap = tr.Transform.windows.(id) in
-            w_alap * n_bits
-        | _ -> latency * n_bits)
+      ~caps:(window_caps tr ~latency ~n_bits g)
+  in
+  let usage = Array.make latency 0 in
+  (* Bit times of node [n] placed in [cycle] (glue: cycle ignored, bits
+     inherit dependency times).  None if some dependency is not available
+     or the ripple overflows the budget.  Omitted Input/Const bits settle
+     at {cycle 0, slot 0} — exactly the folds' base case. *)
+  let try_place (n : node) ~is_add ~cycle =
+    let times = Array.make n.width { bt_cycle = 0; bt_slot = 0 } in
+    let ok = ref true in
+    let base = net.Bitnet.bit_base.(n.id) in
+    for pos = 0 to n.width - 1 do
+      let b = base + pos in
+      if is_add then begin
+        let ready = ref 0 in
+        for k = net.Bitnet.dep_off.(b) to net.Bitnet.dep_off.(b + 1) - 1 do
+          let d = net.Bitnet.deps.(k) in
+          let t =
+            if Bitnet.dep_is_self d then times.(Bitnet.dep_self_bit d)
+            else bit_time.(Bitnet.dep_node_id d).(Bitnet.dep_node_bit d)
+          in
+          if t.bt_cycle > cycle then ok := false
+          else if t.bt_cycle = cycle && t.bt_slot > !ready then
+            ready := t.bt_slot
+        done;
+        let slot = !ready + net.Bitnet.cost.(b) in
+        if slot > n_bits then ok := false;
+        times.(pos) <- { bt_cycle = cycle; bt_slot = slot };
+        if
+          absolute ~n_bits times.(pos)
+          > Hls_timing.Deadline.slot deadline ~id:n.id ~bit:pos
+        then ok := false
+      end
+      else begin
+        (* Glue: the bit settles exactly when its latest dependency does. *)
+        let latest = ref { bt_cycle = 0; bt_slot = 0 } in
+        for k = net.Bitnet.dep_off.(b) to net.Bitnet.dep_off.(b + 1) - 1 do
+          let d = net.Bitnet.deps.(k) in
+          let t =
+            if Bitnet.dep_is_self d then times.(Bitnet.dep_self_bit d)
+            else bit_time.(Bitnet.dep_node_id d).(Bitnet.dep_node_bit d)
+          in
+          let l = !latest in
+          if
+            t.bt_cycle > l.bt_cycle
+            || (t.bt_cycle = l.bt_cycle && t.bt_slot > l.bt_slot)
+          then latest := t
+        done;
+        times.(pos) <- !latest
+      end
+    done;
+    if !ok then Some times else None
+  in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      match n.kind with
+      | Add ->
+          let w_asap, w_alap = tr.Transform.windows.(n.id) in
+          (* δ-costly bits claim adder area; pure carry columns do not. *)
+          let weight = Bitnet.costly_width net ~id:n.id in
+          let best = ref None in
+          for cycle = w_asap to w_alap do
+            match try_place n ~is_add:true ~cycle with
+            | Some times -> (
+                let u = usage.(cycle - 1) in
+                match !best with
+                | Some _ when not balance -> ()  (* keep the earliest *)
+                | Some (_, _, bu) when bu <= u -> ()
+                | _ -> best := Some (cycle, times, u))
+            | None -> ()
+          done;
+          (match !best with
+          | None ->
+              raise
+                (Infeasible
+                   (Printf.sprintf
+                      "fragment %d (%s) has no feasible cycle in [%d,%d]" n.id
+                      n.label w_asap w_alap))
+          | Some (cycle, times, _) ->
+              cycle_of.(n.id) <- cycle;
+              bit_time.(n.id) <- times;
+              usage.(cycle - 1) <- usage.(cycle - 1) + weight)
+      | _ -> (
+          match try_place n ~is_add:false ~cycle:0 with
+          | Some times -> bit_time.(n.id) <- times
+          | None -> assert false))
+    g;
+  { transformed = tr; latency; n_bits; cycle_of; bit_time; net }
+
+(** Per-query {!Hls_timing.Bitdep.bit_deps} scheduler: the executable
+    reference for property tests and benchmark baselines.  Produces the
+    same placement as {!schedule}. *)
+let schedule_reference ?(balance = true) (tr : Transform.t) =
+  let g = tr.Transform.graph in
+  let plan = tr.Transform.plan in
+  let latency = plan.Hls_fragment.Mobility.latency in
+  let n_bits = plan.Hls_fragment.Mobility.n_bits in
+  let n_nodes = Graph.node_count g in
+  let cycle_of = Array.make n_nodes 0 in
+  let bit_time = Array.make n_nodes [||] in
+  let deadline =
+    Hls_timing.Deadline.compute_reference g
+      ~total_slots:(latency * n_bits)
+      ~caps:(window_caps tr ~latency ~n_bits g)
   in
   let usage = Array.make latency 0 in
   let time_of_source = function
     | Input _ | Const _ -> fun _ -> { bt_cycle = 0; bt_slot = 0 }
     | Node id -> fun bit -> bit_time.(id).(bit)
   in
-  (* Bit times of node [n] placed in [cycle] (glue: cycle ignored, bits
-     inherit dependency times).  None if some dependency is not available
-     or the ripple overflows the budget. *)
   let try_place (n : node) ~is_add ~cycle =
     let times = Array.make n.width { bt_cycle = 0; bt_slot = 0 } in
     let ok = ref true in
@@ -105,7 +215,6 @@ let schedule ?(balance = true) (tr : Transform.t) =
         then ok := false
       end
       else begin
-        (* Glue: the bit settles exactly when its latest dependency does. *)
         let t =
           List.fold_left
             (fun acc d ->
@@ -128,7 +237,6 @@ let schedule ?(balance = true) (tr : Transform.t) =
       | Add ->
           let w_asap, w_alap = tr.Transform.windows.(n.id) in
           let weight =
-            (* δ-costly bits claim adder area; pure carry columns do not. *)
             List.length
               (List.filter
                  (fun pos -> fst (Hls_timing.Bitdep.bit_deps g n pos) > 0)
@@ -140,7 +248,7 @@ let schedule ?(balance = true) (tr : Transform.t) =
             | Some times -> (
                 let u = usage.(cycle - 1) in
                 match !best with
-                | Some _ when not balance -> ()  (* keep the earliest *)
+                | Some _ when not balance -> ()
                 | Some (_, _, bu) when bu <= u -> ()
                 | _ -> best := Some (cycle, times, u))
             | None -> ()
@@ -161,7 +269,8 @@ let schedule ?(balance = true) (tr : Transform.t) =
           | Some times -> bit_time.(n.id) <- times
           | None -> assert false))
     g;
-  { transformed = tr; latency; n_bits; cycle_of; bit_time }
+  { transformed = tr; latency; n_bits; cycle_of; bit_time;
+    net = Bitnet.build g }
 
 (** Longest chain actually used in any cycle — the achieved cycle length
     in δ (at most the budget). *)
@@ -189,7 +298,6 @@ type cycle_profile = {
 (** Per-cycle usage report: chain occupation, fragment population and adder
     pressure — what a designer reads to see where the schedule is tight. *)
 let profile t =
-  let g = graph t in
   List.map
     (fun cycle ->
       let fragments = adds_in_cycle t cycle in
@@ -204,11 +312,7 @@ let profile t =
       in
       let bits =
         Hls_util.List_ext.sum_by
-          (fun (n : node) ->
-            List.length
-              (List.filter
-                 (fun pos -> fst (Hls_timing.Bitdep.bit_deps g n pos) > 0)
-                 (Hls_util.List_ext.range 0 n.width)))
+          (fun (n : node) -> Bitnet.costly_width t.net ~id:n.id)
           fragments
       in
       {
@@ -219,7 +323,9 @@ let profile t =
       })
     (Hls_util.List_ext.range 1 (t.latency + 1))
 
-(** Independent checker of a fragment schedule. *)
+(** Independent checker of a fragment schedule.  Deliberately evaluates
+    {!Hls_timing.Bitdep.bit_deps} directly so a net-based schedule is
+    cross-checked against the reference dependency model. *)
 let verify t =
   let g = graph t in
   let errs = ref [] in

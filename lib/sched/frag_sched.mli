@@ -18,6 +18,8 @@ type t = {
   n_bits : int;
   cycle_of : int array;  (** cycle of each Add node; 0 for glue *)
   bit_time : bit_time array array;
+  net : Hls_timing.Bitnet.t;
+      (** dependency net of the transformed graph, shared with the binder *)
 }
 
 exception Infeasible of string
@@ -25,8 +27,14 @@ exception Infeasible of string
 val graph : t -> Hls_dfg.Graph.t
 
 (** Schedule a transformed specification; raises {!Infeasible} when some
-    fragment has no feasible cycle in its window. *)
+    fragment has no feasible cycle in its window.  The feasibility probe
+    runs on a prebuilt {!Hls_timing.Bitnet}. *)
 val schedule : ?balance:bool -> Hls_fragment.Transform.t -> t
+
+(** Per-query {!Hls_timing.Bitdep.bit_deps} scheduler: the executable
+    reference for property tests and benchmark baselines.  Produces the
+    same placement as {!schedule}. *)
+val schedule_reference : ?balance:bool -> Hls_fragment.Transform.t -> t
 
 (** Longest chain actually used in any cycle — the achieved cycle length
     in δ (at most the budget). *)

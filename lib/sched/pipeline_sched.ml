@@ -97,18 +97,14 @@ let analyze_fragmented (s : Frag_sched.t) ~ii =
   if ii < 1 || ii > s.Frag_sched.latency then
     invalid_arg "Pipeline_sched.analyze_fragmented: ii must be in [1, latency]";
   let g = Frag_sched.graph s in
+  let net = s.Frag_sched.net in
   let f_stage_bits = Array.make ii 0 in
   Graph.iter_nodes
     (fun (n : node) ->
       if n.kind = Add then begin
         let cycle = s.Frag_sched.cycle_of.(n.id) in
         let stage = (cycle - 1) mod ii in
-        let costly =
-          List.length
-            (List.filter
-               (fun pos -> fst (Hls_timing.Bitdep.bit_deps g n pos) > 0)
-               (Hls_util.List_ext.range 0 n.width))
-        in
+        let costly = Hls_timing.Bitnet.costly_width net ~id:n.id in
         f_stage_bits.(stage) <- f_stage_bits.(stage) + costly
       end)
     g;

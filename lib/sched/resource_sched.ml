@@ -20,22 +20,16 @@ type t = {
   latency : int;  (** achieved latency (≥ the transform's target) *)
 }
 
-(* δ-costly bits of an Add node. *)
-let costly g (n : node) =
-  List.length
-    (List.filter
-       (fun pos -> fst (Hls_timing.Bitdep.bit_deps g n pos) > 0)
-       (Hls_util.List_ext.range 0 n.width))
-
 (** Peak per-cycle adder bits of a fragment schedule. *)
 let peak_adder_bits (s : Frag_sched.t) =
   let g = Frag_sched.graph s in
+  let net = s.Frag_sched.net in
   let usage = Array.make (s.Frag_sched.latency + 1) 0 in
   Graph.iter_nodes
     (fun (n : node) ->
       if n.kind = Add then begin
         let c = s.Frag_sched.cycle_of.(n.id) in
-        usage.(c) <- usage.(c) + costly g n
+        usage.(c) <- usage.(c) + Hls_timing.Bitnet.costly_width net ~id:n.id
       end)
     g;
   Array.fold_left max 0 usage
@@ -47,9 +41,13 @@ let peak_adder_bits (s : Frag_sched.t) =
 let schedule ?max_latency graph ~adder_bits =
   if adder_bits < 1 then
     invalid_arg "Resource_sched.schedule: adder_bits must be >= 1";
+  let net = Hls_timing.Bitnet.build graph in
   let total_bits =
     Graph.fold_nodes
-      (fun acc n -> if n.kind = Add then acc + costly graph n else acc)
+      (fun acc (n : node) ->
+        if n.kind = Add then
+          acc + Hls_timing.Bitnet.costly_width net ~id:n.id
+        else acc)
       0 graph
   in
   let critical = Hls_timing.Critical_path.critical_delta graph in

@@ -25,7 +25,37 @@ let dep_slot t ~self = function
   | Bitdep.Self j -> self.(j)
   | Bitdep.Bit (src, i) -> source_slot t src i
 
-let compute graph =
+(** One topological sweep over a prebuilt net: flat-array folds, no per-bit
+    allocation. *)
+let of_net (net : Bitnet.t) =
+  let graph = net.Bitnet.graph in
+  let t = { slots = Array.make (Graph.node_count graph) [||] } in
+  Graph.iter_nodes
+    (fun n ->
+      let slots = Array.make n.width 0 in
+      let base = net.Bitnet.bit_base.(n.id) in
+      for pos = 0 to n.width - 1 do
+        let b = base + pos in
+        let ready = ref 0 in
+        for k = net.Bitnet.dep_off.(b) to net.Bitnet.dep_off.(b + 1) - 1 do
+          let d = net.Bitnet.deps.(k) in
+          let s =
+            if Bitnet.dep_is_self d then slots.(Bitnet.dep_self_bit d)
+            else t.slots.(Bitnet.dep_node_id d).(Bitnet.dep_node_bit d)
+          in
+          if s > !ready then ready := s
+        done;
+        slots.(pos) <- !ready + net.Bitnet.cost.(b)
+      done;
+      t.slots.(n.id) <- slots)
+    graph;
+  t
+
+let compute graph = of_net (Bitnet.build graph)
+
+(** Direct {!Bitdep.bit_deps} evaluation, kept as the executable reference
+    for property tests and the benchmark baseline. *)
+let compute_reference graph =
   let t = { slots = Array.make (Graph.node_count graph) [||] } in
   Graph.iter_nodes
     (fun n ->

@@ -11,8 +11,19 @@
 
 type t
 
-(** Compute arrival slots for every bit of every node. *)
+(** Compute arrival slots over a prebuilt {!Bitnet} — one flat-array sweep,
+    no per-bit allocation.  Use this when the net is shared with other
+    passes (deadline, mobility, fragment scheduling). *)
+val of_net : Bitnet.t -> t
+
+(** Compute arrival slots for every bit of every node.  Equivalent to
+    [of_net (Bitnet.build graph)]. *)
 val compute : Hls_dfg.Graph.t -> t
+
+(** Direct per-query {!Bitdep.bit_deps} evaluation: the executable
+    reference for property tests and benchmark baselines.  Produces
+    bit-identical slots to {!compute}. *)
+val compute_reference : Hls_dfg.Graph.t -> t
 
 (** Arrival slot of one node bit (0 = stable at start). *)
 val slot : t -> id:Hls_dfg.Types.node_id -> bit:int -> int

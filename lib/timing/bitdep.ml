@@ -53,7 +53,8 @@ let additive_cover operands =
 (** [bit_deps graph node pos] returns [(cost_delta, deps)] for result bit
     [pos] of [node]. *)
 let bit_deps _graph (n : node) pos =
-  let op i = List.nth n.operands i in
+  let ops = Array.of_list n.operands in
+  let op i = ops.(i) in
   let two_op_adder ~extra_lsb_dep operands =
     let cover = additive_cover operands in
     if pos < cover then

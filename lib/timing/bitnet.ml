@@ -1,0 +1,292 @@
+(** Precomputed bit-level dependency net.
+
+    {!Bitdep.bit_deps} answers one [(node, bit)] query at a time by
+    rebuilding the dependency list — an allocation per query, quadratic
+    [List_ext.dedup] for multipliers, and a [List.nth] walk per operand.
+    Every timing pass (arrival, deadline, mobility, the fragment
+    scheduler's per-candidate-cycle feasibility probe) repeats those
+    queries over all bits of all nodes, so the rebuild cost multiplies
+    into the hot path of the whole flow.
+
+    [Bitnet.build] runs the dependency model {e once} per graph and flattens
+    it into CSR-style int arrays:
+
+    - every dependency is one packed int — tag bit 0 distinguishes a
+      same-node carry ([Self]) from an operand bit ([Node] source);
+    - [Input]/[Const] bits are omitted: they are stable at slot 0 and never
+      constrain any analysis, so consumers fold over strictly fewer
+      entries than the list API returned (results are unchanged — every
+      fold starts from the slot-0 identity);
+    - per-bit δ costs and a prefix count of δ-costly bits give O(1)
+      answers to the "how many adder cells does this bit range occupy?"
+      questions the mobility/coalescing/binding passes keep asking.
+
+    The net is immutable after construction and safe to share across
+    domains (parallel design-space sweeps build it once per kernel). *)
+
+open Hls_dfg.Types
+module Operand = Hls_dfg.Operand
+module Graph = Hls_dfg.Graph
+
+type t = {
+  graph : Graph.t;
+  bit_base : int array;
+      (** length [node_count + 1]: flat index of bit 0 of each node; the
+          width of node [id] is [bit_base.(id+1) - bit_base.(id)] *)
+  cost : int array;  (** per flat bit: δ cost of producing it *)
+  costly_prefix : int array;
+      (** length [total_bits + 1]: running count of δ-costly bits, for O(1)
+          range queries *)
+  dep_off : int array;
+      (** length [total_bits + 1]: CSR offsets into [deps] *)
+  deps : int array;  (** packed dependencies (see [dep_is_self] etc.) *)
+}
+
+(* Packed encoding: bit 0 tags the kind.
+     Self j           ->  j lsl 1
+     Bit (Node id, i) ->  (((id lsl bit_shift) lor i) lsl 1) lor 1
+   Input/Const bits are not stored at all. *)
+let bit_shift = 20
+let bit_mask = (1 lsl bit_shift) - 1
+let max_width = 1 lsl bit_shift
+
+let dep_is_self d = d land 1 = 0
+let dep_self_bit d = d lsr 1
+let dep_node_id d = d lsr (bit_shift + 1)
+let dep_node_bit d = (d lsr 1) land bit_mask
+
+let pack_self j = j lsl 1
+let pack_node id i = (((id lsl bit_shift) lor i) lsl 1) lor 1
+
+(* Growable int buffer for the deps array. *)
+type ivec = { mutable a : int array; mutable len : int }
+
+let ivec_create () = { a = Array.make 1024 0; len = 0 }
+
+let ivec_push v x =
+  if v.len = Array.length v.a then begin
+    let a' = Array.make (2 * Array.length v.a) 0 in
+    Array.blit v.a 0 a' 0 v.len;
+    v.a <- a'
+  end;
+  v.a.(v.len) <- x;
+  v.len <- v.len + 1
+
+let build graph =
+  let n_nodes = Graph.node_count graph in
+  let bit_base = Array.make (n_nodes + 1) 0 in
+  for id = 0 to n_nodes - 1 do
+    let w = (Graph.node graph id).width in
+    if w >= max_width then
+      invalid_arg
+        (Printf.sprintf "Bitnet.build: node %d width %d exceeds %d" id w
+           max_width);
+    bit_base.(id + 1) <- bit_base.(id) + w
+  done;
+  let total_bits = bit_base.(n_nodes) in
+  let cost = Array.make total_bits 0 in
+  let dep_off = Array.make (total_bits + 1) 0 in
+  let deps = ivec_create () in
+  (* Emit the source bit feeding computation position [pos] through
+     operand [o] (nothing for Input/Const sources or zero padding). *)
+  let push_operand_bit (o : operand) pos =
+    if pos < Operand.width o then (
+      match o.src with
+      | Node id -> ivec_push deps (pack_node id (o.lo + pos))
+      | Input _ | Const _ -> ())
+    else
+      match o.ext with
+      | Zext -> ()
+      | Sext -> (
+          match o.src with
+          | Node id -> ivec_push deps (pack_node id o.hi)
+          | Input _ | Const _ -> ())
+  in
+  let push_all_operand_bits (o : operand) =
+    match o.src with
+    | Node id ->
+        for p = 0 to Operand.width o - 1 do
+          ivec_push deps (pack_node id (o.lo + p))
+        done
+    | Input _ | Const _ -> ()
+  in
+  let push_carry pos = if pos > 0 then ivec_push deps (pack_self (pos - 1)) in
+  Graph.iter_nodes
+    (fun (n : node) ->
+      let base = bit_base.(n.id) in
+      (* One-time operand array: no List.nth walk per bit. *)
+      let ops = Array.of_list n.operands in
+      let op i = ops.(i) in
+      let n_ops = Array.length ops in
+      let max_operand_width () =
+        let w = ref 1 in
+        for i = 0 to n_ops - 1 do
+          w := max !w (Operand.width ops.(i))
+        done;
+        !w
+      in
+      (* Node-source bit intervals feeding multiplier bit [pos], merged by
+         construction: overlapping reads of one source (e.g. squaring)
+         collapse without the quadratic dedup of the list model. *)
+      let push_mul_intervals pos =
+        let ivs = ref [] in
+        for i = 0 to n_ops - 1 do
+          let o = ops.(i) in
+          let k = min (pos + 1) (Operand.width o) in
+          if k > 0 then
+            match o.src with
+            | Node id -> ivs := (id, o.lo, o.lo + k - 1) :: !ivs
+            | Input _ | Const _ -> ()
+        done;
+        let sorted = List.sort compare !ivs in
+        let rec emit = function
+          | [] -> ()
+          | [ (id, lo, hi) ] ->
+              for b = lo to hi do
+                ivec_push deps (pack_node id b)
+              done
+          | (id1, lo1, hi1) :: ((id2, lo2, hi2) :: tl as rest) ->
+              if id1 = id2 && lo2 <= hi1 + 1 then
+                emit ((id1, lo1, max hi1 hi2) :: tl)
+              else begin
+                for b = lo1 to hi1 do
+                  ivec_push deps (pack_node id1 b)
+                done;
+                emit rest
+              end
+        in
+        emit sorted
+      in
+      let two_op_adder ~cin operands pos =
+        let cover =
+          List.fold_left
+            (fun acc (o : operand) ->
+              match o.ext with
+              | Sext -> max_int
+              | Zext -> max acc (Operand.width o))
+            0 operands
+        in
+        if pos < cover then begin
+          List.iter (fun o -> push_operand_bit o pos) operands;
+          push_carry pos;
+          (if pos = 0 then
+             match cin with
+             | Some (c : operand) -> (
+                 match c.src with
+                 | Node id -> ivec_push deps (pack_node id c.lo)
+                 | Input _ | Const _ -> ())
+             | None -> ());
+          1
+        end
+        else begin
+          push_carry pos;
+          0
+        end
+      in
+      for pos = 0 to n.width - 1 do
+        let c =
+          match n.kind with
+          | Add -> (
+              match n.operands with
+              | [ a; b ] -> two_op_adder ~cin:None [ a; b ] pos
+              | [ a; b; c ] -> two_op_adder ~cin:(Some c) [ a; b ] pos
+              | _ -> invalid_arg "Bitnet: malformed add")
+          | Sub | Neg -> two_op_adder ~cin:None n.operands pos
+          | Mul ->
+              push_mul_intervals pos;
+              push_carry pos;
+              1
+          | Lt | Le | Gt | Ge | Eq | Neq ->
+              Array.iter push_all_operand_bits ops;
+              max_operand_width ()
+          | Max | Min ->
+              Array.iter push_all_operand_bits ops;
+              Array.iter (fun o -> push_operand_bit o pos) ops;
+              max_operand_width ()
+          | Not | Wire ->
+              push_operand_bit (op 0) pos;
+              0
+          | And | Or | Xor ->
+              Array.iter (fun o -> push_operand_bit o pos) ops;
+              0
+          | Gate ->
+              push_operand_bit (op 0) pos;
+              let ctrl = op 1 in
+              (match ctrl.src with
+              | Node id -> ivec_push deps (pack_node id ctrl.lo)
+              | Input _ | Const _ -> ());
+              0
+          | Mux ->
+              let sel = op 0 in
+              (match sel.src with
+              | Node id -> ivec_push deps (pack_node id sel.lo)
+              | Input _ | Const _ -> ());
+              push_operand_bit (op 1) pos;
+              push_operand_bit (op 2) pos;
+              0
+          | Concat ->
+              let rec find offset i =
+                if i >= n_ops then ()
+                else
+                  let o = ops.(i) in
+                  let w = Operand.width o in
+                  if pos < offset + w then (
+                    match o.src with
+                    | Node id -> ivec_push deps (pack_node id (o.lo + (pos - offset)))
+                    | Input _ | Const _ -> ())
+                  else find (offset + w) (i + 1)
+              in
+              find 0 0;
+              0
+          | Reduce_or ->
+              push_all_operand_bits (op 0);
+              0
+        in
+        cost.(base + pos) <- c;
+        dep_off.(base + pos + 1) <- deps.len
+      done)
+    graph;
+  let costly_prefix = Array.make (total_bits + 1) 0 in
+  for b = 0 to total_bits - 1 do
+    costly_prefix.(b + 1) <-
+      costly_prefix.(b) + (if cost.(b) > 0 then 1 else 0)
+  done;
+  {
+    graph;
+    bit_base;
+    cost;
+    costly_prefix;
+    dep_off;
+    deps = Array.sub deps.a 0 deps.len;
+  }
+
+let total_bits t = t.bit_base.(Array.length t.bit_base - 1)
+let width t ~id = t.bit_base.(id + 1) - t.bit_base.(id)
+let cost_of t ~id ~bit = t.cost.(t.bit_base.(id) + bit)
+
+(** δ-costly bits among result bits [lo..hi] (inclusive) of node [id]:
+    the adder cells that bit range occupies. *)
+let costly_in_range t ~id ~lo ~hi =
+  let base = t.bit_base.(id) in
+  t.costly_prefix.(base + hi + 1) - t.costly_prefix.(base + lo)
+
+(** δ-costly bits of the whole node. *)
+let costly_width t ~id = costly_in_range t ~id ~lo:0 ~hi:(width t ~id - 1)
+
+let fold_deps t ~id ~bit ~init ~f =
+  let b = t.bit_base.(id) + bit in
+  let acc = ref init in
+  for k = t.dep_off.(b) to t.dep_off.(b + 1) - 1 do
+    acc := f !acc t.deps.(k)
+  done;
+  !acc
+
+(** Decode the packed deps of one bit back to the list form of
+    {!Bitdep.dep} (minus the omitted [Input]/[Const] bits) — for tests and
+    debugging, not for hot paths. *)
+let deps_list t ~id ~bit =
+  List.rev
+    (fold_deps t ~id ~bit ~init:[] ~f:(fun acc d ->
+         (if dep_is_self d then Bitdep.Self (dep_self_bit d)
+          else Bitdep.Bit (Node (dep_node_id d), dep_node_bit d))
+         :: acc))

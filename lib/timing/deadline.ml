@@ -20,11 +20,7 @@ type t = {
   slots : int array array;  (** [slots.(id).(bit)] = deadline slot in δ *)
 }
 
-(** [compute graph ~total_slots ?caps] — [caps id bit] optionally tightens
-    the initial deadline of individual bits below the global budget (used
-    when fragment windows constrain bits beyond the pure dataflow ALAP,
-    e.g. under the coalesced fragmentation policy). *)
-let compute ?caps graph ~total_slots =
+let init_slots ?caps graph ~total_slots =
   if total_slots < 0 then invalid_arg "Deadline.compute: negative budget";
   let n_nodes = Graph.node_count graph in
   let cap =
@@ -32,17 +28,56 @@ let compute ?caps graph ~total_slots =
     | None -> fun _ _ -> total_slots
     | Some f -> fun id bit -> min total_slots (f id bit)
   in
-  let slots =
-    Array.init n_nodes (fun id ->
-        Array.init (Graph.node graph id).width (fun bit -> cap id bit))
-  in
+  Array.init n_nodes (fun id ->
+      Array.init (Graph.node graph id).width (fun bit -> cap id bit))
+
+(** Reverse sweep over a prebuilt net: flat-array iteration, no per-bit
+    allocation. *)
+let of_net ?caps (net : Bitnet.t) ~total_slots =
+  let graph = net.Bitnet.graph in
+  let slots = init_slots ?caps graph ~total_slots in
+  let n_nodes = Graph.node_count graph in
+  (* Reverse topological sweep; within a node, upper bits first so the carry
+     chain constraint flows downward. *)
+  for id = n_nodes - 1 downto 0 do
+    let self = slots.(id) in
+    let base = net.Bitnet.bit_base.(id) in
+    for pos = Array.length self - 1 downto 0 do
+      let b = base + pos in
+      let bound = self.(pos) - net.Bitnet.cost.(b) in
+      for k = net.Bitnet.dep_off.(b) to net.Bitnet.dep_off.(b + 1) - 1 do
+        let d = net.Bitnet.deps.(k) in
+        if Bitnet.dep_is_self d then begin
+          let j = Bitnet.dep_self_bit d in
+          if bound < self.(j) then self.(j) <- bound
+        end
+        else begin
+          let row = slots.(Bitnet.dep_node_id d) in
+          let i = Bitnet.dep_node_bit d in
+          if bound < row.(i) then row.(i) <- bound
+        end
+      done
+    done
+  done;
+  { total_slots; slots }
+
+(** [compute graph ~total_slots ?caps] — [caps id bit] optionally tightens
+    the initial deadline of individual bits below the global budget (used
+    when fragment windows constrain bits beyond the pure dataflow ALAP,
+    e.g. under the coalesced fragmentation policy). *)
+let compute ?caps graph ~total_slots =
+  of_net ?caps (Bitnet.build graph) ~total_slots
+
+(** Direct {!Bitdep.bit_deps} evaluation, kept as the executable reference
+    for property tests and the benchmark baseline. *)
+let compute_reference ?caps graph ~total_slots =
+  let slots = init_slots ?caps graph ~total_slots in
+  let n_nodes = Graph.node_count graph in
   let tighten src bit bound =
     match src with
     | Input _ | Const _ -> ()
     | Node id -> slots.(id).(bit) <- min slots.(id).(bit) bound
   in
-  (* Reverse topological sweep; within a node, upper bits first so the carry
-     chain constraint flows downward. *)
   for id = n_nodes - 1 downto 0 do
     let n = Graph.node graph id in
     for pos = n.width - 1 downto 0 do
@@ -65,14 +100,20 @@ let alap_cycle t ~n_bits ~id ~bit =
   if n_bits < 1 then invalid_arg "Deadline.alap_cycle: n_bits must be >= 1";
   max 1 (Hls_util.Int_math.ceil_div t.slots.(id).(bit) n_bits)
 
-(** A schedule is feasible iff no bit's deadline precedes its arrival. *)
-let feasible arrival t =
-  let ok = ref true in
-  Array.iteri
-    (fun id slots ->
-      Array.iteri
-        (fun bit l ->
-          if l < Arrival.slot arrival ~id ~bit then ok := false)
-        slots)
-    t.slots;
-  !ok
+(** First bit whose deadline precedes its arrival, if any — the witness
+    that a budget is infeasible. *)
+let feasible_witness arrival t =
+  let n = Array.length t.slots in
+  let rec scan id bit =
+    if id >= n then None
+    else
+      let slots = t.slots.(id) in
+      if bit >= Array.length slots then scan (id + 1) 0
+      else if slots.(bit) < Arrival.slot arrival ~id ~bit then Some (id, bit)
+      else scan id (bit + 1)
+  in
+  scan 0 0
+
+(** A schedule is feasible iff no bit's deadline precedes its arrival
+    (short-circuits on the first violation). *)
+let feasible arrival t = feasible_witness arrival t = None

@@ -7,11 +7,26 @@
 
 type t
 
+(** Reverse sweep over a prebuilt {!Bitnet} — flat-array iteration, no
+    per-bit allocation.  Use this when the net is shared with other
+    passes. *)
+val of_net :
+  ?caps:(Hls_dfg.Types.node_id -> int -> int) -> Bitnet.t ->
+  total_slots:int -> t
+
 (** [compute graph ~total_slots ?caps] — [caps id bit] optionally tightens
     the initial deadline of individual bits below the global budget (used
     when fragment windows constrain bits beyond the pure dataflow ALAP,
-    e.g. under the coalesced fragmentation policy). *)
+    e.g. under the coalesced fragmentation policy).  Equivalent to
+    [of_net ?caps (Bitnet.build graph) ~total_slots]. *)
 val compute :
+  ?caps:(Hls_dfg.Types.node_id -> int -> int) -> Hls_dfg.Graph.t ->
+  total_slots:int -> t
+
+(** Direct per-query {!Bitdep.bit_deps} evaluation: the executable
+    reference for property tests and benchmark baselines.  Produces
+    bit-identical slots to {!compute}. *)
+val compute_reference :
   ?caps:(Hls_dfg.Types.node_id -> int -> int) -> Hls_dfg.Graph.t ->
   total_slots:int -> t
 
@@ -22,5 +37,11 @@ val slot : t -> id:Hls_dfg.Types.node_id -> bit:int -> int
     under a chaining budget of [n_bits] δ per cycle. *)
 val alap_cycle : t -> n_bits:int -> id:Hls_dfg.Types.node_id -> bit:int -> int
 
-(** A schedule is feasible iff no bit's deadline precedes its arrival. *)
+(** First bit whose deadline precedes its arrival, if any — the witness
+    that a budget is infeasible. *)
+val feasible_witness :
+  Arrival.t -> t -> (Hls_dfg.Types.node_id * int) option
+
+(** A schedule is feasible iff no bit's deadline precedes its arrival
+    (short-circuits on the first violation). *)
 val feasible : Arrival.t -> t -> bool

@@ -25,4 +25,5 @@ let () =
       ("spec_files", Test_spec_files.suite);
       ("lower_direct", Test_lower_direct.suite);
       ("dse", Test_dse.suite);
+      ("bitnet", Test_bitnet.suite);
     ]
