@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke examples explore-smoke check clean
+.PHONY: all build test bench bench-smoke examples explore-smoke fault-smoke check clean
 
 all: build
 
@@ -30,7 +30,30 @@ bench-smoke:
 	grep -q '"speedup":' $$out || { echo "bench-smoke: no speedup estimates"; exit 1; }; \
 	echo "bench-smoke: ok (timing bench runs and emits sane JSON)"
 
-check: build test explore-smoke bench-smoke
+# Resilience smoke: the sweep must ride out injected faults.
+#  1. A transient per-job fault with retries enabled still yields a
+#     complete frontier and zero failures, exit 0.
+#  2. Dying between the store write and its rename (the worst crash
+#     moment) exits non-zero but leaves the write-ahead journal behind.
+#  3. `--resume` replays that journal: every point is recovered, nothing
+#     is recomputed, and the frontier is non-empty again.
+fault-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf '$$dir EXIT; \
+	out=$$(HLS_FAULTS="fail-job=0:1" dune exec bin/hlsopt.exe -- explore --builtin chain3 --latency 2:4 --retries 3 --json) \
+	  || { echo "fault-smoke: transient-fault run failed"; exit 1; }; \
+	echo "$$out" | grep -q '"failures": \[\]' || { echo "fault-smoke: transient fault not retried away"; exit 1; }; \
+	if echo "$$out" | grep -q '"frontier": \[\]'; then echo "fault-smoke: empty frontier after retries"; exit 1; fi; \
+	HLS_FAULTS="die-before-rename" dune exec bin/hlsopt.exe -- explore --builtin chain3 --latency 2:4 --cache $$dir/c.json --json >/dev/null 2>&1; \
+	test $$? -ne 0 || { echo "fault-smoke: die-before-rename should exit non-zero"; exit 1; }; \
+	test -s $$dir/c.json.wal || { echo "fault-smoke: no journal left by the crashed run"; exit 1; }; \
+	out=$$(dune exec bin/hlsopt.exe -- explore --builtin chain3 --latency 2:4 --cache $$dir/c.json --resume --json 2>$$dir/err) \
+	  || { echo "fault-smoke: resume run failed"; exit 1; }; \
+	grep -q 'resuming: 3 points recovered' $$dir/err || { echo "fault-smoke: journal not replayed"; cat $$dir/err; exit 1; }; \
+	echo "$$out" | grep -q '"hits": 3' || { echo "fault-smoke: resumed points recomputed instead of reused"; exit 1; }; \
+	if echo "$$out" | grep -q '"frontier": \[\]'; then echo "fault-smoke: empty frontier after resume"; exit 1; fi; \
+	echo "fault-smoke: ok (retries, crash journal, and resume all hold)"
+
+check: build test explore-smoke bench-smoke fault-smoke
 
 bench:
 	dune exec bench/main.exe

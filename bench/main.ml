@@ -455,7 +455,20 @@ let dse () =
   in
   Printf.printf "frontier: %d points, serial == parallel: %b\n"
     (List.length serial.Hls_dse.Explore.frontier)
-    (strip serial = strip parallel)
+    (strip serial = strip parallel);
+  (* Resilience overhead: the retry machinery wraps every job even when
+     nothing fails, so a fault-free sweep under a retry policy measures
+     its fixed cost.  Elliptic has genuinely infeasible coalesced points;
+     they fail fast, so no backoff is paid either way. *)
+  let retry = Hls_dse.Pool.Retry_policy.make () in
+  let resilient = Hls_dse.Explore.run ~workers:1 ~retry g space in
+  Printf.printf
+    "retry-armed (1 worker, no faults): %6.3f s, overhead vs serial: %+.1f%%\n"
+    resilient.Hls_dse.Explore.wall_s
+    ((resilient.Hls_dse.Explore.wall_s /. serial.Hls_dse.Explore.wall_s -. 1.0)
+    *. 100.0);
+  Printf.printf "retry-armed frontier == serial frontier: %b\n"
+    (strip resilient = strip serial)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing suite: one Test per table/figure driver.            *)

@@ -334,7 +334,7 @@ let list_cmd =
 let explore_cmd =
   let module Dse = Hls_dse in
   let run file builtin latspec policies libs balance cleanup jobs timeout
-      cache_path feedback json =
+      cache_path feedback retries backoff degrade resume json =
     let g = or_die (load ~file ~builtin) in
     let latencies = or_die (Dse.Space.parse_latencies latspec) in
     let policies =
@@ -365,11 +365,45 @@ let explore_cmd =
     let space =
       Dse.Space.make ~latencies ~policies ~libs ~balance ~cleanup ()
     in
-    let cache = Dse.Cache.create ?path:cache_path () in
+    if resume && cache_path = None then
+      or_die (Error "--resume needs --cache FILE (the journal to replay)");
+    let cache =
+      match Dse.Cache.create ?path:cache_path () with
+      | c -> c
+      | exception Dse.Cache.Locked lock ->
+          or_die
+            (Error
+               (Printf.sprintf
+                  "cache is locked by another live sweep (%s); wait for it \
+                   or remove the lock if you are sure"
+                  lock))
+    in
+    (match Dse.Cache.load_warnings cache with
+    | [] -> ()
+    | ws ->
+        Printf.eprintf
+          "hlsopt: cache loaded with %d warning%s (damaged entries will \
+           recompute): %s\n%!"
+          (List.length ws)
+          (if List.length ws = 1 then "" else "s")
+          (String.concat "; " ws));
+    if resume then
+      Printf.eprintf
+        "hlsopt: resuming: %d point%s recovered from the journal, %d in the \
+         store\n%!"
+        (Dse.Cache.recovered cache)
+        (if Dse.Cache.recovered cache = 1 then "" else "s")
+        (Dse.Cache.length cache - Dse.Cache.recovered cache);
+    let retry =
+      if retries <= 1 then Dse.Pool.Retry_policy.none
+      else Dse.Pool.Retry_policy.make ~attempts:retries ~backoff_s:backoff ()
+    in
     let workers = if jobs <= 0 then None else Some jobs in
     let result =
-      Dse.Explore.run ?workers ?timeout_s:timeout ~cache ~feedback g space
+      Dse.Explore.run ?workers ?timeout_s:timeout ~cache ~feedback ~retry
+        ~degrade g space
     in
+    Dse.Cache.close cache;
     if json then
       print_endline (Dse.Dse_json.to_string ~indent:true (Dse.Explore.to_json result))
     else Format.printf "%a" Dse.Explore.pp result
@@ -419,6 +453,32 @@ let explore_cmd =
              ~doc:"Feedback rounds refining the latency axis around the \
                    frontier.")
   in
+  let retries_arg =
+    Arg.(value & opt int 1
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Attempts per job (1 = no retry).  Transient faults \
+                   (timeout, resource, internal) are re-dispatched with \
+                   exponential backoff; infeasible points fail fast.")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 0.05
+         & info [ "backoff" ] ~docv:"S"
+             ~doc:"Base backoff before the second attempt, in seconds \
+                   (doubles per retry round, deterministic jitter).")
+  in
+  let degrade_arg =
+    Arg.(value & flag
+         & info [ "degrade" ]
+             ~doc:"When the fragmented flow fails or times out at a point, \
+                   fall back to the direct (conventional) flow and keep the \
+                   point, marked degraded, instead of losing it.")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Resume an interrupted sweep: replay the cache journal \
+                   (needs --cache) and recompute only the missing points.")
+  in
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the sweep as JSON.")
   in
@@ -427,7 +487,17 @@ let explore_cmd =
        ~doc:"Sweep the design space and print its Pareto frontier")
     Term.(const run $ file_arg $ builtin_arg $ latency_arg $ policies_arg
           $ libs_arg $ balance_arg $ cleanup_arg $ jobs_arg $ timeout_arg
-          $ cache_arg $ feedback_arg $ json_arg)
+          $ cache_arg $ feedback_arg $ retries_arg $ backoff_arg
+          $ degrade_arg $ resume_arg $ json_arg)
+
+(* Fault injection (tests and `make fault-smoke` only): inert unless the
+   HLS_FAULTS environment variable is set. *)
+let () =
+  match Hls_util.Faults.arm_from_env () with
+  | () -> ()
+  | exception Invalid_argument m ->
+      prerr_endline ("hlsopt: bad HLS_FAULTS: " ^ m);
+      exit 1
 
 let main =
   let doc = "operation-fragmentation presynthesis optimization for HLS" in

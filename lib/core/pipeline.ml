@@ -15,6 +15,23 @@
 module Graph = Hls_dfg.Graph
 module Datapath = Hls_alloc.Datapath
 
+(* Teach the shared taxonomy this stack's permanent faults: a fragment
+   plan whose budget cannot cover the critical path (Mobility's witnessed
+   infeasibility) and a fragment schedule with no legal placement.  Both
+   mean the design point itself cannot exist — retrying is pointless.
+   Runs at module initialization, before any worker domain is spawned. *)
+let () =
+  Hls_util.Failure.register_classifier (function
+    | Hls_sched.Frag_sched.Infeasible m ->
+        Some (Hls_util.Failure.Infeasible m)
+    | e ->
+        Option.map
+          (fun m -> Hls_util.Failure.Infeasible m)
+          (Hls_fragment.Mobility.infeasibility_of_exn e))
+
+(** Classify an exception escaping one of this module's flows. *)
+let classify_exn = Hls_util.Failure.classify_exn
+
 type report = {
   flow : string;
   latency : int;
@@ -122,6 +139,14 @@ let optimized_of_prepared ?(lib = Hls_techlib.default) ?policy ?balance p
 let optimized_of_kernel ?lib ?policy ?balance kernel ~latency =
   optimized_of_prepared ?lib ?policy ?balance (prepared_of_kernel kernel)
     ~latency
+
+(** [optimized_of_prepared] with the failure taxonomy instead of an
+    escaping exception: [Error Infeasible] for points that cannot exist,
+    [Error (Resource _ | Internal _)] for faults a caller may retry. *)
+let try_optimized_of_prepared ?lib ?policy ?balance p ~latency =
+  match optimized_of_prepared ?lib ?policy ?balance p ~latency with
+  | r -> Ok r
+  | exception e -> Error (classify_exn e)
 
 (** The paper's presynthesis-transformation flow.  [cleanup] additionally
     runs constant folding / CSE / DCE on the kernel-form graph before

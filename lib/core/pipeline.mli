@@ -69,6 +69,20 @@ val optimized_of_kernel :
   ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
   ?balance:bool -> Hls_dfg.Graph.t -> latency:int -> optimized_result
 
+(** [optimized_of_prepared] with the {!Hls_util.Failure} taxonomy instead
+    of an escaping exception: [Error (Infeasible _)] for points that
+    cannot exist (Mobility's witnessed budget violation, a fragment
+    schedule with no legal placement), [Error (Resource _ | Internal _)]
+    for faults a caller may retry. *)
+val try_optimized_of_prepared :
+  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
+  ?balance:bool -> prepared -> latency:int ->
+  (optimized_result, Hls_util.Failure.t) result
+
+(** Classify an exception escaping one of this module's flows into the
+    shared taxonomy (infeasibility recognized as permanent). *)
+val classify_exn : exn -> Hls_util.Failure.t
+
 (** The paper's presynthesis-transformation flow: kernel extraction →
     cycle estimation → fragmentation ([policy]) → conventional fragment
     scheduling ([balance]) → dedicated-adder binding with bit-level

@@ -13,10 +13,26 @@
    exactly (see Dse_json), so a cache hit reproduces the original metrics
    byte-for-byte.
 
-   Concurrency: the cache is coordinator-only.  `Explore` looks entries up
-   before dispatching jobs to the pool and inserts results after
-   collecting them, so worker domains never touch it and no locking is
-   needed. *)
+   Crash-safety is layered on top of the JSON store:
+
+   - an append-only journal `<path>.wal` (one `{"k": …, "m": {…}}` object
+     per line, fsynced per batch) receives new entries as the sweep runs
+     (`journal`, called by Explore after every round).  `create` replays
+     it after loading the store, so a sweep killed mid-run resumes from
+     everything it had already computed; `flush` compacts it into the
+     rewritten store and deletes it.  A truncated final line — the
+     expected shape of a crash mid-append — is skipped; replay is
+     idempotent because journaled entries also land in the store.
+   - `flush` writes to `<path>.tmp` under `Fun.protect` (no stale .tmp on
+     an exception), fsyncs before the atomic rename, and removes any
+     pre-existing .tmp first.
+   - an advisory lock `<path>.lock` (O_EXCL pid file with staleness
+     check) stops two sweeps from interleaving writes to one store.
+
+   Concurrency within a process: the cache is coordinator-only.
+   `Explore` looks entries up before dispatching jobs to the pool and
+   inserts results after collecting them, so worker domains never touch
+   it and no in-process locking is needed. *)
 
 type metrics = {
   m_flow : string;
@@ -91,12 +107,20 @@ let metrics_of_json j =
 
 (* ------------------------------------------------------------------ *)
 
+exception Locked of string
+
 type t = {
   path : string option;
+  lock_path : string option;  (** held advisory lock, released by {!close} *)
   entries : (string, metrics) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
   mutable dirty : bool;
+  mutable pending : (string * metrics) list;
+      (** entries added since the last {!journal}, newest first *)
+  mutable warnings : string list;  (** load-time damage, newest first *)
+  mutable recovered : int;  (** entries replayed from the journal *)
+  mutable released : bool;
 }
 
 let graph_digest g =
@@ -107,34 +131,149 @@ let graph_digest g =
 let key ~graph_digest ~job_key =
   Digest.to_hex (Digest.string (graph_digest ^ "|" ^ job_key))
 
-let load_file path entries =
+let wal_path p = p ^ ".wal"
+let tmp_path p = p ^ ".tmp"
+
+(* ---- advisory lock: O_EXCL pid file with staleness check ---------- *)
+
+let read_lock_pid lp =
+  match open_in lp with
+  | ic ->
+      let pid = try int_of_string_opt (input_line ic) with End_of_file -> None in
+      close_in ic;
+      pid
+  | exception Sys_error _ -> None
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception _ -> true (* EPERM etc.: someone owns it, treat as alive *)
+
+let acquire_lock path =
+  let lp = path ^ ".lock" in
+  let try_create () =
+    match Unix.openfile lp [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644 with
+    | fd ->
+        let pid = string_of_int (Unix.getpid ()) ^ "\n" in
+        ignore (Unix.write_substring fd pid 0 (String.length pid) : int);
+        Unix.close fd;
+        true
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+  in
+  let rec go tries =
+    if try_create () then lp
+    else
+      let stale =
+        match read_lock_pid lp with
+        | Some pid -> not (pid_alive pid)
+        | None -> true (* unreadable or empty: a crash mid-write; reclaim *)
+      in
+      if stale && tries > 0 then begin
+        (try Sys.remove lp with Sys_error _ -> ());
+        go (tries - 1)
+      end
+      else raise (Locked lp)
+  in
+  go 3
+
+(* ---- store + journal loading ------------------------------------- *)
+
+let warn t msg = t.warnings <- msg :: t.warnings
+
+let load_store t path =
   match
     let ic = open_in_bin path in
     let len = in_channel_length ic in
     let src = really_input_string ic len in
     close_in ic;
-    Dse_json.of_string src
+    (* An empty file is a fresh store (Filename.temp_file, touch), not
+       damage. *)
+    if String.trim src = "" then Ok (Dse_json.Obj [])
+    else Dse_json.of_string src
   with
   | Ok (Dse_json.Obj fields) ->
+      let skipped = ref 0 in
       List.iter
         (fun (k, v) ->
           match metrics_of_json v with
-          | Some m -> Hashtbl.replace entries k m
-          | None -> () (* skip malformed entries; they will recompute *))
+          | Some m -> Hashtbl.replace t.entries k m
+          | None -> incr skipped (* malformed entry: it will recompute *))
         fields;
-      Ok ()
-  | Ok _ -> Error (path ^ ": cache root is not an object")
-  | Error m -> Error (path ^ ": " ^ m)
-  | exception Sys_error m -> Error m
+      if !skipped > 0 then
+        warn t
+          (Printf.sprintf "%s: skipped %d malformed entr%s" path !skipped
+             (if !skipped = 1 then "y" else "ies"))
+  | Ok _ -> warn t (path ^ ": cache root is not an object; starting empty")
+  | Error m -> warn t (path ^ ": " ^ m ^ "; starting empty")
+  | exception Sys_error m -> warn t (m ^ "; starting empty")
+
+let wal_entry_of_line line =
+  match Dse_json.of_string line with
+  | Ok j -> (
+      match
+        ( Option.bind (Dse_json.member "k" j) Dse_json.to_str,
+          Option.bind (Dse_json.member "m" j) metrics_of_json )
+      with
+      | Some k, Some m -> Some (k, m)
+      | _ -> None)
+  | Error _ -> None
+
+let replay_wal t path =
+  let wp = wal_path path in
+  if Sys.file_exists wp then begin
+    match open_in_bin wp with
+    | exception Sys_error m -> warn t (m ^ "; journal ignored")
+    | ic ->
+        let bad = ref 0 and lines = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             incr lines;
+             if String.trim line <> "" then
+               match wal_entry_of_line line with
+               | Some (k, m) ->
+                   if not (Hashtbl.mem t.entries k) then begin
+                     Hashtbl.replace t.entries k m;
+                     t.recovered <- t.recovered + 1;
+                     (* replayed entries are not in the store yet *)
+                     t.dirty <- true
+                   end
+               | None -> incr bad
+           done
+         with End_of_file -> ());
+        close_in ic;
+        (* A crash mid-append truncates exactly the final line; more bad
+           lines than that means real damage worth reporting. *)
+        if !bad > 1 then
+          warn t
+            (Printf.sprintf "%s: skipped %d malformed journal lines" wp !bad)
+  end
 
 let create ?path () =
-  let entries = Hashtbl.create 64 in
+  let lock_path = Option.map acquire_lock path in
+  let t =
+    {
+      path;
+      lock_path;
+      entries = Hashtbl.create 64;
+      hits = 0;
+      misses = 0;
+      dirty = false;
+      pending = [];
+      warnings = [];
+      recovered = 0;
+      released = false;
+    }
+  in
   (match path with
-  | Some p when Sys.file_exists p ->
-      (* A corrupt store must not kill a sweep: start empty instead. *)
-      ignore (load_file p entries : (unit, string) result)
-  | _ -> ());
-  { path; entries; hits = 0; misses = 0; dirty = false }
+  | Some p ->
+      (* A corrupt store must not kill a sweep: load what parses, count
+         the damage (see [load_warnings]), recompute the rest. *)
+      if Sys.file_exists p then load_store t p;
+      replay_wal t p
+  | None -> ());
+  t
 
 let find t k =
   match Hashtbl.find_opt t.entries k with
@@ -145,11 +284,14 @@ let mem t k = Hashtbl.mem t.entries k
 
 let add t k m =
   Hashtbl.replace t.entries k m;
+  t.pending <- (k, m) :: t.pending;
   t.dirty <- true
 
 let length t = Hashtbl.length t.entries
 let hits t = t.hits
 let misses t = t.misses
+let load_warnings t = List.rev t.warnings
+let recovered t = t.recovered
 
 let to_json t =
   let fields =
@@ -158,16 +300,85 @@ let to_json t =
   in
   Dse_json.Obj fields
 
+let fsync_out oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* Append the entries added since the last call to the write-ahead
+   journal and fsync it: after this returns, a crash loses nothing the
+   sweep has computed.  Memory-only caches just drop the pending list. *)
+let journal t =
+  match t.path with
+  | None -> t.pending <- []
+  | Some path ->
+      if t.pending <> [] then begin
+        let oc =
+          open_out_gen
+            [ Open_append; Open_creat; Open_binary ]
+            0o644 (wal_path path)
+        in
+        Fun.protect
+          ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+          (fun () ->
+            List.iter
+              (fun (k, m) ->
+                let line =
+                  Dse_json.to_string
+                    (Dse_json.Obj
+                       [
+                         ("k", Dse_json.String k); ("m", metrics_to_json m);
+                       ])
+                  ^ "\n"
+                in
+                output_string oc (Hls_util.Faults.on_write line))
+              (List.rev t.pending);
+            fsync_out oc);
+        t.pending <- []
+      end
+
 let flush t =
   match t.path with
   | None -> ()
   | Some path ->
+      (* Entries not yet journaled must hit the disk before the store
+         rewrite: if the rewrite dies partway they are still replayable. *)
+      journal t;
       if t.dirty then begin
-        let tmp = path ^ ".tmp" in
+        let tmp = tmp_path path in
+        (* A stale .tmp from an earlier crash must not survive a
+           successful flush. *)
+        if Sys.file_exists tmp then (try Sys.remove tmp with Sys_error _ -> ());
         let oc = open_out_bin tmp in
-        output_string oc (Dse_json.to_string ~indent:true (to_json t));
-        output_char oc '\n';
-        close_out oc;
-        Sys.rename tmp path;
+        let renamed = ref false in
+        Fun.protect
+          ~finally:(fun () ->
+            (try close_out oc with Sys_error _ -> ());
+            if not !renamed then
+              try Sys.remove tmp with Sys_error _ -> ())
+          (fun () ->
+            output_string oc
+              (Hls_util.Faults.on_write
+                 (Dse_json.to_string ~indent:true (to_json t) ^ "\n"));
+            (* fsync before the rename: the atomic swap must never
+               install a file whose bytes are still in flight. *)
+            fsync_out oc;
+            close_out oc;
+            Hls_util.Faults.before_rename ();
+            Sys.rename tmp path;
+            renamed := true);
+        (* The journal is now compacted into the store; replay would be a
+           harmless no-op, but drop it so it cannot grow unboundedly. *)
+        (try Sys.remove (wal_path path) with Sys_error _ -> ());
         t.dirty <- false
       end
+
+let release t =
+  if not t.released then begin
+    t.released <- true;
+    match t.lock_path with
+    | Some lp -> ( try Sys.remove lp with Sys_error _ -> ())
+    | None -> ()
+  end
+
+let close t =
+  Fun.protect ~finally:(fun () -> release t) (fun () -> flush t)

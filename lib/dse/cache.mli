@@ -1,12 +1,19 @@
-(** Content-hash memoization for design-space sweeps.
+(** Content-hash memoization for design-space sweeps, crash-safe.
 
     Entries are keyed on (graph digest, job parameter string) and hold the
     scalar metrics of a {!Hls_core.Pipeline.report}.  Optionally backed by
     a JSON file for incremental re-runs; floats round-trip exactly, so a
     hit reproduces the original metrics byte-for-byte.
 
+    On-disk state is three files around [path]: the JSON store itself, an
+    append-only journal [path.wal] ({!journal} appends and fsyncs each
+    batch; {!create} replays it; {!flush} compacts it into the store and
+    deletes it), and an advisory lock [path.lock] held from {!create} to
+    {!close} so two processes cannot interleave writes to one store.
+
     The cache is coordinator-only (looked up before dispatch, filled after
-    collection), so it needs no locking even under a parallel sweep. *)
+    collection), so it needs no in-process locking even under a parallel
+    sweep. *)
 
 type metrics = {
   m_flow : string;
@@ -29,9 +36,18 @@ val metrics_of_json : Dse_json.t -> metrics option
 
 type t
 
-(** [create ?path ()] — with [path], existing entries are loaded from the
-    file (a missing or corrupt file starts empty) and {!flush} writes back
-    atomically; without, the cache is memory-only. *)
+(** Raised by {!create} when another live process holds the store's
+    advisory lock (the argument is the lock-file path).  A lock left by a
+    dead process is reclaimed silently. *)
+exception Locked of string
+
+(** [create ?path ()] — with [path], the advisory lock is taken (raising
+    {!Locked} if another live process holds it), existing entries are
+    loaded from the file, the journal [path.wal] is replayed, and {!flush}
+    writes back atomically; without [path], the cache is memory-only.  A
+    missing store starts empty; a corrupt store or journal starts from
+    whatever parses and records the damage in {!load_warnings} instead of
+    failing the sweep. *)
 val create : ?path:string -> unit -> t
 
 (** MD5 of the graph's full printed form: any edit to the specification
@@ -50,8 +66,34 @@ val add : t -> string -> metrics -> unit
 val length : t -> int
 val hits : t -> int
 val misses : t -> int
+
+(** Damage found while loading the store or replaying the journal
+    (malformed entries skipped, unparseable files started empty), oldest
+    first; [[]] when the load was clean. *)
+val load_warnings : t -> string list
+
+(** Entries recovered by replaying the journal at {!create} time — the
+    points an interrupted sweep does not have to recompute. *)
+val recovered : t -> int
+
 val to_json : t -> Dse_json.t
 
-(** Write the store back to its file (atomic rename); no-op when
+(** Append the entries {!add}ed since the last call to the write-ahead
+    journal [path.wal] and fsync it: after [journal t] returns, a crash
+    loses nothing the sweep has computed.  No-op when memory-only. *)
+val journal : t -> unit
+
+(** Write the store back to its file — journal the stragglers, write to
+    [path.tmp] under [Fun.protect] (no stale temp file on an exception),
+    fsync, atomically rename, then drop the compacted journal.  No-op when
     memory-only or unchanged. *)
 val flush : t -> unit
+
+(** Drop the advisory lock without flushing: crash simulation in tests,
+    or abandoning a cache another process should take over.  Idempotent;
+    the cache must not be written through afterwards. *)
+val release : t -> unit
+
+(** {!flush} then {!release} — the normal end of a sweep's cache
+    lifetime.  The lock is released even if the flush raises. *)
+val close : t -> unit

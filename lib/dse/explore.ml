@@ -11,9 +11,24 @@
    order, so the outcome is identical whatever the worker count. *)
 
 module Pipeline = Hls_core.Pipeline
+module Failure = Hls_util.Failure
 
-type point = { job : Space.job; metrics : Cache.metrics; from_cache : bool }
-type failure = { f_job : Space.job; f_reason : string }
+type point = {
+  job : Space.job;
+  metrics : Cache.metrics;
+  from_cache : bool;
+  degraded : bool;
+      (** the fragmented flow failed here; metrics are the direct
+          (conventional) flow's instead of nothing *)
+  attempts : int;  (** pool attempts consumed; 0 for a cache hit *)
+}
+
+type failure = {
+  f_job : Space.job;
+  f_class : Failure.t;
+  f_reason : string;
+  f_attempts : int;
+}
 
 type t = {
   graph_name : string;
@@ -25,6 +40,7 @@ type t = {
   wall_s : float;
   cache_hits : int;
   cache_misses : int;
+  recovered : int;  (** cache entries replayed from the journal *)
 }
 
 let objectives p =
@@ -36,9 +52,24 @@ let objectives p =
 
 let compute_frontier points = Pareto.frontier ~objectives points
 
+(* Graceful degradation: when the fragmented flow failed at this point
+   and the caller asked for it, fall back to the direct (conventional)
+   flow on the original graph so the point survives — marked, never
+   cached (its metrics are not the optimized flow's).  The fallback runs
+   serially in the coordinator: it only fires on failures, which are
+   rare, and the conventional flow is cheap next to fragmentation. *)
+let degrade_point ~graph (job : Space.job) =
+  match
+    Pipeline.conventional ~lib:job.Space.lib graph ~latency:job.Space.latency
+  with
+  | r -> Some (Cache.metrics_of_report r)
+  | exception _ -> None
+
 (* One batch of jobs: cache hits become points immediately, the rest run
-   on the pool.  Returns points and failures in job order. *)
-let run_round ~cache ~digest ~kernels ~workers ~timeout_s jobs =
+   on the pool (with the retry policy).  Returns points and failures in
+   job order. *)
+let run_round ~cache ~digest ~graph ~kernels ~workers ~timeout_s ~retry
+    ~degrade jobs =
   let lookups =
     List.map
       (fun (job : Space.job) ->
@@ -64,26 +95,51 @@ let run_round ~cache ~digest ~kernels ~workers ~timeout_s jobs =
         Cache.metrics_of_report r.Pipeline.opt_report)
       misses
   in
-  let outcomes = Pool.run ?workers ?timeout_s (Array.of_list thunks) in
+  let outcomes = Pool.run_retry ?workers ?timeout_s ~retry (Array.of_list thunks) in
   let computed = Hashtbl.create 16 in
   List.iteri
     (fun i (job, key) ->
       (match outcomes.(i) with
-      | Pool.Done m -> Cache.add cache key m
-      | Pool.Failed _ | Pool.Timed_out _ -> ());
+      | Pool.Done m, _ -> Cache.add cache key m
+      | (Pool.Failed _ | Pool.Timed_out _), _ -> ());
       Hashtbl.replace computed (Space.job_key job) outcomes.(i))
     misses;
   List.fold_left
     (fun (points, failures) (job, _key, hit) ->
       match hit with
-      | Some m -> ({ job; metrics = m; from_cache = true } :: points, failures)
+      | Some m ->
+          ( { job; metrics = m; from_cache = true; degraded = false;
+              attempts = 0 }
+            :: points,
+            failures )
       | None -> (
           match Hashtbl.find computed (Space.job_key job) with
-          | Pool.Done m ->
-              ({ job; metrics = m; from_cache = false } :: points, failures)
-          | outcome ->
-              let reason = Option.get (Pool.outcome_error outcome) in
-              (points, { f_job = job; f_reason = reason } :: failures)))
+          | Pool.Done m, attempts ->
+              ( { job; metrics = m; from_cache = false; degraded = false;
+                  attempts }
+                :: points,
+                failures )
+          | outcome, attempts -> (
+              let f_class = Option.get (Pool.failure_of_outcome outcome) in
+              let fail () =
+                ( points,
+                  {
+                    f_job = job;
+                    f_class;
+                    f_reason = Failure.to_string f_class;
+                    f_attempts = attempts;
+                  }
+                  :: failures )
+              in
+              if not degrade then fail ()
+              else
+                match degrade_point ~graph job with
+                | Some m ->
+                    ( { job; metrics = m; from_cache = false; degraded = true;
+                        attempts }
+                      :: points,
+                      failures )
+                | None -> fail ())))
     ([], []) lookups
   |> fun (points, failures) -> (List.rev points, List.rev failures)
 
@@ -105,7 +161,9 @@ let refinement_candidates ~attempted frontier =
   |> List.sort_uniq (fun a b ->
          compare (Space.job_key a) (Space.job_key b))
 
-let run ?workers ?timeout_s ?cache ?(feedback = 0) graph (space : Space.t) =
+let run ?workers ?timeout_s ?cache ?(feedback = 0)
+    ?(retry = Pool.Retry_policy.none) ?(degrade = false) graph
+    (space : Space.t) =
   let t0 = Unix.gettimeofday () in
   let cache = match cache with Some c -> c | None -> Cache.create () in
   let digest = Cache.graph_digest graph in
@@ -126,10 +184,14 @@ let run ?workers ?timeout_s ?cache ?(feedback = 0) graph (space : Space.t) =
     if jobs <> [] then begin
       incr rounds;
       let pts, fls =
-        run_round ~cache ~digest ~kernels ~workers ~timeout_s jobs
+        run_round ~cache ~digest ~graph ~kernels ~workers ~timeout_s ~retry
+          ~degrade jobs
       in
       points := !points @ pts;
-      failures := !failures @ fls
+      failures := !failures @ fls;
+      (* Journal every completed round: a crash from here on replays
+         these points instead of recomputing them. *)
+      Cache.journal cache
     end
   in
   execute (Space.jobs space);
@@ -156,6 +218,7 @@ let run ?workers ?timeout_s ?cache ?(feedback = 0) graph (space : Space.t) =
     wall_s = Unix.gettimeofday () -. t0;
     cache_hits = Cache.hits cache;
     cache_misses = Cache.misses cache;
+    recovered = Cache.recovered cache;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -177,6 +240,8 @@ let point_to_json p =
       ("job", job_to_json p.job);
       ("metrics", Cache.metrics_to_json p.metrics);
       ("from_cache", Dse_json.Bool p.from_cache);
+      ("degraded", Dse_json.Bool p.degraded);
+      ("attempts", Dse_json.Int p.attempts);
     ]
 
 let to_json t =
@@ -191,6 +256,7 @@ let to_json t =
           [
             ("hits", Dse_json.Int t.cache_hits);
             ("misses", Dse_json.Int t.cache_misses);
+            ("recovered", Dse_json.Int t.recovered);
           ] );
       ("points", Dse_json.List (List.map point_to_json t.points));
       ( "failures",
@@ -200,7 +266,9 @@ let to_json t =
                Dse_json.Obj
                  [
                    ("job", job_to_json f.f_job);
+                   ("class", Dse_json.String (Failure.class_name f.f_class));
                    ("reason", Dse_json.String f.f_reason);
+                   ("attempts", Dse_json.Int f.f_attempts);
                  ])
              t.failures) );
       ("frontier", Dse_json.List (List.map point_to_json t.frontier));
@@ -225,28 +293,41 @@ let pp ppf t =
       Printf.sprintf "%.2f" m.Cache.m_execution_ns;
       string_of_int m.Cache.m_total_gates;
       string_of_int m.Cache.m_fragment_count;
-      (if p.from_cache then "cache" else "run");
+      (if p.degraded then "degraded"
+       else if p.from_cache then "cache"
+       else "run");
+      (if p.attempts > 1 then string_of_int p.attempts else "");
       (if on_frontier p then "*" else "");
     ]
   in
-  Format.fprintf ppf "sweep of %s: %d points, %d failures, %d round%s, %.3f s@."
-    t.graph_name (List.length t.points) (List.length t.failures) t.rounds
+  let degraded_count =
+    List.length (List.filter (fun p -> p.degraded) t.points)
+  in
+  Format.fprintf ppf
+    "sweep of %s: %d points (%d degraded), %d failures, %d round%s, %.3f s@."
+    t.graph_name (List.length t.points) degraded_count
+    (List.length t.failures) t.rounds
     (if t.rounds = 1 then "" else "s")
     t.wall_s;
-  Format.fprintf ppf "cache: %d hits, %d misses@.@." t.cache_hits
-    t.cache_misses;
+  Format.fprintf ppf "cache: %d hits, %d misses%s@.@." t.cache_hits
+    t.cache_misses
+    (if t.recovered > 0 then
+       Printf.sprintf ", %d recovered from journal" t.recovered
+     else "");
   Format.pp_print_string ppf
     (Hls_util.Pretty.render_table
        ~header:
          [
            "lat"; "policy"; "lib"; "sched"; "clean"; "cycle/ns"; "exec/ns";
-           "gates"; "frags"; "src"; "pareto";
+           "gates"; "frags"; "src"; "try"; "pareto";
          ]
        (List.map row t.points));
   List.iter
     (fun f ->
-      Format.fprintf ppf "failed: %s: %s@." (Space.job_key f.f_job)
-        f.f_reason)
+      Format.fprintf ppf "failed (%s, %d attempt%s): %s: %s@."
+        (Failure.class_name f.f_class) f.f_attempts
+        (if f.f_attempts = 1 then "" else "s")
+        (Space.job_key f.f_job) f.f_reason)
     t.failures;
   Format.fprintf ppf "@.Pareto frontier (%d point%s):@."
     (List.length t.frontier)

@@ -6,15 +6,31 @@
     extraction plus the kernel's bit-dependency net and arrival analysis
     ({!Hls_core.Pipeline.prepare}) — runs once per distinct cleanup flag;
     workers only execute the per-point suffix.  Points are collected in
-    job order, so results are identical whatever the worker count. *)
+    job order, so results are identical whatever the worker count.
+
+    Resilience: transient faults are retried under the given
+    {!Pool.Retry_policy} (permanently [Infeasible] points fail fast), a
+    failed or timed-out fragmented flow can degrade to the direct
+    (conventional) flow instead of losing its point, and the cache is
+    journaled after every round so a killed sweep resumes from everything
+    it had computed. *)
 
 type point = {
   job : Space.job;
   metrics : Cache.metrics;
   from_cache : bool;
+  degraded : bool;
+      (** the fragmented flow failed here; metrics are the direct
+          (conventional) flow's instead of nothing *)
+  attempts : int;  (** pool attempts consumed; 0 for a cache hit *)
 }
 
-type failure = { f_job : Space.job; f_reason : string }
+type failure = {
+  f_job : Space.job;
+  f_class : Hls_util.Failure.t;
+  f_reason : string;
+  f_attempts : int;  (** attempts consumed before giving up *)
+}
 
 type t = {
   graph_name : string;
@@ -26,18 +42,27 @@ type t = {
   wall_s : float;
   cache_hits : int;
   cache_misses : int;
+  recovered : int;  (** cache entries replayed from the journal *)
 }
 
 val objectives : point -> Pareto.objectives
 
-(** [run ?workers ?timeout_s ?cache ?feedback graph space].  [feedback]
-    bounds the refinement rounds: after each round the latency axis is
-    probed one step either side of every frontier point until nothing new
-    remains or the bound is hit (default 0: plain sweep).  Failed or
-    timed-out jobs are recorded in [failures] and the sweep continues.
-    The cache, when given, is flushed before returning. *)
+(** [run ?workers ?timeout_s ?cache ?feedback ?retry ?degrade graph
+    space].  [feedback] bounds the refinement rounds: after each round
+    the latency axis is probed one step either side of every frontier
+    point until nothing new remains or the bound is hit (default 0: plain
+    sweep).  [retry] (default {!Pool.Retry_policy.none}) re-dispatches
+    jobs whose failure class the policy accepts, with exponential
+    backoff.  With [degrade] (default false), a job whose fragmented flow
+    still fails falls back to the direct flow and survives as a point
+    marked [degraded] — never cached, since its metrics are not the
+    optimized flow's.  Remaining failures are recorded with their class
+    and attempt count and the sweep continues.  The cache is journaled
+    after every round and flushed before returning (its lock is NOT
+    released — callers that own the cache call {!Cache.close}). *)
 val run :
   ?workers:int -> ?timeout_s:float -> ?cache:Cache.t -> ?feedback:int ->
+  ?retry:Pool.Retry_policy.t -> ?degrade:bool ->
   Hls_dfg.Graph.t -> Space.t -> t
 
 val to_json : t -> Dse_json.t

@@ -190,6 +190,10 @@ let resolve_n_bits ~critical ~latency = function
   | Some _ -> invalid_arg "Mobility.compute: n_bits must be >= 1"
   | None -> Critical_path.cycle_delta_for_latency ~critical ~latency
 
+(* The stable marker [infeasibility_of_exn] recognizes; both must change
+   together. *)
+let infeasible_prefix = "Mobility.compute: infeasible point: "
+
 let infeasible_error ~latency ~n_bits ~critical ~witness =
   let where =
     match witness with
@@ -198,9 +202,23 @@ let infeasible_error ~latency ~n_bits ~critical ~witness =
   in
   invalid_arg
     (Printf.sprintf
-       "Mobility.compute: %d cycles of %d bits cannot cover a %d-delta \
-        critical path%s"
-       latency n_bits critical where)
+       "%s%d cycles of %d bits cannot cover a %d-delta critical path%s"
+       infeasible_prefix latency n_bits critical where)
+
+(** Recognize this module's own infeasibility error: [Some message] when
+    [exn] is the [Invalid_argument] raised for a budget that cannot cover
+    the critical path (with the witness when one is known), [None] for
+    every other exception — including this module's caller-error
+    [Invalid_argument]s, which are bugs rather than infeasible points.
+    Feeds the {!Hls_util.Failure} taxonomy without leaking the message
+    format to other layers. *)
+let infeasibility_of_exn = function
+  | Invalid_argument m
+    when String.length m >= String.length infeasible_prefix
+         && String.sub m 0 (String.length infeasible_prefix)
+            = infeasible_prefix ->
+      Some m
+  | _ -> None
 
 (** Compute the fragmentation plan for scheduling [graph] — which must be
     in additive kernel form — over [latency] cycles.  [n_bits] defaults to

@@ -52,6 +52,13 @@ val compute :
   ?n_bits:int -> ?policy:policy -> ?net:Hls_timing.Bitnet.t ->
   ?arrival:Hls_timing.Arrival.t -> Hls_dfg.Graph.t -> latency:int -> plan
 
+(** Recognize this module's infeasibility error: [Some message] when the
+    exception is the [Invalid_argument] {!compute} raises for a budget that
+    cannot cover the critical path, [None] otherwise (caller errors
+    included).  Lets {!Hls_util.Failure} classifiers treat infeasible
+    design points as permanent without string-matching at call sites. *)
+val infeasibility_of_exn : exn -> string option
+
 (** Per-query {!Hls_timing.Bitdep.bit_deps} evaluation throughout: the
     executable reference for property tests and benchmark baselines.
     Produces the same plan as {!compute}. *)

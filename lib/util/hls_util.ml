@@ -165,6 +165,180 @@ module Prng = struct
     | _ -> List.nth l (int t (List.length l))
 end
 
+(** Typed failure taxonomy for synthesis flows.
+
+    A design-space sweep sees four kinds of trouble, and they deserve
+    different treatment: an [Infeasible] point can never succeed (retrying
+    burns cycles for nothing), a [Timeout] or [Resource] exhaustion is
+    load-dependent and worth retrying, and an [Internal] exception is a
+    bug or a transient environmental fault — retried a bounded number of
+    times, then reported.  Producers (the pipeline, the fragment planner,
+    the schedulers) register classifiers here so that consumers (the job
+    pool, the sweep driver) can route outcomes without knowing every
+    exception type in the stack. *)
+module Failure = struct
+  type t =
+    | Infeasible of string  (** the design point cannot exist; never retry *)
+    | Timeout of float  (** seconds the job had been running *)
+    | Resource of string  (** memory/stack exhaustion; retryable *)
+    | Internal of exn  (** unclassified exception; retryable, bounded *)
+
+  (** Raised by flows that want to signal an already classified fault. *)
+  exception Flow_failure of t
+
+  let to_string = function
+    | Infeasible m -> "infeasible: " ^ m
+    | Timeout s -> Printf.sprintf "timed out after %.2f s" s
+    | Resource m -> "resource exhausted: " ^ m
+    | Internal e -> Printexc.to_string e
+
+  (** Short tag for tables, journals and JSON. *)
+  let class_name = function
+    | Infeasible _ -> "infeasible"
+    | Timeout _ -> "timeout"
+    | Resource _ -> "resource"
+    | Internal _ -> "internal"
+
+  (** Transient faults worth re-dispatching; [Infeasible] is permanent. *)
+  let retryable = function
+    | Infeasible _ -> false
+    | Timeout _ | Resource _ | Internal _ -> true
+
+  (* Registered exception classifiers, consulted in registration order.
+     Registration happens at module-initialization time (before any worker
+     domain exists), so the unsynchronized ref is safe: domains only read. *)
+  let classifiers : (exn -> t option) list ref = ref []
+  let register_classifier f = classifiers := !classifiers @ [ f ]
+
+  let classify_exn = function
+    | Flow_failure f -> f
+    | Out_of_memory -> Resource "out of memory"
+    | Stack_overflow -> Resource "stack overflow"
+    | e ->
+        let rec go = function
+          | [] -> Internal e
+          | f :: rest -> ( match f e with Some t -> t | None -> go rest)
+        in
+        go !classifiers
+end
+
+(** Fault-injection hooks for resilience tests.
+
+    Compiled in always, inert unless armed: every probe first checks a
+    single mutable record that normal runs never set, so the cost on the
+    hot path is one load and one branch.  Tests (and [make fault-smoke],
+    via the [HLS_FAULTS] environment variable) arm a fault, run the stack
+    end to end, and assert that retry / journal replay / degradation put
+    the sweep back together. *)
+module Faults = struct
+  (** The exception injected faults raise; classified as [Internal]
+      (retryable) by {!Failure.classify_exn}. *)
+  exception Injected of string
+
+  type spec = {
+    fail_job : (int * int) option;
+        (** [(n, k)]: job index [n] raises on its first [k] executions *)
+    delay_job : (int option * float) option;
+        (** delay job [Some n] (or every job, [None]) by [s] seconds *)
+    corrupt_writes : bool;  (** garble bytes written by the cache *)
+    die_before_rename : bool;
+        (** [exit 42] between writing a store and renaming it into place *)
+  }
+
+  let inert =
+    {
+      fail_job = None;
+      delay_job = None;
+      corrupt_writes = false;
+      die_before_rename = false;
+    }
+
+  let spec = ref inert
+  let mu = Mutex.create ()
+  let exec_counts : (int, int) Hashtbl.t = Hashtbl.create 7
+
+  let arm s =
+    Mutex.lock mu;
+    Hashtbl.reset exec_counts;
+    spec := s;
+    Mutex.unlock mu
+
+  let disarm () = arm inert
+  let armed () = !spec != inert && !spec <> inert
+
+  (** Probe: called with the job's stable index before it executes.
+      May sleep ([delay_job]) or raise {!Injected} ([fail_job]). *)
+  let on_job job =
+    let s = !spec in
+    (match s.delay_job with
+    | Some (which, secs)
+      when (match which with None -> true | Some j -> j = job) ->
+        Unix.sleepf secs
+    | _ -> ());
+    match s.fail_job with
+    | Some (n, k) when n = job ->
+        Mutex.lock mu;
+        let c = Option.value (Hashtbl.find_opt exec_counts job) ~default:0 + 1 in
+        Hashtbl.replace exec_counts job c;
+        Mutex.unlock mu;
+        if c <= k then
+          raise (Injected (Printf.sprintf "injected fault: job %d attempt %d" job c))
+    | _ -> ()
+
+  (** Probe: bytes about to be written by a store; garbled when
+      [corrupt_writes] is armed. *)
+  let on_write bytes =
+    if not !spec.corrupt_writes || String.length bytes = 0 then bytes
+    else
+      let b = Bytes.of_string bytes in
+      let n = Bytes.length b in
+      Bytes.blit_string "#corrupt#" 0 b (n / 2) (min 9 (n - (n / 2)));
+      Bytes.to_string b
+
+  (** Probe: called between writing a temp store and renaming it into
+      place; simulates a crash at the worst moment. *)
+  let before_rename () =
+    if !spec.die_before_rename then begin
+      prerr_endline "hls-faults: dying before rename (injected)";
+      exit 42
+    end
+
+  (** Arm from an environment variable (default [HLS_FAULTS]); inert when
+      unset.  Comma-separated terms:
+      [fail-job=N:K], [delay-job=S], [delay-job=N:S], [corrupt-writes],
+      [die-before-rename].  Unknown terms raise [Invalid_argument]. *)
+  let arm_from_env ?(var = "HLS_FAULTS") () =
+    match Sys.getenv_opt var with
+    | None | Some "" -> ()
+    | Some v ->
+        let s =
+          List.fold_left
+            (fun s term ->
+              match String.split_on_char '=' (String.trim term) with
+              | [ "corrupt-writes" ] -> { s with corrupt_writes = true }
+              | [ "die-before-rename" ] -> { s with die_before_rename = true }
+              | [ "fail-job"; nk ] -> (
+                  match String.split_on_char ':' nk with
+                  | [ n; k ] ->
+                      { s with
+                        fail_job = Some (int_of_string n, int_of_string k) }
+                  | _ -> invalid_arg ("Faults.arm_from_env: " ^ term))
+              | [ "delay-job"; spec ] -> (
+                  match String.split_on_char ':' spec with
+                  | [ secs ] ->
+                      { s with delay_job = Some (None, float_of_string secs) }
+                  | [ n; secs ] ->
+                      { s with
+                        delay_job =
+                          Some (Some (int_of_string n), float_of_string secs) }
+                  | _ -> invalid_arg ("Faults.arm_from_env: " ^ term))
+              | _ -> invalid_arg ("Faults.arm_from_env: " ^ term))
+            inert
+            (String.split_on_char ',' v)
+        in
+        arm s
+end
+
 module Csd = struct
   (** Canonical signed-digit recoding of integer constants.
 

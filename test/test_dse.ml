@@ -84,11 +84,14 @@ let test_cache_disk_roundtrip () =
   let space = Space.make ~latencies:[ 3 ] () in
   let c1 = Cache.create ~path () in
   let r1 = Explore.run ~workers:1 ~cache:c1 g space in
+  Cache.close c1;
   (* A fresh cache instance reads the flushed store and serves hits with
      bit-identical metrics (floats round-trip through the JSON). *)
   let c2 = Cache.create ~path () in
   Alcotest.(check int) "persisted entries" 1 (Cache.length c2);
+  Alcotest.(check (list string)) "clean load" [] (Cache.load_warnings c2);
   let r2 = Explore.run ~workers:1 ~cache:c2 g space in
+  Cache.close c2;
   Alcotest.(check bool) "all from disk" true
     (List.for_all (fun p -> p.Explore.from_cache) r2.Explore.points);
   Alcotest.(check bool) "metrics bit-identical" true
@@ -149,14 +152,17 @@ let test_pool_exception_isolation () =
         [ 1; 3; 5 ]
         (Array.to_list outcomes |> List.filter_map Pool.outcome_ok);
       (match outcomes.(1) with
-      | Pool.Failed m ->
+      | Pool.Failed f ->
+          let m = Hls_util.Failure.to_string f in
           Alcotest.(check bool) (tag ^ " failure message") true
             (let needle = "injected" in
              let rec has i =
                i + String.length needle <= String.length m
                && (String.sub m i (String.length needle) = needle || has (i + 1))
              in
-             has 0)
+             has 0);
+          Alcotest.(check string) (tag ^ " classified internal") "internal"
+            (Hls_util.Failure.class_name f)
       | _ -> Alcotest.fail (tag ^ ": job 1 should have failed"));
       match outcomes.(3) with
       | Pool.Failed _ -> ()

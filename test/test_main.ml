@@ -25,5 +25,6 @@ let () =
       ("spec_files", Test_spec_files.suite);
       ("lower_direct", Test_lower_direct.suite);
       ("dse", Test_dse.suite);
+      ("dse_faults", Test_dse_faults.suite);
       ("bitnet", Test_bitnet.suite);
     ]
