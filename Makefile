@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke examples explore-smoke fault-smoke check clean
+.PHONY: all build test bench bench-smoke examples explore-smoke fault-smoke trace-smoke check clean
 
 all: build
 
@@ -53,7 +53,24 @@ fault-smoke:
 	if echo "$$out" | grep -q '"frontier": \[\]'; then echo "fault-smoke: empty frontier after resume"; exit 1; fi; \
 	echo "fault-smoke: ok (retries, crash journal, and resume all hold)"
 
-check: build test explore-smoke bench-smoke fault-smoke
+# Telemetry smoke: a 2-worker sweep under --trace must leave a
+# Perfetto-loadable Chrome trace with every pipeline phase span and one
+# track per worker (main + 2), and the netlist span must show up on an
+# emit path.  `hlsopt trace-validate` does the structural checking.
+trace-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf '$$dir EXIT; \
+	dune exec bin/hlsopt.exe -- explore --builtin adpcm-decoder --latency 4:6 --jobs 2 --trace $$dir/sweep.json >/dev/null 2>&1 \
+	  || { echo "trace-smoke: traced explore failed"; exit 1; }; \
+	dune exec bin/hlsopt.exe -- trace-validate $$dir/sweep.json \
+	  --expect kernel,bitnet,arrival,mobility,fragment,schedule,bind,job --min-tracks 3 >/dev/null \
+	  || { echo "trace-smoke: sweep trace failed validation"; exit 1; }; \
+	dune exec bin/hlsopt.exe -- emit-vhdl --builtin chain3 --netlist --trace $$dir/emit.json >/dev/null 2>&1 \
+	  || { echo "trace-smoke: traced emit-vhdl failed"; exit 1; }; \
+	dune exec bin/hlsopt.exe -- trace-validate $$dir/emit.json --expect netlist >/dev/null \
+	  || { echo "trace-smoke: emit trace failed validation"; exit 1; }; \
+	echo "trace-smoke: ok (traces parse, phase spans and worker tracks present)"
+
+check: build test explore-smoke bench-smoke fault-smoke trace-smoke
 
 bench:
 	dune exec bench/main.exe

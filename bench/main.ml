@@ -667,6 +667,29 @@ let timing () =
                 latencies))
       workloads
   in
+  (* Telemetry overhead: the same prepared-pipeline sweep with the sink
+     disarmed vs armed (metrics mode).  Disarmed it is byte-for-byte the
+     adpcm/pipeline_sweep/net computation — its delta from that row is
+     measurement noise, which bounds the disabled-mode cost of the
+     instrumentation; the armed row prices actual recording. *)
+  let tel_sweep =
+    let g = Hls_workloads.Adpcm.decoder () in
+    let latencies = [ 4; 6; 8; 10; 12 ] in
+    fun () ->
+      let p = P.prepare g in
+      List.iter (fun latency -> ignore (P.optimized_of_prepared p ~latency))
+        latencies
+  in
+  let tests =
+    tests
+    @ [
+        Test.make ~name:"adpcm/telemetry/off" (Staged.stage tel_sweep);
+        Test.make ~name:"adpcm/telemetry/on"
+          (Staged.stage (fun () ->
+               Hls_telemetry.arm ~metrics:true ();
+               Fun.protect ~finally:Hls_telemetry.disarm tel_sweep));
+      ]
+  in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
     if quick then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.02) ()
@@ -702,6 +725,22 @@ let timing () =
       Printf.printf "%-12s %-16s %14.1f %14.1f %8.2fx\n" w a r n s)
     rows;
   if rows = [] then prerr_endline "timing: no estimates collected";
+  let telemetry =
+    match
+      ( estimate "adpcm/pipeline_sweep/net",
+        estimate "adpcm/telemetry/off",
+        estimate "adpcm/telemetry/on" )
+    with
+    | Some base, Some off, Some on when base > 0. && off > 0. ->
+        let disabled_pct = ((off /. base) -. 1.) *. 100. in
+        let armed_pct = ((on /. off) -. 1.) *. 100. in
+        Printf.printf
+          "%-12s %-16s disabled %11.1f ns (%+.2f%% vs the identical \
+           pipeline_sweep row: noise bound), armed %11.1f ns (%+.1f%%)\n"
+          "adpcm" "telemetry" off disabled_pct on armed_pct;
+        Some (base, off, on, disabled_pct, armed_pct)
+    | _ -> None
+  in
   if json then begin
     let module J = Hls_dse.Dse_json in
     let doc =
@@ -732,6 +771,23 @@ let timing () =
                        ("speedup", J.Float s);
                      ])
                  rows) );
+          (* Disabled-mode overhead is bounded by the delta between two
+             measurements of the same unarmed sweep (pipeline_sweep/net
+             and telemetry/off share every instruction); the armed figure
+             prices metric recording itself. *)
+          ( "telemetry",
+            match telemetry with
+            | None -> J.Null
+            | Some (base, off, on, disabled_pct, armed_pct) ->
+                J.Obj
+                  [
+                    ("workload", J.String "adpcm");
+                    ("pipeline_sweep_ns_per_run", J.Float base);
+                    ("disabled_ns_per_run", J.Float off);
+                    ("armed_ns_per_run", J.Float on);
+                    ("disabled_overhead_noise_bound_pct", J.Float disabled_pct);
+                    ("armed_overhead_pct", J.Float armed_pct);
+                  ] );
         ]
     in
     let path = out in

@@ -7,7 +7,11 @@
      report     compare the conventional / BLC / optimized flows
      explore    sweep the design space and print its Pareto frontier
      emit-vhdl  print behavioural or RTL VHDL
-     list       list the built-in workloads *)
+     list       list the built-in workloads
+     trace-validate  structural checks over a --trace JSON file
+
+   Every subcommand also takes --trace FILE (Chrome trace-event JSON of
+   the run) and --metrics (span/counter summary on stderr). *)
 
 module P = Hls_core.Pipeline
 module Graph = Hls_dfg.Graph
@@ -40,6 +44,43 @@ let or_die = function
 
 open Cmdliner
 
+(* --trace / --metrics ride on every subcommand. *)
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON of this run; load it at \
+                 ui.perfetto.dev or chrome://tracing.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print a span/counter/gauge summary on stderr when done.")
+
+let telemetry_term = Term.(const (fun t m -> (t, m)) $ trace_arg $ metrics_arg)
+
+(* Arm the sink per the flags, run the command, export on the way out.
+   [arm_metrics] arms metric recording even without --metrics (explore
+   needs span totals for its phase-breakdown footer) but prints the
+   summary only when asked.  A command that dies through [or_die] exits
+   without unwinding and so writes no trace — there is no run to look
+   at.  Exporting sits in the [Fun.protect] finaliser so a command that
+   *raises* still leaves its trace behind, which is exactly when one is
+   wanted. *)
+let with_telemetry ?(arm_metrics = false) (trace, metrics) f =
+  if trace <> None || metrics || arm_metrics then begin
+    Hls_telemetry.arm ~trace:(trace <> None) ~metrics:true ();
+    Hls_telemetry.name_track "main"
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace with
+      | Some path ->
+          Hls_telemetry.write_chrome_trace path;
+          Printf.eprintf "hlsopt: trace written to %s\n%!" path
+      | None -> ());
+      if metrics then prerr_string (Hls_telemetry.metrics_summary ()))
+    f
+
 let file_arg =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
          ~doc:"Specification source file.")
@@ -63,16 +104,18 @@ let print_graph_stats g =
     (Hls_timing.Critical_path.critical_delta (Hls_kernel.Extract.run g))
 
 let parse_cmd =
-  let run file builtin =
+  let run tel file builtin =
+    with_telemetry tel @@ fun () ->
     let g = or_die (load ~file ~builtin) in
     print_graph_stats g;
     Format.printf "%a@." Graph.pp g
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse and validate a specification")
-    Term.(const run $ file_arg $ builtin_arg)
+    Term.(const run $ telemetry_term $ file_arg $ builtin_arg)
 
 let optimize_cmd =
-  let run file builtin latency vhdl =
+  let run tel file builtin latency vhdl =
+    with_telemetry tel @@ fun () ->
     let g = or_die (load ~file ~builtin) in
     let kernel = Hls_kernel.Extract.run g in
     let t = Hls_fragment.Transform.run kernel ~latency in
@@ -95,7 +138,8 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Apply the presynthesis transformation and print the new spec")
-    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ vhdl_arg)
+    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
+          $ vhdl_arg)
 
 (* ASCII Gantt: one row per original operation, columns are cycles. *)
 let print_gantt s latency =
@@ -134,7 +178,8 @@ let print_gantt s latency =
     rows
 
 let schedule_cmd =
-  let run file builtin latency flow =
+  let run tel file builtin latency flow =
+    with_telemetry tel @@ fun () ->
     let g = or_die (load ~file ~builtin) in
     match flow with
     | "optimized" ->
@@ -179,10 +224,12 @@ let schedule_cmd =
              ~doc:"Flow: conventional, blc or optimized.")
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Schedule and print the cycle assignment")
-    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ flow_arg)
+    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
+          $ flow_arg)
 
 let report_cmd =
-  let run file builtin latency cleanup target_ns =
+  let run tel file builtin latency cleanup target_ns =
+    with_telemetry tel @@ fun () ->
     let g = or_die (load ~file ~builtin) in
     print_graph_stats g;
     let latency =
@@ -218,11 +265,12 @@ let report_cmd =
              ~doc:"Pick the smallest latency meeting this clock period                    instead of --latency.")
   in
   Cmd.v (Cmd.info "report" ~doc:"Compare the conventional and optimized flows")
-    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ cleanup_arg
-          $ target_arg)
+    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
+          $ cleanup_arg $ target_arg)
 
 let emit_vhdl_cmd =
-  let run file builtin latency rtl netlist =
+  let run tel file builtin latency rtl netlist =
+    with_telemetry tel @@ fun () ->
     let g = or_die (load ~file ~builtin) in
     if netlist then begin
       let opt = P.optimized g ~latency in
@@ -248,11 +296,12 @@ let emit_vhdl_cmd =
            ~doc:"Emit the gate-level structural netlist.")
   in
   Cmd.v (Cmd.info "emit-vhdl" ~doc:"Print VHDL")
-    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ rtl_arg
-          $ netlist_arg)
+    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
+          $ rtl_arg $ netlist_arg)
 
 let emit_verilog_cmd =
-  let run file builtin latency testbench =
+  let run tel file builtin latency testbench =
+    with_telemetry tel @@ fun () ->
     let g = or_die (load ~file ~builtin) in
     let opt = P.optimized g ~latency in
     let nl = Hls_rtl.Elaborate_netlist.elaborate opt.P.schedule in
@@ -276,10 +325,12 @@ let emit_verilog_cmd =
   Cmd.v
     (Cmd.info "emit-verilog"
        ~doc:"Print the gate-level netlist as structural Verilog")
-    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ tb_arg)
+    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
+          $ tb_arg)
 
 let simulate_cmd =
-  let run file builtin latency vcd_path seed =
+  let run tel file builtin latency vcd_path seed =
+    with_telemetry tel @@ fun () ->
     let g = or_die (load ~file ~builtin) in
     let opt = P.optimized g ~latency in
     let prng = Hls_util.Prng.create ~seed in
@@ -318,10 +369,12 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run one random vector through the gate-level netlist")
-    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ vcd_arg $ seed_arg)
+    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
+          $ vcd_arg $ seed_arg)
 
 let list_cmd =
-  let run () =
+  let run tel () =
+    with_telemetry tel @@ fun () ->
     List.iter
       (fun (name, g) ->
         Printf.printf "%-16s %3d operations, %2d inputs\n" name
@@ -329,12 +382,16 @@ let list_cmd =
           (List.length g.Graph.inputs))
       (Hls_workloads.Registry.all ())
   in
-  Cmd.v (Cmd.info "list" ~doc:"List built-in workloads") Term.(const run $ const ())
+  Cmd.v (Cmd.info "list" ~doc:"List built-in workloads")
+    Term.(const run $ telemetry_term $ const ())
 
 let explore_cmd =
   let module Dse = Hls_dse in
-  let run file builtin latspec policies libs balance cleanup jobs timeout
+  let run tel file builtin latspec policies libs balance cleanup jobs timeout
       cache_path feedback retries backoff degrade resume json =
+    (* The sweep always arms metric recording: its report carries the
+       per-phase time breakdown whether or not --metrics was given. *)
+    with_telemetry ~arm_metrics:true tel @@ fun () ->
     let g = or_die (load ~file ~builtin) in
     let latencies = or_die (Dse.Space.parse_latencies latspec) in
     let policies =
@@ -485,10 +542,71 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Sweep the design space and print its Pareto frontier")
-    Term.(const run $ file_arg $ builtin_arg $ latency_arg $ policies_arg
-          $ libs_arg $ balance_arg $ cleanup_arg $ jobs_arg $ timeout_arg
-          $ cache_arg $ feedback_arg $ retries_arg $ backoff_arg
-          $ degrade_arg $ resume_arg $ json_arg)
+    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
+          $ policies_arg $ libs_arg $ balance_arg $ cleanup_arg $ jobs_arg
+          $ timeout_arg $ cache_arg $ feedback_arg $ retries_arg
+          $ backoff_arg $ degrade_arg $ resume_arg $ json_arg)
+
+(* Structural checks over a --trace file; `make trace-smoke` leans on
+   this so CI can tell a Perfetto-loadable trace from truncated JSON. *)
+let trace_validate_cmd =
+  let module J = Hls_dse.Dse_json in
+  let run file expects min_tracks =
+    let ic = open_in file in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let j = or_die (J.of_string src) in
+    let events =
+      match Option.bind (J.member "traceEvents" j) J.to_list with
+      | Some l -> l
+      | None -> or_die (Error (file ^ ": no traceEvents array"))
+    in
+    let spans = Hashtbl.create 16 and tracks = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        let str k = Option.bind (J.member k e) J.to_str in
+        let int k = Option.bind (J.member k e) J.to_int in
+        (match (str "ph", str "name") with
+        | Some "X", Some n -> Hashtbl.replace spans n ()
+        | (Some _ | None), _ -> ());
+        match (int "pid", int "tid") with
+        | Some p, Some t -> Hashtbl.replace tracks (p, t) ()
+        | _ -> or_die (Error (file ^ ": event without integer pid/tid")))
+      events;
+    let missing = List.filter (fun n -> not (Hashtbl.mem spans n)) expects in
+    if missing <> [] then
+      or_die
+        (Error
+           (Printf.sprintf "%s: missing span%s: %s" file
+              (if List.length missing = 1 then "" else "s")
+              (String.concat ", " missing)));
+    if Hashtbl.length tracks < min_tracks then
+      or_die
+        (Error
+           (Printf.sprintf "%s: expected at least %d tracks, found %d" file
+              min_tracks (Hashtbl.length tracks)));
+    Printf.printf "trace OK: %d events, %d spans, %d tracks\n"
+      (List.length events) (Hashtbl.length spans) (Hashtbl.length tracks)
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TRACE" ~doc:"Chrome trace-event JSON file.")
+  in
+  let expect_arg =
+    Arg.(value & opt (list string) []
+         & info [ "expect" ] ~docv:"NAMES"
+             ~doc:"Comma-separated span names that must appear as complete \
+                   ('X') events.")
+  in
+  let min_tracks_arg =
+    Arg.(value & opt int 1
+         & info [ "min-tracks" ] ~docv:"N"
+             ~doc:"Minimum number of distinct (pid, tid) tracks.")
+  in
+  Cmd.v
+    (Cmd.info "trace-validate"
+       ~doc:"Check that a --trace file is well-formed Chrome trace JSON")
+    Term.(const run $ file_arg $ expect_arg $ min_tracks_arg)
 
 (* Fault injection (tests and `make fault-smoke` only): inert unless the
    HLS_FAULTS environment variable is set. *)
@@ -503,6 +621,7 @@ let main =
   let doc = "operation-fragmentation presynthesis optimization for HLS" in
   Cmd.group (Cmd.info "hlsopt" ~version:"1.0.0" ~doc)
     [ parse_cmd; optimize_cmd; schedule_cmd; report_cmd; explore_cmd;
-      emit_vhdl_cmd; emit_verilog_cmd; simulate_cmd; list_cmd ]
+      emit_vhdl_cmd; emit_verilog_cmd; simulate_cmd; list_cmd;
+      trace_validate_cmd ]
 
 let () = exit (Cmd.eval main)

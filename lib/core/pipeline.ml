@@ -15,6 +15,10 @@
 module Graph = Hls_dfg.Graph
 module Datapath = Hls_alloc.Datapath
 
+(* Phase spans of the optimized flow; inert (one branch) unless a
+   measuring run armed the telemetry sink. *)
+let span name f = Hls_telemetry.with_span ~cat:"pipeline" name f
+
 (* Teach the shared taxonomy this stack's permanent faults: a fragment
    plan whose budget cannot cover the critical path (Mobility's witnessed
    infeasibility) and a fragment schedule with no legal placement.  Both
@@ -91,8 +95,9 @@ type optimized_result = {
     graph (not on latency, policy or library), which is what makes it
     worth memoizing across a design-space sweep. *)
 let prepare_kernel ?(cleanup = false) graph =
-  let kernel = Hls_kernel.Extract.run graph in
-  if cleanup then Hls_opt.Normalize.run kernel else kernel
+  span "kernel" (fun () ->
+      let kernel = Hls_kernel.Extract.run graph in
+      if cleanup then Hls_opt.Normalize.run kernel else kernel)
 
 type prepared = {
   p_kernel : Graph.t;  (** graph after operative kernel extraction *)
@@ -105,8 +110,9 @@ type prepared = {
 (** Extend an already extracted kernel with its dependency net and arrival
     analysis, both latency-independent. *)
 let prepared_of_kernel kernel =
-  let net = Hls_timing.Bitnet.build kernel in
-  { p_kernel = kernel; p_net = net; p_arrival = Hls_timing.Arrival.of_net net }
+  let net = span "bitnet" (fun () -> Hls_timing.Bitnet.build kernel) in
+  let arrival = span "arrival" (fun () -> Hls_timing.Arrival.of_net net) in
+  { p_kernel = kernel; p_net = net; p_arrival = arrival }
 
 (** Kernel extraction plus the latency-independent timing prework. *)
 let prepare ?cleanup graph = prepared_of_kernel (prepare_kernel ?cleanup graph)
@@ -117,12 +123,21 @@ let prepare ?cleanup graph = prepared_of_kernel (prepare_kernel ?cleanup graph)
     reused, so a latency sweep pays for them once. *)
 let optimized_of_prepared ?(lib = Hls_techlib.default) ?policy ?balance p
     ~latency =
-  let transformed =
-    Hls_fragment.Transform.run ?policy ~net:p.p_net ~arrival:p.p_arrival
-      p.p_kernel ~latency
+  (* Transform.run = Mobility.compute + Transform.apply; split here so the
+     two phases span separately. *)
+  let plan =
+    span "mobility" (fun () ->
+        Hls_fragment.Mobility.compute ?policy ~net:p.p_net
+          ~arrival:p.p_arrival p.p_kernel ~latency)
   in
-  let schedule = Hls_sched.Frag_sched.schedule ?balance transformed in
-  let dp = Hls_alloc.Bind_frag.bind schedule in
+  let transformed =
+    span "fragment" (fun () -> Hls_fragment.Transform.apply p.p_kernel plan)
+  in
+  let schedule =
+    span "schedule" (fun () ->
+        Hls_sched.Frag_sched.schedule ?balance transformed)
+  in
+  let dp = span "bind" (fun () -> Hls_alloc.Bind_frag.bind schedule) in
   {
     opt_report =
       report ~flow:"optimized" ~lib

@@ -271,14 +271,22 @@ let create ?path () =
       (* A corrupt store must not kill a sweep: load what parses, count
          the damage (see [load_warnings]), recompute the rest. *)
       if Sys.file_exists p then load_store t p;
-      replay_wal t p
+      replay_wal t p;
+      if t.recovered > 0 then
+        Hls_telemetry.count ~n:t.recovered "cache.recovered"
   | None -> ());
   t
 
 let find t k =
   match Hashtbl.find_opt t.entries k with
-  | Some m -> t.hits <- t.hits + 1; Some m
-  | None -> t.misses <- t.misses + 1; None
+  | Some m ->
+      t.hits <- t.hits + 1;
+      Hls_telemetry.count "cache.hit";
+      Some m
+  | None ->
+      t.misses <- t.misses + 1;
+      Hls_telemetry.count "cache.miss";
+      None
 
 let mem t k = Hashtbl.mem t.entries k
 
@@ -312,6 +320,7 @@ let journal t =
   | None -> t.pending <- []
   | Some path ->
       if t.pending <> [] then begin
+        Hls_telemetry.count ~n:(List.length t.pending) "cache.wal_append";
         let oc =
           open_out_gen
             [ Open_append; Open_creat; Open_binary ]

@@ -21,6 +21,10 @@ type point = {
       (** the fragmented flow failed here; metrics are the direct
           (conventional) flow's instead of nothing *)
   attempts : int;  (** pool attempts consumed; 0 for a cache hit *)
+  wall_s : float;
+      (** seconds actually computing this point, summed over every
+          attempt (and the degraded fallback, when taken); 0 for a cache
+          hit *)
 }
 
 type failure = {
@@ -33,15 +37,26 @@ type failure = {
 type t = {
   graph_name : string;
   digest : string;
-  points : point list;  (** successful sweep points, in job order *)
-  failures : failure list;
+  points : point list;
+      (** successful sweep points, stably sorted on the full job key *)
+  failures : failure list;  (** same order *)
   frontier : point list;  (** Pareto-optimal subset of [points] *)
   rounds : int;  (** 1 + executed feedback refinements *)
   wall_s : float;
   cache_hits : int;
   cache_misses : int;
   recovered : int;  (** cache entries replayed from the journal *)
+  phases : (string * int * float) list;
+      (** per-phase (name, calls, total seconds) from the telemetry span
+          totals accumulated during this run; empty when the sink was not
+          armed *)
 }
+
+(** Pool attempts beyond each point's first (the sweep's retry bill). *)
+let extra_attempts t =
+  let extra n = max 0 (n - 1) in
+  List.fold_left (fun acc p -> acc + extra p.attempts) 0 t.points
+  + List.fold_left (fun acc f -> acc + extra f.f_attempts) 0 t.failures
 
 let objectives p =
   {
@@ -83,16 +98,27 @@ let run_round ~cache ~digest ~graph ~kernels ~workers ~timeout_s ~retry
         match hit with None -> Some (job, key) | Some _ -> None)
       lookups
   in
+  (* Per-miss compute seconds, accumulated across retries.  Each slot is
+     written by whichever worker domain runs the job and read only after
+     [run_retry] returns (its joins are the happens-before edge); a
+     timed-out job's abandoned domain may still add to its slot, but that
+     slot only feeds a failure report, never a point. *)
+  let times = Array.make (max 1 (List.length misses)) 0. in
   let thunks =
-    List.map
-      (fun ((job : Space.job), _key) () ->
-        let prepared = List.assoc job.Space.cleanup kernels in
-        let r =
-          Pipeline.optimized_of_prepared ~lib:job.Space.lib
-            ~policy:job.Space.policy ~balance:job.Space.balance prepared
-            ~latency:job.Space.latency
-        in
-        Cache.metrics_of_report r.Pipeline.opt_report)
+    List.mapi
+      (fun i ((job : Space.job), _key) () ->
+        let t0 = Unix.gettimeofday () in
+        Fun.protect
+          ~finally:(fun () ->
+            times.(i) <- times.(i) +. (Unix.gettimeofday () -. t0))
+          (fun () ->
+            let prepared = List.assoc job.Space.cleanup kernels in
+            let r =
+              Pipeline.optimized_of_prepared ~lib:job.Space.lib
+                ~policy:job.Space.policy ~balance:job.Space.balance prepared
+                ~latency:job.Space.latency
+            in
+            Cache.metrics_of_report r.Pipeline.opt_report))
       misses
   in
   let outcomes = Pool.run_retry ?workers ?timeout_s ~retry (Array.of_list thunks) in
@@ -102,24 +128,24 @@ let run_round ~cache ~digest ~graph ~kernels ~workers ~timeout_s ~retry
       (match outcomes.(i) with
       | Pool.Done m, _ -> Cache.add cache key m
       | (Pool.Failed _ | Pool.Timed_out _), _ -> ());
-      Hashtbl.replace computed (Space.job_key job) outcomes.(i))
+      Hashtbl.replace computed (Space.job_key job) (outcomes.(i), times.(i)))
     misses;
   List.fold_left
     (fun (points, failures) (job, _key, hit) ->
       match hit with
       | Some m ->
           ( { job; metrics = m; from_cache = true; degraded = false;
-              attempts = 0 }
+              attempts = 0; wall_s = 0. }
             :: points,
             failures )
       | None -> (
           match Hashtbl.find computed (Space.job_key job) with
-          | Pool.Done m, attempts ->
+          | (Pool.Done m, attempts), wall ->
               ( { job; metrics = m; from_cache = false; degraded = false;
-                  attempts }
+                  attempts; wall_s = wall }
                 :: points,
                 failures )
-          | outcome, attempts -> (
+          | (outcome, attempts), wall -> (
               let f_class = Option.get (Pool.failure_of_outcome outcome) in
               let fail () =
                 ( points,
@@ -133,10 +159,12 @@ let run_round ~cache ~digest ~graph ~kernels ~workers ~timeout_s ~retry
               in
               if not degrade then fail ()
               else
+                let t0 = Unix.gettimeofday () in
                 match degrade_point ~graph job with
                 | Some m ->
                     ( { job; metrics = m; from_cache = false; degraded = true;
-                        attempts }
+                        attempts;
+                        wall_s = wall +. (Unix.gettimeofday () -. t0) }
                       :: points,
                       failures )
                 | None -> fail ())))
@@ -161,10 +189,42 @@ let refinement_candidates ~attempted frontier =
   |> List.sort_uniq (fun a b ->
          compare (Space.job_key a) (Space.job_key b))
 
+(* Canonical phase presentation order: pipeline stages in flow order,
+   then the pool's per-job span, then anything else alphabetically. *)
+let phase_rank =
+  let canon =
+    [ "kernel"; "bitnet"; "arrival"; "mobility"; "fragment"; "schedule";
+      "bind"; "netlist"; "job" ]
+  in
+  fun name ->
+    let rec go i = function
+      | [] -> i
+      | c :: rest -> if String.equal c name then i else go (i + 1) rest
+    in
+    go 0 canon
+
+(* Span totals accumulated during this run = totals at the end minus the
+   snapshot taken at the start (the sink is global and never cleared
+   mid-run). *)
+let phase_delta before after =
+  List.filter_map
+    (fun (name, (calls, secs)) ->
+      let calls0, secs0 =
+        match List.assoc_opt name before with
+        | Some c_s -> c_s
+        | None -> (0, 0.)
+      in
+      if calls > calls0 then Some (name, calls - calls0, secs -. secs0)
+      else None)
+    after
+  |> List.sort (fun (a, _, _) (b, _, _) ->
+         compare (phase_rank a, a) (phase_rank b, b))
+
 let run ?workers ?timeout_s ?cache ?(feedback = 0)
     ?(retry = Pool.Retry_policy.none) ?(degrade = false) graph
     (space : Space.t) =
   let t0 = Unix.gettimeofday () in
+  let spans0 = Hls_telemetry.span_totals () in
   let cache = match cache with Some c -> c | None -> Cache.create () in
   let digest = Cache.graph_digest graph in
   let kernels =
@@ -208,17 +268,32 @@ let run ?workers ?timeout_s ?cache ?(feedback = 0)
     end
   done;
   Cache.flush cache;
+  (* Stable sort on the full parameter tuple: the report reads the same
+     whatever the round structure (feedback refinements append out of
+     latency order) or worker count. *)
+  let points =
+    List.stable_sort (fun a b -> Space.compare_job a.job b.job) !points
+  in
+  let failures =
+    List.stable_sort (fun a b -> Space.compare_job a.f_job b.f_job) !failures
+  in
+  let phases =
+    if Hls_telemetry.armed () then
+      phase_delta spans0 (Hls_telemetry.span_totals ())
+    else []
+  in
   {
     graph_name = Hls_dfg.Graph.name graph;
     digest;
-    points = !points;
-    failures = !failures;
-    frontier = compute_frontier !points;
+    points;
+    failures;
+    frontier = compute_frontier points;
     rounds = !rounds;
     wall_s = Unix.gettimeofday () -. t0;
     cache_hits = Cache.hits cache;
     cache_misses = Cache.misses cache;
     recovered = Cache.recovered cache;
+    phases;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -242,6 +317,7 @@ let point_to_json p =
       ("from_cache", Dse_json.Bool p.from_cache);
       ("degraded", Dse_json.Bool p.degraded);
       ("attempts", Dse_json.Int p.attempts);
+      ("wall_s", Dse_json.Float p.wall_s);
     ]
 
 let to_json t =
@@ -272,6 +348,22 @@ let to_json t =
                  ])
              t.failures) );
       ("frontier", Dse_json.List (List.map point_to_json t.frontier));
+      ( "telemetry",
+        Dse_json.Obj
+          [
+            ("extra_attempts", Dse_json.Int (extra_attempts t));
+            ( "phases",
+              Dse_json.List
+                (List.map
+                   (fun (name, calls, secs) ->
+                     Dse_json.Obj
+                       [
+                         ("name", Dse_json.String name);
+                         ("calls", Dse_json.Int calls);
+                         ("total_s", Dse_json.Float secs);
+                       ])
+                   t.phases) );
+          ] );
     ]
 
 let pp ppf t =
@@ -293,6 +385,7 @@ let pp ppf t =
       Printf.sprintf "%.2f" m.Cache.m_execution_ns;
       string_of_int m.Cache.m_total_gates;
       string_of_int m.Cache.m_fragment_count;
+      Printf.sprintf "%.1f" (p.wall_s *. 1e3);
       (if p.degraded then "degraded"
        else if p.from_cache then "cache"
        else "run");
@@ -319,7 +412,7 @@ let pp ppf t =
        ~header:
          [
            "lat"; "policy"; "lib"; "sched"; "clean"; "cycle/ns"; "exec/ns";
-           "gates"; "frags"; "src"; "try"; "pareto";
+           "gates"; "frags"; "ms"; "src"; "try"; "pareto";
          ]
        (List.map row t.points));
   List.iter
@@ -336,4 +429,23 @@ let pp ppf t =
     (fun p ->
       Format.fprintf ppf "  %s -> %a@." (Space.job_key p.job)
         Pareto.pp_objectives (objectives p))
-    t.frontier
+    t.frontier;
+  let extra = extra_attempts t in
+  if extra > 0 then
+    Format.fprintf ppf "@.retries: %d extra attempt%s@." extra
+      (if extra = 1 then "" else "s");
+  if t.phases <> [] then begin
+    Format.fprintf ppf "@.phase breakdown:@.";
+    Format.pp_print_string ppf
+      (Hls_util.Pretty.render_table
+         ~header:[ "phase"; "calls"; "total/ms"; "mean/us" ]
+         (List.map
+            (fun (name, calls, secs) ->
+              [
+                name;
+                string_of_int calls;
+                Printf.sprintf "%.2f" (secs *. 1e3);
+                Printf.sprintf "%.1f" (secs /. float_of_int calls *. 1e6);
+              ])
+            t.phases))
+  end

@@ -23,6 +23,10 @@ type point = {
       (** the fragmented flow failed here; metrics are the direct
           (conventional) flow's instead of nothing *)
   attempts : int;  (** pool attempts consumed; 0 for a cache hit *)
+  wall_s : float;
+      (** seconds actually computing this point, summed over every
+          attempt (and the degraded fallback, when taken); 0 for a cache
+          hit *)
 }
 
 type failure = {
@@ -35,15 +39,25 @@ type failure = {
 type t = {
   graph_name : string;
   digest : string;
-  points : point list;  (** successful sweep points, in job order *)
-  failures : failure list;
+  points : point list;
+      (** successful sweep points, stably sorted on the full job key
+          ({!Space.compare_job}) so reports are reproducible whatever the
+          round structure or worker count *)
+  failures : failure list;  (** same order *)
   frontier : point list;  (** Pareto-optimal subset of [points] *)
   rounds : int;  (** 1 + executed feedback refinements *)
   wall_s : float;
   cache_hits : int;
   cache_misses : int;
   recovered : int;  (** cache entries replayed from the journal *)
+  phases : (string * int * float) list;
+      (** per-phase (name, calls, total seconds) from the telemetry span
+          totals accumulated during this run, in pipeline-flow order;
+          empty when {!Hls_telemetry} was not armed *)
 }
+
+(** Pool attempts beyond each point's first — the sweep's retry bill. *)
+val extra_attempts : t -> int
 
 val objectives : point -> Pareto.objectives
 

@@ -28,10 +28,19 @@
    the deadline strategy, even for a single job. *)
 
 module Failure = Hls_util.Failure
+module Tm = Hls_telemetry
 
 type 'a outcome = Done of 'a | Failed of Failure.t | Timed_out of float
 
 let default_workers () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+(* Wrap one job in a telemetry span carrying its stable index.  The
+   armed check is hoisted out of [with_span] so the disabled path pays a
+   single branch — no attribute list is ever allocated. *)
+let traced_job i job =
+  if Tm.armed () then
+    Tm.with_span ~cat:"pool" ~attrs:[ ("job", Tm.Int i) ] "job" job
+  else job ()
 
 type 'a flight = {
   idx : int;
@@ -44,7 +53,7 @@ let run_serial jobs results =
   Array.iteri
     (fun i job ->
       results.(i) <-
-        (match job () with
+        (match traced_job i job with
         | v -> Done v
         | exception e -> Failed (Failure.classify_exn e)))
     jobs
@@ -52,21 +61,44 @@ let run_serial jobs results =
 let run_pooled ~workers jobs results =
   let n = Array.length jobs in
   let next = Atomic.make 0 in
-  let worker () =
+  let nworkers = min workers n in
+  (* Per-worker busy seconds, written only by worker [w] and read after
+     the joins; feeds the pool.utilization gauge. *)
+  let busy = Array.make nworkers 0. in
+  let worker w () =
+    if Tm.armed () then Tm.name_track (Printf.sprintf "worker %d" w);
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        results.(i) <-
-          (match jobs.(i) () with
-          | v -> Done v
-          | exception e -> Failed (Failure.classify_exn e));
+        if Tm.armed () then begin
+          Tm.gauge "pool.queue_depth" (float_of_int (max 0 (n - i - 1)));
+          let t0 = Unix.gettimeofday () in
+          results.(i) <-
+            (match traced_job i jobs.(i) with
+            | v -> Done v
+            | exception e -> Failed (Failure.classify_exn e));
+          busy.(w) <- busy.(w) +. (Unix.gettimeofday () -. t0)
+        end
+        else
+          results.(i) <-
+            (match jobs.(i) () with
+            | v -> Done v
+            | exception e -> Failed (Failure.classify_exn e));
         loop ()
       end
     in
     loop ()
   in
-  let domains = List.init (min workers n) (fun _ -> Domain.spawn worker) in
-  List.iter Domain.join domains
+  let t0 = Unix.gettimeofday () in
+  let domains = List.init nworkers (fun w -> Domain.spawn (worker w)) in
+  List.iter Domain.join domains;
+  if Tm.armed () then begin
+    let wall = Unix.gettimeofday () -. t0 in
+    Tm.gauge "pool.workers" (float_of_int nworkers);
+    if wall > 0. then
+      Tm.gauge "pool.utilization"
+        (Array.fold_left ( +. ) 0. busy /. (wall *. float_of_int nworkers))
+  end
 
 let run_with_deadline ~workers ~timeout_s jobs results =
   let n = Array.length jobs in
@@ -79,8 +111,10 @@ let run_with_deadline ~workers ~timeout_s jobs results =
     let cell = Atomic.make None in
     let domain =
       Domain.spawn (fun () ->
+          if Tm.armed () then
+            Tm.name_track (Printf.sprintf "job %d (deadline)" i);
           let r =
-            match jobs.(i) () with
+            match traced_job i jobs.(i) with
             | v -> Ok v
             | exception e -> Error (Failure.classify_exn e)
           in
@@ -88,12 +122,17 @@ let run_with_deadline ~workers ~timeout_s jobs results =
     in
     { idx = i; cell; domain; started = Unix.gettimeofday () }
   in
+  let note_in_flight () =
+    if Tm.armed () then
+      Tm.gauge "pool.in_flight" (float_of_int !in_flight_count)
+  in
   while !next < n || !in_flight <> [] do
     while !next < n && !in_flight_count < workers do
       in_flight := spawn !next :: !in_flight;
       incr in_flight_count;
       incr next
     done;
+    note_in_flight ();
     let now = Unix.gettimeofday () in
     in_flight :=
       List.filter
@@ -244,6 +283,16 @@ let run_retry ?workers ?timeout_s ?(retry = Retry_policy.none) jobs =
             Float.max acc (Retry_policy.delay_s retry ~attempt:!round ~job:i))
           0. !pending
       in
+      if Tm.armed () then begin
+        Tm.count ~n:(List.length !pending) "pool.retries";
+        Tm.event "retry-round"
+          ~attrs:
+            [
+              ("round", Tm.Int !round);
+              ("pending", Tm.Int (List.length !pending));
+              ("backoff_s", Tm.Float delay);
+            ]
+      end;
       if delay > 0. then Unix.sleepf delay
     end
   done;

@@ -74,6 +74,14 @@ let job_key j =
   Printf.sprintf "lat=%d policy=%s lib=%s balance=%b cleanup=%b" j.latency
     (policy_name j.policy) j.lib_name j.balance j.cleanup
 
+(* Total order over the full parameter tuple (latency numerically first,
+   then the remaining axes); the stable sort key that makes sweep reports
+   reproducible whatever the round structure or worker count. *)
+let compare_job a b =
+  compare
+    (a.latency, policy_name a.policy, a.lib_name, a.balance, a.cleanup)
+    (b.latency, policy_name b.policy, b.lib_name, b.balance, b.cleanup)
+
 (* Latency-axis specifications: "4", "2:6", "2:10:2", "3,5,7". *)
 let parse_latencies spec =
   let int_of s =

@@ -46,6 +46,12 @@ val lib_of_name : string -> Hls_techlib.t option
     the cache key (mentions every axis). *)
 val job_key : job -> string
 
+(** Total order over the full parameter tuple (latency numerically,
+    then policy, library, balance, cleanup): the stable sort key that
+    makes sweep reports reproducible across round structures and worker
+    counts. *)
+val compare_job : job -> job -> int
+
 (** Latency-axis specifications: ["4"], ["2:6"], ["2:10:2"], ["3,5,7"]. *)
 val parse_latencies : string -> (int list, string) result
 

@@ -400,6 +400,11 @@ let elaborate (s : Frag_sched.t) =
     g.Graph.outputs;
   nl
 
+(* The "netlist" phase span of the synthesis flow (inert unless a
+   measuring run armed telemetry). *)
+let elaborate s =
+  Hls_telemetry.with_span ~cat:"pipeline" "netlist" (fun () -> elaborate s)
+
 (** Elaborate and run one sample through the gate-level netlist. *)
 let run s ~inputs =
   let nl = elaborate s in

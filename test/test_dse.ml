@@ -211,10 +211,17 @@ let test_explore_matches_serial () =
         (r.Explore.frontier <> []);
       (* The JSON rendering — what `hlsopt explore --json` prints — is
          byte-identical across worker counts. *)
-      let strip_wall j =
+      (* Wall times (sweep- and per-point) are the only nondeterministic
+         fields, so strip them everywhere in the tree. *)
+      let rec strip_wall j =
         match j with
         | Json.Obj fields ->
-            Json.Obj (List.filter (fun (k, _) -> k <> "wall_s") fields)
+            Json.Obj
+              (List.filter_map
+                 (fun (k, v) ->
+                   if k = "wall_s" then None else Some (k, strip_wall v))
+                 fields)
+        | Json.List l -> Json.List (List.map strip_wall l)
         | j -> j
       in
       Alcotest.(check string) (tag ^ " json deterministic")

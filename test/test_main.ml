@@ -27,4 +27,5 @@ let () =
       ("dse", Test_dse.suite);
       ("dse_faults", Test_dse_faults.suite);
       ("bitnet", Test_bitnet.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
