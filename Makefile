@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke examples explore-smoke fault-smoke trace-smoke check clean
+.PHONY: all build test bench bench-smoke examples explore-smoke fault-smoke trace-smoke serve-smoke check clean
 
 all: build
 
@@ -70,7 +70,57 @@ trace-smoke:
 	  || { echo "trace-smoke: emit trace failed validation"; exit 1; }; \
 	echo "trace-smoke: ok (traces parse, phase spans and worker tracks present)"
 
-check: build test explore-smoke bench-smoke fault-smoke trace-smoke
+# Server smoke: the daemon must be indistinguishable from the one-shot
+# CLI, under load, and die cleanly.
+#  1. 4 concurrent clients x 25 mixed requests each over --connect,
+#     byte-compared against the same commands run one-shot.
+#  2. A pipelined burst against a 1-deep admission queue must shed with
+#     "overloaded" responses instead of queueing without bound.
+#  3. SIGTERM drains in-flight work and removes the socket before exit.
+serve-smoke:
+	@dune build bin/hlsopt.exe; \
+	hlsopt=_build/default/bin/hlsopt.exe; \
+	dir=$$(mktemp -d); trap 'rm -rf '$$dir EXIT; \
+	run_mix() { \
+	  for i in 1 2 3 4 5; do \
+	    $$hlsopt report --builtin chain3 --latency 3 "$$@"; \
+	    $$hlsopt parse --builtin fir2 "$$@"; \
+	    $$hlsopt schedule --builtin chain3 --latency 3 "$$@"; \
+	    $$hlsopt emit-verilog --builtin chain3 --latency 3 "$$@"; \
+	    $$hlsopt report --builtin fir2 --latency 4 "$$@"; \
+	  done; \
+	}; \
+	run_mix > $$dir/oneshot.txt || { echo "serve-smoke: one-shot CLI failed"; exit 1; }; \
+	$$hlsopt serve --socket $$dir/s.sock --queue 64 --jobs 2 2>$$dir/serve.log & pid=$$!; \
+	for i in $$(seq 50); do test -S $$dir/s.sock && break; sleep 0.1; done; \
+	test -S $$dir/s.sock || { echo "serve-smoke: daemon never bound its socket"; exit 1; }; \
+	cpids=""; \
+	for c in 1 2 3 4; do \
+	  ( run_mix --connect $$dir/s.sock > $$dir/client$$c.txt ) & cpids="$$cpids $$!"; \
+	done; wait $$cpids; \
+	for c in 1 2 3 4; do \
+	  cmp -s $$dir/oneshot.txt $$dir/client$$c.txt \
+	    || { echo "serve-smoke: client $$c output differs from one-shot CLI"; \
+	         diff $$dir/oneshot.txt $$dir/client$$c.txt | head; kill $$pid; exit 1; }; \
+	done; \
+	kill -TERM $$pid; wait $$pid; st=$$?; \
+	test $$st -eq 0 || { echo "serve-smoke: daemon exited $$st on SIGTERM"; exit 1; }; \
+	grep -q 'drained, exiting' $$dir/serve.log || { echo "serve-smoke: no drain message"; cat $$dir/serve.log; exit 1; }; \
+	test ! -e $$dir/s.sock || { echo "serve-smoke: socket file left behind"; exit 1; }; \
+	$$hlsopt serve --socket $$dir/q.sock --queue 1 2>/dev/null & qpid=$$!; \
+	for i in $$(seq 50); do test -S $$dir/q.sock && break; sleep 0.1; done; \
+	req='{"v":1,"id":"b","method":"report","params":{"spec":{"builtin":"elliptic"},"latency":6}}'; \
+	for i in $$(seq 16); do echo "$$req"; done \
+	  | $$hlsopt call --connect $$dir/q.sock --burst > $$dir/burst.txt \
+	  || { echo "serve-smoke: burst call failed"; kill $$qpid; exit 1; }; \
+	kill -TERM $$qpid; wait $$qpid; \
+	grep -q '"class":"overloaded"' $$dir/burst.txt \
+	  || { echo "serve-smoke: 1-deep queue never shed under a 16-request burst"; exit 1; }; \
+	grep -q '"ok":true' $$dir/burst.txt \
+	  || { echo "serve-smoke: burst shed everything, nothing admitted"; exit 1; }; \
+	echo "serve-smoke: ok (byte-identical under concurrency, bounded queue sheds, SIGTERM drains)"
+
+check: build test explore-smoke bench-smoke fault-smoke trace-smoke serve-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -13,6 +13,20 @@
                                            # tiny-quota smoke run *)
 
 module P = Hls_core.Pipeline
+
+(* The deprecated [P.optimized] wrapper collapsed into [Pipeline.run];
+   unwrap the result the way the old entry point did. *)
+let optimized ?lib ?policy ?balance ?cleanup g ~latency =
+  match
+    P.run_graph (P.make_config ?lib ?policy ?balance ?cleanup ()) g ~latency
+  with
+  | Ok r -> r
+  | Error f -> raise (Hls_util.Failure.Flow_failure f)
+
+let optimized_of_prepared ?lib ?policy ?balance p ~latency =
+  match P.run (P.make_config ?lib ?policy ?balance ()) p ~latency with
+  | Ok r -> r
+  | Error f -> raise (Hls_util.Failure.Flow_failure f)
 module E = Hls_core.Experiments
 module Datapath = Hls_alloc.Datapath
 module Pretty = Hls_util.Pretty
@@ -39,7 +53,7 @@ let fig1_fig2 () =
   Printf.printf
     "Fig. 1d (BLC): all three additions in 1 cycle of %d delta (paper: 18)\n"
     (Hls_sched.Blc_sched.used_delta blc);
-  let opt = P.optimized g ~latency:3 in
+  let opt = optimized g ~latency:3 in
   Printf.printf "Fig. 2b (optimized): cycle = %d delta (paper: 6); schedule:\n"
     (Hls_sched.Frag_sched.used_delta opt.P.schedule);
   for cycle = 1 to 3 do
@@ -244,7 +258,7 @@ let ablations () =
   let policy_row name g latency =
     List.map
       (fun (tag, policy) ->
-        match P.optimized ~policy g ~latency with
+        match optimized ~policy g ~latency with
         | opt ->
             let r = opt.P.opt_report in
             [
@@ -256,7 +270,7 @@ let ablations () =
                 (Datapath.datapath_gates Hls_techlib.default r.P.datapath);
               string_of_int r.P.area.Datapath.controller_gates;
             ]
-        | exception Hls_sched.Frag_sched.Infeasible m ->
+        | exception Hls_util.Failure.Flow_failure (Hls_util.Failure.Infeasible m) ->
             [ name; tag; string_of_int latency; "-"; "infeasible"; m; "" ])
       [ ("full", `Full); ("coalesced", `Coalesced) ]
   in
@@ -271,7 +285,7 @@ let ablations () =
   let balance_row name g latency =
     List.map
       (fun (tag, balance) ->
-        let opt = P.optimized ~balance g ~latency in
+        let opt = optimized ~balance g ~latency in
         let r = opt.P.opt_report in
         [
           name; tag;
@@ -312,11 +326,11 @@ let ablations () =
        [ "bit-level chaining"; "1";
          Printf.sprintf "%d delta" (Hls_sched.Blc_sched.used_delta t);
          Printf.sprintf "%d delta" (Hls_sched.Blc_sched.used_delta t) ]);
-      (let opt = P.optimized g ~latency:3 in
+      (let opt = optimized g ~latency:3 in
        [ "fragmented (this paper)"; "3";
          Printf.sprintf "%d delta" opt.P.opt_report.P.cycle_delta;
          Printf.sprintf "%d delta" (3 * opt.P.opt_report.P.cycle_delta) ]);
-      (let opt = P.optimized g ~latency:6 in
+      (let opt = optimized g ~latency:6 in
        [ "fragmented (this paper)"; "6";
          Printf.sprintf "%d delta" opt.P.opt_report.P.cycle_delta;
          Printf.sprintf "%d delta" (6 * opt.P.opt_report.P.cycle_delta) ]);
@@ -335,7 +349,7 @@ let ablations () =
   let sched = Hls_sched.List_sched.schedule g ~latency:3 in
   let conv = P.conventional g ~latency:3 in
   let sweep = Hls_sched.Pipeline_sched.sweep sched ~cycle_ns:conv.P.cycle_ns in
-  let opt = P.optimized g ~latency:3 in
+  let opt = optimized g ~latency:3 in
   let o = opt.P.opt_report in
   print_string
     (Pretty.render_table
@@ -374,8 +388,8 @@ let ablations () =
   section "Ablation — presynthesis cleanup (fold/CSE/DCE before phase 3)";
   List.iter
     (fun (name, g, latency) ->
-      let plain = P.optimized g ~latency in
-      let cleaned = P.optimized ~cleanup:true g ~latency in
+      let plain = optimized g ~latency in
+      let cleaned = optimized ~cleanup:true g ~latency in
       Printf.printf
         "%-10s λ=%-2d  kernel ops %3d -> %3d, fragments %3d -> %3d, dp %5d ->          %5d gates\n"
         name latency plain.P.opt_report.P.op_count
@@ -401,7 +415,7 @@ let ablations () =
     (fun (name, lib) ->
       let g = Hls_workloads.Motivational.chain3 () in
       let conv = P.conventional ~lib g ~latency:3 in
-      let opt = P.optimized ~lib g ~latency:3 in
+      let opt = optimized ~lib g ~latency:3 in
       Printf.printf
         "%-18s conventional %5.2f ns / %4d gates    optimized %5.2f ns / %4d          gates\n"
         name conv.P.cycle_ns conv.P.area.Datapath.total_gates
@@ -509,7 +523,7 @@ let speed () =
                  ops; mul_ratio = 10 }
              ~seed:2024 ()
          in
-         fun () -> ignore (P.optimized g ~latency:8)
+         fun () -> ignore (optimized g ~latency:8)
        in
        Test.make ~name:"stress_50_ops" (Staged.stage (stress 50)));
       (let g =
@@ -520,7 +534,7 @@ let speed () =
            ~seed:2025 ()
        in
        Test.make ~name:"stress_150_ops"
-         (Staged.stage (fun () -> ignore (P.optimized g ~latency:10))));
+         (Staged.stage (fun () -> ignore (optimized g ~latency:10))));
       (* Micro-benchmarks of the flow's phases on the largest benchmark. *)
       Test.make ~name:"phase1_kernel_extraction"
         (Staged.stage (fun () ->
@@ -554,6 +568,73 @@ let speed () =
       | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
       | _ -> Printf.printf "%-28s (no estimate)\n" name)
     results
+
+(* ------------------------------------------------------------------ *)
+(* The request/response surface: what the api layer costs on top of    *)
+(* calling the pipeline directly — codec round-trips and Exec dispatch *)
+(* with a warm prepared-prefix memo.                                   *)
+
+let api_bench () =
+  section "API layer overhead (codec round-trips, Exec dispatch)";
+  let open Bechamel in
+  let module Req = Hls_api.Request in
+  let module Resp = Hls_api.Response in
+  let report_req =
+    Req.Report
+      {
+        spec = Req.Builtin "elliptic";
+        latency = 6;
+        config = Req.default_config;
+        target_ns = None;
+      }
+  in
+  let req_line = Hls_dse.Dse_json.to_string (Req.to_json ~id:"1" report_req) in
+  let exec = Hls_api.Exec.create () in
+  let resp_line =
+    match Hls_api.Exec.run exec report_req with
+    | Ok p -> Resp.to_string (Resp.ok ~id:"1" p)
+    | Error e -> failwith (Resp.error_message e)
+  in
+  let tests =
+    [
+      Test.make ~name:"request_codec_roundtrip"
+        (Staged.stage (fun () ->
+             match Req.of_string req_line with
+             | Ok (id, r) -> ignore (Req.to_json ?id r)
+             | Error _ -> assert false));
+      Test.make ~name:"response_codec_roundtrip"
+        (Staged.stage (fun () ->
+             match Resp.of_string resp_line with
+             | Ok r -> ignore (Resp.to_string r)
+             | Error _ -> assert false));
+      Test.make ~name:"exec_report_warm_memo"
+        (Staged.stage (fun () -> ignore (Hls_api.Exec.run exec report_req)));
+      (let g = Hls_workloads.Benchmarks.elliptic () in
+       let p = P.prepare g in
+       Test.make ~name:"pipeline_run_direct"
+         (Staged.stage (fun () ->
+              ignore (P.run P.default_config p ~latency:6))));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"api" ~fmt:"%s %s" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-32s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-32s (no estimate)\n" name)
+    results;
+  Hls_api.Exec.close exec
 
 (* ------------------------------------------------------------------ *)
 (* Bit-level timing core: per-query Bitdep reference vs the packed     *)
@@ -663,7 +744,7 @@ let timing () =
               let p = P.prepare g in
               List.iter
                 (fun latency ->
-                  ignore (P.optimized_of_prepared p ~latency))
+                  ignore (optimized_of_prepared p ~latency))
                 latencies))
       workloads
   in
@@ -677,7 +758,7 @@ let timing () =
     let latencies = [ 4; 6; 8; 10; 12 ] in
     fun () ->
       let p = P.prepare g in
-      List.iter (fun latency -> ignore (P.optimized_of_prepared p ~latency))
+      List.iter (fun latency -> ignore (optimized_of_prepared p ~latency))
         latencies
   in
   let tests =
@@ -819,6 +900,7 @@ let () =
   | "dse" -> dse ()
   | "speed" -> speed ()
   | "timing" -> timing ()
+  | "api" -> api_bench ()
   | "fig1" | "fig2" -> fig1_fig2 ()
   | "table1" -> table1 ()
   | "fig3" | "fig3h" -> fig3 ()
@@ -831,6 +913,6 @@ let () =
   | other ->
       prerr_endline
         ("unknown experiment " ^ other
-       ^ " (try: all, tables, speed, timing, dse, fig1, table1, fig3, \
+       ^ " (try: all, tables, speed, timing, api, dse, fig1, table1, fig3, \
           table2, table3, fig4)");
       exit 1

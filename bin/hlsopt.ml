@@ -1,46 +1,79 @@
 (* hlsopt — command-line driver for the operation-fragmentation HLS flow.
 
+   Every data subcommand is a thin client of Hls_api: it builds an
+   Api.Request, executes it — in-process by default, or on a running
+   `hlsopt serve` daemon with --connect — and prints the payload through
+   Api.Render.  The CLI, the server and the tests therefore share one
+   code path per verb, and `hlsopt report X` output is byte-identical
+   whether it ran locally or over the socket.
+
    Subcommands:
-     parse      parse and validate a specification, print its statistics
-     optimize   run the presynthesis transformation, print the new spec
-     schedule   schedule with a chosen flow and print the cycle assignment
-     report     compare the conventional / BLC / optimized flows
-     explore    sweep the design space and print its Pareto frontier
-     emit-vhdl  print behavioural or RTL VHDL
-     list       list the built-in workloads
+     parse       parse and validate a specification, print its statistics
+     optimize    run the presynthesis transformation, print the new spec
+     schedule    schedule with a chosen flow and print the cycle assignment
+     report      compare the conventional / BLC / optimized flows
+     explore     sweep the design space and print its Pareto frontier
+     emit-vhdl   print behavioural or RTL VHDL
+     emit-verilog  print the gate-level netlist as structural Verilog
+     simulate    run one random vector through the gate-level netlist
+     serve       run the request daemon (Unix-domain socket or --stdio)
+     call        raw NDJSON passthrough to a daemon
+     list        list the built-in workloads
      trace-validate  structural checks over a --trace JSON file
 
-   Every subcommand also takes --trace FILE (Chrome trace-event JSON of
-   the run) and --metrics (span/counter summary on stderr). *)
+   Exit codes (documented in docs/API.md): 0 success, 2 usage error,
+   3 infeasible design point, 4 timeout, 5 resource exhaustion,
+   6 server overloaded, 7 internal fault. *)
 
-module P = Hls_core.Pipeline
-module Graph = Hls_dfg.Graph
+module Api = Hls_api
+module Req = Hls_api.Request
+module Resp = Hls_api.Response
 
-let load ~file ~builtin =
+let usage_die m =
+  prerr_endline ("hlsopt: " ^ m);
+  exit 2
+
+let or_die = function Ok v -> v | Error m -> usage_die m
+
+(* Build the request's spec: a file is read here and shipped as inline
+   source, so the same request works locally and against a daemon that
+   has no access to our filesystem. *)
+let spec_of ~file ~builtin =
   match (file, builtin) with
-  | Some path, None ->
-      let ic = open_in path in
-      let len = in_channel_length ic in
-      let src = really_input_string ic len in
-      close_in ic;
-      (match Hls_speclang.Elaborate.from_string_result src with
-      | Ok g -> Ok g
-      | Error m -> Error m)
-  | None, Some name -> (
-      match Hls_workloads.Registry.find name with
-      | Some g -> Ok g
-      | None ->
-          Error
-            (Printf.sprintf "unknown builtin %s (try: %s)" name
-               (String.concat ", " (Hls_workloads.Registry.names ()))))
-  | Some _, Some _ -> Error "give either a file or --builtin, not both"
-  | None, None -> Error "give a specification file or --builtin NAME"
+  | Some path, None -> (
+      match
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | src -> Req.Source src
+      | exception Sys_error m -> usage_die m)
+  | None, Some name -> Req.Builtin name
+  | Some _, Some _ -> usage_die "give either a file or --builtin, not both"
+  | None, None -> usage_die "give a specification file or --builtin NAME"
 
-let or_die = function
-  | Ok v -> v
-  | Error m ->
-      prerr_endline ("hlsopt: " ^ m);
-      exit 1
+(* Execute a request: in-process through Exec, or on a daemon.  Flow
+   errors exit through the taxonomy's code so scripts can tell an
+   impossible design point (3) from a tool fault (7). *)
+let payload_or_die ?cache connect req =
+  let result =
+    match connect with
+    | Some socket -> (
+        match Hls_server.Client.call ~socket req with
+        | Ok resp -> resp.Resp.result
+        | Error m -> usage_die ("connect: " ^ m))
+    | None ->
+        let exec = Api.Exec.create ?cache () in
+        Fun.protect
+          ~finally:(fun () -> Api.Exec.close exec)
+          (fun () -> Api.Exec.run exec req)
+  in
+  match result with
+  | Ok p -> p
+  | Error e ->
+      prerr_endline ("hlsopt: " ^ Resp.error_message e);
+      exit (Resp.exit_code e)
 
 open Cmdliner
 
@@ -61,11 +94,9 @@ let telemetry_term = Term.(const (fun t m -> (t, m)) $ trace_arg $ metrics_arg)
 (* Arm the sink per the flags, run the command, export on the way out.
    [arm_metrics] arms metric recording even without --metrics (explore
    needs span totals for its phase-breakdown footer) but prints the
-   summary only when asked.  A command that dies through [or_die] exits
-   without unwinding and so writes no trace — there is no run to look
-   at.  Exporting sits in the [Fun.protect] finaliser so a command that
-   *raises* still leaves its trace behind, which is exactly when one is
-   wanted. *)
+   summary only when asked.  Exporting sits in the [Fun.protect]
+   finaliser so a command that exits through the taxonomy still leaves
+   its trace behind, which is exactly when one is wanted. *)
 let with_telemetry ?(arm_metrics = false) (trace, metrics) f =
   if trace <> None || metrics || arm_metrics then begin
     Hls_telemetry.arm ~trace:(trace <> None) ~metrics:true ();
@@ -93,43 +124,34 @@ let latency_arg =
   Arg.(value & opt int 3 & info [ "latency"; "l" ] ~docv:"CYCLES"
          ~doc:"Target latency in clock cycles.")
 
-let print_graph_stats g =
-  Format.printf "graph %s: %d inputs, %d outputs, %d nodes (%d operations)@."
-    (Graph.name g)
-    (List.length g.Graph.inputs)
-    (List.length g.Graph.outputs)
-    (Graph.node_count g)
-    (Graph.behavioural_op_count g);
-  Format.printf "critical path: %d delta (chained 1-bit additions)@."
-    (Hls_timing.Critical_path.critical_delta (Hls_kernel.Extract.run g))
+let connect_arg =
+  Arg.(value & opt (some string) None
+       & info [ "connect" ] ~docv:"SOCK"
+           ~doc:"Execute on a running 'hlsopt serve' daemon at this \
+                 Unix-domain socket instead of in-process.")
 
 let parse_cmd =
-  let run tel file builtin =
+  let run tel connect file builtin =
     with_telemetry tel @@ fun () ->
-    let g = or_die (load ~file ~builtin) in
-    print_graph_stats g;
-    Format.printf "%a@." Graph.pp g
+    let req = Req.Parse { spec = spec_of ~file ~builtin } in
+    print_string (Api.Render.to_text (payload_or_die connect req))
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse and validate a specification")
-    Term.(const run $ telemetry_term $ file_arg $ builtin_arg)
+    Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg)
 
 let optimize_cmd =
-  let run tel file builtin latency vhdl =
+  let run tel connect file builtin latency vhdl =
     with_telemetry tel @@ fun () ->
-    let g = or_die (load ~file ~builtin) in
-    let kernel = Hls_kernel.Extract.run g in
-    let t = Hls_fragment.Transform.run kernel ~latency in
-    let tg = t.Hls_fragment.Transform.graph in
-    Format.printf "-- critical path %d delta, cycle %d delta, %d fragments@."
-      t.Hls_fragment.Transform.plan.Hls_fragment.Mobility.critical
-      t.Hls_fragment.Transform.plan.Hls_fragment.Mobility.n_bits
-      (Graph.behavioural_op_count tg);
-    if vhdl then print_string (Hls_speclang.Vhdl.emit tg)
-    else
-      match Hls_speclang.Emit.emit tg with
-      | src -> print_string src
-      | exception Hls_speclang.Emit.Unprintable _ ->
-          print_string (Hls_speclang.Vhdl.emit tg)
+    let req =
+      Req.Optimize
+        {
+          spec = spec_of ~file ~builtin;
+          latency;
+          config = Req.default_config;
+          vhdl;
+        }
+    in
+    print_string (Api.Render.to_text (payload_or_die connect req))
   in
   let vhdl_arg =
     Arg.(value & flag & info [ "vhdl" ] ~doc:"Emit VHDL instead of the \
@@ -138,85 +160,27 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Apply the presynthesis transformation and print the new spec")
-    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
-          $ vhdl_arg)
-
-(* ASCII Gantt: one row per original operation, columns are cycles. *)
-let print_gantt s latency =
-  let g = Hls_sched.Frag_sched.graph s in
-  let by_op = Hashtbl.create 16 in
-  Hls_dfg.Graph.iter_nodes
-    (fun n ->
-      match (n.Hls_dfg.Types.kind, n.Hls_dfg.Types.origin) with
-      | Hls_dfg.Types.Add, Some o ->
-          let key = o.Hls_dfg.Types.orig_op in
-          let cycles =
-            Option.value (Hashtbl.find_opt by_op key) ~default:[]
-          in
-          Hashtbl.replace by_op key
-            (s.Hls_sched.Frag_sched.cycle_of.(n.Hls_dfg.Types.id) :: cycles)
-      | _ -> ())
-    g;
-  let rows =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_op []
-    |> List.sort compare
-  in
-  let name_w =
-    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 4 rows
-  in
-  Format.printf "%-*s " name_w "op";
-  for c = 1 to latency do Format.printf "%2d " c done;
-  Format.printf "@.";
-  List.iter
-    (fun (k, cycles) ->
-      Format.printf "%-*s " name_w k;
-      for c = 1 to latency do
-        Format.printf " %s "
-          (if List.mem c cycles then "#" else ".")
-      done;
-      Format.printf "@.")
-    rows
+    Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
+          $ latency_arg $ vhdl_arg)
 
 let schedule_cmd =
-  let run tel file builtin latency flow =
+  let run tel connect file builtin latency flow =
     with_telemetry tel @@ fun () ->
-    let g = or_die (load ~file ~builtin) in
-    match flow with
-    | "optimized" ->
-        let opt = P.optimized g ~latency in
-        let s = opt.P.schedule in
-        for cycle = 1 to latency do
-          let adds = Hls_sched.Frag_sched.adds_in_cycle s cycle in
-          Format.printf "cycle %d: %s@." cycle
-            (String.concat ", "
-               (List.map (fun n -> n.Hls_dfg.Types.label) adds))
-        done;
-        List.iter
-          (fun (p : Hls_sched.Frag_sched.cycle_profile) ->
-            Format.printf
-              "cycle %d: chain %d delta, %d fragments, %d adder bits@."
-              p.Hls_sched.Frag_sched.cp_cycle p.cp_used_delta p.cp_fragments
-              p.cp_adder_bits)
-          (Hls_sched.Frag_sched.profile s);
-        Format.printf "achieved chain: %d delta@."
-          (Hls_sched.Frag_sched.used_delta s);
-        Format.printf "@.";
-        print_gantt s latency
-    | "conventional" ->
-        let t = Hls_sched.List_sched.schedule g ~latency in
-        for cycle = 1 to latency do
-          let ops = Hls_sched.List_sched.ops_in_cycle t cycle in
-          Format.printf "cycle %d: %s@." cycle
-            (String.concat ", "
-               (List.map (fun n -> n.Hls_dfg.Types.label) ops))
-        done;
-        Format.printf "cycle length: %d delta@." t.Hls_sched.List_sched.cycle_delta
-    | "blc" ->
-        let t = Hls_sched.Blc_sched.schedule g ~latency in
-        Format.printf "budget: %d delta@." t.Hls_sched.Blc_sched.cycle_delta
-    | other ->
-        prerr_endline ("unknown flow " ^ other);
-        exit 1
+    let flow =
+      match Req.flow_of_name flow with
+      | Some f -> f
+      | None -> usage_die ("unknown flow " ^ flow)
+    in
+    let req =
+      Req.Schedule
+        {
+          spec = spec_of ~file ~builtin;
+          latency;
+          flow;
+          config = Req.default_config;
+        }
+    in
+    print_string (Api.Render.to_text (payload_or_die connect req))
   in
   let flow_arg =
     Arg.(value & opt string "optimized"
@@ -224,36 +188,22 @@ let schedule_cmd =
              ~doc:"Flow: conventional, blc or optimized.")
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Schedule and print the cycle assignment")
-    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
-          $ flow_arg)
+    Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
+          $ latency_arg $ flow_arg)
 
 let report_cmd =
-  let run tel file builtin latency cleanup target_ns =
+  let run tel connect file builtin latency cleanup target_ns =
     with_telemetry tel @@ fun () ->
-    let g = or_die (load ~file ~builtin) in
-    print_graph_stats g;
-    let latency =
-      match target_ns with
-      | None -> latency
-      | Some ns -> (
-          match P.optimized_for_cycle g ~target_ns:ns with
-          | Some (l, _) ->
-              Format.printf "target %.2f ns -> latency %d@." ns l;
-              l
-          | None ->
-              prerr_endline "hlsopt: the period target is unreachable";
-              exit 1)
+    let req =
+      Req.Report
+        {
+          spec = spec_of ~file ~builtin;
+          latency;
+          config = { Req.default_config with cleanup };
+          target_ns;
+        }
     in
-    let conv = P.conventional g ~latency in
-    let opt = P.optimized ~cleanup g ~latency in
-    Format.printf "@.%a@.@.%a@." P.pp_report conv P.pp_report
-      opt.P.opt_report;
-    (match P.check_optimized_equivalence g opt with
-    | Ok () -> Format.printf "@.equivalence check: OK@."
-    | Error m -> Format.printf "@.equivalence check FAILED: %s@." m);
-    Format.printf "cycle saved: %.1f %%@."
-      (P.pct_saved ~original:conv.P.cycle_ns
-         ~optimized:opt.P.opt_report.P.cycle_ns)
+    print_string (Api.Render.to_text (payload_or_die connect req))
   in
   let cleanup_arg =
     Arg.(value & flag & info [ "cleanup" ]
@@ -262,29 +212,30 @@ let report_cmd =
   let target_arg =
     Arg.(value & opt (some float) None
          & info [ "target-ns" ] ~docv:"NS"
-             ~doc:"Pick the smallest latency meeting this clock period                    instead of --latency.")
+             ~doc:"Pick the smallest latency meeting this clock period \
+                   instead of --latency.")
   in
   Cmd.v (Cmd.info "report" ~doc:"Compare the conventional and optimized flows")
-    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
-          $ cleanup_arg $ target_arg)
+    Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
+          $ latency_arg $ cleanup_arg $ target_arg)
 
 let emit_vhdl_cmd =
-  let run tel file builtin latency rtl netlist =
+  let run tel connect file builtin latency rtl netlist =
     with_telemetry tel @@ fun () ->
-    let g = or_die (load ~file ~builtin) in
-    if netlist then begin
-      let opt = P.optimized g ~latency in
-      let nl = Hls_rtl.Elaborate_netlist.elaborate opt.P.schedule in
-      print_string
-        (Hls_rtl.Vhdl_netlist.emit
-           ~name:(Hls_speclang.Names.sanitize (Graph.name g))
-           nl)
-    end
-    else if rtl then begin
-      let opt = P.optimized g ~latency in
-      print_string (Hls_rtl.Rtl_vhdl.emit opt.P.schedule)
-    end
-    else print_string (Hls_speclang.Vhdl.emit g)
+    let format =
+      if netlist then Req.Vhdl_netlist else if rtl then Req.Vhdl_rtl
+      else Req.Vhdl
+    in
+    let req =
+      Req.Emit
+        {
+          spec = spec_of ~file ~builtin;
+          latency;
+          format;
+          config = Req.default_config;
+        }
+    in
+    print_string (Api.Render.to_text (payload_or_die connect req))
   in
   let rtl_arg =
     Arg.(value & flag & info [ "rtl" ]
@@ -296,27 +247,23 @@ let emit_vhdl_cmd =
            ~doc:"Emit the gate-level structural netlist.")
   in
   Cmd.v (Cmd.info "emit-vhdl" ~doc:"Print VHDL")
-    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
-          $ rtl_arg $ netlist_arg)
+    Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
+          $ latency_arg $ rtl_arg $ netlist_arg)
 
 let emit_verilog_cmd =
-  let run tel file builtin latency testbench =
+  let run tel connect file builtin latency testbench =
     with_telemetry tel @@ fun () ->
-    let g = or_die (load ~file ~builtin) in
-    let opt = P.optimized g ~latency in
-    let nl = Hls_rtl.Elaborate_netlist.elaborate opt.P.schedule in
-    let name = Hls_speclang.Names.sanitize (Graph.name g) in
-    print_string (Hls_rtl.Verilog.emit ~name nl);
-    if testbench then begin
-      let prng = Hls_util.Prng.create ~seed:7 in
-      let vectors =
-        List.init 5 (fun _ ->
-            let inputs = Hls_sim.random_inputs g prng in
-            (inputs, Hls_sim.outputs g ~inputs))
-      in
-      print_newline ();
-      print_string (Hls_rtl.Verilog.testbench ~name nl ~cycles:latency ~vectors)
-    end
+    let format = if testbench then Req.Verilog_tb else Req.Verilog in
+    let req =
+      Req.Emit
+        {
+          spec = spec_of ~file ~builtin;
+          latency;
+          format;
+          config = Req.default_config;
+        }
+    in
+    print_string (Api.Render.to_text (payload_or_die connect req))
   in
   let tb_arg =
     Arg.(value & flag & info [ "testbench" ]
@@ -325,38 +272,31 @@ let emit_verilog_cmd =
   Cmd.v
     (Cmd.info "emit-verilog"
        ~doc:"Print the gate-level netlist as structural Verilog")
-    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
-          $ tb_arg)
+    Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
+          $ latency_arg $ tb_arg)
 
 let simulate_cmd =
-  let run tel file builtin latency vcd_path seed =
+  let run tel connect file builtin latency vcd_path seed =
     with_telemetry tel @@ fun () ->
-    let g = or_die (load ~file ~builtin) in
-    let opt = P.optimized g ~latency in
-    let prng = Hls_util.Prng.create ~seed in
-    let inputs = Hls_sim.random_inputs g prng in
-    Format.printf "inputs:@.";
-    List.iter
-      (fun (n, v) -> Format.printf "  %s = %d@." n (Hls_bitvec.to_int v))
-      inputs;
-    let reference = Hls_sim.outputs g ~inputs in
-    let netlist = Hls_rtl.Elaborate_netlist.elaborate opt.P.schedule in
-    let gates = Hls_rtl.Netlist.run netlist ~cycles:latency ~inputs in
-    Format.printf "outputs (behavioural | gate-level over %d cycles):@."
-      latency;
-    List.iter
-      (fun (n, v) ->
-        Format.printf "  %s = %d | %d@." n (Hls_bitvec.to_int v)
-          (Hls_bitvec.to_int (List.assoc n gates)))
-      reference;
-    match vcd_path with
-    | None -> ()
-    | Some path ->
-        let vcd = Hls_rtl.Netlist.dump_vcd netlist ~cycles:latency ~inputs in
+    let req =
+      Req.Simulate
+        {
+          spec = spec_of ~file ~builtin;
+          latency;
+          seed;
+          config = Req.default_config;
+          vcd = vcd_path <> None;
+        }
+    in
+    let payload = payload_or_die connect req in
+    print_string (Api.Render.to_text payload);
+    match (payload, vcd_path) with
+    | Resp.Simulated { sim_vcd = Some vcd; _ }, Some path ->
         let oc = open_out path in
         output_string oc vcd;
         close_out oc;
         Format.printf "waveform written to %s@." path
+    | _ -> ()
   in
   let vcd_arg =
     Arg.(value & opt (some string) None
@@ -369,8 +309,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run one random vector through the gate-level netlist")
-    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
-          $ vcd_arg $ seed_arg)
+    Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
+          $ latency_arg $ vcd_arg $ seed_arg)
 
 let list_cmd =
   let run tel () =
@@ -378,8 +318,8 @@ let list_cmd =
     List.iter
       (fun (name, g) ->
         Printf.printf "%-16s %3d operations, %2d inputs\n" name
-          (Graph.behavioural_op_count g)
-          (List.length g.Graph.inputs))
+          (Hls_dfg.Graph.behavioural_op_count g)
+          (List.length g.Hls_dfg.Graph.inputs))
       (Hls_workloads.Registry.all ())
   in
   Cmd.v (Cmd.info "list" ~doc:"List built-in workloads")
@@ -387,12 +327,11 @@ let list_cmd =
 
 let explore_cmd =
   let module Dse = Hls_dse in
-  let run tel file builtin latspec policies libs balance cleanup jobs timeout
-      cache_path feedback retries backoff degrade resume json =
+  let run tel connect file builtin latspec policies libs balance cleanup jobs
+      timeout cache_path feedback retries backoff degrade resume json =
     (* The sweep always arms metric recording: its report carries the
        per-phase time breakdown whether or not --metrics was given. *)
     with_telemetry ~arm_metrics:true tel @@ fun () ->
-    let g = or_die (load ~file ~builtin) in
     let latencies = or_die (Dse.Space.parse_latencies latspec) in
     let policies =
       match policies with
@@ -400,15 +339,12 @@ let explore_cmd =
       | s -> (
           match Dse.Space.policy_of_name s with
           | Some p -> [ p ]
-          | None -> or_die (Error (Printf.sprintf "unknown policy %S" s)))
+          | None -> usage_die (Printf.sprintf "unknown policy %S" s))
     in
-    let libs =
+    let lib_names =
       match libs with
-      | "both" -> Dse.Space.known_libs
-      | s -> (
-          match Dse.Space.lib_of_name s with
-          | Some l -> [ (s, l) ]
-          | None -> or_die (Error (Printf.sprintf "unknown library %S" s)))
+      | "both" -> List.map fst Dse.Space.known_libs
+      | s -> [ s ]
     in
     let bools ~name spec =
       match spec with
@@ -419,51 +355,67 @@ let explore_cmd =
     in
     let balance = or_die (bools ~name:"--balance" balance) in
     let cleanup = or_die (bools ~name:"--cleanup" cleanup) in
-    let space =
-      Dse.Space.make ~latencies ~policies ~libs ~balance ~cleanup ()
-    in
+    if connect <> None && (cache_path <> None || resume) then
+      usage_die "--cache/--resume are daemon-side state; drop them with \
+                 --connect (start the daemon with --cache instead)";
     if resume && cache_path = None then
-      or_die (Error "--resume needs --cache FILE (the journal to replay)");
+      usage_die "--resume needs --cache FILE (the journal to replay)";
     let cache =
-      match Dse.Cache.create ?path:cache_path () with
-      | c -> c
-      | exception Dse.Cache.Locked lock ->
-          or_die
-            (Error
-               (Printf.sprintf
-                  "cache is locked by another live sweep (%s); wait for it \
-                   or remove the lock if you are sure"
-                  lock))
+      match cache_path with
+      | None -> None
+      | Some path -> (
+          match Dse.Cache.create ~path () with
+          | c -> Some c
+          | exception Dse.Cache.Locked lock ->
+              usage_die
+                (Printf.sprintf
+                   "cache is locked by another live sweep (%s); wait for it \
+                    or remove the lock if you are sure"
+                   lock))
     in
-    (match Dse.Cache.load_warnings cache with
-    | [] -> ()
-    | ws ->
-        Printf.eprintf
-          "hlsopt: cache loaded with %d warning%s (damaged entries will \
-           recompute): %s\n%!"
-          (List.length ws)
-          (if List.length ws = 1 then "" else "s")
-          (String.concat "; " ws));
-    if resume then
-      Printf.eprintf
-        "hlsopt: resuming: %d point%s recovered from the journal, %d in the \
-         store\n%!"
-        (Dse.Cache.recovered cache)
-        (if Dse.Cache.recovered cache = 1 then "" else "s")
-        (Dse.Cache.length cache - Dse.Cache.recovered cache);
-    let retry =
-      if retries <= 1 then Dse.Pool.Retry_policy.none
-      else Dse.Pool.Retry_policy.make ~attempts:retries ~backoff_s:backoff ()
+    (match cache with
+    | None -> ()
+    | Some cache ->
+        (match Dse.Cache.load_warnings cache with
+        | [] -> ()
+        | ws ->
+            Printf.eprintf
+              "hlsopt: cache loaded with %d warning%s (damaged entries will \
+               recompute): %s\n%!"
+              (List.length ws)
+              (if List.length ws = 1 then "" else "s")
+              (String.concat "; " ws));
+        if resume then
+          Printf.eprintf
+            "hlsopt: resuming: %d point%s recovered from the journal, %d in \
+             the store\n%!"
+            (Dse.Cache.recovered cache)
+            (if Dse.Cache.recovered cache = 1 then "" else "s")
+            (Dse.Cache.length cache - Dse.Cache.recovered cache))
+    ;
+    let params =
+      {
+        Req.latencies;
+        policies;
+        lib_names;
+        balance_axis = balance;
+        cleanup_axis = cleanup;
+        jobs = (if jobs <= 0 then None else Some jobs);
+        timeout_s = timeout;
+        feedback;
+        retries;
+        backoff_s = backoff;
+        degrade;
+      }
     in
-    let workers = if jobs <= 0 then None else Some jobs in
-    let result =
-      Dse.Explore.run ?workers ?timeout_s:timeout ~cache ~feedback ~retry
-        ~degrade g space
-    in
-    Dse.Cache.close cache;
-    if json then
-      print_endline (Dse.Dse_json.to_string ~indent:true (Dse.Explore.to_json result))
-    else Format.printf "%a" Dse.Explore.pp result
+    let req = Req.Explore { spec = spec_of ~file ~builtin; params } in
+    match payload_or_die ?cache connect req with
+    | Resp.Explored result ->
+        if json then
+          print_endline
+            (Dse.Dse_json.to_string ~indent:true (Dse.Explore.to_json result))
+        else Format.printf "%a" Dse.Explore.pp result
+    | _ -> usage_die "server returned a non-explore payload"
   in
   let latency_arg =
     Arg.(value & opt string "2:6"
@@ -542,10 +494,129 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Sweep the design space and print its Pareto frontier")
-    Term.(const run $ telemetry_term $ file_arg $ builtin_arg $ latency_arg
-          $ policies_arg $ libs_arg $ balance_arg $ cleanup_arg $ jobs_arg
-          $ timeout_arg $ cache_arg $ feedback_arg $ retries_arg
+    Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
+          $ latency_arg $ policies_arg $ libs_arg $ balance_arg $ cleanup_arg
+          $ jobs_arg $ timeout_arg $ cache_arg $ feedback_arg $ retries_arg
           $ backoff_arg $ degrade_arg $ resume_arg $ json_arg)
+
+let serve_cmd =
+  let module Server = Hls_server.Server in
+  let run tel socket stdio queue batch jobs cache_path =
+    with_telemetry tel @@ fun () ->
+    let cache =
+      match cache_path with
+      | None -> None
+      | Some path -> (
+          match Hls_dse.Cache.create ~path () with
+          | c -> Some c
+          | exception Hls_dse.Cache.Locked lock ->
+              usage_die
+                (Printf.sprintf "cache is locked by another live process (%s)"
+                   lock))
+    in
+    let exec = Api.Exec.create ?cache () in
+    Fun.protect
+      ~finally:(fun () -> Api.Exec.close exec)
+      (fun () ->
+        if stdio then Server.serve_stdio exec stdin stdout
+        else
+          match socket with
+          | None -> usage_die "give --socket PATH or --stdio"
+          | Some s ->
+              let cfg =
+                {
+                  (Server.default_config ~socket:s) with
+                  max_queue = queue;
+                  batch;
+                  workers = (if jobs <= 0 then None else Some jobs);
+                }
+              in
+              Printf.eprintf "hlsopt: serving on %s (queue %d, batch %d)\n%!"
+                s queue batch;
+              Server.serve ~handle_signals:true cfg exec;
+              prerr_endline "hlsopt: drained, exiting")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket"; "s" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket to listen on.")
+  in
+  let stdio_arg =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Serve NDJSON on stdin/stdout instead of a socket.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue bound; beyond it requests are answered \
+                   overloaded (exit code 6) instead of buffered.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 16
+         & info [ "batch" ] ~docv:"N" ~doc:"Max requests per pool batch.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 0
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains for request batches (0 = auto).")
+  in
+  let cache_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache" ] ~docv:"FILE"
+             ~doc:"Shared sweep cache backing every explore request.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the request daemon (line-delimited JSON requests)")
+    Term.(const run $ telemetry_term $ socket_arg $ stdio_arg $ queue_arg
+          $ batch_arg $ jobs_arg $ cache_arg)
+
+let call_cmd =
+  let run socket burst =
+    match Hls_server.Client.connect socket with
+    | Error m -> usage_die ("connect: " ^ m)
+    | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Hls_server.Client.close c)
+          (fun () ->
+            let lines = ref [] in
+            (try
+               while true do
+                 let line = input_line stdin in
+                 if String.trim line <> "" then
+                   if burst then lines := line :: !lines
+                   else
+                     match Hls_server.Client.raw_roundtrip c line with
+                     | Ok resp -> print_endline resp
+                     | Error m -> usage_die m
+               done
+             with End_of_file -> ());
+            if burst then
+              (* ship everything before reading anything: the only way a
+                 single connection can overrun the admission queue *)
+              match
+                Hls_server.Client.raw_burst c (List.rev !lines)
+              with
+              | Ok resps -> List.iter print_endline resps
+              | Error m -> usage_die m)
+  in
+  let socket_arg =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"SOCK"
+             ~doc:"Socket of the daemon to talk to.")
+  in
+  let burst_arg =
+    Arg.(value & flag
+         & info [ "burst" ]
+             ~doc:"Send every request before reading any response \
+                   (pipelined; exercises the admission queue).")
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:"Pipe raw NDJSON requests from stdin to a daemon, print raw \
+             responses")
+    Term.(const run $ socket_arg $ burst_arg)
 
 (* Structural checks over a --trace file; `make trace-smoke` leans on
    this so CI can tell a Perfetto-loadable trace from truncated JSON. *)
@@ -559,7 +630,7 @@ let trace_validate_cmd =
     let events =
       match Option.bind (J.member "traceEvents" j) J.to_list with
       | Some l -> l
-      | None -> or_die (Error (file ^ ": no traceEvents array"))
+      | None -> usage_die (file ^ ": no traceEvents array")
     in
     let spans = Hashtbl.create 16 and tracks = Hashtbl.create 16 in
     List.iter
@@ -571,20 +642,18 @@ let trace_validate_cmd =
         | (Some _ | None), _ -> ());
         match (int "pid", int "tid") with
         | Some p, Some t -> Hashtbl.replace tracks (p, t) ()
-        | _ -> or_die (Error (file ^ ": event without integer pid/tid")))
+        | _ -> usage_die (file ^ ": event without integer pid/tid"))
       events;
     let missing = List.filter (fun n -> not (Hashtbl.mem spans n)) expects in
     if missing <> [] then
-      or_die
-        (Error
-           (Printf.sprintf "%s: missing span%s: %s" file
-              (if List.length missing = 1 then "" else "s")
-              (String.concat ", " missing)));
+      usage_die
+        (Printf.sprintf "%s: missing span%s: %s" file
+           (if List.length missing = 1 then "" else "s")
+           (String.concat ", " missing));
     if Hashtbl.length tracks < min_tracks then
-      or_die
-        (Error
-           (Printf.sprintf "%s: expected at least %d tracks, found %d" file
-              min_tracks (Hashtbl.length tracks)));
+      usage_die
+        (Printf.sprintf "%s: expected at least %d tracks, found %d" file
+           min_tracks (Hashtbl.length tracks));
     Printf.printf "trace OK: %d events, %d spans, %d tracks\n"
       (List.length events) (Hashtbl.length spans) (Hashtbl.length tracks)
   in
@@ -613,15 +682,13 @@ let trace_validate_cmd =
 let () =
   match Hls_util.Faults.arm_from_env () with
   | () -> ()
-  | exception Invalid_argument m ->
-      prerr_endline ("hlsopt: bad HLS_FAULTS: " ^ m);
-      exit 1
+  | exception Invalid_argument m -> usage_die ("bad HLS_FAULTS: " ^ m)
 
 let main =
   let doc = "operation-fragmentation presynthesis optimization for HLS" in
   Cmd.group (Cmd.info "hlsopt" ~version:"1.0.0" ~doc)
     [ parse_cmd; optimize_cmd; schedule_cmd; report_cmd; explore_cmd;
-      emit_vhdl_cmd; emit_verilog_cmd; simulate_cmd; list_cmd;
-      trace_validate_cmd ]
+      emit_vhdl_cmd; emit_verilog_cmd; simulate_cmd; serve_cmd; call_cmd;
+      list_cmd; trace_validate_cmd ]
 
 let () = exit (Cmd.eval main)

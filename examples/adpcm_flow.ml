@@ -5,6 +5,15 @@
 
 module P = Hls_core.Pipeline
 
+(* The deprecated [P.optimized] wrapper collapsed into [Pipeline.run];
+   unwrap the result the way the old entry point did. *)
+let optimized ?lib ?policy ?balance ?cleanup g ~latency =
+  match
+    P.run_graph (P.make_config ?lib ?policy ?balance ?cleanup ()) g ~latency
+  with
+  | Ok r -> r
+  | Error f -> raise (Hls_util.Failure.Flow_failure f)
+
 let () =
   print_endline "== ADPCM decoder modules (Table III)";
   List.iter
@@ -12,7 +21,7 @@ let () =
       let free = P.free_floating_latency graph in
       let latency = paper_latency in
       let conv = P.conventional graph ~latency in
-      let opt = P.optimized graph ~latency in
+      let opt = optimized graph ~latency in
       let r = opt.P.opt_report in
       Format.printf
         "%-10s λ=%-2d (free-floating would pick %d): cycle %5.2f -> %5.2f ns \
@@ -28,7 +37,7 @@ let () =
 
   print_endline "\n== one concrete IAQ decode through the scheduled RTL";
   let graph = Hls_workloads.Adpcm.iaq () in
-  let opt = P.optimized graph ~latency:3 in
+  let opt = optimized graph ~latency:3 in
   let inputs =
     [
       ("dqln", Hls_bitvec.of_int ~width:12 137);

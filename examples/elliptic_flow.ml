@@ -4,6 +4,15 @@
    per sample, with the state variables fed back externally. *)
 
 module P = Hls_core.Pipeline
+
+(* The deprecated [P.optimized] wrapper collapsed into [Pipeline.run];
+   unwrap the result the way the old entry point did. *)
+let optimized ?lib ?policy ?balance ?cleanup g ~latency =
+  match
+    P.run_graph (P.make_config ?lib ?policy ?balance ?cleanup ()) g ~latency
+  with
+  | Ok r -> r
+  | Error f -> raise (Hls_util.Failure.Flow_failure f)
 module Bv = Hls_bitvec
 
 let () =
@@ -16,7 +25,7 @@ let () =
   List.iter
     (fun latency ->
       let conv = P.conventional graph ~latency in
-      let opt = P.optimized graph ~latency in
+      let opt = optimized graph ~latency in
       let r = opt.P.opt_report in
       Format.printf
         "λ=%-2d  cycle %6.2f -> %5.2f ns (saved %4.1f %%)   fragments: %d@."
@@ -30,7 +39,7 @@ let () =
 
   print_endline "\n== filtering a waveform through the optimized datapath";
   let latency = 6 in
-  let opt = P.optimized graph ~latency in
+  let opt = optimized graph ~latency in
   (* Drive a step + tone mixture through 24 iterations; states start at 0
      and are fed back from the outputs each sample. *)
   let state = Array.make 7 (Bv.zero 16) in

@@ -10,6 +10,15 @@ module Mobility = Hls_fragment.Mobility
 module Frag_sched = Hls_sched.Frag_sched
 module P = Hls_core.Pipeline
 
+(* The deprecated [P.optimized] wrapper collapsed into [Pipeline.run];
+   unwrap the result the way the old entry point did. *)
+let optimized ?lib ?policy ?balance ?cleanup g ~latency =
+  match
+    P.run_graph (P.make_config ?lib ?policy ?balance ?cleanup ()) g ~latency
+  with
+  | Ok r -> r
+  | Error f -> raise (Hls_util.Failure.Flow_failure f)
+
 let () =
   let g = Hls_workloads.Motivational.fig3 () in
   let latency = 3 in
@@ -72,7 +81,7 @@ let () =
     g;
 
   print_endline "\n== conventional schedule of the fragments (paper Fig. 3g)";
-  let opt = P.optimized g ~latency in
+  let opt = optimized g ~latency in
   for cycle = 1 to latency do
     Printf.printf "cycle %d: %s\n" cycle
       (String.concat ", "

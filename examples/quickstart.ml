@@ -8,6 +8,15 @@
 
 module P = Hls_core.Pipeline
 
+(* The deprecated [P.optimized] wrapper collapsed into [Pipeline.run];
+   unwrap the result the way the old entry point did. *)
+let optimized ?lib ?policy ?balance ?cleanup g ~latency =
+  match
+    P.run_graph (P.make_config ?lib ?policy ?balance ?cleanup ()) g ~latency
+  with
+  | Ok r -> r
+  | Error f -> raise (Hls_util.Failure.Flow_failure f)
+
 let spec_source =
   {|
 # Three data-dependent 16-bit additions (paper, Fig. 1a).
@@ -38,7 +47,7 @@ let () =
 
   print_endline "\n== 2. transform for a 3-cycle schedule";
   let latency = 3 in
-  let opt = P.optimized graph ~latency in
+  let opt = optimized graph ~latency in
   let plan = opt.P.transformed.Hls_fragment.Transform.plan in
   Format.printf
     "critical path: %d chained 1-bit additions; estimated cycle: %d@."

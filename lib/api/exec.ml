@@ -1,0 +1,476 @@
+(* One executor for every Api.Request, shared by the CLI, the server and
+   the tests.
+
+   Requests execute in two halves so a server can batch them safely:
+
+   - [stage] runs on the coordinator.  It loads the specification,
+     resolves the config, and memoizes the latency-independent pipeline
+     prefix (Pipeline.prepare) per (graph digest, cleanup) — the shared
+     mutable state lives here and only here.
+   - the returned thunk is the per-request suffix.  [Pure] thunks touch
+     nothing shared and are safe to fan out over worker domains; [Serial]
+     thunks (explore: owns a worker pool of its own and writes the shared
+     sweep cache) must run in the coordinator.
+
+   Thunks raise; the caller classifies through the one
+   {!Hls_util.Failure} taxonomy, so a local run and a pooled run report
+   identical errors. *)
+
+module P = Hls_core.Pipeline
+module Graph = Hls_dfg.Graph
+module Failure = Hls_util.Failure
+module Dse = Hls_dse
+
+type t = {
+  cache : Dse.Cache.t;  (** shared by every explore request *)
+  prepared : (string * bool, P.prepared) Hashtbl.t;
+      (** latency-independent prefix, keyed (graph digest, cleanup) *)
+  mutable prepared_hits : int;
+}
+
+let create ?cache () =
+  let cache =
+    match cache with Some c -> c | None -> Dse.Cache.create ()
+  in
+  { cache; prepared = Hashtbl.create 8; prepared_hits = 0 }
+
+let close t = Dse.Cache.close t.cache
+let prepared_hits t = t.prepared_hits
+
+(* ------------------------------------------------------------------ *)
+(* Loading.                                                            *)
+
+let load_spec = function
+  | Request.Source src -> Hls_speclang.Elaborate.from_string_result src
+  | Request.File path -> (
+      match
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | src -> Hls_speclang.Elaborate.from_string_result src
+      | exception Sys_error m -> Error m)
+  | Request.Builtin name -> (
+      match Hls_workloads.Registry.find name with
+      | Some g -> Ok g
+      | None ->
+          Error
+            (Printf.sprintf "unknown builtin %s (try: %s)" name
+               (String.concat ", " (Hls_workloads.Registry.names ()))))
+
+let prepare_memo t g ~cleanup =
+  let digest = Dse.Cache.graph_digest g in
+  match Hashtbl.find_opt t.prepared (digest, cleanup) with
+  | Some p ->
+      t.prepared_hits <- t.prepared_hits + 1;
+      p
+  | None ->
+      let p = P.prepare ~cleanup g in
+      Hashtbl.replace t.prepared (digest, cleanup) p;
+      p
+
+let graph_stats g =
+  {
+    Response.gs_name = Graph.name g;
+    gs_inputs = List.length g.Graph.inputs;
+    gs_outputs = List.length g.Graph.outputs;
+    gs_nodes = Graph.node_count g;
+    gs_ops = Graph.behavioural_op_count g;
+    gs_critical =
+      Hls_timing.Critical_path.critical_delta (Hls_kernel.Extract.run g);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Staging.                                                            *)
+
+type staged =
+  | Ready of (Response.payload, Response.error) result
+      (** resolved during staging (usage errors, preparation faults) *)
+  | Pure of (unit -> Response.payload)
+      (** no shared state: safe on a worker domain; raises on failure *)
+  | Serial of (unit -> Response.payload)
+      (** owns a pool / writes the shared cache: coordinator only *)
+
+let run_or_raise cfg p ~latency =
+  match P.run cfg p ~latency with
+  | Ok r -> r
+  | Error f -> raise (Failure.Flow_failure f)
+
+(* The optimized flow behind [--target-ns]: invert the period model on
+   the prepared arrival analysis (the same arithmetic as
+   Pipeline.optimized_for_cycle, but reusing the memoized prefix). *)
+let latency_for_target (cfg : P.config) p ~target_ns =
+  let lib = cfg.P.lib in
+  let chain_budget =
+    int_of_float
+      ((target_ns -. lib.Hls_techlib.seq_overhead_ns
+        -. lib.Hls_techlib.mux_delay_ns)
+       /. lib.Hls_techlib.delta_ns)
+  in
+  if chain_budget < 1 then
+    raise
+      (Failure.Flow_failure
+         (Failure.Infeasible "the period target is unreachable"))
+  else
+    Hls_timing.Critical_path.latency_for_cycle_delta
+      ~critical:(Hls_timing.Arrival.critical_delta p.P.p_arrival)
+      ~n_bits:chain_budget
+
+let emitted_spec tg =
+  match Hls_speclang.Emit.emit tg with
+  | src -> src
+  | exception Hls_speclang.Emit.Unprintable _ -> Hls_speclang.Vhdl.emit tg
+
+let gantt_rows s =
+  let g = Hls_sched.Frag_sched.graph s in
+  let by_op = Hashtbl.create 16 in
+  Graph.iter_nodes
+    (fun n ->
+      match (n.Hls_dfg.Types.kind, n.Hls_dfg.Types.origin) with
+      | Hls_dfg.Types.Add, Some o ->
+          let key = o.Hls_dfg.Types.orig_op in
+          let cycles = Option.value (Hashtbl.find_opt by_op key) ~default:[] in
+          Hashtbl.replace by_op key
+            (s.Hls_sched.Frag_sched.cycle_of.(n.Hls_dfg.Types.id) :: cycles)
+      | _ -> ())
+    g;
+  Hashtbl.fold
+    (fun k v acc -> (k, List.sort_uniq compare v) :: acc)
+    by_op []
+  |> List.sort compare
+
+let stage t req =
+  let usage m = Ready (Error (Response.Usage m)) in
+  match load_spec (Request.spec_of req) with
+  | Error m -> usage m
+  | Ok g -> (
+      let with_config (config : Request.config) k =
+        match Request.pipeline_config config with
+        | Error m -> usage m
+        | Ok cfg -> (
+            (* Preparation faults are classified here: the prefix runs on
+               the coordinator, not under the pool's isolation. *)
+            match prepare_memo t g ~cleanup:cfg.P.cleanup with
+            | p -> k cfg p
+            | exception e ->
+                Ready (Error (Response.Failed (Failure.classify_exn e))))
+      in
+      match req with
+      | Request.Parse _ ->
+          Pure
+            (fun () ->
+              Response.Parsed
+                {
+                  stats = graph_stats g;
+                  pretty = Format.asprintf "%a" Graph.pp g;
+                })
+      | Request.Optimize { latency; config; vhdl; _ } ->
+          with_config config (fun cfg p ->
+              Pure
+                (fun () ->
+                  let r = run_or_raise cfg p ~latency in
+                  let tr = r.P.transformed in
+                  let tg = tr.Hls_fragment.Transform.graph in
+                  Response.Optimized
+                    {
+                      critical =
+                        tr.Hls_fragment.Transform.plan
+                          .Hls_fragment.Mobility.critical;
+                      cycle =
+                        tr.Hls_fragment.Transform.plan
+                          .Hls_fragment.Mobility.n_bits;
+                      fragments = Graph.behavioural_op_count tg;
+                      text =
+                        (if vhdl then Hls_speclang.Vhdl.emit tg
+                         else emitted_spec tg);
+                    }))
+      | Request.Report { latency; config; target_ns; _ } ->
+          with_config config (fun cfg p ->
+              Pure
+                (fun () ->
+                  let target, latency =
+                    match target_ns with
+                    | None -> (None, latency)
+                    | Some ns ->
+                        let l = latency_for_target cfg p ~target_ns:ns in
+                        (Some (ns, l), l)
+                  in
+                  let conv = P.conventional ~lib:cfg.P.lib g ~latency in
+                  let r = run_or_raise cfg p ~latency in
+                  let equivalence =
+                    match P.check_optimized_equivalence g r with
+                    | Ok () -> None
+                    | Error m -> Some m
+                  in
+                  Response.Reported
+                    {
+                      r_stats = graph_stats g;
+                      r_latency = latency;
+                      r_target = target;
+                      r_conventional = Dse.Cache.metrics_of_report conv;
+                      r_optimized =
+                        Dse.Cache.metrics_of_report r.P.opt_report;
+                      r_equivalence = equivalence;
+                      r_saved_pct =
+                        P.pct_saved ~original:conv.P.cycle_ns
+                          ~optimized:r.P.opt_report.P.cycle_ns;
+                    }))
+      | Request.Schedule { latency; flow = Request.Conventional; _ } ->
+          Pure
+            (fun () ->
+              let s = Hls_sched.List_sched.schedule g ~latency in
+              let rows =
+                List.init latency (fun i ->
+                    {
+                      Response.cr_cycle = i + 1;
+                      cr_ops =
+                        List.map
+                          (fun n -> n.Hls_dfg.Types.label)
+                          (Hls_sched.List_sched.ops_in_cycle s (i + 1));
+                    })
+              in
+              Response.Scheduled
+                {
+                  s_flow = Request.Conventional;
+                  s_latency = latency;
+                  s_rows = rows;
+                  s_profile = [];
+                  s_used_delta = None;
+                  s_cycle_delta = Some s.Hls_sched.List_sched.cycle_delta;
+                  s_gantt = [];
+                })
+      | Request.Schedule { latency; flow = Request.Blc; _ } ->
+          Pure
+            (fun () ->
+              let s = Hls_sched.Blc_sched.schedule g ~latency in
+              Response.Scheduled
+                {
+                  s_flow = Request.Blc;
+                  s_latency = latency;
+                  s_rows = [];
+                  s_profile = [];
+                  s_used_delta = None;
+                  s_cycle_delta = Some s.Hls_sched.Blc_sched.cycle_delta;
+                  s_gantt = [];
+                })
+      | Request.Schedule { latency; flow = Request.Optimized; config; _ } ->
+          with_config config (fun cfg p ->
+              Pure
+                (fun () ->
+                  let r = run_or_raise cfg p ~latency in
+                  let s = r.P.schedule in
+                  let rows =
+                    List.init latency (fun i ->
+                        {
+                          Response.cr_cycle = i + 1;
+                          cr_ops =
+                            List.map
+                              (fun n -> n.Hls_dfg.Types.label)
+                              (Hls_sched.Frag_sched.adds_in_cycle s (i + 1));
+                        })
+                  in
+                  let profile =
+                    List.map
+                      (fun (pr : Hls_sched.Frag_sched.cycle_profile) ->
+                        {
+                          Response.pr_cycle = pr.Hls_sched.Frag_sched.cp_cycle;
+                          pr_chain = pr.cp_used_delta;
+                          pr_fragments = pr.cp_fragments;
+                          pr_adder_bits = pr.cp_adder_bits;
+                        })
+                      (Hls_sched.Frag_sched.profile s)
+                  in
+                  Response.Scheduled
+                    {
+                      s_flow = Request.Optimized;
+                      s_latency = latency;
+                      s_rows = rows;
+                      s_profile = profile;
+                      s_used_delta = Some (Hls_sched.Frag_sched.used_delta s);
+                      s_cycle_delta = None;
+                      s_gantt = gantt_rows s;
+                    }))
+      | Request.Explore { params; _ } -> (
+          let axis_errors = ref [] in
+          let resolve name of_name items =
+            List.filter_map
+              (fun n ->
+                match of_name n with
+                | Some v -> Some (n, v)
+                | None ->
+                    axis_errors :=
+                      Printf.sprintf "unknown %s %S" name n :: !axis_errors;
+                    None)
+              items
+          in
+          let libs = resolve "library" Dse.Space.lib_of_name params.lib_names in
+          match !axis_errors with
+          | e :: _ -> usage e
+          | [] -> (
+              match
+                Dse.Space.make ~latencies:params.latencies
+                  ~policies:params.policies ~libs
+                  ~balance:params.balance_axis ~cleanup:params.cleanup_axis ()
+              with
+              | exception Invalid_argument m -> usage m
+              | space ->
+                  let retry =
+                    if params.retries <= 1 then Dse.Pool.Retry_policy.none
+                    else
+                      Dse.Pool.Retry_policy.make ~attempts:params.retries
+                        ~backoff_s:params.backoff_s ()
+                  in
+                  Serial
+                    (fun () ->
+                      Response.Explored
+                        (Dse.Explore.run ?workers:params.jobs
+                           ?timeout_s:params.timeout_s ~cache:t.cache
+                           ~feedback:params.feedback ~retry
+                           ~degrade:params.degrade g space))))
+      | Request.Simulate { latency; seed; config; vcd; _ } ->
+          with_config config (fun cfg p ->
+              Pure
+                (fun () ->
+                  let r = run_or_raise cfg p ~latency in
+                  let prng = Hls_util.Prng.create ~seed in
+                  let inputs = Hls_sim.random_inputs g prng in
+                  let reference = Hls_sim.outputs g ~inputs in
+                  let netlist =
+                    Hls_rtl.Elaborate_netlist.elaborate r.P.schedule
+                  in
+                  let gates =
+                    Hls_rtl.Netlist.run netlist ~cycles:latency ~inputs
+                  in
+                  Response.Simulated
+                    {
+                      sim_latency = latency;
+                      sim_inputs =
+                        List.map
+                          (fun (n, v) -> (n, Hls_bitvec.to_int v))
+                          inputs;
+                      sim_outputs =
+                        List.map
+                          (fun (n, v) ->
+                            ( n,
+                              Hls_bitvec.to_int v,
+                              Hls_bitvec.to_int (List.assoc n gates) ))
+                          reference;
+                      sim_vcd =
+                        (if vcd then
+                           Some
+                             (Hls_rtl.Netlist.dump_vcd netlist ~cycles:latency
+                                ~inputs)
+                         else None);
+                    }))
+      | Request.Emit { format = Request.Vhdl; _ } ->
+          Pure
+            (fun () ->
+              Response.Emitted
+                { format = Request.Vhdl; text = Hls_speclang.Vhdl.emit g })
+      | Request.Emit { latency; format; config; _ } ->
+          with_config config (fun cfg p ->
+              Pure
+                (fun () ->
+                  let r = run_or_raise cfg p ~latency in
+                  let name = Hls_speclang.Names.sanitize (Graph.name g) in
+                  let text =
+                    match format with
+                    | Request.Vhdl -> assert false (* handled above *)
+                    | Request.Vhdl_rtl -> Hls_rtl.Rtl_vhdl.emit r.P.schedule
+                    | Request.Vhdl_netlist ->
+                        Hls_rtl.Vhdl_netlist.emit ~name
+                          (Hls_rtl.Elaborate_netlist.elaborate r.P.schedule)
+                    | Request.Verilog ->
+                        Hls_rtl.Verilog.emit ~name
+                          (Hls_rtl.Elaborate_netlist.elaborate r.P.schedule)
+                    | Request.Verilog_tb ->
+                        let nl =
+                          Hls_rtl.Elaborate_netlist.elaborate r.P.schedule
+                        in
+                        let prng = Hls_util.Prng.create ~seed:7 in
+                        let vectors =
+                          List.init 5 (fun _ ->
+                              let inputs = Hls_sim.random_inputs g prng in
+                              (inputs, Hls_sim.outputs g ~inputs))
+                        in
+                        Hls_rtl.Verilog.emit ~name nl ^ "\n"
+                        ^ Hls_rtl.Verilog.testbench ~name nl ~cycles:latency
+                            ~vectors
+                  in
+                  Response.Emitted { format; text })))
+
+(* ------------------------------------------------------------------ *)
+(* Running.                                                            *)
+
+let guard f =
+  match f () with
+  | p -> Ok p
+  | exception e -> Error (Response.Failed (Failure.classify_exn e))
+
+let observed req k =
+  Hls_telemetry.count "api.requests";
+  let r =
+    Hls_telemetry.with_span ~cat:"api"
+      ("api." ^ Request.method_name req)
+      k
+  in
+  (match r with
+  | Error _ -> Hls_telemetry.count "api.errors"
+  | Ok _ -> ());
+  r
+
+let run t req =
+  observed req (fun () ->
+      match stage t req with
+      | Ready r -> r
+      | Pure f | Serial f -> guard f)
+
+let run_batch ?workers t reqs =
+  let staged = Array.map (stage t) reqs in
+  (* Fan the pure suffixes out over the pool; everything else resolves in
+     the coordinator.  run_retry (even with the no-retry policy) probes
+     Hls_util.Faults.on_job under the job's batch index, so injected
+     faults reach pooled requests exactly as they reach sweep jobs. *)
+  let pure_idx =
+    Array.to_list staged
+    |> List.mapi (fun i s -> (i, s))
+    |> List.filter_map (fun (i, s) ->
+           match s with Pure _ -> Some i | _ -> None)
+    |> Array.of_list
+  in
+  let thunks =
+    Array.map
+      (fun i ->
+        match staged.(i) with Pure f -> f | _ -> assert false)
+      pure_idx
+  in
+  let outcomes = Dse.Pool.run_retry ?workers thunks in
+  let results =
+    Array.map
+      (function
+        | Ready r -> r
+        | Serial f -> guard f
+        | Pure _ ->
+            (* placeholder; every Pure slot is overwritten from the pool
+               outcomes just below *)
+            Error (Response.Usage "request lost by the pool"))
+      staged
+  in
+  Array.iteri
+    (fun k i ->
+      results.(i) <-
+        (match fst outcomes.(k) with
+        | Dse.Pool.Done p -> Ok p
+        | Dse.Pool.Failed f -> Error (Response.Failed f)
+        | Dse.Pool.Timed_out s ->
+            Error (Response.Failed (Failure.Timeout s))))
+    pure_idx;
+  Array.iteri
+    (fun i _ ->
+      Hls_telemetry.count "api.requests";
+      match results.(i) with
+      | Error _ -> Hls_telemetry.count "api.errors"
+      | Ok _ -> ())
+    results;
+  results

@@ -1,0 +1,114 @@
+(* One renderer from response payloads to the CLI's human-readable text.
+
+   The CLI prints local results through this module, and `hlsopt call`
+   prints decoded wire responses through it too — so a request executed
+   remotely renders byte-identically to the same request executed
+   in-process, which is what lets the serve smoke test diff the two. *)
+
+module R = Response
+
+let buffer_with f =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let pp_stats ppf (s : R.graph_stats) =
+  Format.fprintf ppf
+    "graph %s: %d inputs, %d outputs, %d nodes (%d operations)@." s.gs_name
+    s.gs_inputs s.gs_outputs s.gs_nodes s.gs_ops;
+  Format.fprintf ppf "critical path: %d delta (chained 1-bit additions)@."
+    s.gs_critical
+
+(* Mirrors Pipeline.pp_report / Datapath.pp_area over the cache's scalar
+   metrics, so a report that crossed the wire prints like a local one. *)
+let pp_metrics ppf (m : Hls_dse.Cache.metrics) =
+  Format.fprintf ppf
+    "@[<v>%s: latency %d, cycle %d delta = %.2f ns, exec %.2f ns, %d ops \
+     (%d scheduled additions)@ @[<v>FU %d + registers %d + routing %d + \
+     controller %d = %d gates@]@]"
+    m.m_flow m.m_latency m.m_cycle_delta m.m_cycle_ns m.m_execution_ns
+    m.m_op_count m.m_fragment_count m.m_fu_gates m.m_register_gates
+    m.m_mux_gates m.m_controller_gates m.m_total_gates
+
+let pp_gantt ppf latency rows =
+  let name_w =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 4 rows
+  in
+  Format.fprintf ppf "%-*s " name_w "op";
+  for c = 1 to latency do
+    Format.fprintf ppf "%2d " c
+  done;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (k, cycles) ->
+      Format.fprintf ppf "%-*s " name_w k;
+      for c = 1 to latency do
+        Format.fprintf ppf " %s " (if List.mem c cycles then "#" else ".")
+      done;
+      Format.fprintf ppf "@.")
+    rows
+
+let pp_payload ppf = function
+  | R.Parsed { stats; pretty } ->
+      pp_stats ppf stats;
+      Format.fprintf ppf "%s@." pretty
+  | R.Optimized { critical; cycle; fragments; text } ->
+      Format.fprintf ppf
+        "-- critical path %d delta, cycle %d delta, %d fragments@." critical
+        cycle fragments;
+      Format.pp_print_string ppf text
+  | R.Reported r ->
+      pp_stats ppf r.r_stats;
+      (match r.r_target with
+      | None -> ()
+      | Some (ns, l) ->
+          Format.fprintf ppf "target %.2f ns -> latency %d@." ns l);
+      Format.fprintf ppf "@.%a@.@.%a@." pp_metrics r.r_conventional
+        pp_metrics r.r_optimized;
+      (match r.r_equivalence with
+      | None -> Format.fprintf ppf "@.equivalence check: OK@."
+      | Some m -> Format.fprintf ppf "@.equivalence check FAILED: %s@." m);
+      Format.fprintf ppf "cycle saved: %.1f %%@." r.r_saved_pct
+  | R.Scheduled s -> (
+      List.iter
+        (fun (row : R.cycle_row) ->
+          Format.fprintf ppf "cycle %d: %s@." row.cr_cycle
+            (String.concat ", " row.cr_ops))
+        s.s_rows;
+      List.iter
+        (fun (p : R.profile_row) ->
+          Format.fprintf ppf
+            "cycle %d: chain %d delta, %d fragments, %d adder bits@."
+            p.pr_cycle p.pr_chain p.pr_fragments p.pr_adder_bits)
+        s.s_profile;
+      match s.s_flow with
+      | Request.Optimized ->
+          (match s.s_used_delta with
+          | Some d -> Format.fprintf ppf "achieved chain: %d delta@." d
+          | None -> ());
+          Format.fprintf ppf "@.";
+          pp_gantt ppf s.s_latency s.s_gantt
+      | Request.Conventional -> (
+          match s.s_cycle_delta with
+          | Some d -> Format.fprintf ppf "cycle length: %d delta@." d
+          | None -> ())
+      | Request.Blc -> (
+          match s.s_cycle_delta with
+          | Some d -> Format.fprintf ppf "budget: %d delta@." d
+          | None -> ()))
+  | R.Explored sweep -> Format.fprintf ppf "%a" Hls_dse.Explore.pp sweep
+  | R.Simulated s ->
+      Format.fprintf ppf "inputs:@.";
+      List.iter
+        (fun (n, v) -> Format.fprintf ppf "  %s = %d@." n v)
+        s.sim_inputs;
+      Format.fprintf ppf "outputs (behavioural | gate-level over %d cycles):@."
+        s.sim_latency;
+      List.iter
+        (fun (n, b, g) -> Format.fprintf ppf "  %s = %d | %d@." n b g)
+        s.sim_outputs
+  | R.Emitted { text; _ } -> Format.pp_print_string ppf text
+
+let to_text payload = buffer_with (fun ppf -> pp_payload ppf payload)

@@ -1,0 +1,9 @@
+(** Render response payloads to the CLI's human-readable text.  Local
+    executions and decoded wire responses print through the same
+    functions, so [hlsopt report] and [hlsopt call]/[--connect] against a
+    server produce byte-identical output — the property the serve smoke
+    test diffs for. *)
+
+val pp_payload : Format.formatter -> Response.payload -> unit
+
+val to_text : Response.payload -> string

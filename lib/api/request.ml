@@ -1,0 +1,452 @@
+(* The versioned request surface: one sum type covering everything the
+   toolchain can be asked to do, with a JSON wire codec.  The CLI, the
+   server and the tests all build these values and push them through
+   Exec, so there is exactly one code path per verb.
+
+   Wire envelope (NDJSON, one object per line):
+
+     {"v": 1, "id": "...", "method": "report", "params": {...}}
+
+   ["v"] is explicit and checked first: a request from the future is
+   rejected as [`Unsupported_version] without guessing at its params. *)
+
+module J = Hls_dse.Dse_json
+module Space = Hls_dse.Space
+
+let version = 1
+
+type spec =
+  | Source of string  (** inline specification text *)
+  | File of string  (** path resolved on the executing side *)
+  | Builtin of string  (** named workload from the registry *)
+
+type config = {
+  lib_name : string;
+  policy : Hls_fragment.Mobility.policy;
+  balance : bool;
+  cleanup : bool;
+}
+
+let default_config =
+  { lib_name = "ripple"; policy = `Full; balance = true; cleanup = false }
+
+let pipeline_config c =
+  match Space.lib_of_name c.lib_name with
+  | None -> Error (Printf.sprintf "unknown library %S" c.lib_name)
+  | Some lib ->
+      Ok
+        (Hls_core.Pipeline.make_config ~lib ~policy:c.policy
+           ~balance:c.balance ~cleanup:c.cleanup ())
+
+type flow = Conventional | Blc | Optimized
+
+let flow_name = function
+  | Conventional -> "conventional"
+  | Blc -> "blc"
+  | Optimized -> "optimized"
+
+let flow_of_name = function
+  | "conventional" -> Some Conventional
+  | "blc" -> Some Blc
+  | "optimized" -> Some Optimized
+  | _ -> None
+
+type emit_format = Vhdl | Vhdl_rtl | Vhdl_netlist | Verilog | Verilog_tb
+
+let format_name = function
+  | Vhdl -> "vhdl"
+  | Vhdl_rtl -> "vhdl-rtl"
+  | Vhdl_netlist -> "vhdl-netlist"
+  | Verilog -> "verilog"
+  | Verilog_tb -> "verilog-tb"
+
+let format_of_name = function
+  | "vhdl" -> Some Vhdl
+  | "vhdl-rtl" -> Some Vhdl_rtl
+  | "vhdl-netlist" -> Some Vhdl_netlist
+  | "verilog" -> Some Verilog
+  | "verilog-tb" -> Some Verilog_tb
+  | _ -> None
+
+type explore_params = {
+  latencies : int list;
+  policies : Hls_fragment.Mobility.policy list;
+  lib_names : string list;
+  balance_axis : bool list;
+  cleanup_axis : bool list;
+  jobs : int option;
+  timeout_s : float option;
+  feedback : int;
+  retries : int;
+  backoff_s : float;
+  degrade : bool;
+}
+
+let default_explore_params =
+  {
+    latencies = [ 2; 3; 4; 5; 6 ];
+    policies = [ `Full ];
+    lib_names = [ "ripple" ];
+    balance_axis = [ true ];
+    cleanup_axis = [ false ];
+    jobs = None;
+    timeout_s = None;
+    feedback = 0;
+    retries = 1;
+    backoff_s = 0.05;
+    degrade = false;
+  }
+
+type t =
+  | Parse of { spec : spec }
+  | Optimize of { spec : spec; latency : int; config : config; vhdl : bool }
+  | Report of {
+      spec : spec;
+      latency : int;
+      config : config;
+      target_ns : float option;
+    }
+  | Schedule of { spec : spec; latency : int; flow : flow; config : config }
+  | Explore of { spec : spec; params : explore_params }
+  | Simulate of {
+      spec : spec;
+      latency : int;
+      seed : int;
+      config : config;
+      vcd : bool;
+    }
+  | Emit of { spec : spec; latency : int; format : emit_format; config : config }
+
+let method_name = function
+  | Parse _ -> "parse"
+  | Optimize _ -> "optimize"
+  | Report _ -> "report"
+  | Schedule _ -> "schedule"
+  | Explore _ -> "explore"
+  | Simulate _ -> "simulate"
+  | Emit _ -> "emit"
+
+let spec_of = function
+  | Parse { spec } -> spec
+  | Optimize { spec; _ } -> spec
+  | Report { spec; _ } -> spec
+  | Schedule { spec; _ } -> spec
+  | Explore { spec; _ } -> spec
+  | Simulate { spec; _ } -> spec
+  | Emit { spec; _ } -> spec
+
+(* ------------------------------------------------------------------ *)
+(* Encoding.                                                           *)
+
+let spec_to_json = function
+  | Source s -> J.Obj [ ("source", J.String s) ]
+  | File f -> J.Obj [ ("file", J.String f) ]
+  | Builtin b -> J.Obj [ ("builtin", J.String b) ]
+
+let config_to_json c =
+  J.Obj
+    [
+      ("lib", J.String c.lib_name);
+      ("policy", J.String (Space.policy_name c.policy));
+      ("balance", J.Bool c.balance);
+      ("cleanup", J.Bool c.cleanup);
+    ]
+
+let params_to_json = function
+  | Parse { spec } -> J.Obj [ ("spec", spec_to_json spec) ]
+  | Optimize { spec; latency; config; vhdl } ->
+      J.Obj
+        [
+          ("spec", spec_to_json spec);
+          ("latency", J.Int latency);
+          ("config", config_to_json config);
+          ("vhdl", J.Bool vhdl);
+        ]
+  | Report { spec; latency; config; target_ns } ->
+      J.Obj
+        ([
+           ("spec", spec_to_json spec);
+           ("latency", J.Int latency);
+           ("config", config_to_json config);
+         ]
+        @ match target_ns with
+          | None -> []
+          | Some ns -> [ ("target_ns", J.Float ns) ])
+  | Schedule { spec; latency; flow; config } ->
+      J.Obj
+        [
+          ("spec", spec_to_json spec);
+          ("latency", J.Int latency);
+          ("flow", J.String (flow_name flow));
+          ("config", config_to_json config);
+        ]
+  | Explore { spec; params = p } ->
+      J.Obj
+        ([
+           ("spec", spec_to_json spec);
+           ("latencies", J.List (List.map (fun l -> J.Int l) p.latencies));
+           ( "policies",
+             J.List
+               (List.map (fun x -> J.String (Space.policy_name x)) p.policies)
+           );
+           ("libs", J.List (List.map (fun l -> J.String l) p.lib_names));
+           ("balance", J.List (List.map (fun b -> J.Bool b) p.balance_axis));
+           ("cleanup", J.List (List.map (fun b -> J.Bool b) p.cleanup_axis));
+         ]
+        @ (match p.jobs with None -> [] | Some n -> [ ("jobs", J.Int n) ])
+        @ (match p.timeout_s with
+          | None -> []
+          | Some s -> [ ("timeout_s", J.Float s) ])
+        @ [
+            ("feedback", J.Int p.feedback);
+            ("retries", J.Int p.retries);
+            ("backoff_s", J.Float p.backoff_s);
+            ("degrade", J.Bool p.degrade);
+          ])
+  | Simulate { spec; latency; seed; config; vcd } ->
+      J.Obj
+        [
+          ("spec", spec_to_json spec);
+          ("latency", J.Int latency);
+          ("seed", J.Int seed);
+          ("config", config_to_json config);
+          ("vcd", J.Bool vcd);
+        ]
+  | Emit { spec; latency; format; config } ->
+      J.Obj
+        [
+          ("spec", spec_to_json spec);
+          ("latency", J.Int latency);
+          ("format", J.String (format_name format));
+          ("config", config_to_json config);
+        ]
+
+let to_json ?id t =
+  J.Obj
+    ([ ("v", J.Int version) ]
+    @ (match id with None -> [] | Some i -> [ ("id", J.String i) ])
+    @ [ ("method", J.String (method_name t)); ("params", params_to_json t) ])
+
+(* ------------------------------------------------------------------ *)
+(* Decoding.                                                           *)
+
+type decode_error = [ `Usage of string | `Unsupported_version of int ]
+
+let usage fmt = Printf.ksprintf (fun m -> Error (`Usage m)) fmt
+let ( let* ) = Result.bind
+
+let spec_of_json j =
+  match
+    ( Option.bind (J.member "source" j) J.to_str,
+      Option.bind (J.member "file" j) J.to_str,
+      Option.bind (J.member "builtin" j) J.to_str )
+  with
+  | Some s, None, None -> Ok (Source s)
+  | None, Some f, None -> Ok (File f)
+  | None, None, Some b -> Ok (Builtin b)
+  | None, None, None ->
+      usage "spec needs exactly one of \"source\", \"file\" or \"builtin\""
+  | _ -> usage "spec has more than one of \"source\", \"file\", \"builtin\""
+
+let field_spec params =
+  match J.member "spec" params with
+  | None -> usage "params without a \"spec\" field"
+  | Some j -> spec_of_json j
+
+let int_field ~default name params =
+  match J.member name params with
+  | None -> Ok default
+  | Some j -> (
+      match J.to_int j with
+      | Some i -> Ok i
+      | None -> usage "%S must be an integer" name)
+
+let bool_field ~default name params =
+  match J.member name params with
+  | None -> Ok default
+  | Some j -> (
+      match J.to_bool j with
+      | Some b -> Ok b
+      | None -> usage "%S must be a boolean" name)
+
+let config_of_json params =
+  match J.member "config" params with
+  | None -> Ok default_config
+  | Some j ->
+      let* lib_name =
+        match J.member "lib" j with
+        | None -> Ok default_config.lib_name
+        | Some v -> (
+            match J.to_str v with
+            | Some s -> Ok s
+            | None -> usage "config \"lib\" must be a string")
+      in
+      let* policy =
+        match J.member "policy" j with
+        | None -> Ok default_config.policy
+        | Some v -> (
+            match Option.bind (J.to_str v) Space.policy_of_name with
+            | Some p -> Ok p
+            | None -> usage "config \"policy\" must be \"full\" or \"coalesced\"")
+      in
+      let* balance = bool_field ~default:default_config.balance "balance" j in
+      let* cleanup = bool_field ~default:default_config.cleanup "cleanup" j in
+      Ok { lib_name; policy; balance; cleanup }
+
+let list_field ~default name decode params =
+  match J.member name params with
+  | None -> Ok default
+  | Some j -> (
+      match J.to_list j with
+      | None -> usage "%S must be an array" name
+      | Some items ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | x :: rest -> (
+                match decode x with
+                | Some v -> go (v :: acc) rest
+                | None -> usage "bad element in %S" name)
+          in
+          go [] items)
+
+let explore_params_of_json params =
+  let d = default_explore_params in
+  let* latencies = list_field ~default:d.latencies "latencies" J.to_int params in
+  let* policies =
+    list_field ~default:d.policies "policies"
+      (fun j -> Option.bind (J.to_str j) Space.policy_of_name)
+      params
+  in
+  let* lib_names = list_field ~default:d.lib_names "libs" J.to_str params in
+  let* balance_axis = list_field ~default:d.balance_axis "balance" J.to_bool params in
+  let* cleanup_axis = list_field ~default:d.cleanup_axis "cleanup" J.to_bool params in
+  let* jobs =
+    match J.member "jobs" params with
+    | None -> Ok None
+    | Some j -> (
+        match J.to_int j with
+        | Some n -> Ok (Some n)
+        | None -> usage "\"jobs\" must be an integer")
+  in
+  let* timeout_s =
+    match J.member "timeout_s" params with
+    | None -> Ok None
+    | Some j -> (
+        match J.to_float j with
+        | Some s -> Ok (Some s)
+        | None -> usage "\"timeout_s\" must be a number")
+  in
+  let* feedback = int_field ~default:d.feedback "feedback" params in
+  let* retries = int_field ~default:d.retries "retries" params in
+  let* backoff_s =
+    match J.member "backoff_s" params with
+    | None -> Ok d.backoff_s
+    | Some j -> (
+        match J.to_float j with
+        | Some s -> Ok s
+        | None -> usage "\"backoff_s\" must be a number")
+  in
+  let* degrade = bool_field ~default:d.degrade "degrade" params in
+  Ok
+    {
+      latencies;
+      policies;
+      lib_names;
+      balance_axis;
+      cleanup_axis;
+      jobs;
+      timeout_s;
+      feedback;
+      retries;
+      backoff_s;
+      degrade;
+    }
+
+let of_json j =
+  match J.member "v" j with
+  | None -> usage "request without a \"v\" version field"
+  | Some v -> (
+      match J.to_int v with
+      | None -> usage "request \"v\" must be an integer"
+      | Some n when n <> version -> Error (`Unsupported_version n)
+      | Some _ ->
+          let id = Option.bind (J.member "id" j) J.to_str in
+          let params =
+            Option.value (J.member "params" j) ~default:(J.Obj [])
+          in
+          let* req =
+            match Option.bind (J.member "method" j) J.to_str with
+            | None -> usage "request without a \"method\" field"
+            | Some "parse" ->
+                let* spec = field_spec params in
+                Ok (Parse { spec })
+            | Some "optimize" ->
+                let* spec = field_spec params in
+                let* latency = int_field ~default:3 "latency" params in
+                let* config = config_of_json params in
+                let* vhdl = bool_field ~default:false "vhdl" params in
+                Ok (Optimize { spec; latency; config; vhdl })
+            | Some "report" ->
+                let* spec = field_spec params in
+                let* latency = int_field ~default:3 "latency" params in
+                let* config = config_of_json params in
+                let* target_ns =
+                  match J.member "target_ns" params with
+                  | None -> Ok None
+                  | Some t -> (
+                      match J.to_float t with
+                      | Some ns -> Ok (Some ns)
+                      | None -> usage "\"target_ns\" must be a number")
+                in
+                Ok (Report { spec; latency; config; target_ns })
+            | Some "schedule" ->
+                let* spec = field_spec params in
+                let* latency = int_field ~default:3 "latency" params in
+                let* config = config_of_json params in
+                let* flow =
+                  match J.member "flow" params with
+                  | None -> Ok Optimized
+                  | Some f -> (
+                      match Option.bind (J.to_str f) flow_of_name with
+                      | Some fl -> Ok fl
+                      | None ->
+                          usage
+                            "\"flow\" must be \"conventional\", \"blc\" or \
+                             \"optimized\"")
+                in
+                Ok (Schedule { spec; latency; flow; config })
+            | Some "explore" ->
+                let* spec = field_spec params in
+                let* params = explore_params_of_json params in
+                Ok (Explore { spec; params })
+            | Some "simulate" ->
+                let* spec = field_spec params in
+                let* latency = int_field ~default:3 "latency" params in
+                let* seed = int_field ~default:1 "seed" params in
+                let* config = config_of_json params in
+                let* vcd = bool_field ~default:false "vcd" params in
+                Ok (Simulate { spec; latency; seed; config; vcd })
+            | Some "emit" ->
+                let* spec = field_spec params in
+                let* latency = int_field ~default:3 "latency" params in
+                let* config = config_of_json params in
+                let* format =
+                  match J.member "format" params with
+                  | None -> Ok Vhdl
+                  | Some f -> (
+                      match Option.bind (J.to_str f) format_of_name with
+                      | Some fmt -> Ok fmt
+                      | None ->
+                          usage
+                            "\"format\" must be one of vhdl, vhdl-rtl, \
+                             vhdl-netlist, verilog, verilog-tb")
+                in
+                Ok (Emit { spec; latency; format; config })
+            | Some other -> usage "unknown method %S" other
+          in
+          Ok (id, req))
+
+let of_string line =
+  match J.of_string line with
+  | Error m -> Error (`Usage ("bad JSON: " ^ m))
+  | Ok j -> of_json j

@@ -1,0 +1,102 @@
+(** The versioned request surface of the toolchain: one sum type covering
+    every verb, with its JSON wire codec.  The CLI, the server and the
+    tests all build these values and execute them through {!Exec}, so
+    each verb has exactly one code path.
+
+    Wire envelope (one JSON object per line):
+
+    {v {"v": 1, "id": "42", "method": "report", "params": {...}} v}
+
+    The ["v"] field is explicit and checked before anything else: a
+    request from a future protocol decodes to [`Unsupported_version]
+    without guessing at its params. *)
+
+(** The wire protocol version this library speaks. *)
+val version : int
+
+(** Where the specification comes from.  [File] paths are resolved on the
+    executing side (the server's filesystem, for a remote call); [Source]
+    ships the text itself and is what the CLI sends over [--connect]. *)
+type spec = Source of string | File of string | Builtin of string
+
+(** Wire-level flow configuration: the library is carried by name so the
+    request is serializable; {!pipeline_config} resolves it. *)
+type config = {
+  lib_name : string;
+  policy : Hls_fragment.Mobility.policy;
+  balance : bool;
+  cleanup : bool;
+}
+
+(** Ripple library, full fragmentation, balancing on, cleanup off — the
+    paper's reproduction settings. *)
+val default_config : config
+
+(** Resolve the named library and build the pipeline's config record;
+    [Error] on an unknown library name. *)
+val pipeline_config : config -> (Hls_core.Pipeline.config, string) result
+
+type flow = Conventional | Blc | Optimized
+
+val flow_name : flow -> string
+val flow_of_name : string -> flow option
+
+type emit_format = Vhdl | Vhdl_rtl | Vhdl_netlist | Verilog | Verilog_tb
+
+val format_name : emit_format -> string
+val format_of_name : string -> emit_format option
+
+type explore_params = {
+  latencies : int list;
+  policies : Hls_fragment.Mobility.policy list;
+  lib_names : string list;
+  balance_axis : bool list;
+  cleanup_axis : bool list;
+  jobs : int option;  (** worker domains; [None] = auto *)
+  timeout_s : float option;
+  feedback : int;
+  retries : int;
+  backoff_s : float;
+  degrade : bool;
+}
+
+val default_explore_params : explore_params
+
+type t =
+  | Parse of { spec : spec }
+  | Optimize of { spec : spec; latency : int; config : config; vhdl : bool }
+  | Report of {
+      spec : spec;
+      latency : int;
+      config : config;
+      target_ns : float option;
+    }
+  | Schedule of { spec : spec; latency : int; flow : flow; config : config }
+  | Explore of { spec : spec; params : explore_params }
+  | Simulate of {
+      spec : spec;
+      latency : int;
+      seed : int;
+      config : config;
+      vcd : bool;
+    }
+  | Emit of { spec : spec; latency : int; format : emit_format; config : config }
+
+(** The wire ["method"] name: parse, optimize, report, schedule, explore,
+    simulate or emit. *)
+val method_name : t -> string
+
+val spec_of : t -> spec
+
+val to_json : ?id:string -> t -> Hls_dse.Dse_json.t
+
+type decode_error = [ `Usage of string | `Unsupported_version of int ]
+
+(** Decode a request envelope.  Unknown [params] fields are ignored and
+    missing optional ones take the CLI's defaults, so old clients keep
+    working against newer servers; an unknown method or a version other
+    than {!version} is rejected. *)
+val of_json : Hls_dse.Dse_json.t -> (string option * t, decode_error) result
+
+(** {!of_json} over a raw line. *)
+val of_string : string -> (string option * t, decode_error) result

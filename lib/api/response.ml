@@ -1,0 +1,518 @@
+(* Typed responses and the error taxonomy of the api, with the JSON wire
+   codec.  Report metrics reuse the sweep cache's encoder and failures
+   reuse Dse_json.of_failure, so the CLI's --json output, the cache files
+   and the server's wire format can never drift apart.
+
+   Wire shape (one object per line, mirroring the request envelope):
+
+     {"v": 1, "id": "...", "ok": true,  "result": {"kind": "report", ...}}
+     {"v": 1, "id": "...", "ok": false, "error": {"class": "infeasible",
+                                                  "message": "...",
+                                                  "exit_code": 3,
+                                                  "retryable": false}} *)
+
+module J = Hls_dse.Dse_json
+module Cache = Hls_dse.Cache
+module Failure = Hls_util.Failure
+
+type graph_stats = {
+  gs_name : string;
+  gs_inputs : int;
+  gs_outputs : int;
+  gs_nodes : int;
+  gs_ops : int;
+  gs_critical : int;
+}
+
+type cycle_row = { cr_cycle : int; cr_ops : string list }
+
+type profile_row = {
+  pr_cycle : int;
+  pr_chain : int;
+  pr_fragments : int;
+  pr_adder_bits : int;
+}
+
+type scheduled = {
+  s_flow : Request.flow;
+  s_latency : int;
+  s_rows : cycle_row list;
+  s_profile : profile_row list;
+  s_used_delta : int option;
+  s_cycle_delta : int option;
+  s_gantt : (string * int list) list;
+}
+
+type reported = {
+  r_stats : graph_stats;
+  r_latency : int;
+  r_target : (float * int) option;
+  r_conventional : Cache.metrics;
+  r_optimized : Cache.metrics;
+  r_equivalence : string option;
+  r_saved_pct : float;
+}
+
+type simulated = {
+  sim_latency : int;
+  sim_inputs : (string * int) list;
+  sim_outputs : (string * int * int) list;
+  sim_vcd : string option;
+}
+
+type payload =
+  | Parsed of { stats : graph_stats; pretty : string }
+  | Optimized of { critical : int; cycle : int; fragments : int; text : string }
+  | Reported of reported
+  | Scheduled of scheduled
+  | Explored of Hls_dse.Explore.t
+  | Simulated of simulated
+  | Emitted of { format : Request.emit_format; text : string }
+
+type error =
+  | Usage of string
+  | Unsupported_version of int
+  | Overloaded of { queued : int; capacity : int }
+  | Failed of Failure.t
+
+type t = { id : string option; result : (payload, error) result }
+
+let ok ?id payload = { id; result = Ok payload }
+let fail ?id error = { id; result = Error error }
+
+(* Process exit codes: the CLI maps its outcome through this, so scripts
+   can tell "your request was wrong" (2) from "that point cannot exist"
+   (3) from "the tool broke" (7).  0 success; 1 is left to the shell and
+   uncontrolled crashes; 124/125 stay reserved by cmdliner. *)
+let exit_code = function
+  | Usage _ | Unsupported_version _ -> 2
+  | Overloaded _ -> 6
+  | Failed f -> Failure.exit_code f
+
+let error_message = function
+  | Usage m -> m
+  | Unsupported_version n ->
+      Printf.sprintf "unsupported protocol version %d (this side speaks %d)"
+        n Request.version
+  | Overloaded { queued; capacity } ->
+      Printf.sprintf "server overloaded (%d queued, capacity %d); retry later"
+        queued capacity
+  | Failed f -> Failure.to_string f
+
+let retryable = function
+  | Usage _ | Unsupported_version _ -> false
+  | Overloaded _ -> true
+  | Failed f -> Failure.retryable f
+
+(* ------------------------------------------------------------------ *)
+(* Encoding.                                                           *)
+
+let stats_to_json s =
+  J.Obj
+    [
+      ("name", J.String s.gs_name);
+      ("inputs", J.Int s.gs_inputs);
+      ("outputs", J.Int s.gs_outputs);
+      ("nodes", J.Int s.gs_nodes);
+      ("ops", J.Int s.gs_ops);
+      ("critical", J.Int s.gs_critical);
+    ]
+
+let opt_int = function None -> J.Null | Some i -> J.Int i
+
+let payload_to_json = function
+  | Parsed { stats; pretty } ->
+      J.Obj
+        [
+          ("kind", J.String "parse");
+          ("stats", stats_to_json stats);
+          ("pretty", J.String pretty);
+        ]
+  | Optimized { critical; cycle; fragments; text } ->
+      J.Obj
+        [
+          ("kind", J.String "optimize");
+          ("critical", J.Int critical);
+          ("cycle", J.Int cycle);
+          ("fragments", J.Int fragments);
+          ("text", J.String text);
+        ]
+  | Reported r ->
+      J.Obj
+        [
+          ("kind", J.String "report");
+          ("stats", stats_to_json r.r_stats);
+          ("latency", J.Int r.r_latency);
+          ( "target",
+            match r.r_target with
+            | None -> J.Null
+            | Some (ns, l) ->
+                J.Obj [ ("ns", J.Float ns); ("latency", J.Int l) ] );
+          ("conventional", Cache.metrics_to_json r.r_conventional);
+          ("optimized", Cache.metrics_to_json r.r_optimized);
+          ( "equivalence",
+            match r.r_equivalence with None -> J.Null | Some m -> J.String m );
+          ("saved_pct", J.Float r.r_saved_pct);
+        ]
+  | Scheduled s ->
+      J.Obj
+        [
+          ("kind", J.String "schedule");
+          ("flow", J.String (Request.flow_name s.s_flow));
+          ("latency", J.Int s.s_latency);
+          ( "rows",
+            J.List
+              (List.map
+                 (fun r ->
+                   J.Obj
+                     [
+                       ("cycle", J.Int r.cr_cycle);
+                       ( "ops",
+                         J.List (List.map (fun o -> J.String o) r.cr_ops) );
+                     ])
+                 s.s_rows) );
+          ( "profile",
+            J.List
+              (List.map
+                 (fun p ->
+                   J.Obj
+                     [
+                       ("cycle", J.Int p.pr_cycle);
+                       ("chain", J.Int p.pr_chain);
+                       ("fragments", J.Int p.pr_fragments);
+                       ("adder_bits", J.Int p.pr_adder_bits);
+                     ])
+                 s.s_profile) );
+          ("used_delta", opt_int s.s_used_delta);
+          ("cycle_delta", opt_int s.s_cycle_delta);
+          ( "gantt",
+            J.List
+              (List.map
+                 (fun (op, cycles) ->
+                   J.Obj
+                     [
+                       ("op", J.String op);
+                       ( "cycles",
+                         J.List (List.map (fun c -> J.Int c) cycles) );
+                     ])
+                 s.s_gantt) );
+        ]
+  | Explored sweep ->
+      J.Obj
+        [ ("kind", J.String "explore"); ("sweep", Hls_dse.Explore.to_json sweep) ]
+  | Simulated s ->
+      J.Obj
+        [
+          ("kind", J.String "simulate");
+          ("latency", J.Int s.sim_latency);
+          ( "inputs",
+            J.List
+              (List.map
+                 (fun (n, v) ->
+                   J.Obj [ ("name", J.String n); ("value", J.Int v) ])
+                 s.sim_inputs) );
+          ( "outputs",
+            J.List
+              (List.map
+                 (fun (n, b, g) ->
+                   J.Obj
+                     [
+                       ("name", J.String n);
+                       ("behavioural", J.Int b);
+                       ("gate", J.Int g);
+                     ])
+                 s.sim_outputs) );
+          ( "vcd",
+            match s.sim_vcd with None -> J.Null | Some v -> J.String v );
+        ]
+  | Emitted { format; text } ->
+      J.Obj
+        [
+          ("kind", J.String "emit");
+          ("format", J.String (Request.format_name format));
+          ("text", J.String text);
+        ]
+
+let error_to_json e =
+  let head =
+    match e with
+    | Usage m -> [ ("class", J.String "usage"); ("message", J.String m) ]
+    | Unsupported_version n ->
+        [
+          ("class", J.String "unsupported-version");
+          ("version", J.Int n);
+          ("message", J.String (error_message (Unsupported_version n)));
+        ]
+    | Overloaded { queued; capacity } ->
+        [
+          ("class", J.String "overloaded");
+          ("queued", J.Int queued);
+          ("capacity", J.Int capacity);
+          ("message", J.String (error_message (Overloaded { queued; capacity })));
+        ]
+    | Failed f -> (
+        match J.of_failure f with J.Obj fields -> fields | j -> [ ("value", j) ])
+  in
+  J.Obj
+    (head
+    @ [ ("exit_code", J.Int (exit_code e)); ("retryable", J.Bool (retryable e)) ])
+
+let to_json { id; result } =
+  J.Obj
+    ([ ("v", J.Int Request.version) ]
+    @ (match id with None -> [] | Some i -> [ ("id", J.String i) ])
+    @
+    match result with
+    | Ok p -> [ ("ok", J.Bool true); ("result", payload_to_json p) ]
+    | Error e -> [ ("ok", J.Bool false); ("error", error_to_json e) ])
+
+let to_string t = J.to_string (to_json t)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding.                                                           *)
+
+let ( let* ) = Result.bind
+
+let need name conv j =
+  match Option.bind (J.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or bad %S field" name)
+
+let stats_of_json j =
+  let* gs_name = need "name" J.to_str j in
+  let* gs_inputs = need "inputs" J.to_int j in
+  let* gs_outputs = need "outputs" J.to_int j in
+  let* gs_nodes = need "nodes" J.to_int j in
+  let* gs_ops = need "ops" J.to_int j in
+  let* gs_critical = need "critical" J.to_int j in
+  Ok { gs_name; gs_inputs; gs_outputs; gs_nodes; gs_ops; gs_critical }
+
+let metrics_of_json name j =
+  match J.member name j with
+  | None -> Error (Printf.sprintf "missing %S metrics" name)
+  | Some m -> (
+      match Cache.metrics_of_json m with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "bad %S metrics" name))
+
+let decode_list name decode j =
+  match Option.bind (J.member name j) J.to_list with
+  | None -> Error (Printf.sprintf "missing or bad %S array" name)
+  | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest ->
+            let* v = decode x in
+            go (v :: acc) rest
+      in
+      go [] items
+
+let need_str j =
+  match J.to_str j with Some s -> Ok s | None -> Error "expected a string"
+
+let need_int j =
+  match J.to_int j with Some i -> Ok i | None -> Error "expected an integer"
+
+let opt_int_of name j =
+  match J.member name j with
+  | None | Some J.Null -> Ok None
+  | Some v -> (
+      match J.to_int v with
+      | Some i -> Ok (Some i)
+      | None -> Error (Printf.sprintf "bad %S field" name))
+
+let payload_of_json j =
+  let* kind = need "kind" J.to_str j in
+  match kind with
+  | "parse" ->
+      let* stats =
+        match J.member "stats" j with
+        | Some s -> stats_of_json s
+        | None -> Error "parse result without stats"
+      in
+      let* pretty = need "pretty" J.to_str j in
+      Ok (Parsed { stats; pretty })
+  | "optimize" ->
+      let* critical = need "critical" J.to_int j in
+      let* cycle = need "cycle" J.to_int j in
+      let* fragments = need "fragments" J.to_int j in
+      let* text = need "text" J.to_str j in
+      Ok (Optimized { critical; cycle; fragments; text })
+  | "report" ->
+      let* r_stats =
+        match J.member "stats" j with
+        | Some s -> stats_of_json s
+        | None -> Error "report result without stats"
+      in
+      let* r_latency = need "latency" J.to_int j in
+      let* r_target =
+        match J.member "target" j with
+        | None | Some J.Null -> Ok None
+        | Some t ->
+            let* ns = need "ns" J.to_float t in
+            let* l = need "latency" J.to_int t in
+            Ok (Some (ns, l))
+      in
+      let* r_conventional = metrics_of_json "conventional" j in
+      let* r_optimized = metrics_of_json "optimized" j in
+      let* r_equivalence =
+        match J.member "equivalence" j with
+        | None | Some J.Null -> Ok None
+        | Some v -> (
+            match J.to_str v with
+            | Some m -> Ok (Some m)
+            | None -> Error "bad \"equivalence\" field")
+      in
+      let* r_saved_pct = need "saved_pct" J.to_float j in
+      Ok
+        (Reported
+           {
+             r_stats;
+             r_latency;
+             r_target;
+             r_conventional;
+             r_optimized;
+             r_equivalence;
+             r_saved_pct;
+           })
+  | "schedule" ->
+      let* s_flow =
+        match Option.bind (J.member "flow" j) J.to_str with
+        | Some f -> (
+            match Request.flow_of_name f with
+            | Some fl -> Ok fl
+            | None -> Error ("unknown flow " ^ f))
+        | None -> Error "schedule result without flow"
+      in
+      let* s_latency = need "latency" J.to_int j in
+      let* s_rows =
+        decode_list "rows"
+          (fun r ->
+            let* cr_cycle = need "cycle" J.to_int r in
+            let* cr_ops = decode_list "ops" (fun o -> need_str o) r in
+            Ok { cr_cycle; cr_ops })
+          j
+      in
+      let* s_profile =
+        decode_list "profile"
+          (fun p ->
+            let* pr_cycle = need "cycle" J.to_int p in
+            let* pr_chain = need "chain" J.to_int p in
+            let* pr_fragments = need "fragments" J.to_int p in
+            let* pr_adder_bits = need "adder_bits" J.to_int p in
+            Ok { pr_cycle; pr_chain; pr_fragments; pr_adder_bits })
+          j
+      in
+      let* s_used_delta = opt_int_of "used_delta" j in
+      let* s_cycle_delta = opt_int_of "cycle_delta" j in
+      let* s_gantt =
+        decode_list "gantt"
+          (fun g ->
+            let* op = need "op" J.to_str g in
+            let* cycles = decode_list "cycles" (fun c -> need_int c) g in
+            Ok (op, cycles))
+          j
+      in
+      Ok
+        (Scheduled
+           {
+             s_flow;
+             s_latency;
+             s_rows;
+             s_profile;
+             s_used_delta;
+             s_cycle_delta;
+             s_gantt;
+           })
+  | "explore" -> (
+      match J.member "sweep" j with
+      | None -> Error "explore result without sweep"
+      | Some s ->
+          let* sweep = Hls_dse.Explore.of_json s in
+          Ok (Explored sweep))
+  | "simulate" ->
+      let* sim_latency = need "latency" J.to_int j in
+      let* sim_inputs =
+        decode_list "inputs"
+          (fun i ->
+            let* n = need "name" J.to_str i in
+            let* v = need "value" J.to_int i in
+            Ok (n, v))
+          j
+      in
+      let* sim_outputs =
+        decode_list "outputs"
+          (fun o ->
+            let* n = need "name" J.to_str o in
+            let* b = need "behavioural" J.to_int o in
+            let* g = need "gate" J.to_int o in
+            Ok (n, b, g))
+          j
+      in
+      let* sim_vcd =
+        match J.member "vcd" j with
+        | None | Some J.Null -> Ok None
+        | Some v -> (
+            match J.to_str v with
+            | Some s -> Ok (Some s)
+            | None -> Error "bad \"vcd\" field")
+      in
+      Ok (Simulated { sim_latency; sim_inputs; sim_outputs; sim_vcd })
+  | "emit" ->
+      let* format =
+        match Option.bind (J.member "format" j) J.to_str with
+        | Some f -> (
+            match Request.format_of_name f with
+            | Some fmt -> Ok fmt
+            | None -> Error ("unknown emit format " ^ f))
+        | None -> Error "emit result without format"
+      in
+      let* text = need "text" J.to_str j in
+      Ok (Emitted { format; text })
+  | other -> Error (Printf.sprintf "unknown result kind %S" other)
+
+let error_of_json j =
+  match Option.bind (J.member "class" j) J.to_str with
+  | Some "usage" -> (
+      match Option.bind (J.member "message" j) J.to_str with
+      | Some m -> Ok (Usage m)
+      | None -> Error "usage error without message")
+  | Some "unsupported-version" -> (
+      match Option.bind (J.member "version" j) J.to_int with
+      | Some n -> Ok (Unsupported_version n)
+      | None -> Error "unsupported-version error without version")
+  | Some "overloaded" ->
+      let* queued = need "queued" J.to_int j in
+      let* capacity = need "capacity" J.to_int j in
+      Ok (Overloaded { queued; capacity })
+  | Some _ ->
+      let* f = J.failure_of_json j in
+      Ok (Failed f)
+  | None -> Error "error without a class field"
+
+let of_json j =
+  match Option.bind (J.member "v" j) J.to_int with
+  | None -> Error "response without an integer \"v\" field"
+  | Some n when n <> Request.version ->
+      Error (Printf.sprintf "unsupported response version %d" n)
+  | Some _ -> (
+      let id = Option.bind (J.member "id" j) J.to_str in
+      match Option.bind (J.member "ok" j) J.to_bool with
+      | None -> Error "response without a boolean \"ok\" field"
+      | Some true -> (
+          match J.member "result" j with
+          | None -> Error "ok response without a result"
+          | Some r ->
+              let* p = payload_of_json r in
+              Ok { id; result = Ok p })
+      | Some false -> (
+          match J.member "error" j with
+          | None -> Error "error response without an error object"
+          | Some e ->
+              let* err = error_of_json e in
+              Ok { id; result = Error err }))
+
+let of_string line =
+  match J.of_string line with
+  | Error m -> Error ("bad JSON: " ^ m)
+  | Ok j -> of_json j

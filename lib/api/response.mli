@@ -1,0 +1,101 @@
+(** Typed responses and the api's error taxonomy, with the JSON wire
+    codec.  Report metrics are encoded through
+    {!Hls_dse.Cache.metrics_to_json} and failures through
+    {!Hls_dse.Dse_json.of_failure} — the sweep cache, the [--json] sweep
+    output and the server wire format share one encoder, so they cannot
+    drift apart. *)
+
+type graph_stats = {
+  gs_name : string;
+  gs_inputs : int;
+  gs_outputs : int;
+  gs_nodes : int;
+  gs_ops : int;
+  gs_critical : int;  (** critical path of the extracted kernel, in δ *)
+}
+
+type cycle_row = { cr_cycle : int; cr_ops : string list }
+
+type profile_row = {
+  pr_cycle : int;
+  pr_chain : int;
+  pr_fragments : int;
+  pr_adder_bits : int;
+}
+
+type scheduled = {
+  s_flow : Request.flow;
+  s_latency : int;
+  s_rows : cycle_row list;  (** per-cycle operation labels *)
+  s_profile : profile_row list;  (** optimized flow only *)
+  s_used_delta : int option;  (** optimized: achieved chain *)
+  s_cycle_delta : int option;  (** conventional: cycle length; blc: budget *)
+  s_gantt : (string * int list) list;
+      (** optimized: per original operation, the cycles its fragments
+          occupy *)
+}
+
+type reported = {
+  r_stats : graph_stats;
+  r_latency : int;
+  r_target : (float * int) option;
+      (** the request's period target and the latency it resolved to *)
+  r_conventional : Hls_dse.Cache.metrics;
+  r_optimized : Hls_dse.Cache.metrics;
+  r_equivalence : string option;  (** [None] = check passed *)
+  r_saved_pct : float;
+}
+
+type simulated = {
+  sim_latency : int;
+  sim_inputs : (string * int) list;
+  sim_outputs : (string * int * int) list;
+      (** (port, behavioural value, gate-level value) *)
+  sim_vcd : string option;
+}
+
+type payload =
+  | Parsed of { stats : graph_stats; pretty : string }
+  | Optimized of { critical : int; cycle : int; fragments : int; text : string }
+  | Reported of reported
+  | Scheduled of scheduled
+  | Explored of Hls_dse.Explore.t
+  | Simulated of simulated
+  | Emitted of { format : Request.emit_format; text : string }
+
+type error =
+  | Usage of string  (** the request itself is wrong *)
+  | Unsupported_version of int
+  | Overloaded of { queued : int; capacity : int }
+      (** the server's admission queue is full — retry later *)
+  | Failed of Hls_util.Failure.t  (** the flow failed; see the taxonomy *)
+
+type t = { id : string option; result : (payload, error) result }
+
+val ok : ?id:string -> payload -> t
+val fail : ?id:string -> error -> t
+
+(** The process exit code the CLI maps this error to: 2 usage /
+    unsupported version, 6 overloaded, and the
+    {!Hls_util.Failure.exit_code} mapping (3 infeasible, 4 timeout,
+    5 resource, 7 internal) for flow failures.  0 is success, 1 is left
+    to the shell and uncontrolled crashes, 124/125 stay reserved by
+    cmdliner. *)
+val exit_code : error -> int
+
+val error_message : error -> string
+
+(** Whether retrying the same request may succeed ([Overloaded] and the
+    {!Hls_util.Failure.retryable} classes). *)
+val retryable : error -> bool
+
+val to_json : t -> Hls_dse.Dse_json.t
+val to_string : t -> string
+
+(** Exact inverse of {!to_json} on everything {!to_json} produces:
+    [to_json (of_json (to_json t)) = to_json t].  [Failed (Internal _)]
+    decodes through {!Hls_util.Failure.Remote}, which preserves the
+    printed text. *)
+val of_json : Hls_dse.Dse_json.t -> (t, string) result
+
+val of_string : string -> (t, string) result

@@ -117,6 +117,25 @@ let prepared_of_kernel kernel =
 (** Kernel extraction plus the latency-independent timing prework. *)
 let prepare ?cleanup graph = prepared_of_kernel (prepare_kernel ?cleanup graph)
 
+(** One record for every per-point knob of the optimized flow.  [cleanup]
+    only matters to the entry points that start from a bare graph
+    ({!run_graph}, the deprecated [optimized]); {!run} takes an already
+    [prepare]d kernel. *)
+type config = {
+  lib : Hls_techlib.t;
+  policy : Hls_fragment.Mobility.policy;
+  balance : bool;
+  cleanup : bool;
+}
+
+let default_config =
+  { lib = Hls_techlib.default; policy = `Full; balance = true;
+    cleanup = false }
+
+let make_config ?(lib = Hls_techlib.default) ?(policy = `Full)
+    ?(balance = true) ?(cleanup = false) () =
+  { lib; policy; balance; cleanup }
+
 (** The per-point suffix of the optimized flow on prepared timing state:
     cycle estimation + fragmentation ([policy]), fragment scheduling
     ([balance]), dedicated-adder binding.  The kernel's net and arrival are
@@ -161,6 +180,25 @@ let optimized_of_kernel ?lib ?policy ?balance kernel ~latency =
 let try_optimized_of_prepared ?lib ?policy ?balance p ~latency =
   match optimized_of_prepared ?lib ?policy ?balance p ~latency with
   | r -> Ok r
+  | exception e -> Error (classify_exn e)
+
+(** The single supported per-point entry: the optimized-flow suffix under
+    one [config], with the {!Hls_util.Failure} taxonomy instead of an
+    escaping exception.  The four historical entry points are deprecated
+    wrappers over this and {!prepare}. *)
+let run config p ~latency =
+  match
+    optimized_of_prepared ~lib:config.lib ~policy:config.policy
+      ~balance:config.balance p ~latency
+  with
+  | r -> Ok r
+  | exception e -> Error (classify_exn e)
+
+(** {!prepare} + {!run} from a bare behavioural graph; preparation faults
+    are classified too, so no exception escapes. *)
+let run_graph config graph ~latency =
+  match prepare ~cleanup:config.cleanup graph with
+  | p -> run config p ~latency
   | exception e -> Error (classify_exn e)
 
 (** The paper's presynthesis-transformation flow.  [cleanup] additionally

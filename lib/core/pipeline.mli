@@ -54,43 +54,79 @@ val prepare : ?cleanup:bool -> Hls_dfg.Graph.t -> prepared
 (** Extend an already extracted kernel with its timing prework. *)
 val prepared_of_kernel : Hls_dfg.Graph.t -> prepared
 
-(** The per-point suffix of the optimized flow on prepared timing state:
-    cycle estimation → fragmentation → fragment scheduling → binding.
-    Reuses the prepared net and arrival, so a latency sweep pays for them
-    once per graph. *)
-val optimized_of_prepared :
-  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
-  ?balance:bool -> prepared -> latency:int -> optimized_result
+(** One record for every per-point knob of the optimized flow.  [cleanup]
+    (constant folding / CSE / DCE before fragmentation) only matters to
+    the entry points that start from a bare graph ({!run_graph}); {!run}
+    takes an already {!prepare}d kernel, whose cleanup decision was made
+    when it was prepared. *)
+type config = {
+  lib : Hls_techlib.t;
+  policy : Hls_fragment.Mobility.policy;
+  balance : bool;
+  cleanup : bool;
+}
 
-(** The per-point suffix on a bare kernel graph; builds the timing prework
-    on the spot.  [optimized g] ≡ [optimized_of_kernel (prepare_kernel g)].
-    {!optimized_of_prepared} amortizes the prework across sweep points. *)
-val optimized_of_kernel :
-  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
-  ?balance:bool -> Hls_dfg.Graph.t -> latency:int -> optimized_result
+(** Ripple library, [`Full] fragmentation, balanced scheduling, no
+    cleanup — the paper's reproduction settings. *)
+val default_config : config
 
-(** [optimized_of_prepared] with the {!Hls_util.Failure} taxonomy instead
-    of an escaping exception: [Error (Infeasible _)] for points that
-    cannot exist (Mobility's witnessed budget violation, a fragment
-    schedule with no legal placement), [Error (Resource _ | Internal _)]
-    for faults a caller may retry. *)
-val try_optimized_of_prepared :
+val make_config :
   ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
-  ?balance:bool -> prepared -> latency:int ->
+  ?balance:bool -> ?cleanup:bool -> unit -> config
+
+(** The single supported per-point entry of the optimized flow: cycle
+    estimation → fragmentation → fragment scheduling → binding on
+    prepared timing state, under one [config], returning the
+    {!Hls_util.Failure} taxonomy instead of an escaping exception —
+    [Error (Infeasible _)] for points that cannot exist (Mobility's
+    witnessed budget violation, a fragment schedule with no legal
+    placement), [Error (Resource _ | Internal _)] for faults a caller may
+    retry.  Reuses the prepared net and arrival, so a latency sweep pays
+    for them once per graph. *)
+val run :
+  config -> prepared -> latency:int ->
+  (optimized_result, Hls_util.Failure.t) result
+
+(** {!prepare} (honouring [config.cleanup]) + {!run} from a bare
+    behavioural graph; preparation faults are classified too. *)
+val run_graph :
+  config -> Hls_dfg.Graph.t -> latency:int ->
   (optimized_result, Hls_util.Failure.t) result
 
 (** Classify an exception escaping one of this module's flows into the
     shared taxonomy (infeasibility recognized as permanent). *)
 val classify_exn : exn -> Hls_util.Failure.t
 
-(** The paper's presynthesis-transformation flow: kernel extraction →
-    cycle estimation → fragmentation ([policy]) → conventional fragment
-    scheduling ([balance]) → dedicated-adder binding with bit-level
-    registers. *)
+(** {2 Deprecated entry points}
+
+    The four historical entry points collapsed into {!run} /
+    {!run_graph}.  They stay as thin wrappers so existing code keeps
+    compiling, but new code should pass a {!config}. *)
+
+val optimized_of_prepared :
+  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
+  ?balance:bool -> prepared -> latency:int -> optimized_result
+[@@deprecated "use Pipeline.run (a config record, Failure-typed result)"]
+
+val optimized_of_kernel :
+  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
+  ?balance:bool -> Hls_dfg.Graph.t -> latency:int -> optimized_result
+[@@deprecated
+  "use Pipeline.run over prepared_of_kernel (a config record, \
+   Failure-typed result)"]
+
+val try_optimized_of_prepared :
+  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
+  ?balance:bool -> prepared -> latency:int ->
+  (optimized_result, Hls_util.Failure.t) result
+[@@deprecated "use Pipeline.run (a config record)"]
+
 val optimized :
   ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
   ?balance:bool -> ?cleanup:bool -> Hls_dfg.Graph.t -> latency:int ->
   optimized_result
+[@@deprecated
+  "use Pipeline.run_graph (a config record, Failure-typed result)"]
 
 (** End-to-end functional check: the transformed, scheduled specification
     still computes the original behaviour. *)

@@ -7,7 +7,7 @@
    plus cleanup passes when enabled, plus the kernel's bit-dependency net
    and arrival analysis) is computed once per distinct cleanup flag and
    shared by every job; worker domains only run the per-point suffix
-   (`Pipeline.optimized_of_prepared`).  Results are collected in job
+   (`Pipeline.run`).  Results are collected in job
    order, so the outcome is identical whatever the worker count. *)
 
 module Pipeline = Hls_core.Pipeline
@@ -113,12 +113,15 @@ let run_round ~cache ~digest ~graph ~kernels ~workers ~timeout_s ~retry
             times.(i) <- times.(i) +. (Unix.gettimeofday () -. t0))
           (fun () ->
             let prepared = List.assoc job.Space.cleanup kernels in
-            let r =
-              Pipeline.optimized_of_prepared ~lib:job.Space.lib
-                ~policy:job.Space.policy ~balance:job.Space.balance prepared
-                ~latency:job.Space.latency
+            let config =
+              Pipeline.make_config ~lib:job.Space.lib
+                ~policy:job.Space.policy ~balance:job.Space.balance ()
             in
-            Cache.metrics_of_report r.Pipeline.opt_report))
+            match
+              Pipeline.run config prepared ~latency:job.Space.latency
+            with
+            | Ok r -> Cache.metrics_of_report r.Pipeline.opt_report
+            | Error f -> raise (Failure.Flow_failure f)))
       misses
   in
   let outcomes = Pool.run_retry ?workers ?timeout_s ~retry (Array.of_list thunks) in
@@ -342,7 +345,9 @@ let to_json t =
                Dse_json.Obj
                  [
                    ("job", job_to_json f.f_job);
-                   ("class", Dse_json.String (Failure.class_name f.f_class));
+                   (* The shared taxonomy encoding (Dse_json.of_failure):
+                      the api error surface uses the same bytes. *)
+                   ("failure", Dse_json.of_failure f.f_class);
                    ("reason", Dse_json.String f.f_reason);
                    ("attempts", Dse_json.Int f.f_attempts);
                  ])
@@ -365,6 +370,109 @@ let to_json t =
                    t.phases) );
           ] );
     ]
+
+(* Decoding: the exact inverse of to_json, so a sweep can cross a wire
+   (the api's explore response) or a file and re-render identically.
+   Libraries are resolved by name through Space.known_libs — a sweep of a
+   custom library object does not round-trip, which the api documents. *)
+
+let ( let* ) = Result.bind
+
+let of_json_field name conv j =
+  match Option.bind (Dse_json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "explore json: bad or missing %S" name)
+
+let job_of_json j =
+  let* latency = of_json_field "latency" Dse_json.to_int j in
+  let* policy_name = of_json_field "policy" Dse_json.to_str j in
+  let* lib_name = of_json_field "lib" Dse_json.to_str j in
+  let* balance = of_json_field "balance" Dse_json.to_bool j in
+  let* cleanup = of_json_field "cleanup" Dse_json.to_bool j in
+  let* policy =
+    Option.to_result
+      ~none:(Printf.sprintf "explore json: unknown policy %S" policy_name)
+      (Space.policy_of_name policy_name)
+  in
+  let* lib =
+    Option.to_result
+      ~none:(Printf.sprintf "explore json: unknown library %S" lib_name)
+      (Space.lib_of_name lib_name)
+  in
+  Ok { Space.latency; policy; lib_name; lib; balance; cleanup }
+
+let point_of_json j =
+  let* job = Result.bind (of_json_field "job" Option.some j) job_of_json in
+  let* metrics =
+    Result.bind
+      (of_json_field "metrics" Option.some j)
+      (fun m ->
+        Option.to_result ~none:"explore json: bad metrics"
+          (Cache.metrics_of_json m))
+  in
+  let* from_cache = of_json_field "from_cache" Dse_json.to_bool j in
+  let* degraded = of_json_field "degraded" Dse_json.to_bool j in
+  let* attempts = of_json_field "attempts" Dse_json.to_int j in
+  let* wall_s = of_json_field "wall_s" Dse_json.to_float j in
+  Ok { job; metrics; from_cache; degraded; attempts; wall_s }
+
+let failure_of_json j =
+  let* f_job = Result.bind (of_json_field "job" Option.some j) job_of_json in
+  let* f_class =
+    Result.bind
+      (of_json_field "failure" Option.some j)
+      Dse_json.failure_of_json
+  in
+  let* f_reason = of_json_field "reason" Dse_json.to_str j in
+  let* f_attempts = of_json_field "attempts" Dse_json.to_int j in
+  Ok { f_job; f_class; f_reason; f_attempts }
+
+let list_of_json name conv j =
+  Result.bind (of_json_field name Dse_json.to_list j) (fun items ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* v = conv item in
+          Ok (v :: acc))
+        (Ok []) items
+      |> Result.map List.rev)
+
+let of_json j =
+  let* graph_name = of_json_field "graph" Dse_json.to_str j in
+  let* digest = of_json_field "digest" Dse_json.to_str j in
+  let* rounds = of_json_field "rounds" Dse_json.to_int j in
+  let* wall_s = of_json_field "wall_s" Dse_json.to_float j in
+  let* cache = of_json_field "cache" Option.some j in
+  let* cache_hits = of_json_field "hits" Dse_json.to_int cache in
+  let* cache_misses = of_json_field "misses" Dse_json.to_int cache in
+  let* recovered = of_json_field "recovered" Dse_json.to_int cache in
+  let* points = list_of_json "points" point_of_json j in
+  let* failures = list_of_json "failures" failure_of_json j in
+  let* frontier = list_of_json "frontier" point_of_json j in
+  let* telemetry = of_json_field "telemetry" Option.some j in
+  let* phases =
+    list_of_json "phases"
+      (fun p ->
+        let* name = of_json_field "name" Dse_json.to_str p in
+        let* calls = of_json_field "calls" Dse_json.to_int p in
+        let* total_s = of_json_field "total_s" Dse_json.to_float p in
+        Ok (name, calls, total_s))
+      telemetry
+  in
+  Ok
+    {
+      graph_name;
+      digest;
+      points;
+      failures;
+      frontier;
+      rounds;
+      wall_s;
+      cache_hits;
+      cache_misses;
+      recovered;
+      phases;
+    }
 
 let pp ppf t =
   let on_frontier =

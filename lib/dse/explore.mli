@@ -80,4 +80,13 @@ val run :
   Hls_dfg.Graph.t -> Space.t -> t
 
 val to_json : t -> Dse_json.t
+
+(** Exact inverse of {!to_json} — [to_json (of_json (to_json t)) = to_json t]
+    — so a sweep can cross the wire (the api's explore response) and
+    re-render identically.  Failure classes decode through
+    {!Dse_json.failure_of_json}; libraries are resolved by name through
+    {!Space.known_libs}, so a sweep of a custom library object does not
+    round-trip. *)
+val of_json : Dse_json.t -> (t, string) result
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+(* Blocking client for the request daemon: connect to the Unix-domain
+   socket, one JSON envelope per line each way.  This is what the CLI's
+   --connect flag and `hlsopt call` speak; tests drive it concurrently
+   from several domains. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () ->
+      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t ?id req =
+  match
+    output_string t.oc
+      (Hls_dse.Dse_json.to_string (Hls_api.Request.to_json ?id req));
+    output_char t.oc '\n';
+    flush t.oc
+  with
+  | () -> Ok ()
+  | exception Sys_error m -> Error ("send failed: " ^ m)
+
+let receive t =
+  match input_line t.ic with
+  | line -> Hls_api.Response.of_string line
+  | exception End_of_file -> Error "server closed the connection"
+  | exception Sys_error m -> Error ("receive failed: " ^ m)
+
+(* Raw passthrough for `hlsopt call`: ship an already-encoded line,
+   return the raw response line. *)
+let raw_roundtrip t line =
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc
+  with
+  | exception Sys_error m -> Error ("send failed: " ^ m)
+  | () -> (
+      match input_line t.ic with
+      | resp -> Ok resp
+      | exception End_of_file -> Error "server closed the connection"
+      | exception Sys_error m -> Error ("receive failed: " ^ m))
+
+(* Pipelined passthrough: write every line, flush once, then read one
+   response per line sent.  Responses may arrive in any order (shed
+   Overloaded answers overtake admitted work). *)
+let raw_burst t lines =
+  match
+    List.iter
+      (fun line ->
+        output_string t.oc line;
+        output_char t.oc '\n')
+      lines;
+    flush t.oc
+  with
+  | exception Sys_error m -> Error ("send failed: " ^ m)
+  | () -> (
+      let rec read acc = function
+        | 0 -> Ok (List.rev acc)
+        | n -> (
+            match input_line t.ic with
+            | resp -> read (resp :: acc) (n - 1)
+            | exception End_of_file -> Error "server closed the connection"
+            | exception Sys_error m -> Error ("receive failed: " ^ m))
+      in
+      read [] (List.length lines))
+
+let roundtrip t ?id req =
+  match send t ?id req with Error _ as e -> e | Ok () -> receive t
+
+(* One-shot convenience: connect, ask, disconnect. *)
+let call ~socket ?id req =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok t ->
+      Fun.protect ~finally:(fun () -> close t) (fun () -> roundtrip t ?id req)

@@ -1,0 +1,30 @@
+(** Blocking NDJSON client for the request daemon — what the CLI's
+    [--connect] flag speaks. *)
+
+type t
+
+val connect : string -> (t, string) result
+val close : t -> unit
+
+val send : t -> ?id:string -> Hls_api.Request.t -> (unit, string) result
+
+val receive : t -> (Hls_api.Response.t, string) result
+
+(** Ship an already-encoded request line verbatim, return the raw
+    response line (the [hlsopt call] passthrough). *)
+val raw_roundtrip : t -> string -> (string, string) result
+
+(** Ship every line before reading anything, then read one raw response
+    per line sent ([hlsopt call --burst]).  Responses may reorder across
+    requests; match on id. *)
+val raw_burst : t -> string list -> (string list, string) result
+
+(** [send] then [receive]: fine as long as this connection has at most
+    one request in flight. *)
+val roundtrip :
+  t -> ?id:string -> Hls_api.Request.t -> (Hls_api.Response.t, string) result
+
+(** Connect, round-trip one request, disconnect. *)
+val call :
+  socket:string -> ?id:string -> Hls_api.Request.t ->
+  (Hls_api.Response.t, string) result

@@ -1,0 +1,233 @@
+(* The request daemon: line-delimited JSON over a Unix-domain socket.
+
+   One coordinator thread owns everything: a select loop reads complete
+   lines off client connections, decodes them into Api requests, and
+   admits them to a bounded queue.  Between select rounds the queue is
+   cut into batches and pushed through Exec.run_batch, which fans the
+   pure per-request suffixes out over a domain pool while explore
+   requests (which own a pool and write the shared sweep cache) run
+   serially in the coordinator.  Responses go back on the connection the
+   request came from; requests carry ids, and a shed response can
+   overtake an admitted one, so clients match on id rather than order.
+
+   Backpressure is admission control, never buffering: when the queue is
+   full the request is answered Overloaded (exit code 6, retryable)
+   immediately and nothing is stored — the daemon's memory does not grow
+   with offered load.  A SIGTERM (or the caller's stop flag) drains:
+   lines already read are decoded, the queue is executed to empty,
+   responses are flushed, and only then does serve return. *)
+
+module R = Hls_api.Request
+module Resp = Hls_api.Response
+
+type config = {
+  socket : string;
+  max_queue : int;
+  batch : int;
+  workers : int option;
+  max_line : int;
+}
+
+let default_config ~socket =
+  {
+    socket;
+    max_queue = 64;
+    batch = 16;
+    workers = None;
+    max_line = 8 * 1024 * 1024;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable alive : bool;
+}
+
+let write_line conn s =
+  if conn.alive then
+    let line = s ^ "\n" in
+    let len = String.length line in
+    let rec go off =
+      if off < len then
+        match Unix.write_substring conn.fd line off (len - off) with
+        | n -> go (off + n)
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            conn.alive <- false
+    in
+    go 0
+
+let respond conn resp = write_line conn (Resp.to_string resp)
+
+(* Decode one line and either admit it or answer immediately.  [admit]
+   returns false when the queue is full. *)
+let handle_line ~admit conn line =
+  if String.trim line = "" then ()
+  else
+    match R.of_string line with
+    | Error (`Usage m) -> respond conn (Resp.fail (Resp.Usage m))
+    | Error (`Unsupported_version n) ->
+        respond conn (Resp.fail (Resp.Unsupported_version n))
+    | Ok (id, req) -> (
+        match admit (conn, id, req) with
+        | `Admitted -> ()
+        | `Overloaded (queued, capacity) ->
+            Hls_telemetry.count "server.overloaded";
+            respond conn
+              (Resp.fail ?id (Resp.Overloaded { queued; capacity })))
+
+(* Split freshly buffered bytes into complete lines; the trailing
+   fragment stays buffered. *)
+let drain_lines ~max_line ~admit conn =
+  let data = Buffer.contents conn.buf in
+  let n = String.length data in
+  let start = ref 0 in
+  (try
+     while !start < n do
+       match String.index_from data !start '\n' with
+       | nl ->
+           handle_line ~admit conn (String.sub data !start (nl - !start));
+           start := nl + 1
+       | exception Not_found -> raise Exit
+     done
+   with Exit -> ());
+  Buffer.clear conn.buf;
+  Buffer.add_substring conn.buf data !start (n - !start);
+  if Buffer.length conn.buf > max_line then begin
+    respond conn (Resp.fail (Resp.Usage "request line too long"));
+    conn.alive <- false
+  end
+
+let serve ?(stop = Atomic.make false) ?(handle_signals = false) cfg exec =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  if handle_signals then begin
+    let quit = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+    Sys.set_signal Sys.sigterm quit;
+    Sys.set_signal Sys.sigint quit
+  end;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try if Sys.file_exists cfg.socket then Sys.remove cfg.socket
+   with Sys_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let conns = ref [] in
+  let pending : (conn * string option * R.t) Queue.t = Queue.create () in
+  let admit item =
+    if Queue.length pending >= cfg.max_queue then
+      `Overloaded (Queue.length pending, cfg.max_queue)
+    else begin
+      Queue.add item pending;
+      Hls_telemetry.gauge "server.queue_depth" (float (Queue.length pending));
+      `Admitted
+    end
+  in
+  let execute_pending () =
+    while not (Queue.is_empty pending) do
+      let n = min cfg.batch (Queue.length pending) in
+      let items = Array.init n (fun _ -> Queue.pop pending) in
+      let reqs = Array.map (fun (_, _, r) -> r) items in
+      let results =
+        Hls_telemetry.with_span ~cat:"server"
+          ~attrs:[ ("batch", Hls_telemetry.Int n) ]
+          "server.batch"
+          (fun () -> Hls_api.Exec.run_batch ?workers:cfg.workers exec reqs)
+      in
+      Array.iteri
+        (fun i (conn, id, _) -> respond conn { Resp.id; result = results.(i) })
+        items;
+      Hls_telemetry.gauge "server.queue_depth" (float (Queue.length pending))
+    done
+  in
+  let read_conn conn =
+    let chunk = Bytes.create 65536 in
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> conn.alive <- false
+    | n -> Buffer.add_subbytes conn.buf chunk 0 n
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> conn.alive <- false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  let accept_all () =
+    let rec go () =
+      match Unix.accept listen_fd with
+      | fd, _ ->
+          Hls_telemetry.count "server.connections";
+          conns := { fd; buf = Buffer.create 256; alive = true } :: !conns;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    in
+    go ()
+  in
+  let close_conn conn =
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  in
+  let running = ref true in
+  while !running do
+    if Atomic.get stop then begin
+      (* Drain: decode what was already read, run the queue dry, answer,
+         and only then go down. *)
+      List.iter
+        (fun c ->
+          if c.alive then
+            drain_lines ~max_line:cfg.max_line ~admit c)
+        !conns;
+      execute_pending ();
+      running := false
+    end
+    else begin
+      let fds =
+        listen_fd :: List.filter_map (fun c -> if c.alive then Some c.fd else None) !conns
+      in
+      match Unix.select fds [] [] 0.1 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+          if List.memq listen_fd ready then accept_all ();
+          List.iter
+            (fun c ->
+              if c.alive && List.memq c.fd ready then begin
+                read_conn c;
+                drain_lines ~max_line:cfg.max_line ~admit c
+              end)
+            !conns;
+          execute_pending ();
+          let dead, live =
+            List.partition
+              (fun c ->
+                (not c.alive)
+                && not
+                     (Queue.fold
+                        (fun acc (qc, _, _) -> acc || qc == c)
+                        false pending))
+              !conns
+          in
+          List.iter close_conn dead;
+          conns := live
+    end
+  done;
+  List.iter close_conn !conns;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Sys.remove cfg.socket with Sys_error _ -> ())
+
+(* One-process fallback: NDJSON over stdin/stdout, no socket, no pool —
+   each request runs in the calling domain as the CLI would run it. *)
+let serve_stdio exec ic oc =
+  let respond resp =
+    output_string oc (Resp.to_string resp);
+    output_char oc '\n';
+    flush oc
+  in
+  try
+    while true do
+      let line = input_line ic in
+      if String.trim line <> "" then
+        match R.of_string line with
+        | Error (`Usage m) -> respond (Resp.fail (Resp.Usage m))
+        | Error (`Unsupported_version n) ->
+            respond (Resp.fail (Resp.Unsupported_version n))
+        | Ok (id, req) ->
+            respond { Resp.id; result = Hls_api.Exec.run exec req }
+    done
+  with End_of_file -> ()

@@ -1,0 +1,40 @@
+(** The request daemon: line-delimited JSON (one {!Hls_api.Request}
+    envelope per line) over a Unix-domain socket.
+
+    A single coordinator select loop reads lines, admits decoded requests
+    to a bounded queue, and executes the queue in batches through
+    {!Hls_api.Exec.run_batch} — pure request suffixes fan out over a
+    domain pool; explore requests run serially in the coordinator (they
+    own a pool and write the shared sweep cache).  Requests carry ids and
+    responses can reorder across requests (a shed [Overloaded] answer
+    overtakes admitted work), so clients match on id.
+
+    Backpressure is admission control: a request arriving on a full
+    queue is answered [Overloaded] (exit code 6, retryable) immediately
+    and never stored, so memory does not grow with offered load. *)
+
+type config = {
+  socket : string;  (** path of the Unix-domain socket *)
+  max_queue : int;  (** admission bound: beyond this, requests shed *)
+  batch : int;  (** max requests per pool batch *)
+  workers : int option;  (** pool domains; [None] = auto *)
+  max_line : int;  (** bytes before an unterminated line is rejected *)
+}
+
+(** 64-deep queue, batches of 16, auto workers, 8 MiB line cap. *)
+val default_config : socket:string -> config
+
+(** [serve ?stop ?handle_signals cfg exec] runs until [stop] becomes
+    true — with [handle_signals] (the daemon entry point), SIGTERM and
+    SIGINT set it.  Shutdown drains: lines already received are decoded,
+    the queue is executed to empty and every response flushed before
+    [serve] returns and the socket file is removed.  Tests run [serve] in
+    a domain and flip their own [stop] flag. *)
+val serve :
+  ?stop:bool Atomic.t -> ?handle_signals:bool -> config -> Hls_api.Exec.t ->
+  unit
+
+(** NDJSON over arbitrary channels (the [--stdio] mode): one request per
+    line in, one response per line out, no socket and no pool.  Returns
+    on EOF. *)
+val serve_stdio : Hls_api.Exec.t -> in_channel -> out_channel -> unit

@@ -31,10 +31,14 @@
     trace event's [args] object. *)
 type value = Int of int | Float of float | Str of string | Bool of bool
 
-(** [arm ?trace ?metrics ()] turns the sink on (defaults: metrics only).
-    Arming is idempotent and does not clear previously recorded data; use
-    {!reset} for that. *)
-val arm : ?trace:bool -> ?metrics:bool -> unit -> unit
+(** [arm ?trace ?metrics ?event_cap ()] turns the sink on (defaults:
+    metrics only).  Arming is idempotent and does not clear previously
+    recorded data; use {!reset} for that.  [event_cap] bounds the raw
+    trace-event buffer (default: unbounded): a long-running traced
+    process — the request server — keeps accumulating aggregates past the
+    cap, but raw events are dropped and counted in {!dropped_events}
+    instead of growing without limit. *)
+val arm : ?trace:bool -> ?metrics:bool -> ?event_cap:int -> unit -> unit
 
 (** Turn the sink fully off.  Recorded data is kept (a run typically
     disarms, then exports). *)
@@ -88,6 +92,12 @@ val gauge_max : string -> float option
 (** Recorded trace events (all kinds), oldest first: (name, track id).
     For tests; the JSON export is the real consumer surface. *)
 val recorded_events : unit -> (string * int) list
+
+(** Trace events currently buffered. *)
+val event_count : unit -> int
+
+(** Trace events dropped because the {!arm} [event_cap] was reached. *)
+val dropped_events : unit -> int
 
 (** The Chrome trace-event document as a JSON string:
     [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)

@@ -186,6 +186,15 @@ module Failure = struct
   (** Raised by flows that want to signal an already classified fault. *)
   exception Flow_failure of t
 
+  (** An [Internal] fault reconstructed from a wire message or journal —
+      the original exception no longer exists in this process.  Its
+      registered printer prints the carried text verbatim, so decoding a
+      serialized failure and re-serializing it is lossless. *)
+  exception Remote of string
+
+  let () =
+    Printexc.register_printer (function Remote m -> Some m | _ -> None)
+
   let to_string = function
     | Infeasible m -> "infeasible: " ^ m
     | Timeout s -> Printf.sprintf "timed out after %.2f s" s
@@ -203,6 +212,18 @@ module Failure = struct
   let retryable = function
     | Infeasible _ -> false
     | Timeout _ | Resource _ | Internal _ -> true
+
+  (** Documented process exit codes, one per failure class, shared by
+      [hlsopt] and the api error surface so scripts can tell an
+      impossible design point from a tool fault: infeasible 3, timeout 4,
+      resource 5, internal 7.  (0 is success, 2 a usage error, 6 an
+      overloaded server — see [Hls_api.Error.exit_code]; 1 is left to the
+      shell and 124/125 to cmdliner.) *)
+  let exit_code = function
+    | Infeasible _ -> 3
+    | Timeout _ -> 4
+    | Resource _ -> 5
+    | Internal _ -> 7
 
   (* Registered exception classifiers, consulted in registration order.
      Registration happens at module-initialization time (before any worker

@@ -1,4 +1,13 @@
 module P = Hls_core.Pipeline
+
+(* The deprecated [P.optimized] wrapper collapsed into [Pipeline.run];
+   unwrap the result the way the old entry point did. *)
+let optimized ?lib ?policy ?balance ?cleanup g ~latency =
+  match
+    P.run_graph (P.make_config ?lib ?policy ?balance ?cleanup ()) g ~latency
+  with
+  | Ok r -> r
+  | Error f -> raise (Hls_util.Failure.Flow_failure f)
 module Mobility = Hls_fragment.Mobility
 module Transform = Hls_fragment.Transform
 module Frag_sched = Hls_sched.Frag_sched
@@ -44,7 +53,7 @@ let test_coalesced_partitions () =
 
 let test_coalesced_preserves_semantics () =
   let g = Benchmarks.fir2 () in
-  let opt = P.optimized ~policy:`Coalesced g ~latency:3 in
+  let opt = optimized ~policy:`Coalesced g ~latency:3 in
   (match P.check_optimized_equivalence ~trials:60 g opt with
   | Ok () -> ()
   | Error m -> Alcotest.failf "coalesced changed semantics: %s" m);
@@ -54,8 +63,8 @@ let test_coalesced_preserves_semantics () =
 
 let test_coalesced_same_cycle_budget () =
   let g = Benchmarks.fir2 () in
-  let full = P.optimized g ~latency:3 in
-  let co = P.optimized ~policy:`Coalesced g ~latency:3 in
+  let full = optimized g ~latency:3 in
+  let co = optimized ~policy:`Coalesced g ~latency:3 in
   Alcotest.(check int) "same estimated cycle"
     full.P.opt_report.P.cycle_delta co.P.opt_report.P.cycle_delta
 
@@ -78,7 +87,7 @@ let test_coalesced_infeasibility_is_detected () =
 let test_unbalanced_schedules_verify () =
   List.iter
     (fun (g, latency) ->
-      let opt = P.optimized ~balance:false g ~latency in
+      let opt = optimized ~balance:false g ~latency in
       (match Frag_sched.verify opt.P.schedule with
       | Ok () -> ()
       | Error m -> Alcotest.failf "asap schedule invalid: %s" m);
@@ -108,8 +117,8 @@ let test_balancing_reduces_peak () =
     p
   in
   let g = Motivational.fig3 () in
-  let balanced = (P.optimized ~balance:true g ~latency:3).P.schedule in
-  let asap = (P.optimized ~balance:false g ~latency:3).P.schedule in
+  let balanced = (optimized ~balance:true g ~latency:3).P.schedule in
+  let asap = (optimized ~balance:false g ~latency:3).P.schedule in
   Alcotest.(check bool) "balanced peak <= asap peak" true
     (peak balanced <= peak asap)
 
@@ -144,13 +153,13 @@ let test_cla_conventional_faster () =
 let test_cla_narrows_but_keeps_gain () =
   let g = Motivational.chain3 () in
   let conv = P.conventional ~lib:Hls_techlib.fast_cla g ~latency:3 in
-  let opt = P.optimized ~lib:Hls_techlib.fast_cla g ~latency:3 in
+  let opt = optimized ~lib:Hls_techlib.fast_cla g ~latency:3 in
   let saving =
     P.pct_saved ~original:conv.P.cycle_ns
       ~optimized:opt.P.opt_report.P.cycle_ns
   in
   let conv_r = P.conventional g ~latency:3 in
-  let opt_r = P.optimized g ~latency:3 in
+  let opt_r = optimized g ~latency:3 in
   let saving_ripple =
     P.pct_saved ~original:conv_r.P.cycle_ns
       ~optimized:opt_r.P.opt_report.P.cycle_ns

@@ -1,0 +1,518 @@
+(* The versioned request/response surface: golden v1 wire strings,
+   exact codec round-trips, the exit-code table, the Exec memoization
+   and batch alignment, and an in-process concurrent server smoke
+   (including injected faults reaching pooled requests). *)
+
+module J = Hls_dse.Dse_json
+module Req = Hls_api.Request
+module Resp = Hls_api.Response
+module Exec = Hls_api.Exec
+module Render = Hls_api.Render
+module F = Hls_util.Failure
+module P = Hls_core.Pipeline
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Golden v1 wire strings.  These are the protocol: changing any of
+   them is a wire format break and must bump Request.version.          *)
+
+let test_request_golden () =
+  check "parse request"
+    {|{"v":1,"id":"7","method":"parse","params":{"spec":{"builtin":"chain3"}}}|}
+    (J.to_string (Req.to_json ~id:"7" (Req.Parse { spec = Req.Builtin "chain3" })));
+  check "report request"
+    {|{"v":1,"method":"report","params":{"spec":{"source":"x = a + b"},"latency":4,"config":{"lib":"ripple","policy":"full","balance":true,"cleanup":false},"target_ns":2.5}}|}
+    (J.to_string
+       (Req.to_json
+          (Req.Report
+             {
+               spec = Req.Source "x = a + b";
+               latency = 4;
+               config = Req.default_config;
+               target_ns = Some 2.5;
+             })));
+  check "emit request"
+    {|{"v":1,"id":"c","method":"emit","params":{"spec":{"builtin":"fir2"},"latency":3,"format":"verilog-tb","config":{"lib":"ripple","policy":"full","balance":true,"cleanup":false}}}|}
+    (J.to_string
+       (Req.to_json ~id:"c"
+          (Req.Emit
+             {
+               spec = Req.Builtin "fir2";
+               latency = 3;
+               format = Req.Verilog_tb;
+               config = Req.default_config;
+             })))
+
+let test_response_golden () =
+  check "usage error"
+    {|{"v":1,"id":"1","ok":false,"error":{"class":"usage","message":"bad","exit_code":2,"retryable":false}}|}
+    (Resp.to_string (Resp.fail ~id:"1" (Resp.Usage "bad")));
+  check "unsupported version"
+    {|{"v":1,"ok":false,"error":{"class":"unsupported-version","version":9,"message":"unsupported protocol version 9 (this side speaks 1)","exit_code":2,"retryable":false}}|}
+    (Resp.to_string (Resp.fail (Resp.Unsupported_version 9)));
+  check "overloaded"
+    {|{"v":1,"id":"x","ok":false,"error":{"class":"overloaded","queued":8,"capacity":8,"message":"server overloaded (8 queued, capacity 8); retry later","exit_code":6,"retryable":true}}|}
+    (Resp.to_string (Resp.fail ~id:"x" (Resp.Overloaded { queued = 8; capacity = 8 })));
+  check "infeasible flow failure"
+    {|{"v":1,"id":"9","ok":false,"error":{"class":"infeasible","message":"no placement","exit_code":3,"retryable":false}}|}
+    (Resp.to_string (Resp.fail ~id:"9" (Resp.Failed (F.Infeasible "no placement"))));
+  check "timeout flow failure"
+    {|{"v":1,"ok":false,"error":{"class":"timeout","seconds":1.5,"exit_code":4,"retryable":true}}|}
+    (Resp.to_string (Resp.fail (Resp.Failed (F.Timeout 1.5))))
+
+(* ------------------------------------------------------------------ *)
+(* Request decoding: versioning, defaults, forward compatibility.      *)
+
+let decode line =
+  match Req.of_string line with
+  | Ok (id, req) -> (id, req)
+  | Error (`Usage m) -> Alcotest.failf "unexpected usage error: %s" m
+  | Error (`Unsupported_version n) ->
+      Alcotest.failf "unexpected version rejection: %d" n
+
+let test_request_decode () =
+  (* round-trip of every verb *)
+  let reqs =
+    [
+      Req.Parse { spec = Req.Builtin "chain3" };
+      Req.Optimize
+        {
+          spec = Req.Source "y = a + b";
+          latency = 2;
+          config = { Req.default_config with cleanup = true };
+          vhdl = true;
+        };
+      Req.Report
+        {
+          spec = Req.File "specs/foo.spec";
+          latency = 5;
+          config = { Req.default_config with lib_name = "cla4"; balance = false };
+          target_ns = Some 3.25;
+        };
+      Req.Schedule
+        {
+          spec = Req.Builtin "fir2";
+          latency = 3;
+          flow = Req.Blc;
+          config = Req.default_config;
+        };
+      Req.Explore
+        {
+          spec = Req.Builtin "elliptic";
+          params =
+            {
+              Req.default_explore_params with
+              latencies = [ 2; 7 ];
+              policies = [ `Full; `Coalesced ];
+              jobs = Some 2;
+              timeout_s = Some 0.5;
+              retries = 3;
+              degrade = true;
+            };
+        };
+      Req.Simulate
+        {
+          spec = Req.Builtin "chain3";
+          latency = 3;
+          seed = 42;
+          config = Req.default_config;
+          vcd = true;
+        };
+      Req.Emit
+        {
+          spec = Req.Builtin "chain3";
+          latency = 3;
+          format = Req.Vhdl_netlist;
+          config = Req.default_config;
+        };
+    ]
+  in
+  List.iter
+    (fun req ->
+      let id, back = decode (J.to_string (Req.to_json ~id:"i" req)) in
+      check "id survives" "i" (Option.value id ~default:"<none>");
+      check_bool (Req.method_name req ^ " round-trips") true (back = req))
+    reqs
+
+let test_request_versioning () =
+  (match Req.of_string {|{"v":2,"method":"parse","params":{}}|} with
+  | Error (`Unsupported_version 2) -> ()
+  | _ -> Alcotest.fail "v:2 must be rejected as Unsupported_version");
+  (match Req.of_string {|{"method":"parse","params":{}}|} with
+  | Error (`Usage _) -> ()
+  | _ -> Alcotest.fail "missing v must be a usage error");
+  (match Req.of_string {|{"v":1,"method":"frobnicate","params":{}}|} with
+  | Error (`Usage m) ->
+      check_bool "names the method" true (contains ~affix:"frobnicate" m)
+  | _ -> Alcotest.fail "unknown method must be a usage error");
+  (match Req.of_string "{not json" with
+  | Error (`Usage _) -> ()
+  | _ -> Alcotest.fail "bad JSON must be a usage error");
+  (* unknown params fields are ignored; missing optionals take defaults *)
+  let _, req =
+    decode
+      {|{"v":1,"method":"report","params":{"spec":{"builtin":"chain3"},"future_field":[1,2],"latency":4}}|}
+  in
+  match req with
+  | Req.Report { latency = 4; target_ns = None; config; _ } ->
+      check_bool "defaulted config" true (config = Req.default_config)
+  | _ -> Alcotest.fail "forward-compatible decode broke"
+
+(* ------------------------------------------------------------------ *)
+(* Exit codes and retryability: the documented taxonomy.               *)
+
+let test_exit_codes () =
+  let cases =
+    [
+      (Resp.Usage "m", 2, false);
+      (Resp.Unsupported_version 3, 2, false);
+      (Resp.Overloaded { queued = 1; capacity = 1 }, 6, true);
+      (Resp.Failed (F.Infeasible "m"), 3, false);
+      (Resp.Failed (F.Timeout 1.0), 4, true);
+      (Resp.Failed (F.Resource "m"), 5, true);
+      (Resp.Failed (F.Internal Exit), 7, true);
+    ]
+  in
+  List.iter
+    (fun (e, code, retry) ->
+      check_int (Resp.error_message e) code (Resp.exit_code e);
+      check_bool (Resp.error_message e ^ " retryable") retry (Resp.retryable e))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Response round-trips over real payloads: to_json (of_json (to_json t))
+   = to_json t, and the rendered text is byte-identical after a wire
+   hop (what makes --connect output indistinguishable from local).     *)
+
+let roundtrip_response t =
+  let j = Resp.to_json t in
+  match Resp.of_json j with
+  | Error m -> Alcotest.failf "response failed to decode: %s" m
+  | Ok back ->
+      check "wire round-trip" (J.to_string j) (J.to_string (Resp.to_json back));
+      back
+
+let run_payload exec req =
+  match Exec.run exec req with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "request failed: %s" (Resp.error_message e)
+
+let test_response_roundtrip () =
+  let exec = Exec.create () in
+  Fun.protect ~finally:(fun () -> Exec.close exec) @@ fun () ->
+  let reqs =
+    [
+      Req.Parse { spec = Req.Builtin "chain3" };
+      Req.Report
+        {
+          spec = Req.Builtin "chain3";
+          latency = 3;
+          config = Req.default_config;
+          target_ns = Some 4.0;
+        };
+      Req.Schedule
+        {
+          spec = Req.Builtin "fir2";
+          latency = 3;
+          flow = Req.Optimized;
+          config = Req.default_config;
+        };
+      Req.Schedule
+        {
+          spec = Req.Builtin "fir2";
+          latency = 3;
+          flow = Req.Conventional;
+          config = Req.default_config;
+        };
+      Req.Simulate
+        {
+          spec = Req.Builtin "chain3";
+          latency = 3;
+          seed = 7;
+          config = Req.default_config;
+          vcd = true;
+        };
+      Req.Emit
+        {
+          spec = Req.Builtin "chain3";
+          latency = 3;
+          format = Req.Vhdl;
+          config = Req.default_config;
+        };
+      Req.Explore
+        {
+          spec = Req.Builtin "chain3";
+          params =
+            { Req.default_explore_params with latencies = [ 3; 6 ]; jobs = Some 1 };
+        };
+    ]
+  in
+  List.iter
+    (fun req ->
+      let p = run_payload exec req in
+      let resp = Resp.ok ~id:"r" p in
+      let back = roundtrip_response resp in
+      match back.Resp.result with
+      | Error _ -> Alcotest.fail "ok response decoded as error"
+      | Ok p' ->
+          check
+            (Req.method_name req ^ " renders identically after the wire")
+            (Render.to_text p) (Render.to_text p'))
+    reqs;
+  (* failures survive the wire too; Internal decodes through Remote,
+     whose printer preserves the text *)
+  List.iter
+    (fun f ->
+      ignore (roundtrip_response (Resp.fail (Resp.Failed f))))
+    [
+      F.Infeasible "m";
+      F.Timeout 0.25;
+      F.Resource "fd";
+      F.Internal (Hls_util.Faults.Injected "boom");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline.run is the deprecated wrappers, exactly.                   *)
+
+let test_run_matches_deprecated () =
+  let g = Hls_workloads.Benchmarks.fir2 () in
+  let via_run =
+    match P.run_graph P.default_config g ~latency:3 with
+    | Ok r -> r
+    | Error f -> Alcotest.failf "run_graph failed: %s" (F.to_string f)
+  in
+  let[@alert "-deprecated"] via_deprecated = P.optimized g ~latency:3 in
+  check_bool "same report" true
+    (via_run.P.opt_report = via_deprecated.P.opt_report)
+
+(* ------------------------------------------------------------------ *)
+(* Exec: memoized prepared prefix, batch alignment, injected faults.   *)
+
+let test_exec_memoization () =
+  let exec = Exec.create () in
+  Fun.protect ~finally:(fun () -> Exec.close exec) @@ fun () ->
+  let report latency =
+    Req.Report
+      {
+        spec = Req.Builtin "chain3";
+        latency;
+        config = Req.default_config;
+        target_ns = None;
+      }
+  in
+  ignore (run_payload exec (report 3));
+  let before = Exec.prepared_hits exec in
+  ignore (run_payload exec (report 4));
+  ignore (run_payload exec (report 5));
+  check_bool "prepared prefix memoized across requests" true
+    (Exec.prepared_hits exec >= before + 2)
+
+let test_exec_batch () =
+  let exec = Exec.create () in
+  Fun.protect ~finally:(fun () -> Exec.close exec) @@ fun () ->
+  let reqs =
+    [|
+      Req.Parse { spec = Req.Builtin "chain3" };
+      Req.Parse { spec = Req.Builtin "no-such-workload" };
+      Req.Report
+        {
+          spec = Req.Builtin "fir2";
+          latency = 3;
+          config = Req.default_config;
+          target_ns = None;
+        };
+    |]
+  in
+  let rs = Exec.run_batch ~workers:2 exec reqs in
+  check_int "batch size" 3 (Array.length rs);
+  (match rs.(0) with
+  | Ok (Resp.Parsed _) -> ()
+  | _ -> Alcotest.fail "batch slot 0 should parse");
+  (match rs.(1) with
+  | Error (Resp.Usage m) ->
+      check_bool "unknown builtin named" true
+        (contains ~affix:"no-such-workload" m)
+  | _ -> Alcotest.fail "batch slot 1 should be a usage error");
+  match rs.(2) with
+  | Ok (Resp.Reported _) -> ()
+  | _ -> Alcotest.fail "batch slot 2 should report"
+
+let test_exec_batch_faults () =
+  (* an injected fault under job index 1 must surface as that request's
+     classified Internal failure and leave its neighbours untouched *)
+  let exec = Exec.create () in
+  Fun.protect
+    ~finally:(fun () ->
+      Hls_util.Faults.disarm ();
+      Exec.close exec)
+  @@ fun () ->
+  Hls_util.Faults.(arm { inert with fail_job = Some (1, 1) });
+  let parse b = Req.Parse { spec = Req.Builtin b } in
+  let rs =
+    Exec.run_batch ~workers:2 exec [| parse "chain3"; parse "fir2"; parse "fig3" |]
+  in
+  (match rs.(1) with
+  | Error (Resp.Failed (F.Internal _) as e) ->
+      check_bool "injected fault is retryable" true (Resp.retryable e)
+  | _ -> Alcotest.fail "fault must land on batch index 1");
+  match (rs.(0), rs.(2)) with
+  | Ok _, Ok _ -> ()
+  | _ -> Alcotest.fail "faults must not leak onto other batch slots"
+
+(* ------------------------------------------------------------------ *)
+(* In-process server smoke: several client domains against one daemon,
+   responses matched on id; shedding on a full queue; injected faults
+   reaching pooled requests through the server path.                   *)
+
+let with_server ?(max_queue = 64) f =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hls-api-test-%d.sock" (Unix.getpid ()))
+  in
+  (try Sys.remove socket with Sys_error _ -> ());
+  let exec = Exec.create () in
+  let stop = Atomic.make false in
+  let cfg =
+    { (Hls_server.Server.default_config ~socket) with max_queue; workers = Some 2 }
+  in
+  let srv = Domain.spawn (fun () -> Hls_server.Server.serve ~stop cfg exec) in
+  let rec wait_up n =
+    if n = 0 then Alcotest.fail "server socket never appeared";
+    if not (Sys.file_exists socket) then (Unix.sleepf 0.02; wait_up (n - 1))
+  in
+  wait_up 250;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join srv;
+      Exec.close exec)
+    (fun () -> f socket)
+
+let test_server_concurrent () =
+  with_server @@ fun socket ->
+  let client k =
+    let reqs =
+      [
+        Req.Parse { spec = Req.Builtin "chain3" };
+        Req.Report
+          {
+            spec = Req.Builtin "fir2";
+            latency = 3;
+            config = Req.default_config;
+            target_ns = None;
+          };
+        Req.Emit
+          {
+            spec = Req.Builtin "chain3";
+            latency = 3;
+            format = Req.Verilog;
+            config = Req.default_config;
+          };
+      ]
+    in
+    List.mapi
+      (fun i req ->
+        let id = Printf.sprintf "c%d-%d" k i in
+        match Hls_server.Client.call ~socket ~id req with
+        | Error m -> Alcotest.failf "client %s transport error: %s" id m
+        | Ok resp ->
+            check "response id" id (Option.value resp.Resp.id ~default:"<none>");
+            Result.is_ok resp.Resp.result)
+      reqs
+  in
+  let domains = List.init 3 (fun k -> Domain.spawn (fun () -> client k)) in
+  let oks = List.concat_map Domain.join domains in
+  check_int "every request succeeded" 9
+    (List.length (List.filter Fun.id oks))
+
+let test_server_sheds_on_full_queue () =
+  with_server ~max_queue:1 @@ fun socket ->
+  match Hls_server.Client.connect socket with
+  | Error m -> Alcotest.failf "connect: %s" m
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Hls_server.Client.close c) @@ fun () ->
+      (* one write delivering a burst of lines: drain_lines admits into a
+         1-deep queue, so at most one survives admission per loop turn
+         and the rest are answered Overloaded immediately *)
+      let line =
+        J.to_string
+          (Req.to_json ~id:"b" (Req.Parse { spec = Req.Builtin "chain3" }))
+      in
+      let n = 6 in
+      let burst = String.concat "\n" (List.init n (fun _ -> line)) ^ "\n" in
+      (match Hls_server.Client.raw_roundtrip c burst with
+      | Error m -> Alcotest.failf "burst send: %s" m
+      | Ok _first -> ());
+      let shed = ref 0 and okd = ref 1 (* first response already read *) in
+      for _ = 2 to n do
+        match Hls_server.Client.receive c with
+        | Error m -> Alcotest.failf "receive: %s" m
+        | Ok { Resp.result = Error (Resp.Overloaded _); _ } -> incr shed
+        | Ok { Resp.result = Error e; _ } ->
+            Alcotest.failf "unexpected error: %s" (Resp.error_message e)
+        | Ok { Resp.result = Ok _; _ } -> incr okd
+      done;
+      check_bool "at least one request shed" true (!shed >= 1);
+      check_bool "at least one request admitted" true (!okd >= 1);
+      check_int "nothing lost" n (!shed + !okd)
+
+let test_server_faults () =
+  (* HLS_FAULTS-style injection reaches requests batched by the server:
+     batch index 0 fails its first two executions, so a sequential
+     client sees fail, fail, then success — each classified Internal
+     and marked retryable on the wire. *)
+  Hls_util.Faults.(arm { inert with fail_job = Some (0, 2) });
+  Fun.protect ~finally:Hls_util.Faults.disarm @@ fun () ->
+  with_server @@ fun socket ->
+  let ask i =
+    match
+      Hls_server.Client.call ~socket ~id:(string_of_int i)
+        (Req.Parse { spec = Req.Builtin "chain3" })
+    with
+    | Error m -> Alcotest.failf "transport: %s" m
+    | Ok r -> r.Resp.result
+  in
+  (match ask 1 with
+  | Error (Resp.Failed (F.Internal _) as e) ->
+      check_bool "retryable on the wire" true (Resp.retryable e)
+  | _ -> Alcotest.fail "first execution must hit the injected fault");
+  (match ask 2 with
+  | Error (Resp.Failed (F.Internal _)) -> ()
+  | _ -> Alcotest.fail "second execution must hit the injected fault");
+  match ask 3 with
+  | Ok (Resp.Parsed _) -> ()
+  | _ -> Alcotest.fail "third execution must succeed"
+
+let suite =
+  [
+    Alcotest.test_case "golden v1 request strings" `Quick test_request_golden;
+    Alcotest.test_case "golden v1 response strings" `Quick test_response_golden;
+    Alcotest.test_case "request codec round-trips" `Quick test_request_decode;
+    Alcotest.test_case "versioning and forward compat" `Quick
+      test_request_versioning;
+    Alcotest.test_case "exit-code taxonomy" `Quick test_exit_codes;
+    Alcotest.test_case "response round-trip + stable rendering" `Quick
+      test_response_roundtrip;
+    Alcotest.test_case "Pipeline.run == deprecated wrappers" `Quick
+      test_run_matches_deprecated;
+    Alcotest.test_case "exec memoizes the prepared prefix" `Quick
+      test_exec_memoization;
+    Alcotest.test_case "exec batch alignment" `Quick test_exec_batch;
+    Alcotest.test_case "exec batch fault injection" `Quick
+      test_exec_batch_faults;
+    Alcotest.test_case "server: concurrent clients" `Quick
+      test_server_concurrent;
+    Alcotest.test_case "server: bounded queue sheds" `Quick
+      test_server_sheds_on_full_queue;
+    Alcotest.test_case "server: faults reach batched requests" `Quick
+      test_server_faults;
+  ]

@@ -194,7 +194,9 @@ let test_explore_matches_serial () =
     List.map
       (fun latency ->
         Cache.metrics_of_report
-          (P.optimized g ~latency).P.opt_report)
+          (match P.run_graph P.default_config g ~latency with
+          | Ok r -> r.P.opt_report
+          | Error f -> raise (Hls_util.Failure.Flow_failure f)))
       latencies
   in
   List.iter

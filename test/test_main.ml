@@ -28,4 +28,5 @@ let () =
       ("dse_faults", Test_dse_faults.suite);
       ("bitnet", Test_bitnet.suite);
       ("telemetry", Test_telemetry.suite);
+      ("api", Test_api.suite);
     ]

@@ -7,6 +7,18 @@ module Graph = Hls_dfg.Graph
 module Cp = Hls_timing.Critical_path
 module Csd = Hls_util.Csd
 
+
+(* The deprecated [Pipeline.optimized] wrapper collapsed into
+   [Pipeline.run]; unwrap the result the way the old entry point did. *)
+let optimized ?lib ?policy ?balance ?cleanup g ~latency =
+  match
+    Hls_core.Pipeline.run_graph
+      (Hls_core.Pipeline.make_config ?lib ?policy ?balance ?cleanup ())
+      g ~latency
+  with
+  | Ok r -> r
+  | Error f -> raise (Hls_util.Failure.Flow_failure f)
+
 let contains haystack needle =
   let nl = String.length needle and hl = String.length haystack in
   let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
@@ -105,7 +117,7 @@ let test_pp_smoke () =
   Alcotest.(check bool) "plan pp mentions cycle" true (contains s "cycle 3 bits");
   let s = Format.asprintf "%a" Hls_techlib.pp Hls_techlib.default in
   Alcotest.(check bool) "techlib pp mentions delta" true (contains s "delta");
-  let opt = Hls_core.Pipeline.optimized g ~latency:3 in
+  let opt = optimized g ~latency:3 in
   let dp = opt.Hls_core.Pipeline.opt_report.Hls_core.Pipeline.datapath in
   let s = Format.asprintf "%a" Hls_alloc.Datapath.pp dp in
   Alcotest.(check bool) "datapath pp mentions latency" true

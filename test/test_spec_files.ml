@@ -4,6 +4,18 @@
 
 module Elaborate = Hls_speclang.Elaborate
 
+
+(* The deprecated [Pipeline.optimized] wrapper collapsed into
+   [Pipeline.run]; unwrap the result the way the old entry point did. *)
+let optimized ?lib ?policy ?balance ?cleanup g ~latency =
+  match
+    Hls_core.Pipeline.run_graph
+      (Hls_core.Pipeline.make_config ?lib ?policy ?balance ?cleanup ())
+      g ~latency
+  with
+  | Ok r -> r
+  | Error f -> raise (Hls_util.Failure.Flow_failure f)
+
 let read path =
   let ic = open_in path in
   let len = in_channel_length ic in
@@ -49,7 +61,7 @@ let test_sat_accumulate_spec () =
   Alcotest.(check int) "below limit" 30 (run 10 20 100);
   Alcotest.(check int) "clamped" 100 (run 90 20 100);
   (* And it goes through the whole flow. *)
-  let opt = Hls_core.Pipeline.optimized g ~latency:2 in
+  let opt = optimized g ~latency:2 in
   match Hls_core.Pipeline.check_optimized_equivalence ~trials:40 g opt with
   | Ok () -> ()
   | Error m -> Alcotest.failf "sat flow: %s" m
@@ -58,7 +70,7 @@ let test_spec_files_through_flow () =
   List.iter
     (fun (path, latency) ->
       let g = load path in
-      let opt = Hls_core.Pipeline.optimized g ~latency in
+      let opt = optimized g ~latency in
       match Hls_core.Pipeline.check_optimized_equivalence ~trials:20 g opt with
       | Ok () -> ()
       | Error m -> Alcotest.failf "%s: %s" path m)

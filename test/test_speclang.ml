@@ -6,6 +6,18 @@ module Ast = Hls_speclang.Ast
 module Graph = Hls_dfg.Graph
 module Bv = Hls_bitvec
 
+
+(* The deprecated [Pipeline.optimized] wrapper collapsed into
+   [Pipeline.run]; unwrap the result the way the old entry point did. *)
+let optimized ?lib ?policy ?balance ?cleanup g ~latency =
+  match
+    Hls_core.Pipeline.run_graph
+      (Hls_core.Pipeline.make_config ?lib ?policy ?balance ?cleanup ())
+      g ~latency
+  with
+  | Ok r -> r
+  | Error f -> raise (Hls_util.Failure.Flow_failure f)
+
 let contains haystack needle =
   let nl = String.length needle and hl = String.length haystack in
   let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
@@ -267,7 +279,7 @@ y = (x < limit) ? x : limit;
 end
 |}
   in
-  let opt = Hls_core.Pipeline.optimized g ~latency:2 in
+  let opt = optimized g ~latency:2 in
   match Hls_core.Pipeline.check_optimized_equivalence ~trials:60 g opt with
   | Ok () -> ()
   | Error m -> Alcotest.failf "ternary flow: %s" m

@@ -2,6 +2,15 @@
    full flow on the extra benchmarks. *)
 
 module P = Hls_core.Pipeline
+
+(* The deprecated [P.optimized] wrapper collapsed into [Pipeline.run];
+   unwrap the result the way the old entry point did. *)
+let optimized ?lib ?policy ?balance ?cleanup g ~latency =
+  match
+    P.run_graph (P.make_config ?lib ?policy ?balance ?cleanup ()) g ~latency
+  with
+  | Ok r -> r
+  | Error f -> raise (Hls_util.Failure.Flow_failure f)
 module Extra = Hls_workloads.Extra
 module Random_dfg = Hls_workloads.Random_dfg
 module Bv = Hls_bitvec
@@ -72,7 +81,7 @@ let test_extra_full_flow () =
       List.iter
         (fun latency ->
           let conv = P.conventional g ~latency in
-          let opt = P.optimized g ~latency in
+          let opt = optimized g ~latency in
           (match P.check_optimized_equivalence ~trials:25 g opt with
           | Ok () -> ()
           | Error m -> Alcotest.failf "%s λ=%d: %s" name latency m);
@@ -87,7 +96,7 @@ let test_extra_cycle_sim () =
   List.iter
     (fun (name, g, latencies) ->
       let latency = List.hd latencies in
-      let opt = P.optimized g ~latency in
+      let opt = optimized g ~latency in
       let prng = Hls_util.Prng.create ~seed:77 in
       for _ = 1 to 10 do
         let inputs = Hls_sim.random_inputs g prng in
@@ -141,7 +150,7 @@ let test_adpcm_decoder_composed () =
   let g = Hls_workloads.Adpcm.decoder () in
   Hls_dfg.Graph.validate g;
   let latency = 6 in
-  let opt = P.optimized g ~latency in
+  let opt = optimized g ~latency in
   (match P.check_optimized_equivalence ~trials:25 g opt with
   | Ok () -> ()
   | Error m -> Alcotest.failf "decoder equivalence: %s" m);
@@ -168,7 +177,7 @@ let test_stress_full_flow () =
       ~seed:99 ()
   in
   let latency = 8 in
-  let opt = P.optimized g ~latency in
+  let opt = optimized g ~latency in
   (match P.check_optimized_equivalence ~trials:10 g opt with
   | Ok () -> ()
   | Error m -> Alcotest.failf "stress equivalence: %s" m);
