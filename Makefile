@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke examples explore-smoke fault-smoke trace-smoke serve-smoke check clean
+.PHONY: all build test bench bench-smoke examples explore-smoke xform-smoke fault-smoke trace-smoke serve-smoke check clean
 
 all: build
 
@@ -17,6 +17,26 @@ explore-smoke:
 	echo "$$out" | grep -q '"frontier":' || { echo "explore-smoke: no frontier in output"; exit 1; }; \
 	if echo "$$out" | grep -q '"frontier": \[\]'; then echo "explore-smoke: empty frontier"; exit 1; fi; \
 	echo "explore-smoke: ok (non-empty frontier)"
+
+# Transformation smoke: the standard and aggressive recipes over every
+# registry workload, with the equivalence gate on every pass.  Any
+# REJECTED line means a catalog pass broke a real workload and the gate
+# caught it — either way the build must not ship it silently.
+xform-smoke:
+	@dune build bin/hlsopt.exe; \
+	hlsopt=_build/default/bin/hlsopt.exe; \
+	for w in $$($$hlsopt list | awk '{print $$1}'); do \
+	  for r in standard aggressive; do \
+	    out=$$($$hlsopt transform --builtin $$w --recipe $$r --verify every_pass) \
+	      || { echo "xform-smoke: $$w/$$r failed"; exit 1; }; \
+	    echo "$$out" | grep -q 'REJECTED' \
+	      && { echo "xform-smoke: $$w/$$r had a rejected pass"; \
+	           echo "$$out" | head -5; exit 1; }; \
+	    echo "$$out" | grep -q ', 0 rejected' \
+	      || { echo "xform-smoke: $$w/$$r missing summary"; exit 1; }; \
+	  done; \
+	done; \
+	echo "xform-smoke: ok (standard + aggressive verified on every workload)"
 
 # Tiny-iteration run of the timing bench (reference vs Bitnet pairs) and a
 # sanity check of the JSON it emits.  The full-quota run that regenerates
@@ -120,7 +140,7 @@ serve-smoke:
 	  || { echo "serve-smoke: burst shed everything, nothing admitted"; exit 1; }; \
 	echo "serve-smoke: ok (byte-identical under concurrency, bounded queue sheds, SIGTERM drains)"
 
-check: build test explore-smoke bench-smoke fault-smoke trace-smoke serve-smoke
+check: build test explore-smoke xform-smoke bench-smoke fault-smoke trace-smoke serve-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -16,9 +16,11 @@ module P = Hls_core.Pipeline
 
 (* The deprecated [P.optimized] wrapper collapsed into [Pipeline.run];
    unwrap the result the way the old entry point did. *)
-let optimized ?lib ?policy ?balance ?cleanup g ~latency =
+let optimized ?lib ?policy ?balance ?cleanup ?transform g ~latency =
   match
-    P.run_graph (P.make_config ?lib ?policy ?balance ?cleanup ()) g ~latency
+    P.run_graph
+      (P.make_config ?lib ?policy ?balance ?cleanup ?transform ())
+      g ~latency
   with
   | Ok r -> r
   | Error f -> raise (Hls_util.Failure.Flow_failure f)
@@ -434,7 +436,7 @@ let dse () =
     | None -> failwith "elliptic missing from the workload registry"
   in
   let space =
-    Hls_dse.Space.make
+    Hls_dse.Space.make_exn
       ~latencies:(List.init 12 (fun i -> 3 + i))
       ~policies:[ `Full; `Coalesced ]
       ~balance:[ true; false ] ()
@@ -771,6 +773,22 @@ let timing () =
                Fun.protect ~finally:Hls_telemetry.disarm tel_sweep));
       ]
   in
+  (* Behavioural transformation recipes on the ADPCM decoder: the cost
+     of running each preset (no verification — that is priced by the
+     checker, not the engine) next to what it buys the flow at the
+     sweep's tightest latency. *)
+  let xform_specs = [ "cleanup"; "standard"; "aggressive" ] in
+  let xform_graph = Hls_workloads.Adpcm.decoder () in
+  let tests =
+    tests
+    @ List.map
+        (fun spec ->
+          let recipe = Hls_xform.Recipe.of_string_exn spec in
+          Test.make ~name:("adpcm/xform/" ^ spec)
+            (Staged.stage (fun () ->
+                 ignore (Hls_xform.Engine.apply recipe xform_graph))))
+        xform_specs
+  in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
     if quick then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.02) ()
@@ -806,6 +824,41 @@ let timing () =
       Printf.printf "%-12s %-16s %14.1f %14.1f %8.2fx\n" w a r n s)
     rows;
   if rows = [] then prerr_endline "timing: no estimates collected";
+  let xform_rows =
+    let module X = Hls_xform in
+    (* the adpcm sweep's tightest latency — where a shallower behaviour
+       actually moves the cycle; with slack the scheduler hides it *)
+    let latency = 4 in
+    let baseline = optimized xform_graph ~latency in
+    List.map
+      (fun spec ->
+        let recipe = X.Recipe.of_string_exn spec in
+        let o = X.Engine.apply recipe xform_graph in
+        let r = optimized ~transform:recipe xform_graph ~latency in
+        let cycle = r.P.opt_report.P.cycle_ns in
+        let saved =
+          P.pct_saved ~original:baseline.P.opt_report.P.cycle_ns
+            ~optimized:cycle
+        in
+        ( spec,
+          estimate ("adpcm/xform/" ^ spec),
+          Hls_dfg.Graph.node_count xform_graph,
+          Hls_dfg.Graph.node_count o.X.Engine.graph,
+          X.Plan.depth xform_graph,
+          X.Plan.depth o.X.Engine.graph,
+          cycle,
+          saved ))
+      xform_specs
+  in
+  Printf.printf "%-12s %-16s %14s %11s %11s %9s %7s\n" "workload" "recipe"
+    "engine ns" "nodes" "depth" "cycle/ns" "saved";
+  List.iter
+    (fun (spec, est, nb, na, db, da, cycle, saved) ->
+      Printf.printf "%-12s %-16s %14s %4d -> %4d %4d -> %4d %9.2f %6.1f%%\n"
+        "adpcm" spec
+        (match est with Some e -> Printf.sprintf "%.1f" e | None -> "-")
+        nb na db da cycle saved)
+    xform_rows;
   let telemetry =
     match
       ( estimate "adpcm/pipeline_sweep/net",
@@ -852,6 +905,30 @@ let timing () =
                        ("speedup", J.Float s);
                      ])
                  rows) );
+          (* Per-recipe deltas on the ADPCM decoder at the sweep's
+             tightest latency: what each preset costs (engine alone,
+             unverified) and what it buys the finished flow. *)
+          ( "transforms",
+            J.List
+              (List.map
+                 (fun (spec, est, nb, na, db, da, cycle, saved) ->
+                   J.Obj
+                     ([
+                        ("workload", J.String "adpcm");
+                        ("recipe", J.String spec);
+                      ]
+                     @ (match est with
+                       | Some e -> [ ("engine_ns_per_run", J.Float e) ]
+                       | None -> [])
+                     @ [
+                         ("nodes_before", J.Int nb);
+                         ("nodes_after", J.Int na);
+                         ("depth_before", J.Int db);
+                         ("depth_after", J.Int da);
+                         ("cycle_ns", J.Float cycle);
+                         ("cycle_saved_pct", J.Float saved);
+                       ]))
+                 xform_rows) );
           (* Disabled-mode overhead is bounded by the delta between two
              measurements of the same unarmed sweep (pipeline_sweep/net
              and telemetry/off share every instruction); the armed figure
@@ -879,6 +956,51 @@ let timing () =
     Printf.printf "wrote %s\n" path
   end
 
+(* ------------------------------------------------------------------ *)
+(* Behavioural transformation recipes: what each preset buys on the
+   ADPCM workloads before fragmentation even starts (node/depth deltas
+   from the plan log) and what lands after the full flow (cycle, area).
+   Every application runs under the every-pass equivalence gate, so a
+   row in this table is a verified rewrite, not a hopeful one.          *)
+
+let xform_bench () =
+  section "Behavioural transformation recipes (lib/xform), ADPCM workloads";
+  let module X = Hls_xform in
+  let latency = 4 in
+  Printf.printf "%-16s %-10s %11s %11s %9s %6s %7s %7s\n" "workload" "recipe"
+    "nodes" "depth" "cycle/ns" "gates" "checks" "fired";
+  List.iter
+    (fun wname ->
+      let g =
+        match Hls_workloads.Registry.find wname with
+        | Some g -> g
+        | None -> failwith (wname ^ " missing from the workload registry")
+      in
+      List.iter
+        (fun spec ->
+          let recipe = X.Recipe.of_string_exn spec in
+          let o = X.Engine.apply ~policy:X.Verify.Every_pass recipe g in
+          if o.X.Engine.rejected > 0 then
+            failwith (wname ^ "/" ^ spec ^ ": a pass was rejected");
+          let fired =
+            List.length
+              (List.filter
+                 (fun (e : X.Engine.entry) -> e.X.Engine.e_fired)
+                 o.X.Engine.log)
+          in
+          let r =
+            optimized
+              ~transform:recipe g ~latency
+          in
+          Printf.printf "%-16s %-10s %4d -> %4d %4d -> %4d %9.2f %6d %7d %7d\n"
+            wname spec (Hls_dfg.Graph.node_count g)
+            (Hls_dfg.Graph.node_count o.X.Engine.graph) (X.Plan.depth g)
+            (X.Plan.depth o.X.Engine.graph) r.P.opt_report.P.cycle_ns
+            r.P.opt_report.P.area.Datapath.total_gates o.X.Engine.checks fired)
+        [ "none"; "cleanup"; "standard"; "aggressive" ];
+      print_newline ())
+    [ "adpcm-iaq"; "adpcm-ttd"; "adpcm-opfc-sca"; "adpcm-decoder" ]
+
 let all_tables () =
   fig1_fig2 ();
   table1 ();
@@ -901,6 +1023,7 @@ let () =
   | "speed" -> speed ()
   | "timing" -> timing ()
   | "api" -> api_bench ()
+  | "xform" -> xform_bench ()
   | "fig1" | "fig2" -> fig1_fig2 ()
   | "table1" -> table1 ()
   | "fig3" | "fig3h" -> fig3 ()
@@ -913,6 +1036,6 @@ let () =
   | other ->
       prerr_endline
         ("unknown experiment " ^ other
-       ^ " (try: all, tables, speed, timing, api, dse, fig1, table1, fig3, \
-          table2, table3, fig4)");
+       ^ " (try: all, tables, speed, timing, api, xform, dse, fig1, table1, \
+          fig3, table2, table3, fig4)");
       exit 1

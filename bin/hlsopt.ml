@@ -10,6 +10,7 @@
    Subcommands:
      parse       parse and validate a specification, print its statistics
      optimize    run the presynthesis transformation, print the new spec
+     transform   apply a behavioural rewrite recipe, print plan log + graph
      schedule    schedule with a chosen flow and print the cycle assignment
      report      compare the conventional / BLC / optimized flows
      explore     sweep the design space and print its Pareto frontier
@@ -191,23 +192,47 @@ let schedule_cmd =
     Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
           $ latency_arg $ flow_arg)
 
+(* Shared by report and transform: recipe / verify-policy options.  A
+   recipe spec is passes joined by ',' or '+' (use '+' where a comma
+   would clash with another list, e.g. explore's --recipes axis), a
+   preset name, or repeat(...) around either. *)
+let transform_doc =
+  "Behavioural transformation recipe: passes joined by ',' or '+', a \
+   preset (none, cleanup, standard, aggressive) or repeat(...)."
+
+let verify_doc =
+  "Equivalence gate on the recipe's passes: off, sampled or every_pass."
+
 let report_cmd =
-  let run tel connect file builtin latency cleanup target_ns =
+  let run tel connect file builtin latency transform verify cleanup target_ns =
     with_telemetry tel @@ fun () ->
+    let transform =
+      if not cleanup then transform
+      else if transform = "none" then "cleanup"
+      else usage_die "give --transform or the deprecated --cleanup, not both"
+    in
     let req =
       Req.Report
         {
           spec = spec_of ~file ~builtin;
           latency;
-          config = { Req.default_config with cleanup };
+          config = { Req.default_config with transform; verify };
           target_ns;
         }
     in
     print_string (Api.Render.to_text (payload_or_die connect req))
   in
+  let transform_arg =
+    Arg.(value & opt string "none"
+         & info [ "transform"; "t" ] ~docv:"RECIPE" ~doc:transform_doc)
+  in
+  let verify_arg =
+    Arg.(value & opt string "off"
+         & info [ "verify" ] ~docv:"POLICY" ~doc:verify_doc)
+  in
   let cleanup_arg =
     Arg.(value & flag & info [ "cleanup" ]
-           ~doc:"Run constant folding / CSE / DCE before fragmentation.")
+           ~doc:"Deprecated alias for --transform cleanup.")
   in
   let target_arg =
     Arg.(value & opt (some float) None
@@ -217,7 +242,31 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc:"Compare the conventional and optimized flows")
     Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
-          $ latency_arg $ cleanup_arg $ target_arg)
+          $ latency_arg $ transform_arg $ verify_arg $ cleanup_arg
+          $ target_arg)
+
+let transform_cmd =
+  let run tel connect file builtin recipe verify =
+    with_telemetry tel @@ fun () ->
+    let req =
+      Req.Transform { spec = spec_of ~file ~builtin; recipe; verify }
+    in
+    print_string (Api.Render.to_text (payload_or_die connect req))
+  in
+  let recipe_arg =
+    Arg.(value & opt string "standard"
+         & info [ "recipe"; "r" ] ~docv:"RECIPE" ~doc:transform_doc)
+  in
+  let verify_arg =
+    Arg.(value & opt string "every_pass"
+         & info [ "verify" ] ~docv:"POLICY" ~doc:verify_doc)
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:"Apply a verified behavioural transformation recipe and print \
+             the plan log and the rewritten graph")
+    Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
+          $ recipe_arg $ verify_arg)
 
 let emit_vhdl_cmd =
   let run tel connect file builtin latency rtl netlist =
@@ -327,8 +376,9 @@ let list_cmd =
 
 let explore_cmd =
   let module Dse = Hls_dse in
-  let run tel connect file builtin latspec policies libs balance cleanup jobs
-      timeout cache_path feedback retries backoff degrade resume json =
+  let run tel connect file builtin latspec policies libs balance recipes
+      verify cleanup jobs timeout cache_path feedback retries backoff degrade
+      resume json =
     (* The sweep always arms metric recording: its report carries the
        per-phase time breakdown whether or not --metrics was given. *)
     with_telemetry ~arm_metrics:true tel @@ fun () ->
@@ -354,7 +404,20 @@ let explore_cmd =
       | s -> Error (Printf.sprintf "bad %s %S (use on, off or both)" name s)
     in
     let balance = or_die (bools ~name:"--balance" balance) in
-    let cleanup = or_die (bools ~name:"--cleanup" cleanup) in
+    (* --recipes is the axis; within one axis value join passes with '+'
+       (commas separate axis values here).  --cleanup survives as a
+       deprecated translation onto the cleanup preset. *)
+    let recipes =
+      match (recipes, cleanup) with
+      | "", "off" -> [ "none" ]
+      | "", spec ->
+          List.map
+            (fun on -> if on then "cleanup" else "none")
+            (or_die (bools ~name:"--cleanup" spec))
+      | spec, "off" -> Hls_xform.Recipe.split_specs spec
+      | _, _ ->
+          usage_die "give --recipes or the deprecated --cleanup, not both"
+    in
     if connect <> None && (cache_path <> None || resume) then
       usage_die "--cache/--resume are daemon-side state; drop them with \
                  --connect (start the daemon with --cache instead)";
@@ -399,7 +462,8 @@ let explore_cmd =
         policies;
         lib_names;
         balance_axis = balance;
-        cleanup_axis = cleanup;
+        recipes;
+        verify;
         jobs = (if jobs <= 0 then None else Some jobs);
         timeout_s = timeout;
         feedback;
@@ -437,10 +501,22 @@ let explore_cmd =
          & info [ "balance" ] ~docv:"B"
              ~doc:"Scheduler balancing axis: on, off or both.")
   in
+  let recipes_arg =
+    Arg.(value & opt string ""
+         & info [ "recipes" ] ~docv:"SPECS"
+             ~doc:"Transformation-recipe axis: comma-separated recipe specs \
+                   (join passes inside one recipe with '+', e.g. \
+                   none,standard,fold+cse+dce).")
+  in
+  let verify_arg =
+    Arg.(value & opt string "off"
+         & info [ "verify" ] ~docv:"POLICY" ~doc:verify_doc)
+  in
   let cleanup_arg =
     Arg.(value & opt string "off"
          & info [ "cleanup" ] ~docv:"C"
-             ~doc:"Presynthesis cleanup axis: on, off or both.")
+             ~doc:"Deprecated: presynthesis cleanup axis (on, off or both); \
+                   use --recipes none,cleanup instead.")
   in
   let jobs_arg =
     Arg.(value & opt int 0
@@ -495,9 +571,10 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:"Sweep the design space and print its Pareto frontier")
     Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
-          $ latency_arg $ policies_arg $ libs_arg $ balance_arg $ cleanup_arg
-          $ jobs_arg $ timeout_arg $ cache_arg $ feedback_arg $ retries_arg
-          $ backoff_arg $ degrade_arg $ resume_arg $ json_arg)
+          $ latency_arg $ policies_arg $ libs_arg $ balance_arg $ recipes_arg
+          $ verify_arg $ cleanup_arg $ jobs_arg $ timeout_arg $ cache_arg
+          $ feedback_arg $ retries_arg $ backoff_arg $ degrade_arg
+          $ resume_arg $ json_arg)
 
 let serve_cmd =
   let module Server = Hls_server.Server in
@@ -687,8 +764,8 @@ let () =
 let main =
   let doc = "operation-fragmentation presynthesis optimization for HLS" in
   Cmd.group (Cmd.info "hlsopt" ~version:"1.0.0" ~doc)
-    [ parse_cmd; optimize_cmd; schedule_cmd; report_cmd; explore_cmd;
-      emit_vhdl_cmd; emit_verilog_cmd; simulate_cmd; serve_cmd; call_cmd;
-      list_cmd; trace_validate_cmd ]
+    [ parse_cmd; optimize_cmd; transform_cmd; schedule_cmd; report_cmd;
+      explore_cmd; emit_vhdl_cmd; emit_verilog_cmd; simulate_cmd; serve_cmd;
+      call_cmd; list_cmd; trace_validate_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -5,8 +5,8 @@
 
    - [stage] runs on the coordinator.  It loads the specification,
      resolves the config, and memoizes the latency-independent pipeline
-     prefix (Pipeline.prepare) per (graph digest, cleanup) — the shared
-     mutable state lives here and only here.
+     prefix (Pipeline.prepare) per (graph digest, recipe, verify) — the
+     shared mutable state lives here and only here.
    - the returned thunk is the per-request suffix.  [Pure] thunks touch
      nothing shared and are safe to fan out over worker domains; [Serial]
      thunks (explore: owns a worker pool of its own and writes the shared
@@ -23,8 +23,9 @@ module Dse = Hls_dse
 
 type t = {
   cache : Dse.Cache.t;  (** shared by every explore request *)
-  prepared : (string * bool, P.prepared) Hashtbl.t;
-      (** latency-independent prefix, keyed (graph digest, cleanup) *)
+  prepared : (string * string * string, P.prepared) Hashtbl.t;
+      (** latency-independent prefix, keyed (graph digest, canonical
+          recipe spec, verify policy) *)
   mutable prepared_hits : int;
 }
 
@@ -59,15 +60,20 @@ let load_spec = function
             (Printf.sprintf "unknown builtin %s (try: %s)" name
                (String.concat ", " (Hls_workloads.Registry.names ()))))
 
-let prepare_memo t g ~cleanup =
+let prepare_memo t g ~transform ~verify =
   let digest = Dse.Cache.graph_digest g in
-  match Hashtbl.find_opt t.prepared (digest, cleanup) with
+  let key =
+    ( digest,
+      Hls_xform.Recipe.to_string transform,
+      Hls_xform.Verify.to_string verify )
+  in
+  match Hashtbl.find_opt t.prepared key with
   | Some p ->
       t.prepared_hits <- t.prepared_hits + 1;
       p
   | None ->
-      let p = P.prepare ~cleanup g in
-      Hashtbl.replace t.prepared (digest, cleanup) p;
+      let p = P.prepare ~transform ~verify g in
+      Hashtbl.replace t.prepared key p;
       p
 
 let graph_stats g =
@@ -151,7 +157,10 @@ let stage t req =
         | Ok cfg -> (
             (* Preparation faults are classified here: the prefix runs on
                the coordinator, not under the pool's isolation. *)
-            match prepare_memo t g ~cleanup:cfg.P.cleanup with
+            match
+              prepare_memo t g ~transform:cfg.P.transform
+                ~verify:cfg.P.verify
+            with
             | p -> k cfg p
             | exception e ->
                 Ready (Error (Response.Failed (Failure.classify_exn e))))
@@ -308,26 +317,78 @@ let stage t req =
           match !axis_errors with
           | e :: _ -> usage e
           | [] -> (
-              match
-                Dse.Space.make ~latencies:params.latencies
-                  ~policies:params.policies ~libs
-                  ~balance:params.balance_axis ~cleanup:params.cleanup_axis ()
-              with
-              | exception Invalid_argument m -> usage m
-              | space ->
-                  let retry =
-                    if params.retries <= 1 then Dse.Pool.Retry_policy.none
-                    else
-                      Dse.Pool.Retry_policy.make ~attempts:params.retries
-                        ~backoff_s:params.backoff_s ()
-                  in
-                  Serial
+              match Hls_xform.Verify.of_string params.verify with
+              | None ->
+                  usage
+                    (Printf.sprintf "unknown verify policy %S (use %s)"
+                       params.verify
+                       (String.concat ", "
+                          (List.map Hls_xform.Verify.to_string
+                             Hls_xform.Verify.all)))
+              | Some verify -> (
+                  match
+                    Dse.Space.make ~latencies:params.latencies
+                      ~policies:params.policies ~libs
+                      ~balance:params.balance_axis ~recipes:params.recipes ()
+                  with
+                  | Error e -> usage (Dse.Space.axis_error_to_string e)
+                  | Ok space ->
+                      let retry =
+                        if params.retries <= 1 then Dse.Pool.Retry_policy.none
+                        else
+                          Dse.Pool.Retry_policy.make ~attempts:params.retries
+                            ~backoff_s:params.backoff_s ()
+                      in
+                      Serial
+                        (fun () ->
+                          Response.Explored
+                            (Dse.Explore.run ?workers:params.jobs
+                               ?timeout_s:params.timeout_s ~cache:t.cache
+                               ~feedback:params.feedback ~retry
+                               ~degrade:params.degrade ~verify g space)))))
+      | Request.Transform { recipe; verify; _ } -> (
+          match Hls_xform.Recipe.parse recipe with
+          | Error m -> usage m
+          | Ok recipe -> (
+              match Hls_xform.Verify.of_string verify with
+              | None ->
+                  usage
+                    (Printf.sprintf "unknown verify policy %S (use %s)" verify
+                       (String.concat ", "
+                          (List.map Hls_xform.Verify.to_string
+                             Hls_xform.Verify.all)))
+              | Some policy ->
+                  Pure
                     (fun () ->
-                      Response.Explored
-                        (Dse.Explore.run ?workers:params.jobs
-                           ?timeout_s:params.timeout_s ~cache:t.cache
-                           ~feedback:params.feedback ~retry
-                           ~degrade:params.degrade g space))))
+                      let o = Hls_xform.Engine.apply ~policy recipe g in
+                      let entry (e : Hls_xform.Engine.entry) =
+                        let pl = e.Hls_xform.Engine.e_plan in
+                        {
+                          Response.te_pass = e.Hls_xform.Engine.e_pass;
+                          te_fired = e.Hls_xform.Engine.e_fired;
+                          te_accepted = e.Hls_xform.Engine.e_accepted;
+                          te_sites = List.length pl.Hls_xform.Plan.sites;
+                          te_nodes_before = pl.Hls_xform.Plan.nodes_before;
+                          te_nodes_after = pl.Hls_xform.Plan.nodes_after;
+                          te_depth_before = pl.Hls_xform.Plan.depth_before;
+                          te_depth_after = pl.Hls_xform.Plan.depth_after;
+                          te_verdict = e.Hls_xform.Engine.e_verdict;
+                        }
+                      in
+                      Response.Transformed
+                        {
+                          x_recipe = Hls_xform.Recipe.to_string recipe;
+                          x_verify = Hls_xform.Verify.to_string policy;
+                          x_before = graph_stats g;
+                          x_after = graph_stats o.Hls_xform.Engine.graph;
+                          x_checks = o.Hls_xform.Engine.checks;
+                          x_rejected = o.Hls_xform.Engine.rejected;
+                          x_log =
+                            List.map entry o.Hls_xform.Engine.log;
+                          x_pretty =
+                            Format.asprintf "%a" Graph.pp
+                              o.Hls_xform.Engine.graph;
+                        })))
       | Request.Simulate { latency; seed; config; vcd; _ } ->
           with_config config (fun cfg p ->
               Pure

@@ -99,6 +99,29 @@ let pp_payload ppf = function
           | Some d -> Format.fprintf ppf "budget: %d delta@." d
           | None -> ()))
   | R.Explored sweep -> Format.fprintf ppf "%a" Hls_dse.Explore.pp sweep
+  | R.Transformed x ->
+      Format.fprintf ppf "recipe %s (verify %s)@." x.x_recipe x.x_verify;
+      List.iter
+        (fun (e : R.transform_entry) ->
+          if e.te_fired || e.te_verdict <> None then
+            Format.fprintf ppf "%s %s: %d site(s), nodes %d -> %d, depth %d \
+                               -> %d%s@."
+              (if not e.te_accepted then "REJECTED"
+               else if e.te_fired then "applied "
+               else "no-op   ")
+              e.te_pass e.te_sites e.te_nodes_before e.te_nodes_after
+              e.te_depth_before e.te_depth_after
+              (match e.te_verdict with
+              | None -> ""
+              | Some v -> " [" ^ v ^ "]"))
+        x.x_log;
+      Format.fprintf ppf
+        "nodes %d -> %d, critical %d -> %d delta, %d check%s, %d rejected@."
+        x.x_before.R.gs_nodes x.x_after.R.gs_nodes x.x_before.R.gs_critical
+        x.x_after.R.gs_critical x.x_checks
+        (if x.x_checks = 1 then "" else "s")
+        x.x_rejected;
+      Format.fprintf ppf "@.%s@." x.x_pretty
   | R.Simulated s ->
       Format.fprintf ppf "inputs:@.";
       List.iter

@@ -24,19 +24,33 @@ type config = {
   lib_name : string;
   policy : Hls_fragment.Mobility.policy;
   balance : bool;
-  cleanup : bool;
+  transform : string;  (** behavioural transformation recipe spec *)
+  verify : string;  (** equivalence-gate policy on its passes *)
 }
 
 let default_config =
-  { lib_name = "ripple"; policy = `Full; balance = true; cleanup = false }
+  { lib_name = "ripple"; policy = `Full; balance = true; transform = "none";
+    verify = "off" }
 
 let pipeline_config c =
-  match Space.lib_of_name c.lib_name with
-  | None -> Error (Printf.sprintf "unknown library %S" c.lib_name)
-  | Some lib ->
-      Ok
-        (Hls_core.Pipeline.make_config ~lib ~policy:c.policy
-           ~balance:c.balance ~cleanup:c.cleanup ())
+  let ( let* ) = Result.bind in
+  let* lib =
+    Option.to_result
+      ~none:(Printf.sprintf "unknown library %S" c.lib_name)
+      (Space.lib_of_name c.lib_name)
+  in
+  let* transform = Hls_xform.Recipe.parse c.transform in
+  let* verify =
+    Option.to_result
+      ~none:
+        (Printf.sprintf "unknown verify policy %S (use %s)" c.verify
+           (String.concat ", "
+              (List.map Hls_xform.Verify.to_string Hls_xform.Verify.all)))
+      (Hls_xform.Verify.of_string c.verify)
+  in
+  Ok
+    (Hls_core.Pipeline.make_config ~lib ~policy:c.policy ~balance:c.balance
+       ~transform ~verify ())
 
 type flow = Conventional | Blc | Optimized
 
@@ -73,7 +87,8 @@ type explore_params = {
   policies : Hls_fragment.Mobility.policy list;
   lib_names : string list;
   balance_axis : bool list;
-  cleanup_axis : bool list;
+  recipes : string list;  (** transformation-recipe axis *)
+  verify : string;  (** gate policy applied when recipes run *)
   jobs : int option;
   timeout_s : float option;
   feedback : int;
@@ -88,7 +103,8 @@ let default_explore_params =
     policies = [ `Full ];
     lib_names = [ "ripple" ];
     balance_axis = [ true ];
-    cleanup_axis = [ false ];
+    recipes = [ "none" ];
+    verify = "off";
     jobs = None;
     timeout_s = None;
     feedback = 0;
@@ -108,6 +124,7 @@ type t =
     }
   | Schedule of { spec : spec; latency : int; flow : flow; config : config }
   | Explore of { spec : spec; params : explore_params }
+  | Transform of { spec : spec; recipe : string; verify : string }
   | Simulate of {
       spec : spec;
       latency : int;
@@ -123,6 +140,7 @@ let method_name = function
   | Report _ -> "report"
   | Schedule _ -> "schedule"
   | Explore _ -> "explore"
+  | Transform _ -> "transform"
   | Simulate _ -> "simulate"
   | Emit _ -> "emit"
 
@@ -132,6 +150,7 @@ let spec_of = function
   | Report { spec; _ } -> spec
   | Schedule { spec; _ } -> spec
   | Explore { spec; _ } -> spec
+  | Transform { spec; _ } -> spec
   | Simulate { spec; _ } -> spec
   | Emit { spec; _ } -> spec
 
@@ -149,7 +168,8 @@ let config_to_json c =
       ("lib", J.String c.lib_name);
       ("policy", J.String (Space.policy_name c.policy));
       ("balance", J.Bool c.balance);
-      ("cleanup", J.Bool c.cleanup);
+      ("transform", J.String c.transform);
+      ("verify", J.String c.verify);
     ]
 
 let params_to_json = function
@@ -191,7 +211,8 @@ let params_to_json = function
            );
            ("libs", J.List (List.map (fun l -> J.String l) p.lib_names));
            ("balance", J.List (List.map (fun b -> J.Bool b) p.balance_axis));
-           ("cleanup", J.List (List.map (fun b -> J.Bool b) p.cleanup_axis));
+           ("recipes", J.List (List.map (fun r -> J.String r) p.recipes));
+           ("verify", J.String p.verify);
          ]
         @ (match p.jobs with None -> [] | Some n -> [ ("jobs", J.Int n) ])
         @ (match p.timeout_s with
@@ -203,6 +224,13 @@ let params_to_json = function
             ("backoff_s", J.Float p.backoff_s);
             ("degrade", J.Bool p.degrade);
           ])
+  | Transform { spec; recipe; verify } ->
+      J.Obj
+        [
+          ("spec", spec_to_json spec);
+          ("recipe", J.String recipe);
+          ("verify", J.String verify);
+        ]
   | Simulate { spec; latency; seed; config; vcd } ->
       J.Obj
         [
@@ -269,6 +297,14 @@ let bool_field ~default name params =
       | Some b -> Ok b
       | None -> usage "%S must be a boolean" name)
 
+let str_field ~default name params =
+  match J.member name params with
+  | None -> Ok default
+  | Some j -> (
+      match J.to_str j with
+      | Some s -> Ok s
+      | None -> usage "%S must be a string" name)
+
 let config_of_json params =
   match J.member "config" params with
   | None -> Ok default_config
@@ -290,8 +326,17 @@ let config_of_json params =
             | None -> usage "config \"policy\" must be \"full\" or \"coalesced\"")
       in
       let* balance = bool_field ~default:default_config.balance "balance" j in
-      let* cleanup = bool_field ~default:default_config.cleanup "cleanup" j in
-      Ok { lib_name; policy; balance; cleanup }
+      let* transform =
+        match J.member "transform" j with
+        | Some _ -> str_field ~default:default_config.transform "transform" j
+        | None ->
+            (* v1 clients before the transform field sent a "cleanup"
+               boolean; it maps onto the "cleanup" preset recipe. *)
+            let* cleanup = bool_field ~default:false "cleanup" j in
+            Ok (if cleanup then "cleanup" else default_config.transform)
+      in
+      let* verify = str_field ~default:default_config.verify "verify" j in
+      Ok { lib_name; policy; balance; transform; verify }
 
 let list_field ~default name decode params =
   match J.member name params with
@@ -319,7 +364,19 @@ let explore_params_of_json params =
   in
   let* lib_names = list_field ~default:d.lib_names "libs" J.to_str params in
   let* balance_axis = list_field ~default:d.balance_axis "balance" J.to_bool params in
-  let* cleanup_axis = list_field ~default:d.cleanup_axis "cleanup" J.to_bool params in
+  let* recipes =
+    match J.member "recipes" params with
+    | Some _ -> list_field ~default:d.recipes "recipes" J.to_str params
+    | None ->
+        (* v1 clients before the recipe axis sent a "cleanup" bool axis;
+           each flag maps onto its preset recipe. *)
+        let* cleanup_axis = list_field ~default:[] "cleanup" J.to_bool params in
+        Ok
+          (match cleanup_axis with
+          | [] -> d.recipes
+          | flags -> List.map (fun c -> if c then "cleanup" else "none") flags)
+  in
+  let* verify = str_field ~default:d.verify "verify" params in
   let* jobs =
     match J.member "jobs" params with
     | None -> Ok None
@@ -353,7 +410,8 @@ let explore_params_of_json params =
       policies;
       lib_names;
       balance_axis;
-      cleanup_axis;
+      recipes;
+      verify;
       jobs;
       timeout_s;
       feedback;
@@ -419,6 +477,13 @@ let of_json j =
                 let* spec = field_spec params in
                 let* params = explore_params_of_json params in
                 Ok (Explore { spec; params })
+            | Some "transform" ->
+                let* spec = field_spec params in
+                let* recipe = str_field ~default:"standard" "recipe" params in
+                let* verify =
+                  str_field ~default:"every_pass" "verify" params
+                in
+                Ok (Transform { spec; recipe; verify })
             | Some "simulate" ->
                 let* spec = field_spec params in
                 let* latency = int_field ~default:3 "latency" params in

@@ -19,21 +19,26 @@ val version : int
     ships the text itself and is what the CLI sends over [--connect]. *)
 type spec = Source of string | File of string | Builtin of string
 
-(** Wire-level flow configuration: the library is carried by name so the
-    request is serializable; {!pipeline_config} resolves it. *)
+(** Wire-level flow configuration: the library, the transformation recipe
+    and the verify policy are carried as strings so the request is
+    serializable; {!pipeline_config} resolves them.  Decoding accepts the
+    legacy ["cleanup"] boolean of older v1 clients and maps it onto the
+    ["cleanup"] preset recipe. *)
 type config = {
   lib_name : string;
   policy : Hls_fragment.Mobility.policy;
   balance : bool;
-  cleanup : bool;
+  transform : string;  (** behavioural transformation recipe spec *)
+  verify : string;  (** equivalence-gate policy on its passes *)
 }
 
-(** Ripple library, full fragmentation, balancing on, cleanup off — the
-    paper's reproduction settings. *)
+(** Ripple library, full fragmentation, balancing on, no transformation —
+    the paper's reproduction settings. *)
 val default_config : config
 
-(** Resolve the named library and build the pipeline's config record;
-    [Error] on an unknown library name. *)
+(** Resolve the named library, parse the recipe and verify policy, and
+    build the pipeline's config record; [Error] on an unknown library
+    name, a bad recipe spec or an unknown verify policy. *)
 val pipeline_config : config -> (Hls_core.Pipeline.config, string) result
 
 type flow = Conventional | Blc | Optimized
@@ -51,7 +56,8 @@ type explore_params = {
   policies : Hls_fragment.Mobility.policy list;
   lib_names : string list;
   balance_axis : bool list;
-  cleanup_axis : bool list;
+  recipes : string list;  (** transformation-recipe axis *)
+  verify : string;  (** gate policy applied when recipes run *)
   jobs : int option;  (** worker domains; [None] = auto *)
   timeout_s : float option;
   feedback : int;
@@ -73,6 +79,7 @@ type t =
     }
   | Schedule of { spec : spec; latency : int; flow : flow; config : config }
   | Explore of { spec : spec; params : explore_params }
+  | Transform of { spec : spec; recipe : string; verify : string }
   | Simulate of {
       spec : spec;
       latency : int;
@@ -83,7 +90,7 @@ type t =
   | Emit of { spec : spec; latency : int; format : emit_format; config : config }
 
 (** The wire ["method"] name: parse, optimize, report, schedule, explore,
-    simulate or emit. *)
+    transform, simulate or emit. *)
 val method_name : t -> string
 
 val spec_of : t -> spec

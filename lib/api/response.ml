@@ -60,12 +60,38 @@ type simulated = {
   sim_vcd : string option;
 }
 
+(* One pass application of a transform request, the wire shape of the
+   engine's log entry (plans condensed to their sizes). *)
+type transform_entry = {
+  te_pass : string;
+  te_fired : bool;  (** the graph actually changed *)
+  te_accepted : bool;  (** [false]: rolled back by the verify gate *)
+  te_sites : int;
+  te_nodes_before : int;
+  te_nodes_after : int;
+  te_depth_before : int;
+  te_depth_after : int;
+  te_verdict : string option;  (** rendered verdict when checked *)
+}
+
+type transformed = {
+  x_recipe : string;  (** canonical recipe spec *)
+  x_verify : string;
+  x_before : graph_stats;
+  x_after : graph_stats;
+  x_checks : int;
+  x_rejected : int;
+  x_log : transform_entry list;
+  x_pretty : string;  (** the transformed graph, printed *)
+}
+
 type payload =
   | Parsed of { stats : graph_stats; pretty : string }
   | Optimized of { critical : int; cycle : int; fragments : int; text : string }
   | Reported of reported
   | Scheduled of scheduled
   | Explored of Hls_dse.Explore.t
+  | Transformed of transformed
   | Simulated of simulated
   | Emitted of { format : Request.emit_format; text : string }
 
@@ -200,6 +226,38 @@ let payload_to_json = function
   | Explored sweep ->
       J.Obj
         [ ("kind", J.String "explore"); ("sweep", Hls_dse.Explore.to_json sweep) ]
+  | Transformed x ->
+      J.Obj
+        [
+          ("kind", J.String "transform");
+          ("recipe", J.String x.x_recipe);
+          ("verify", J.String x.x_verify);
+          ("before", stats_to_json x.x_before);
+          ("after", stats_to_json x.x_after);
+          ("checks", J.Int x.x_checks);
+          ("rejected", J.Int x.x_rejected);
+          ( "log",
+            J.List
+              (List.map
+                 (fun e ->
+                   J.Obj
+                     [
+                       ("pass", J.String e.te_pass);
+                       ("fired", J.Bool e.te_fired);
+                       ("accepted", J.Bool e.te_accepted);
+                       ("sites", J.Int e.te_sites);
+                       ("nodes_before", J.Int e.te_nodes_before);
+                       ("nodes_after", J.Int e.te_nodes_after);
+                       ("depth_before", J.Int e.te_depth_before);
+                       ("depth_after", J.Int e.te_depth_after);
+                       ( "verdict",
+                         match e.te_verdict with
+                         | None -> J.Null
+                         | Some v -> J.String v );
+                     ])
+                 x.x_log) );
+          ("pretty", J.String x.x_pretty);
+        ]
   | Simulated s ->
       J.Obj
         [
@@ -430,6 +488,67 @@ let payload_of_json j =
       | Some s ->
           let* sweep = Hls_dse.Explore.of_json s in
           Ok (Explored sweep))
+  | "transform" ->
+      let* x_recipe = need "recipe" J.to_str j in
+      let* x_verify = need "verify" J.to_str j in
+      let* x_before =
+        match J.member "before" j with
+        | Some s -> stats_of_json s
+        | None -> Error "transform result without before stats"
+      in
+      let* x_after =
+        match J.member "after" j with
+        | Some s -> stats_of_json s
+        | None -> Error "transform result without after stats"
+      in
+      let* x_checks = need "checks" J.to_int j in
+      let* x_rejected = need "rejected" J.to_int j in
+      let* x_log =
+        decode_list "log"
+          (fun e ->
+            let* te_pass = need "pass" J.to_str e in
+            let* te_fired = need "fired" J.to_bool e in
+            let* te_accepted = need "accepted" J.to_bool e in
+            let* te_sites = need "sites" J.to_int e in
+            let* te_nodes_before = need "nodes_before" J.to_int e in
+            let* te_nodes_after = need "nodes_after" J.to_int e in
+            let* te_depth_before = need "depth_before" J.to_int e in
+            let* te_depth_after = need "depth_after" J.to_int e in
+            let* te_verdict =
+              match J.member "verdict" e with
+              | None | Some J.Null -> Ok None
+              | Some v -> (
+                  match J.to_str v with
+                  | Some s -> Ok (Some s)
+                  | None -> Error "bad \"verdict\" field")
+            in
+            Ok
+              {
+                te_pass;
+                te_fired;
+                te_accepted;
+                te_sites;
+                te_nodes_before;
+                te_nodes_after;
+                te_depth_before;
+                te_depth_after;
+                te_verdict;
+              })
+          j
+      in
+      let* x_pretty = need "pretty" J.to_str j in
+      Ok
+        (Transformed
+           {
+             x_recipe;
+             x_verify;
+             x_before;
+             x_after;
+             x_checks;
+             x_rejected;
+             x_log;
+             x_pretty;
+           })
   | "simulate" ->
       let* sim_latency = need "latency" J.to_int j in
       let* sim_inputs =

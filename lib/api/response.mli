@@ -54,12 +54,38 @@ type simulated = {
   sim_vcd : string option;
 }
 
+(** One pass application of a transform request: the wire shape of the
+    engine's log entry, its plan condensed to sizes. *)
+type transform_entry = {
+  te_pass : string;
+  te_fired : bool;  (** the graph actually changed *)
+  te_accepted : bool;  (** [false]: rolled back by the verify gate *)
+  te_sites : int;
+  te_nodes_before : int;
+  te_nodes_after : int;
+  te_depth_before : int;
+  te_depth_after : int;
+  te_verdict : string option;  (** rendered verdict when checked *)
+}
+
+type transformed = {
+  x_recipe : string;  (** canonical recipe spec *)
+  x_verify : string;
+  x_before : graph_stats;
+  x_after : graph_stats;
+  x_checks : int;  (** equivalence checks run *)
+  x_rejected : int;  (** applications rolled back *)
+  x_log : transform_entry list;
+  x_pretty : string;  (** the transformed graph, printed *)
+}
+
 type payload =
   | Parsed of { stats : graph_stats; pretty : string }
   | Optimized of { critical : int; cycle : int; fragments : int; text : string }
   | Reported of reported
   | Scheduled of scheduled
   | Explored of Hls_dse.Explore.t
+  | Transformed of transformed
   | Simulated of simulated
   | Emitted of { format : Request.emit_format; text : string }
 

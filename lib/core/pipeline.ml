@@ -90,14 +90,27 @@ type optimized_result = {
   schedule : Hls_sched.Frag_sched.t;
 }
 
-(** The shared prefix of the optimized flow: operative kernel extraction,
-    optionally followed by the cleanup passes.  It depends only on the
-    graph (not on latency, policy or library), which is what makes it
-    worth memoizing across a design-space sweep. *)
-let prepare_kernel ?(cleanup = false) graph =
-  span "kernel" (fun () ->
-      let kernel = Hls_kernel.Extract.run graph in
-      if cleanup then Hls_opt.Normalize.run kernel else kernel)
+(** Behavioural transformation of the specification graph, before any
+    kernel extraction: run the [transform] recipe through the verified
+    pass manager.  Returns the (possibly rewritten) graph and the pass
+    log.  An empty recipe is free. *)
+let transform_graph ?(transform = Hls_xform.Recipe.none)
+    ?(verify = Hls_xform.Verify.Off) graph =
+  if transform.Hls_xform.Recipe.steps = [] then (graph, [])
+  else
+    let o =
+      span "transform" (fun () ->
+          Hls_xform.Engine.apply ~policy:verify transform graph)
+    in
+    (o.Hls_xform.Engine.graph, o.Hls_xform.Engine.log)
+
+(** The shared prefix of the optimized flow: the behavioural
+    transformation recipe, then operative kernel extraction.  It depends
+    only on the graph (not on latency, policy or library), which is what
+    makes it worth memoizing across a design-space sweep. *)
+let prepare_kernel ?transform ?verify graph =
+  let g, _log = transform_graph ?transform ?verify graph in
+  span "kernel" (fun () -> Hls_kernel.Extract.run g)
 
 type prepared = {
   p_kernel : Graph.t;  (** graph after operative kernel extraction *)
@@ -105,6 +118,9 @@ type prepared = {
   p_arrival : Hls_timing.Arrival.t;
       (** arrival analysis of the kernel — latency-independent, so one
           result serves every point of a latency sweep *)
+  p_xform : Hls_xform.Engine.entry list;
+      (** pass log of the behavioural transformation that preceded
+          extraction; empty when prepared from a bare kernel *)
 }
 
 (** Extend an already extracted kernel with its dependency net and arrival
@@ -112,29 +128,44 @@ type prepared = {
 let prepared_of_kernel kernel =
   let net = span "bitnet" (fun () -> Hls_timing.Bitnet.build kernel) in
   let arrival = span "arrival" (fun () -> Hls_timing.Arrival.of_net net) in
-  { p_kernel = kernel; p_net = net; p_arrival = arrival }
+  { p_kernel = kernel; p_net = net; p_arrival = arrival; p_xform = [] }
 
-(** Kernel extraction plus the latency-independent timing prework. *)
-let prepare ?cleanup graph = prepared_of_kernel (prepare_kernel ?cleanup graph)
+(** Behavioural transformation, kernel extraction, then the
+    latency-independent timing prework. *)
+let prepare ?transform ?verify graph =
+  let g, log = transform_graph ?transform ?verify graph in
+  let kernel = span "kernel" (fun () -> Hls_kernel.Extract.run g) in
+  { (prepared_of_kernel kernel) with p_xform = log }
 
-(** One record for every per-point knob of the optimized flow.  [cleanup]
-    only matters to the entry points that start from a bare graph
-    ({!run_graph}, the deprecated [optimized]); {!run} takes an already
-    [prepare]d kernel. *)
+(** One record for every per-point knob of the optimized flow.
+    [transform] and [verify] only matter to the entry points that start
+    from a bare graph ({!run_graph}); {!run} takes an already
+    [prepare]d kernel, whose transformation decision was made when it
+    was prepared. *)
 type config = {
   lib : Hls_techlib.t;
   policy : Hls_fragment.Mobility.policy;
   balance : bool;
-  cleanup : bool;
+  transform : Hls_xform.Recipe.t;
+  verify : Hls_xform.Verify.policy;
 }
 
 let default_config =
   { lib = Hls_techlib.default; policy = `Full; balance = true;
-    cleanup = false }
+    transform = Hls_xform.Recipe.none; verify = Hls_xform.Verify.Off }
 
 let make_config ?(lib = Hls_techlib.default) ?(policy = `Full)
-    ?(balance = true) ?(cleanup = false) () =
-  { lib; policy; balance; cleanup }
+    ?(balance = true) ?cleanup ?transform
+    ?(verify = Hls_xform.Verify.Off) () =
+  (* [cleanup] is the historic boolean this record used to carry; it maps
+     onto the "cleanup" preset recipe.  An explicit [transform] wins. *)
+  let transform =
+    match (transform, cleanup) with
+    | Some t, _ -> t
+    | None, Some true -> Hls_xform.Recipe.cleanup
+    | None, (Some false | None) -> Hls_xform.Recipe.none
+  in
+  { lib; policy; balance; transform; verify }
 
 (** The per-point suffix of the optimized flow on prepared timing state:
     cycle estimation + fragmentation ([policy]), fragment scheduling
@@ -168,24 +199,9 @@ let optimized_of_prepared ?(lib = Hls_techlib.default) ?policy ?balance p
     schedule;
   }
 
-(** The per-point suffix on a bare kernel graph; builds the timing prework
-    on the spot.  [optimized_of_prepared] amortizes it across points. *)
-let optimized_of_kernel ?lib ?policy ?balance kernel ~latency =
-  optimized_of_prepared ?lib ?policy ?balance (prepared_of_kernel kernel)
-    ~latency
-
-(** [optimized_of_prepared] with the failure taxonomy instead of an
-    escaping exception: [Error Infeasible] for points that cannot exist,
-    [Error (Resource _ | Internal _)] for faults a caller may retry. *)
-let try_optimized_of_prepared ?lib ?policy ?balance p ~latency =
-  match optimized_of_prepared ?lib ?policy ?balance p ~latency with
-  | r -> Ok r
-  | exception e -> Error (classify_exn e)
-
 (** The single supported per-point entry: the optimized-flow suffix under
     one [config], with the {!Hls_util.Failure} taxonomy instead of an
-    escaping exception.  The four historical entry points are deprecated
-    wrappers over this and {!prepare}. *)
+    escaping exception. *)
 let run config p ~latency =
   match
     optimized_of_prepared ~lib:config.lib ~policy:config.policy
@@ -197,17 +213,9 @@ let run config p ~latency =
 (** {!prepare} + {!run} from a bare behavioural graph; preparation faults
     are classified too, so no exception escapes. *)
 let run_graph config graph ~latency =
-  match prepare ~cleanup:config.cleanup graph with
+  match prepare ~transform:config.transform ~verify:config.verify graph with
   | p -> run config p ~latency
   | exception e -> Error (classify_exn e)
-
-(** The paper's presynthesis-transformation flow.  [cleanup] additionally
-    runs constant folding / CSE / DCE on the kernel-form graph before
-    fragmentation (off by default: the paper's flow has no such pass, and
-    all pinned reproduction numbers are measured without it). *)
-let optimized ?lib ?policy ?balance ?cleanup graph ~latency =
-  optimized_of_prepared ?lib ?policy ?balance (prepare ?cleanup graph)
-    ~latency
 
 (** End-to-end functional check: the transformed, scheduled specification
     still computes the original behaviour.  Uses the combined strategy of

@@ -34,10 +34,13 @@ type optimized_result = {
   schedule : Hls_sched.Frag_sched.t;
 }
 
-(** The shared, latency-independent prefix of the optimized flow: kernel
-    extraction, optionally followed by the cleanup passes.  Sweeps memoize
-    this per graph and fan the suffix out over it. *)
-val prepare_kernel : ?cleanup:bool -> Hls_dfg.Graph.t -> Hls_dfg.Graph.t
+(** The shared, latency-independent prefix of the optimized flow: the
+    behavioural transformation recipe (verified pass by pass under
+    [verify]), then operative kernel extraction.  Sweeps memoize this per
+    graph and fan the suffix out over it. *)
+val prepare_kernel :
+  ?transform:Hls_xform.Recipe.t -> ?verify:Hls_xform.Verify.policy ->
+  Hls_dfg.Graph.t -> Hls_dfg.Graph.t
 
 type prepared = {
   p_kernel : Hls_dfg.Graph.t;  (** graph after operative kernel extraction *)
@@ -45,34 +48,46 @@ type prepared = {
   p_arrival : Hls_timing.Arrival.t;
       (** arrival analysis of the kernel — latency-independent, so one
           result serves every point of a latency sweep *)
+  p_xform : Hls_xform.Engine.entry list;
+      (** pass log of the behavioural transformation that preceded
+          extraction; empty when prepared from a bare kernel *)
 }
 
-(** Kernel extraction plus the latency-independent timing prework (the
-    kernel's dependency net and arrival analysis). *)
-val prepare : ?cleanup:bool -> Hls_dfg.Graph.t -> prepared
+(** Behavioural transformation, kernel extraction, then the
+    latency-independent timing prework (the kernel's dependency net and
+    arrival analysis). *)
+val prepare :
+  ?transform:Hls_xform.Recipe.t -> ?verify:Hls_xform.Verify.policy ->
+  Hls_dfg.Graph.t -> prepared
 
 (** Extend an already extracted kernel with its timing prework. *)
 val prepared_of_kernel : Hls_dfg.Graph.t -> prepared
 
-(** One record for every per-point knob of the optimized flow.  [cleanup]
-    (constant folding / CSE / DCE before fragmentation) only matters to
-    the entry points that start from a bare graph ({!run_graph}); {!run}
-    takes an already {!prepare}d kernel, whose cleanup decision was made
-    when it was prepared. *)
+(** One record for every per-point knob of the optimized flow.
+    [transform] (a behavioural transformation recipe applied before
+    kernel extraction) and [verify] (the equivalence-gate policy on its
+    passes) only matter to the entry points that start from a bare graph
+    ({!run_graph}); {!run} takes an already {!prepare}d kernel, whose
+    transformation decision was made when it was prepared. *)
 type config = {
   lib : Hls_techlib.t;
   policy : Hls_fragment.Mobility.policy;
   balance : bool;
-  cleanup : bool;
+  transform : Hls_xform.Recipe.t;
+  verify : Hls_xform.Verify.policy;
 }
 
 (** Ripple library, [`Full] fragmentation, balanced scheduling, no
-    cleanup — the paper's reproduction settings. *)
+    transformation — the paper's reproduction settings. *)
 val default_config : config
 
+(** [cleanup] is the historic boolean knob this record used to carry; it
+    maps onto the ["cleanup"] preset recipe ([repeat(fold,cse,dce)]).
+    An explicit [transform] wins over it. *)
 val make_config :
   ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
-  ?balance:bool -> ?cleanup:bool -> unit -> config
+  ?balance:bool -> ?cleanup:bool -> ?transform:Hls_xform.Recipe.t ->
+  ?verify:Hls_xform.Verify.policy -> unit -> config
 
 (** The single supported per-point entry of the optimized flow: cycle
     estimation → fragmentation → fragment scheduling → binding on
@@ -87,8 +102,9 @@ val run :
   config -> prepared -> latency:int ->
   (optimized_result, Hls_util.Failure.t) result
 
-(** {!prepare} (honouring [config.cleanup]) + {!run} from a bare
-    behavioural graph; preparation faults are classified too. *)
+(** {!prepare} (honouring [config.transform] and [config.verify]) +
+    {!run} from a bare behavioural graph; preparation faults are
+    classified too. *)
 val run_graph :
   config -> Hls_dfg.Graph.t -> latency:int ->
   (optimized_result, Hls_util.Failure.t) result
@@ -96,37 +112,6 @@ val run_graph :
 (** Classify an exception escaping one of this module's flows into the
     shared taxonomy (infeasibility recognized as permanent). *)
 val classify_exn : exn -> Hls_util.Failure.t
-
-(** {2 Deprecated entry points}
-
-    The four historical entry points collapsed into {!run} /
-    {!run_graph}.  They stay as thin wrappers so existing code keeps
-    compiling, but new code should pass a {!config}. *)
-
-val optimized_of_prepared :
-  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
-  ?balance:bool -> prepared -> latency:int -> optimized_result
-[@@deprecated "use Pipeline.run (a config record, Failure-typed result)"]
-
-val optimized_of_kernel :
-  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
-  ?balance:bool -> Hls_dfg.Graph.t -> latency:int -> optimized_result
-[@@deprecated
-  "use Pipeline.run over prepared_of_kernel (a config record, \
-   Failure-typed result)"]
-
-val try_optimized_of_prepared :
-  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
-  ?balance:bool -> prepared -> latency:int ->
-  (optimized_result, Hls_util.Failure.t) result
-[@@deprecated "use Pipeline.run (a config record)"]
-
-val optimized :
-  ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
-  ?balance:bool -> ?cleanup:bool -> Hls_dfg.Graph.t -> latency:int ->
-  optimized_result
-[@@deprecated
-  "use Pipeline.run_graph (a config record, Failure-typed result)"]
 
 (** End-to-end functional check: the transformed, scheduled specification
     still computes the original behaviour. *)

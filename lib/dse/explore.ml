@@ -3,15 +3,17 @@
    Pareto frontier — optionally iterating a feedback loop that refines the
    latency axis around the current frontier.
 
-   The expensive shared prefix of the optimized flow (kernel extraction,
-   plus cleanup passes when enabled, plus the kernel's bit-dependency net
-   and arrival analysis) is computed once per distinct cleanup flag and
-   shared by every job; worker domains only run the per-point suffix
+   The expensive shared prefix of the optimized flow (the behavioural
+   transformation recipe, kernel extraction, the kernel's bit-dependency
+   net and arrival analysis) is computed once per distinct recipe spec
+   and shared by every job; worker domains only run the per-point suffix
    (`Pipeline.run`).  Results are collected in job
    order, so the outcome is identical whatever the worker count. *)
 
 module Pipeline = Hls_core.Pipeline
 module Failure = Hls_util.Failure
+module Engine = Hls_xform.Engine
+module Plan = Hls_xform.Plan
 
 type point = {
   job : Space.job;
@@ -34,6 +36,18 @@ type failure = {
   f_attempts : int;
 }
 
+type transform_summary = {
+  t_recipe : string;  (** the recipe spec as given on the axis *)
+  t_passes : int;  (** pass applications recorded *)
+  t_fired : int;  (** accepted applications that changed the graph *)
+  t_checks : int;  (** equivalence checks run by the verify gate *)
+  t_rejected : int;  (** applications rolled back *)
+  t_nodes_before : int;
+  t_nodes_after : int;
+  t_depth_before : int;  (** behavioural depth before the recipe *)
+  t_depth_after : int;
+}
+
 type t = {
   graph_name : string;
   digest : string;
@@ -41,6 +55,9 @@ type t = {
       (** successful sweep points, stably sorted on the full job key *)
   failures : failure list;  (** same order *)
   frontier : point list;  (** Pareto-optimal subset of [points] *)
+  transforms : transform_summary list;
+      (** one summary per recipe whose pass log is non-empty (the
+          ["none"] recipe never appears), in recipe-spec order *)
   rounds : int;  (** 1 + executed feedback refinements *)
   wall_s : float;
   cache_hits : int;
@@ -112,7 +129,7 @@ let run_round ~cache ~digest ~graph ~kernels ~workers ~timeout_s ~retry
           ~finally:(fun () ->
             times.(i) <- times.(i) +. (Unix.gettimeofday () -. t0))
           (fun () ->
-            let prepared = List.assoc job.Space.cleanup kernels in
+            let prepared = List.assoc job.Space.recipe kernels in
             let config =
               Pipeline.make_config ~lib:job.Space.lib
                 ~policy:job.Space.policy ~balance:job.Space.balance ()
@@ -223,17 +240,63 @@ let phase_delta before after =
   |> List.sort (fun (a, _, _) (b, _, _) ->
          compare (phase_rank a, a) (phase_rank b, b))
 
+(* The per-recipe summary a sweep report carries, condensed from the
+   engine's pass log; [None] when no pass ran (the "none" recipe).  A
+   sampled-policy rollback (a rejected trailing "verify" entry) means
+   the prepared kernel is the untransformed one, so before = after. *)
+let summarize_transform spec (p : Pipeline.prepared) =
+  match p.Pipeline.p_xform with
+  | [] -> None
+  | first :: _ as log ->
+      let fired e = e.Engine.e_fired && e.Engine.e_accepted in
+      let plan e = e.Engine.e_plan in
+      let rolled_back =
+        match List.rev log with
+        | last :: _ -> not last.Engine.e_accepted && last.Engine.e_pass = "verify"
+        | [] -> false
+      in
+      let last_accepted =
+        List.fold_left (fun acc e -> if fired e then Some e else acc) None log
+      in
+      let nodes_before = (plan first).Plan.nodes_before in
+      let depth_before = (plan first).Plan.depth_before in
+      let nodes_after, depth_after =
+        match last_accepted with
+        | Some e when not rolled_back ->
+            ((plan e).Plan.nodes_after, (plan e).Plan.depth_after)
+        | _ -> (nodes_before, depth_before)
+      in
+      Some
+        {
+          t_recipe = spec;
+          t_passes = List.length log;
+          t_fired = List.length (List.filter fired log);
+          t_checks =
+            List.length (List.filter (fun e -> e.Engine.e_verdict <> None) log);
+          t_rejected =
+            List.length (List.filter (fun e -> not e.Engine.e_accepted) log);
+          t_nodes_before = nodes_before;
+          t_nodes_after = nodes_after;
+          t_depth_before = depth_before;
+          t_depth_after = depth_after;
+        }
+
 let run ?workers ?timeout_s ?cache ?(feedback = 0)
-    ?(retry = Pool.Retry_policy.none) ?(degrade = false) graph
-    (space : Space.t) =
+    ?(retry = Pool.Retry_policy.none) ?(degrade = false)
+    ?(verify = Hls_xform.Verify.Off) graph (space : Space.t) =
   let t0 = Unix.gettimeofday () in
   let spans0 = Hls_telemetry.span_totals () in
   let cache = match cache with Some c -> c | None -> Cache.create () in
   let digest = Cache.graph_digest graph in
   let kernels =
     List.map
-      (fun cleanup -> (cleanup, Pipeline.prepare ~cleanup graph))
-      (List.sort_uniq compare space.Space.cleanup)
+      (fun spec ->
+        let transform = Hls_xform.Recipe.of_string_exn spec in
+        (spec, Pipeline.prepare ~transform ~verify graph))
+      (List.sort_uniq compare space.Space.recipes)
+  in
+  let transforms =
+    List.filter_map (fun (spec, p) -> summarize_transform spec p) kernels
   in
   let attempted = Hashtbl.create 64 in
   let points = ref [] and failures = ref [] and rounds = ref 0 in
@@ -290,6 +353,7 @@ let run ?workers ?timeout_s ?cache ?(feedback = 0)
     digest;
     points;
     failures;
+    transforms;
     frontier = compute_frontier points;
     rounds = !rounds;
     wall_s = Unix.gettimeofday () -. t0;
@@ -309,7 +373,21 @@ let job_to_json (j : Space.job) =
       ("policy", Dse_json.String (Space.policy_name j.Space.policy));
       ("lib", Dse_json.String j.Space.lib_name);
       ("balance", Dse_json.Bool j.Space.balance);
-      ("cleanup", Dse_json.Bool j.Space.cleanup);
+      ("recipe", Dse_json.String j.Space.recipe);
+    ]
+
+let transform_summary_to_json s =
+  Dse_json.Obj
+    [
+      ("recipe", Dse_json.String s.t_recipe);
+      ("passes", Dse_json.Int s.t_passes);
+      ("fired", Dse_json.Int s.t_fired);
+      ("checks", Dse_json.Int s.t_checks);
+      ("rejected", Dse_json.Int s.t_rejected);
+      ("nodes_before", Dse_json.Int s.t_nodes_before);
+      ("nodes_after", Dse_json.Int s.t_nodes_after);
+      ("depth_before", Dse_json.Int s.t_depth_before);
+      ("depth_after", Dse_json.Int s.t_depth_after);
     ]
 
 let point_to_json p =
@@ -353,6 +431,8 @@ let to_json t =
                  ])
              t.failures) );
       ("frontier", Dse_json.List (List.map point_to_json t.frontier));
+      ( "transforms",
+        Dse_json.List (List.map transform_summary_to_json t.transforms) );
       ( "telemetry",
         Dse_json.Obj
           [
@@ -388,7 +468,7 @@ let job_of_json j =
   let* policy_name = of_json_field "policy" Dse_json.to_str j in
   let* lib_name = of_json_field "lib" Dse_json.to_str j in
   let* balance = of_json_field "balance" Dse_json.to_bool j in
-  let* cleanup = of_json_field "cleanup" Dse_json.to_bool j in
+  let* recipe = of_json_field "recipe" Dse_json.to_str j in
   let* policy =
     Option.to_result
       ~none:(Printf.sprintf "explore json: unknown policy %S" policy_name)
@@ -399,7 +479,30 @@ let job_of_json j =
       ~none:(Printf.sprintf "explore json: unknown library %S" lib_name)
       (Space.lib_of_name lib_name)
   in
-  Ok { Space.latency; policy; lib_name; lib; balance; cleanup }
+  Ok { Space.latency; policy; lib_name; lib; balance; recipe }
+
+let transform_summary_of_json j =
+  let* t_recipe = of_json_field "recipe" Dse_json.to_str j in
+  let* t_passes = of_json_field "passes" Dse_json.to_int j in
+  let* t_fired = of_json_field "fired" Dse_json.to_int j in
+  let* t_checks = of_json_field "checks" Dse_json.to_int j in
+  let* t_rejected = of_json_field "rejected" Dse_json.to_int j in
+  let* t_nodes_before = of_json_field "nodes_before" Dse_json.to_int j in
+  let* t_nodes_after = of_json_field "nodes_after" Dse_json.to_int j in
+  let* t_depth_before = of_json_field "depth_before" Dse_json.to_int j in
+  let* t_depth_after = of_json_field "depth_after" Dse_json.to_int j in
+  Ok
+    {
+      t_recipe;
+      t_passes;
+      t_fired;
+      t_checks;
+      t_rejected;
+      t_nodes_before;
+      t_nodes_after;
+      t_depth_before;
+      t_depth_after;
+    }
 
 let point_of_json j =
   let* job = Result.bind (of_json_field "job" Option.some j) job_of_json in
@@ -449,6 +552,7 @@ let of_json j =
   let* points = list_of_json "points" point_of_json j in
   let* failures = list_of_json "failures" failure_of_json j in
   let* frontier = list_of_json "frontier" point_of_json j in
+  let* transforms = list_of_json "transforms" transform_summary_of_json j in
   let* telemetry = of_json_field "telemetry" Option.some j in
   let* phases =
     list_of_json "phases"
@@ -466,6 +570,7 @@ let of_json j =
       points;
       failures;
       frontier;
+      transforms;
       rounds;
       wall_s;
       cache_hits;
@@ -488,7 +593,7 @@ let pp ppf t =
       Space.policy_name p.job.Space.policy;
       p.job.Space.lib_name;
       (if p.job.Space.balance then "bal" else "asap");
-      (if p.job.Space.cleanup then "clean" else "-");
+      (if p.job.Space.recipe = "none" then "-" else p.job.Space.recipe);
       Printf.sprintf "%.2f" m.Cache.m_cycle_ns;
       Printf.sprintf "%.2f" m.Cache.m_execution_ns;
       string_of_int m.Cache.m_total_gates;
@@ -519,10 +624,25 @@ let pp ppf t =
     (Hls_util.Pretty.render_table
        ~header:
          [
-           "lat"; "policy"; "lib"; "sched"; "clean"; "cycle/ns"; "exec/ns";
+           "lat"; "policy"; "lib"; "sched"; "xform"; "cycle/ns"; "exec/ns";
            "gates"; "frags"; "ms"; "src"; "try"; "pareto";
          ]
        (List.map row t.points));
+  if t.transforms <> [] then begin
+    Format.fprintf ppf "@.transformations:@.";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf
+          "  %s: %d/%d pass%s fired, nodes %d -> %d, depth %d -> %d, %d \
+           check%s, %d rejected@."
+          s.t_recipe s.t_fired s.t_passes
+          (if s.t_passes = 1 then "" else "es")
+          s.t_nodes_before s.t_nodes_after s.t_depth_before s.t_depth_after
+          s.t_checks
+          (if s.t_checks = 1 then "" else "s")
+          s.t_rejected)
+      t.transforms
+  end;
   List.iter
     (fun f ->
       Format.fprintf ppf "failed (%s, %d attempt%s): %s: %s@."

@@ -2,9 +2,10 @@
     from the {!Cache}, fan the rest out over the {!Pool}, and reduce the
     reports to a {!Pareto} frontier.
 
-    The latency-independent prefix of the optimized flow — kernel
-    extraction plus the kernel's bit-dependency net and arrival analysis
-    ({!Hls_core.Pipeline.prepare}) — runs once per distinct cleanup flag;
+    The latency-independent prefix of the optimized flow — the
+    behavioural transformation recipe, kernel extraction, the kernel's
+    bit-dependency net and arrival analysis
+    ({!Hls_core.Pipeline.prepare}) — runs once per distinct recipe spec;
     workers only execute the per-point suffix.  Points are collected in
     job order, so results are identical whatever the worker count.
 
@@ -36,6 +37,20 @@ type failure = {
   f_attempts : int;  (** attempts consumed before giving up *)
 }
 
+(** What each recipe of the sweep's transformation axis did to the
+    behavioural graph, condensed from the engine's pass log. *)
+type transform_summary = {
+  t_recipe : string;  (** the recipe spec as given on the axis *)
+  t_passes : int;  (** pass applications recorded *)
+  t_fired : int;  (** accepted applications that changed the graph *)
+  t_checks : int;  (** equivalence checks run by the verify gate *)
+  t_rejected : int;  (** applications rolled back *)
+  t_nodes_before : int;
+  t_nodes_after : int;
+  t_depth_before : int;  (** behavioural depth before the recipe *)
+  t_depth_after : int;
+}
+
 type t = {
   graph_name : string;
   digest : string;
@@ -45,6 +60,9 @@ type t = {
           round structure or worker count *)
   failures : failure list;  (** same order *)
   frontier : point list;  (** Pareto-optimal subset of [points] *)
+  transforms : transform_summary list;
+      (** one summary per recipe whose pass log is non-empty (the
+          ["none"] recipe never appears), in recipe-spec order *)
   rounds : int;  (** 1 + executed feedback refinements *)
   wall_s : float;
   cache_hits : int;
@@ -73,10 +91,13 @@ val objectives : point -> Pareto.objectives
     optimized flow's.  Remaining failures are recorded with their class
     and attempt count and the sweep continues.  The cache is journaled
     after every round and flushed before returning (its lock is NOT
-    released — callers that own the cache call {!Cache.close}). *)
+    released — callers that own the cache call {!Cache.close}).
+    [verify] (default [Off]) is the equivalence-gate policy applied when
+    the recipes of the transformation axis are run. *)
 val run :
   ?workers:int -> ?timeout_s:float -> ?cache:Cache.t -> ?feedback:int ->
   ?retry:Pool.Retry_policy.t -> ?degrade:bool ->
+  ?verify:Hls_xform.Verify.policy ->
   Hls_dfg.Graph.t -> Space.t -> t
 
 val to_json : t -> Dse_json.t

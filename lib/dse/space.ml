@@ -1,10 +1,11 @@
 (* A design-space sweep, declaratively: lists of values per axis, expanded
    into the cartesian product of concrete jobs.  Axes mirror the knobs of
-   the optimized flow (`Pipeline.optimized`): latency, fragmentation
-   policy, technology library, scheduler balancing, presynthesis cleanup.
+   the optimized flow (`Pipeline.run`): latency, fragmentation policy,
+   technology library, scheduler balancing, behavioural transformation
+   recipe.
 
    Expansion order is deterministic (latency-major, then policy, lib,
-   balance, cleanup), so sweep results are reproducible and independent of
+   balance, recipe), so sweep results are reproducible and independent of
    how many workers execute them. *)
 
 type t = {
@@ -12,7 +13,7 @@ type t = {
   policies : Hls_fragment.Mobility.policy list;
   libs : (string * Hls_techlib.t) list;
   balance : bool list;
-  cleanup : bool list;
+  recipes : string list;
 }
 
 type job = {
@@ -21,22 +22,72 @@ type job = {
   lib_name : string;
   lib : Hls_techlib.t;
   balance : bool;
-  cleanup : bool;
+  recipe : string;
 }
+
+type axis_error =
+  | Empty_axis of string
+  | Duplicate_value of { axis : string; value : string }
+  | Bad_recipe of { spec : string; reason : string }
+
+let axis_error_to_string = function
+  | Empty_axis axis -> Printf.sprintf "empty %s axis" axis
+  | Duplicate_value { axis; value } ->
+      Printf.sprintf "duplicate value %s on the %s axis" value axis
+  | Bad_recipe { spec = _; reason } -> reason
+
+let pp_axis_error ppf e =
+  Format.pp_print_string ppf (axis_error_to_string e)
+
+(* Reject both degenerate axis shapes up front — an empty axis would
+   silently produce zero jobs, a duplicated value would run (and cache)
+   the same point twice under one key. *)
+let checked_axis ~axis ~render values =
+  match values with
+  | [] -> Error (Empty_axis axis)
+  | _ -> (
+      let rec dup seen = function
+        | [] -> None
+        | v :: rest ->
+            let r = render v in
+            if List.mem r seen then Some r else dup (r :: seen) rest
+      in
+      match dup [] values with
+      | Some value -> Error (Duplicate_value { axis; value })
+      | None -> Ok ())
 
 let make ?(latencies = [ 3; 4; 5; 6 ]) ?(policies = [ `Full ])
     ?(libs = [ ("ripple", Hls_techlib.default) ]) ?(balance = [ true ])
-    ?(cleanup = [ false ]) () =
-  if latencies = [] then invalid_arg "Space.make: empty latency axis";
-  if policies = [] then invalid_arg "Space.make: empty policy axis";
-  if libs = [] then invalid_arg "Space.make: empty library axis";
-  if balance = [] then invalid_arg "Space.make: empty balance axis";
-  if cleanup = [] then invalid_arg "Space.make: empty cleanup axis";
-  { latencies; policies; libs; balance; cleanup }
+    ?(recipes = [ "none" ]) () =
+  let ( let* ) = Result.bind in
+  let* () = checked_axis ~axis:"latency" ~render:string_of_int latencies in
+  let* () =
+    checked_axis ~axis:"policy"
+      ~render:(function `Full -> "full" | `Coalesced -> "coalesced")
+      policies
+  in
+  let* () = checked_axis ~axis:"library" ~render:fst libs in
+  let* () = checked_axis ~axis:"balance" ~render:string_of_bool balance in
+  let* () = checked_axis ~axis:"recipe" ~render:Fun.id recipes in
+  let* () =
+    List.fold_left
+      (fun acc spec ->
+        let* () = acc in
+        match Hls_xform.Recipe.parse spec with
+        | Ok _ -> Ok ()
+        | Error reason -> Error (Bad_recipe { spec; reason }))
+      (Ok ()) recipes
+  in
+  Ok { latencies; policies; libs; balance; recipes }
+
+let make_exn ?latencies ?policies ?libs ?balance ?recipes () =
+  match make ?latencies ?policies ?libs ?balance ?recipes () with
+  | Ok s -> s
+  | Error e -> invalid_arg ("Space.make: " ^ axis_error_to_string e)
 
 let size (s : t) =
   List.length s.latencies * List.length s.policies * List.length s.libs
-  * List.length s.balance * List.length s.cleanup
+  * List.length s.balance * List.length s.recipes
 
 let jobs (s : t) =
   List.concat_map
@@ -48,13 +99,13 @@ let jobs (s : t) =
               List.concat_map
                 (fun balance ->
                   List.map
-                    (fun cleanup ->
-                      { latency; policy; lib_name; lib; balance; cleanup })
-                    s.cleanup)
+                    (fun recipe ->
+                      { latency; policy; lib_name; lib; balance; recipe })
+                    s.recipes)
                 s.balance)
             s.libs)
         s.policies)
-    (List.sort_uniq compare s.latencies)
+    (List.sort compare s.latencies)
 
 let policy_name = function `Full -> "full" | `Coalesced -> "coalesced"
 
@@ -71,16 +122,16 @@ let lib_of_name name = List.assoc_opt name known_libs
 (* The canonical parameter string of a job: display label and the
    parameter half of the cache key, so it must mention every axis. *)
 let job_key j =
-  Printf.sprintf "lat=%d policy=%s lib=%s balance=%b cleanup=%b" j.latency
-    (policy_name j.policy) j.lib_name j.balance j.cleanup
+  Printf.sprintf "lat=%d policy=%s lib=%s balance=%b xform=%s" j.latency
+    (policy_name j.policy) j.lib_name j.balance j.recipe
 
 (* Total order over the full parameter tuple (latency numerically first,
    then the remaining axes); the stable sort key that makes sweep reports
    reproducible whatever the round structure or worker count. *)
 let compare_job a b =
   compare
-    (a.latency, policy_name a.policy, a.lib_name, a.balance, a.cleanup)
-    (b.latency, policy_name b.policy, b.lib_name, b.balance, b.cleanup)
+    (a.latency, policy_name a.policy, a.lib_name, a.balance, a.recipe)
+    (b.latency, policy_name b.policy, b.lib_name, b.balance, b.recipe)
 
 (* Latency-axis specifications: "4", "2:6", "2:10:2", "3,5,7". *)
 let parse_latencies spec =
@@ -122,10 +173,10 @@ let parse_latencies spec =
 
 let pp ppf (s : t) =
   Format.fprintf ppf
-    "@[<v>latencies: %s@ policies: %s@ libraries: %s@ balance: %s@ cleanup: %s@ jobs: %d@]"
+    "@[<v>latencies: %s@ policies: %s@ libraries: %s@ balance: %s@ recipes: %s@ jobs: %d@]"
     (String.concat ", " (List.map string_of_int s.latencies))
     (String.concat ", " (List.map policy_name s.policies))
     (String.concat ", " (List.map fst s.libs))
     (String.concat ", " (List.map string_of_bool s.balance))
-    (String.concat ", " (List.map string_of_bool s.cleanup))
+    (String.concat ", " s.recipes)
     (size s)

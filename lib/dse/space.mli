@@ -7,7 +7,9 @@ type t = {
   policies : Hls_fragment.Mobility.policy list;
   libs : (string * Hls_techlib.t) list;  (** (display name, library) *)
   balance : bool list;
-  cleanup : bool list;
+  recipes : string list;
+      (** behavioural transformation recipe specs ({!Hls_xform.Recipe});
+          ["none"] is the identity *)
 }
 
 type job = {
@@ -16,22 +18,43 @@ type job = {
   lib_name : string;
   lib : Hls_techlib.t;
   balance : bool;
-  cleanup : bool;
+  recipe : string;  (** the recipe spec as given on the axis *)
 }
 
+(** Why a sweep description is not a sweep: an axis with no values, the
+    same value twice on one axis (the point would run — and cache —
+    twice under one key), or a recipe spec {!Hls_xform.Recipe.parse}
+    rejects. *)
+type axis_error =
+  | Empty_axis of string  (** axis name *)
+  | Duplicate_value of { axis : string; value : string }
+  | Bad_recipe of { spec : string; reason : string }
+
+val axis_error_to_string : axis_error -> string
+val pp_axis_error : Format.formatter -> axis_error -> unit
+
 (** Defaults: latencies 3–6, [`Full] policy, ripple library, balancing on,
-    cleanup off.  Raises [Invalid_argument] on an empty axis. *)
+    the ["none"] recipe. *)
 val make :
   ?latencies:int list ->
   ?policies:Hls_fragment.Mobility.policy list ->
   ?libs:(string * Hls_techlib.t) list ->
   ?balance:bool list ->
-  ?cleanup:bool list ->
+  ?recipes:string list ->
+  unit -> (t, axis_error) result
+
+(** [make], raising [Invalid_argument] on an axis error. *)
+val make_exn :
+  ?latencies:int list ->
+  ?policies:Hls_fragment.Mobility.policy list ->
+  ?libs:(string * Hls_techlib.t) list ->
+  ?balance:bool list ->
+  ?recipes:string list ->
   unit -> t
 
 val size : t -> int
 
-(** Cartesian expansion; duplicate latencies are collapsed. *)
+(** Cartesian expansion, latencies in ascending order. *)
 val jobs : t -> job list
 
 val policy_name : Hls_fragment.Mobility.policy -> string
@@ -47,7 +70,7 @@ val lib_of_name : string -> Hls_techlib.t option
 val job_key : job -> string
 
 (** Total order over the full parameter tuple (latency numerically,
-    then policy, library, balance, cleanup): the stable sort key that
+    then policy, library, balance, recipe): the stable sort key that
     makes sweep reports reproducible across round structures and worker
     counts. *)
 val compare_job : job -> job -> int

@@ -1,0 +1,6 @@
+(** Tree-height reduction: reassociate single-consumer chains of
+    two-operand additions or multiplications at one width into
+    depth-balanced (Huffman-over-depth) trees, shortening the critical
+    delta-path and rebalancing the fanout of early chain stages. *)
+
+val run : Hls_dfg.Graph.t -> Pass.result

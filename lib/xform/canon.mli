@@ -1,0 +1,5 @@
+(** Operand canonicalization: order the operands of commutative
+    operations under a stable structural key and elide identity wires,
+    exposing sharing opportunities to CSE. *)
+
+val run : Hls_dfg.Graph.t -> Pass.result

@@ -1,0 +1,14 @@
+(** The transformation catalog: every pass a recipe spec can name.
+    See docs/TRANSFORMATIONS.md for the full table. *)
+
+val fold : Pass.t
+val cse : Pass.t
+val dce : Pass.t
+val normalize : Pass.t
+val canon : Pass.t
+val strength : Pass.t
+val balance : Pass.t
+
+val all : Pass.t list
+val find : string -> Pass.t option
+val names : unit -> string list

@@ -1,0 +1,9 @@
+type result = { graph : Hls_dfg.Graph.t; sites : Plan.site list }
+
+type t = {
+  name : string;
+  doc : string;
+  rewrite : Hls_dfg.Graph.t -> result;
+}
+
+let unchanged g = { graph = g; sites = [] }

@@ -1,0 +1,19 @@
+(** A transformation pass: a named, documented DFG-to-DFG rewrite that
+    reports the sites it matched.  Soundness is not assumed — the
+    {!Engine} gates every application behind {!Hls_check.equivalent}
+    under its verify policy, so a buggy pass is rejected and rolled
+    back instead of corrupting the flow. *)
+
+type result = {
+  graph : Hls_dfg.Graph.t;
+  sites : Plan.site list;  (** sites in the input graph, in node order *)
+}
+
+type t = {
+  name : string;  (** catalog / recipe-spec name *)
+  doc : string;  (** one-line intent, shown by [hlsopt transform --list] *)
+  rewrite : Hls_dfg.Graph.t -> result;
+}
+
+(** A result that matched nothing (the pass left the graph alone). *)
+val unchanged : Hls_dfg.Graph.t -> result

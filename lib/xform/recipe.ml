@@ -1,0 +1,136 @@
+(* Recipe specs: an ordered pass list with a fixpoint combinator, parsed
+   from strings like "fold,cse,strength,balance,dce" or
+   "repeat(canon,fold,cse,dce)".  Preset names expand in place, so
+   "standard" and "canon,standard" both parse.  '+' is accepted as a
+   separator alongside ','. *)
+
+type step = Apply of Pass.t | Repeat of step list
+type t = { spec : string; steps : step list }
+
+let rec step_to_string = function
+  | Apply p -> p.Pass.name
+  | Repeat steps ->
+      "repeat(" ^ String.concat "," (List.map step_to_string steps) ^ ")"
+
+let steps_to_string = function
+  | [] -> "none"
+  | steps -> String.concat "," (List.map step_to_string steps)
+
+let to_string t = t.spec
+let equal a b = String.equal a.spec b.spec
+
+let preset_specs =
+  [
+    ("none", "");
+    ("cleanup", "repeat(fold,cse,dce)");
+    ("standard", "canon,fold,cse,strength,balance,dce");
+    ("aggressive", "repeat(canon,fold,cse,strength,balance,dce)");
+  ]
+
+let preset_names = List.map fst preset_specs
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: a hand-rolled token scanner; names resolve in the catalog
+   first, then as presets (expanded in place). *)
+
+type token = Name of string | Lparen | Rparen | Sep
+
+let tokenize spec =
+  let n = String.length spec in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match spec.[i] with
+      | ' ' | '\t' | '\n' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | ',' | '+' -> go (i + 1) (Sep :: acc)
+      | c when c = '_' || c = '-' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ->
+          let j = ref i in
+          while
+            !j < n
+            &&
+            match spec.[!j] with
+            | 'a' .. 'z' | '0' .. '9' | '_' | '-' -> true
+            | _ -> false
+          do
+            incr j
+          done;
+          go !j (Name (String.sub spec i (!j - i)) :: acc)
+      | c -> Error (Printf.sprintf "recipe %S: unexpected character %C" spec c)
+  in
+  go 0 []
+
+let parse spec =
+  let ( let* ) = Result.bind in
+  let* tokens = tokenize spec in
+  (* items := item (Sep item)* | empty ; item := name | repeat ( items ) *)
+  let rec items depth toks acc =
+    match toks with
+    | [] -> Ok (List.rev acc, [])
+    | Rparen :: _ when depth > 0 -> Ok (List.rev acc, toks)
+    | Rparen :: _ -> Error (Printf.sprintf "recipe %S: unbalanced ')'" spec)
+    | Sep :: rest -> items depth rest acc
+    | Name "repeat" :: Lparen :: rest -> (
+        let* body, rest = items (depth + 1) rest [] in
+        match rest with
+        | Rparen :: rest ->
+            if body = [] then
+              Error (Printf.sprintf "recipe %S: empty repeat()" spec)
+            else items depth rest (Repeat body :: acc)
+        | _ -> Error (Printf.sprintf "recipe %S: missing ')'" spec))
+    | Name name :: rest -> (
+        match Catalog.find name with
+        | Some p -> items depth rest (Apply p :: acc)
+        | None -> (
+            match List.assoc_opt name preset_specs with
+            | Some body ->
+                let* expanded = parse_spec body in
+                items depth rest (List.rev_append expanded acc)
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "recipe %S: unknown pass %S (passes: %s; presets: %s)"
+                     spec name
+                     (String.concat ", " (Catalog.names ()))
+                     (String.concat ", " preset_names))))
+    | Lparen :: _ ->
+        Error (Printf.sprintf "recipe %S: '(' only follows repeat" spec)
+  and parse_spec s =
+    let* toks = tokenize s in
+    let* steps, rest = items 0 toks [] in
+    match rest with
+    | [] -> Ok steps
+    | _ -> Error (Printf.sprintf "recipe %S: trailing tokens" s)
+  in
+  let* steps, rest = items 0 tokens [] in
+  match rest with
+  | [] -> Ok { spec = steps_to_string steps; steps }
+  | _ -> Error (Printf.sprintf "recipe %S: unbalanced ')'" spec)
+
+let of_string_exn spec =
+  match parse spec with Ok t -> t | Error m -> invalid_arg m
+
+let none = of_string_exn "none"
+let cleanup = of_string_exn "cleanup"
+let standard = of_string_exn "standard"
+let aggressive = of_string_exn "aggressive"
+
+(* Top-level split of a comma-separated recipe *list* (the CLI's
+   --recipes axis): commas inside repeat(...) do not split. *)
+let split_specs s =
+  let n = String.length s in
+  let out = ref [] and start = ref 0 and depth = ref 0 in
+  for i = 0 to n - 1 do
+    match s.[i] with
+    | '(' -> incr depth
+    | ')' -> decr depth
+    | ',' when !depth = 0 ->
+        out := String.sub s !start (i - !start) :: !out;
+        start := i + 1
+    | _ -> ()
+  done;
+  out := String.sub s !start (n - !start) :: !out;
+  List.rev_map String.trim !out |> List.filter (fun s -> s <> "")
+
+let pp ppf t = Format.pp_print_string ppf t.spec

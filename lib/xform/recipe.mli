@@ -1,0 +1,47 @@
+(** Recipe specs: an ordered pass list with a fixpoint combinator.
+
+    Grammar (whitespace free; ['+'] is accepted as a separator):
+    {v
+      recipe := item (',' item)*  |  ""            (no passes)
+      item   := PASS | PRESET | "repeat" '(' recipe ')'
+    v}
+    Pass names come from the {!Catalog}; preset names ([none], [cleanup],
+    [standard], [aggressive]) expand in place.  [repeat(...)] iterates its
+    body until no pass changes the graph (bounded by the engine's round
+    cap). *)
+
+type step = Apply of Pass.t | Repeat of step list
+
+type t = {
+  spec : string;  (** canonical rendering of [steps]; ["none"] if empty *)
+  steps : step list;
+}
+
+val parse : string -> (t, string) result
+
+(** [parse], raising [Invalid_argument] on a bad spec. *)
+val of_string_exn : string -> t
+
+(** Canonical spec string ([t.spec]). *)
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+(** The presets, by name: ["none"] is empty, ["cleanup"] is the historic
+    post-[cleanup]-flag pipeline [repeat(fold,cse,dce)], ["standard"] is
+    [canon,fold,cse,strength,balance,dce], and ["aggressive"] iterates
+    the standard body to a fixed point. *)
+val preset_specs : (string * string) list
+
+val preset_names : string list
+val none : t
+val cleanup : t
+val standard : t
+val aggressive : t
+
+(** Top-level split of a comma-separated recipe {e list} (the CLI's
+    [--recipes] axis): commas inside [repeat(...)] do not split; empty
+    segments are dropped. *)
+val split_specs : string -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,7 @@
+(** Strength reduction: multiplication by a constant becomes a balanced
+    shift/add-subtract network over the constant's CSD recoding, so the
+    additive depth the scheduler sees is logarithmic in the digit count
+    (the extractor's own constant-multiplier lowering is a linear
+    chain). *)
+
+val run : Hls_dfg.Graph.t -> Pass.result

@@ -1,0 +1,20 @@
+(* The verification gate's policy: how much differential simulation each
+   recipe application buys.  [Every_pass] checks (and can roll back) each
+   pass against its own input graph; [Sampled] checks the whole recipe
+   end-to-end once; [Off] trusts the catalog. *)
+
+type policy = Off | Sampled | Every_pass
+
+let to_string = function
+  | Off -> "off"
+  | Sampled -> "sampled"
+  | Every_pass -> "every_pass"
+
+let of_string = function
+  | "off" | "none" -> Some Off
+  | "sampled" -> Some Sampled
+  | "every_pass" | "every-pass" -> Some Every_pass
+  | _ -> None
+
+let all = [ Off; Sampled; Every_pass ]
+let pp ppf p = Format.pp_print_string ppf (to_string p)

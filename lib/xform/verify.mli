@@ -1,0 +1,11 @@
+(** Verification policy of the transformation {!Engine}: [Off] trusts
+    the catalog, [Sampled] checks the whole recipe end-to-end once by
+    differential simulation, [Every_pass] checks each pass against its
+    own input graph and rolls a failing rewrite back. *)
+
+type policy = Off | Sampled | Every_pass
+
+val to_string : policy -> string
+val of_string : string -> policy option
+val all : policy list
+val pp : Format.formatter -> policy -> unit

@@ -9,7 +9,6 @@ module Resp = Hls_api.Response
 module Exec = Hls_api.Exec
 module Render = Hls_api.Render
 module F = Hls_util.Failure
-module P = Hls_core.Pipeline
 
 let check = Alcotest.(check string)
 let check_int = Alcotest.(check int)
@@ -29,7 +28,7 @@ let test_request_golden () =
     {|{"v":1,"id":"7","method":"parse","params":{"spec":{"builtin":"chain3"}}}|}
     (J.to_string (Req.to_json ~id:"7" (Req.Parse { spec = Req.Builtin "chain3" })));
   check "report request"
-    {|{"v":1,"method":"report","params":{"spec":{"source":"x = a + b"},"latency":4,"config":{"lib":"ripple","policy":"full","balance":true,"cleanup":false},"target_ns":2.5}}|}
+    {|{"v":1,"method":"report","params":{"spec":{"source":"x = a + b"},"latency":4,"config":{"lib":"ripple","policy":"full","balance":true,"transform":"none","verify":"off"},"target_ns":2.5}}|}
     (J.to_string
        (Req.to_json
           (Req.Report
@@ -40,7 +39,7 @@ let test_request_golden () =
                target_ns = Some 2.5;
              })));
   check "emit request"
-    {|{"v":1,"id":"c","method":"emit","params":{"spec":{"builtin":"fir2"},"latency":3,"format":"verilog-tb","config":{"lib":"ripple","policy":"full","balance":true,"cleanup":false}}}|}
+    {|{"v":1,"id":"c","method":"emit","params":{"spec":{"builtin":"fir2"},"latency":3,"format":"verilog-tb","config":{"lib":"ripple","policy":"full","balance":true,"transform":"none","verify":"off"}}}|}
     (J.to_string
        (Req.to_json ~id:"c"
           (Req.Emit
@@ -49,6 +48,16 @@ let test_request_golden () =
                latency = 3;
                format = Req.Verilog_tb;
                config = Req.default_config;
+             })));
+  check "transform request"
+    {|{"v":1,"id":"t","method":"transform","params":{"spec":{"builtin":"fir2"},"recipe":"standard","verify":"every_pass"}}|}
+    (J.to_string
+       (Req.to_json ~id:"t"
+          (Req.Transform
+             {
+               spec = Req.Builtin "fir2";
+               recipe = "standard";
+               verify = "every_pass";
              })))
 
 let test_response_golden () =
@@ -87,8 +96,14 @@ let test_request_decode () =
         {
           spec = Req.Source "y = a + b";
           latency = 2;
-          config = { Req.default_config with cleanup = true };
+          config = { Req.default_config with transform = "cleanup" };
           vhdl = true;
+        };
+      Req.Transform
+        {
+          spec = Req.Builtin "fir2";
+          recipe = "repeat(fold,cse,dce)";
+          verify = "sampled";
         };
       Req.Report
         {
@@ -112,6 +127,8 @@ let test_request_decode () =
               Req.default_explore_params with
               latencies = [ 2; 7 ];
               policies = [ `Full; `Coalesced ];
+              recipes = [ "none"; "standard" ];
+              verify = "sampled";
               jobs = Some 2;
               timeout_s = Some 0.5;
               retries = 3;
@@ -280,18 +297,56 @@ let test_response_roundtrip () =
     ]
 
 (* ------------------------------------------------------------------ *)
-(* Pipeline.run is the deprecated wrappers, exactly.                   *)
+(* Legacy v1 clients: the old "cleanup" boolean still decodes, mapped
+   onto the cleanup preset recipe, both in configs and the sweep axis. *)
 
-let test_run_matches_deprecated () =
-  let g = Hls_workloads.Benchmarks.fir2 () in
-  let via_run =
-    match P.run_graph P.default_config g ~latency:3 with
-    | Ok r -> r
-    | Error f -> Alcotest.failf "run_graph failed: %s" (F.to_string f)
+let test_legacy_cleanup_decode () =
+  let _, req =
+    decode
+      {|{"v":1,"method":"report","params":{"spec":{"builtin":"chain3"},"latency":3,"config":{"cleanup":true}}}|}
   in
-  let[@alert "-deprecated"] via_deprecated = P.optimized g ~latency:3 in
-  check_bool "same report" true
-    (via_run.P.opt_report = via_deprecated.P.opt_report)
+  (match req with
+  | Req.Report { config = { Req.transform = "cleanup"; verify = "off"; _ }; _ }
+    -> ()
+  | _ -> Alcotest.fail "config cleanup:true must decode as the cleanup preset");
+  let _, req =
+    decode
+      {|{"v":1,"method":"explore","params":{"spec":{"builtin":"chain3"},"cleanup":[true,false]}}|}
+  in
+  match req with
+  | Req.Explore { params = { Req.recipes = [ "cleanup"; "none" ]; _ }; _ } -> ()
+  | _ -> Alcotest.fail "cleanup axis must decode as a recipe axis"
+
+(* ------------------------------------------------------------------ *)
+(* The transform verb end to end: applied passes logged, the verify
+   gate's checks counted, bad recipes and policies rejected as usage.  *)
+
+let test_exec_transform () =
+  let exec = Exec.create () in
+  Fun.protect ~finally:(fun () -> Exec.close exec) @@ fun () ->
+  let transform recipe verify =
+    Exec.run exec (Req.Transform { spec = Req.Builtin "fir2"; recipe; verify })
+  in
+  (match transform "standard" "every_pass" with
+  | Ok (Resp.Transformed x) ->
+      check "canonical recipe spec" "canon,fold,cse,strength,balance,dce"
+        x.Resp.x_recipe;
+      check_int "nothing rejected" 0 x.Resp.x_rejected;
+      check_bool "every fired pass was checked" true
+        (x.Resp.x_checks > 0
+        && List.for_all
+             (fun (e : Resp.transform_entry) ->
+               (not e.Resp.te_fired) || e.Resp.te_verdict <> None)
+             x.Resp.x_log)
+  | Ok _ -> Alcotest.fail "transform returned a non-transform payload"
+  | Error e -> Alcotest.failf "transform failed: %s" (Resp.error_message e));
+  (match transform "no-such-pass" "off" with
+  | Error (Resp.Usage m) ->
+      check_bool "bad recipe named" true (contains ~affix:"no-such-pass" m)
+  | _ -> Alcotest.fail "unknown pass must be a usage error");
+  match transform "standard" "paranoid" with
+  | Error (Resp.Usage _) -> ()
+  | _ -> Alcotest.fail "unknown verify policy must be a usage error"
 
 (* ------------------------------------------------------------------ *)
 (* Exec: memoized prepared prefix, batch alignment, injected faults.   *)
@@ -502,8 +557,9 @@ let suite =
     Alcotest.test_case "exit-code taxonomy" `Quick test_exit_codes;
     Alcotest.test_case "response round-trip + stable rendering" `Quick
       test_response_roundtrip;
-    Alcotest.test_case "Pipeline.run == deprecated wrappers" `Quick
-      test_run_matches_deprecated;
+    Alcotest.test_case "legacy cleanup fields decode" `Quick
+      test_legacy_cleanup_decode;
+    Alcotest.test_case "transform verb end to end" `Quick test_exec_transform;
     Alcotest.test_case "exec memoizes the prepared prefix" `Quick
       test_exec_memoization;
     Alcotest.test_case "exec batch alignment" `Quick test_exec_batch;

@@ -15,7 +15,7 @@ module Json = Hls_dse.Dse_json
 
 let test_space_expansion () =
   let space =
-    Space.make ~latencies:[ 3; 4 ] ~policies:[ `Full; `Coalesced ]
+    Space.make_exn ~latencies:[ 3; 4 ] ~policies:[ `Full; `Coalesced ]
       ~balance:[ true; false ] ()
   in
   let jobs = Space.jobs space in
@@ -29,6 +29,72 @@ let test_space_expansion () =
   Alcotest.(check (list int)) "latency-major"
     [ 3; 3; 3; 3; 4; 4; 4; 4 ]
     (List.map (fun (j : Space.job) -> j.Space.latency) jobs)
+
+let test_space_axis_errors () =
+  (match Space.make ~latencies:[ 3; 4; 3 ] () with
+  | Error (Space.Duplicate_value { axis = "latency"; value = "3" }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Space.axis_error_to_string e)
+  | Ok _ -> Alcotest.fail "duplicate latency must be rejected");
+  (match Space.make ~recipes:[ "standard"; "standard" ] () with
+  | Error (Space.Duplicate_value { axis = "recipe"; value = "standard" }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Space.axis_error_to_string e)
+  | Ok _ -> Alcotest.fail "duplicate recipe must be rejected");
+  (match Space.make ~balance:[] () with
+  | Error (Space.Empty_axis "balance") -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Space.axis_error_to_string e)
+  | Ok _ -> Alcotest.fail "empty axis must be rejected");
+  (match Space.make ~recipes:[ "none"; "frobnicate" ] () with
+  | Error (Space.Bad_recipe _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Space.axis_error_to_string e)
+  | Ok _ -> Alcotest.fail "unknown recipe must be rejected");
+  match Space.make_exn ~latencies:[ 3; 3 ] () with
+  | exception Invalid_argument m ->
+      Alcotest.(check bool) "make_exn names the axis" true
+        (let needle = "latency" in
+         let rec has i =
+           i + String.length needle <= String.length m
+           && (String.sub m i (String.length needle) = needle || has (i + 1))
+         in
+         has 0)
+  | _ -> Alcotest.fail "make_exn must raise on a duplicate axis value"
+
+let test_recipe_axis () =
+  let g = Hls_workloads.Motivational.fig3 () in
+  let space =
+    Space.make_exn ~latencies:[ 3 ] ~recipes:[ "none"; "standard" ] ()
+  in
+  Alcotest.(check int) "two jobs" 2 (Space.size space);
+  let keys = List.map Space.job_key (Space.jobs space) in
+  Alcotest.(check bool) "recipe is part of the job key" true
+    (List.exists
+       (fun k ->
+         let needle = "xform=standard" in
+         let rec has i =
+           i + String.length needle <= String.length k
+           && (String.sub k i (String.length needle) = needle || has (i + 1))
+         in
+         has 0)
+       keys);
+  let r = Explore.run ~workers:1 ~verify:Hls_xform.Verify.Sampled g space in
+  Alcotest.(check int) "both points computed" 2 (List.length r.Explore.points);
+  (* The transformed kernel is summarized: one summary for "standard"
+     ("none" applies no pass and is omitted), with checks recorded. *)
+  (match r.Explore.transforms with
+  | [ s ] ->
+      Alcotest.(check string) "summarized recipe" "standard"
+        s.Explore.t_recipe;
+      Alcotest.(check bool) "sampled policy checked" true (s.Explore.t_checks >= 1);
+      Alcotest.(check int) "nothing rejected" 0 s.Explore.t_rejected
+  | l -> Alcotest.failf "expected one transform summary, got %d" (List.length l));
+  (* The sweep's JSON round-trips with the transform summaries intact. *)
+  match Explore.of_json (Explore.to_json r) with
+  | Error m -> Alcotest.failf "sweep json did not decode: %s" m
+  | Ok back ->
+      Alcotest.(check bool) "transforms survive the json roundtrip" true
+        (back.Explore.transforms = r.Explore.transforms);
+      Alcotest.(check string) "json stable"
+        (Json.to_string (Explore.to_json r))
+        (Json.to_string (Explore.to_json back))
 
 let test_parse_latencies () =
   let ok spec expect =
@@ -53,7 +119,7 @@ let test_parse_latencies () =
 let test_cache_hit_miss () =
   let g = Hls_workloads.Motivational.chain3 () in
   let cache = Cache.create () in
-  let space = Space.make ~latencies:[ 3; 4 ] () in
+  let space = Space.make_exn ~latencies:[ 3; 4 ] () in
   let first = Explore.run ~workers:1 ~cache g space in
   Alcotest.(check int) "first run misses" 2 (Explore.(first.cache_misses));
   Alcotest.(check int) "first run hits" 0 Explore.(first.cache_hits);
@@ -81,7 +147,7 @@ let test_cache_hit_miss () =
 let test_cache_disk_roundtrip () =
   let path = Filename.temp_file "dse-cache" ".json" in
   let g = Hls_workloads.Motivational.chain3 () in
-  let space = Space.make ~latencies:[ 3 ] () in
+  let space = Space.make_exn ~latencies:[ 3 ] () in
   let c1 = Cache.create ~path () in
   let r1 = Explore.run ~workers:1 ~cache:c1 g space in
   Cache.close c1;
@@ -189,7 +255,7 @@ let test_pool_timeout () =
 let test_explore_matches_serial () =
   let g = Hls_workloads.Motivational.chain3 () in
   let latencies = [ 3; 6 ] in
-  let space = Space.make ~latencies () in
+  let space = Space.make_exn ~latencies () in
   let serial =
     List.map
       (fun latency ->
@@ -237,7 +303,7 @@ let test_explore_survives_infeasible () =
      sweep must record those failures and keep the feasible points. *)
   let g = Hls_workloads.Benchmarks.elliptic () in
   let space =
-    Space.make ~latencies:[ 5; 6 ] ~policies:[ `Full; `Coalesced ] ()
+    Space.make_exn ~latencies:[ 5; 6 ] ~policies:[ `Full; `Coalesced ] ()
   in
   let r = Explore.run ~workers:2 g space in
   Alcotest.(check int) "attempted = points + failures" 4
@@ -248,7 +314,7 @@ let test_explore_survives_infeasible () =
 
 let test_feedback_refines_latency () =
   let g = Hls_workloads.Motivational.chain3 () in
-  let space = Space.make ~latencies:[ 4 ] () in
+  let space = Space.make_exn ~latencies:[ 4 ] () in
   let r = Explore.run ~workers:1 ~feedback:1 g space in
   Alcotest.(check int) "two rounds ran" 2 r.Explore.rounds;
   let latencies =
@@ -295,6 +361,8 @@ let test_json_roundtrip () =
 let suite =
   [
     Alcotest.test_case "space expansion" `Quick test_space_expansion;
+    Alcotest.test_case "typed axis errors" `Quick test_space_axis_errors;
+    Alcotest.test_case "recipe axis sweeps" `Quick test_recipe_axis;
     Alcotest.test_case "latency specs" `Quick test_parse_latencies;
     Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
     Alcotest.test_case "cache disk roundtrip" `Quick test_cache_disk_roundtrip;

@@ -21,6 +21,7 @@ let () =
       ("netlist", Test_netlist.suite);
       ("props", Test_props.suite);
       ("opt", Test_opt.suite);
+      ("xform", Test_xform.suite);
       ("consistency", Test_consistency.suite);
       ("spec_files", Test_spec_files.suite);
       ("lower_direct", Test_lower_direct.suite);
