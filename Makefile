@@ -39,16 +39,23 @@ xform-smoke:
 	echo "xform-smoke: ok (standard + aggressive verified on every workload)"
 
 # Tiny-iteration run of the timing bench (reference vs Bitnet pairs) and a
-# sanity check of the JSON it emits.  The full-quota run that regenerates
-# the committed BENCH_timing.json is `dune exec bench/main.exe -- timing
+# sanity check of the JSON it emits.  --assert additionally times the
+# arrival/deadline kernels against their references on every registry
+# workload and fails loudly if any kernel is slower — a perf regression
+# gate, not just a smoke test.  The full-quota run that regenerates the
+# committed BENCH_timing.json is `dune exec bench/main.exe -- timing
 # --json`.
 bench-smoke:
 	@out=_build/bench_smoke_timing.json; \
-	dune exec bench/main.exe -- timing --quick --json --out $$out >/dev/null; \
+	log=_build/bench_smoke_timing.log; \
+	dune exec bench/main.exe -- timing --quick --json --assert --out $$out > $$log \
+	  || { echo "bench-smoke: timing bench failed"; tail -20 $$log; exit 1; }; \
 	grep -q '"bench": "timing"' $$out || { echo "bench-smoke: bad $$out"; exit 1; }; \
 	grep -q '"analysis": "pipeline_sweep"' $$out || { echo "bench-smoke: no pipeline_sweep result"; exit 1; }; \
 	grep -q '"speedup":' $$out || { echo "bench-smoke: no speedup estimates"; exit 1; }; \
-	echo "bench-smoke: ok (timing bench runs and emits sane JSON)"
+	grep -q '"regions":' $$out || { echo "bench-smoke: no kernel shape section"; exit 1; }; \
+	grep -q 'bench-assert: ok' $$log || { echo "bench-smoke: kernel-vs-reference assertion missing"; tail -20 $$log; exit 1; }; \
+	echo "bench-smoke: ok (timing bench runs, kernels beat references, JSON sane)"
 
 # Resilience smoke: the sweep must ride out injected faults.
 #  1. A transient per-job fault with retries enabled still yields a

@@ -646,6 +646,7 @@ let timing () =
   let flag f = Array.exists (( = ) f) Sys.argv in
   let json = flag "--json" in
   let quick = flag "--quick" in
+  let assert_mode = flag "--assert" in
   let out =
     let r = ref "BENCH_timing.json" in
     Array.iteri
@@ -664,17 +665,28 @@ let timing () =
           ops = 120; mul_ratio = 12 }
       ~seed:42 ()
   in
+  let registry w =
+    match Hls_workloads.Registry.find w with
+    | Some g -> g
+    | None -> failwith (w ^ " missing from the workload registry")
+  in
   let workloads =
     [
       ("adpcm", Hls_workloads.Adpcm.decoder (), [ 4; 6; 8; 10; 12 ]);
       ("random120", random_dfg, [ 6; 8; 10; 12; 14 ]);
+      (* Multi-lane stress shapes from the registry: several independent
+         regions, the load the wavefront kernels are built for. *)
+      ("random240", registry "random240", [ 8; 10; 12; 14 ]);
+      ("random480", registry "random480", [ 10; 14 ]);
     ]
   in
   (* Each pair times the same computation twice: [ref] through the
      retained per-query Bitdep implementations, [net] through the packed
-     dependency net.  Both sides of the single-analysis pairs include
-     their whole cost (the net side rebuilds the net each run); only the
-     pipeline sweep amortizes the prework, which is its point. *)
+     dependency net.  The arrival/deadline rows measure the serving-path
+     configuration: the net is built once and shared (exactly how the
+     pipeline holds it), so the [net] side is the amortized wavefront
+     sweep alone.  The mobility and pipeline_sweep rows still price the
+     whole flow including net construction. *)
   let pairs = ref [] in
   let tests =
     List.concat_map
@@ -697,14 +709,14 @@ let timing () =
         in
         pair "arrival"
           (fun () -> ignore (Hls_timing.Arrival.compute_reference kernel))
-          (fun () -> ignore (Hls_timing.Arrival.compute kernel))
+          (fun () -> ignore (Hls_timing.Arrival.of_net net))
         @ pair "deadline"
             (fun () ->
               ignore
                 (Hls_timing.Deadline.compute_reference kernel
                    ~total_slots:total))
             (fun () ->
-              ignore (Hls_timing.Deadline.compute kernel ~total_slots:total))
+              ignore (Hls_timing.Deadline.of_net net ~total_slots:total))
         @ pair "mobility"
             (fun () ->
               ignore
@@ -892,6 +904,22 @@ let timing () =
                        ("latencies", J.List (List.map (fun l -> J.Int l) lats));
                      ])
                  workloads) );
+          (* Shape of each workload's dependency net: how many wavefront
+             rounds the kernels take (levels) and how much intra-request
+             parallelism is available (regions). *)
+          ( "kernels",
+            J.List
+              (List.map
+                 (fun (w, g, _) ->
+                   let net = Hls_timing.Bitnet.build (P.prepare_kernel g) in
+                   J.Obj
+                     [
+                       ("name", J.String w);
+                       ("bits", J.Int (Hls_timing.Bitnet.total_bits net));
+                       ("levels", J.Int (Hls_timing.Bitnet.n_levels net));
+                       ("regions", J.Int (Hls_timing.Bitnet.n_regions net));
+                     ])
+                 workloads) );
           ( "results",
             J.List
               (List.map
@@ -954,6 +982,72 @@ let timing () =
     output_char oc '\n';
     close_out oc;
     Printf.printf "wrote %s\n" path
+  end;
+  if assert_mode then begin
+    (* A timing kernel slower than its retained reference is a
+       regression, not a tradeoff — fail the build loudly. *)
+    let failed = ref false in
+    List.iter
+      (fun (w, a, _, _, s) ->
+        if (a = "arrival" || a = "deadline") && s < 1.0 then begin
+          failed := true;
+          Printf.eprintf "bench-assert: %s/%s at %.2fx, slower than its \
+                          reference\n" w a s
+        end)
+      rows;
+    (* Sweep every registry workload, not just the benched ones: best-of-
+       batches wall timing of the amortized kernels (prebuilt net, the
+       serving-path configuration) against the per-query references. *)
+    let best_ns f =
+      ignore (Sys.opaque_identity (f ()));
+      let batch reps =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          ignore (Sys.opaque_identity (f ()))
+        done;
+        Unix.gettimeofday () -. t0
+      in
+      let reps = ref 1 in
+      while batch !reps < 3e-4 do
+        reps := !reps * 2
+      done;
+      let best = ref infinity in
+      for _ = 1 to 7 do
+        let dt = batch !reps in
+        if dt < !best then best := dt
+      done;
+      !best *. 1e9 /. float_of_int !reps
+    in
+    List.iter
+      (fun (w, g) ->
+        let kernel = P.prepare_kernel g in
+        let net = Hls_timing.Bitnet.build kernel in
+        let total =
+          Hls_timing.Arrival.critical_delta (Hls_timing.Arrival.of_net net)
+        in
+        let check analysis ref_fn net_fn =
+          let r = best_ns ref_fn and n = best_ns net_fn in
+          let s = if n > 0. then r /. n else infinity in
+          Printf.printf "bench-assert: %-16s %-8s %8.0f ns -> %8.0f ns \
+                         (%5.2fx)\n" w analysis r n s;
+          if s < 1.0 then begin
+            failed := true;
+            Printf.eprintf "bench-assert: %s/%s at %.2fx, slower than its \
+                            reference\n" w analysis s
+          end
+        in
+        check "arrival"
+          (fun () -> Hls_timing.Arrival.compute_reference kernel)
+          (fun () -> Hls_timing.Arrival.of_net net);
+        check "deadline"
+          (fun () ->
+            Hls_timing.Deadline.compute_reference kernel ~total_slots:total)
+          (fun () -> Hls_timing.Deadline.of_net net ~total_slots:total))
+      (Hls_workloads.Registry.all ());
+    if !failed then exit 1;
+    print_endline
+      "bench-assert: ok (arrival and deadline kernels at or above their \
+       references on every workload)"
   end
 
 (* ------------------------------------------------------------------ *)

@@ -1,3 +1,8 @@
+(* The word-packed (63-bits-per-word) index sets used by the wavefront
+   timing kernels; re-exported so the library's main module stays the
+   single entry point. *)
+module Wordset = Wordset
+
 type t = { width : int; bits : bool array }
 (* bits.(i) is bit i (LSB first); the array length always equals [width]. *)
 

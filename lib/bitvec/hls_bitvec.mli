@@ -9,6 +9,10 @@
     Bit 0 is the least significant bit.  All operations are total over their
     stated widths; width mismatches raise [Invalid_argument]. *)
 
+(** Word-packed (63-bits-per-word) index sets for the wavefront timing
+    kernels — see {!Wordset}. *)
+module Wordset : module type of Wordset
+
 type t
 
 (** {1 Construction} *)

@@ -55,13 +55,16 @@ type prepared = {
 
 (** Behavioural transformation, kernel extraction, then the
     latency-independent timing prework (the kernel's dependency net and
-    arrival analysis). *)
+    arrival analysis).  [workers > 1] runs the arrival wavefront
+    region-parallel over the domain pool ({!Hls_timing.Arrival.of_net_parallel})
+    — worthwhile on large multi-region kernels; serial is the default. *)
 val prepare :
   ?transform:Hls_xform.Recipe.t -> ?verify:Hls_xform.Verify.policy ->
-  Hls_dfg.Graph.t -> prepared
+  ?workers:int -> Hls_dfg.Graph.t -> prepared
 
-(** Extend an already extracted kernel with its timing prework. *)
-val prepared_of_kernel : Hls_dfg.Graph.t -> prepared
+(** Extend an already extracted kernel with its timing prework.
+    [workers] as in {!prepare}. *)
+val prepared_of_kernel : ?workers:int -> Hls_dfg.Graph.t -> prepared
 
 (** One record for every per-point knob of the optimized flow.
     [transform] (a behavioural transformation recipe applied before

@@ -67,6 +67,14 @@ type t = {
       (** per-phase (name, calls, total seconds) from the telemetry span
           totals accumulated during this run; empty when the sink was not
           armed *)
+  counters : (string * int) list;
+      (** telemetry counter deltas accumulated during this run (e.g.
+          [timing.rounds], [timing.words_swept], [cache.hit]), sorted by
+          name; empty when the sink was not armed *)
+  gauges : (string * (float * float)) list;
+      (** telemetry gauges as (name, (last, max)) at the end of the run
+          (e.g. [timing.levels], [timing.regions]), sorted by name; empty
+          when the sink was not armed *)
 }
 
 (** Pool attempts beyond each point's first (the sweep's retry bill). *)
@@ -286,13 +294,16 @@ let run ?workers ?timeout_s ?cache ?(feedback = 0)
     ?(verify = Hls_xform.Verify.Off) graph (space : Space.t) =
   let t0 = Unix.gettimeofday () in
   let spans0 = Hls_telemetry.span_totals () in
+  let counters0 = Hls_telemetry.counter_totals () in
   let cache = match cache with Some c -> c | None -> Cache.create () in
   let digest = Cache.graph_digest graph in
   let kernels =
     List.map
       (fun spec ->
         let transform = Hls_xform.Recipe.of_string_exn spec in
-        (spec, Pipeline.prepare ~transform ~verify graph))
+        (* The same worker budget that fans points out also parallelizes
+           the arrival wavefront inside each prepared kernel. *)
+        (spec, Pipeline.prepare ~transform ~verify ?workers graph))
       (List.sort_uniq compare space.Space.recipes)
   in
   let transforms =
@@ -348,6 +359,22 @@ let run ?workers ?timeout_s ?cache ?(feedback = 0)
       phase_delta spans0 (Hls_telemetry.span_totals ())
     else []
   in
+  let counters =
+    if Hls_telemetry.armed () then
+      (* Deltas against the run-start snapshot: only what this sweep
+         contributed, even when the sink stays armed across runs. *)
+      List.filter_map
+        (fun (name, total) ->
+          let before =
+            Option.value (List.assoc_opt name counters0) ~default:0
+          in
+          if total > before then Some (name, total - before) else None)
+        (Hls_telemetry.counter_totals ())
+    else []
+  in
+  let gauges =
+    if Hls_telemetry.armed () then Hls_telemetry.gauge_bindings () else []
+  in
   {
     graph_name = Hls_dfg.Graph.name graph;
     digest;
@@ -361,6 +388,8 @@ let run ?workers ?timeout_s ?cache ?(feedback = 0)
     cache_misses = Cache.misses cache;
     recovered = Cache.recovered cache;
     phases;
+    counters;
+    gauges;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -448,6 +477,27 @@ let to_json t =
                          ("total_s", Dse_json.Float secs);
                        ])
                    t.phases) );
+            ( "counters",
+              Dse_json.List
+                (List.map
+                   (fun (name, total) ->
+                     Dse_json.Obj
+                       [
+                         ("name", Dse_json.String name);
+                         ("total", Dse_json.Int total);
+                       ])
+                   t.counters) );
+            ( "gauges",
+              Dse_json.List
+                (List.map
+                   (fun (name, (last, mx)) ->
+                     Dse_json.Obj
+                       [
+                         ("name", Dse_json.String name);
+                         ("last", Dse_json.Float last);
+                         ("max", Dse_json.Float mx);
+                       ])
+                   t.gauges) );
           ] );
     ]
 
@@ -563,6 +613,25 @@ let of_json j =
         Ok (name, calls, total_s))
       telemetry
   in
+  (* Absent in documents written before the counter/gauge export; decode
+     them as empty rather than rejecting old files. *)
+  let optional_list name conv =
+    if Dse_json.member name telemetry = None then Ok []
+    else list_of_json name conv telemetry
+  in
+  let* counters =
+    optional_list "counters" (fun c ->
+        let* name = of_json_field "name" Dse_json.to_str c in
+        let* total = of_json_field "total" Dse_json.to_int c in
+        Ok (name, total))
+  in
+  let* gauges =
+    optional_list "gauges" (fun g ->
+        let* name = of_json_field "name" Dse_json.to_str g in
+        let* last = of_json_field "last" Dse_json.to_float g in
+        let* mx = of_json_field "max" Dse_json.to_float g in
+        Ok (name, (last, mx)))
+  in
   Ok
     {
       graph_name;
@@ -577,6 +646,8 @@ let of_json j =
       cache_misses;
       recovered;
       phases;
+      counters;
+      gauges;
     }
 
 let pp ppf t =

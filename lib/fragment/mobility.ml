@@ -239,10 +239,17 @@ let compute ?n_bits ?(policy = `Full) ?net ?arrival graph ~latency =
   let arr = match arrival with Some a -> a | None -> Arrival.of_net net in
   let critical = Arrival.critical_delta arr in
   let n_bits = resolve_n_bits ~critical ~latency n_bits in
-  let dl = Deadline.of_net net ~total_slots:(latency * n_bits) in
-  (match Deadline.feasible_witness arr dl with
-  | Some _ as witness -> infeasible_error ~latency ~n_bits ~critical ~witness
-  | None -> ());
+  (* The early-exit kernel validates each level as it becomes final, so
+     an infeasible budget bails after a fraction of the reverse sweep —
+     and an [Ok] already proves feasibility, no separate witness scan. *)
+  let dl =
+    match
+      Deadline.of_net_check net ~total_slots:(latency * n_bits) ~arrival:arr
+    with
+    | Ok dl -> dl
+    | Error w ->
+        infeasible_error ~latency ~n_bits ~critical ~witness:(Some w)
+  in
   let per_node =
     Array.init (Graph.node_count graph) (fun id ->
         let n = Graph.node graph id in

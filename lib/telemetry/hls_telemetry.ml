@@ -227,6 +227,7 @@ let gauge_find name =
 
 let gauge_last name = Option.map fst (gauge_find name)
 let gauge_max name = Option.map snd (gauge_find name)
+let gauge_bindings () = sorted_bindings gauges
 
 let event_count () =
   Mutex.lock mu;

@@ -89,6 +89,9 @@ val counter_totals : unit -> (string * int) list
 val gauge_last : string -> float option
 val gauge_max : string -> float option
 
+(** All gauges as (name, (last, max)), sorted by name. *)
+val gauge_bindings : unit -> (string * (float * float)) list
+
 (** Recorded trace events (all kinds), oldest first: (name, track id).
     For tests; the JSON export is the real consumer surface. *)
 val recorded_events : unit -> (string * int) list

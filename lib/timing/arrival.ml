@@ -8,96 +8,149 @@
     cycle a bit can be produced in is simply [ceil(slot / n_bits)]:
     registering a value at a cycle boundary never makes it available earlier
     than its combinational arrival, so the unconstrained arrival time *is*
-    the bit-level ASAP schedule. *)
+    the bit-level ASAP schedule.
+
+    Slots live in one flat [bit_base]-indexed array sharing the net's
+    layout, and the kernel advances as a wavefront over the net's
+    topological levels: every node of a level reads only slots settled by
+    earlier levels (or its own carry chain), which is also what lets
+    {!of_net_parallel} run independent net regions on separate domains
+    against the same array. *)
 
 open Hls_dfg.Types
 module Graph = Hls_dfg.Graph
 
 type t = {
-  slots : int array array;  (** [slots.(id).(bit)] = arrival slot in δ *)
+  bit_base : int array;
+      (** length [node_count + 1]: flat index of bit 0 of each node (the
+          {!Bitnet} layout) *)
+  slots : int array;  (** per flat bit: arrival slot in δ *)
 }
 
 let source_slot t = function
   | Input _ | Const _ -> fun _ -> 0
-  | Node id -> fun bit -> t.slots.(id).(bit)
+  | Node id -> fun bit -> t.slots.(t.bit_base.(id) + bit)
 
-let dep_slot t ~self = function
-  | Bitdep.Self j -> self.(j)
+let dep_slot t ~base = function
+  | Bitdep.Self j -> t.slots.(base + j)
   | Bitdep.Bit (src, i) -> source_slot t src i
 
-(** One topological sweep over a prebuilt net: flat-array folds, no per-bit
-    allocation. *)
+(* Settle every bit of node [id], LSB to MSB: cross-node sources are
+   already final (earlier wavefront level), and the only same-node
+   sources are carry bits below [pos]. *)
+let sweep_node (net : Bitnet.t) slots id =
+  let dep_off = net.Bitnet.dep_off in
+  let flat_deps = net.Bitnet.flat_deps in
+  let cost = net.Bitnet.cost in
+  for b = net.Bitnet.bit_base.(id) to net.Bitnet.bit_base.(id + 1) - 1 do
+    let ready = ref 0 in
+    for k = dep_off.(b) to dep_off.(b + 1) - 1 do
+      let s = slots.(flat_deps.(k)) in
+      if s > !ready then ready := s
+    done;
+    slots.(b) <- !ready + cost.(b)
+  done
+
+(** Level-ordered wavefront over a prebuilt net: one flat slot array, one
+    untagged indirection per dependency, no per-bit allocation. *)
 let of_net (net : Bitnet.t) =
-  let graph = net.Bitnet.graph in
-  let t = { slots = Array.make (Graph.node_count graph) [||] } in
-  Graph.iter_nodes
-    (fun n ->
-      let slots = Array.make n.width 0 in
-      let base = net.Bitnet.bit_base.(n.id) in
-      for pos = 0 to n.width - 1 do
-        let b = base + pos in
-        let ready = ref 0 in
-        for k = net.Bitnet.dep_off.(b) to net.Bitnet.dep_off.(b + 1) - 1 do
-          let d = net.Bitnet.deps.(k) in
-          let s =
-            if Bitnet.dep_is_self d then slots.(Bitnet.dep_self_bit d)
-            else t.slots.(Bitnet.dep_node_id d).(Bitnet.dep_node_bit d)
-          in
-          if s > !ready then ready := s
-        done;
-        slots.(pos) <- !ready + net.Bitnet.cost.(b)
-      done;
-      t.slots.(n.id) <- slots)
-    graph;
-  t
+  let slots = Array.make (Bitnet.total_bits net) 0 in
+  let n_levels = Bitnet.n_levels net in
+  for l = 0 to n_levels - 1 do
+    for i = net.Bitnet.level_off.(l) to net.Bitnet.level_off.(l + 1) - 1 do
+      sweep_node net slots net.Bitnet.level_nodes.(i)
+    done
+  done;
+  if n_levels > 0 then Hls_telemetry.count ~n:n_levels "timing.rounds";
+  { bit_base = net.Bitnet.bit_base; slots }
+
+(** Like {!of_net}, but independent net regions (weakly-connected
+    components) are distributed over [workers] pool domains.  Regions
+    write disjoint slices of the shared slot array and read only within
+    their own region, so the result is bit-identical to the serial sweep.
+    Falls back to {!of_net} when the net has a single region or
+    [workers <= 1]. *)
+let of_net_parallel ?workers (net : Bitnet.t) =
+  let workers =
+    match workers with Some w -> w | None -> Hls_pool.default_workers ()
+  in
+  let n_regions = Bitnet.n_regions net in
+  if workers <= 1 || n_regions <= 1 then of_net net
+  else begin
+    let slots = Array.make (Bitnet.total_bits net) 0 in
+    let sweep_region c () =
+      for i = net.Bitnet.comp_off.(c) to net.Bitnet.comp_off.(c + 1) - 1 do
+        sweep_node net slots net.Bitnet.comp_nodes.(i)
+      done
+    in
+    let outcomes = Hls_pool.run ~workers (Array.init n_regions sweep_region) in
+    let all_done =
+      Array.for_all
+        (fun o -> match o with Hls_pool.Done () -> true | _ -> false)
+        outcomes
+    in
+    if all_done then { bit_base = net.Bitnet.bit_base; slots }
+    else
+      (* A region job died (fault injection is the only realistic cause);
+         the serial sweep is always available. *)
+      of_net net
+  end
 
 let compute graph = of_net (Bitnet.build graph)
+
+let bases_of_graph graph =
+  let n_nodes = Graph.node_count graph in
+  let bit_base = Array.make (n_nodes + 1) 0 in
+  for id = 0 to n_nodes - 1 do
+    bit_base.(id + 1) <- bit_base.(id) + (Graph.node graph id).width
+  done;
+  bit_base
 
 (** Direct {!Bitdep.bit_deps} evaluation, kept as the executable reference
     for property tests and the benchmark baseline. *)
 let compute_reference graph =
-  let t = { slots = Array.make (Graph.node_count graph) [||] } in
+  let bit_base = bases_of_graph graph in
+  let t = { bit_base; slots = Array.make bit_base.(Array.length bit_base - 1) 0 } in
   Graph.iter_nodes
     (fun n ->
-      let slots = Array.make n.width 0 in
+      let base = bit_base.(n.id) in
       for pos = 0 to n.width - 1 do
         let cost, deps = Bitdep.bit_deps graph n pos in
         let ready =
-          List.fold_left (fun acc d -> max acc (dep_slot t ~self:slots d)) 0 deps
+          List.fold_left (fun acc d -> max acc (dep_slot t ~base d)) 0 deps
         in
-        slots.(pos) <- ready + cost
-      done;
-      t.slots.(n.id) <- slots)
+        t.slots.(base + pos) <- ready + cost
+      done)
     graph;
   t
 
 (** Arrival slot of one node bit. *)
-let slot t ~id ~bit = t.slots.(id).(bit)
+let slot t ~id ~bit = t.slots.(t.bit_base.(id) + bit)
 
 (** Arrival slot of an operand bit position (before extension). *)
 let operand_slot t (o : operand) ~bit = source_slot t o.src (o.lo + bit)
 
+(** The flat [bit_base]-indexed slot array — a read-only view shared with
+    the deadline pass for word-blocked feasibility scans. *)
+let flat_slots t = t.slots
+
 (** Latest arrival over all bits of all nodes: the critical path length in
     δ (chained 1-bit additions). *)
-let critical_delta t =
-  Array.fold_left
-    (fun acc slots -> Array.fold_left max acc slots)
-    0 t.slots
+let critical_delta t = Array.fold_left max 0 t.slots
 
 (** Earliest cycle (1-based) bit [bit] of node [id] can be computed in,
     under a chaining budget of [n_bits] δ per cycle.  Bits arriving at slot
     0 (pure wiring of inputs) belong to cycle 1. *)
 let asap_cycle t ~n_bits ~id ~bit =
   if n_bits < 1 then invalid_arg "Arrival.asap_cycle: n_bits must be >= 1";
-  let s = t.slots.(id).(bit) in
+  let s = t.slots.(t.bit_base.(id) + bit) in
   max 1 (Hls_util.Int_math.ceil_div s n_bits)
 
 let pp ppf t =
-  Array.iteri
-    (fun id slots ->
-      Format.fprintf ppf "n%d: %a@ " id
-        (Format.pp_print_list
-           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
-           Format.pp_print_int)
-        (Array.to_list slots))
-    t.slots
+  for id = 0 to Array.length t.bit_base - 2 do
+    Format.fprintf ppf "n%d:" id;
+    for b = t.bit_base.(id) to t.bit_base.(id + 1) - 1 do
+      Format.fprintf ppf " %d" t.slots.(b)
+    done;
+    Format.fprintf ppf "@ "
+  done

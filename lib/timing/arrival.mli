@@ -11,10 +11,20 @@
 
 type t
 
-(** Compute arrival slots over a prebuilt {!Bitnet} — one flat-array sweep,
-    no per-bit allocation.  Use this when the net is shared with other
-    passes (deadline, mobility, fragment scheduling). *)
+(** Compute arrival slots over a prebuilt {!Bitnet}: a level-ordered
+    wavefront over one flat slot array sharing the net's [bit_base]
+    layout — one untagged indirection per dependency, no per-bit
+    allocation.  Use this when the net is shared with other passes
+    (deadline, mobility, fragment scheduling). *)
 val of_net : Bitnet.t -> t
+
+(** Like {!of_net}, with independent net regions (weakly-connected
+    components) distributed over [workers] pool domains (default
+    {!Hls_pool.default_workers}).  Regions touch disjoint slices of the
+    shared slot array, so the result is bit-identical to the serial
+    sweep; single-region nets and [workers <= 1] fall back to
+    {!of_net}. *)
+val of_net_parallel : ?workers:int -> Bitnet.t -> t
 
 (** Compute arrival slots for every bit of every node.  Equivalent to
     [of_net (Bitnet.build graph)]. *)
@@ -30,6 +40,11 @@ val slot : t -> id:Hls_dfg.Types.node_id -> bit:int -> int
 
 (** Arrival slot of an operand bit position (before extension). *)
 val operand_slot : t -> Hls_dfg.Types.operand -> bit:int -> int
+
+(** The flat [bit_base]-indexed slot array backing [t] — a read-only
+    view (do not mutate) used by the deadline pass for word-blocked
+    feasibility scans. *)
+val flat_slots : t -> int array
 
 (** Latest arrival over all bits of all nodes: the critical path length in
     δ. *)

@@ -40,6 +40,32 @@ type t = {
   dep_off : int array;
       (** length [total_bits + 1]: CSR offsets into [deps] *)
   deps : int array;  (** packed dependencies (see [dep_is_self] etc.) *)
+  flat_deps : int array;
+      (** [deps] re-encoded for the wavefront kernels: same CSR offsets
+          ([dep_off]), each entry the flat [bit_base]-indexed slot of the
+          source bit — one indirection per dependency load, no tag
+          decode *)
+  node_level : int array;
+      (** per node: topological level (0 = fed only by inputs/constants
+          and its own carry chain; otherwise 1 + max producer level) *)
+  level_off : int array;
+      (** length [n_levels + 1]: CSR offsets into [level_nodes] *)
+  level_nodes : int array;
+      (** node ids grouped by level, ascending id within a level — the
+          wavefront order of the timing kernels *)
+  comp_of : int array;  (** per node: weakly-connected region id *)
+  comp_off : int array;
+      (** length [n_regions + 1]: CSR offsets into [comp_nodes] *)
+  comp_nodes : int array;
+      (** node ids grouped by region, ascending id within a region (a
+          valid topological order of the region) — the unit of
+          intra-request parallelism *)
+  rdep_off : int array;
+      (** length [total_bits + 1]: CSR offsets into [rdeps] *)
+  rdeps : int array;
+      (** transpose of [flat_deps]: per flat bit, the flat slots of the
+          bits that consume it (including same-node carry consumers) —
+          what lets the deadline pass pull instead of push *)
 }
 
 (* Packed encoding: bit 0 tags the kind.
@@ -251,16 +277,189 @@ let build graph =
     costly_prefix.(b + 1) <-
       costly_prefix.(b) + (if cost.(b) > 0 then 1 else 0)
   done;
+  let deps = Array.sub deps.a 0 deps.len in
+  let n_deps = Array.length deps in
+  (* Flat re-encoding: the wavefront kernels load a source slot with one
+     array indirection, so the tag decode happens here, once per graph. *)
+  let flat_deps = Array.make n_deps 0 in
+  for id = 0 to n_nodes - 1 do
+    for k = dep_off.(bit_base.(id)) to dep_off.(bit_base.(id + 1)) - 1 do
+      let d = deps.(k) in
+      flat_deps.(k) <-
+        (if dep_is_self d then bit_base.(id) + dep_self_bit d
+         else bit_base.(dep_node_id d) + dep_node_bit d)
+    done
+  done;
+  (* Topological level of each node: carry chains stay within a level, so
+     a level is exactly the set of nodes whose cross-node inputs are all
+     settled once every earlier level is.  Ascending ids are topological
+     (operands reference strictly smaller ids), so one pass suffices. *)
+  let node_level = Array.make (max n_nodes 1) 0 in
+  for id = 0 to n_nodes - 1 do
+    let lvl = ref 0 in
+    for k = dep_off.(bit_base.(id)) to dep_off.(bit_base.(id + 1)) - 1 do
+      let d = deps.(k) in
+      if not (dep_is_self d) then
+        lvl := max !lvl (node_level.(dep_node_id d) + 1)
+    done;
+    node_level.(id) <- !lvl
+  done;
+  let n_levels =
+    if n_nodes = 0 then 0
+    else 1 + Array.fold_left max 0 (Array.sub node_level 0 n_nodes)
+  in
+  let level_off = Array.make (n_levels + 1) 0 in
+  for id = 0 to n_nodes - 1 do
+    level_off.(node_level.(id) + 1) <- level_off.(node_level.(id) + 1) + 1
+  done;
+  for l = 0 to n_levels - 1 do
+    level_off.(l + 1) <- level_off.(l + 1) + level_off.(l)
+  done;
+  let level_nodes = Array.make n_nodes 0 in
+  let cursor = Array.copy level_off in
+  for id = 0 to n_nodes - 1 do
+    let l = node_level.(id) in
+    level_nodes.(cursor.(l)) <- id;
+    cursor.(l) <- cursor.(l) + 1
+  done;
+  (* Weakly-connected regions over the node graph, from operand [Node]
+     sources — a superset of the bit-dependency edges (some operand bits
+     may not feed any result bit), so regions stay dependency-closed and
+     merely err towards coarser partitions.  Discovery is a word-packed
+     BFS: a {!Hls_bitvec.Wordset} visited set seeds each region with a
+     [next_unset] whole-word scan, and frontier/next sets sweep members
+     with [next_set]. *)
+  let module Ws = Hls_bitvec.Wordset in
+  let degree = Array.make (n_nodes + 1) 0 in
+  let iter_operand_edges f =
+    Graph.iter_nodes
+      (fun (n : node) ->
+        List.iter
+          (fun (o : operand) ->
+            match o.src with
+            | Node s -> f n.id s
+            | Input _ | Const _ -> ())
+          n.operands)
+      graph
+  in
+  iter_operand_edges (fun id s ->
+      degree.(id + 1) <- degree.(id + 1) + 1;
+      degree.(s + 1) <- degree.(s + 1) + 1);
+  for i = 0 to n_nodes - 1 do
+    degree.(i + 1) <- degree.(i + 1) + degree.(i)
+  done;
+  let adj_off = degree in
+  let adj = Array.make adj_off.(n_nodes) 0 in
+  let acursor = Array.copy adj_off in
+  iter_operand_edges (fun id s ->
+      adj.(acursor.(id)) <- s;
+      acursor.(id) <- acursor.(id) + 1;
+      adj.(acursor.(s)) <- id;
+      acursor.(s) <- acursor.(s) + 1);
+  let comp_of = Array.make (max n_nodes 1) 0 in
+  let visited = Ws.create n_nodes in
+  let frontier = ref (Ws.create n_nodes) in
+  let next_front = ref (Ws.create n_nodes) in
+  let words_swept = ref 0 in
+  let n_regions = ref 0 in
+  let seed_from = ref 0 in
+  let continue = ref (n_nodes > 0) in
+  while !continue do
+    let seed = Ws.next_unset visited !seed_from in
+    if seed < 0 then continue := false
+    else begin
+      (* Seed scan cost: whole full words are skipped in one load each. *)
+      words_swept :=
+        !words_swept + (seed / Ws.bits_per_word)
+        - (!seed_from / Ws.bits_per_word)
+        + 1;
+      seed_from := seed;
+      let comp = !n_regions in
+      incr n_regions;
+      Ws.add visited seed;
+      comp_of.(seed) <- comp;
+      Ws.clear !frontier;
+      Ws.add !frontier seed;
+      while not (Ws.is_empty !frontier) do
+        words_swept := !words_swept + Ws.words !frontier;
+        Ws.clear !next_front;
+        Ws.iter
+          (fun u ->
+            for k = adj_off.(u) to adj_off.(u + 1) - 1 do
+              let v = adj.(k) in
+              if not (Ws.mem visited v) then begin
+                Ws.add visited v;
+                comp_of.(v) <- comp;
+                Ws.add !next_front v
+              end
+            done)
+          !frontier;
+        let tmp = !frontier in
+        frontier := !next_front;
+        next_front := tmp
+      done
+    end
+  done;
+  let n_regions = !n_regions in
+  (* Regroup by region with a counting sort: ascending ids within a
+     region keep each [comp_nodes] slice a valid topological order. *)
+  let comp_off = Array.make (n_regions + 1) 0 in
+  for id = 0 to n_nodes - 1 do
+    comp_off.(comp_of.(id) + 1) <- comp_off.(comp_of.(id) + 1) + 1
+  done;
+  for c = 0 to n_regions - 1 do
+    comp_off.(c + 1) <- comp_off.(c + 1) + comp_off.(c)
+  done;
+  let comp_nodes = Array.make n_nodes 0 in
+  let ccursor = Array.copy comp_off in
+  for id = 0 to n_nodes - 1 do
+    let c = comp_of.(id) in
+    comp_nodes.(ccursor.(c)) <- id;
+    ccursor.(c) <- ccursor.(c) + 1
+  done;
+  (* Transpose CSR: who consumes each flat bit.  Filling by ascending
+     consumer bit keeps every [rdeps] run sorted. *)
+  let rdep_off = Array.make (total_bits + 1) 0 in
+  for k = 0 to n_deps - 1 do
+    rdep_off.(flat_deps.(k) + 1) <- rdep_off.(flat_deps.(k) + 1) + 1
+  done;
+  for b = 0 to total_bits - 1 do
+    rdep_off.(b + 1) <- rdep_off.(b + 1) + rdep_off.(b)
+  done;
+  let rdeps = Array.make n_deps 0 in
+  let rcursor = Array.copy rdep_off in
+  for b = 0 to total_bits - 1 do
+    for k = dep_off.(b) to dep_off.(b + 1) - 1 do
+      let src = flat_deps.(k) in
+      rdeps.(rcursor.(src)) <- b;
+      rcursor.(src) <- rcursor.(src) + 1
+    done
+  done;
+  Hls_telemetry.gauge "timing.levels" (float n_levels);
+  Hls_telemetry.gauge "timing.regions" (float n_regions);
+  if !words_swept > 0 then
+    Hls_telemetry.count ~n:!words_swept "timing.words_swept";
   {
     graph;
     bit_base;
     cost;
     costly_prefix;
     dep_off;
-    deps = Array.sub deps.a 0 deps.len;
+    deps;
+    flat_deps;
+    node_level;
+    level_off;
+    level_nodes;
+    comp_of;
+    comp_off;
+    comp_nodes;
+    rdep_off;
+    rdeps;
   }
 
 let total_bits t = t.bit_base.(Array.length t.bit_base - 1)
+let n_levels t = Array.length t.level_off - 1
+let n_regions t = Array.length t.comp_off - 1
 let width t ~id = t.bit_base.(id + 1) - t.bit_base.(id)
 let cost_of t ~id ~bit = t.cost.(t.bit_base.(id) + bit)
 

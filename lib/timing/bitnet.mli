@@ -19,6 +19,30 @@ type t = {
   dep_off : int array;
       (** length [total_bits + 1]: CSR offsets into [deps] *)
   deps : int array;  (** packed dependencies *)
+  flat_deps : int array;
+      (** [deps] re-encoded for the wavefront kernels: same [dep_off]
+          offsets, each entry the flat [bit_base]-indexed slot of the
+          source bit — one load, no tag decode *)
+  node_level : int array;
+      (** per node: topological level (0 = fed only by inputs/constants
+          and its own carry chain) *)
+  level_off : int array;
+      (** length [n_levels + 1]: CSR offsets into [level_nodes] *)
+  level_nodes : int array;
+      (** node ids grouped by level, ascending id within a level — the
+          wavefront order of the timing kernels *)
+  comp_of : int array;  (** per node: weakly-connected region id *)
+  comp_off : int array;
+      (** length [n_regions + 1]: CSR offsets into [comp_nodes] *)
+  comp_nodes : int array;
+      (** node ids grouped by region, ascending id within a region (each
+          slice is a valid topological order) — the unit of intra-request
+          parallelism *)
+  rdep_off : int array;
+      (** length [total_bits + 1]: CSR offsets into [rdeps] *)
+  rdeps : int array;
+      (** transpose of [flat_deps]: per flat bit, the flat slots of its
+          consumer bits — lets the deadline pass pull instead of push *)
 }
 
 (** Build the net in one O(V + E) pass.  Raises [Invalid_argument] if any
@@ -44,6 +68,13 @@ val dep_node_bit : int -> int
 (** {2 Queries} *)
 
 val total_bits : t -> int
+
+(** Number of topological levels (0 for the empty graph). *)
+val n_levels : t -> int
+
+(** Number of weakly-connected regions (0 for the empty graph). *)
+val n_regions : t -> int
+
 val width : t -> id:Hls_dfg.Types.node_id -> int
 
 (** δ cost of producing bit [bit] of node [id]. *)

@@ -10,56 +10,150 @@
     both of which the uniform [l' - cost'] bound captures).
 
     The latest cycle a bit can be produced in is [ceil(deadline / n_bits)],
-    mirroring {!Arrival.asap_cycle}. *)
+    mirroring {!Arrival.asap_cycle}.
+
+    Like {!Arrival}, slots live in one flat [bit_base]-indexed array and
+    the kernel runs as a wavefront over the net's topological levels — in
+    reverse, and {e pulling} through the transpose net ([rdeps]) instead of
+    pushing: when a bit is pulled, every one of its consumers is already
+    final (cross-node consumers sit at strictly higher levels; the only
+    same-node consumer of bit [pos] is the carry into [pos + 1], pulled
+    just before).  Pull order is what makes the per-level early exit of
+    {!of_net_check} and the region-parallel {!of_net_parallel} possible:
+    a level's slots are final the moment the level is swept. *)
 
 open Hls_dfg.Types
 module Graph = Hls_dfg.Graph
 
 type t = {
   total_slots : int;
-  slots : int array array;  (** [slots.(id).(bit)] = deadline slot in δ *)
+  bit_base : int array;
+      (** length [node_count + 1]: flat index of bit 0 of each node (the
+          {!Bitnet} layout) *)
+  slots : int array;  (** per flat bit: deadline slot in δ *)
 }
 
-let init_slots ?caps graph ~total_slots =
+(* Flat initial deadlines: one [Array.make] plus, only when [caps] is
+   given, a tightening pass — no per-node closure allocation (the nested
+   [Array.init] of the original layout dominated small-budget runs). *)
+let init_slots ?caps bit_base ~total_slots =
   if total_slots < 0 then invalid_arg "Deadline.compute: negative budget";
-  let n_nodes = Graph.node_count graph in
-  let cap =
-    match caps with
-    | None -> fun _ _ -> total_slots
-    | Some f -> fun id bit -> min total_slots (f id bit)
-  in
-  Array.init n_nodes (fun id ->
-      Array.init (Graph.node graph id).width (fun bit -> cap id bit))
+  let n_nodes = Array.length bit_base - 1 in
+  let slots = Array.make bit_base.(n_nodes) total_slots in
+  (match caps with
+  | None -> ()
+  | Some f ->
+      for id = 0 to n_nodes - 1 do
+        let base = bit_base.(id) in
+        for bit = 0 to bit_base.(id + 1) - base - 1 do
+          let c = f id bit in
+          if c < total_slots then slots.(base + bit) <- c
+        done
+      done);
+  slots
 
-(** Reverse sweep over a prebuilt net: flat-array iteration, no per-bit
-    allocation. *)
+(* Settle every bit of node [id], MSB to LSB, by pulling over the
+   transpose net: each consumer's slot is already final (higher level, or
+   the carry bit just above), so one min-fold per bit suffices. *)
+let sweep_node_rev (net : Bitnet.t) slots id =
+  let rdep_off = net.Bitnet.rdep_off in
+  let rdeps = net.Bitnet.rdeps in
+  let cost = net.Bitnet.cost in
+  for b = net.Bitnet.bit_base.(id + 1) - 1 downto net.Bitnet.bit_base.(id) do
+    let dl = ref slots.(b) in
+    for k = rdep_off.(b) to rdep_off.(b + 1) - 1 do
+      let c = rdeps.(k) in
+      let bound = slots.(c) - cost.(c) in
+      if bound < !dl then dl := bound
+    done;
+    slots.(b) <- !dl
+  done
+
+(** Reverse level-ordered wavefront over a prebuilt net: flat slot array,
+    pull-based, no per-bit allocation. *)
 let of_net ?caps (net : Bitnet.t) ~total_slots =
-  let graph = net.Bitnet.graph in
-  let slots = init_slots ?caps graph ~total_slots in
-  let n_nodes = Graph.node_count graph in
-  (* Reverse topological sweep; within a node, upper bits first so the carry
-     chain constraint flows downward. *)
-  for id = n_nodes - 1 downto 0 do
-    let self = slots.(id) in
-    let base = net.Bitnet.bit_base.(id) in
-    for pos = Array.length self - 1 downto 0 do
-      let b = base + pos in
-      let bound = self.(pos) - net.Bitnet.cost.(b) in
-      for k = net.Bitnet.dep_off.(b) to net.Bitnet.dep_off.(b + 1) - 1 do
-        let d = net.Bitnet.deps.(k) in
-        if Bitnet.dep_is_self d then begin
-          let j = Bitnet.dep_self_bit d in
-          if bound < self.(j) then self.(j) <- bound
-        end
-        else begin
-          let row = slots.(Bitnet.dep_node_id d) in
-          let i = Bitnet.dep_node_bit d in
-          if bound < row.(i) then row.(i) <- bound
-        end
-      done
+  let bit_base = net.Bitnet.bit_base in
+  let slots = init_slots ?caps bit_base ~total_slots in
+  let n_levels = Bitnet.n_levels net in
+  for l = n_levels - 1 downto 0 do
+    for i = net.Bitnet.level_off.(l) to net.Bitnet.level_off.(l + 1) - 1 do
+      sweep_node_rev net slots net.Bitnet.level_nodes.(i)
     done
   done;
-  { total_slots; slots }
+  if n_levels > 0 then Hls_telemetry.count ~n:n_levels "timing.rounds";
+  { total_slots; bit_base; slots }
+
+(** Like {!of_net}, but independent net regions are distributed over
+    [workers] pool domains; bit-identical to the serial sweep (regions
+    touch disjoint slices of the shared slot array).  Falls back to
+    {!of_net} for single-region nets or [workers <= 1]. *)
+let of_net_parallel ?caps ?workers (net : Bitnet.t) ~total_slots =
+  let workers =
+    match workers with Some w -> w | None -> Hls_pool.default_workers ()
+  in
+  let n_regions = Bitnet.n_regions net in
+  if workers <= 1 || n_regions <= 1 then of_net ?caps net ~total_slots
+  else begin
+    let bit_base = net.Bitnet.bit_base in
+    let slots = init_slots ?caps bit_base ~total_slots in
+    let sweep_region c () =
+      (* Descending id within the region is reverse-topological there. *)
+      for i = net.Bitnet.comp_off.(c + 1) - 1 downto net.Bitnet.comp_off.(c) do
+        sweep_node_rev net slots net.Bitnet.comp_nodes.(i)
+      done
+    in
+    let outcomes = Hls_pool.run ~workers (Array.init n_regions sweep_region) in
+    let all_done =
+      Array.for_all
+        (fun o -> match o with Hls_pool.Done () -> true | _ -> false)
+        outcomes
+    in
+    if all_done then { total_slots; bit_base; slots }
+    else
+      (* A region job died mid-sweep (fault injection is the only
+         realistic cause); restart from fresh initial deadlines. *)
+      of_net ?caps net ~total_slots
+  end
+
+exception Violated of int
+
+(** Monotone early-exit variant: compute the deadlines level by level and
+    validate each level against [arrival] the moment it becomes final.
+    An infeasible budget violates first at the {e deepest} nodes — exactly
+    the ones the reverse wavefront settles first — so hopeless budgets
+    bail after a fraction of the sweep.  [Ok t] means every bit was
+    checked: the budget is feasible, no separate {!feasible} pass
+    needed. *)
+let of_net_check ?caps (net : Bitnet.t) ~total_slots ~arrival =
+  let bit_base = net.Bitnet.bit_base in
+  let slots = init_slots ?caps bit_base ~total_slots in
+  let arr = Arrival.flat_slots arrival in
+  let n_levels = Bitnet.n_levels net in
+  let rounds = ref 0 in
+  let result =
+    try
+      for l = n_levels - 1 downto 0 do
+        incr rounds;
+        for i = net.Bitnet.level_off.(l) to net.Bitnet.level_off.(l + 1) - 1 do
+          sweep_node_rev net slots net.Bitnet.level_nodes.(i)
+        done;
+        for i = net.Bitnet.level_off.(l) to net.Bitnet.level_off.(l + 1) - 1 do
+          let id = net.Bitnet.level_nodes.(i) in
+          for b = bit_base.(id) to bit_base.(id + 1) - 1 do
+            if slots.(b) < arr.(b) then raise (Violated b)
+          done
+        done
+      done;
+      Ok { total_slots; bit_base; slots }
+    with Violated b ->
+      let id = ref 0 in
+      while bit_base.(!id + 1) <= b do
+        incr id
+      done;
+      Error (!id, b - bit_base.(!id))
+  in
+  if !rounds > 0 then Hls_telemetry.count ~n:!rounds "timing.rounds";
+  result
 
 (** [compute graph ~total_slots ?caps] — [caps id bit] optionally tightens
     the initial deadline of individual bits below the global budget (used
@@ -68,51 +162,73 @@ let of_net ?caps (net : Bitnet.t) ~total_slots =
 let compute ?caps graph ~total_slots =
   of_net ?caps (Bitnet.build graph) ~total_slots
 
+let bases_of_graph graph =
+  let n_nodes = Graph.node_count graph in
+  let bit_base = Array.make (n_nodes + 1) 0 in
+  for id = 0 to n_nodes - 1 do
+    bit_base.(id + 1) <- bit_base.(id) + (Graph.node graph id).width
+  done;
+  bit_base
+
 (** Direct {!Bitdep.bit_deps} evaluation, kept as the executable reference
     for property tests and the benchmark baseline. *)
 let compute_reference ?caps graph ~total_slots =
-  let slots = init_slots ?caps graph ~total_slots in
+  let bit_base = bases_of_graph graph in
+  let slots = init_slots ?caps bit_base ~total_slots in
   let n_nodes = Graph.node_count graph in
   let tighten src bit bound =
     match src with
     | Input _ | Const _ -> ()
-    | Node id -> slots.(id).(bit) <- min slots.(id).(bit) bound
+    | Node id ->
+        let b = bit_base.(id) + bit in
+        slots.(b) <- min slots.(b) bound
   in
   for id = n_nodes - 1 downto 0 do
     let n = Graph.node graph id in
+    let base = bit_base.(id) in
     for pos = n.width - 1 downto 0 do
       let cost, deps = Bitdep.bit_deps graph n pos in
-      let bound = slots.(id).(pos) - cost in
+      let bound = slots.(base + pos) - cost in
       List.iter
         (function
-          | Bitdep.Self j -> slots.(id).(j) <- min slots.(id).(j) bound
+          | Bitdep.Self j -> slots.(base + j) <- min slots.(base + j) bound
           | Bitdep.Bit (src, i) -> tighten src i bound)
         deps
     done
   done;
-  { total_slots; slots }
+  { total_slots; bit_base; slots }
 
-let slot t ~id ~bit = t.slots.(id).(bit)
+let slot t ~id ~bit = t.slots.(t.bit_base.(id) + bit)
 
 (** Latest cycle (1-based) bit [bit] of node [id] may be computed in, under
     a chaining budget of [n_bits] δ per cycle. *)
 let alap_cycle t ~n_bits ~id ~bit =
   if n_bits < 1 then invalid_arg "Deadline.alap_cycle: n_bits must be >= 1";
-  max 1 (Hls_util.Int_math.ceil_div t.slots.(id).(bit) n_bits)
+  max 1 (Hls_util.Int_math.ceil_div t.slots.(t.bit_base.(id) + bit) n_bits)
 
 (** First bit whose deadline precedes its arrival, if any — the witness
-    that a budget is infeasible. *)
+    that a budget is infeasible.  One flat scan in (node, bit) order over
+    the shared layout; the words-swept accounting uses the same
+    63-bits-per-word blocking as {!Hls_bitvec.Wordset}. *)
 let feasible_witness arrival t =
-  let n = Array.length t.slots in
-  let rec scan id bit =
-    if id >= n then None
-    else
-      let slots = t.slots.(id) in
-      if bit >= Array.length slots then scan (id + 1) 0
-      else if slots.(bit) < Arrival.slot arrival ~id ~bit then Some (id, bit)
-      else scan id (bit + 1)
-  in
-  scan 0 0
+  let arr = Arrival.flat_slots arrival in
+  let n_bits = Array.length t.slots in
+  let b = ref 0 in
+  while !b < n_bits && t.slots.(!b) >= arr.(!b) do
+    incr b
+  done;
+  if n_bits > 0 then
+    Hls_telemetry.count
+      ~n:((min !b (n_bits - 1) / Hls_bitvec.Wordset.bits_per_word) + 1)
+      "timing.words_swept";
+  if !b >= n_bits then None
+  else begin
+    let id = ref 0 in
+    while t.bit_base.(!id + 1) <= !b do
+      incr id
+    done;
+    Some (!id, !b - t.bit_base.(!id))
+  end
 
 (** A schedule is feasible iff no bit's deadline precedes its arrival
     (short-circuits on the first violation). *)

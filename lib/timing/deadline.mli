@@ -7,12 +7,33 @@
 
 type t
 
-(** Reverse sweep over a prebuilt {!Bitnet} — flat-array iteration, no
-    per-bit allocation.  Use this when the net is shared with other
-    passes. *)
+(** Reverse level-ordered wavefront over a prebuilt {!Bitnet} — one flat
+    slot array in the net's [bit_base] layout, pulling through the
+    transpose net, no per-bit allocation.  Use this when the net is
+    shared with other passes. *)
 val of_net :
   ?caps:(Hls_dfg.Types.node_id -> int -> int) -> Bitnet.t ->
   total_slots:int -> t
+
+(** Like {!of_net}, with independent net regions distributed over
+    [workers] pool domains (default {!Hls_pool.default_workers});
+    bit-identical to the serial sweep.  Single-region nets and
+    [workers <= 1] fall back to {!of_net}. *)
+val of_net_parallel :
+  ?caps:(Hls_dfg.Types.node_id -> int -> int) -> ?workers:int ->
+  Bitnet.t -> total_slots:int -> t
+
+(** Monotone early-exit variant: deadlines are computed level by level
+    and each level is validated against [arrival] the moment it is final.
+    [Ok t] means every bit was checked — the budget is feasible and [t]
+    equals [of_net] on the same inputs; [Error (id, bit)] is the first
+    violated bit encountered, reached after sweeping only the levels
+    above it (infeasible budgets violate at the deepest nodes, which the
+    reverse wavefront settles first). *)
+val of_net_check :
+  ?caps:(Hls_dfg.Types.node_id -> int -> int) -> Bitnet.t ->
+  total_slots:int -> arrival:Arrival.t ->
+  (t, Hls_dfg.Types.node_id * int) result
 
 (** [compute graph ~total_slots ?caps] — [caps id bit] optionally tightens
     the initial deadline of individual bits below the global budget (used

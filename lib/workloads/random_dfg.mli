@@ -9,6 +9,10 @@ type profile = {
   cmp_ratio : int;  (** one in [cmp_ratio] compares; 0 = none *)
   reuse : int;  (** 1 in [reuse] operands is a fresh input *)
   signed : bool;
+  lanes : int;
+      (** independent operation streams (>= 1): operand reuse never
+          crosses a lane, so the graph has at least [lanes]
+          weakly-connected regions *)
 }
 
 val default_profile : profile

@@ -16,6 +16,21 @@ let all () =
     ("adpcm-decoder", Adpcm.decoder ());
     ("ar-lattice", Extra.ar_lattice ());
     ("dct8", Extra.dct8 ());
+    (* Random stress workloads for the timing kernels: multi-lane profiles
+       guarantee several weakly-connected regions, the shape that the
+       region-parallel wavefront sweeps exploit. *)
+    ( "random240",
+      Random_dfg.generate
+        ~profile:
+          { Random_dfg.default_profile with ops = 240; mul_ratio = 12;
+            lanes = 3 }
+        ~seed:43 () );
+    ( "random480",
+      Random_dfg.generate
+        ~profile:
+          { Random_dfg.default_profile with ops = 480; mul_ratio = 12;
+            lanes = 6 }
+        ~seed:44 () );
   ]
 
 let names () = List.map fst (all ())

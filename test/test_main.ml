@@ -28,6 +28,7 @@ let () =
       ("dse", Test_dse.suite);
       ("dse_faults", Test_dse_faults.suite);
       ("bitnet", Test_bitnet.suite);
+      ("wavefront", Test_wavefront.suite);
       ("telemetry", Test_telemetry.suite);
       ("api", Test_api.suite);
     ]
