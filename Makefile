@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke examples explore-smoke xform-smoke fault-smoke trace-smoke serve-smoke check clean
+.PHONY: all build test bench bench-smoke examples explore-smoke xform-smoke fault-smoke trace-smoke serve-smoke fleet-smoke check clean
 
 all: build
 
@@ -78,7 +78,24 @@ fault-smoke:
 	grep -q 'resuming: 3 points recovered' $$dir/err || { echo "fault-smoke: journal not replayed"; cat $$dir/err; exit 1; }; \
 	echo "$$out" | grep -q '"hits": 3' || { echo "fault-smoke: resumed points recomputed instead of reused"; exit 1; }; \
 	if echo "$$out" | grep -q '"frontier": \[\]'; then echo "fault-smoke: empty frontier after resume"; exit 1; fi; \
-	echo "fault-smoke: ok (retries, crash journal, and resume all hold)"
+	dune build bin/hlsopt.exe; \
+	hlsopt=_build/default/bin/hlsopt.exe; \
+	req='{"v":1,"id":"n1","method":"parse","params":{"spec":{"builtin":"chain3"}}}'; \
+	HLS_FAULTS="drop-conn=1" $$hlsopt serve --socket $$dir/f1.sock 2>/dev/null & fpid=$$!; \
+	for i in $$(seq 50); do test -S $$dir/f1.sock && break; sleep 0.1; done; \
+	echo "$$req" | $$hlsopt call --connect $$dir/f1.sock --retries 2 --backoff 0.05 > $$dir/f1.txt \
+	  || { echo "fault-smoke: call did not ride out a dropped connection"; kill $$fpid; exit 1; }; \
+	grep -q '"ok":true' $$dir/f1.txt || { echo "fault-smoke: no answer after drop-conn retry"; kill $$fpid; exit 1; }; \
+	kill -TERM $$fpid; wait $$fpid; \
+	HLS_FAULTS="truncate-write=1" $$hlsopt serve --socket $$dir/f2.sock 2>/dev/null & fpid=$$!; \
+	for i in $$(seq 50); do test -S $$dir/f2.sock && break; sleep 0.1; done; \
+	echo "$$req" | $$hlsopt call --connect $$dir/f2.sock --retries 2 --backoff 0.05 > $$dir/f2.txt \
+	  || { echo "fault-smoke: call did not ride out a truncated response"; kill $$fpid; exit 1; }; \
+	grep -q '"ok":true' $$dir/f2.txt || { echo "fault-smoke: no answer after truncate-write retry"; kill $$fpid; exit 1; }; \
+	kill -TERM $$fpid; wait $$fpid; \
+	echo "$$req" | $$hlsopt call --connect $$dir/no-daemon.sock --retries 2 --backoff 0.01 >/dev/null 2>&1; \
+	test $$? -eq 8 || { echo "fault-smoke: give-up on a dead socket should exit 8 (unavailable)"; exit 1; }; \
+	echo "fault-smoke: ok (retries, crash journal, resume, and network faults all hold)"
 
 # Telemetry smoke: a 2-worker sweep under --trace must leave a
 # Perfetto-loadable Chrome trace with every pipeline phase span and one
@@ -147,7 +164,61 @@ serve-smoke:
 	  || { echo "serve-smoke: burst shed everything, nothing admitted"; exit 1; }; \
 	echo "serve-smoke: ok (byte-identical under concurrency, bounded queue sheds, SIGTERM drains)"
 
-check: build test explore-smoke xform-smoke bench-smoke fault-smoke trace-smoke serve-smoke
+# Fleet smoke: a router over 3 spawned backends must be indistinguishable
+# from a single daemon, survive losing a backend, and die cleanly.
+#  1. 100 mixed pipelined requests through the router, with one backend
+#     SIGKILLed mid-burst: zero lost responses, and the (id-sorted) answer
+#     set is byte-identical to a one-shot daemon's.
+#  2. The killed backend is respawned by the router.
+#  3. An already-expired deadline_ms is shed as a typed retryable timeout.
+#  4. SIGTERM drains the router and its children, exit 0.
+fleet-smoke:
+	@dune build bin/hlsopt.exe; \
+	hlsopt=_build/default/bin/hlsopt.exe; \
+	dir=$$(mktemp -d); trap 'rm -rf '$$dir EXIT; \
+	: > $$dir/req.ndjson; \
+	for i in $$(seq 100); do \
+	  case $$((i % 3)) in \
+	    0) echo '{"v":1,"id":"q'$$i'","method":"parse","params":{"spec":{"builtin":"chain3"}}}' ;; \
+	    1) echo '{"v":1,"id":"q'$$i'","method":"report","params":{"spec":{"builtin":"fir2"},"latency":4}}' ;; \
+	    *) echo '{"v":1,"id":"q'$$i'","method":"report","params":{"spec":{"builtin":"chain3"},"latency":3}}' ;; \
+	  esac >> $$dir/req.ndjson; \
+	done; \
+	$$hlsopt serve --socket $$dir/ref.sock --queue 128 2>/dev/null & rpid=$$!; \
+	for i in $$(seq 50); do test -S $$dir/ref.sock && break; sleep 0.1; done; \
+	$$hlsopt call --connect $$dir/ref.sock --burst < $$dir/req.ndjson | sort > $$dir/expected.txt \
+	  || { echo "fleet-smoke: reference daemon run failed"; kill $$rpid; exit 1; }; \
+	kill -TERM $$rpid; wait $$rpid; \
+	$$hlsopt route --socket $$dir/r.sock --spawn 3 --spawn-dir $$dir/fleet \
+	  --queue 128 --probe-interval 0.1 --cooldown 0.5 --retries 4 --backoff 0.02 2>$$dir/route.log & pid=$$!; \
+	for i in $$(seq 100); do test -S $$dir/r.sock && break; sleep 0.1; done; \
+	test -S $$dir/r.sock || { echo "fleet-smoke: router never bound its socket"; cat $$dir/route.log; exit 1; }; \
+	( sleep 0.4; \
+	  vpid=$$(sed -n 's/.*spawned backend 0 (pid \([0-9]*\)).*/\1/p' $$dir/route.log | head -1); \
+	  test -n "$$vpid" && kill -9 $$vpid 2>/dev/null ) & kpid=$$!; \
+	$$hlsopt call --connect $$dir/r.sock --burst < $$dir/req.ndjson > $$dir/got.txt \
+	  || { echo "fleet-smoke: routed burst failed"; kill $$pid; exit 1; }; \
+	wait $$kpid; \
+	test $$(wc -l < $$dir/got.txt) -eq 100 \
+	  || { echo "fleet-smoke: lost requests ($$(wc -l < $$dir/got.txt)/100 answered)"; kill $$pid; exit 1; }; \
+	sort $$dir/got.txt > $$dir/got.sorted; \
+	cmp -s $$dir/expected.txt $$dir/got.sorted \
+	  || { echo "fleet-smoke: routed responses differ from the one-shot daemon"; \
+	       diff $$dir/expected.txt $$dir/got.sorted | head; kill $$pid; exit 1; }; \
+	for i in $$(seq 100); do grep -q respawned $$dir/route.log && break; sleep 0.1; done; \
+	grep -q respawned $$dir/route.log \
+	  || { echo "fleet-smoke: killed backend never respawned"; cat $$dir/route.log; kill $$pid; exit 1; }; \
+	echo '{"v":1,"id":"dl","deadline_ms":1,"method":"parse","params":{"spec":{"builtin":"chain3"}}}' \
+	  | $$hlsopt call --connect $$dir/r.sock > $$dir/dl.txt \
+	  || { echo "fleet-smoke: deadline probe failed"; kill $$pid; exit 1; }; \
+	grep -q '"class":"timeout"' $$dir/dl.txt && grep -q '"retryable":true' $$dir/dl.txt \
+	  || { echo "fleet-smoke: expired deadline_ms not shed as a retryable timeout"; cat $$dir/dl.txt; kill $$pid; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; st=$$?; \
+	test $$st -eq 0 || { echo "fleet-smoke: router exited $$st on SIGTERM"; exit 1; }; \
+	grep -q 'router drained' $$dir/route.log || { echo "fleet-smoke: no drain message"; cat $$dir/route.log; exit 1; }; \
+	echo "fleet-smoke: ok (zero loss under SIGKILL, byte-identical answers, respawn, deadline shed, clean drain)"
+
+check: build test explore-smoke xform-smoke bench-smoke fault-smoke trace-smoke serve-smoke fleet-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -54,6 +54,13 @@ let spec_of ~file ~builtin =
   | Some _, Some _ -> usage_die "give either a file or --builtin, not both"
   | None, None -> usage_die "give a specification file or --builtin NAME"
 
+(* A transport failure is the daemon's problem, not the caller's: exit
+   through Unavailable (8, retryable) so scripts can tell a dead fleet
+   from their own usage errors. *)
+let transport_die m =
+  prerr_endline ("hlsopt: connect: " ^ m);
+  exit (Resp.exit_code (Resp.Unavailable m))
+
 (* Execute a request: in-process through Exec, or on a daemon.  Flow
    errors exit through the taxonomy's code so scripts can tell an
    impossible design point (3) from a tool fault (7). *)
@@ -63,7 +70,7 @@ let payload_or_die ?cache connect req =
     | Some socket -> (
         match Hls_server.Client.call ~socket req with
         | Ok resp -> resp.Resp.result
-        | Error m -> usage_die ("connect: " ^ m))
+        | Error m -> transport_die m)
     | None ->
         let exec = Api.Exec.create ?cache () in
         Fun.protect
@@ -576,9 +583,19 @@ let explore_cmd =
           $ feedback_arg $ retries_arg $ backoff_arg $ degrade_arg
           $ resume_arg $ json_arg)
 
+(* "HOST:PORT" for --listen; rejects bare socket paths. *)
+let parse_listen = function
+  | None -> None
+  | Some s -> (
+      match Hls_server.Client.parse_address s with
+      | Hls_server.Client.Tcp (h, p) -> Some (h, p)
+      | Hls_server.Client.Unix_socket _ ->
+          usage_die ("--listen expects HOST:PORT, got " ^ s))
+
 let serve_cmd =
   let module Server = Hls_server.Server in
-  let run tel socket stdio queue batch jobs cache_path =
+  let run tel socket listen stdio queue batch jobs cache_path io_timeout
+      max_conns grace =
     with_telemetry tel @@ fun () ->
     let cache =
       match cache_path with
@@ -595,28 +612,46 @@ let serve_cmd =
     Fun.protect
       ~finally:(fun () -> Api.Exec.close exec)
       (fun () ->
+        let listen = parse_listen listen in
         if stdio then Server.serve_stdio exec stdin stdout
-        else
-          match socket with
-          | None -> usage_die "give --socket PATH or --stdio"
-          | Some s ->
-              let cfg =
-                {
-                  (Server.default_config ~socket:s) with
-                  max_queue = queue;
-                  batch;
-                  workers = (if jobs <= 0 then None else Some jobs);
-                }
-              in
-              Printf.eprintf "hlsopt: serving on %s (queue %d, batch %d)\n%!"
-                s queue batch;
-              Server.serve ~handle_signals:true cfg exec;
-              prerr_endline "hlsopt: drained, exiting")
+        else if socket = None && listen = None then
+          usage_die "give --socket PATH, --listen HOST:PORT or --stdio"
+        else begin
+          let cfg =
+            {
+              (Server.default_config ~socket:"") with
+              Server.socket;
+              listen;
+              max_queue = queue;
+              batch;
+              workers = (if jobs <= 0 then None else Some jobs);
+              max_conns;
+              io_timeout_s = (if io_timeout <= 0. then None else Some io_timeout);
+              grace_s = grace;
+            }
+          in
+          let endpoints =
+            (match socket with Some s -> [ s ] | None -> [])
+            @ (match listen with
+              | Some (h, p) -> [ Printf.sprintf "%s:%d" h p ]
+              | None -> [])
+          in
+          Printf.eprintf "hlsopt: serving on %s (queue %d, batch %d)\n%!"
+            (String.concat " and " endpoints)
+            queue batch;
+          Server.serve ~handle_signals:true cfg exec;
+          prerr_endline "hlsopt: drained, exiting"
+        end)
   in
   let socket_arg =
     Arg.(value & opt (some string) None
          & info [ "socket"; "s" ] ~docv:"PATH"
              ~doc:"Unix-domain socket to listen on.")
+  in
+  let listen_arg =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"HOST:PORT"
+             ~doc:"Also (or instead) listen on TCP; same NDJSON protocol.")
   in
   let stdio_arg =
     Arg.(value & flag
@@ -643,45 +678,122 @@ let serve_cmd =
          & info [ "cache" ] ~docv:"FILE"
              ~doc:"Shared sweep cache backing every explore request.")
   in
+  let io_timeout_arg =
+    Arg.(value & opt float 0.
+         & info [ "io-timeout" ] ~docv:"SECS"
+             ~doc:"Per-connection read/write timeout: a connection stalled \
+                   mid-request longer than this is answered unavailable and \
+                   dropped (0 = no timeout).")
+  in
+  let max_conns_arg =
+    Arg.(value & opt int 256
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Concurrent connection cap; beyond it new connections are \
+                   answered unavailable (exit code 8) and closed.")
+  in
+  let grace_arg =
+    Arg.(value & opt float 5.
+         & info [ "grace" ] ~docv:"SECS"
+             ~doc:"Shutdown drain bound: work still queued this long after \
+                   SIGTERM is answered unavailable instead of executed.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the request daemon (line-delimited JSON requests)")
-    Term.(const run $ telemetry_term $ socket_arg $ stdio_arg $ queue_arg
-          $ batch_arg $ jobs_arg $ cache_arg)
+    Term.(const run $ telemetry_term $ socket_arg $ listen_arg $ stdio_arg
+          $ queue_arg $ batch_arg $ jobs_arg $ cache_arg $ io_timeout_arg
+          $ max_conns_arg $ grace_arg)
 
 let call_cmd =
-  let run socket burst =
-    match Hls_server.Client.connect socket with
-    | Error m -> usage_die ("connect: " ^ m)
-    | Ok c ->
-        Fun.protect
-          ~finally:(fun () -> Hls_server.Client.close c)
-          (fun () ->
-            let lines = ref [] in
-            (try
-               while true do
-                 let line = input_line stdin in
-                 if String.trim line <> "" then
-                   if burst then lines := line :: !lines
-                   else
-                     match Hls_server.Client.raw_roundtrip c line with
-                     | Ok resp -> print_endline resp
-                     | Error m -> usage_die m
-               done
-             with End_of_file -> ());
-            if burst then
-              (* ship everything before reading anything: the only way a
-                 single connection can overrun the admission queue *)
-              match
-                Hls_server.Client.raw_burst c (List.rev !lines)
-              with
-              | Ok resps -> List.iter print_endline resps
-              | Error m -> usage_die m)
+  let module Retry = Hls_pool.Retry_policy in
+  (* One raw line, reconnecting per attempt (the daemon may have
+     restarted between them).  Retryable answers (overloaded,
+     unavailable, retryable flow failures) and transport errors back
+     off and retry; the last answer received is printed even when the
+     budget runs out, so callers see the typed error. *)
+  let retry_roundtrip ~socket ~retry line =
+    let rec attempt n =
+      if n > 1 then Unix.sleepf (Retry.delay_s retry ~attempt:(n - 1) ~job:0);
+      let outcome =
+        match Hls_server.Client.connect socket with
+        | Error m -> Error m
+        | Ok c ->
+            Fun.protect
+              ~finally:(fun () -> Hls_server.Client.close c)
+              (fun () -> Hls_server.Client.raw_roundtrip c line)
+      in
+      let retry_failure =
+        match outcome with
+        | Error m ->
+            Some (Hls_util.Failure.Internal (Hls_util.Failure.Remote m))
+        | Ok resp_line -> (
+            match Resp.of_string resp_line with
+            | Ok { Resp.result = Error e; _ } when Resp.retryable e -> (
+                match e with
+                | Resp.Failed f -> Some f
+                | e ->
+                    Some
+                      (Hls_util.Failure.Internal
+                         (Hls_util.Failure.Remote (Resp.error_message e))))
+            | _ -> None)
+      in
+      match retry_failure with
+      | Some f when Retry.should_retry retry ~attempt:n f -> attempt (n + 1)
+      | _ -> outcome
+    in
+    attempt 1
+  in
+  let run socket burst retries backoff =
+    if burst && retries > 0 then
+      usage_die "--burst pipelines one connection; it cannot retry \
+                 (drop --retries)";
+    let retry =
+      if retries <= 0 then Retry.none
+      else Retry.make ~attempts:(retries + 1) ~backoff_s:backoff ()
+    in
+    if retries > 0 then
+      (try
+         while true do
+           let line = input_line stdin in
+           if String.trim line <> "" then
+             match retry_roundtrip ~socket ~retry line with
+             | Ok resp -> print_endline resp
+             | Error m -> transport_die m
+         done
+       with End_of_file -> ())
+    else
+      match Hls_server.Client.connect socket with
+      | Error m -> transport_die m
+      | Ok c ->
+          Fun.protect
+            ~finally:(fun () -> Hls_server.Client.close c)
+            (fun () ->
+              let lines = ref [] in
+              (try
+                 while true do
+                   let line = input_line stdin in
+                   if String.trim line <> "" then
+                     if burst then lines := line :: !lines
+                     else
+                       match Hls_server.Client.raw_roundtrip c line with
+                       | Ok resp -> print_endline resp
+                       | Error m -> transport_die m
+                 done
+               with End_of_file -> ());
+              if burst then
+                (* ship everything before reading anything: the only way a
+                   single connection can overrun the admission queue *)
+                match
+                  Hls_server.Client.raw_burst c (List.rev !lines)
+                with
+                | Ok resps -> List.iter print_endline resps
+                | Error m -> transport_die m)
   in
   let socket_arg =
     Arg.(required & opt (some string) None
-         & info [ "connect" ] ~docv:"SOCK"
-             ~doc:"Socket of the daemon to talk to.")
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:"Daemon or router to talk to: a Unix-socket path or \
+                   HOST:PORT.")
   in
   let burst_arg =
     Arg.(value & flag
@@ -689,11 +801,197 @@ let call_cmd =
              ~doc:"Send every request before reading any response \
                    (pipelined; exercises the admission queue).")
   in
+  let retries_arg =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry each request up to N times on retryable answers \
+                   (overloaded, unavailable, retryable failures) and \
+                   transport errors, reconnecting per attempt.")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 0.05
+         & info [ "backoff" ] ~docv:"SECS"
+             ~doc:"Base delay before the second attempt; doubles per \
+                   attempt with jitter.")
+  in
   Cmd.v
     (Cmd.info "call"
        ~doc:"Pipe raw NDJSON requests from stdin to a daemon, print raw \
              responses")
-    Term.(const run $ socket_arg $ burst_arg)
+    Term.(const run $ socket_arg $ burst_arg $ retries_arg $ backoff_arg)
+
+let route_cmd =
+  let module Router = Hls_router.Router in
+  let run tel socket listen backends spawn spawn_dir queue batch jobs
+      max_inflight retries backoff probe_interval probe_timeout eject_after
+      cooldown hold grace =
+    with_telemetry tel @@ fun () ->
+    let listen = parse_listen listen in
+    if socket = None && listen = None then
+      usage_die "give --socket PATH or --listen HOST:PORT";
+    if backends = [] && spawn <= 0 then
+      usage_die "give --backends ADDR,... or --spawn N";
+    let spawn_cfg =
+      if spawn <= 0 then None
+      else begin
+        let dir =
+          match spawn_dir with
+          | Some d -> d
+          | None ->
+              Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "hlsopt-fleet-%d" (Unix.getpid ()))
+        in
+        (try Unix.mkdir dir 0o700
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let socket_of i =
+          Filename.concat dir (Printf.sprintf "backend-%d.sock" i)
+        in
+        let command i =
+          Array.of_list
+            ([ Sys.executable_name; "serve"; "--socket"; socket_of i;
+               "--queue"; string_of_int queue; "--batch"; string_of_int batch ]
+            @ (if jobs > 0 then [ "--jobs"; string_of_int jobs ] else []))
+        in
+        Some { Router.count = spawn; command; socket_of }
+      end
+    in
+    let cfg =
+      {
+        (Router.default_config ()) with
+        Router.socket;
+        listen;
+        backends;
+        spawn = spawn_cfg;
+        max_inflight;
+        retry =
+          Hls_pool.Retry_policy.make ~attempts:(retries + 1)
+            ~backoff_s:backoff ();
+        probe_interval_s = probe_interval;
+        probe_timeout_s = probe_timeout;
+        eject_after;
+        cooldown_s = cooldown;
+        hold_s = hold;
+        grace_s = grace;
+      }
+    in
+    let endpoints =
+      (match socket with Some s -> [ s ] | None -> [])
+      @ (match listen with
+        | Some (h, p) -> [ Printf.sprintf "%s:%d" h p ]
+        | None -> [])
+    in
+    Printf.eprintf "hlsopt: routing on %s across %d backends\n%!"
+      (String.concat " and " endpoints)
+      (List.length backends + max 0 spawn);
+    Router.serve ~handle_signals:true
+      ~log:(fun m -> Printf.eprintf "hlsopt: %s\n%!" m)
+      cfg;
+    prerr_endline "hlsopt: router drained, exiting"
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket"; "s" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket to accept clients on.")
+  in
+  let listen_arg =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"HOST:PORT"
+             ~doc:"Also (or instead) accept clients over TCP.")
+  in
+  let backends_arg =
+    Arg.(value & opt (list string) []
+         & info [ "backends" ] ~docv:"ADDR,..."
+             ~doc:"Externally managed backend daemons (socket paths or \
+                   HOST:PORT addresses).")
+  in
+  let spawn_arg =
+    Arg.(value & opt int 0
+         & info [ "spawn" ] ~docv:"N"
+             ~doc:"Spawn N 'hlsopt serve' child backends and respawn them \
+                   when they die.")
+  in
+  let spawn_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "spawn-dir" ] ~docv:"DIR"
+             ~doc:"Directory for spawned backends' sockets (default: a \
+                   per-pid directory under the system temp dir).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue bound forwarded to spawned backends.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 16
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Batch bound forwarded to spawned backends.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 0
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains forwarded to spawned backends (0 = auto).")
+  in
+  let max_inflight_arg =
+    Arg.(value & opt int 256
+         & info [ "max-inflight" ] ~docv:"N"
+             ~doc:"Cap on queued plus in-flight requests; beyond it \
+                   requests are answered overloaded (exit code 6).")
+  in
+  let retries_arg =
+    Arg.(value & opt int 2
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Failover attempts per request after its first dispatch \
+                   before answering unavailable (exit code 8).")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 0.05
+         & info [ "backoff" ] ~docv:"SECS"
+             ~doc:"Base failover backoff; doubles per attempt with jitter.")
+  in
+  let probe_interval_arg =
+    Arg.(value & opt float 0.5
+         & info [ "probe-interval" ] ~docv:"SECS"
+             ~doc:"How often each backend is health-checked with a ping.")
+  in
+  let probe_timeout_arg =
+    Arg.(value & opt float 2.
+         & info [ "probe-timeout" ] ~docv:"SECS"
+             ~doc:"Unanswered probes older than this count as failures.")
+  in
+  let eject_after_arg =
+    Arg.(value & opt int 3
+         & info [ "eject-after" ] ~docv:"N"
+             ~doc:"Consecutive failures before a backend stops taking \
+                   traffic.")
+  in
+  let cooldown_arg =
+    Arg.(value & opt float 1.
+         & info [ "cooldown" ] ~docv:"SECS"
+             ~doc:"Ejection time before a half-open probe may readmit the \
+                   backend.")
+  in
+  let hold_arg =
+    Arg.(value & opt float 5.
+         & info [ "hold" ] ~docv:"SECS"
+             ~doc:"How long a request waits for a healthy backend before \
+                   it is answered unavailable.")
+  in
+  let grace_arg =
+    Arg.(value & opt float 5.
+         & info [ "grace" ] ~docv:"SECS"
+             ~doc:"Shutdown drain bound: in-flight work unanswered this \
+                   long after SIGTERM is answered unavailable.")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Run the sharded serving front end: digest-affinity routing, \
+             health-checked backends, failover, scatter-gathered explores")
+    Term.(const run $ telemetry_term $ socket_arg $ listen_arg $ backends_arg
+          $ spawn_arg $ spawn_dir_arg $ queue_arg $ batch_arg $ jobs_arg
+          $ max_inflight_arg $ retries_arg $ backoff_arg $ probe_interval_arg
+          $ probe_timeout_arg $ eject_after_arg $ cooldown_arg $ hold_arg
+          $ grace_arg)
 
 (* Structural checks over a --trace file; `make trace-smoke` leans on
    this so CI can tell a Perfetto-loadable trace from truncated JSON. *)
@@ -766,6 +1064,6 @@ let main =
   Cmd.group (Cmd.info "hlsopt" ~version:"1.0.0" ~doc)
     [ parse_cmd; optimize_cmd; transform_cmd; schedule_cmd; report_cmd;
       explore_cmd; emit_vhdl_cmd; emit_verilog_cmd; simulate_cmd; serve_cmd;
-      call_cmd; list_cmd; trace_validate_cmd ]
+      route_cmd; call_cmd; list_cmd; trace_validate_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -146,9 +146,42 @@ let gantt_rows s =
     by_op []
   |> List.sort compare
 
+(* ------------------------------------------------------------------ *)
+(* Deadlines.                                                          *)
+
+(* Wall-clock deadlines (ms since the Unix epoch, matching the
+   envelope's [deadline_ms]).  Expired work is shed as a retryable
+   Timeout instead of burning a worker: the client has already given up,
+   so the only useful outcome is freeing the slot fast. *)
+
+let now_ms () = Unix.gettimeofday () *. 1e3
+let expired deadline_ms = now_ms () > deadline_ms
+
+(* The carried float is how long past the deadline we noticed, matching
+   Timeout's "seconds the job had been running" reading closely enough
+   for the taxonomy: exit 4, retryable. *)
+let deadline_failure deadline_ms =
+  Failure.Timeout (max 0. ((now_ms () -. deadline_ms) /. 1e3))
+
+(* Wrap a staged suffix so a deadline that expires while the request sits
+   in the queue sheds at dispatch instead of executing. *)
+let with_deadline deadline f =
+  match deadline with
+  | None -> f
+  | Some d ->
+      fun () ->
+        if expired d then begin
+          Hls_telemetry.count "api.deadline_shed";
+          raise (Failure.Flow_failure (deadline_failure d))
+        end
+        else f ()
+
 let stage t req =
   let usage m = Ready (Error (Response.Usage m)) in
-  match load_spec (Request.spec_of req) with
+  match req with
+  | Request.Ping -> Ready (Ok (Response.Pong { pong_pid = Unix.getpid () }))
+  | _ -> (
+  match load_spec (Option.get (Request.spec_of req)) with
   | Error m -> usage m
   | Ok g -> (
       let with_config (config : Request.config) k =
@@ -166,6 +199,7 @@ let stage t req =
                 Ready (Error (Response.Failed (Failure.classify_exn e))))
       in
       match req with
+      | Request.Ping -> assert false (* handled before spec loading *)
       | Request.Parse _ ->
           Pure
             (fun () ->
@@ -459,7 +493,7 @@ let stage t req =
                         ^ Hls_rtl.Verilog.testbench ~name nl ~cycles:latency
                             ~vectors
                   in
-                  Response.Emitted { format; text })))
+                  Response.Emitted { format; text }))))
 
 (* ------------------------------------------------------------------ *)
 (* Running.                                                            *)
@@ -481,14 +515,35 @@ let observed req k =
   | Ok _ -> ());
   r
 
-let run t req =
+let run ?deadline t req =
   observed req (fun () ->
-      match stage t req with
-      | Ready r -> r
-      | Pure f | Serial f -> guard f)
+      match deadline with
+      | Some d when expired d ->
+          Hls_telemetry.count "api.deadline_shed";
+          Error (Response.Failed (deadline_failure d))
+      | _ -> (
+          match stage t req with
+          | Ready r -> r
+          | Pure f | Serial f -> guard (with_deadline deadline f)))
 
-let run_batch ?workers t reqs =
-  let staged = Array.map (stage t) reqs in
+let run_batch ?workers ?timeout_s ?deadlines t reqs =
+  let deadline_of i =
+    match deadlines with None -> None | Some ds -> ds.(i)
+  in
+  let staged =
+    Array.mapi
+      (fun i req ->
+        match deadline_of i with
+        | Some d when expired d ->
+            Hls_telemetry.count "api.deadline_shed";
+            Ready (Error (Response.Failed (deadline_failure d)))
+        | dl -> (
+            match stage t req with
+            | Pure f -> Pure (with_deadline dl f)
+            | Serial f -> Serial (with_deadline dl f)
+            | Ready _ as r -> r))
+      reqs
+  in
   (* Fan the pure suffixes out over the pool; everything else resolves in
      the coordinator.  run_retry (even with the no-retry policy) probes
      Hls_util.Faults.on_job under the job's batch index, so injected
@@ -506,7 +561,7 @@ let run_batch ?workers t reqs =
         match staged.(i) with Pure f -> f | _ -> assert false)
       pure_idx
   in
-  let outcomes = Dse.Pool.run_retry ?workers thunks in
+  let outcomes = Dse.Pool.run_retry ?workers ?timeout_s thunks in
   let results =
     Array.map
       (function

@@ -32,13 +32,25 @@ type staged =
 val stage : t -> Request.t -> staged
 
 (** Execute one request in the calling domain.  Every flow fault comes
-    back classified ({!Response.Failed}); no exception escapes. *)
-val run : t -> Request.t -> (Response.payload, Response.error) result
+    back classified ({!Response.Failed}); no exception escapes.
+    [deadline] is an absolute wall clock in ms since the Unix epoch
+    (the envelope's [deadline_ms]); expired work is shed as a retryable
+    {!Hls_util.Failure.Timeout} without executing. *)
+val run :
+  ?deadline:float -> t -> Request.t ->
+  (Response.payload, Response.error) result
 
 (** Execute a batch: [Pure] suffixes fan out over an {!Hls_dse.Pool}
     (probing {!Hls_util.Faults.on_job} under the request's batch index,
     so injected faults reach pooled requests), the rest run in the
-    coordinator.  Results are index-aligned with [reqs]. *)
+    coordinator.  Results are index-aligned with [reqs].
+
+    [deadlines] (index-aligned, absolute ms since the Unix epoch) sheds
+    requests whose deadline has passed — at staging, or at dispatch if
+    it expires while queued — as retryable timeouts.  [timeout_s] bounds
+    each pure suffix the way {!Hls_dse.Pool.run} does (honoured when the
+    pool runs multi-worker). *)
 val run_batch :
-  ?workers:int -> t -> Request.t array ->
+  ?workers:int -> ?timeout_s:float -> ?deadlines:float option array ->
+  t -> Request.t array ->
   (Response.payload, Response.error) result array

@@ -51,6 +51,7 @@ let pp_gantt ppf latency rows =
     rows
 
 let pp_payload ppf = function
+  | R.Pong { pong_pid } -> Format.fprintf ppf "pong (pid %d)@." pong_pid
   | R.Parsed { stats; pretty } ->
       pp_stats ppf stats;
       Format.fprintf ppf "%s@." pretty

@@ -114,6 +114,7 @@ let default_explore_params =
   }
 
 type t =
+  | Ping
   | Parse of { spec : spec }
   | Optimize of { spec : spec; latency : int; config : config; vhdl : bool }
   | Report of {
@@ -135,6 +136,7 @@ type t =
   | Emit of { spec : spec; latency : int; format : emit_format; config : config }
 
 let method_name = function
+  | Ping -> "ping"
   | Parse _ -> "parse"
   | Optimize _ -> "optimize"
   | Report _ -> "report"
@@ -145,14 +147,15 @@ let method_name = function
   | Emit _ -> "emit"
 
 let spec_of = function
-  | Parse { spec } -> spec
-  | Optimize { spec; _ } -> spec
-  | Report { spec; _ } -> spec
-  | Schedule { spec; _ } -> spec
-  | Explore { spec; _ } -> spec
-  | Transform { spec; _ } -> spec
-  | Simulate { spec; _ } -> spec
-  | Emit { spec; _ } -> spec
+  | Ping -> None
+  | Parse { spec } -> Some spec
+  | Optimize { spec; _ } -> Some spec
+  | Report { spec; _ } -> Some spec
+  | Schedule { spec; _ } -> Some spec
+  | Explore { spec; _ } -> Some spec
+  | Transform { spec; _ } -> Some spec
+  | Simulate { spec; _ } -> Some spec
+  | Emit { spec; _ } -> Some spec
 
 (* ------------------------------------------------------------------ *)
 (* Encoding.                                                           *)
@@ -173,6 +176,7 @@ let config_to_json c =
     ]
 
 let params_to_json = function
+  | Ping -> J.Obj []
   | Parse { spec } -> J.Obj [ ("spec", spec_to_json spec) ]
   | Optimize { spec; latency; config; vhdl } ->
       J.Obj
@@ -249,10 +253,13 @@ let params_to_json = function
           ("config", config_to_json config);
         ]
 
-let to_json ?id t =
+let to_json ?id ?deadline_ms t =
   J.Obj
     ([ ("v", J.Int version) ]
     @ (match id with None -> [] | Some i -> [ ("id", J.String i) ])
+    @ (match deadline_ms with
+      | None -> []
+      | Some ms -> [ ("deadline_ms", J.Float ms) ])
     @ [ ("method", J.String (method_name t)); ("params", params_to_json t) ])
 
 (* ------------------------------------------------------------------ *)
@@ -420,7 +427,13 @@ let explore_params_of_json params =
       degrade;
     }
 
-let of_json j =
+type envelope = {
+  env_id : string option;
+  env_deadline_ms : float option;
+  env_req : t;
+}
+
+let envelope_of_json j =
   match J.member "v" j with
   | None -> usage "request without a \"v\" version field"
   | Some v -> (
@@ -429,12 +442,16 @@ let of_json j =
       | Some n when n <> version -> Error (`Unsupported_version n)
       | Some _ ->
           let id = Option.bind (J.member "id" j) J.to_str in
+          let deadline_ms =
+            Option.bind (J.member "deadline_ms" j) J.to_float
+          in
           let params =
             Option.value (J.member "params" j) ~default:(J.Obj [])
           in
           let* req =
             match Option.bind (J.member "method" j) J.to_str with
             | None -> usage "request without a \"method\" field"
+            | Some "ping" -> Ok Ping
             | Some "parse" ->
                 let* spec = field_spec params in
                 Ok (Parse { spec })
@@ -509,7 +526,17 @@ let of_json j =
                 Ok (Emit { spec; latency; format; config })
             | Some other -> usage "unknown method %S" other
           in
-          Ok (id, req))
+          Ok { env_id = id; env_deadline_ms = deadline_ms; env_req = req })
+
+let of_json j =
+  match envelope_of_json j with
+  | Error e -> Error e
+  | Ok { env_id; env_req; _ } -> Ok (env_id, env_req)
+
+let envelope_of_string line =
+  match J.of_string line with
+  | Error m -> Error (`Usage ("bad JSON: " ^ m))
+  | Ok j -> envelope_of_json j
 
 let of_string line =
   match J.of_string line with

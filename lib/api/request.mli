@@ -69,6 +69,7 @@ type explore_params = {
 val default_explore_params : explore_params
 
 type t =
+  | Ping  (** liveness probe: no spec, answered without staging work *)
   | Parse of { spec : spec }
   | Optimize of { spec : spec; latency : int; config : config; vhdl : bool }
   | Report of {
@@ -89,20 +90,40 @@ type t =
     }
   | Emit of { spec : spec; latency : int; format : emit_format; config : config }
 
-(** The wire ["method"] name: parse, optimize, report, schedule, explore,
-    transform, simulate or emit. *)
+(** The wire ["method"] name: ping, parse, optimize, report, schedule,
+    explore, transform, simulate or emit. *)
 val method_name : t -> string
 
-val spec_of : t -> spec
+(** The specification a verb operates on; [None] for {!Ping}. *)
+val spec_of : t -> spec option
 
-val to_json : ?id:string -> t -> Hls_dse.Dse_json.t
+(** Encode the envelope.  [deadline_ms] is an absolute wall-clock
+    deadline in milliseconds since the Unix epoch; servers shed work
+    past it as a retryable timeout instead of burning a worker. *)
+val to_json : ?id:string -> ?deadline_ms:float -> t -> Hls_dse.Dse_json.t
 
 type decode_error = [ `Usage of string | `Unsupported_version of int ]
 
-(** Decode a request envelope.  Unknown [params] fields are ignored and
-    missing optional ones take the CLI's defaults, so old clients keep
-    working against newer servers; an unknown method or a version other
-    than {!version} is rejected. *)
+(** A decoded envelope: the request plus its transport-level fields. *)
+type envelope = {
+  env_id : string option;
+  env_deadline_ms : float option;
+      (** absolute deadline, ms since the Unix epoch *)
+  env_req : t;
+}
+
+(** Decode a full request envelope.  Unknown [params] fields are ignored
+    and missing optional ones take the CLI's defaults, so old clients
+    keep working against newer servers; an unknown method or a version
+    other than {!version} is rejected. *)
+val envelope_of_json :
+  Hls_dse.Dse_json.t -> (envelope, decode_error) result
+
+(** {!envelope_of_json} over a raw line. *)
+val envelope_of_string : string -> (envelope, decode_error) result
+
+(** {!envelope_of_json}, dropping the deadline — for callers that only
+    need the id and the request. *)
 val of_json : Hls_dse.Dse_json.t -> (string option * t, decode_error) result
 
 (** {!of_json} over a raw line. *)

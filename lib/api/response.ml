@@ -86,6 +86,7 @@ type transformed = {
 }
 
 type payload =
+  | Pong of { pong_pid : int }
   | Parsed of { stats : graph_stats; pretty : string }
   | Optimized of { critical : int; cycle : int; fragments : int; text : string }
   | Reported of reported
@@ -99,6 +100,9 @@ type error =
   | Usage of string
   | Unsupported_version of int
   | Overloaded of { queued : int; capacity : int }
+  | Unavailable of string
+      (** no backend can take the request right now: dead fleet,
+          shutdown drain, transport failure — retryable, exit 8 *)
   | Failed of Failure.t
 
 type t = { id : string option; result : (payload, error) result }
@@ -113,6 +117,7 @@ let fail ?id error = { id; result = Error error }
 let exit_code = function
   | Usage _ | Unsupported_version _ -> 2
   | Overloaded _ -> 6
+  | Unavailable _ -> 8
   | Failed f -> Failure.exit_code f
 
 let error_message = function
@@ -123,11 +128,12 @@ let error_message = function
   | Overloaded { queued; capacity } ->
       Printf.sprintf "server overloaded (%d queued, capacity %d); retry later"
         queued capacity
+  | Unavailable m -> m
   | Failed f -> Failure.to_string f
 
 let retryable = function
   | Usage _ | Unsupported_version _ -> false
-  | Overloaded _ -> true
+  | Overloaded _ | Unavailable _ -> true
   | Failed f -> Failure.retryable f
 
 (* ------------------------------------------------------------------ *)
@@ -147,6 +153,8 @@ let stats_to_json s =
 let opt_int = function None -> J.Null | Some i -> J.Int i
 
 let payload_to_json = function
+  | Pong { pong_pid } ->
+      J.Obj [ ("kind", J.String "pong"); ("pid", J.Int pong_pid) ]
   | Parsed { stats; pretty } ->
       J.Obj
         [
@@ -308,6 +316,8 @@ let error_to_json e =
           ("capacity", J.Int capacity);
           ("message", J.String (error_message (Overloaded { queued; capacity })));
         ]
+    | Unavailable m ->
+        [ ("class", J.String "unavailable"); ("message", J.String m) ]
     | Failed f -> (
         match J.of_failure f with J.Obj fields -> fields | j -> [ ("value", j) ])
   in
@@ -382,6 +392,9 @@ let opt_int_of name j =
 let payload_of_json j =
   let* kind = need "kind" J.to_str j in
   match kind with
+  | "pong" ->
+      let* pong_pid = need "pid" J.to_int j in
+      Ok (Pong { pong_pid })
   | "parse" ->
       let* stats =
         match J.member "stats" j with
@@ -604,6 +617,10 @@ let error_of_json j =
       let* queued = need "queued" J.to_int j in
       let* capacity = need "capacity" J.to_int j in
       Ok (Overloaded { queued; capacity })
+  | Some "unavailable" -> (
+      match Option.bind (J.member "message" j) J.to_str with
+      | Some m -> Ok (Unavailable m)
+      | None -> Error "unavailable error without message")
   | Some _ ->
       let* f = J.failure_of_json j in
       Ok (Failed f)

@@ -80,6 +80,8 @@ type transformed = {
 }
 
 type payload =
+  | Pong of { pong_pid : int }
+      (** liveness probe reply, carrying the answering process's pid *)
   | Parsed of { stats : graph_stats; pretty : string }
   | Optimized of { critical : int; cycle : int; fragments : int; text : string }
   | Reported of reported
@@ -94,6 +96,9 @@ type error =
   | Unsupported_version of int
   | Overloaded of { queued : int; capacity : int }
       (** the server's admission queue is full — retry later *)
+  | Unavailable of string
+      (** nothing can take the request right now: dead fleet, shutdown
+          drain, transport failure — retryable, exit code 8 *)
   | Failed of Hls_util.Failure.t  (** the flow failed; see the taxonomy *)
 
 type t = { id : string option; result : (payload, error) result }
@@ -102,7 +107,7 @@ val ok : ?id:string -> payload -> t
 val fail : ?id:string -> error -> t
 
 (** The process exit code the CLI maps this error to: 2 usage /
-    unsupported version, 6 overloaded, and the
+    unsupported version, 6 overloaded, 8 unavailable, and the
     {!Hls_util.Failure.exit_code} mapping (3 infeasible, 4 timeout,
     5 resource, 7 internal) for flow failures.  0 is success, 1 is left
     to the shell and uncontrolled crashes, 124/125 stay reserved by
@@ -111,8 +116,8 @@ val exit_code : error -> int
 
 val error_message : error -> string
 
-(** Whether retrying the same request may succeed ([Overloaded] and the
-    {!Hls_util.Failure.retryable} classes). *)
+(** Whether retrying the same request may succeed ([Overloaded],
+    [Unavailable] and the {!Hls_util.Failure.retryable} classes). *)
 val retryable : error -> bool
 
 val to_json : t -> Hls_dse.Dse_json.t

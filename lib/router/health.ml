@@ -1,0 +1,52 @@
+(* Per-backend health state machine.
+
+     Healthy --[eject_after consecutive failures]--> Ejected
+     Ejected --[cooldown elapsed, trial granted]--> Half_open
+     Half_open --[success]--> Healthy
+     Half_open --[failure]--> Ejected (cooldown restarts)
+
+   Time is always passed in (~now) so tests drive the machine without
+   sleeping.  The router grants the half-open trial to its periodic
+   probe, never to user traffic: a recovering backend proves itself on a
+   ping before real work lands on it again. *)
+
+type state = Healthy | Ejected of float  (** when *) | Half_open
+
+type t = {
+  eject_after : int;
+  cooldown_s : float;
+  mutable fails : int;  (** consecutive failures *)
+  mutable state : state;
+}
+
+let make ?(eject_after = 3) ?(cooldown_s = 2.0) () =
+  if eject_after < 1 then invalid_arg "Health.make: eject_after < 1";
+  { eject_after; cooldown_s; fails = 0; state = Healthy }
+
+let state t = t.state
+let is_routable t = t.state = Healthy
+
+let record_success t =
+  t.fails <- 0;
+  t.state <- Healthy
+
+let record_failure ~now t =
+  match t.state with
+  | Half_open ->
+      (* The trial failed: back to ejection, cooldown restarts. *)
+      t.fails <- t.eject_after;
+      t.state <- Ejected now
+  | Healthy ->
+      t.fails <- t.fails + 1;
+      if t.fails >= t.eject_after then t.state <- Ejected now
+  | Ejected _ -> t.fails <- t.fails + 1
+
+(* Grant at most one half-open trial per cooldown: the caller that gets
+   [true] owns the trial and must settle it with record_success or
+   record_failure. *)
+let trial_due ~now t =
+  match t.state with
+  | Ejected at when now -. at >= t.cooldown_s ->
+      t.state <- Half_open;
+      true
+  | _ -> false

@@ -1,0 +1,32 @@
+(** Per-backend health: consecutive-failure ejection with half-open
+    reintroduction.
+
+    {v
+      Healthy   --[eject_after consecutive failures]--> Ejected
+      Ejected   --[cooldown elapsed, trial granted]---> Half_open
+      Half_open --[success]--> Healthy    --[failure]--> Ejected
+    v}
+
+    Time is passed in explicitly so tests drive the machine without
+    sleeping. *)
+
+type state = Healthy | Ejected of float  (** ejection time *) | Half_open
+
+type t
+
+(** Default: eject after 3 consecutive failures, 2 s cooldown. *)
+val make : ?eject_after:int -> ?cooldown_s:float -> unit -> t
+
+val state : t -> state
+
+(** Only [Healthy] backends take user traffic; a [Half_open] one is
+    proving itself on the probe that owns its trial. *)
+val is_routable : t -> bool
+
+val record_success : t -> unit
+val record_failure : now:float -> t -> unit
+
+(** Grants the single half-open trial once the cooldown has elapsed;
+    the caller that receives [true] owns the trial and must settle it
+    with {!record_success} or {!record_failure}. *)
+val trial_due : now:float -> t -> bool

@@ -1,0 +1,116 @@
+(* Merging scatter-gathered explore shards back into one sweep result.
+
+   The router splits an explore's latency axis across backends; each
+   shard comes back as a full Hls_dse.Explore.t over its slice.  Merging
+   is mostly set union with the sweep's own invariants re-established:
+   points re-sorted on the full job key and deduped (a failover can make
+   two shards compute the same job), failures dropped for jobs that
+   succeeded elsewhere, and the Pareto frontier recomputed over the
+   union — a frontier of shard frontiers would be wrong, since a point
+   dominating in its slice can be dominated globally. *)
+
+module E = Hls_dse.Explore
+module Space = Hls_dse.Space
+module Pareto = Hls_dse.Pareto
+
+let dedup_sorted ~key = function
+  | [] -> []
+  | x :: rest ->
+      let _, acc =
+        List.fold_left
+          (fun (prev, acc) y ->
+            if key y = prev then (prev, acc) else (key y, y :: acc))
+          (key x, [ x ])
+          rest
+      in
+      List.rev acc
+
+(* Merge per-phase (name, calls, seconds) lists, preserving the order
+   names first appear. *)
+let merge_phases shards =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun (name, calls, secs) ->
+         match Hashtbl.find_opt tbl name with
+         | None ->
+             order := name :: !order;
+             Hashtbl.add tbl name (calls, secs)
+         | Some (c, s) -> Hashtbl.replace tbl name (c + calls, s +. secs)))
+    shards;
+  List.rev_map
+    (fun name ->
+      let c, s = Hashtbl.find tbl name in
+      (name, c, s))
+    !order
+
+let merge_assoc ~combine shards =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun (name, v) ->
+         match Hashtbl.find_opt tbl name with
+         | None -> Hashtbl.add tbl name v
+         | Some prev -> Hashtbl.replace tbl name (combine prev v)))
+    shards;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort compare
+
+let merge shards =
+  match shards with
+  | [] -> invalid_arg "Merge.merge: no shards"
+  | first :: rest ->
+      List.iter
+        (fun s ->
+          if s.E.digest <> first.E.digest then
+            invalid_arg
+              (Printf.sprintf "Merge.merge: shard digests differ (%s vs %s)"
+                 first.E.digest s.E.digest))
+        rest;
+      let points =
+        List.concat_map (fun s -> s.E.points) shards
+        |> List.sort (fun (a : E.point) b -> Space.compare_job a.E.job b.E.job)
+        |> dedup_sorted ~key:(fun (p : E.point) -> Space.job_key p.E.job)
+      in
+      let succeeded = Hashtbl.create 64 in
+      List.iter
+        (fun (p : E.point) ->
+          Hashtbl.replace succeeded (Space.job_key p.E.job) ())
+        points;
+      let failures =
+        List.concat_map (fun s -> s.E.failures) shards
+        |> List.filter (fun (f : E.failure) ->
+               not (Hashtbl.mem succeeded (Space.job_key f.E.f_job)))
+        |> List.sort (fun (a : E.failure) b ->
+               Space.compare_job a.E.f_job b.E.f_job)
+        |> dedup_sorted ~key:(fun (f : E.failure) -> Space.job_key f.E.f_job)
+      in
+      let transforms =
+        List.concat_map (fun s -> s.E.transforms) shards
+        |> List.sort (fun (a : E.transform_summary) b ->
+               compare a.E.t_recipe b.E.t_recipe)
+        |> dedup_sorted ~key:(fun (x : E.transform_summary) -> x.E.t_recipe)
+      in
+      let sum f = List.fold_left (fun acc s -> acc + f s) 0 shards in
+      let fmax f = List.fold_left (fun acc s -> max acc (f s)) 0. shards in
+      let imax f = List.fold_left (fun acc s -> max acc (f s)) 0 shards in
+      {
+        E.graph_name = first.E.graph_name;
+        digest = first.E.digest;
+        points;
+        failures;
+        frontier = Pareto.frontier ~objectives:E.objectives points;
+        transforms;
+        rounds = imax (fun s -> s.E.rounds);
+        (* shards ran in parallel: merged wall is the slowest shard *)
+        wall_s = fmax (fun s -> s.E.wall_s);
+        cache_hits = sum (fun s -> s.E.cache_hits);
+        cache_misses = sum (fun s -> s.E.cache_misses);
+        recovered = sum (fun s -> s.E.recovered);
+        phases = merge_phases (List.map (fun s -> s.E.phases) shards);
+        counters =
+          merge_assoc ~combine:( + ) (List.map (fun s -> s.E.counters) shards);
+        gauges =
+          merge_assoc
+            ~combine:(fun (l1, m1) (l2, m2) -> (max l1 l2, max m1 m2))
+            (List.map (fun s -> s.E.gauges) shards);
+      }

@@ -1,0 +1,14 @@
+(** Merge scatter-gathered explore shards into one sweep result.
+
+    Points are unioned, re-sorted on the full job key and deduped (a
+    failover can compute the same job on two shards); failures are kept
+    only for jobs no shard completed; the Pareto frontier is recomputed
+    over the union (a frontier of shard frontiers would keep locally
+    optimal, globally dominated points).  Cache counters sum; wall time
+    is the slowest shard (they ran in parallel); telemetry phase tables,
+    counters and gauges merge by name.
+
+    Raises [Invalid_argument] on an empty list or on shards whose graph
+    digests differ — that would be two different designs, not shards of
+    one sweep. *)
+val merge : Hls_dse.Explore.t list -> Hls_dse.Explore.t

@@ -1,0 +1,61 @@
+(* Consistent-hash ring over backend names.
+
+   Each backend contributes [vnodes] points on a 63-bit circle; a key
+   routes to the first point clockwise of its own hash.  Virtual nodes
+   keep the load split even with a handful of backends, and consistency
+   means adding or removing one backend only moves the keys that hashed
+   into its arcs — the property that keeps the memoized prepare prefix
+   and the WAL cache hot on the surviving shards. *)
+
+type t = { points : (int * string) array; backends : string list }
+
+(* First 8 digest bytes, folded to a non-negative int.  Digest.string is
+   MD5: plenty uniform for load splitting and stable across runs, which
+   hashing with [Hashtbl.hash] would not guarantee across versions. *)
+let hash_key s =
+  let d = Digest.string s in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v land max_int
+
+let make ?(vnodes = 64) backends =
+  let backends = List.sort_uniq compare backends in
+  let points =
+    List.concat_map
+      (fun b ->
+        List.init vnodes (fun i ->
+            (hash_key (Printf.sprintf "%s#%d" b i), b)))
+      backends
+    |> Array.of_list
+  in
+  Array.sort compare points;
+  { points; backends }
+
+let backends t = t.backends
+
+(* First point with hash >= h, or 0 wrapping around. *)
+let successor t h =
+  let n = Array.length t.points in
+  let rec bs lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst t.points.(mid) < h then bs (mid + 1) hi else bs lo mid
+  in
+  let i = bs 0 n in
+  if i = n then 0 else i
+
+let lookup ?(exclude = []) t key =
+  let n = Array.length t.points in
+  if n = 0 then None
+  else
+    let start = successor t (hash_key key) in
+    let rec scan steps =
+      if steps >= n then None
+      else
+        let _, b = t.points.((start + steps) mod n) in
+        if List.mem b exclude then scan (steps + 1) else Some b
+    in
+    scan 0

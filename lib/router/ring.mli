@@ -1,0 +1,24 @@
+(** Consistent-hash ring over backend names.
+
+    Each backend contributes [vnodes] virtual points on a 63-bit hash
+    circle (MD5-based, stable across runs and versions); a key routes to
+    the first point clockwise of its own hash.  Adding or removing a
+    backend only moves the keys whose arcs it owned — roughly 1/N of
+    them — so digest-affine caches on the surviving shards stay hot. *)
+
+type t
+
+(** [make ?vnodes backends] (default 64 virtual nodes per backend).
+    Duplicate names collapse; an empty list makes an empty ring. *)
+val make : ?vnodes:int -> string list -> t
+
+(** The distinct backend names, sorted. *)
+val backends : t -> string list
+
+(** The backend owning [key]'s arc, skipping any in [exclude] by
+    continuing clockwise (failover order is deterministic).  [None] when
+    the ring is empty or everything is excluded. *)
+val lookup : ?exclude:string list -> t -> string -> string option
+
+(** The stable 63-bit key hash (exposed for tests). *)
+val hash_key : string -> int

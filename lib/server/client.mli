@@ -1,12 +1,32 @@
 (** Blocking NDJSON client for the request daemon — what the CLI's
-    [--connect] flag speaks. *)
+    [--connect] flag speaks.  Accepts a Unix-socket path or a TCP
+    "host:port" address. *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+(** ["host:port"] (no slash, valid port) parses as TCP; everything else
+    is a Unix-socket path. *)
+val parse_address : string -> address
+
+val address_to_string : address -> string
+
+(** Dotted-quad parse with a gethostbyname fallback. *)
+val resolve_host : string -> (Unix.inet_addr, string) result
+
+(** A bare connected, blocking file descriptor (TCP_NODELAY set on TCP)
+    — the router multiplexes these itself. *)
+val connect_fd : address -> (Unix.file_descr, string) result
 
 type t
 
+(** [connect spec] parses [spec] with {!parse_address} and connects. *)
 val connect : string -> (t, string) result
+
 val close : t -> unit
 
-val send : t -> ?id:string -> Hls_api.Request.t -> (unit, string) result
+val send :
+  t -> ?id:string -> ?deadline_ms:float -> Hls_api.Request.t ->
+  (unit, string) result
 
 val receive : t -> (Hls_api.Response.t, string) result
 
@@ -22,9 +42,22 @@ val raw_burst : t -> string list -> (string list, string) result
 (** [send] then [receive]: fine as long as this connection has at most
     one request in flight. *)
 val roundtrip :
-  t -> ?id:string -> Hls_api.Request.t -> (Hls_api.Response.t, string) result
+  t -> ?id:string -> ?deadline_ms:float -> Hls_api.Request.t ->
+  (Hls_api.Response.t, string) result
 
 (** Connect, round-trip one request, disconnect. *)
 val call :
-  socket:string -> ?id:string -> Hls_api.Request.t ->
+  socket:string -> ?id:string -> ?deadline_ms:float -> Hls_api.Request.t ->
   (Hls_api.Response.t, string) result
+
+(** {!call} under an {!Hls_pool.Retry_policy}: retryable answers
+    ([Overloaded], [Unavailable], retryable flow failures) and transport
+    failures are retried with the policy's backoff, reconnecting each
+    attempt (the daemon may have restarted between them).  Transport
+    errors are judged as [Internal (Remote _)].  Returns the final
+    outcome and how many attempts were made; the default policy
+    ({!Hls_pool.Retry_policy.none}) makes exactly one. *)
+val call_retry :
+  socket:string -> ?id:string -> ?deadline_ms:float ->
+  ?retry:Hls_pool.Retry_policy.t -> Hls_api.Request.t ->
+  (Hls_api.Response.t, string) result * int

@@ -1,4 +1,5 @@
-(* The request daemon: line-delimited JSON over a Unix-domain socket.
+(* The request daemon: line-delimited JSON over a Unix-domain socket, a
+   TCP socket, or both.
 
    One coordinator thread owns everything: a select loop reads complete
    lines off client connections, decodes them into Api requests, and
@@ -13,67 +14,116 @@
    Backpressure is admission control, never buffering: when the queue is
    full the request is answered Overloaded (exit code 6, retryable)
    immediately and nothing is stored — the daemon's memory does not grow
-   with offered load.  A SIGTERM (or the caller's stop flag) drains:
-   lines already read are decoded, the queue is executed to empty,
-   responses are flushed, and only then does serve return. *)
+   with offered load.  Requests carrying a deadline_ms that has already
+   passed are shed the same way, as a retryable Timeout, and the
+   deadline rides into Exec so work whose client gave up while it was
+   queued never reaches a worker.
+
+   A SIGTERM (or the caller's stop flag) drains: lines already read are
+   decoded, the queue is executed until empty or until the grace window
+   closes, responses are flushed, and whatever the grace window cut off
+   is answered Unavailable (exit code 8, retryable) so no accepted line
+   ever goes unanswered. *)
 
 module R = Hls_api.Request
 module Resp = Hls_api.Response
+module Faults = Hls_util.Faults
 
 type config = {
-  socket : string;
+  socket : string option;
+  listen : (string * int) option;
   max_queue : int;
   batch : int;
   workers : int option;
   max_line : int;
+  max_conns : int;
+  io_timeout_s : float option;
+  grace_s : float;
 }
 
 let default_config ~socket =
   {
-    socket;
+    socket = Some socket;
+    listen = None;
     max_queue = 64;
     batch = 16;
     workers = None;
     max_line = 8 * 1024 * 1024;
+    max_conns = 256;
+    io_timeout_s = None;
+    grace_s = 5.0;
   }
 
 type conn = {
   fd : Unix.file_descr;
   buf : Buffer.t;
   mutable alive : bool;
+  mutable last_read : float;  (** when the last byte arrived *)
 }
 
+let now_ms () = Unix.gettimeofday () *. 1e3
+
 let write_line conn s =
-  if conn.alive then
+  if conn.alive then begin
     let line = s ^ "\n" in
     let len = String.length line in
+    (* An armed truncate-write fault sends a prefix and slams the
+       connection: the client sees a half line and a close, exactly what
+       a crashing peer produces. *)
+    let len, truncate =
+      match Faults.on_net_write ~len with
+      | Some l -> (min l len, true)
+      | None -> (len, false)
+    in
     let rec go off =
       if off < len then
         match Unix.write_substring conn.fd line off (len - off) with
         | n -> go (off + n)
         | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
             conn.alive <- false
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+            (* SO_SNDTIMEO expired: the peer stopped reading.  Drop it
+               rather than wedge the coordinator. *)
+            Hls_telemetry.count "server.write_timeout";
+            conn.alive <- false
     in
-    go 0
+    go 0;
+    if truncate && conn.alive then begin
+      (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ());
+      conn.alive <- false
+    end
+  end
 
 let respond conn resp = write_line conn (Resp.to_string resp)
 
+let expired_timeout deadline_ms =
+  Hls_util.Failure.Timeout (max 0. ((now_ms () -. deadline_ms) /. 1e3))
+
 (* Decode one line and either admit it or answer immediately.  [admit]
-   returns false when the queue is full. *)
+   returns false when the queue is full.  A request whose deadline has
+   already passed is shed here — admission control, like Overloaded. *)
 let handle_line ~admit conn line =
   if String.trim line = "" then ()
   else
-    match R.of_string line with
+    match R.envelope_of_string line with
     | Error (`Usage m) -> respond conn (Resp.fail (Resp.Usage m))
     | Error (`Unsupported_version n) ->
         respond conn (Resp.fail (Resp.Unsupported_version n))
-    | Ok (id, req) -> (
-        match admit (conn, id, req) with
-        | `Admitted -> ()
-        | `Overloaded (queued, capacity) ->
-            Hls_telemetry.count "server.overloaded";
-            respond conn
-              (Resp.fail ?id (Resp.Overloaded { queued; capacity })))
+    | Ok { R.env_id = id; env_deadline_ms; env_req } -> (
+        match env_deadline_ms with
+        | Some d when now_ms () > d ->
+            Hls_telemetry.count "server.deadline_shed";
+            respond conn (Resp.fail ?id (Resp.Failed (expired_timeout d)))
+        | _ -> (
+            match admit (conn, id, env_deadline_ms, env_req) with
+            | `Admitted -> ()
+            | `Overloaded (queued, capacity) ->
+                Hls_telemetry.count "server.overloaded";
+                respond conn
+                  (Resp.fail ?id (Resp.Overloaded { queued; capacity }))))
 
 (* Split freshly buffered bytes into complete lines; the trailing
    fragment stays buffered. *)
@@ -97,6 +147,36 @@ let drain_lines ~max_line ~admit conn =
     conn.alive <- false
   end
 
+(* ------------------------------------------------------------------ *)
+(* Listeners.                                                          *)
+
+let unix_listener path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try if Sys.file_exists path then Sys.remove path
+   with Sys_error _ -> ());
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  fd
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | a -> a
+  | exception Failure _ -> (
+      match (Unix.gethostbyname host).Unix.h_addr_list with
+      | [||] -> invalid_arg (Printf.sprintf "cannot resolve host %S" host)
+      | addrs -> addrs.(0)
+      | exception Not_found ->
+          invalid_arg (Printf.sprintf "cannot resolve host %S" host))
+
+let tcp_listener (host, port) =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  fd
+
 let serve ?(stop = Atomic.make false) ?(handle_signals = false) cfg exec =
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -106,14 +186,16 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false) cfg exec =
     Sys.set_signal Sys.sigterm quit;
     Sys.set_signal Sys.sigint quit
   end;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try if Sys.file_exists cfg.socket then Sys.remove cfg.socket
-   with Sys_error _ -> ());
-  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
-  Unix.listen listen_fd 64;
-  Unix.set_nonblock listen_fd;
+  let listeners =
+    (match cfg.socket with None -> [] | Some p -> [ unix_listener p ])
+    @ match cfg.listen with None -> [] | Some hp -> [ tcp_listener hp ]
+  in
+  if listeners = [] then
+    invalid_arg "Server.serve: no endpoint (need a socket path or listen)";
   let conns = ref [] in
-  let pending : (conn * string option * R.t) Queue.t = Queue.create () in
+  let pending : (conn * string option * float option * R.t) Queue.t =
+    Queue.create ()
+  in
   let admit item =
     if Queue.length pending >= cfg.max_queue then
       `Overloaded (Queue.length pending, cfg.max_queue)
@@ -123,68 +205,157 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false) cfg exec =
       `Admitted
     end
   in
-  let execute_pending () =
-    while not (Queue.is_empty pending) do
+  let execute_pending ?drain_deadline () =
+    let drain_expired () =
+      match drain_deadline with
+      | Some d -> Unix.gettimeofday () > d
+      | None -> false
+    in
+    while (not (Queue.is_empty pending)) && not (drain_expired ()) do
       let n = min cfg.batch (Queue.length pending) in
       let items = Array.init n (fun _ -> Queue.pop pending) in
-      let reqs = Array.map (fun (_, _, r) -> r) items in
+      let reqs = Array.map (fun (_, _, _, r) -> r) items in
+      let deadlines = Array.map (fun (_, _, d, _) -> d) items in
+      (* During drain, bound each batch by what's left of the grace
+         window so a wedged request cannot hold shutdown forever. *)
+      let timeout_s =
+        match drain_deadline with
+        | None -> None
+        | Some d -> Some (max 0.1 (d -. Unix.gettimeofday ()))
+      in
       let results =
         Hls_telemetry.with_span ~cat:"server"
           ~attrs:[ ("batch", Hls_telemetry.Int n) ]
           "server.batch"
-          (fun () -> Hls_api.Exec.run_batch ?workers:cfg.workers exec reqs)
+          (fun () ->
+            Hls_api.Exec.run_batch ?workers:cfg.workers ?timeout_s ~deadlines
+              exec reqs)
       in
       Array.iteri
-        (fun i (conn, id, _) -> respond conn { Resp.id; result = results.(i) })
+        (fun i (conn, id, _, _) -> respond conn { Resp.id; result = results.(i) })
         items;
       Hls_telemetry.gauge "server.queue_depth" (float (Queue.length pending))
-    done
+    done;
+    if drain_deadline <> None && not (Queue.is_empty pending) then begin
+      (* Grace expired with work still queued: every accepted line still
+         gets an answer, just not the one the client hoped for. *)
+      Queue.iter
+        (fun (conn, id, _, _) ->
+          Hls_telemetry.count "server.drain_shed";
+          respond conn
+            (Resp.fail ?id
+               (Resp.Unavailable "draining: shutdown grace expired")))
+        pending;
+      Queue.clear pending
+    end
   in
   let read_conn conn =
+    Faults.on_read ();
     let chunk = Bytes.create 65536 in
     match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
     | 0 -> conn.alive <- false
-    | n -> Buffer.add_subbytes conn.buf chunk 0 n
+    | n ->
+        conn.last_read <- Unix.gettimeofday ();
+        Buffer.add_subbytes conn.buf chunk 0 n
     | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> conn.alive <- false
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   in
-  let accept_all () =
+  let live_count () = List.length (List.filter (fun c -> c.alive) !conns) in
+  let accept_one listen_fd =
     let rec go () =
       match Unix.accept listen_fd with
       | fd, _ ->
-          Hls_telemetry.count "server.connections";
-          conns := { fd; buf = Buffer.create 256; alive = true } :: !conns;
-          go ()
+          if Faults.on_accept () then begin
+            (* Armed drop-conn fault: close before a byte moves. *)
+            Hls_telemetry.count "server.fault_dropped_conns";
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            go ()
+          end
+          else if live_count () >= cfg.max_conns then begin
+            Hls_telemetry.count "server.conns_refused";
+            let c =
+              { fd; buf = Buffer.create 0; alive = true;
+                last_read = Unix.gettimeofday () }
+            in
+            respond c
+              (Resp.fail
+                 (Resp.Unavailable
+                    (Printf.sprintf "connection limit reached (%d)"
+                       cfg.max_conns)));
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            go ()
+          end
+          else begin
+            Hls_telemetry.count "server.connections";
+            (match cfg.io_timeout_s with
+            | Some t -> (
+                (* Bounds blocking response writes; reads are
+                   select-driven, so only SNDTIMEO matters here. *)
+                try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
+                with Unix.Unix_error _ | Invalid_argument _ -> ())
+            | None -> ());
+            conns :=
+              { fd; buf = Buffer.create 256; alive = true;
+                last_read = Unix.gettimeofday () }
+              :: !conns;
+            go ()
+          end
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     in
     go ()
   in
+  (* A connection stalled mid-line (bytes buffered, nothing arriving) is
+     holding coordinator memory for a request that may never finish
+     arriving; cut it after the io timeout.  Fully idle connections keep
+     costing nothing and are left alone. *)
+  let reap_stalled () =
+    match cfg.io_timeout_s with
+    | None -> ()
+    | Some t ->
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun c ->
+            if c.alive && Buffer.length c.buf > 0 && now -. c.last_read > t
+            then begin
+              Hls_telemetry.count "server.read_timeout";
+              respond c
+                (Resp.fail
+                   (Resp.Unavailable
+                      (Printf.sprintf "read timeout (%.1fs mid-request)" t)));
+              c.alive <- false
+            end)
+          !conns
+  in
   let close_conn conn =
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
   in
   let running = ref true in
   while !running do
     if Atomic.get stop then begin
-      (* Drain: decode what was already read, run the queue dry, answer,
-         and only then go down. *)
+      (* Drain: decode what was already read, run the queue until empty
+         or the grace window closes, answer, and only then go down. *)
+      let drain_deadline = Unix.gettimeofday () +. cfg.grace_s in
       List.iter
-        (fun c ->
-          if c.alive then
-            drain_lines ~max_line:cfg.max_line ~admit c)
+        (fun c -> if c.alive then drain_lines ~max_line:cfg.max_line ~admit c)
         !conns;
-      execute_pending ();
+      execute_pending ~drain_deadline ();
       running := false
     end
     else begin
       let fds =
-        listen_fd :: List.filter_map (fun c -> if c.alive then Some c.fd else None) !conns
+        listeners
+        @ List.filter_map
+            (fun c -> if c.alive then Some c.fd else None)
+            !conns
       in
       match Unix.select fds [] [] 0.1 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | ready, _, _ ->
-          if List.memq listen_fd ready then accept_all ();
+          List.iter
+            (fun l -> if List.memq l ready then accept_one l)
+            listeners;
           List.iter
             (fun c ->
               if c.alive && List.memq c.fd ready then begin
@@ -192,6 +363,7 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false) cfg exec =
                 drain_lines ~max_line:cfg.max_line ~admit c
               end)
             !conns;
+          reap_stalled ();
           execute_pending ();
           let dead, live =
             List.partition
@@ -199,7 +371,7 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false) cfg exec =
                 (not c.alive)
                 && not
                      (Queue.fold
-                        (fun acc (qc, _, _) -> acc || qc == c)
+                        (fun acc (qc, _, _, _) -> acc || qc == c)
                         false pending))
               !conns
           in
@@ -208,8 +380,12 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false) cfg exec =
     end
   done;
   List.iter close_conn !conns;
-  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-  (try Sys.remove cfg.socket with Sys_error _ -> ())
+  List.iter
+    (fun l -> try Unix.close l with Unix.Unix_error _ -> ())
+    listeners;
+  match cfg.socket with
+  | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+  | None -> ()
 
 (* One-process fallback: NDJSON over stdin/stdout, no socket, no pool —
    each request runs in the calling domain as the CLI would run it. *)
@@ -223,11 +399,14 @@ let serve_stdio exec ic oc =
     while true do
       let line = input_line ic in
       if String.trim line <> "" then
-        match R.of_string line with
+        match R.envelope_of_string line with
         | Error (`Usage m) -> respond (Resp.fail (Resp.Usage m))
         | Error (`Unsupported_version n) ->
             respond (Resp.fail (Resp.Unsupported_version n))
-        | Ok (id, req) ->
-            respond { Resp.id; result = Hls_api.Exec.run exec req }
+        | Ok { R.env_id = id; env_deadline_ms; env_req } ->
+            respond
+              { Resp.id;
+                result =
+                  Hls_api.Exec.run ?deadline:env_deadline_ms exec env_req }
     done
   with End_of_file -> ()

@@ -360,3 +360,29 @@ let metrics_summary () =
     end;
     Buffer.contents b
   end
+
+(* ---- latency statistics ------------------------------------------- *)
+
+module Stats = struct
+  (* Percentile over a sample of latencies (or any float samples).
+     Nearest-rank on the sorted copy; the input is not mutated. *)
+  let percentile samples p =
+    match samples with
+    | [] -> nan
+    | _ ->
+        let a = Array.of_list samples in
+        Array.sort compare a;
+        let n = Array.length a in
+        let p = if p < 0. then 0. else if p > 100. then 100. else p in
+        let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+        a.(max 0 (min (n - 1) (rank - 1)))
+
+  let p50 samples = percentile samples 50.
+  let p95 samples = percentile samples 95.
+  let p99 samples = percentile samples 99.
+
+  let mean = function
+    | [] -> nan
+    | samples ->
+        List.fold_left ( +. ) 0. samples /. float_of_int (List.length samples)
+end

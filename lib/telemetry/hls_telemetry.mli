@@ -111,3 +111,16 @@ val write_chrome_trace : string -> unit
 (** Plain-text metrics report: span table, counter totals, gauge
     last/max.  Empty string when nothing was recorded. *)
 val metrics_summary : unit -> string
+
+(** Simple latency statistics over float samples (seconds, usually).
+    Pure helpers — no arming required. *)
+module Stats : sig
+  (** [percentile samples p] is the nearest-rank percentile [p] (0..100)
+      of [samples]; [nan] on the empty list. *)
+  val percentile : float list -> float -> float
+
+  val p50 : float list -> float
+  val p95 : float list -> float
+  val p99 : float list -> float
+  val mean : float list -> float
+end

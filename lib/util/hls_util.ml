@@ -264,6 +264,14 @@ module Faults = struct
     corrupt_writes : bool;  (** garble bytes written by the cache *)
     die_before_rename : bool;
         (** [exit 42] between writing a store and renaming it into place *)
+    drop_conn : int option;
+        (** close the [n]-th accepted connection (1-based) right away *)
+    stall_read : float option;
+        (** sleep [s] seconds before every server-side socket read *)
+    truncate_write : int option;
+        (** send only half of the [n]-th network response line, then
+            drop the connection *)
+    slow_accept : float option;  (** sleep [s] seconds before accepting *)
   }
 
   let inert =
@@ -272,15 +280,23 @@ module Faults = struct
       delay_job = None;
       corrupt_writes = false;
       die_before_rename = false;
+      drop_conn = None;
+      stall_read = None;
+      truncate_write = None;
+      slow_accept = None;
     }
 
   let spec = ref inert
   let mu = Mutex.create ()
   let exec_counts : (int, int) Hashtbl.t = Hashtbl.create 7
+  let accept_count = ref 0
+  let net_write_count = ref 0
 
   let arm s =
     Mutex.lock mu;
     Hashtbl.reset exec_counts;
+    accept_count := 0;
+    net_write_count := 0;
     spec := s;
     Mutex.unlock mu
 
@@ -324,10 +340,50 @@ module Faults = struct
       exit 42
     end
 
+  (* --- network fault modes (servers and routers probe these) --- *)
+
+  (** Probe: a listener is about to accept a connection.  May sleep
+      ([slow_accept]); returns [true] when the connection just accepted
+      (1-based count) should be dropped on the floor ([drop_conn]). *)
+  let on_accept () =
+    let s = !spec in
+    (match s.slow_accept with Some secs -> Unix.sleepf secs | None -> ());
+    match s.drop_conn with
+    | None -> false
+    | Some n ->
+        Mutex.lock mu;
+        incr accept_count;
+        let c = !accept_count in
+        Mutex.unlock mu;
+        c = n
+
+  (** Probe: a server is about to read from a connection.  May sleep
+      ([stall_read]), simulating a stalled peer or saturated link. *)
+  let on_read () =
+    match !spec.stall_read with
+    | Some secs -> Unix.sleepf secs
+    | None -> ()
+
+  (** Probe: a response line is about to go out on a connection.
+      [Some k] means: send only the first [k] bytes of this [len]-byte
+      line, then kill the connection ([truncate_write], counted
+      1-based across the process). *)
+  let on_net_write ~len =
+    match !spec.truncate_write with
+    | None -> None
+    | Some n ->
+        Mutex.lock mu;
+        incr net_write_count;
+        let c = !net_write_count in
+        Mutex.unlock mu;
+        if c = n then Some (len / 2) else None
+
   (** Arm from an environment variable (default [HLS_FAULTS]); inert when
       unset.  Comma-separated terms:
       [fail-job=N:K], [delay-job=S], [delay-job=N:S], [corrupt-writes],
-      [die-before-rename].  Unknown terms raise [Invalid_argument]. *)
+      [die-before-rename], [drop-conn=N], [stall-read=S],
+      [truncate-write=N], [slow-accept=S].  Unknown terms raise
+      [Invalid_argument]. *)
   let arm_from_env ?(var = "HLS_FAULTS") () =
     match Sys.getenv_opt var with
     | None | Some "" -> ()
@@ -353,6 +409,14 @@ module Faults = struct
                         delay_job =
                           Some (Some (int_of_string n), float_of_string secs) }
                   | _ -> invalid_arg ("Faults.arm_from_env: " ^ term))
+              | [ "drop-conn"; n ] ->
+                  { s with drop_conn = Some (int_of_string n) }
+              | [ "stall-read"; secs ] ->
+                  { s with stall_read = Some (float_of_string secs) }
+              | [ "truncate-write"; n ] ->
+                  { s with truncate_write = Some (int_of_string n) }
+              | [ "slow-accept"; secs ] ->
+                  { s with slow_accept = Some (float_of_string secs) }
               | _ -> invalid_arg ("Faults.arm_from_env: " ^ term))
             inert
             (String.split_on_char ',' v)

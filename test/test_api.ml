@@ -58,7 +58,10 @@ let test_request_golden () =
                spec = Req.Builtin "fir2";
                recipe = "standard";
                verify = "every_pass";
-             })))
+             })));
+  check "ping request with deadline"
+    {|{"v":1,"id":"hc1","deadline_ms":1500.5,"method":"ping","params":{}}|}
+    (J.to_string (Req.to_json ~id:"hc1" ~deadline_ms:1500.5 Req.Ping))
 
 let test_response_golden () =
   check "usage error"
@@ -75,7 +78,13 @@ let test_response_golden () =
     (Resp.to_string (Resp.fail ~id:"9" (Resp.Failed (F.Infeasible "no placement"))));
   check "timeout flow failure"
     {|{"v":1,"ok":false,"error":{"class":"timeout","seconds":1.5,"exit_code":4,"retryable":true}}|}
-    (Resp.to_string (Resp.fail (Resp.Failed (F.Timeout 1.5))))
+    (Resp.to_string (Resp.fail (Resp.Failed (F.Timeout 1.5))));
+  check "pong"
+    {|{"v":1,"id":"p","ok":true,"result":{"kind":"pong","pid":42}}|}
+    (Resp.to_string (Resp.ok ~id:"p" (Resp.Pong { pong_pid = 42 })));
+  check "unavailable"
+    {|{"v":1,"ok":false,"error":{"class":"unavailable","message":"no healthy backend","exit_code":8,"retryable":true}}|}
+    (Resp.to_string (Resp.fail (Resp.Unavailable "no healthy backend")))
 
 (* ------------------------------------------------------------------ *)
 (* Request decoding: versioning, defaults, forward compatibility.      *)

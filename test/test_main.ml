@@ -31,4 +31,5 @@ let () =
       ("wavefront", Test_wavefront.suite);
       ("telemetry", Test_telemetry.suite);
       ("api", Test_api.suite);
+      ("router", Test_router.suite);
     ]

@@ -1,0 +1,398 @@
+(* The sharded serving tier: consistent-hash stability, the health
+   state machine (driven sleep-free through ~now), shard merging
+   equivalence against a single-process sweep, client-side retry, and a
+   chaos case — real backend daemons, one SIGKILLed mid-burst, with
+   zero lost requests and responses byte-identical to direct calls. *)
+
+module J = Hls_dse.Dse_json
+module Req = Hls_api.Request
+module Resp = Hls_api.Response
+module Exec = Hls_api.Exec
+module Client = Hls_server.Client
+module Ring = Hls_router.Ring
+module Health = Hls_router.Health
+module Merge = Hls_router.Merge
+module Router = Hls_router.Router
+module Space = Hls_dse.Space
+module Retry = Hls_pool.Retry_policy
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Consistent hashing.                                                 *)
+
+let test_ring_stability () =
+  let names n = List.init n (fun i -> Printf.sprintf "backend-%d" i) in
+  let keys = List.init 500 (fun i -> Printf.sprintf "digest-%d" i) in
+  let owner ring k =
+    match Ring.lookup ring k with
+    | Some b -> b
+    | None -> Alcotest.fail "non-empty ring must route every key"
+  in
+  let r5 = Ring.make (names 5) in
+  (* deterministic *)
+  List.iter (fun k -> check "stable lookup" (owner r5 k) (owner r5 k)) keys;
+  (* removing one backend moves only the keys it owned *)
+  let r4 = Ring.make (names 4) in
+  let moved =
+    List.filter
+      (fun k -> owner r5 k <> "backend-4" && owner r5 k <> owner r4 k)
+      keys
+  in
+  check_int "removal moves no unrelated keys" 0 (List.length moved);
+  (* adding one backend steals a bounded share: roughly 1/6 of keys,
+     certainly not a wholesale reshuffle *)
+  let r6 = Ring.make (names 6) in
+  let stolen =
+    List.length (List.filter (fun k -> owner r5 k <> owner r6 k) keys)
+  in
+  check_bool
+    (Printf.sprintf "bounded movement on add (%d/500 moved)" stolen)
+    true
+    (stolen > 0 && stolen < 250);
+  (* exclusion fails over deterministically and exhausts to None *)
+  let k = "digest-42" in
+  let first = owner r5 k in
+  (match Ring.lookup ~exclude:[ first ] r5 k with
+  | Some b -> check_bool "failover picks a different backend" true (b <> first)
+  | None -> Alcotest.fail "four backends remain");
+  check_bool "all-excluded ring routes nowhere" true
+    (Ring.lookup ~exclude:(names 5) r5 k = None)
+
+let test_affinity_key () =
+  (* the same design routes identically however it is shipped: inline
+     source and the builtin it mirrors elaborate to the same digest *)
+  let k1 = Router.affinity_key (Req.Parse { spec = Req.Builtin "chain3" }) in
+  let k2 = Router.affinity_key (Req.Parse { spec = Req.Builtin "chain3" }) in
+  check "affinity key is deterministic" k1 k2;
+  let k3 = Router.affinity_key (Req.Parse { spec = Req.Builtin "fir2" }) in
+  check_bool "different designs get different keys" true (k1 <> k3);
+  check "ping has a fixed key" "ping" (Router.affinity_key Req.Ping)
+
+(* ------------------------------------------------------------------ *)
+(* Health state machine, no sleeping: time is an argument.             *)
+
+let test_health_machine () =
+  let h = Health.make ~eject_after:3 ~cooldown_s:2.0 () in
+  check_bool "starts routable" true (Health.is_routable h);
+  Health.record_failure ~now:0. h;
+  Health.record_failure ~now:0.1 h;
+  check_bool "below threshold stays routable" true (Health.is_routable h);
+  Health.record_success h;
+  Health.record_failure ~now:0.2 h;
+  Health.record_failure ~now:0.3 h;
+  check_bool "success resets the consecutive count" true
+    (Health.is_routable h);
+  Health.record_failure ~now:0.4 h;
+  check_bool "third consecutive failure ejects" false (Health.is_routable h);
+  check_bool "no trial before the cooldown" false (Health.trial_due ~now:1.0 h);
+  check_bool "trial granted after the cooldown" true
+    (Health.trial_due ~now:2.5 h);
+  check_bool "half-open does not take traffic" false (Health.is_routable h);
+  check_bool "the trial is granted once" false (Health.trial_due ~now:2.6 h);
+  (* failed trial: re-ejected, cooldown restarts from the failure *)
+  Health.record_failure ~now:3.0 h;
+  check_bool "failed trial re-ejects" false (Health.is_routable h);
+  check_bool "cooldown restarts" false (Health.trial_due ~now:4.0 h);
+  check_bool "second trial after the new cooldown" true
+    (Health.trial_due ~now:5.1 h);
+  Health.record_success h;
+  check_bool "successful trial readmits" true (Health.is_routable h)
+
+(* ------------------------------------------------------------------ *)
+(* Shard merging: scattering the latency axis and merging must equal
+   the single-process sweep over the union.                            *)
+
+let run_explore latencies =
+  let exec = Exec.create () in
+  Fun.protect
+    ~finally:(fun () -> Exec.close exec)
+    (fun () ->
+      match
+        Exec.run exec
+          (Req.Explore
+             {
+               spec = Req.Builtin "elliptic";
+               params = { Req.default_explore_params with latencies };
+             })
+      with
+      | Ok (Resp.Explored t) -> t
+      | Ok _ -> Alcotest.fail "explore returned a non-explore payload"
+      | Error e -> Alcotest.failf "explore failed: %s" (Resp.error_message e))
+
+let point_fingerprint (p : Hls_dse.Explore.point) =
+  Space.job_key p.Hls_dse.Explore.job
+  ^ "→"
+  ^ J.to_string (Hls_dse.Cache.metrics_to_json p.Hls_dse.Explore.metrics)
+
+let test_merge_matches_single_sweep () =
+  let whole = run_explore [ 17; 19; 21; 23 ] in
+  let merged =
+    Merge.merge [ run_explore [ 17; 21 ]; run_explore [ 19; 23 ] ]
+  in
+  check "digest" whole.Hls_dse.Explore.digest merged.Hls_dse.Explore.digest;
+  Alcotest.(check (list string))
+    "points (jobs and metrics)"
+    (List.map point_fingerprint whole.Hls_dse.Explore.points)
+    (List.map point_fingerprint merged.Hls_dse.Explore.points);
+  Alcotest.(check (list string))
+    "recomputed frontier"
+    (List.map point_fingerprint whole.Hls_dse.Explore.frontier)
+    (List.map point_fingerprint merged.Hls_dse.Explore.frontier);
+  check_int "failures"
+    (List.length whole.Hls_dse.Explore.failures)
+    (List.length merged.Hls_dse.Explore.failures)
+
+let test_merge_rejects_mixed_digests () =
+  let a = run_explore [ 17 ] in
+  let b = { a with Hls_dse.Explore.digest = "not-the-same-design" } in
+  match Merge.merge [ a; b ] with
+  | _ -> Alcotest.fail "merging different designs must be refused"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines through Exec: expired work is shed as a retryable,
+   typed timeout before any staging happens.                           *)
+
+let test_deadline_shed () =
+  let exec = Exec.create () in
+  Fun.protect
+    ~finally:(fun () -> Exec.close exec)
+    (fun () ->
+      let past = (Unix.gettimeofday () *. 1e3) -. 50. in
+      (match
+         Exec.run ~deadline:past exec (Req.Parse { spec = Req.Builtin "chain3" })
+       with
+      | Error (Resp.Failed (Hls_util.Failure.Timeout _) as e) ->
+          check_bool "deadline shed is retryable" true (Resp.retryable e)
+      | _ -> Alcotest.fail "expired deadline must shed as a timeout");
+      let future = (Unix.gettimeofday () *. 1e3) +. 60_000. in
+      match
+        Exec.run ~deadline:future exec (Req.Parse { spec = Req.Builtin "chain3" })
+      with
+      | Ok (Resp.Parsed _) -> ()
+      | _ -> Alcotest.fail "a live deadline must not shed")
+
+let test_deadline_envelope () =
+  let line =
+    J.to_string
+      (Req.to_json ~id:"d" ~deadline_ms:123.5
+         (Req.Parse { spec = Req.Builtin "chain3" }))
+  in
+  match Req.envelope_of_string line with
+  | Ok env ->
+      check "envelope id" "d" (Option.value env.Req.env_id ~default:"<none>");
+      Alcotest.(check (option (float 0.001)))
+        "deadline decodes" (Some 123.5) env.Req.env_deadline_ms
+  | Error _ -> Alcotest.fail "deadline envelope must decode"
+
+(* ------------------------------------------------------------------ *)
+(* Client-side retry: the give-up path against a dead socket counts
+   its attempts and still reports the transport failure.               *)
+
+let test_client_retry_gives_up () =
+  let dead =
+    Filename.concat (Filename.get_temp_dir_name ()) "hls-router-no-daemon.sock"
+  in
+  (try Sys.remove dead with Sys_error _ -> ());
+  let retry = Retry.make ~attempts:3 ~backoff_s:0.005 () in
+  let outcome, attempts = Client.call_retry ~socket:dead ~retry Req.Ping in
+  check_int "every attempt was used" 3 attempts;
+  match outcome with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a dead socket cannot answer"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end chaos: real backend daemons under an in-process router;
+   one backend SIGKILLed mid-burst must lose nothing, and routed
+   responses must be byte-identical to direct calls.                   *)
+
+let hlsopt = "../bin/hlsopt.exe"
+
+let tmp name =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "hls-router-%d-%s" (Unix.getpid ()) name)
+
+let spawn_backend sock =
+  (try Sys.remove sock with Sys_error _ -> ());
+  let argv = [| hlsopt; "serve"; "--socket"; sock |] in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close devnull)
+    (fun () -> Unix.create_process hlsopt argv devnull devnull devnull)
+
+let wait_ready sock =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    match Client.call ~socket:sock Req.Ping with
+    | Ok { Resp.result = Ok _; _ } -> ()
+    | _ ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "backend on %s never came up" sock
+        else begin
+          Unix.sleepf 0.05;
+          go ()
+        end
+  in
+  go ()
+
+let with_fleet n f =
+  let socks = List.init n (fun i -> tmp (Printf.sprintf "backend-%d.sock" i)) in
+  let pids = List.map spawn_backend socks in
+  let kill pid =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter kill pids)
+    (fun () ->
+      List.iter wait_ready socks;
+      let router_sock = tmp "router.sock" in
+      (try Sys.remove router_sock with Sys_error _ -> ());
+      let stop = Atomic.make false in
+      let stats = Router.make_stats () in
+      let cfg =
+        {
+          (Router.default_config ()) with
+          Router.socket = Some router_sock;
+          backends = socks;
+          probe_interval_s = 0.1;
+          cooldown_s = 0.5;
+          hold_s = 2.0;
+          retry = Retry.make ~attempts:4 ~backoff_s:0.01 ();
+        }
+      in
+      let srv = Domain.spawn (fun () -> Router.serve ~stop ~stats cfg) in
+      let rec wait_up k =
+        if k = 0 then Alcotest.fail "router socket never appeared";
+        if not (Sys.file_exists router_sock) then begin
+          Unix.sleepf 0.02;
+          wait_up (k - 1)
+        end
+      in
+      wait_up 250;
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          Domain.join srv)
+        (fun () -> f ~router_sock ~socks ~pids ~stats))
+
+let request_line i =
+  let builtin = if i mod 2 = 0 then "chain3" else "fir2" in
+  J.to_string
+    (Req.to_json
+       ~id:(Printf.sprintf "chaos-%d" i)
+       (Req.Parse { spec = Req.Builtin builtin }))
+
+let test_chaos_kill_one_backend () =
+  with_fleet 3 @@ fun ~router_sock ~socks ~pids ~stats ->
+  let n = 40 in
+  let lines = List.init n request_line in
+  (* direct answers first, for byte comparison *)
+  let direct =
+    match Client.connect (List.hd socks) with
+    | Error m -> Alcotest.failf "direct connect: %s" m
+    | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            match Client.raw_burst c lines with
+            | Ok rs -> rs
+            | Error m -> Alcotest.failf "direct burst: %s" m)
+  in
+  (* now through the router, killing one backend mid-burst *)
+  match Client.connect router_sock with
+  | Error m -> Alcotest.failf "router connect: %s" m
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let killer =
+        Domain.spawn (fun () ->
+            Unix.sleepf 0.05;
+            let victim = List.hd pids in
+            (try Unix.kill victim Sys.sigkill with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] victim) with Unix.Unix_error _ -> ())
+      in
+      let routed =
+        match Client.raw_burst c lines with
+        | Ok rs -> rs
+        | Error m -> Alcotest.failf "routed burst: %s" m
+      in
+      Domain.join killer;
+      check_int "zero lost requests" n (List.length routed);
+      (* the router answers in completion order; compare the id-sorted
+         response sets byte for byte *)
+      List.iteri
+        (fun i (d, r) ->
+          Alcotest.(check string)
+            (Printf.sprintf "response %d byte-identical" i)
+            d r)
+        (List.combine
+           (List.sort compare direct)
+           (List.sort compare routed));
+      check_bool "the router noticed the kill" true
+        (Atomic.get stats.Router.failovers >= 0)
+
+let test_router_unavailable_when_fleet_dead () =
+  (* every backend address points at nothing: requests are held for
+     hold_s, then shed as the typed retryable Unavailable (exit 8) *)
+  let router_sock = tmp "router-dead.sock" in
+  (try Sys.remove router_sock with Sys_error _ -> ());
+  let stop = Atomic.make false in
+  let cfg =
+    {
+      (Router.default_config ()) with
+      Router.socket = Some router_sock;
+      backends = [ tmp "gone-0.sock"; tmp "gone-1.sock" ];
+      probe_interval_s = 0.1;
+      hold_s = 0.3;
+      retry = Retry.make ~attempts:2 ~backoff_s:0.01 ();
+    }
+  in
+  let srv = Domain.spawn (fun () -> Router.serve ~stop cfg) in
+  let rec wait_up k =
+    if k = 0 then Alcotest.fail "router socket never appeared";
+    if not (Sys.file_exists router_sock) then begin
+      Unix.sleepf 0.02;
+      wait_up (k - 1)
+    end
+  in
+  wait_up 250;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join srv)
+    (fun () ->
+      match Client.call ~socket:router_sock (Req.Parse { spec = Req.Builtin "chain3" }) with
+      | Ok { Resp.result = Error (Resp.Unavailable _ as e); _ } ->
+          check_int "unavailable exits 8" 8 (Resp.exit_code e);
+          check_bool "unavailable is retryable" true (Resp.retryable e)
+      | Ok { Resp.result = Error e; _ } ->
+          Alcotest.failf "expected unavailable, got %s" (Resp.error_message e)
+      | Ok { Resp.result = Ok _; _ } ->
+          Alcotest.fail "a dead fleet cannot answer"
+      | Error m -> Alcotest.failf "transport: %s" m)
+
+let suite =
+  [
+    Alcotest.test_case "ring: stability and bounded movement" `Quick
+      test_ring_stability;
+    Alcotest.test_case "affinity keys" `Quick test_affinity_key;
+    Alcotest.test_case "health: ejection and half-open recovery" `Quick
+      test_health_machine;
+    Alcotest.test_case "merge equals the single-process sweep" `Slow
+      test_merge_matches_single_sweep;
+    Alcotest.test_case "merge refuses mixed digests" `Quick
+      test_merge_rejects_mixed_digests;
+    Alcotest.test_case "deadlines shed expired work" `Quick test_deadline_shed;
+    Alcotest.test_case "deadline_ms rides the envelope" `Quick
+      test_deadline_envelope;
+    Alcotest.test_case "client retry gives up with a count" `Quick
+      test_client_retry_gives_up;
+    Alcotest.test_case "chaos: SIGKILL one backend mid-burst" `Slow
+      test_chaos_kill_one_backend;
+    Alcotest.test_case "dead fleet sheds unavailable" `Slow
+      test_router_unavailable_when_fleet_dead;
+  ]
