@@ -824,7 +824,7 @@ let route_cmd =
   let module Router = Hls_router.Router in
   let run tel socket listen backends spawn spawn_dir queue batch jobs
       max_inflight retries backoff probe_interval probe_timeout eject_after
-      cooldown hold grace =
+      cooldown hold grace io_timeout =
     with_telemetry tel @@ fun () ->
     let listen = parse_listen listen in
     if socket = None && listen = None then
@@ -873,6 +873,7 @@ let route_cmd =
         cooldown_s = cooldown;
         hold_s = hold;
         grace_s = grace;
+        io_timeout_s = (if io_timeout <= 0. then None else Some io_timeout);
       }
     in
     let endpoints =
@@ -983,6 +984,13 @@ let route_cmd =
              ~doc:"Shutdown drain bound: in-flight work unanswered this \
                    long after SIGTERM is answered unavailable.")
   in
+  let io_timeout_arg =
+    Arg.(value & opt float 30.
+         & info [ "io-timeout" ] ~docv:"SECS"
+             ~doc:"Per-client write timeout: a client that stops reading \
+                   its responses is dropped after this long instead of \
+                   stalling the router (0 = no timeout).")
+  in
   Cmd.v
     (Cmd.info "route"
        ~doc:"Run the sharded serving front end: digest-affinity routing, \
@@ -991,7 +999,7 @@ let route_cmd =
           $ spawn_arg $ spawn_dir_arg $ queue_arg $ batch_arg $ jobs_arg
           $ max_inflight_arg $ retries_arg $ backoff_arg $ probe_interval_arg
           $ probe_timeout_arg $ eject_after_arg $ cooldown_arg $ hold_arg
-          $ grace_arg)
+          $ grace_arg $ io_timeout_arg)
 
 (* Structural checks over a --trace file; `make trace-smoke` leans on
    this so CI can tell a Perfetto-loadable trace from truncated JSON. *)

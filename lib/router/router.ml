@@ -54,6 +54,9 @@ type config = {
   cooldown_s : float;
   hold_s : float;  (** how long an unroutable request waits for a backend *)
   grace_s : float;
+  io_timeout_s : float option;
+      (** SO_SNDTIMEO on accepted client connections: a client that
+          stops reading is dropped instead of wedging the coordinator *)
   max_line : int;
 }
 
@@ -71,6 +74,7 @@ let default_config () =
     cooldown_s = 1.0;
     hold_s = 5.0;
     grace_s = 5.0;
+    io_timeout_s = Some 30.0;
     max_line = 8 * 1024 * 1024;
   }
 
@@ -188,6 +192,48 @@ let split_lines conn =
   Buffer.clear conn.buf;
   Buffer.add_substring conn.buf data !start (n - !start);
   List.rev !lines
+
+(* A bounded one-shot ping for fleet boot: SO_RCVTIMEO/SO_SNDTIMEO keep
+   a child that accepts the connection but never answers (or never
+   reads) from wedging startup — the blocking Client.call would wait on
+   input_line forever. *)
+let ping_once ?(timeout_s = 0.5) address =
+  match Client.connect_fd address with
+  | Error _ -> false
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (try
+             Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+             Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+           with Unix.Unix_error _ | Invalid_argument _ -> ());
+          let line = Hls_dse.Dse_json.to_string (R.to_json R.Ping) ^ "\n" in
+          match Unix.write_substring fd line 0 (String.length line) with
+          | exception Unix.Unix_error _ -> false
+          | _ ->
+              let buf = Buffer.create 64 in
+              let chunk = Bytes.create 4096 in
+              let rec read_reply () =
+                match Unix.read fd chunk 0 (Bytes.length chunk) with
+                | 0 -> false
+                | n ->
+                    Buffer.add_subbytes buf chunk 0 n;
+                    String.contains (Buffer.contents buf) '\n' || read_reply ()
+                | exception
+                    Unix.Unix_error
+                      ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+                  ->
+                    false
+                | exception Unix.Unix_error _ -> false
+              in
+              read_reply ()
+              &&
+              let data = Buffer.contents buf in
+              let first = String.sub data 0 (String.index data '\n') in
+              match Resp.of_string first with
+              | Ok { Resp.result = Ok _; _ } -> true
+              | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Backends.                                                           *)
@@ -310,21 +356,21 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false)
   List.iter (fun b -> Hashtbl.replace backend_tbl b.b_name b) backends;
   let ring = Ring.make (List.map (fun b -> b.b_name) backends) in
   (* Wait for spawned children to come up so early requests don't burn
-     through the hold window while the fleet boots. *)
+     through the hold window while the fleet boots.  Each attempt is a
+     bounded ping_once, so the 10 s deadline holds even against a child
+     that accepts the connection and then never answers. *)
   (match cfg.spawn with
   | None -> ()
   | Some sp ->
       let deadline = Unix.gettimeofday () +. 10. in
-      List.iteri
-        (fun i _ ->
-          let sock = sp.socket_of i in
+      List.iter
+        (fun i ->
+          let addr = Client.parse_address (sp.socket_of i) in
           let rec wait () =
-            if Unix.gettimeofday () < deadline then
-              match Client.call ~socket:sock R.Ping with
-              | Ok { Resp.result = Ok _; _ } -> ()
-              | _ ->
-                  Unix.sleepf 0.05;
-                  wait ()
+            if Unix.gettimeofday () < deadline && not (ping_once addr) then begin
+              Unix.sleepf 0.05;
+              wait ()
+            end
           in
           wait ())
         (List.init sp.count Fun.id));
@@ -383,6 +429,11 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false)
     | None -> shed fl.i_client ?id:fl.i_id (Resp.Unavailable reason)
   in
   let reroute now fl reason =
+    (* Back into the waiting queue only: leaving the entry in
+       inflight_tbl too would double-count it in inflight_load and shed
+       Overloaded prematurely under failover churn.  dispatch re-enters
+       it when it lands on a backend again. *)
+    Hashtbl.remove inflight_tbl fl.i_seq;
     (match fl.i_backend with
     | Some name when not (List.mem name fl.i_excluded) ->
         fl.i_excluded <- name :: fl.i_excluded
@@ -647,15 +698,28 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false)
                           })))
   in
   (* ---- health probes ---------------------------------------------- *)
+  let backend_busy b =
+    Hashtbl.fold
+      (fun _ fl acc -> acc || fl.i_backend = Some b.b_name)
+      inflight_tbl false
+  in
   let probe_sweep now =
     if now -. !last_probe >= cfg.probe_interval_s then begin
       last_probe := now;
       List.iter
         (fun b ->
-          (* time out a stuck probe first *)
+          (* Time out a stuck probe — but liveness is decoupled from
+             request latency: a backend with our requests in flight has
+             a single-threaded coordinator that answers pings between
+             batches, so a late probe while it owes us answers only
+             proves it is executing, not dead.  A crash still surfaces
+             immediately as EOF/ECONNRESET on the connection.  Only an
+             *idle* backend that cannot answer a ping within the probe
+             timeout counts as failed. *)
           (match b.b_probe with
           | Some (_, sent) when now -. sent > cfg.probe_timeout_s ->
-              fail_backend now b "probe timeout"
+              if backend_busy b then b.b_probe <- None
+              else fail_backend now b "probe timeout"
           | _ -> ());
           let want_probe =
             b.b_probe = None
@@ -736,6 +800,15 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false)
           end
           else begin
             Hls_telemetry.count "router.connections";
+            (match cfg.io_timeout_s with
+            | Some t -> (
+                (* Bounds blocking response writes: a client that stops
+                   reading hits ETIMEDOUT in write_line and is dropped
+                   instead of wedging the single-threaded coordinator
+                   (and every backend behind it). *)
+                try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
+                with Unix.Unix_error _ | Invalid_argument _ -> ())
+            | None -> ());
             clients := { fd; buf = Buffer.create 256; alive = true } :: !clients
           end;
           go ()

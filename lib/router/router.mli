@@ -33,12 +33,24 @@ type config = {
   cooldown_s : float;  (** ejection time before a half-open trial *)
   hold_s : float;  (** how long an unroutable request waits *)
   grace_s : float;  (** shutdown drain bound *)
+  io_timeout_s : float option;
+      (** SO_SNDTIMEO on accepted client connections: a client that
+          stops reading is dropped instead of wedging the coordinator;
+          [None] = wait forever *)
   max_line : int;
 }
 
 (** No endpoints, no backends (set at least one of each), 256 in-flight,
     3 failover attempts at 50 ms backoff, 0.5 s probes with a 2 s
-    timeout, eject after 3, 1 s cooldown, 5 s hold, 5 s grace. *)
+    timeout, eject after 3, 1 s cooldown, 5 s hold, 5 s grace, 30 s
+    client io timeout.
+
+    A probe timeout only fails a backend that is {e idle} from the
+    router's point of view: while the backend owes the router in-flight
+    answers, its single-threaded coordinator may legitimately hold a
+    ping behind an executing batch, so a late probe there proves
+    business, not death (a crash still surfaces immediately as EOF on
+    the connection). *)
 val default_config : unit -> config
 
 (** Live counters, safe to read from another domain while the router

@@ -3,13 +3,16 @@
 
    One coordinator thread owns everything: a select loop reads complete
    lines off client connections, decodes them into Api requests, and
-   admits them to a bounded queue.  Between select rounds the queue is
-   cut into batches and pushed through Exec.run_batch, which fans the
-   pure per-request suffixes out over a domain pool while explore
-   requests (which own a pool and write the shared sweep cache) run
-   serially in the coordinator.  Responses go back on the connection the
-   request came from; requests carry ids, and a shed response can
-   overtake an admitted one, so clients match on id rather than order.
+   admits them to a bounded queue.  Each select round executes one batch
+   through Exec.run_batch — pure per-request suffixes fan out over a
+   domain pool while explore requests (which own a pool and write the
+   shared sweep cache) run serially in the coordinator — then returns to
+   select, so fresh lines are read between batches even while a deep
+   queue works off.  Pings are answered at decode time, never queued:
+   liveness probes do not wait on batch latency and cannot be shed
+   Overloaded.  Responses go back on the connection the request came
+   from; requests carry ids, and a shed response can overtake an
+   admitted one, so clients match on id rather than order.
 
    Backpressure is admission control, never buffering: when the queue is
    full the request is answered Overloaded (exit code 6, retryable)
@@ -23,7 +26,9 @@
    decoded, the queue is executed until empty or until the grace window
    closes, responses are flushed, and whatever the grace window cut off
    is answered Unavailable (exit code 8, retryable) so no accepted line
-   ever goes unanswered. *)
+   ever goes unanswered.  Queued explore requests are shed Unavailable
+   at drain time rather than executed: they run serially and cannot be
+   preempted, so only shedding keeps the drain genuinely bounded. *)
 
 module R = Hls_api.Request
 module Resp = Hls_api.Response
@@ -112,6 +117,13 @@ let handle_line ~admit conn line =
     | Error (`Usage m) -> respond conn (Resp.fail (Resp.Usage m))
     | Error (`Unsupported_version n) ->
         respond conn (Resp.fail (Resp.Unsupported_version n))
+    | Ok { R.env_id = id; env_req = R.Ping; _ } ->
+        (* Liveness must not depend on queue capacity or batch latency:
+           a ping is answered at decode time, never admitted, so a
+           health-checker's probe cannot be shed Overloaded or stuck
+           behind a batch that is already queued. *)
+        respond conn
+          { Resp.id; result = Ok (Resp.Pong { pong_pid = Unix.getpid () }) }
     | Ok { R.env_id = id; env_deadline_ms; env_req } -> (
         match env_deadline_ms with
         | Some d when now_ms () > d ->
@@ -211,7 +223,28 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false) cfg exec =
       | Some d -> Unix.gettimeofday () > d
       | None -> false
     in
-    while (not (Queue.is_empty pending)) && not (drain_expired ()) do
+    (* Explore requests run serially and cannot be preempted once they
+       start, so the grace window cannot bound them: during drain they
+       are shed up front as the retryable Unavailable rather than
+       allowed to hold shutdown past the grace the operator asked for. *)
+    if drain_deadline <> None then begin
+      let keep = Queue.create () in
+      Queue.iter
+        (fun ((conn, id, _, req) as item) ->
+          match req with
+          | R.Explore _ ->
+              Hls_telemetry.count "server.drain_shed";
+              respond conn
+                (Resp.fail ?id
+                   (Resp.Unavailable
+                      "draining: explore cannot be bounded by the shutdown \
+                       grace"))
+          | _ -> Queue.add item keep)
+        pending;
+      Queue.clear pending;
+      Queue.transfer keep pending
+    end;
+    let run_one_batch () =
       let n = min cfg.batch (Queue.length pending) in
       let items = Array.init n (fun _ -> Queue.pop pending) in
       let reqs = Array.map (fun (_, _, _, r) -> r) items in
@@ -235,6 +268,18 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false) cfg exec =
         (fun i (conn, id, _, _) -> respond conn { Resp.id; result = results.(i) })
         items;
       Hls_telemetry.gauge "server.queue_depth" (float (Queue.length pending))
+    in
+    (* One batch per select round while serving: between batches the
+       loop returns to select, so pings and fresh lines are read even
+       while a deep queue works off.  Drain keeps going — nothing new is
+       being read, only the grace window can stop it. *)
+    if not (Queue.is_empty pending) then run_one_batch ();
+    while
+      drain_deadline <> None
+      && (not (Queue.is_empty pending))
+      && not (drain_expired ())
+    do
+      run_one_batch ()
     done;
     if drain_deadline <> None && not (Queue.is_empty pending) then begin
       (* Grace expired with work still queued: every accepted line still
@@ -350,7 +395,10 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false) cfg exec =
             (fun c -> if c.alive then Some c.fd else None)
             !conns
       in
-      match Unix.select fds [] [] 0.1 with
+      (* With work still queued (execute_pending runs one batch per
+         round) select must only poll, not sleep. *)
+      let timeout = if Queue.is_empty pending then 0.1 else 0. in
+      match Unix.select fds [] [] timeout with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | ready, _, _ ->
           List.iter

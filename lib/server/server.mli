@@ -2,12 +2,15 @@
     envelope per line) over a Unix-domain socket, a TCP socket, or both.
 
     A single coordinator select loop reads lines, admits decoded requests
-    to a bounded queue, and executes the queue in batches through
+    to a bounded queue, and executes one batch per select round through
     {!Hls_api.Exec.run_batch} — pure request suffixes fan out over a
     domain pool; explore requests run serially in the coordinator (they
-    own a pool and write the shared sweep cache).  Requests carry ids and
-    responses can reorder across requests (a shed [Overloaded] answer
-    overtakes admitted work), so clients match on id.
+    own a pool and write the shared sweep cache).  Between batches the
+    loop returns to select, and [Ping] is answered at decode time
+    without queueing, so liveness probes never wait on batch latency.
+    Requests carry ids and responses can reorder across requests (a shed
+    [Overloaded] answer overtakes admitted work), so clients match on
+    id.
 
     Backpressure is admission control: a request arriving on a full
     queue is answered [Overloaded] (exit code 6, retryable) immediately
@@ -19,7 +22,10 @@
 
     Shutdown (SIGTERM / the [stop] flag) drains within a bounded grace
     window; queued work the window cuts off is answered [Unavailable]
-    (exit code 8, retryable) — every accepted line gets an answer. *)
+    (exit code 8, retryable) — every accepted line gets an answer.
+    Queued explore requests are shed [Unavailable] at drain time instead
+    of executed: serial work cannot be preempted once started, and the
+    grace bound beats best effort. *)
 
 type config = {
   socket : string option;  (** path of the Unix-domain socket, if any *)

@@ -556,6 +556,119 @@ let test_server_faults () =
   | Ok (Resp.Parsed _) -> ()
   | _ -> Alcotest.fail "third execution must succeed"
 
+let test_server_ping_overtakes_queue () =
+  (* Liveness is decoupled from batch latency: a ping behind a queued
+     explore is answered at decode time, so its pong comes back before
+     the explore even starts.  This is what lets a router health-check a
+     backend that is working through a deep queue. *)
+  with_server @@ fun socket ->
+  match Hls_server.Client.connect socket with
+  | Error m -> Alcotest.failf "connect: %s" m
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Hls_server.Client.close c) @@ fun () ->
+      let explore =
+        J.to_string
+          (Req.to_json ~id:"x"
+             (Req.Explore
+                {
+                  spec = Req.Builtin "chain3";
+                  params =
+                    { Req.default_explore_params with latencies = [ 2; 3 ] };
+                }))
+      in
+      let ping = J.to_string (Req.to_json ~id:"p" Req.Ping) in
+      (* one flush delivers both lines into the same decode round *)
+      match Hls_server.Client.raw_burst c [ explore; ping ] with
+      | Error m -> Alcotest.failf "burst: %s" m
+      | Ok [] -> Alcotest.fail "no responses"
+      | Ok (first :: rest) -> (
+          (match Resp.of_string first with
+          | Ok { Resp.id = Some "p"; result = Ok (Resp.Pong _) } -> ()
+          | Ok r ->
+              Alcotest.failf "ping must overtake queued work, got id %s first"
+                (Option.value r.Resp.id ~default:"<none>")
+          | Error m -> Alcotest.failf "bad first response: %s" m);
+          match List.map Resp.of_string rest with
+          | [ Ok { Resp.id = Some "x"; result = Ok (Resp.Explored _) } ] -> ()
+          | _ -> Alcotest.fail "the explore must still be answered")
+
+let test_server_drain_sheds_explore () =
+  (* Two explores into a batch-of-1 server; SIGTERM-equivalent while the
+     first executes.  The drain cannot bound a serial explore once it
+     starts, so the queued second one must be shed as the retryable
+     Unavailable instead of holding shutdown past the grace window.
+     delay_job pins every sweep job at 0.3 s so the first explore is
+     reliably still executing when the stop flag flips. *)
+  Hls_util.Faults.(arm { inert with delay_job = Some (None, 0.3) });
+  Fun.protect ~finally:Hls_util.Faults.disarm @@ fun () ->
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hls-api-drain-%d.sock" (Unix.getpid ()))
+  in
+  (try Sys.remove socket with Sys_error _ -> ());
+  let exec = Exec.create () in
+  let stop = Atomic.make false in
+  let cfg =
+    { (Hls_server.Server.default_config ~socket) with batch = 1; workers = Some 2 }
+  in
+  let srv = Domain.spawn (fun () -> Hls_server.Server.serve ~stop cfg exec) in
+  let rec wait_up n =
+    if n = 0 then Alcotest.fail "server socket never appeared";
+    if not (Sys.file_exists socket) then (Unix.sleepf 0.02; wait_up (n - 1))
+  in
+  wait_up 250;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join srv;
+      Exec.close exec)
+    (fun () ->
+      let explore id =
+        J.to_string
+          (Req.to_json ~id
+             (Req.Explore
+                {
+                  spec = Req.Builtin "chain3";
+                  params =
+                    { Req.default_explore_params with latencies = [ 2; 3; 4 ] };
+                }))
+      in
+      let client =
+        Domain.spawn (fun () ->
+            match Hls_server.Client.connect socket with
+            | Error m -> Error m
+            | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Hls_server.Client.close c)
+                  (fun () ->
+                    Hls_server.Client.raw_burst c
+                      [ explore "e1"; explore "e2" ]))
+      in
+      (* let the server admit both and start executing e1, then drain *)
+      Unix.sleepf 0.15;
+      Atomic.set stop true;
+      match Domain.join client with
+      | Error m -> Alcotest.failf "burst: %s" m
+      | Ok resps -> (
+          let find id =
+            List.find_map
+              (fun line ->
+                match Resp.of_string line with
+                | Ok r when r.Resp.id = Some id -> Some r.Resp.result
+                | _ -> None)
+              resps
+          in
+          (match find "e1" with
+          | Some (Ok (Resp.Explored _)) -> ()
+          | _ -> Alcotest.fail "the explore already executing must finish");
+          match find "e2" with
+          | Some (Error (Resp.Unavailable _ as e)) ->
+              check_bool "drain shed is retryable" true (Resp.retryable e)
+          | _ ->
+              Alcotest.fail
+                "the queued explore must be shed Unavailable at drain"))
+
 let suite =
   [
     Alcotest.test_case "golden v1 request strings" `Quick test_request_golden;
@@ -580,4 +693,8 @@ let suite =
       test_server_sheds_on_full_queue;
     Alcotest.test_case "server: faults reach batched requests" `Quick
       test_server_faults;
+    Alcotest.test_case "server: ping overtakes queued work" `Quick
+      test_server_ping_overtakes_queue;
+    Alcotest.test_case "server: drain sheds queued explores" `Slow
+      test_server_drain_sheds_explore;
   ]

@@ -239,7 +239,7 @@ let wait_ready sock =
   in
   go ()
 
-let with_fleet n f =
+let with_fleet ?(probe_timeout_s = 2.0) ?(eject_after = 3) n f =
   let socks = List.init n (fun i -> tmp (Printf.sprintf "backend-%d.sock" i)) in
   let pids = List.map spawn_backend socks in
   let kill pid =
@@ -260,6 +260,8 @@ let with_fleet n f =
           Router.socket = Some router_sock;
           backends = socks;
           probe_interval_s = 0.1;
+          probe_timeout_s;
+          eject_after;
           cooldown_s = 0.5;
           hold_s = 2.0;
           retry = Retry.make ~attempts:4 ~backoff_s:0.01 ();
@@ -335,6 +337,33 @@ let test_chaos_kill_one_backend () =
       check_bool "the router noticed the kill" true
         (Atomic.get stats.Router.failovers >= 0)
 
+(* A backend mid-explore blocks its coordinator for far longer than the
+   probe timeout.  That must read as "busy", not "dead": with the
+   harshest possible health settings (one missed probe ejects), the
+   explore must still come back Ok through the router, with no spurious
+   failover, no duplicate execution, no Unavailable. *)
+let test_busy_backend_not_ejected () =
+  with_fleet ~probe_timeout_s:0.15 ~eject_after:1 1
+  @@ fun ~router_sock ~socks:_ ~pids:_ ~stats ->
+  match
+    Client.call ~socket:router_sock ~id:"busy"
+      (Req.Explore
+         {
+           spec = Req.Builtin "elliptic";
+           params =
+             { Req.default_explore_params with latencies = [ 17; 19; 21; 23 ] };
+         })
+  with
+  | Error m -> Alcotest.failf "transport: %s" m
+  | Ok { Resp.result = Error e; _ } ->
+      Alcotest.failf "busy backend was treated as dead: %s"
+        (Resp.error_message e)
+  | Ok { Resp.result = Ok (Resp.Explored t); _ } ->
+      check_bool "the sweep really ran" true
+        (t.Hls_dse.Explore.points <> []);
+      check_int "no spurious failover" 0 (Atomic.get stats.Router.failovers)
+  | Ok _ -> Alcotest.fail "explore answered with a non-explore payload"
+
 let test_router_unavailable_when_fleet_dead () =
   (* every backend address points at nothing: requests are held for
      hold_s, then shed as the typed retryable Unavailable (exit 8) *)
@@ -393,6 +422,8 @@ let suite =
       test_client_retry_gives_up;
     Alcotest.test_case "chaos: SIGKILL one backend mid-burst" `Slow
       test_chaos_kill_one_backend;
+    Alcotest.test_case "busy backend is not ejected by probe timeouts" `Slow
+      test_busy_backend_not_ejected;
     Alcotest.test_case "dead fleet sheds unavailable" `Slow
       test_router_unavailable_when_fleet_dead;
   ]
