@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke examples explore-smoke xform-smoke fault-smoke trace-smoke serve-smoke fleet-smoke check clean
+.PHONY: all build test bench bench-smoke examples explore-smoke xform-smoke iter-smoke fault-smoke trace-smoke serve-smoke fleet-smoke check clean
 
 all: build
 
@@ -37,6 +37,31 @@ xform-smoke:
 	  done; \
 	done; \
 	echo "xform-smoke: ok (standard + aggressive verified on every workload)"
+
+# Feedback-iteration smoke: `hlsopt iterate` on three registry workloads
+# at a latency with slack inside its clock tier.  The loop must never
+# end worse than the one-shot schedule, and must strictly improve on at
+# least two of the three — the subsystem's acceptance bar.
+iter-smoke:
+	@dune build bin/hlsopt.exe; \
+	hlsopt=_build/default/bin/hlsopt.exe; \
+	improved=0; \
+	for w in adpcm-decoder fir8 random240; do \
+	  out=$$($$hlsopt iterate --builtin $$w --latency 14 --rounds 8) \
+	    || { echo "iter-smoke: $$w failed"; exit 1; }; \
+	  line=$$(echo "$$out" | grep '^latency '); \
+	  ini=$$(echo "$$line" | sed -n 's/^latency \([0-9]*\) -> .*/\1/p'); \
+	  fin=$$(echo "$$line" | sed -n 's/^latency [0-9]* -> \([0-9]*\) cycles.*/\1/p'); \
+	  test -n "$$ini" && test -n "$$fin" \
+	    || { echo "iter-smoke: $$w summary line missing"; echo "$$out" | tail -3; exit 1; }; \
+	  test "$$fin" -le "$$ini" \
+	    || { echo "iter-smoke: $$w ended worse than one-shot ($$ini -> $$fin)"; exit 1; }; \
+	  if test "$$fin" -lt "$$ini"; then improved=$$((improved + 1)); fi; \
+	  echo "iter-smoke: $$w $$ini -> $$fin cycles"; \
+	done; \
+	test $$improved -ge 2 \
+	  || { echo "iter-smoke: improvement on $$improved workload(s), need >= 2"; exit 1; }; \
+	echo "iter-smoke: ok (never worse, improved $$improved/3 workloads)"
 
 # Tiny-iteration run of the timing bench (reference vs Bitnet pairs) and a
 # sanity check of the JSON it emits.  --assert additionally times the
@@ -218,7 +243,7 @@ fleet-smoke:
 	grep -q 'router drained' $$dir/route.log || { echo "fleet-smoke: no drain message"; cat $$dir/route.log; exit 1; }; \
 	echo "fleet-smoke: ok (zero loss under SIGKILL, byte-identical answers, respawn, deadline shed, clean drain)"
 
-check: build test explore-smoke xform-smoke bench-smoke fault-smoke trace-smoke serve-smoke fleet-smoke
+check: build test explore-smoke xform-smoke iter-smoke bench-smoke fault-smoke trace-smoke serve-smoke fleet-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -1255,6 +1255,165 @@ let timing () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Feedback-guided iteration (lib/iter): cycles clawed back over the
+   one-shot schedule at a latency with slack inside its clock tier, and
+   the incremental timing recompute (Bitnet.rebuild_dirty +
+   Arrival.update_of_net) against the from-scratch pair it must stay
+   bit-identical to.  With --json --out FILE the measurements merge
+   into the timing bench's JSON under an "iteration" section, the same
+   read-filter-append idiom the serving section uses.                  *)
+
+let iter_bench () =
+  let flag f = Array.exists (( = ) f) Sys.argv in
+  let json = flag "--json" in
+  let out =
+    let r = ref "BENCH_timing.json" in
+    Array.iteri
+      (fun i a ->
+        if a = "--out" && i + 1 < Array.length Sys.argv then
+          r := Sys.argv.(i + 1))
+      Sys.argv;
+    !r
+  in
+  section "Feedback-guided iteration: cycles clawed back, incremental retime";
+  let module Iter = Hls_iter.Iter in
+  let module J = Hls_dse.Dse_json in
+  let registry w =
+    match Hls_workloads.Registry.find w with
+    | Some g -> g
+    | None -> failwith (w ^ " missing from the workload registry")
+  in
+  let best_ns f =
+    ignore (Sys.opaque_identity (f ()));
+    let batch reps =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        ignore (Sys.opaque_identity (f ()))
+      done;
+      Unix.gettimeofday () -. t0
+    in
+    let reps = ref 1 in
+    while batch !reps < 3e-4 do
+      reps := !reps * 2
+    done;
+    let best = ref infinity in
+    for _ = 1 to 7 do
+      let dt = batch !reps in
+      if dt < !best then best := dt
+    done;
+    !best *. 1e9 /. float_of_int !reps
+  in
+  (* One-shot vs iterated at a slack latency (one step inside the
+     14-cycle clock tier on all three workloads). *)
+  let latency = 14 in
+  let rows =
+    List.map
+      (fun wname ->
+        let p = P.prepare (registry wname) in
+        match P.run_iterated (P.make_config ~iterate:8 ()) p ~latency with
+        | Error f -> failwith (wname ^ ": " ^ Hls_util.Failure.to_string f)
+        | Ok (_, o) -> (wname, o))
+      [ "adpcm-decoder"; "fir8"; "random240" ]
+  in
+  Printf.printf "%-14s %8s %9s %7s %6s %-13s %7s\n" "workload" "one-shot"
+    "iterated" "rounds" "chain" "stop" "saved";
+  List.iter
+    (fun (w, o) ->
+      Printf.printf "%-14s %8d %9d %7d %6d %-13s %6.1f%%\n" w
+        o.Iter.o_initial_latency o.Iter.o_final_latency
+        (List.length o.Iter.o_rounds) o.Iter.o_final_delta
+        (Iter.stop_to_string o.Iter.o_stop)
+        (Iter.saved_pct o))
+    rows;
+  (* Incremental retime against the from-scratch oracle it must match,
+     on the multi-region workload the dirty-cone pruning is built for.
+     The dirty set re-runs the dependency model for a handful of nodes;
+     everything clean is blitted (net) or pruned (arrival). *)
+  let kernel = P.prepare_kernel (registry "random240") in
+  let net = Hls_timing.Bitnet.build kernel in
+  let arrival = Hls_timing.Arrival.of_net net in
+  let n = Hls_dfg.Graph.node_count kernel in
+  let dirty = [ n / 4; n / 2; (3 * n) / 4 ] in
+  let net_scratch_ns =
+    best_ns (fun () -> Hls_timing.Bitnet.build kernel)
+  in
+  let net_incr_ns =
+    best_ns (fun () ->
+        match Hls_timing.Bitnet.rebuild_dirty net kernel ~dirty with
+        | Some net' -> net'
+        | None -> failwith "rebuild_dirty refused an unmoved layout")
+  in
+  let arr_scratch_ns = best_ns (fun () -> Hls_timing.Arrival.of_net net) in
+  let arr_incr_ns =
+    best_ns (fun () -> Hls_timing.Arrival.update_of_net net arrival ~dirty)
+  in
+  let retime_speedup =
+    (net_scratch_ns +. arr_scratch_ns) /. (net_incr_ns +. arr_incr_ns)
+  in
+  Printf.printf
+    "random240 retime (%d dirty of %d nodes): net %.0f -> %.0f ns, arrival \
+     %.0f -> %.0f ns, %.2fx end to end\n"
+    (List.length dirty) n net_scratch_ns net_incr_ns arr_scratch_ns
+    arr_incr_ns retime_speedup;
+  if json then begin
+    (* merge (don't clobber): the timing bench owns the rest of the
+       file; this section rides alongside it *)
+    let existing =
+      if Sys.file_exists out then
+        let ic = open_in out in
+        let src =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match J.of_string src with Ok (J.Obj fields) -> fields | _ -> []
+      else []
+    in
+    let iteration =
+      J.Obj
+        [
+          ("latency", J.Int latency);
+          ( "workloads",
+            J.List
+              (List.map
+                 (fun (w, o) ->
+                   J.Obj
+                     [
+                       ("name", J.String w);
+                       ("one_shot_cycles", J.Int o.Iter.o_initial_latency);
+                       ("iterated_cycles", J.Int o.Iter.o_final_latency);
+                       ("rounds", J.Int (List.length o.Iter.o_rounds));
+                       ("final_chain_delta", J.Int o.Iter.o_final_delta);
+                       ("stop", J.String (Iter.stop_to_string o.Iter.o_stop));
+                       ("saved_pct", J.Float (Iter.saved_pct o));
+                     ])
+                 rows) );
+          ( "incremental_retime",
+            J.Obj
+              [
+                ("workload", J.String "random240");
+                ("dirty_nodes", J.Int (List.length dirty));
+                ("total_nodes", J.Int n);
+                ("net_scratch_ns", J.Float net_scratch_ns);
+                ("net_incremental_ns", J.Float net_incr_ns);
+                ("arrival_scratch_ns", J.Float arr_scratch_ns);
+                ("arrival_incremental_ns", J.Float arr_incr_ns);
+                ("speedup", J.Float retime_speedup);
+              ] );
+        ]
+    in
+    let fields =
+      List.filter (fun (k, _) -> k <> "iteration") existing
+      @ [ ("iteration", iteration) ]
+    in
+    let oc = open_out out in
+    output_string oc (J.to_string ~indent:true (J.Obj fields));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" out
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Behavioural transformation recipes: what each preset buys on the
    ADPCM workloads before fragmentation even starts (node/depth deltas
    from the plan log) and what lands after the full flow (cycle, area).
@@ -1323,6 +1482,7 @@ let () =
   | "api" -> api_bench ()
   | "serve" -> serve_bench ()
   | "xform" -> xform_bench ()
+  | "iter" -> iter_bench ()
   | "fig1" | "fig2" -> fig1_fig2 ()
   | "table1" -> table1 ()
   | "fig3" | "fig3h" -> fig3 ()
@@ -1335,6 +1495,6 @@ let () =
   | other ->
       prerr_endline
         ("unknown experiment " ^ other
-       ^ " (try: all, tables, speed, timing, api, serve, xform, dse, fig1, \
-          table1, fig3, table2, table3, fig4)");
+       ^ " (try: all, tables, speed, timing, api, serve, xform, iter, dse, \
+          fig1, table1, fig3, table2, table3, fig4)");
       exit 1

@@ -17,6 +17,8 @@
      emit-vhdl   print behavioural or RTL VHDL
      emit-verilog  print the gate-level netlist as structural Verilog
      simulate    run one random vector through the gate-level netlist
+     iterate     feedback-iterate the schedule: re-time the critical region
+     stats       print serving-tier gauges (router fleet or executor)
      serve       run the request daemon (Unix-domain socket or --stdio)
      call        raw NDJSON passthrough to a daemon
      list        list the built-in workloads
@@ -368,6 +370,51 @@ let simulate_cmd =
     Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
           $ latency_arg $ vcd_arg $ seed_arg)
 
+let iterate_cmd =
+  let run tel connect file builtin latency rounds transform verify =
+    with_telemetry tel @@ fun () ->
+    let req =
+      Req.Iterate
+        {
+          spec = spec_of ~file ~builtin;
+          latency;
+          rounds;
+          config = { Req.default_config with transform; verify };
+        }
+    in
+    print_string (Api.Render.to_text (payload_or_die connect req))
+  in
+  let rounds_arg =
+    Arg.(value & opt int 8
+         & info [ "rounds"; "r" ] ~docv:"N"
+             ~doc:"Accepted-round budget of the feedback loop.")
+  in
+  let transform_arg =
+    Arg.(value & opt string "none"
+         & info [ "transform"; "t" ] ~docv:"RECIPE" ~doc:transform_doc)
+  in
+  let verify_arg =
+    Arg.(value & opt string "off"
+         & info [ "verify" ] ~docv:"POLICY" ~doc:verify_doc)
+  in
+  Cmd.v
+    (Cmd.info "iterate"
+       ~doc:"Schedule, then feedback-iterate: extract the critical region \
+             and re-time it at one cycle fewer until convergence")
+    Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
+          $ latency_arg $ rounds_arg $ transform_arg $ verify_arg)
+
+let stats_cmd =
+  let run tel connect =
+    with_telemetry tel @@ fun () ->
+    print_string (Api.Render.to_text (payload_or_die connect Req.Stats))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Print serving-tier gauges: fleet counters from a router, or \
+             executor-process gauges from a daemon / in-process run")
+    Term.(const run $ telemetry_term $ connect_arg)
+
 let list_cmd =
   let run tel () =
     with_telemetry tel @@ fun () ->
@@ -384,8 +431,8 @@ let list_cmd =
 let explore_cmd =
   let module Dse = Hls_dse in
   let run tel connect file builtin latspec policies libs balance recipes
-      verify cleanup jobs timeout cache_path feedback retries backoff degrade
-      resume json =
+      iterates verify cleanup jobs timeout cache_path feedback retries backoff
+      degrade resume json =
     (* The sweep always arms metric recording: its report carries the
        per-phase time breakdown whether or not --metrics was given. *)
     with_telemetry ~arm_metrics:true tel @@ fun () ->
@@ -470,6 +517,7 @@ let explore_cmd =
         lib_names;
         balance_axis = balance;
         recipes;
+        iterates;
         verify;
         jobs = (if jobs <= 0 then None else Some jobs);
         timeout_s = timeout;
@@ -514,6 +562,12 @@ let explore_cmd =
              ~doc:"Transformation-recipe axis: comma-separated recipe specs \
                    (join passes inside one recipe with '+', e.g. \
                    none,standard,fold+cse+dce).")
+  in
+  let iterate_arg =
+    Arg.(value & opt (list int) [ 0 ]
+         & info [ "iterate" ] ~docv:"N,..."
+             ~doc:"Feedback-iteration budget axis: accepted-round budgets \
+                   to sweep (0 = one-shot scheduling).")
   in
   let verify_arg =
     Arg.(value & opt string "off"
@@ -579,8 +633,8 @@ let explore_cmd =
        ~doc:"Sweep the design space and print its Pareto frontier")
     Term.(const run $ telemetry_term $ connect_arg $ file_arg $ builtin_arg
           $ latency_arg $ policies_arg $ libs_arg $ balance_arg $ recipes_arg
-          $ verify_arg $ cleanup_arg $ jobs_arg $ timeout_arg $ cache_arg
-          $ feedback_arg $ retries_arg $ backoff_arg $ degrade_arg
+          $ iterate_arg $ verify_arg $ cleanup_arg $ jobs_arg $ timeout_arg
+          $ cache_arg $ feedback_arg $ retries_arg $ backoff_arg $ degrade_arg
           $ resume_arg $ json_arg)
 
 (* "HOST:PORT" for --listen; rejects bare socket paths. *)
@@ -1071,7 +1125,8 @@ let main =
   let doc = "operation-fragmentation presynthesis optimization for HLS" in
   Cmd.group (Cmd.info "hlsopt" ~version:"1.0.0" ~doc)
     [ parse_cmd; optimize_cmd; transform_cmd; schedule_cmd; report_cmd;
-      explore_cmd; emit_vhdl_cmd; emit_verilog_cmd; simulate_cmd; serve_cmd;
-      route_cmd; call_cmd; list_cmd; trace_validate_cmd ]
+      explore_cmd; iterate_cmd; emit_vhdl_cmd; emit_verilog_cmd; simulate_cmd;
+      serve_cmd; route_cmd; call_cmd; stats_cmd; list_cmd;
+      trace_validate_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -23,19 +23,31 @@ module Dse = Hls_dse
 
 type t = {
   cache : Dse.Cache.t;  (** shared by every explore request *)
+  pool : Hls_pool.Shared.t;
+      (** one persistent domain pool for every request's region-parallel
+          timing jobs — preparation batches onto it instead of spawning
+          domains per request *)
   prepared : (string * string * string, P.prepared) Hashtbl.t;
       (** latency-independent prefix, keyed (graph digest, canonical
           recipe spec, verify policy) *)
   mutable prepared_hits : int;
 }
 
-let create ?cache () =
+let create ?cache ?timing_workers () =
   let cache =
     match cache with Some c -> c | None -> Dse.Cache.create ()
   in
-  { cache; prepared = Hashtbl.create 8; prepared_hits = 0 }
+  {
+    cache;
+    pool = Hls_pool.Shared.create ?workers:timing_workers ();
+    prepared = Hashtbl.create 8;
+    prepared_hits = 0;
+  }
 
-let close t = Dse.Cache.close t.cache
+let close t =
+  Hls_pool.Shared.shutdown t.pool;
+  Dse.Cache.close t.cache
+
 let prepared_hits t = t.prepared_hits
 
 (* ------------------------------------------------------------------ *)
@@ -72,7 +84,7 @@ let prepare_memo t g ~transform ~verify =
       t.prepared_hits <- t.prepared_hits + 1;
       p
   | None ->
-      let p = P.prepare ~transform ~verify g in
+      let p = P.prepare ~transform ~verify ~pool:t.pool g in
       Hashtbl.replace t.prepared key p;
       p
 
@@ -180,6 +192,23 @@ let stage t req =
   let usage m = Ready (Error (Response.Usage m)) in
   match req with
   | Request.Ping -> Ready (Ok (Response.Pong { pong_pid = Unix.getpid () }))
+  | Request.Stats ->
+      (* Executor-process gauges; the router answers this verb itself
+         with fleet counters, so reaching an executor means the caller
+         asked this process directly. *)
+      Ready
+        (Ok
+           (Response.Stats
+              {
+                st_source = "exec";
+                st_gauges =
+                  [
+                    ("pid", Unix.getpid ());
+                    ("prepared_entries", Hashtbl.length t.prepared);
+                    ("prepared_hits", t.prepared_hits);
+                    ("pool_workers", Hls_pool.Shared.workers t.pool);
+                  ];
+              }))
   | _ -> (
   match load_spec (Option.get (Request.spec_of req)) with
   | Error m -> usage m
@@ -199,7 +228,8 @@ let stage t req =
                 Ready (Error (Response.Failed (Failure.classify_exn e))))
       in
       match req with
-      | Request.Ping -> assert false (* handled before spec loading *)
+      | Request.Ping | Request.Stats ->
+          assert false (* handled before spec loading *)
       | Request.Parse _ ->
           Pure
             (fun () ->
@@ -363,7 +393,8 @@ let stage t req =
                   match
                     Dse.Space.make ~latencies:params.latencies
                       ~policies:params.policies ~libs
-                      ~balance:params.balance_axis ~recipes:params.recipes ()
+                      ~balance:params.balance_axis ~recipes:params.recipes
+                      ~iterates:params.iterates ()
                   with
                   | Error e -> usage (Dse.Space.axis_error_to_string e)
                   | Ok space ->
@@ -493,7 +524,41 @@ let stage t req =
                         ^ Hls_rtl.Verilog.testbench ~name nl ~cycles:latency
                             ~vectors
                   in
-                  Response.Emitted { format; text }))))
+                  Response.Emitted { format; text }))
+      | Request.Iterate { latency; rounds; config; _ } ->
+          with_config config (fun cfg p ->
+              let cfg = { cfg with P.iterate = max 1 rounds } in
+              Pure
+                (fun () ->
+                  match P.run_iterated cfg p ~latency with
+                  | Error f -> raise (Failure.Flow_failure f)
+                  | Ok (_, o) ->
+                      let round (r : Hls_iter.Iter.round) =
+                        {
+                          Response.ir_index = r.Hls_iter.Iter.r_index;
+                          ir_target = r.Hls_iter.Iter.r_target;
+                          ir_cap = r.Hls_iter.Iter.r_cap;
+                          ir_region = r.Hls_iter.Iter.r_region;
+                          ir_region_adds = r.Hls_iter.Iter.r_region_adds;
+                          ir_pinned = r.Hls_iter.Iter.r_pinned;
+                          ir_accepted = r.Hls_iter.Iter.r_accepted;
+                          ir_latency = r.Hls_iter.Iter.r_latency;
+                          ir_delta = r.Hls_iter.Iter.r_delta;
+                        }
+                      in
+                      Response.Iterated
+                        {
+                          it_initial_latency =
+                            o.Hls_iter.Iter.o_initial_latency;
+                          it_final_latency = o.Hls_iter.Iter.o_final_latency;
+                          it_initial_delta = o.Hls_iter.Iter.o_initial_delta;
+                          it_final_delta = o.Hls_iter.Iter.o_final_delta;
+                          it_saved_pct = Hls_iter.Iter.saved_pct o;
+                          it_stop =
+                            Hls_iter.Iter.stop_to_string o.Hls_iter.Iter.o_stop;
+                          it_rounds =
+                            List.map round o.Hls_iter.Iter.o_rounds;
+                        }))))
 
 (* ------------------------------------------------------------------ *)
 (* Running.                                                            *)

@@ -13,10 +13,14 @@
 type t
 
 (** [create ?cache ()] — the executor's shared state: the sweep cache
-    (memory-only unless one is passed in) and the prepared-prefix memo. *)
-val create : ?cache:Hls_dse.Cache.t -> unit -> t
+    (memory-only unless one is passed in), the prepared-prefix memo, and
+    one persistent {!Hls_pool.Shared} domain pool that every request's
+    region-parallel timing jobs batch onto ([timing_workers] sizes it;
+    default {!Hls_pool.default_workers}). *)
+val create : ?cache:Hls_dse.Cache.t -> ?timing_workers:int -> unit -> t
 
-(** Close the underlying sweep cache (flush + release). *)
+(** Shut the shared timing pool down and close the underlying sweep
+    cache (flush + release). *)
 val close : t -> unit
 
 (** How many requests were served a memoized prepared prefix (tests). *)

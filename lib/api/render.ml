@@ -134,5 +134,25 @@ let pp_payload ppf = function
         (fun (n, b, g) -> Format.fprintf ppf "  %s = %d | %d@." n b g)
         s.sim_outputs
   | R.Emitted { text; _ } -> Format.pp_print_string ppf text
+  | R.Iterated it ->
+      List.iter
+        (fun (r : R.iter_round) ->
+          Format.fprintf ppf
+            "round %d: target %d cycles, cap %d delta, region %d node(s) \
+             (%d adds)%s -> %s (latency %d, chain %d delta)@."
+            r.ir_index r.ir_target r.ir_cap r.ir_region r.ir_region_adds
+            (if r.ir_pinned then ", pinned" else "")
+            (if r.ir_accepted then "accepted" else "rejected")
+            r.ir_latency r.ir_delta)
+        it.R.it_rounds;
+      Format.fprintf ppf
+        "latency %d -> %d cycles, chain %d -> %d delta (%s, %.1f %% saved)@."
+        it.R.it_initial_latency it.R.it_final_latency it.R.it_initial_delta
+        it.R.it_final_delta it.R.it_stop it.R.it_saved_pct
+  | R.Stats { st_source; st_gauges } ->
+      Format.fprintf ppf "stats (%s):@." st_source;
+      List.iter
+        (fun (k, v) -> Format.fprintf ppf "  %s = %d@." k v)
+        st_gauges
 
 let to_text payload = buffer_with (fun ppf -> pp_payload ppf payload)

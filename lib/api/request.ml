@@ -26,11 +26,12 @@ type config = {
   balance : bool;
   transform : string;  (** behavioural transformation recipe spec *)
   verify : string;  (** equivalence-gate policy on its passes *)
+  iterate : int;  (** feedback-iteration round budget; 0 = one-shot *)
 }
 
 let default_config =
   { lib_name = "ripple"; policy = `Full; balance = true; transform = "none";
-    verify = "off" }
+    verify = "off"; iterate = 0 }
 
 let pipeline_config c =
   let ( let* ) = Result.bind in
@@ -50,7 +51,7 @@ let pipeline_config c =
   in
   Ok
     (Hls_core.Pipeline.make_config ~lib ~policy:c.policy ~balance:c.balance
-       ~transform ~verify ())
+       ~transform ~verify ~iterate:c.iterate ())
 
 type flow = Conventional | Blc | Optimized
 
@@ -88,6 +89,7 @@ type explore_params = {
   lib_names : string list;
   balance_axis : bool list;
   recipes : string list;  (** transformation-recipe axis *)
+  iterates : int list;  (** feedback-iteration budget axis *)
   verify : string;  (** gate policy applied when recipes run *)
   jobs : int option;
   timeout_s : float option;
@@ -104,6 +106,7 @@ let default_explore_params =
     lib_names = [ "ripple" ];
     balance_axis = [ true ];
     recipes = [ "none" ];
+    iterates = [ 0 ];
     verify = "off";
     jobs = None;
     timeout_s = None;
@@ -134,6 +137,8 @@ type t =
       vcd : bool;
     }
   | Emit of { spec : spec; latency : int; format : emit_format; config : config }
+  | Iterate of { spec : spec; latency : int; rounds : int; config : config }
+  | Stats
 
 let method_name = function
   | Ping -> "ping"
@@ -145,6 +150,8 @@ let method_name = function
   | Transform _ -> "transform"
   | Simulate _ -> "simulate"
   | Emit _ -> "emit"
+  | Iterate _ -> "iterate"
+  | Stats -> "stats"
 
 let spec_of = function
   | Ping -> None
@@ -156,6 +163,8 @@ let spec_of = function
   | Transform { spec; _ } -> Some spec
   | Simulate { spec; _ } -> Some spec
   | Emit { spec; _ } -> Some spec
+  | Iterate { spec; _ } -> Some spec
+  | Stats -> None
 
 (* ------------------------------------------------------------------ *)
 (* Encoding.                                                           *)
@@ -173,6 +182,7 @@ let config_to_json c =
       ("balance", J.Bool c.balance);
       ("transform", J.String c.transform);
       ("verify", J.String c.verify);
+      ("iterate", J.Int c.iterate);
     ]
 
 let params_to_json = function
@@ -216,6 +226,7 @@ let params_to_json = function
            ("libs", J.List (List.map (fun l -> J.String l) p.lib_names));
            ("balance", J.List (List.map (fun b -> J.Bool b) p.balance_axis));
            ("recipes", J.List (List.map (fun r -> J.String r) p.recipes));
+           ("iterates", J.List (List.map (fun i -> J.Int i) p.iterates));
            ("verify", J.String p.verify);
          ]
         @ (match p.jobs with None -> [] | Some n -> [ ("jobs", J.Int n) ])
@@ -252,6 +263,15 @@ let params_to_json = function
           ("format", J.String (format_name format));
           ("config", config_to_json config);
         ]
+  | Iterate { spec; latency; rounds; config } ->
+      J.Obj
+        [
+          ("spec", spec_to_json spec);
+          ("latency", J.Int latency);
+          ("rounds", J.Int rounds);
+          ("config", config_to_json config);
+        ]
+  | Stats -> J.Obj []
 
 let to_json ?id ?deadline_ms t =
   J.Obj
@@ -343,7 +363,8 @@ let config_of_json params =
             Ok (if cleanup then "cleanup" else default_config.transform)
       in
       let* verify = str_field ~default:default_config.verify "verify" j in
-      Ok { lib_name; policy; balance; transform; verify }
+      let* iterate = int_field ~default:default_config.iterate "iterate" j in
+      Ok { lib_name; policy; balance; transform; verify; iterate }
 
 let list_field ~default name decode params =
   match J.member name params with
@@ -383,6 +404,7 @@ let explore_params_of_json params =
           | [] -> d.recipes
           | flags -> List.map (fun c -> if c then "cleanup" else "none") flags)
   in
+  let* iterates = list_field ~default:d.iterates "iterates" J.to_int params in
   let* verify = str_field ~default:d.verify "verify" params in
   let* jobs =
     match J.member "jobs" params with
@@ -418,6 +440,7 @@ let explore_params_of_json params =
       lib_names;
       balance_axis;
       recipes;
+      iterates;
       verify;
       jobs;
       timeout_s;
@@ -524,6 +547,13 @@ let envelope_of_json j =
                              vhdl-netlist, verilog, verilog-tb")
                 in
                 Ok (Emit { spec; latency; format; config })
+            | Some "iterate" ->
+                let* spec = field_spec params in
+                let* latency = int_field ~default:3 "latency" params in
+                let* rounds = int_field ~default:8 "rounds" params in
+                let* config = config_of_json params in
+                Ok (Iterate { spec; latency; rounds; config })
+            | Some "stats" -> Ok Stats
             | Some other -> usage "unknown method %S" other
           in
           Ok { env_id = id; env_deadline_ms = deadline_ms; env_req = req })

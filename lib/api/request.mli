@@ -30,6 +30,9 @@ type config = {
   balance : bool;
   transform : string;  (** behavioural transformation recipe spec *)
   verify : string;  (** equivalence-gate policy on its passes *)
+  iterate : int;
+      (** feedback-iteration round budget applied after the one-shot
+          schedule; 0 (the default) keeps every verb one-shot *)
 }
 
 (** Ripple library, full fragmentation, balancing on, no transformation —
@@ -57,6 +60,7 @@ type explore_params = {
   lib_names : string list;
   balance_axis : bool list;
   recipes : string list;  (** transformation-recipe axis *)
+  iterates : int list;  (** feedback-iteration budget axis *)
   verify : string;  (** gate policy applied when recipes run *)
   jobs : int option;  (** worker domains; [None] = auto *)
   timeout_s : float option;
@@ -89,12 +93,17 @@ type t =
       vcd : bool;
     }
   | Emit of { spec : spec; latency : int; format : emit_format; config : config }
+  | Iterate of { spec : spec; latency : int; rounds : int; config : config }
+      (** one-shot schedule at [latency], then up to [rounds] accepted
+          feedback rounds of critical-region re-scheduling *)
+  | Stats  (** serving-tier gauges: no spec, answered without staging *)
 
 (** The wire ["method"] name: ping, parse, optimize, report, schedule,
-    explore, transform, simulate or emit. *)
+    explore, transform, simulate, emit, iterate or stats. *)
 val method_name : t -> string
 
-(** The specification a verb operates on; [None] for {!Ping}. *)
+(** The specification a verb operates on; [None] for {!Ping} and
+    {!Stats}. *)
 val spec_of : t -> spec option
 
 (** Encode the envelope.  [deadline_ms] is an absolute wall-clock

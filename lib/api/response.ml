@@ -85,6 +85,31 @@ type transformed = {
   x_pretty : string;  (** the transformed graph, printed *)
 }
 
+(* One round of the feedback-iteration loop, as reported on the wire:
+   what was attempted (target latency under which chain cap, over how
+   large an extracted region) and what came of it. *)
+type iter_round = {
+  ir_index : int;
+  ir_target : int;  (** latency the round tried to reach *)
+  ir_cap : int;  (** chain cap (δ) the re-schedule ran under *)
+  ir_region : int;  (** critical-region size, in graph nodes *)
+  ir_region_adds : int;
+  ir_pinned : bool;  (** accepted schedule kept the boundary pins *)
+  ir_accepted : bool;
+  ir_latency : int;  (** incumbent latency after the round *)
+  ir_delta : int;  (** incumbent peak chain after the round *)
+}
+
+type iterated = {
+  it_initial_latency : int;
+  it_final_latency : int;
+  it_initial_delta : int;
+  it_final_delta : int;
+  it_saved_pct : float;  (** execution-time saving vs the one-shot *)
+  it_stop : string;  (** why the loop ended, [Iter.stop_to_string] *)
+  it_rounds : iter_round list;
+}
+
 type payload =
   | Pong of { pong_pid : int }
   | Parsed of { stats : graph_stats; pretty : string }
@@ -95,6 +120,8 @@ type payload =
   | Transformed of transformed
   | Simulated of simulated
   | Emitted of { format : Request.emit_format; text : string }
+  | Iterated of iterated
+  | Stats of { st_source : string; st_gauges : (string * int) list }
 
 type error =
   | Usage of string
@@ -297,6 +324,42 @@ let payload_to_json = function
           ("kind", J.String "emit");
           ("format", J.String (Request.format_name format));
           ("text", J.String text);
+        ]
+  | Iterated it ->
+      J.Obj
+        [
+          ("kind", J.String "iterate");
+          ("initial_latency", J.Int it.it_initial_latency);
+          ("final_latency", J.Int it.it_final_latency);
+          ("initial_delta", J.Int it.it_initial_delta);
+          ("final_delta", J.Int it.it_final_delta);
+          ("saved_pct", J.Float it.it_saved_pct);
+          ("stop", J.String it.it_stop);
+          ( "rounds",
+            J.List
+              (List.map
+                 (fun r ->
+                   J.Obj
+                     [
+                       ("index", J.Int r.ir_index);
+                       ("target", J.Int r.ir_target);
+                       ("cap", J.Int r.ir_cap);
+                       ("region", J.Int r.ir_region);
+                       ("region_adds", J.Int r.ir_region_adds);
+                       ("pinned", J.Bool r.ir_pinned);
+                       ("accepted", J.Bool r.ir_accepted);
+                       ("latency", J.Int r.ir_latency);
+                       ("delta", J.Int r.ir_delta);
+                     ])
+                 it.it_rounds) );
+        ]
+  | Stats { st_source; st_gauges } ->
+      J.Obj
+        [
+          ("kind", J.String "stats");
+          ("source", J.String st_source);
+          ( "gauges",
+            J.Obj (List.map (fun (k, v) -> (k, J.Int v)) st_gauges) );
         ]
 
 let error_to_json e =
@@ -601,6 +664,66 @@ let payload_of_json j =
       in
       let* text = need "text" J.to_str j in
       Ok (Emitted { format; text })
+  | "iterate" ->
+      let* it_initial_latency = need "initial_latency" J.to_int j in
+      let* it_final_latency = need "final_latency" J.to_int j in
+      let* it_initial_delta = need "initial_delta" J.to_int j in
+      let* it_final_delta = need "final_delta" J.to_int j in
+      let* it_saved_pct = need "saved_pct" J.to_float j in
+      let* it_stop = need "stop" J.to_str j in
+      let* it_rounds =
+        decode_list "rounds"
+          (fun r ->
+            let* ir_index = need "index" J.to_int r in
+            let* ir_target = need "target" J.to_int r in
+            let* ir_cap = need "cap" J.to_int r in
+            let* ir_region = need "region" J.to_int r in
+            let* ir_region_adds = need "region_adds" J.to_int r in
+            let* ir_pinned = need "pinned" J.to_bool r in
+            let* ir_accepted = need "accepted" J.to_bool r in
+            let* ir_latency = need "latency" J.to_int r in
+            let* ir_delta = need "delta" J.to_int r in
+            Ok
+              {
+                ir_index;
+                ir_target;
+                ir_cap;
+                ir_region;
+                ir_region_adds;
+                ir_pinned;
+                ir_accepted;
+                ir_latency;
+                ir_delta;
+              })
+          j
+      in
+      Ok
+        (Iterated
+           {
+             it_initial_latency;
+             it_final_latency;
+             it_initial_delta;
+             it_final_delta;
+             it_saved_pct;
+             it_stop;
+             it_rounds;
+           })
+  | "stats" ->
+      let* st_source = need "source" J.to_str j in
+      let* st_gauges =
+        match J.member "gauges" j with
+        | Some (J.Obj fields) ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | (k, v) :: rest -> (
+                  match J.to_int v with
+                  | Some i -> go ((k, i) :: acc) rest
+                  | None -> Error (Printf.sprintf "bad gauge %S" k))
+            in
+            go [] fields
+        | _ -> Error "stats result without a gauges object"
+      in
+      Ok (Stats { st_source; st_gauges })
   | other -> Error (Printf.sprintf "unknown result kind %S" other)
 
 let error_of_json j =

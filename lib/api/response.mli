@@ -79,6 +79,31 @@ type transformed = {
   x_pretty : string;  (** the transformed graph, printed *)
 }
 
+(** One round of the feedback-iteration loop as reported on the wire:
+    what was attempted (target latency, chain cap, extracted-region
+    size) and what came of it. *)
+type iter_round = {
+  ir_index : int;
+  ir_target : int;  (** latency the round tried to reach *)
+  ir_cap : int;  (** chain cap (δ) the re-schedule ran under *)
+  ir_region : int;  (** critical-region size, in graph nodes *)
+  ir_region_adds : int;
+  ir_pinned : bool;  (** accepted schedule kept the boundary pins *)
+  ir_accepted : bool;
+  ir_latency : int;  (** incumbent latency after the round *)
+  ir_delta : int;  (** incumbent peak chain after the round *)
+}
+
+type iterated = {
+  it_initial_latency : int;
+  it_final_latency : int;
+  it_initial_delta : int;
+  it_final_delta : int;
+  it_saved_pct : float;  (** latency saving vs the one-shot, percent *)
+  it_stop : string;  (** why the loop ended *)
+  it_rounds : iter_round list;
+}
+
 type payload =
   | Pong of { pong_pid : int }
       (** liveness probe reply, carrying the answering process's pid *)
@@ -90,6 +115,10 @@ type payload =
   | Transformed of transformed
   | Simulated of simulated
   | Emitted of { format : Request.emit_format; text : string }
+  | Iterated of iterated
+  | Stats of { st_source : string; st_gauges : (string * int) list }
+      (** serving-tier gauges; [st_source] names the answering tier
+          ("router" or "exec") *)
 
 type error =
   | Usage of string  (** the request itself is wrong *)

@@ -88,6 +88,9 @@ type optimized_result = {
   kernel : Graph.t;  (** graph after operative kernel extraction *)
   transformed : Hls_fragment.Transform.t;
   schedule : Hls_sched.Frag_sched.t;
+  iteration : Hls_iter.Iter.outcome option;
+      (** per-round audit of the feedback-guided scheduling loop; [None]
+          when the point ran one-shot ([config.iterate = 0]) *)
 }
 
 (** Behavioural transformation of the specification graph, before any
@@ -128,22 +131,24 @@ type prepared = {
     wavefront region-parallel over the domain pool — worthwhile on large
     multi-region kernels, pure overhead on small ones, so serial stays
     the default. *)
-let prepared_of_kernel ?workers kernel =
+let prepared_of_kernel ?workers ?pool kernel =
   let net = span "bitnet" (fun () -> Hls_timing.Bitnet.build kernel) in
   let arrival =
     span "arrival" (fun () ->
-        match workers with
-        | Some w when w > 1 -> Hls_timing.Arrival.of_net_parallel ~workers:w net
+        match (workers, pool) with
+        | _, Some p -> Hls_timing.Arrival.of_net_parallel ?workers ~pool:p net
+        | Some w, None when w > 1 ->
+            Hls_timing.Arrival.of_net_parallel ~workers:w net
         | _ -> Hls_timing.Arrival.of_net net)
   in
   { p_kernel = kernel; p_net = net; p_arrival = arrival; p_xform = [] }
 
 (** Behavioural transformation, kernel extraction, then the
     latency-independent timing prework. *)
-let prepare ?transform ?verify ?workers graph =
+let prepare ?transform ?verify ?workers ?pool graph =
   let g, log = transform_graph ?transform ?verify graph in
   let kernel = span "kernel" (fun () -> Hls_kernel.Extract.run g) in
-  { (prepared_of_kernel ?workers kernel) with p_xform = log }
+  { (prepared_of_kernel ?workers ?pool kernel) with p_xform = log }
 
 (** One record for every per-point knob of the optimized flow.
     [transform] and [verify] only matter to the entry points that start
@@ -156,15 +161,19 @@ type config = {
   balance : bool;
   transform : Hls_xform.Recipe.t;
   verify : Hls_xform.Verify.policy;
+  iterate : int;
+      (** accepted-round budget of the feedback-guided scheduling loop;
+          0 (the default) keeps the one-shot greedy schedule *)
 }
 
 let default_config =
   { lib = Hls_techlib.default; policy = `Full; balance = true;
-    transform = Hls_xform.Recipe.none; verify = Hls_xform.Verify.Off }
+    transform = Hls_xform.Recipe.none; verify = Hls_xform.Verify.Off;
+    iterate = 0 }
 
 let make_config ?(lib = Hls_techlib.default) ?(policy = `Full)
     ?(balance = true) ?cleanup ?transform
-    ?(verify = Hls_xform.Verify.Off) () =
+    ?(verify = Hls_xform.Verify.Off) ?(iterate = 0) () =
   (* [cleanup] is the historic boolean this record used to carry; it maps
      onto the "cleanup" preset recipe.  An explicit [transform] wins. *)
   let transform =
@@ -173,14 +182,14 @@ let make_config ?(lib = Hls_techlib.default) ?(policy = `Full)
     | None, Some true -> Hls_xform.Recipe.cleanup
     | None, (Some false | None) -> Hls_xform.Recipe.none
   in
-  { lib; policy; balance; transform; verify }
+  { lib; policy; balance; transform; verify; iterate }
 
 (** The per-point suffix of the optimized flow on prepared timing state:
     cycle estimation + fragmentation ([policy]), fragment scheduling
     ([balance]), dedicated-adder binding.  The kernel's net and arrival are
     reused, so a latency sweep pays for them once. *)
-let optimized_of_prepared ?(lib = Hls_techlib.default) ?policy ?balance p
-    ~latency =
+let optimized_of_prepared ?(lib = Hls_techlib.default) ?policy ?balance
+    ?(iterate = 0) p ~latency =
   (* Transform.run = Mobility.compute + Transform.apply; split here so the
      two phases span separately. *)
   let plan =
@@ -195,6 +204,21 @@ let optimized_of_prepared ?(lib = Hls_techlib.default) ?policy ?balance p
     span "schedule" (fun () ->
         Hls_sched.Frag_sched.schedule ?balance transformed)
   in
+  (* The feedback loop only ever drops cycles at a chain no longer than
+     the one-shot's, so binding the iterated schedule is never worse than
+     binding the one-shot.  The kernel's net and arrival serve every
+     re-planning round. *)
+  let schedule, iteration =
+    if iterate > 0 then begin
+      let o =
+        span "iterate" (fun () ->
+            Hls_iter.Iter.improve ?balance ?policy ~net:p.p_net
+              ~arrival:p.p_arrival ~max_rounds:iterate schedule)
+      in
+      (o.Hls_iter.Iter.o_schedule, Some o)
+    end
+    else (schedule, None)
+  in
   let dp = span "bind" (fun () -> Hls_alloc.Bind_frag.bind schedule) in
   {
     opt_report =
@@ -205,6 +229,7 @@ let optimized_of_prepared ?(lib = Hls_techlib.default) ?policy ?balance p
     kernel = p.p_kernel;
     transformed;
     schedule;
+    iteration;
   }
 
 (** The single supported per-point entry: the optimized-flow suffix under
@@ -213,10 +238,22 @@ let optimized_of_prepared ?(lib = Hls_techlib.default) ?policy ?balance p
 let run config p ~latency =
   match
     optimized_of_prepared ~lib:config.lib ~policy:config.policy
-      ~balance:config.balance p ~latency
+      ~balance:config.balance ~iterate:config.iterate p ~latency
   with
   | r -> Ok r
   | exception e -> Error (classify_exn e)
+
+(** Like {!run} with iteration forced on (at least one round), returning
+    the per-round audit alongside the result. *)
+let run_iterated config p ~latency =
+  let config = { config with iterate = max 1 config.iterate } in
+  match run config p ~latency with
+  | Ok ({ iteration = Some o; _ } as r) -> Ok (r, o)
+  | Ok { iteration = None; _ } ->
+      Error
+        (Hls_util.Failure.Internal
+           (Stdlib.Failure "iterated run produced no audit"))
+  | Error e -> Error e
 
 (** {!prepare} + {!run} from a bare behavioural graph; preparation faults
     are classified too, so no exception escapes. *)

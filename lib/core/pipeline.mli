@@ -32,6 +32,9 @@ type optimized_result = {
   kernel : Hls_dfg.Graph.t;  (** graph after operative kernel extraction *)
   transformed : Hls_fragment.Transform.t;
   schedule : Hls_sched.Frag_sched.t;
+  iteration : Hls_iter.Iter.outcome option;
+      (** per-round audit of the feedback-guided scheduling loop; [None]
+          when the point ran one-shot ([config.iterate = 0]) *)
 }
 
 (** The shared, latency-independent prefix of the optimized flow: the
@@ -57,14 +60,18 @@ type prepared = {
     latency-independent timing prework (the kernel's dependency net and
     arrival analysis).  [workers > 1] runs the arrival wavefront
     region-parallel over the domain pool ({!Hls_timing.Arrival.of_net_parallel})
-    — worthwhile on large multi-region kernels; serial is the default. *)
+    — worthwhile on large multi-region kernels; serial is the default.
+    [pool] runs the same region jobs on an existing shared domain pool
+    ({!Hls_pool.Shared}) instead of spawning domains per call — the
+    serving tier batches many requests' timing jobs onto one pool. *)
 val prepare :
   ?transform:Hls_xform.Recipe.t -> ?verify:Hls_xform.Verify.policy ->
-  ?workers:int -> Hls_dfg.Graph.t -> prepared
+  ?workers:int -> ?pool:Hls_pool.Shared.t -> Hls_dfg.Graph.t -> prepared
 
 (** Extend an already extracted kernel with its timing prework.
-    [workers] as in {!prepare}. *)
-val prepared_of_kernel : ?workers:int -> Hls_dfg.Graph.t -> prepared
+    [workers] and [pool] as in {!prepare}. *)
+val prepared_of_kernel :
+  ?workers:int -> ?pool:Hls_pool.Shared.t -> Hls_dfg.Graph.t -> prepared
 
 (** One record for every per-point knob of the optimized flow.
     [transform] (a behavioural transformation recipe applied before
@@ -78,6 +85,10 @@ type config = {
   balance : bool;
   transform : Hls_xform.Recipe.t;
   verify : Hls_xform.Verify.policy;
+  iterate : int;
+      (** accepted-round budget of the feedback-guided scheduling loop
+          ({!Hls_iter.Iter}); 0 (the default) keeps the one-shot greedy
+          schedule *)
 }
 
 (** Ripple library, [`Full] fragmentation, balanced scheduling, no
@@ -90,7 +101,7 @@ val default_config : config
 val make_config :
   ?lib:Hls_techlib.t -> ?policy:Hls_fragment.Mobility.policy ->
   ?balance:bool -> ?cleanup:bool -> ?transform:Hls_xform.Recipe.t ->
-  ?verify:Hls_xform.Verify.policy -> unit -> config
+  ?verify:Hls_xform.Verify.policy -> ?iterate:int -> unit -> config
 
 (** The single supported per-point entry of the optimized flow: cycle
     estimation → fragmentation → fragment scheduling → binding on
@@ -104,6 +115,13 @@ val make_config :
 val run :
   config -> prepared -> latency:int ->
   (optimized_result, Hls_util.Failure.t) result
+
+(** Like {!run} with iteration forced on (at least one round even when
+    [config.iterate = 0]), returning the per-round audit alongside the
+    result — the [iterate] verb's entry point. *)
+val run_iterated :
+  config -> prepared -> latency:int ->
+  (optimized_result * Hls_iter.Iter.outcome, Hls_util.Failure.t) result
 
 (** {!prepare} (honouring [config.transform] and [config.verify]) +
     {!run} from a bare behavioural graph; preparation faults are

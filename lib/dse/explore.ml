@@ -140,7 +140,8 @@ let run_round ~cache ~digest ~graph ~kernels ~workers ~timeout_s ~retry
             let prepared = List.assoc job.Space.recipe kernels in
             let config =
               Pipeline.make_config ~lib:job.Space.lib
-                ~policy:job.Space.policy ~balance:job.Space.balance ()
+                ~policy:job.Space.policy ~balance:job.Space.balance
+                ~iterate:job.Space.iterate ()
             in
             match
               Pipeline.run config prepared ~latency:job.Space.latency
@@ -403,6 +404,7 @@ let job_to_json (j : Space.job) =
       ("lib", Dse_json.String j.Space.lib_name);
       ("balance", Dse_json.Bool j.Space.balance);
       ("recipe", Dse_json.String j.Space.recipe);
+      ("iterate", Dse_json.Int j.Space.iterate);
     ]
 
 let transform_summary_to_json s =
@@ -529,7 +531,13 @@ let job_of_json j =
       ~none:(Printf.sprintf "explore json: unknown library %S" lib_name)
       (Space.lib_of_name lib_name)
   in
-  Ok { Space.latency; policy; lib_name; lib; balance; recipe }
+  (* Absent in pre-axis sweep files: default to one-shot. *)
+  let iterate =
+    match Option.bind (Dse_json.member "iterate" j) Dse_json.to_int with
+    | Some i -> i
+    | None -> 0
+  in
+  Ok { Space.latency; policy; lib_name; lib; balance; recipe; iterate }
 
 let transform_summary_of_json j =
   let* t_recipe = of_json_field "recipe" Dse_json.to_str j in

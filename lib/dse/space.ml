@@ -14,6 +14,7 @@ type t = {
   libs : (string * Hls_techlib.t) list;
   balance : bool list;
   recipes : string list;
+  iterates : int list;
 }
 
 type job = {
@@ -23,6 +24,7 @@ type job = {
   lib : Hls_techlib.t;
   balance : bool;
   recipe : string;
+  iterate : int;
 }
 
 type axis_error =
@@ -58,7 +60,7 @@ let checked_axis ~axis ~render values =
 
 let make ?(latencies = [ 3; 4; 5; 6 ]) ?(policies = [ `Full ])
     ?(libs = [ ("ripple", Hls_techlib.default) ]) ?(balance = [ true ])
-    ?(recipes = [ "none" ]) () =
+    ?(recipes = [ "none" ]) ?(iterates = [ 0 ]) () =
   let ( let* ) = Result.bind in
   let* () = checked_axis ~axis:"latency" ~render:string_of_int latencies in
   let* () =
@@ -69,6 +71,7 @@ let make ?(latencies = [ 3; 4; 5; 6 ]) ?(policies = [ `Full ])
   let* () = checked_axis ~axis:"library" ~render:fst libs in
   let* () = checked_axis ~axis:"balance" ~render:string_of_bool balance in
   let* () = checked_axis ~axis:"recipe" ~render:Fun.id recipes in
+  let* () = checked_axis ~axis:"iterate" ~render:string_of_int iterates in
   let* () =
     List.fold_left
       (fun acc spec ->
@@ -78,16 +81,16 @@ let make ?(latencies = [ 3; 4; 5; 6 ]) ?(policies = [ `Full ])
         | Error reason -> Error (Bad_recipe { spec; reason }))
       (Ok ()) recipes
   in
-  Ok { latencies; policies; libs; balance; recipes }
+  Ok { latencies; policies; libs; balance; recipes; iterates }
 
-let make_exn ?latencies ?policies ?libs ?balance ?recipes () =
-  match make ?latencies ?policies ?libs ?balance ?recipes () with
+let make_exn ?latencies ?policies ?libs ?balance ?recipes ?iterates () =
+  match make ?latencies ?policies ?libs ?balance ?recipes ?iterates () with
   | Ok s -> s
   | Error e -> invalid_arg ("Space.make: " ^ axis_error_to_string e)
 
 let size (s : t) =
   List.length s.latencies * List.length s.policies * List.length s.libs
-  * List.length s.balance * List.length s.recipes
+  * List.length s.balance * List.length s.recipes * List.length s.iterates
 
 let jobs (s : t) =
   List.concat_map
@@ -98,9 +101,13 @@ let jobs (s : t) =
             (fun (lib_name, lib) ->
               List.concat_map
                 (fun balance ->
-                  List.map
+                  List.concat_map
                     (fun recipe ->
-                      { latency; policy; lib_name; lib; balance; recipe })
+                      List.map
+                        (fun iterate ->
+                          { latency; policy; lib_name; lib; balance; recipe;
+                            iterate })
+                        s.iterates)
                     s.recipes)
                 s.balance)
             s.libs)
@@ -121,17 +128,22 @@ let lib_of_name name = List.assoc_opt name known_libs
 
 (* The canonical parameter string of a job: display label and the
    parameter half of the cache key, so it must mention every axis. *)
+(* The [iter] suffix appears only when the job iterates, so one-shot keys
+   are byte-identical to those of caches written before the axis existed. *)
 let job_key j =
-  Printf.sprintf "lat=%d policy=%s lib=%s balance=%b xform=%s" j.latency
+  Printf.sprintf "lat=%d policy=%s lib=%s balance=%b xform=%s%s" j.latency
     (policy_name j.policy) j.lib_name j.balance j.recipe
+    (if j.iterate > 0 then Printf.sprintf " iter=%d" j.iterate else "")
 
 (* Total order over the full parameter tuple (latency numerically first,
    then the remaining axes); the stable sort key that makes sweep reports
    reproducible whatever the round structure or worker count. *)
 let compare_job a b =
   compare
-    (a.latency, policy_name a.policy, a.lib_name, a.balance, a.recipe)
-    (b.latency, policy_name b.policy, b.lib_name, b.balance, b.recipe)
+    (a.latency, policy_name a.policy, a.lib_name, a.balance, a.recipe,
+     a.iterate)
+    (b.latency, policy_name b.policy, b.lib_name, b.balance, b.recipe,
+     b.iterate)
 
 (* Latency-axis specifications: "4", "2:6", "2:10:2", "3,5,7". *)
 let parse_latencies spec =
@@ -173,10 +185,11 @@ let parse_latencies spec =
 
 let pp ppf (s : t) =
   Format.fprintf ppf
-    "@[<v>latencies: %s@ policies: %s@ libraries: %s@ balance: %s@ recipes: %s@ jobs: %d@]"
+    "@[<v>latencies: %s@ policies: %s@ libraries: %s@ balance: %s@ recipes: %s@ iterates: %s@ jobs: %d@]"
     (String.concat ", " (List.map string_of_int s.latencies))
     (String.concat ", " (List.map policy_name s.policies))
     (String.concat ", " (List.map fst s.libs))
     (String.concat ", " (List.map string_of_bool s.balance))
     (String.concat ", " s.recipes)
+    (String.concat ", " (List.map string_of_int s.iterates))
     (size s)

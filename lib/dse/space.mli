@@ -10,6 +10,9 @@ type t = {
   recipes : string list;
       (** behavioural transformation recipe specs ({!Hls_xform.Recipe});
           ["none"] is the identity *)
+  iterates : int list;
+      (** feedback-iteration round budgets ({!Hls_iter.Iter}); [0] is
+          one-shot scheduling *)
 }
 
 type job = {
@@ -19,6 +22,7 @@ type job = {
   lib : Hls_techlib.t;
   balance : bool;
   recipe : string;  (** the recipe spec as given on the axis *)
+  iterate : int;  (** feedback-iteration budget; 0 = one-shot *)
 }
 
 (** Why a sweep description is not a sweep: an axis with no values, the
@@ -34,13 +38,14 @@ val axis_error_to_string : axis_error -> string
 val pp_axis_error : Format.formatter -> axis_error -> unit
 
 (** Defaults: latencies 3–6, [`Full] policy, ripple library, balancing on,
-    the ["none"] recipe. *)
+    the ["none"] recipe, no iteration. *)
 val make :
   ?latencies:int list ->
   ?policies:Hls_fragment.Mobility.policy list ->
   ?libs:(string * Hls_techlib.t) list ->
   ?balance:bool list ->
   ?recipes:string list ->
+  ?iterates:int list ->
   unit -> (t, axis_error) result
 
 (** [make], raising [Invalid_argument] on an axis error. *)
@@ -50,6 +55,7 @@ val make_exn :
   ?libs:(string * Hls_techlib.t) list ->
   ?balance:bool list ->
   ?recipes:string list ->
+  ?iterates:int list ->
   unit -> t
 
 val size : t -> int
@@ -66,7 +72,8 @@ val known_libs : (string * Hls_techlib.t) list
 val lib_of_name : string -> Hls_techlib.t option
 
 (** Canonical parameter string: display label and the parameter half of
-    the cache key (mentions every axis). *)
+    the cache key (mentions every axis; the iterate suffix appears only
+    for iterating jobs, so pre-axis cache keys stay valid). *)
 val job_key : job -> string
 
 (** Total order over the full parameter tuple (latency numerically,

@@ -655,6 +655,27 @@ let serve ?(stop = Atomic.make false) ?(handle_signals = false)
               respond_client conn
                 { Resp.id;
                   result = Ok (Resp.Pong { pong_pid = Unix.getpid () }) }
+          | R.Stats ->
+              (* Answered from the router's own counters — a stats probe
+                 must work even when the whole fleet is down. *)
+              respond_client conn
+                { Resp.id;
+                  result =
+                    Ok
+                      (Resp.Stats
+                         {
+                           st_source = "router";
+                           st_gauges =
+                             [
+                               ("pid", Unix.getpid ());
+                               ("served", Atomic.get stats.served);
+                               ("failovers", Atomic.get stats.failovers);
+                               ("respawns", Atomic.get stats.respawns);
+                               ("shed", Atomic.get stats.shed);
+                               ("healthy", Atomic.get stats.healthy);
+                               ("inflight", inflight_load ());
+                             ];
+                         }) }
           | _ -> (
               match deadline with
               | Some d when now_ms () > d ->

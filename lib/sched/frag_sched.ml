@@ -57,13 +57,22 @@ let window_caps (tr : Transform.t) ~latency ~n_bits g id _bit =
       w_alap * n_bits
   | _ -> latency * n_bits
 
-let schedule ?(balance = true) (tr : Transform.t) =
+let schedule ?(balance = true) ?chain_cap ?pin ?net (tr : Transform.t) =
   let g = tr.Transform.graph in
   let plan = tr.Transform.plan in
   let latency = plan.Hls_fragment.Mobility.latency in
   let n_bits = plan.Hls_fragment.Mobility.n_bits in
+  (* The chaining cap may only tighten the budget: cycles stay [n_bits] δ
+     apart in absolute-slot space, so the deadline analysis (a necessity
+     bound under the full budget) remains sound under the cap. *)
+  let cap =
+    match chain_cap with
+    | None -> n_bits
+    | Some c when c >= 1 -> min c n_bits
+    | Some c -> raise (Infeasible (Printf.sprintf "chain cap %d below 1 δ" c))
+  in
   let n_nodes = Graph.node_count g in
-  let net = Bitnet.build g in
+  let net = match net with Some n -> n | None -> Bitnet.build g in
   let cycle_of = Array.make n_nodes 0 in
   let bit_time = Array.make n_nodes [||] in
   (* Deadlines honour each fragment's window: a bit of a fragment whose
@@ -99,7 +108,7 @@ let schedule ?(balance = true) (tr : Transform.t) =
             ready := t.bt_slot
         done;
         let slot = !ready + net.Bitnet.cost.(b) in
-        if slot > n_bits then ok := false;
+        if slot > cap then ok := false;
         times.(pos) <- { bt_cycle = cycle; bt_slot = slot };
         if
           absolute ~n_bits times.(pos)
@@ -131,6 +140,17 @@ let schedule ?(balance = true) (tr : Transform.t) =
       match n.kind with
       | Add ->
           let w_asap, w_alap = tr.Transform.windows.(n.id) in
+          (* A pin narrows the candidate range to one cycle (the iteration
+             driver pins fragments outside the region being reworked); a
+             pin outside the window is ignored rather than made fatal. *)
+          let w_asap, w_alap =
+            match pin with
+            | None -> (w_asap, w_alap)
+            | Some f -> (
+                match f n.id with
+                | Some c when c >= w_asap && c <= w_alap -> (c, c)
+                | Some _ | None -> (w_asap, w_alap))
+          in
           (* δ-costly bits claim adder area; pure carry columns do not. *)
           let weight = Bitnet.costly_width net ~id:n.id in
           let best = ref None in

@@ -28,8 +28,27 @@ val graph : t -> Hls_dfg.Graph.t
 
 (** Schedule a transformed specification; raises {!Infeasible} when some
     fragment has no feasible cycle in its window.  The feasibility probe
-    runs on a prebuilt {!Hls_timing.Bitnet}. *)
-val schedule : ?balance:bool -> Hls_fragment.Transform.t -> t
+    runs on a prebuilt {!Hls_timing.Bitnet} ([net] when given, else built
+    here).
+
+    [chain_cap] tightens the per-cycle chaining budget below the clock
+    period: no bit may settle later than δ slot [min chain_cap n_bits] of
+    its cycle.  This is the iteration driver's lever — asking the greedy
+    pass for a schedule whose achieved {!used_delta} beats the previous
+    round.  Raises {!Infeasible} when the cap is below 1.
+
+    [pin] restricts an Add fragment to a single candidate cycle
+    ([pin id = Some c] narrows the window to [c] when [c] lies inside it;
+    [None] leaves the window alone).  The iteration driver pins fragments
+    outside the critical region so re-scheduling only moves the region
+    under rework. *)
+val schedule :
+  ?balance:bool ->
+  ?chain_cap:int ->
+  ?pin:(Hls_dfg.Types.node_id -> int option) ->
+  ?net:Hls_timing.Bitnet.t ->
+  Hls_fragment.Transform.t ->
+  t
 
 (** Per-query {!Hls_timing.Bitdep.bit_deps} scheduler: the executable
     reference for property tests and benchmark baselines.  Produces the

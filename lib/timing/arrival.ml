@@ -70,9 +70,12 @@ let of_net (net : Bitnet.t) =
     their own region, so the result is bit-identical to the serial sweep.
     Falls back to {!of_net} when the net has a single region or
     [workers <= 1]. *)
-let of_net_parallel ?workers (net : Bitnet.t) =
+let of_net_parallel ?workers ?pool (net : Bitnet.t) =
   let workers =
-    match workers with Some w -> w | None -> Hls_pool.default_workers ()
+    match (workers, pool) with
+    | Some w, _ -> w
+    | None, Some p -> Hls_pool.Shared.workers p
+    | None, None -> Hls_pool.default_workers ()
   in
   let n_regions = Bitnet.n_regions net in
   if workers <= 1 || n_regions <= 1 then of_net net
@@ -83,11 +86,20 @@ let of_net_parallel ?workers (net : Bitnet.t) =
         sweep_node net slots net.Bitnet.comp_nodes.(i)
       done
     in
-    let outcomes = Hls_pool.run ~workers (Array.init n_regions sweep_region) in
     let all_done =
-      Array.for_all
-        (fun o -> match o with Hls_pool.Done () -> true | _ -> false)
-        outcomes
+      match pool with
+      | Some p ->
+          (* The shared pool's domains are already up: many requests'
+             region batches interleave on one set of workers instead of
+             spawning domains per request. *)
+          Hls_pool.Shared.run_list p (List.init n_regions sweep_region) = Ok ()
+      | None ->
+          let outcomes =
+            Hls_pool.run ~workers (Array.init n_regions sweep_region)
+          in
+          Array.for_all
+            (fun o -> match o with Hls_pool.Done () -> true | _ -> false)
+            outcomes
     in
     if all_done then { bit_base = net.Bitnet.bit_base; slots }
     else
@@ -95,6 +107,42 @@ let of_net_parallel ?workers (net : Bitnet.t) =
          the serial sweep is always available. *)
       of_net net
   end
+
+(** Incremental re-timing: arrival slots of [net] given [told], the
+    arrival of a net with the identical bit layout whose dependency rows
+    differ only at the [dirty] nodes (the {!Bitnet.rebuild_dirty}
+    contract).  Nodes are re-swept in wavefront order starting from the
+    dirty set; a node whose slots come out unchanged stops the
+    propagation, so the work is proportional to the affected cone, not
+    the graph.  Bit-identical to [of_net net]. *)
+let update_of_net (net : Bitnet.t) told ~dirty =
+  let n_nodes = Array.length net.Bitnet.bit_base - 1 in
+  let slots = Array.copy told.slots in
+  let affected = Array.make (max n_nodes 1) false in
+  List.iter
+    (fun id -> if id >= 0 && id < n_nodes then affected.(id) <- true)
+    dirty;
+  let swept = ref 0 in
+  (* [level_nodes] is every node in wavefront order: a cross-node
+     consumer sits at a strictly higher level than its producer, so
+     marking consumers of a changed node always marks nodes not yet
+     visited. *)
+  for i = 0 to n_nodes - 1 do
+    let id = net.Bitnet.level_nodes.(i) in
+    if affected.(id) then begin
+      incr swept;
+      sweep_node net slots id;
+      for b = net.Bitnet.bit_base.(id) to net.Bitnet.bit_base.(id + 1) - 1 do
+        if slots.(b) <> told.slots.(b) then
+          for k = net.Bitnet.rdep_off.(b) to net.Bitnet.rdep_off.(b + 1) - 1 do
+            let c = Bitnet.node_of_slot net net.Bitnet.rdeps.(k) in
+            if c <> id then affected.(c) <- true
+          done
+      done
+    end
+  done;
+  if !swept > 0 then Hls_telemetry.count ~n:!swept "timing.incremental_nodes";
+  { bit_base = net.Bitnet.bit_base; slots }
 
 let compute graph = of_net (Bitnet.build graph)
 

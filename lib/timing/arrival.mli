@@ -24,7 +24,16 @@ val of_net : Bitnet.t -> t
     shared slot array, so the result is bit-identical to the serial
     sweep; single-region nets and [workers <= 1] fall back to
     {!of_net}. *)
-val of_net_parallel : ?workers:int -> Bitnet.t -> t
+val of_net_parallel : ?workers:int -> ?pool:Hls_pool.Shared.t -> Bitnet.t -> t
+
+(** [update_of_net net told ~dirty] — incremental re-timing.  [net] must
+    share its flat bit layout with the net [told] was computed on, with
+    dependency rows differing only at the [dirty] node ids (exactly what
+    {!Bitnet.rebuild_dirty} produces).  Re-sweeps only the cone reachable
+    from the dirty set, pruning where recomputed slots come out
+    unchanged; bit-identical to [of_net net]. *)
+val update_of_net :
+  Bitnet.t -> t -> dirty:Hls_dfg.Types.node_id list -> t
 
 (** Compute arrival slots for every bit of every node.  Equivalent to
     [of_net (Bitnet.build graph)]. *)

@@ -98,21 +98,26 @@ let ivec_push v x =
   v.a.(v.len) <- x;
   v.len <- v.len + 1
 
-let build graph =
-  let n_nodes = Graph.node_count graph in
-  let bit_base = Array.make (n_nodes + 1) 0 in
-  for id = 0 to n_nodes - 1 do
-    let w = (Graph.node graph id).width in
-    if w >= max_width then
-      invalid_arg
-        (Printf.sprintf "Bitnet.build: node %d width %d exceeds %d" id w
-           max_width);
-    bit_base.(id + 1) <- bit_base.(id) + w
+let ivec_blit v src pos len =
+  let cap = ref (Array.length v.a) in
+  while v.len + len > !cap do
+    cap := 2 * !cap
   done;
-  let total_bits = bit_base.(n_nodes) in
-  let cost = Array.make total_bits 0 in
-  let dep_off = Array.make (total_bits + 1) 0 in
-  let deps = ivec_create () in
+  if !cap > Array.length v.a then begin
+    let a' = Array.make !cap 0 in
+    Array.blit v.a 0 a' 0 v.len;
+    v.a <- a'
+  end;
+  Array.blit src pos v.a v.len len;
+  v.len <- v.len + len
+
+(* The dependency model of one node: emit the δ cost and packed rows of
+   every result bit into the shared [deps] buffer, recording
+   [cost.(base + pos)] and [dep_off.(base + pos + 1) = deps.len].  A
+   node's rows depend only on its own kind/operands/width — never on the
+   rest of the graph — which is what makes [rebuild_dirty] sound: clean
+   nodes' spans can be blitted verbatim from the previous net. *)
+let emit_node deps cost dep_off ~base (n : node) =
   (* Emit the source bit feeding computation position [pos] through
      operand [o] (nothing for Input/Const sources or zero padding). *)
   let push_operand_bit (o : operand) pos =
@@ -137,9 +142,7 @@ let build graph =
     | Input _ | Const _ -> ()
   in
   let push_carry pos = if pos > 0 then ivec_push deps (pack_self (pos - 1)) in
-  Graph.iter_nodes
-    (fun (n : node) ->
-      let base = bit_base.(n.id) in
+  begin
       (* One-time operand array: no List.nth walk per bit. *)
       let ops = Array.of_list n.operands in
       let op i = ops.(i) in
@@ -270,14 +273,37 @@ let build graph =
         in
         cost.(base + pos) <- c;
         dep_off.(base + pos + 1) <- deps.len
-      done)
-    graph;
+      done
+  end
+
+(* Node widths (and a width-bound check) folded into the flat bit
+   layout. *)
+let bases_of graph =
+  let n_nodes = Graph.node_count graph in
+  let bit_base = Array.make (n_nodes + 1) 0 in
+  for id = 0 to n_nodes - 1 do
+    let w = (Graph.node graph id).width in
+    if w >= max_width then
+      invalid_arg
+        (Printf.sprintf "Bitnet.build: node %d width %d exceeds %d" id w
+           max_width);
+    bit_base.(id + 1) <- bit_base.(id) + w
+  done;
+  bit_base
+
+(* Everything downstream of the dependency rows: cheap O(V + E) int
+   passes deriving the prefix counts, the flat re-encoding, the
+   wavefront levels, the region partition and the transpose.  Shared by
+   [build] and [rebuild_dirty] so both construction paths are
+   definitionally identical past the rows. *)
+let derive graph ~bit_base ~cost ~dep_off ~deps =
+  let n_nodes = Graph.node_count graph in
+  let total_bits = bit_base.(n_nodes) in
   let costly_prefix = Array.make (total_bits + 1) 0 in
   for b = 0 to total_bits - 1 do
     costly_prefix.(b + 1) <-
       costly_prefix.(b) + (if cost.(b) > 0 then 1 else 0)
   done;
-  let deps = Array.sub deps.a 0 deps.len in
   let n_deps = Array.length deps in
   (* Flat re-encoding: the wavefront kernels load a source slot with one
      array indirection, so the tag decode happens here, once per graph. *)
@@ -457,6 +483,68 @@ let build graph =
     rdeps;
   }
 
+let build graph =
+  let bit_base = bases_of graph in
+  let n_nodes = Graph.node_count graph in
+  let total_bits = bit_base.(n_nodes) in
+  let cost = Array.make total_bits 0 in
+  let dep_off = Array.make (total_bits + 1) 0 in
+  let deps = ivec_create () in
+  Graph.iter_nodes
+    (fun (n : node) -> emit_node deps cost dep_off ~base:bit_base.(n.id) n)
+    graph;
+  let deps = Array.sub deps.a 0 deps.len in
+  derive graph ~bit_base ~cost ~dep_off ~deps
+
+let rebuild_dirty old graph ~dirty =
+  let n_nodes = Graph.node_count graph in
+  if n_nodes <> Array.length old.bit_base - 1 then None
+  else begin
+    let same_layout = ref true in
+    for id = 0 to n_nodes - 1 do
+      if
+        (Graph.node graph id).width
+        <> old.bit_base.(id + 1) - old.bit_base.(id)
+      then same_layout := false
+    done;
+    if not !same_layout then None
+    else begin
+      let bit_base = old.bit_base in
+      let total_bits = bit_base.(n_nodes) in
+      let is_dirty = Array.make (max n_nodes 1) false in
+      List.iter
+        (fun id -> if id >= 0 && id < n_nodes then is_dirty.(id) <- true)
+        dirty;
+      let cost = Array.copy old.cost in
+      let dep_off = Array.make (total_bits + 1) 0 in
+      let deps = ivec_create () in
+      let dirty_nodes = ref 0 in
+      for id = 0 to n_nodes - 1 do
+        if is_dirty.(id) then begin
+          incr dirty_nodes;
+          emit_node deps cost dep_off ~base:bit_base.(id)
+            (Graph.node graph id)
+        end
+        else begin
+          (* Clean rows are untouched by an edit elsewhere: blit the old
+             span and rebase its offsets. *)
+          let lo = old.dep_off.(bit_base.(id)) in
+          let hi = old.dep_off.(bit_base.(id + 1)) in
+          ivec_blit deps old.deps lo (hi - lo);
+          for b = bit_base.(id) to bit_base.(id + 1) - 1 do
+            dep_off.(b + 1) <-
+              dep_off.(b) + old.dep_off.(b + 1) - old.dep_off.(b)
+          done
+        end
+      done;
+      let deps = Array.sub deps.a 0 deps.len in
+      Hls_telemetry.count "timing.rebuild_dirty";
+      if !dirty_nodes > 0 then
+        Hls_telemetry.count ~n:!dirty_nodes "timing.rebuild_dirty_nodes";
+      Some (derive graph ~bit_base ~cost ~dep_off ~deps)
+    end
+  end
+
 let total_bits t = t.bit_base.(Array.length t.bit_base - 1)
 let n_levels t = Array.length t.level_off - 1
 let n_regions t = Array.length t.comp_off - 1
@@ -471,6 +559,15 @@ let costly_in_range t ~id ~lo ~hi =
 
 (** δ-costly bits of the whole node. *)
 let costly_width t ~id = costly_in_range t ~id ~lo:0 ~hi:(width t ~id - 1)
+
+(** Owning node of a flat slot, by binary search over [bit_base]. *)
+let node_of_slot t slot =
+  let lo = ref 0 and hi = ref (Array.length t.bit_base - 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if t.bit_base.(mid) <= slot then lo := mid else hi := mid
+  done;
+  !lo
 
 let fold_deps t ~id ~bit ~init ~f =
   let b = t.bit_base.(id) + bit in

@@ -49,6 +49,19 @@ type t = {
     node is wider than the packed encoding allows (2^20 - 1 bits). *)
 val build : Hls_dfg.Graph.t -> t
 
+(** [rebuild_dirty old graph ~dirty] rebuilds the net of [graph] after an
+    edit confined to the [dirty] node ids, reusing [old] (the net of the
+    pre-edit graph).  The dependency model of a node reads only its own
+    kind/operands/width, so clean nodes' packed rows are blitted from
+    [old] and only dirty nodes re-run the model; the derived structures
+    (levels, regions, transpose) are recomputed with cheap O(V + E) int
+    passes.  The result is bit-identical to [build graph].
+
+    Returns [None] when the edit changed the node count or any node
+    width (the flat layout moved — fall back to {!build}). *)
+val rebuild_dirty :
+  t -> Hls_dfg.Graph.t -> dirty:Hls_dfg.Types.node_id list -> t option
+
 (** {2 Packed-dependency accessors}
 
     A dependency is one int: tag bit 0 distinguishes a same-node carry
@@ -86,6 +99,10 @@ val costly_in_range : t -> id:Hls_dfg.Types.node_id -> lo:int -> hi:int -> int
 
 (** δ-costly bits of the whole node, in O(1). *)
 val costly_width : t -> id:Hls_dfg.Types.node_id -> int
+
+(** Owning node of a flat [bit_base]-indexed slot, in O(log V) — the
+    inverse of [bit_base.(id) + bit]. *)
+val node_of_slot : t -> int -> Hls_dfg.Types.node_id
 
 (** Fold over the packed deps of one bit, allocation-free. *)
 val fold_deps :

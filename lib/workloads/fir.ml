@@ -1,0 +1,53 @@
+(* An 8-tap FIR filter kept as an [hls_speclang] source and elaborated on
+   demand — the registry's behavioural-language entry and the iteration
+   stress case: a row of constant multiplications feeding a three-level
+   adder reduction tree gives long additive chains whose schedule keeps
+   meaningful latency slack at moderate clock tiers. *)
+
+let fir8_src =
+  {|# Eight-tap FIR, 16-bit data, constant coefficients (one negative tap).
+module fir8;
+input x0 : 16 signed;
+input x1 : 16 signed;
+input x2 : 16 signed;
+input x3 : 16 signed;
+input x4 : 16 signed;
+input x5 : 16 signed;
+input x6 : 16 signed;
+input x7 : 16 signed;
+output y : 16;
+var p0 : 16;
+var p1 : 16;
+var p2 : 16;
+var p3 : 16;
+var p4 : 16;
+var p5 : 16;
+var p6 : 16;
+var p7 : 16;
+var c5 : 16;
+var s01 : 16;
+var s23 : 16;
+var s45 : 16;
+var s67 : 16;
+var t0 : 16;
+var t1 : 16;
+p0 = (1229'16 * x0)[15:0];
+p1 = (5266'16 * x1)[15:0];
+p2 = (10240'16 * x2)[15:0];
+p3 = (16388'16 * x3)[15:0];
+p4 = (10240'16 * x4)[15:0];
+c5 = 0 - 6144'16;
+p5 = (c5 * x5)[15:0];
+p6 = (5266'16 * x6)[15:0];
+p7 = (1229'16 * x7)[15:0];
+s01 = p0 + p1;
+s23 = p2 + p3;
+s45 = p4 + p5;
+s67 = p6 + p7;
+t0 = s01 + s23;
+t1 = s45 + s67;
+y = t0 + t1;
+end
+|}
+
+let fir8 () = Hls_speclang.Elaborate.from_string fir8_src

@@ -10,6 +10,7 @@ let all () =
     ("diffeq", Benchmarks.diffeq ());
     ("iir4", Benchmarks.iir4 ());
     ("fir2", Benchmarks.fir2 ());
+    ("fir8", Fir.fir8 ());
     ("adpcm-iaq", Adpcm.iaq ());
     ("adpcm-ttd", Adpcm.ttd ());
     ("adpcm-opfc-sca", Adpcm.opfc_sca ());

@@ -28,7 +28,7 @@ let test_request_golden () =
     {|{"v":1,"id":"7","method":"parse","params":{"spec":{"builtin":"chain3"}}}|}
     (J.to_string (Req.to_json ~id:"7" (Req.Parse { spec = Req.Builtin "chain3" })));
   check "report request"
-    {|{"v":1,"method":"report","params":{"spec":{"source":"x = a + b"},"latency":4,"config":{"lib":"ripple","policy":"full","balance":true,"transform":"none","verify":"off"},"target_ns":2.5}}|}
+    {|{"v":1,"method":"report","params":{"spec":{"source":"x = a + b"},"latency":4,"config":{"lib":"ripple","policy":"full","balance":true,"transform":"none","verify":"off","iterate":0},"target_ns":2.5}}|}
     (J.to_string
        (Req.to_json
           (Req.Report
@@ -39,7 +39,7 @@ let test_request_golden () =
                target_ns = Some 2.5;
              })));
   check "emit request"
-    {|{"v":1,"id":"c","method":"emit","params":{"spec":{"builtin":"fir2"},"latency":3,"format":"verilog-tb","config":{"lib":"ripple","policy":"full","balance":true,"transform":"none","verify":"off"}}}|}
+    {|{"v":1,"id":"c","method":"emit","params":{"spec":{"builtin":"fir2"},"latency":3,"format":"verilog-tb","config":{"lib":"ripple","policy":"full","balance":true,"transform":"none","verify":"off","iterate":0}}}|}
     (J.to_string
        (Req.to_json ~id:"c"
           (Req.Emit
@@ -159,6 +159,14 @@ let test_request_decode () =
           format = Req.Vhdl_netlist;
           config = Req.default_config;
         };
+      Req.Iterate
+        {
+          spec = Req.Builtin "fir8";
+          latency = 4;
+          rounds = 5;
+          config = { Req.default_config with iterate = 5 };
+        };
+      Req.Stats;
     ]
   in
   List.iter
@@ -279,6 +287,14 @@ let test_response_roundtrip () =
           params =
             { Req.default_explore_params with latencies = [ 3; 6 ]; jobs = Some 1 };
         };
+      Req.Iterate
+        {
+          spec = Req.Builtin "fir2";
+          latency = 6;
+          rounds = 3;
+          config = Req.default_config;
+        };
+      Req.Stats;
     ]
   in
   List.iter

@@ -30,6 +30,7 @@ let () =
       ("bitnet", Test_bitnet.suite);
       ("wavefront", Test_wavefront.suite);
       ("telemetry", Test_telemetry.suite);
+      ("iter", Test_iter.suite);
       ("api", Test_api.suite);
       ("router", Test_router.suite);
     ]
