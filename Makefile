@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke examples explore-smoke xform-smoke iter-smoke fault-smoke trace-smoke serve-smoke fleet-smoke check clean
+.PHONY: all build test bench bench-smoke examples explore-smoke xform-smoke iter-smoke fuzz-smoke fault-smoke trace-smoke serve-smoke fleet-smoke check clean
 
 all: build
 
@@ -81,6 +81,23 @@ bench-smoke:
 	grep -q '"regions":' $$out || { echo "bench-smoke: no kernel shape section"; exit 1; }; \
 	grep -q 'bench-assert: ok' $$log || { echo "bench-smoke: kernel-vs-reference assertion missing"; tail -20 $$log; exit 1; }; \
 	echo "bench-smoke: ok (timing bench runs, kernels beat references, JSON sane)"
+
+# Fuzzing smoke: a fixed-seed, budgeted run of all three lanes (spec
+# generation/emission round trips, differential transforms and
+# scheduling, wire-codec round trips) must come back with zero
+# mismatches.  `hlsopt fuzz` exits 1 on any mismatch, so the gate is
+# the exit code plus sanity greps over the rendered summary.
+fuzz-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf '$$dir EXIT; \
+	out=$$(dune exec bin/hlsopt.exe -- fuzz --seed 7 --budget 210 --max-seconds 120 --dir $$dir/corpus) \
+	  || { echo "fuzz-smoke: fuzz run failed or found mismatches"; echo "$$out" | tail -6; exit 1; }; \
+	echo "$$out" | grep -q '^seed 7: .* 0 mismatch(es)' \
+	  || { echo "fuzz-smoke: summary line missing"; echo "$$out" | tail -6; exit 1; }; \
+	for lane in spec diff codec; do \
+	  echo "$$out" | grep -q "^lane $$lane" \
+	    || { echo "fuzz-smoke: $$lane lane did not run"; exit 1; }; \
+	done; \
+	echo "fuzz-smoke: ok (210 cases over spec/diff/codec, zero mismatches)"
 
 # Resilience smoke: the sweep must ride out injected faults.
 #  1. A transient per-job fault with retries enabled still yields a
@@ -243,7 +260,7 @@ fleet-smoke:
 	grep -q 'router drained' $$dir/route.log || { echo "fleet-smoke: no drain message"; cat $$dir/route.log; exit 1; }; \
 	echo "fleet-smoke: ok (zero loss under SIGKILL, byte-identical answers, respawn, deadline shed, clean drain)"
 
-check: build test explore-smoke xform-smoke iter-smoke bench-smoke fault-smoke trace-smoke serve-smoke fleet-smoke
+check: build test explore-smoke xform-smoke iter-smoke fuzz-smoke bench-smoke fault-smoke trace-smoke serve-smoke fleet-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -431,9 +431,9 @@ let ablations () =
 let dse () =
   section "Design-space exploration — serial vs parallel sweep (lib/dse)";
   let g =
-    match Hls_workloads.Registry.find "elliptic" with
+    match Hls_workloads.Catalog.find_graph "elliptic" with
     | Some g -> g
-    | None -> failwith "elliptic missing from the workload registry"
+    | None -> failwith "elliptic missing from the workload catalog"
   in
   let space =
     Hls_dse.Space.make_exn
@@ -870,9 +870,9 @@ let timing () =
       ~seed:42 ()
   in
   let registry w =
-    match Hls_workloads.Registry.find w with
+    match Hls_workloads.Catalog.find_graph w with
     | Some g -> g
-    | None -> failwith (w ^ " missing from the workload registry")
+    | None -> failwith (w ^ " missing from the workload catalog")
   in
   let workloads =
     [
@@ -1247,7 +1247,81 @@ let timing () =
           (fun () ->
             Hls_timing.Deadline.compute_reference kernel ~total_slots:total)
           (fun () -> Hls_timing.Deadline.of_net net ~total_slots:total))
-      (Hls_workloads.Registry.all ());
+      (List.map
+         (fun e ->
+           (e.Hls_workloads.Catalog.name, Hls_workloads.Catalog.graph e))
+         (Hls_workloads.Catalog.all ()));
+    (* Gate the sections other benches merged into the same JSON file:
+       the iteration bench must not lose cycles against its own
+       one-shot, its incremental retime must not be a slowdown, and a
+       fuzz section reporting any mismatch is a correctness regression
+       regardless of speed. *)
+    (let module J = Hls_dse.Dse_json in
+     let doc =
+       if Sys.file_exists out then
+         let ic = open_in out in
+         let src =
+           Fun.protect
+             ~finally:(fun () -> close_in_noerr ic)
+             (fun () -> really_input_string ic (in_channel_length ic))
+         in
+         Result.to_option (J.of_string src)
+       else None
+     in
+     match doc with
+     | None -> ()
+     | Some doc ->
+         (match J.member "iteration" doc with
+         | None -> ()
+         | Some it ->
+             (match Option.bind (J.member "workloads" it) J.to_list with
+             | None -> ()
+             | Some rows ->
+                 List.iter
+                   (fun r ->
+                     let name =
+                       Option.value ~default:"?"
+                         (Option.bind (J.member "name" r) J.to_str)
+                     in
+                     match
+                       ( Option.bind (J.member "one_shot_cycles" r) J.to_int,
+                         Option.bind (J.member "iterated_cycles" r) J.to_int )
+                     with
+                     | Some one_shot, Some iterated when iterated > one_shot ->
+                         failed := true;
+                         Printf.eprintf
+                           "bench-assert: iteration/%s went backwards (%d -> \
+                            %d cycles)\n"
+                           name one_shot iterated
+                     | _ -> ())
+                   rows);
+             (match
+                Option.bind (J.member "incremental_retime" it) (fun r ->
+                    Option.bind (J.member "speedup" r) J.to_float)
+              with
+             | Some s when s < 1.0 ->
+                 failed := true;
+                 Printf.eprintf
+                   "bench-assert: incremental retime at %.2fx, slower than \
+                    from scratch\n"
+                   s
+             | _ ->
+                 Printf.printf
+                   "bench-assert: iteration section within bounds\n"));
+         (match J.member "fuzz" doc with
+         | None -> ()
+         | Some fz ->
+             (match Option.bind (J.member "mismatches" fz) J.to_int with
+             | Some m when m > 0 ->
+                 failed := true;
+                 Printf.eprintf
+                   "bench-assert: fuzz section recorded %d mismatch(es)\n" m
+             | _ -> ());
+             (match Option.bind (J.member "cases_per_s" fz) J.to_float with
+             | Some r when r <= 0. ->
+                 failed := true;
+                 Printf.eprintf "bench-assert: fuzz throughput is zero\n"
+             | _ -> Printf.printf "bench-assert: fuzz section within bounds\n")));
     if !failed then exit 1;
     print_endline
       "bench-assert: ok (arrival and deadline kernels at or above their \
@@ -1279,9 +1353,9 @@ let iter_bench () =
   let module Iter = Hls_iter.Iter in
   let module J = Hls_dse.Dse_json in
   let registry w =
-    match Hls_workloads.Registry.find w with
+    match Hls_workloads.Catalog.find_graph w with
     | Some g -> g
-    | None -> failwith (w ^ " missing from the workload registry")
+    | None -> failwith (w ^ " missing from the workload catalog")
   in
   let best_ns f =
     ignore (Sys.opaque_identity (f ()));
@@ -1414,6 +1488,99 @@ let iter_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzzing throughput (lib/fuzz): cases per second over a
+   fixed-seed run of all three lanes.  A mismatch here is a correctness
+   failure, not a slow bench — the run aborts the bench loudly.  With
+   --json --out FILE the figures merge into BENCH_timing.json under a
+   "fuzz" section, the same read-filter-append idiom as "serving" and
+   "iteration".                                                        *)
+
+let fuzz_bench () =
+  let flag f = Array.exists (( = ) f) Sys.argv in
+  let json = flag "--json" in
+  let out =
+    let r = ref "BENCH_timing.json" in
+    Array.iteri
+      (fun i a ->
+        if a = "--out" && i + 1 < Array.length Sys.argv then
+          r := Sys.argv.(i + 1))
+      Sys.argv;
+    !r
+  in
+  section "Differential fuzzing throughput (lib/fuzz), fixed seed";
+  let module D = Hls_fuzz.Driver in
+  let module J = Hls_dse.Dse_json in
+  let cfg =
+    D.make_config ~seed:7 ~budget:120 ~lanes:[ D.Spec; D.Diff; D.Codec ]
+      ~dir:(Filename.concat (Filename.get_temp_dir_name ()) "hls_fuzz_bench")
+      ~max_seconds:90. ~codec_case:Hls_api.Fuzz_codec.case ()
+  in
+  let s = D.run cfg in
+  if s.D.s_mismatches > 0 then
+    failwith
+      (Printf.sprintf "fuzz bench found %d mismatch(es); see %s"
+         s.D.s_mismatches cfg.D.dir);
+  Printf.printf "%-7s %7s %7s %8s\n" "lane" "cases" "skipped" "cases/s";
+  List.iter
+    (fun (l : D.lane_summary) ->
+      Printf.printf "%-7s %7d %7d %8.1f\n" l.D.l_lane l.D.l_cases
+        l.D.l_skipped
+        (float_of_int l.D.l_cases /. Float.max 1e-9 s.D.s_wall_s))
+    s.D.s_lanes;
+  let cases_per_s = float_of_int s.D.s_cases /. Float.max 1e-9 s.D.s_wall_s in
+  Printf.printf
+    "total: %d cases in %.1f s (%.1f cases/s), %d coverage features, 0 \
+     mismatches\n"
+    s.D.s_cases s.D.s_wall_s cases_per_s s.D.s_coverage;
+  if json then begin
+    (* merge (don't clobber): the timing bench owns the rest of the
+       file; this section rides alongside it *)
+    let existing =
+      if Sys.file_exists out then
+        let ic = open_in out in
+        let src =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match J.of_string src with Ok (J.Obj fields) -> fields | _ -> []
+      else []
+    in
+    let fuzz =
+      J.Obj
+        [
+          ("seed", J.Int s.D.s_seed);
+          ("cases", J.Int s.D.s_cases);
+          ("mismatches", J.Int s.D.s_mismatches);
+          ("skipped", J.Int s.D.s_skipped);
+          ("coverage", J.Int s.D.s_coverage);
+          ("wall_s", J.Float s.D.s_wall_s);
+          ("cases_per_s", J.Float cases_per_s);
+          ( "lanes",
+            J.List
+              (List.map
+                 (fun (l : D.lane_summary) ->
+                   J.Obj
+                     [
+                       ("lane", J.String l.D.l_lane);
+                       ("cases", J.Int l.D.l_cases);
+                       ("mismatches", J.Int l.D.l_mismatches);
+                       ("skipped", J.Int l.D.l_skipped);
+                     ])
+                 s.D.s_lanes) );
+        ]
+    in
+    let fields =
+      List.filter (fun (k, _) -> k <> "fuzz") existing @ [ ("fuzz", fuzz) ]
+    in
+    let oc = open_out out in
+    output_string oc (J.to_string ~indent:true (J.Obj fields));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" out
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Behavioural transformation recipes: what each preset buys on the
    ADPCM workloads before fragmentation even starts (node/depth deltas
    from the plan log) and what lands after the full flow (cycle, area).
@@ -1429,9 +1596,9 @@ let xform_bench () =
   List.iter
     (fun wname ->
       let g =
-        match Hls_workloads.Registry.find wname with
+        match Hls_workloads.Catalog.find_graph wname with
         | Some g -> g
-        | None -> failwith (wname ^ " missing from the workload registry")
+        | None -> failwith (wname ^ " missing from the workload catalog")
       in
       List.iter
         (fun spec ->
@@ -1483,6 +1650,7 @@ let () =
   | "serve" -> serve_bench ()
   | "xform" -> xform_bench ()
   | "iter" -> iter_bench ()
+  | "fuzz" -> fuzz_bench ()
   | "fig1" | "fig2" -> fig1_fig2 ()
   | "table1" -> table1 ()
   | "fig3" | "fig3h" -> fig3 ()
@@ -1495,6 +1663,6 @@ let () =
   | other ->
       prerr_endline
         ("unknown experiment " ^ other
-       ^ " (try: all, tables, speed, timing, api, serve, xform, iter, dse, \
-          fig1, table1, fig3, table2, table3, fig4)");
+       ^ " (try: all, tables, speed, timing, api, serve, xform, iter, fuzz, \
+          dse, fig1, table1, fig3, table2, table3, fig4)");
       exit 1

@@ -21,7 +21,9 @@
      stats       print serving-tier gauges (router fleet or executor)
      serve       run the request daemon (Unix-domain socket or --stdio)
      call        raw NDJSON passthrough to a daemon
-     list        list the built-in workloads
+     workloads   list the workload catalog (name, kind, tags, defaults)
+     list        alias of workloads, first columns only (kept for scripts)
+     fuzz        coverage-directed differential fuzzing of the toolchain
      trace-validate  structural checks over a --trace JSON file
 
    Exit codes (documented in docs/API.md): 0 success, 2 usage error,
@@ -415,18 +417,91 @@ let stats_cmd =
              executor-process gauges from a daemon / in-process run")
     Term.(const run $ telemetry_term $ connect_arg)
 
-let list_cmd =
-  let run tel () =
+(* Both listings execute the same Workloads request; "list" is the
+   pre-catalog spelling kept for scripts, printing the same leading
+   columns as before. *)
+let workloads_cmd =
+  let run tel connect tag json =
     with_telemetry tel @@ fun () ->
-    List.iter
-      (fun (name, g) ->
-        Printf.printf "%-16s %3d operations, %2d inputs\n" name
-          (Hls_dfg.Graph.behavioural_op_count g)
-          (List.length g.Hls_dfg.Graph.inputs))
-      (Hls_workloads.Registry.all ())
+    let payload = payload_or_die connect (Req.Workloads { tag }) in
+    if json then
+      print_endline
+        (Hls_dse.Dse_json.to_string ~indent:true
+           (Resp.payload_to_json payload))
+    else print_string (Api.Render.to_text payload)
   in
-  Cmd.v (Cmd.info "list" ~doc:"List built-in workloads")
-    Term.(const run $ telemetry_term $ const ())
+  let tag_arg =
+    Arg.(value & opt (some string) None
+         & info [ "tag" ] ~docv:"TAG"
+             ~doc:"Only list workloads carrying this tag.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the catalog as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "workloads"
+       ~doc:"List the workload catalog: name, size, kind, default latency \
+             and tags")
+    Term.(const run $ telemetry_term $ connect_arg $ tag_arg $ json_arg)
+
+let list_cmd =
+  let run tel connect =
+    with_telemetry tel @@ fun () ->
+    print_string
+      (Api.Render.to_text (payload_or_die connect (Req.Workloads { tag = None })))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in workloads (alias of 'workloads')")
+    Term.(const run $ telemetry_term $ connect_arg)
+
+let fuzz_cmd =
+  let run tel connect seed budget lanes dir max_seconds json =
+    with_telemetry tel @@ fun () ->
+    let payload =
+      payload_or_die connect (Req.Fuzz { seed; budget; lanes; dir; max_seconds })
+    in
+    (if json then
+       print_endline
+         (Hls_dse.Dse_json.to_string ~indent:true
+            (Resp.payload_to_json payload))
+     else print_string (Api.Render.to_text payload));
+    match payload with
+    | Resp.Fuzzed f when f.Resp.fz_mismatches > 0 -> exit 1
+    | _ -> ()
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 200
+         & info [ "budget" ] ~docv:"CASES"
+             ~doc:"Total case budget, split across the selected lanes.")
+  in
+  let lanes_arg =
+    Arg.(value & opt (list string) []
+         & info [ "lanes" ] ~docv:"LANES"
+             ~doc:"Comma-separated lanes to run: spec, diff, codec.  \
+                   Default: all three.")
+  in
+  let dir_arg =
+    Arg.(value & opt string "_fuzz"
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Directory for shrunk repro files.")
+  in
+  let max_seconds_arg =
+    Arg.(value & opt float 120.
+         & info [ "max-seconds" ] ~docv:"S"
+             ~doc:"Wall-clock bound for the whole run.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: generated specs through every transform \
+             preset and the scheduled flow, plus wire-codec round trips.  \
+             Exits 1 if any lane found a mismatch.")
+    Term.(const run $ telemetry_term $ connect_arg $ seed_arg $ budget_arg
+          $ lanes_arg $ dir_arg $ max_seconds_arg $ json_arg)
 
 let explore_cmd =
   let module Dse = Hls_dse in
@@ -1126,7 +1201,7 @@ let main =
   Cmd.group (Cmd.info "hlsopt" ~version:"1.0.0" ~doc)
     [ parse_cmd; optimize_cmd; transform_cmd; schedule_cmd; report_cmd;
       explore_cmd; iterate_cmd; emit_vhdl_cmd; emit_verilog_cmd; simulate_cmd;
-      serve_cmd; route_cmd; call_cmd; stats_cmd; list_cmd;
-      trace_validate_cmd ]
+      serve_cmd; route_cmd; call_cmd; stats_cmd; workloads_cmd; list_cmd;
+      fuzz_cmd; trace_validate_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -65,12 +65,12 @@ let load_spec = function
       | src -> Hls_speclang.Elaborate.from_string_result src
       | exception Sys_error m -> Error m)
   | Request.Builtin name -> (
-      match Hls_workloads.Registry.find name with
+      match Hls_workloads.Catalog.find_graph name with
       | Some g -> Ok g
       | None ->
           Error
             (Printf.sprintf "unknown builtin %s (try: %s)" name
-               (String.concat ", " (Hls_workloads.Registry.names ()))))
+               (String.concat ", " (Hls_workloads.Catalog.names ()))))
 
 let prepare_memo t g ~transform ~verify =
   let digest = Dse.Cache.graph_digest g in
@@ -209,6 +209,72 @@ let stage t req =
                     ("pool_workers", Hls_pool.Shared.workers t.pool);
                   ];
               }))
+  | Request.Workloads { tag } ->
+      let entries =
+        match tag with
+        | None -> Hls_workloads.Catalog.all ()
+        | Some tg -> Hls_workloads.Catalog.with_tag tg
+      in
+      Ready
+        (Ok
+           (Response.Workloads
+              (List.map
+                 (fun (e : Hls_workloads.Catalog.entry) ->
+                   let g = Hls_workloads.Catalog.graph e in
+                   {
+                     Response.w_name = e.Hls_workloads.Catalog.name;
+                     w_kind =
+                       Hls_workloads.Catalog.kind_to_string
+                         e.Hls_workloads.Catalog.kind;
+                     w_tags = e.Hls_workloads.Catalog.tags;
+                     w_ops = Graph.behavioural_op_count g;
+                     w_inputs = List.length g.Graph.inputs;
+                     w_latency = e.Hls_workloads.Catalog.default_latency;
+                   })
+                 entries)))
+  | Request.Fuzz { seed; budget; lanes; dir; max_seconds } -> (
+      let module D = Hls_fuzz.Driver in
+      let parsed =
+        List.fold_left
+          (fun acc name ->
+            match (acc, D.lane_of_string name) with
+            | (Error _ as e), _ -> e
+            | _, (Error _ as e) -> e
+            | Ok ls, Ok l -> Ok (ls @ [ l ]))
+          (Ok []) lanes
+      in
+      match parsed with
+      | Error m -> Ready (Error (Response.Usage m))
+      | Ok lanes ->
+          (* Serial: the run owns its corpus directory and its wall-clock
+             budget; fanning cases out is the driver's own business. *)
+          Serial
+            (fun () ->
+              let cfg =
+                D.make_config ~seed ~budget ~lanes ~dir ~max_seconds
+                  ~codec_case:Fuzz_codec.case ()
+              in
+              let s = D.run cfg in
+              Response.Fuzzed
+                {
+                  Response.fz_seed = s.D.s_seed;
+                  fz_cases = s.D.s_cases;
+                  fz_mismatches = s.D.s_mismatches;
+                  fz_skipped = s.D.s_skipped;
+                  fz_coverage = s.D.s_coverage;
+                  fz_wall_s = s.D.s_wall_s;
+                  fz_lanes =
+                    List.map
+                      (fun (l : D.lane_summary) ->
+                        {
+                          Response.fl_lane = l.D.l_lane;
+                          fl_cases = l.D.l_cases;
+                          fl_mismatches = l.D.l_mismatches;
+                          fl_skipped = l.D.l_skipped;
+                          fl_repros = l.D.l_repros;
+                        })
+                      s.D.s_lanes;
+                }))
   | _ -> (
   match load_spec (Option.get (Request.spec_of req)) with
   | Error m -> usage m
@@ -228,7 +294,7 @@ let stage t req =
                 Ready (Error (Response.Failed (Failure.classify_exn e))))
       in
       match req with
-      | Request.Ping | Request.Stats ->
+      | Request.Ping | Request.Stats | Request.Workloads _ | Request.Fuzz _ ->
           assert false (* handled before spec loading *)
       | Request.Parse _ ->
           Pure

@@ -154,5 +154,31 @@ let pp_payload ppf = function
       List.iter
         (fun (k, v) -> Format.fprintf ppf "  %s = %d@." k v)
         st_gauges
+  | R.Workloads rows ->
+      List.iter
+        (fun (w : R.workload_row) ->
+          Format.fprintf ppf "%-16s %3d operations, %2d inputs  %-10s λ=%d%s@."
+            w.w_name w.w_ops w.w_inputs w.w_kind w.w_latency
+            (match w.w_tags with
+            | [] -> ""
+            | tags -> "  [" ^ String.concat ", " tags ^ "]"))
+        rows
+  | R.Fuzzed f ->
+      List.iter
+        (fun (l : R.fuzz_lane) ->
+          Format.fprintf ppf
+            "lane %-5s %4d cases, %d mismatch(es), %d skipped@." l.fl_lane
+            l.fl_cases l.fl_mismatches l.fl_skipped;
+          List.iter
+            (fun (path, ops) ->
+              Format.fprintf ppf "  repro %s%s@." path
+                (if ops > 0 then Printf.sprintf " (%d ops)" ops else ""))
+            l.fl_repros)
+        f.fz_lanes;
+      Format.fprintf ppf
+        "seed %d: %d cases, %d mismatch(es), %d skipped, %d coverage \
+         features, %.1f s@."
+        f.fz_seed f.fz_cases f.fz_mismatches f.fz_skipped f.fz_coverage
+        f.fz_wall_s
 
 let to_text payload = buffer_with (fun ppf -> pp_payload ppf payload)

@@ -139,6 +139,14 @@ type t =
   | Emit of { spec : spec; latency : int; format : emit_format; config : config }
   | Iterate of { spec : spec; latency : int; rounds : int; config : config }
   | Stats
+  | Workloads of { tag : string option }
+  | Fuzz of {
+      seed : int;
+      budget : int;
+      lanes : string list;  (** empty = every lane *)
+      dir : string;
+      max_seconds : float;
+    }
 
 let method_name = function
   | Ping -> "ping"
@@ -152,6 +160,8 @@ let method_name = function
   | Emit _ -> "emit"
   | Iterate _ -> "iterate"
   | Stats -> "stats"
+  | Workloads _ -> "workloads"
+  | Fuzz _ -> "fuzz"
 
 let spec_of = function
   | Ping -> None
@@ -165,6 +175,8 @@ let spec_of = function
   | Emit { spec; _ } -> Some spec
   | Iterate { spec; _ } -> Some spec
   | Stats -> None
+  | Workloads _ -> None
+  | Fuzz _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Encoding.                                                           *)
@@ -272,6 +284,17 @@ let params_to_json = function
           ("config", config_to_json config);
         ]
   | Stats -> J.Obj []
+  | Workloads { tag } ->
+      J.Obj (match tag with None -> [] | Some t -> [ ("tag", J.String t) ])
+  | Fuzz { seed; budget; lanes; dir; max_seconds } ->
+      J.Obj
+        [
+          ("seed", J.Int seed);
+          ("budget", J.Int budget);
+          ("lanes", J.List (List.map (fun l -> J.String l) lanes));
+          ("dir", J.String dir);
+          ("max_seconds", J.Float max_seconds);
+        ]
 
 let to_json ?id ?deadline_ms t =
   J.Obj
@@ -554,6 +577,30 @@ let envelope_of_json j =
                 let* config = config_of_json params in
                 Ok (Iterate { spec; latency; rounds; config })
             | Some "stats" -> Ok Stats
+            | Some "workloads" ->
+                let* tag =
+                  match J.member "tag" params with
+                  | None -> Ok None
+                  | Some t -> (
+                      match J.to_str t with
+                      | Some s -> Ok (Some s)
+                      | None -> usage "\"tag\" must be a string")
+                in
+                Ok (Workloads { tag })
+            | Some "fuzz" ->
+                let* seed = int_field ~default:1 "seed" params in
+                let* budget = int_field ~default:200 "budget" params in
+                let* lanes = list_field ~default:[] "lanes" J.to_str params in
+                let* dir = str_field ~default:"_fuzz" "dir" params in
+                let* max_seconds =
+                  match J.member "max_seconds" params with
+                  | None -> Ok 120.
+                  | Some s -> (
+                      match J.to_float s with
+                      | Some v -> Ok v
+                      | None -> usage "\"max_seconds\" must be a number")
+                in
+                Ok (Fuzz { seed; budget; lanes; dir; max_seconds })
             | Some other -> usage "unknown method %S" other
           in
           Ok { env_id = id; env_deadline_ms = deadline_ms; env_req = req })

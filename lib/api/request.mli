@@ -97,13 +97,24 @@ type t =
       (** one-shot schedule at [latency], then up to [rounds] accepted
           feedback rounds of critical-region re-scheduling *)
   | Stats  (** serving-tier gauges: no spec, answered without staging *)
+  | Workloads of { tag : string option }
+      (** list the workload catalog, optionally filtered by tag: no
+          spec, answered without staging *)
+  | Fuzz of {
+      seed : int;
+      budget : int;  (** total cases, split across the selected lanes *)
+      lanes : string list;  (** lane names; empty selects every lane *)
+      dir : string;  (** corpus / repro directory *)
+      max_seconds : float;  (** wall-clock bound for the run *)
+    }  (** a differential-fuzzing run; no spec of its own *)
 
 (** The wire ["method"] name: ping, parse, optimize, report, schedule,
-    explore, transform, simulate, emit, iterate or stats. *)
+    explore, transform, simulate, emit, iterate, stats, workloads or
+    fuzz. *)
 val method_name : t -> string
 
-(** The specification a verb operates on; [None] for {!Ping} and
-    {!Stats}. *)
+(** The specification a verb operates on; [None] for {!Ping},
+    {!Stats}, {!Workloads} and {!Fuzz}. *)
 val spec_of : t -> spec option
 
 (** Encode the envelope.  [deadline_ms] is an absolute wall-clock

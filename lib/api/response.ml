@@ -110,6 +110,34 @@ type iterated = {
   it_rounds : iter_round list;
 }
 
+(* One workload-catalog entry as listed on the wire. *)
+type workload_row = {
+  w_name : string;
+  w_kind : string;  (** "builtin", "spec-file" or "generated" *)
+  w_tags : string list;
+  w_ops : int;  (** behavioural operation count of the elaborated graph *)
+  w_inputs : int;
+  w_latency : int;  (** the catalog's default latency *)
+}
+
+type fuzz_lane = {
+  fl_lane : string;
+  fl_cases : int;
+  fl_mismatches : int;
+  fl_skipped : int;
+  fl_repros : (string * int) list;  (** repro file and its op count *)
+}
+
+type fuzzed = {
+  fz_seed : int;
+  fz_cases : int;
+  fz_mismatches : int;
+  fz_skipped : int;
+  fz_coverage : int;  (** distinct graph features observed *)
+  fz_wall_s : float;
+  fz_lanes : fuzz_lane list;
+}
+
 type payload =
   | Pong of { pong_pid : int }
   | Parsed of { stats : graph_stats; pretty : string }
@@ -122,6 +150,8 @@ type payload =
   | Emitted of { format : Request.emit_format; text : string }
   | Iterated of iterated
   | Stats of { st_source : string; st_gauges : (string * int) list }
+  | Workloads of workload_row list
+  | Fuzzed of fuzzed
 
 type error =
   | Usage of string
@@ -360,6 +390,59 @@ let payload_to_json = function
           ("source", J.String st_source);
           ( "gauges",
             J.Obj (List.map (fun (k, v) -> (k, J.Int v)) st_gauges) );
+        ]
+  | Workloads rows ->
+      J.Obj
+        [
+          ("kind", J.String "workloads");
+          ( "rows",
+            J.List
+              (List.map
+                 (fun w ->
+                   J.Obj
+                     [
+                       ("name", J.String w.w_name);
+                       ("kind", J.String w.w_kind);
+                       ( "tags",
+                         J.List (List.map (fun t -> J.String t) w.w_tags) );
+                       ("ops", J.Int w.w_ops);
+                       ("inputs", J.Int w.w_inputs);
+                       ("latency", J.Int w.w_latency);
+                     ])
+                 rows) );
+        ]
+  | Fuzzed f ->
+      J.Obj
+        [
+          ("kind", J.String "fuzz");
+          ("seed", J.Int f.fz_seed);
+          ("cases", J.Int f.fz_cases);
+          ("mismatches", J.Int f.fz_mismatches);
+          ("skipped", J.Int f.fz_skipped);
+          ("coverage", J.Int f.fz_coverage);
+          ("wall_s", J.Float f.fz_wall_s);
+          ( "lanes",
+            J.List
+              (List.map
+                 (fun l ->
+                   J.Obj
+                     [
+                       ("lane", J.String l.fl_lane);
+                       ("cases", J.Int l.fl_cases);
+                       ("mismatches", J.Int l.fl_mismatches);
+                       ("skipped", J.Int l.fl_skipped);
+                       ( "repros",
+                         J.List
+                           (List.map
+                              (fun (path, ops) ->
+                                J.Obj
+                                  [
+                                    ("path", J.String path);
+                                    ("ops", J.Int ops);
+                                  ])
+                              l.fl_repros) );
+                     ])
+                 f.fz_lanes) );
         ]
 
 let error_to_json e =
@@ -724,6 +807,56 @@ let payload_of_json j =
         | _ -> Error "stats result without a gauges object"
       in
       Ok (Stats { st_source; st_gauges })
+  | "workloads" ->
+      let* rows =
+        decode_list "rows"
+          (fun w ->
+            let* w_name = need "name" J.to_str w in
+            let* w_kind = need "kind" J.to_str w in
+            let* w_tags = decode_list "tags" (fun t -> need_str t) w in
+            let* w_ops = need "ops" J.to_int w in
+            let* w_inputs = need "inputs" J.to_int w in
+            let* w_latency = need "latency" J.to_int w in
+            Ok { w_name; w_kind; w_tags; w_ops; w_inputs; w_latency })
+          j
+      in
+      Ok (Workloads rows)
+  | "fuzz" ->
+      let* fz_seed = need "seed" J.to_int j in
+      let* fz_cases = need "cases" J.to_int j in
+      let* fz_mismatches = need "mismatches" J.to_int j in
+      let* fz_skipped = need "skipped" J.to_int j in
+      let* fz_coverage = need "coverage" J.to_int j in
+      let* fz_wall_s = need "wall_s" J.to_float j in
+      let* fz_lanes =
+        decode_list "lanes"
+          (fun l ->
+            let* fl_lane = need "lane" J.to_str l in
+            let* fl_cases = need "cases" J.to_int l in
+            let* fl_mismatches = need "mismatches" J.to_int l in
+            let* fl_skipped = need "skipped" J.to_int l in
+            let* fl_repros =
+              decode_list "repros"
+                (fun r ->
+                  let* path = need "path" J.to_str r in
+                  let* ops = need "ops" J.to_int r in
+                  Ok (path, ops))
+                l
+            in
+            Ok { fl_lane; fl_cases; fl_mismatches; fl_skipped; fl_repros })
+          j
+      in
+      Ok
+        (Fuzzed
+           {
+             fz_seed;
+             fz_cases;
+             fz_mismatches;
+             fz_skipped;
+             fz_coverage;
+             fz_wall_s;
+             fz_lanes;
+           })
   | other -> Error (Printf.sprintf "unknown result kind %S" other)
 
 let error_of_json j =

@@ -104,6 +104,35 @@ type iterated = {
   it_rounds : iter_round list;
 }
 
+(** One workload-catalog entry as listed on the wire. *)
+type workload_row = {
+  w_name : string;
+  w_kind : string;  (** "builtin", "spec-file" or "generated" *)
+  w_tags : string list;
+  w_ops : int;  (** behavioural operation count of the elaborated graph *)
+  w_inputs : int;
+  w_latency : int;  (** the catalog's default latency *)
+}
+
+type fuzz_lane = {
+  fl_lane : string;
+  fl_cases : int;
+  fl_mismatches : int;
+  fl_skipped : int;
+  fl_repros : (string * int) list;
+      (** repro file and its op count (0 when not a spec) *)
+}
+
+type fuzzed = {
+  fz_seed : int;
+  fz_cases : int;
+  fz_mismatches : int;
+  fz_skipped : int;
+  fz_coverage : int;  (** distinct graph features observed *)
+  fz_wall_s : float;
+  fz_lanes : fuzz_lane list;
+}
+
 type payload =
   | Pong of { pong_pid : int }
       (** liveness probe reply, carrying the answering process's pid *)
@@ -119,6 +148,8 @@ type payload =
   | Stats of { st_source : string; st_gauges : (string * int) list }
       (** serving-tier gauges; [st_source] names the answering tier
           ("router" or "exec") *)
+  | Workloads of workload_row list  (** the workload catalog *)
+  | Fuzzed of fuzzed  (** summary of a fuzzing run *)
 
 type error =
   | Usage of string  (** the request itself is wrong *)
@@ -148,6 +179,9 @@ val error_message : error -> string
 (** Whether retrying the same request may succeed ([Overloaded],
     [Unavailable] and the {!Hls_util.Failure.retryable} classes). *)
 val retryable : error -> bool
+
+val payload_to_json : payload -> Hls_dse.Dse_json.t
+(** The ["result"] object alone — what [--json] subcommands print. *)
 
 val to_json : t -> Hls_dse.Dse_json.t
 val to_string : t -> string

@@ -1,0 +1,65 @@
+module Graph = Hls_dfg.Graph
+open Hls_dfg.Types
+
+type t = { seen : (string, int) Hashtbl.t }
+
+let create () = { seen = Hashtbl.create 256 }
+
+(* log2 buckets keep the feature space small enough that "new feature"
+   stays meaningful over a few hundred cases. *)
+let bucket n =
+  let rec go b v = if v <= 1 then b else go (b + 1) (v lsr 1) in
+  go 0 (max n 1)
+
+let chain_depth g =
+  let depth = Hashtbl.create 64 in
+  let of_operand (o : operand) =
+    match o.src with
+    | Node id -> ( match Hashtbl.find_opt depth id with Some d -> d | None -> 0)
+    | Input _ | Const _ -> 0
+  in
+  let deepest = ref 0 in
+  Graph.iter_nodes
+    (fun n ->
+      let d = 1 + List.fold_left (fun a o -> max a (of_operand o)) 0 n.operands in
+      Hashtbl.replace depth n.id d;
+      if d > !deepest then deepest := d)
+    g;
+  !deepest
+
+let features g =
+  let keys = Hashtbl.create 64 in
+  let add k = Hashtbl.replace keys k () in
+  let muls = ref 0 and adds = ref 0 in
+  Graph.iter_nodes
+    (fun n ->
+      (match n.kind with
+      | Mul -> incr muls
+      | Add | Sub -> incr adds
+      | _ -> ());
+      add (Printf.sprintf "op:%s:w%d" (kind_to_string n.kind) (bucket n.width)))
+    g;
+  add (Printf.sprintf "depth:%d" (bucket (chain_depth g)));
+  add (Printf.sprintf "ops:%d" (bucket (Graph.behavioural_op_count g)));
+  let ratio =
+    if !adds = 0 then 10 else min 10 (10 * !muls / max 1 (!muls + !adds))
+  in
+  add (Printf.sprintf "mulratio:%d" ratio);
+  Hashtbl.fold (fun k () acc -> k :: acc) keys []
+
+let observe t g =
+  List.fold_left
+    (fun fresh k ->
+      match Hashtbl.find_opt t.seen k with
+      | Some n ->
+          Hashtbl.replace t.seen k (n + 1);
+          fresh
+      | None ->
+          Hashtbl.add t.seen k 1;
+          fresh + 1)
+    0 (features g)
+
+let distinct t = Hashtbl.length t.seen
+
+let to_list t =
+  List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.seen [])

@@ -1,0 +1,24 @@
+(** Coverage map over elaborated-graph features.
+
+    A feature is a small string key describing one structural aspect of a
+    graph — an (op kind, width bucket) pair, the chain-depth bucket, the
+    op-count bucket, the mul/add ratio decile.  The driver feeds every
+    generated graph through {!observe}; a case that lights up no new
+    feature for a while is the signal to {!Gen.mutate} the profile. *)
+
+type t
+
+val create : unit -> t
+
+val features : Hls_dfg.Graph.t -> string list
+(** The feature keys a graph exhibits (deduplicated). *)
+
+val observe : t -> Hls_dfg.Graph.t -> int
+(** Record a graph; returns how many of its features were never seen
+    before. *)
+
+val distinct : t -> int
+(** Number of distinct features observed so far. *)
+
+val to_list : t -> (string * int) list
+(** Every feature with its hit count, sorted by key. *)

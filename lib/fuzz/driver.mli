@@ -1,0 +1,61 @@
+(** The fuzzing driver: budgeted, seeded, time-bounded lane execution.
+
+    Three lanes:
+    - [Spec]: generator self-check — every generated module must parse,
+      elaborate, and survive the printer/emitter round trips.
+    - [Diff]: differential — every catalog workload and then a stream of
+      coverage-steered generated specs through each transform (behavioural
+      equivalence) and through the scheduled cycle-accurate flow.
+    - [Codec]: wire round-trips of random v1 requests/responses (the
+      check itself is injected by [Hls_api] to keep the dependency
+      direction clean).
+
+    Failing generated specs are shrunk ({!Shrink}) and written under the
+    corpus directory as standalone repro files. *)
+
+type lane = Spec | Diff | Codec
+
+val lane_name : lane -> string
+val lane_of_string : string -> (lane, string) result
+
+type lane_summary = {
+  l_lane : string;
+  l_cases : int;
+  l_mismatches : int;
+  l_skipped : int;
+  l_repros : (string * int) list;
+      (** repro file and its op count (0 when not a spec) *)
+}
+
+type summary = {
+  s_seed : int;
+  s_cases : int;
+  s_mismatches : int;
+  s_skipped : int;
+  s_coverage : int;  (** distinct graph features observed *)
+  s_wall_s : float;
+  s_lanes : lane_summary list;
+}
+
+type config = {
+  seed : int;
+  budget : int;  (** total cases, split across the selected lanes *)
+  lanes : lane list;
+  dir : string;  (** corpus / repro directory, default ["_fuzz"] *)
+  max_seconds : float;  (** wall-clock bound for the whole run *)
+  vectors : int;  (** random input vectors per differential check *)
+  transforms : Diff.transform list;
+  iterates : int list;  (** iteration budgets for the scheduled lane *)
+  use_catalog : bool;  (** sweep the workload catalog before generating *)
+  codec_case : (Hls_util.Prng.t -> (unit, string) result) option;
+}
+
+val default_config : config
+
+val make_config :
+  ?seed:int -> ?budget:int -> ?lanes:lane list -> ?dir:string ->
+  ?max_seconds:float -> ?vectors:int -> ?transforms:Diff.transform list ->
+  ?iterates:int list -> ?use_catalog:bool ->
+  ?codec_case:(Hls_util.Prng.t -> (unit, string) result) -> unit -> config
+
+val run : config -> summary

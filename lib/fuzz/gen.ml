@@ -1,0 +1,136 @@
+(* Profile-driven spec generation.  The invariant that makes the whole
+   fuzzer trustworthy: everything returned by [spec] elaborates, because
+   each expression is assembled through the width-checked builders and
+   anything that could overflow its context is sliced back down.  A
+   generator crash here is a generator bug, never a flow finding. *)
+
+module Ast = Hls_speclang.Ast
+module B = Hls_speclang.Build
+module Prng = Hls_util.Prng
+
+type profile = {
+  n_inputs : int;
+  n_stmts : int;
+  n_outputs : int;
+  max_width : int;
+  depth : int;
+  mul_pct : int;
+  mux_pct : int;
+  signed_pct : int;
+  const_pct : int;
+}
+
+let default_profile =
+  {
+    n_inputs = 4;
+    n_stmts = 8;
+    n_outputs = 2;
+    max_width = 16;
+    depth = 3;
+    mul_pct = 20;
+    mux_pct = 15;
+    signed_pct = 30;
+    const_pct = 20;
+  }
+
+let clamp lo hi v = max lo (min hi v)
+
+let mutate prng p =
+  let bump v ~lo ~hi ~step =
+    clamp lo hi (v + (Prng.int prng (2 * step) + 1) - step)
+  in
+  match Prng.int prng 8 with
+  | 0 -> { p with n_inputs = bump p.n_inputs ~lo:1 ~hi:8 ~step:2 }
+  | 1 -> { p with n_stmts = bump p.n_stmts ~lo:1 ~hi:24 ~step:4 }
+  | 2 -> { p with n_outputs = bump p.n_outputs ~lo:1 ~hi:4 ~step:1 }
+  | 3 -> { p with max_width = bump p.max_width ~lo:2 ~hi:32 ~step:6 }
+  | 4 -> { p with depth = bump p.depth ~lo:1 ~hi:5 ~step:1 }
+  | 5 -> { p with mul_pct = bump p.mul_pct ~lo:0 ~hi:60 ~step:15 }
+  | 6 -> { p with mux_pct = bump p.mux_pct ~lo:0 ~hi:50 ~step:15 }
+  | _ -> { p with const_pct = bump p.const_pct ~lo:5 ~hi:50 ~step:10 }
+
+(* Values readable at this point of the module: name, width, signedness. *)
+type binding = { b_name : string; b_width : int; b_signed : bool }
+
+let ref_of b = B.ref_ ~name:b.b_name ~width:b.b_width ~signed:b.b_signed
+
+(* Slice oversized results back into the profile's width budget. *)
+let bound p e =
+  if (e : B.expr).width > p.max_width then
+    B.slice e ~hi:(p.max_width - 1) ~lo:0
+  else e
+
+let leaf prng p env =
+  if Prng.int prng 100 < p.const_pct || env = [] then
+    let width = 1 + Prng.int prng (min 8 p.max_width) in
+    let value =
+      if width >= 62 then Prng.int prng max_int
+      else Prng.int prng (1 lsl width)
+    in
+    B.lit ~value ~width
+  else ref_of (Prng.pick prng env)
+
+let cmp_ops = [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Neq ]
+
+let rec gen prng p env depth =
+  if depth <= 0 then leaf prng p env
+  else
+    let sub () = gen prng p env (depth - 1) in
+    let roll = Prng.int prng 100 in
+    if roll < p.mul_pct then bound p (B.mul (sub ()) (sub ()))
+    else if roll < p.mul_pct + p.mux_pct then
+      let cond = B.cmp (Prng.pick prng cmp_ops) (sub ()) (sub ()) in
+      B.ternary ~cond (sub ()) (sub ())
+    else
+      match Prng.int prng 8 with
+      | 0 | 1 | 2 -> B.add (sub ()) (sub ())
+      | 3 | 4 -> B.sub (sub ()) (sub ())
+      | 5 -> if Prng.bool prng then B.max_ (sub ()) (sub ())
+             else B.min_ (sub ()) (sub ())
+      | 6 -> bound p (B.concat (sub ()) (sub ()))
+      | _ ->
+          let x = sub () in
+          let w = (x : B.expr).width in
+          if w = 1 then B.neg x
+          else
+            let hi = Prng.int prng w in
+            let lo = Prng.int prng (hi + 1) in
+            B.slice x ~hi ~lo
+
+let spec prng p =
+  let inputs =
+    List.init p.n_inputs (fun i ->
+        {
+          b_name = Printf.sprintf "i%d" i;
+          b_width = 1 + Prng.int prng p.max_width;
+          b_signed = Prng.int prng 100 < p.signed_pct;
+        })
+  in
+  let decls =
+    ref
+      (List.map
+         (fun b -> B.input ~name:b.b_name ~width:b.b_width ~signed:b.b_signed)
+         inputs)
+  in
+  let env = ref inputs in
+  let stmts = ref [] in
+  let emit ~output i =
+    let e = bound p (gen prng p !env (1 + Prng.int prng p.depth)) in
+    let width = (e : B.expr).width in
+    let name = Printf.sprintf (if output then "o%d" else "v%d") i in
+    decls :=
+      !decls
+      @ [ (if output then B.output ~name ~width else B.var ~name ~width) ];
+    stmts := !stmts @ [ B.assign ~name ~width e ];
+    if not output then
+      env := { b_name = name; b_width = width; b_signed = false } :: !env
+  in
+  for i = 0 to p.n_stmts - 1 do
+    emit ~output:false i
+  done;
+  for i = 0 to p.n_outputs - 1 do
+    emit ~output:true i
+  done;
+  B.module_ ~name:"fuzzed" ~decls:!decls ~stmts:!stmts
+
+let source prng p = B.to_source (spec prng p)

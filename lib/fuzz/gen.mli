@@ -1,0 +1,30 @@
+(** Random specification generator.
+
+    Emits well-formed behavioural-language modules from a seeded
+    {!profile}: every spec this module produces parses and elaborates
+    (the builders in {!Hls_speclang.Build} enforce the width rules at
+    construction time).  The coverage loop mutates the profile between
+    cases to steer generation toward unexplored graph shapes. *)
+
+type profile = {
+  n_inputs : int;  (** primary input ports *)
+  n_stmts : int;  (** intermediate assignments before the outputs *)
+  n_outputs : int;
+  max_width : int;  (** widths are clamped to this by slicing *)
+  depth : int;  (** expression nesting budget *)
+  mul_pct : int;  (** % of inner nodes that are multiplications *)
+  mux_pct : int;  (** % of inner nodes that are compare-fed ternaries *)
+  signed_pct : int;  (** % of inputs declared signed *)
+  const_pct : int;  (** % of leaves that are literals *)
+}
+
+val default_profile : profile
+
+val mutate : Hls_util.Prng.t -> profile -> profile
+(** Nudge one knob of the profile, staying inside generator bounds. *)
+
+val spec : Hls_util.Prng.t -> profile -> Hls_speclang.Ast.t
+(** Draw one module.  Guaranteed to elaborate. *)
+
+val source : Hls_util.Prng.t -> profile -> string
+(** {!spec} rendered to concrete syntax. *)

@@ -1,0 +1,89 @@
+module Ast = Hls_speclang.Ast
+module Elab = Hls_speclang.Elaborate
+
+let elaborates ast =
+  match Elab.elaborate ast with _ -> true | exception _ -> false
+
+let op_count ast = Hls_dfg.Graph.behavioural_op_count (Elab.elaborate ast)
+
+let rec refs_of acc = function
+  | Ast.Ref (n, _) -> n :: acc
+  | Ast.Lit _ -> acc
+  | Ast.Binop (_, a, b) | Ast.Call (_, a, b) | Ast.Concat (a, b) ->
+      refs_of (refs_of acc a) b
+  | Ast.Unop (_, a) | Ast.Slice (a, _) -> refs_of acc a
+  | Ast.Ternary (c, t, e) -> refs_of (refs_of (refs_of acc c) t) e
+
+(* Drop declarations the remaining statements no longer justify: vars and
+   outputs that are never assigned, inputs that are never read. *)
+let prune (ast : Ast.t) =
+  let read =
+    List.concat_map (fun (s : Ast.stmt) -> refs_of [] s.s_expr) ast.stmts
+  in
+  let assigned = List.map (fun (s : Ast.stmt) -> s.Ast.s_target) ast.stmts in
+  let keep (d : Ast.decl) =
+    match d.d_kind with
+    | Ast.Input -> List.mem d.d_name read
+    | Ast.Output | Ast.Var -> List.mem d.d_name assigned
+  in
+  { ast with decls = List.filter keep ast.decls }
+
+let subexprs = function
+  | Ast.Ref _ | Ast.Lit _ -> []
+  | Ast.Binop (_, a, b) | Ast.Call (_, a, b) | Ast.Concat (a, b) -> [ a; b ]
+  | Ast.Unop (_, a) | Ast.Slice (a, _) -> [ a ]
+  | Ast.Ternary (c, t, e) -> [ c; t; e ]
+
+let replace_stmt ast i f =
+  {
+    ast with
+    Ast.stmts =
+      List.mapi (fun j s -> if j = i then f s else s) ast.Ast.stmts;
+  }
+
+(* Structurally smaller candidates, biggest cuts first. *)
+let candidates (ast : Ast.t) =
+  let n = List.length ast.stmts in
+  let drop =
+    List.init n (fun i ->
+        prune
+          { ast with stmts = List.filteri (fun j _ -> j <> i) ast.stmts })
+  in
+  let hoist =
+    List.concat
+      (List.mapi
+         (fun i (s : Ast.stmt) ->
+           List.map
+             (fun sub ->
+               prune (replace_stmt ast i (fun s -> { s with Ast.s_expr = sub })))
+             (subexprs s.s_expr))
+         ast.stmts)
+  in
+  let zero =
+    List.concat
+      (List.mapi
+         (fun i (s : Ast.stmt) ->
+           match s.s_expr with
+           | Ast.Lit _ -> []
+           | _ ->
+               [
+                 prune
+                   (replace_stmt ast i (fun s ->
+                        {
+                          s with
+                          Ast.s_expr = Ast.Lit { value = 0; width = Some 1 };
+                        }));
+               ])
+         ast.stmts)
+  in
+  drop @ hoist @ zero
+
+let run ~keep ast =
+  let rec loop ast =
+    match
+      List.find_opt (fun c -> elaborates c && keep c) (candidates ast)
+    with
+    | Some c -> loop c
+    | None -> ast
+  in
+  loop ast

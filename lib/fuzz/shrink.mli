@@ -1,0 +1,17 @@
+(** Greedy spec shrinker.
+
+    Given a failing module and a [keep] predicate that re-runs the failing
+    check (returning [true] while the candidate still fails), {!run}
+    repeatedly tries structurally smaller candidates — dropping
+    statements, hoisting subexpressions, zeroing right-hand sides — and
+    commits the first one [keep] accepts, until none is.  Candidates that
+    no longer elaborate are filtered out before [keep] sees them, so the
+    predicate only judges well-formed specs.  The result is a fixpoint:
+    running {!run} on its own output changes nothing. *)
+
+val op_count : Hls_speclang.Ast.t -> int
+(** Behavioural operation count of the elaborated module. *)
+
+val run :
+  keep:(Hls_speclang.Ast.t -> bool) -> Hls_speclang.Ast.t ->
+  Hls_speclang.Ast.t

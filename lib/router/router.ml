@@ -114,7 +114,7 @@ let affinity_key =
             let k =
               match spec with
               | R.Builtin name -> (
-                  match Hls_workloads.Registry.find name with
+                  match Hls_workloads.Catalog.find_graph name with
                   | Some g -> Hls_dse.Cache.graph_digest g
                   | None -> "builtin:" ^ name)
               | R.Source src -> (

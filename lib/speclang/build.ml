@@ -1,0 +1,93 @@
+(* Width-checked AST construction.  Each rule below mirrors one case of
+   [Elaborate.elab]; keeping them in lockstep is what lets the fuzzer's
+   generator promise "everything I emit elaborates". *)
+
+exception Ill_formed of string
+
+let ill fmt = Format.kasprintf (fun m -> raise (Ill_formed m)) fmt
+
+type expr = { e : Ast.expr; width : int; signed : bool }
+
+let ref_ ~name ~width ~signed =
+  if width <= 0 then ill "ref %s: width %d" name width;
+  { e = Ast.Ref (name, None); width; signed }
+
+let lit ~value ~width =
+  if value < 0 then ill "literal %d: negative literals do not round-trip" value;
+  if width <= 0 || (width < 63 && value lsr width <> 0) then
+    ill "literal %d does not fit in %d bits" value width;
+  { e = Ast.Lit { value; width = Some width }; width; signed = false }
+
+let arith op a b =
+  let signed = a.signed || b.signed in
+  let width =
+    match op with
+    | Ast.Mul -> a.width + b.width
+    | _ -> max a.width b.width
+  in
+  { e = Ast.Binop (op, a.e, b.e); width; signed }
+
+let add a b = arith Ast.Add a b
+let sub a b = arith Ast.Sub a b
+let mul a b = arith Ast.Mul a b
+
+let cmp op a b =
+  (match op with
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Neq -> ()
+  | Ast.Add | Ast.Sub | Ast.Mul -> ill "cmp: %s" (Ast.binop_to_string op));
+  { e = Ast.Binop (op, a.e, b.e); width = 1; signed = false }
+
+let neg a = { e = Ast.Unop (Ast.Neg, a.e); width = a.width; signed = true }
+
+let call c a b =
+  {
+    e = Ast.Call (c, a.e, b.e);
+    width = max a.width b.width;
+    signed = a.signed || b.signed;
+  }
+
+let max_ a b = call Ast.Max a b
+let min_ a b = call Ast.Min a b
+
+let concat a b =
+  { e = Ast.Concat (a.e, b.e); width = a.width + b.width; signed = false }
+
+let slice x ~hi ~lo =
+  if lo < 0 || hi < lo then ill "slice [%d:%d]" hi lo;
+  if hi >= x.width then
+    ill "slice [%d:%d] exceeds expression width %d" hi lo x.width;
+  {
+    e = Ast.Slice (x.e, { Ast.r_hi = hi; r_lo = lo });
+    width = hi - lo + 1;
+    signed = false;
+  }
+
+let ternary ~cond t e =
+  if cond.width <> 1 then
+    ill "ternary condition must be 1 bit, got %d" cond.width;
+  {
+    e = Ast.Ternary (cond.e, t.e, e.e);
+    width = max t.width e.width;
+    signed = t.signed && e.signed;
+  }
+
+type stmt = Ast.stmt
+
+let assign ~name ~width x =
+  if x.width > width then
+    ill "%s: expression of width %d does not fit in %d bits" name x.width width;
+  { Ast.s_target = name; s_range = None; s_expr = x.e }
+
+type decl = Ast.decl
+
+let decl kind name width signed =
+  if width <= 0 then ill "decl %s: width %d" name width;
+  { Ast.d_kind = kind; d_name = name; d_width = width; d_signed = signed }
+
+let input ~name ~width ~signed = decl Ast.Input name width signed
+let output ~name ~width = decl Ast.Output name width false
+let var ~name ~width = decl Ast.Var name width false
+
+let module_ ~name ~decls ~stmts = { Ast.name; decls; stmts }
+
+let to_source ast = Format.asprintf "%a" Ast.pp ast

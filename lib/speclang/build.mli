@@ -1,0 +1,60 @@
+(** Generator-facing builders for well-formed behavioural specifications.
+
+    The fuzzing front end (and any programmatic producer of specs) needs to
+    assemble {!Ast.t} values that are guaranteed to elaborate: every width
+    rule the elaborator enforces is mirrored here at construction time, so
+    an expression carries the width and signedness elaboration will infer
+    for it.  Constructors raise {!Ill_formed} on violations — the generator
+    treats that as a bug in itself, not in the flow under test. *)
+
+exception Ill_formed of string
+
+(** An expression annotated with the width/signedness elaboration assigns. *)
+type expr = private { e : Ast.expr; width : int; signed : bool }
+
+val ref_ : name:string -> width:int -> signed:bool -> expr
+(** Full read of a declared input or previously assigned variable. *)
+
+val lit : value:int -> width:int -> expr
+(** Sized, non-negative literal.  Raises {!Ill_formed} if [value] is
+    negative or does not fit in [width] bits — negative constants must be
+    spelled [sub (lit 0) c] so the printed source re-parses identically. *)
+
+val add : expr -> expr -> expr
+val sub : expr -> expr -> expr
+val mul : expr -> expr -> expr
+
+val cmp : Ast.binop -> expr -> expr -> expr
+(** One of the comparison operators; raises on arithmetic binops. *)
+
+val neg : expr -> expr
+val max_ : expr -> expr -> expr
+val min_ : expr -> expr -> expr
+val concat : expr -> expr -> expr
+
+val slice : expr -> hi:int -> lo:int -> expr
+(** Bit-select of a parenthesized expression; requires [0 <= lo <= hi]
+    and [hi < width e]. *)
+
+val ternary : cond:expr -> expr -> expr -> expr
+(** Multiplexer; [cond] must be exactly 1 bit wide. *)
+
+type stmt
+
+val assign : name:string -> width:int -> expr -> stmt
+(** [assign ~name ~width e] binds a variable or output declared [width]
+    bits wide.  The value is extended when narrower; raises {!Ill_formed}
+    when wider (the elaborator rejects silent truncation). *)
+
+type decl
+
+val input : name:string -> width:int -> signed:bool -> decl
+val output : name:string -> width:int -> decl
+val var : name:string -> width:int -> decl
+
+val module_ : name:string -> decls:decl list -> stmts:stmt list -> Ast.t
+
+val to_source : Ast.t -> string
+(** Render back to concrete [hls_speclang] syntax.  The output of
+    {!Ast.pp} is parse-compatible for everything these builders can
+    construct (all literals are sized and non-negative). *)

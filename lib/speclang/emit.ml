@@ -3,8 +3,32 @@
     Covers the behavioural subset plus [Concat] / [Wire] — everything a
     transformed (fragmented) pure-addition specification contains — so a
     transformed graph can be printed, re-parsed and re-elaborated; the
-    round trip is checked by simulation in the test-suite.  Kernel glue
-    ([Gate], [Mux], …) has no source syntax: use {!Vhdl} for those. *)
+    round trip is checked by simulation in the test-suite and fuzzed by
+    [lib/fuzz]'s spec lane.  Kernel glue ([Gate], [Reduce_or], …) has no
+    source syntax: use {!Vhdl} for those.
+
+    Signedness fidelity is the subtle part.  Two independent properties
+    of every operand must survive the round trip:
+
+    - its {e value signedness} — what the language's inference sees.  The
+      or (binops, min/max) of the operand value signednesses becomes the
+      node's signedness, which the simulator uses for multiplies and
+      comparisons.  A variable read takes its declaration's signedness,
+      so an operand that must contribute differently than its source
+      declares is routed through an {e alias} variable declared with the
+      wanted signedness (a width-equal alias assignment elaborates to
+      nothing).
+    - its {e extension mode} — the [Sext]/[Zext] recorded on the edge,
+      which the simulator honours when widening min/max/mux operands and
+      when extending both comparison sides by one bit.  Elaboration
+      derives it structurally: binop operands get it from their value
+      signedness, but min/max/mux keep the operand of the producing
+      expression verbatim, so the mode {e leaks} from the producer.  The
+      emitter tracks the mode each emitted variable will leak and, where
+      a consumer needs the other one, wraps the alias's right-hand side
+      in a bit-identical normalizer: [-(-x)] elaborates to a signed-
+      leaking pair of negations, [((0'1 & x))[w-1:0]] to an unsigned-
+      leaking pad-and-slice. *)
 
 open Hls_dfg.Types
 module Graph = Hls_dfg.Graph
@@ -26,21 +50,14 @@ let binop_of_kind = function
 
 let emit graph =
   let names = Names.assign graph in
-  let buf = Buffer.create 1024 in
-  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "module %s;\n" (Names.sanitize (Graph.name graph));
-  List.iter
-    (fun p ->
-      add "input %s : %d%s;\n" p.port_name p.port_width
-        (if p.port_signed = Signed then " signed" else ""))
-    graph.Graph.inputs;
-  List.iter
-    (fun (name, o) ->
-      add "output %s : %d;\n" name (Operand.width o))
-    graph.Graph.outputs;
-  Graph.iter_nodes
-    (fun n -> add "var %s : %d;\n" names.(n.id) n.width)
-    graph;
+  let used = Hashtbl.create 64 in
+  let mark n = Hashtbl.replace used (String.lowercase_ascii n) () in
+  List.iter (fun p -> mark p.port_name) graph.Graph.inputs;
+  List.iter (fun (n, _) -> mark n) graph.Graph.outputs;
+  Array.iter mark names;
+  let dbuf = Buffer.create 512 and sbuf = Buffer.create 1024 in
+  let decl fmt = Printf.ksprintf (Buffer.add_string dbuf) fmt in
+  let stmt fmt = Printf.ksprintf (Buffer.add_string sbuf) fmt in
   let operand_src (o : operand) =
     let base, w =
       match o.src with
@@ -53,75 +70,215 @@ let emit graph =
             Hls_bitvec.width bv )
     in
     if o.lo = 0 && o.hi = w - 1 then base
-    else Printf.sprintf "%s[%d:%d]" base o.hi o.lo
+    else
+      (* Slices attach to identifiers and parenthesized expressions only,
+         so a sliced constant needs the parens: [(28'5)[2:1]]. *)
+      let base =
+        match o.src with Const _ -> "(" ^ base ^ ")" | _ -> base
+      in
+      Printf.sprintf "%s[%d:%d]" base o.hi o.lo
   in
-  (* Wrap an expression of width [have] so that re-elaboration yields
-     exactly [want] bits: explicit zero padding below, explicit slicing
-     above — the "0 &" / "(e)[k:0]" idioms of the paper's Fig. 2a. *)
-  let wrap expr ~have ~want =
-    if have = want then expr
-    else if have > want then Printf.sprintf "(%s)[%d:0]" expr (want - 1)
-    else Printf.sprintf "(0'%d & %s)" (want - have) expr
+  (* Whether the operand reads its source in full (a partial slice is
+     plain bits in the language — always unsigned on re-elaboration). *)
+  let is_full (o : operand) =
+    o.lo = 0 && o.hi = Graph.source_width graph o.src - 1
   in
-  (* An operand rendered at exactly [width] bits.  Sign extension has no
-     source syntax for partial operands, so it is only accepted when no
-     padding is needed. *)
+  let port_signed name =
+    match
+      List.find_opt (fun p -> p.port_name = name) graph.Graph.inputs
+    with
+    | Some p -> p.port_signed = Signed
+    | None -> false
+  in
+  (* Value signedness of a plain source-level read of the operand: inputs
+     carry their port signedness, primary node vars are declared unsigned
+     below, constants print as non-negative literals. *)
+  let value_nat (o : operand) =
+    is_full o
+    && match o.src with Input n -> port_signed n | Node _ | Const _ -> false
+  in
+  (* The extension mode a plain read will leak into a verbatim-keeping
+     consumer (min/max/mux): slicing preserves it, so it depends only on
+     the source.  [leaks] records it for each emitted node var. *)
+  let leaks = Hashtbl.create 64 in
+  let leak_nat (o : operand) =
+    match o.src with
+    | Input n -> port_signed n
+    | Const _ -> false
+    | Node id -> ( try Hashtbl.find leaks id with Not_found -> false)
+  in
+  let ext_signed (o : operand) = o.ext = Sext in
+  (* Render the operand so that its re-elaborated read has value
+     signedness [value] and (when [ext] is given) leaks that extension
+     mode; bit-identical by construction. *)
+  let aliases = Hashtbl.create 16 in
+  let styled ?ext ~value (o : operand) =
+    let natural_value = value_nat o and natural_leak = leak_nat o in
+    let leak = Option.value ext ~default:natural_leak in
+    if natural_value = value && natural_leak = leak then operand_src o
+    else
+      let key = (o.src, o.hi, o.lo, value, leak) in
+      match Hashtbl.find_opt aliases key with
+      | Some n -> n
+      | None ->
+          let base =
+            match o.src with
+            | Input name -> name
+            | Node id -> names.(id)
+            | Const bv -> Printf.sprintf "k%d" (Hls_bitvec.to_int bv)
+          in
+          let rec fresh cand k =
+            if Hashtbl.mem used (String.lowercase_ascii cand) then
+              fresh (Printf.sprintf "%s_%d" cand k) (k + 1)
+            else cand
+          in
+          let name =
+            fresh (base ^ if value then "_sgn" else "_uns") 1
+          in
+          mark name;
+          let w = Operand.width o in
+          decl "var %s : %d%s;\n" name w (if value then " signed" else "");
+          let src = operand_src o in
+          let rhs =
+            if leak = natural_leak then src
+            else if leak then Printf.sprintf "-(-(%s))" src
+            else Printf.sprintf "((0'1 & %s))[%d:0]" src (w - 1)
+          in
+          stmt "%s = %s;\n" name rhs;
+          Hashtbl.add aliases key name;
+          name
+  in
+  (* An operand of a binop (whose extension mode re-elaboration derives
+     from the value signedness): returns the rendered text and the value
+     signedness it contributes.  Zero extension is explicit padding — the
+     "0 &" idiom of the paper's Fig. 2a, which also keeps a carry-wide
+     add at its full width; sign extension rides on a signed alias and
+     the language's own max-width widening.  Wider operands are sliced
+     down explicitly. *)
   let operand_at ~width (o : operand) =
     let w = Operand.width o in
-    if w < width && o.ext = Sext then
-      raise
-        (Unprintable
-           "sign-extended partial operands have no specification syntax");
-    wrap (operand_src o) ~have:w ~want:width
+    if w > width then
+      (Printf.sprintf "(%s)[%d:0]" (operand_src o) (width - 1), false)
+    else if w = width then (operand_src o, value_nat o)
+    else if o.ext = Zext then
+      (Printf.sprintf "(0'%d & %s)" (width - w) (operand_src o), false)
+    else (styled o ~value:true, true)
+  in
+  (* Slice an expression of width [have] down to [want] bits; narrower
+     expressions are left alone — the assignment's coercion widens them
+     by the value signedness, which matches the node's own extension. *)
+  let wrap expr ~have ~want =
+    if have > want then Printf.sprintf "(%s)[%d:0]" expr (want - 1)
+    else expr
   in
   Graph.iter_nodes
     (fun n ->
       let o i = List.nth n.operands i in
       let w = n.width in
-      let stmt =
+      let signed = n.signedness = Signed in
+      let record leak = Hashtbl.replace leaks n.id leak in
+      let rhs =
         match n.kind with
         | Add -> (
             match n.operands with
             | [ a; b ] ->
-                Printf.sprintf "%s + %s" (operand_at ~width:w a)
-                  (operand_at ~width:w b)
+                let ta, sa = operand_at ~width:w a
+                and tb, sb = operand_at ~width:w b in
+                record (sa || sb);
+                Printf.sprintf "%s + %s" ta tb
             | [ a; b; c ] ->
-                Printf.sprintf "%s + %s + %s" (operand_at ~width:w a)
-                  (operand_at ~width:w b) (operand_src c)
+                let ta, sa = operand_at ~width:w a
+                and tb, sb = operand_at ~width:w b in
+                record (sa || sb);
+                Printf.sprintf "%s + %s + %s" ta tb (operand_src c)
             | _ -> raise (Unprintable "malformed add"))
         | Sub ->
-            Printf.sprintf "%s - %s" (operand_at ~width:w (o 0))
-              (operand_at ~width:w (o 1))
-        | Neg -> Printf.sprintf "-%s" (operand_at ~width:w (o 0))
+            let ta, sa = operand_at ~width:w (o 0)
+            and tb, sb = operand_at ~width:w (o 1) in
+            record (sa || sb);
+            Printf.sprintf "%s - %s" ta tb
+        | Neg ->
+            let t, s = operand_at ~width:w (o 0) in
+            record s;
+            Printf.sprintf "-%s" t
         | Mul ->
-            let have = Operand.width (o 0) + Operand.width (o 1) in
+            (* The simulator multiplies the raw factors per the node's
+               signedness; re-elaboration infers it as the or of the
+               factors' value signednesses, which the recorded extension
+               modes preserve exactly — when the or lands right. *)
+            let sa = ext_signed (o 0) and sb = ext_signed (o 1) in
+            if (sa || sb) <> signed then
+              raise (Unprintable "mul signedness is not operand-borne");
+            record signed;
             wrap
-              (Printf.sprintf "%s * %s" (operand_src (o 0))
-                 (operand_src (o 1)))
-              ~have ~want:w
+              (Printf.sprintf "%s * %s"
+                 (styled (o 0) ~value:sa)
+                 (styled (o 1) ~value:sb))
+              ~have:(Operand.width (o 0) + Operand.width (o 1))
+              ~want:w
         | Lt | Le | Gt | Ge | Eq | Neq -> (
+            (* Comparison operands are extended by one bit each per their
+               recorded modes, which re-elaboration re-derives from the
+               value signednesses; for the ordered comparisons the
+               inferred or must also land back on the node. *)
+            let sa = ext_signed (o 0) and sb = ext_signed (o 1) in
+            let ordered =
+              match n.kind with Lt | Le | Gt | Ge -> true | _ -> false
+            in
+            if ordered && (sa || sb) <> signed then
+              raise (Unprintable "comparison signedness is not operand-borne");
+            record (sa || sb);
             match binop_of_kind n.kind with
             | Some op ->
-                Printf.sprintf "%s %s %s" (operand_src (o 0)) op
-                  (operand_src (o 1))
+                Printf.sprintf "%s %s %s"
+                  (styled (o 0) ~value:sa)
+                  op
+                  (styled (o 1) ~value:sb)
             | None -> assert false)
         | Max | Min ->
-            let have = max (Operand.width (o 0)) (Operand.width (o 1)) in
+            (* The comparison honours each operand's recorded extension
+               mode and the node's signedness; the chosen side is widened
+               by its own mode.  Value signednesses are free as long as
+               their or reproduces the node, so flip the first operand
+               when nothing carries a needed signedness naturally. *)
+            let name = if n.kind = Max then "max" else "min" in
+            let nat0 = value_nat (o 0) and nat1 = value_nat (o 1) in
+            let v0, v1 =
+              if not signed then (false, false)
+              else if nat0 || nat1 then (nat0, nat1)
+              else (true, false)
+            in
+            record signed;
             wrap
-              (Printf.sprintf "%s(%s, %s)"
-                 (if n.kind = Max then "max" else "min")
-                 (operand_src (o 0)) (operand_src (o 1)))
-              ~have ~want:w
+              (Printf.sprintf "%s(%s, %s)" name
+                 (styled (o 0) ~value:v0 ~ext:(ext_signed (o 0)))
+                 (styled (o 1) ~value:v1 ~ext:(ext_signed (o 1))))
+              ~have:(max (Operand.width (o 0)) (Operand.width (o 1)))
+              ~want:w
         | Mux ->
-            let have = max (Operand.width (o 1)) (Operand.width (o 2)) in
+            (* Branches narrower than the node are widened by their
+               recorded modes, kept verbatim through re-elaboration; the
+               node itself always re-elaborates unsigned. *)
+            let bw x =
+              if Operand.width x < w then
+                styled x ~value:(value_nat x) ~ext:(ext_signed x)
+              else operand_src x
+            in
+            record false;
             wrap
-              (Printf.sprintf "%s ? %s : %s" (operand_src (o 0))
-                 (operand_src (o 1)) (operand_src (o 2)))
-              ~have ~want:w
-        | Wire -> operand_at ~width:n.width (o 0)
+              (Printf.sprintf "%s ? %s : %s"
+                 (operand_src (o 0))
+                 (bw (o 1)) (bw (o 2)))
+              ~have:(max (Operand.width (o 1)) (Operand.width (o 2)))
+              ~want:w
+        | Wire ->
+            let t, s = operand_at ~width:w (o 0) in
+            record (if Operand.width (o 0) < w then s else leak_nat (o 0));
+            t
         | Concat ->
             (* Operands are least-significant-first; the language's [&]
                puts the left operand on top. *)
+            record false;
             List.rev_map operand_src n.operands |> String.concat " & "
         | k ->
             raise
@@ -129,10 +286,24 @@ let emit graph =
                  (Printf.sprintf "%s has no specification syntax"
                     (kind_to_string k)))
       in
-      add "%s = %s;\n" names.(n.id) stmt)
+      decl "var %s : %d;\n" names.(n.id) n.width;
+      stmt "%s = %s;\n" names.(n.id) rhs)
     graph;
   List.iter
-    (fun (name, o) -> add "%s = %s;\n" name (operand_src o))
+    (fun (name, o) -> stmt "%s = %s;\n" name (operand_src o))
     graph.Graph.outputs;
+  let buf = Buffer.create (Buffer.length dbuf + Buffer.length sbuf + 256) in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "module %s;\n" (Names.sanitize (Graph.name graph));
+  List.iter
+    (fun p ->
+      add "input %s : %d%s;\n" p.port_name p.port_width
+        (if p.port_signed = Signed then " signed" else ""))
+    graph.Graph.inputs;
+  List.iter
+    (fun (name, o) -> add "output %s : %d;\n" name (Operand.width o))
+    graph.Graph.outputs;
+  Buffer.add_buffer buf dbuf;
+  Buffer.add_buffer buf sbuf;
   add "end\n";
   Buffer.contents buf

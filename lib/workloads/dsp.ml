@@ -1,0 +1,118 @@
+(* DSP and checksum kernels kept as [hls_speclang] sources (the same idiom
+   as [Fir.fir8]): each is a realistic fixed-point dataflow round with the
+   delayed samples / running state passed in as ports, so elaboration yields
+   a pure combinational graph.  Constant coefficients are Q15 fixed-point;
+   negative taps are spelled [0 - c] because the language has no signed
+   literal syntax that round-trips through the printer. *)
+
+let iir2_src =
+  {|# Second-order IIR biquad round: direct-form I with Q15 coefficients.
+# Delayed inputs x1/x2 and delayed feedback taps w1/w2 arrive as ports.
+module iir2;
+input x0 : 16 signed;
+input x1 : 16 signed;
+input x2 : 16 signed;
+input w1 : 16 signed;
+input w2 : 16 signed;
+output y : 16;
+var a1 : 16;
+var p0 : 16;
+var p1 : 16;
+var p2 : 16;
+var q1 : 16;
+var q2 : 16;
+var ff : 16;
+var fb : 16;
+p0 = (9362'16 * x0)[30:15];
+p1 = (18724'16 * x1)[30:15];
+p2 = (9362'16 * x2)[30:15];
+a1 = 0 - 25000'16;
+q1 = (a1 * w1)[30:15];
+q2 = (10362'16 * w2)[30:15];
+ff = (p0 + p1) + p2;
+fb = q1 + q2;
+y = ff - fb;
+end
+|}
+
+let butterfly4_src =
+  {|# Radix-2 FFT/DCT butterfly on one complex pair with a Q15 twiddle
+# (wr, wi) = (cos -45deg, sin -45deg): the product b*w feeds the usual
+# sum/difference outputs.  Slices keep the Q15 products at 16 bits.
+module butterfly4;
+input ar : 16 signed;
+input ai : 16 signed;
+input br : 16 signed;
+input bi : 16 signed;
+output xr : 16;
+output xi : 16;
+output yr : 16;
+output yi : 16;
+var wr : 16;
+var wi : 16;
+var tr : 16;
+var ti : 16;
+wr = 23170'16;
+wi = 0 - 23170'16;
+tr = (wr * br)[30:15] - (wi * bi)[30:15];
+ti = (wr * bi)[30:15] + (wi * br)[30:15];
+xr = ar + tr;
+xi = ai + ti;
+yr = ar - tr;
+yi = ai - ti;
+end
+|}
+
+let fletcher16_src =
+  {|# One Fletcher-16 checksum round over four data bytes.  The language has
+# no xor, so this is the classic additive checksum: each byte updates the
+# running sums with a conditional modulo-255 wrap (compare + subtract).
+module fletcher16;
+input s0 : 16;
+input s1 : 16;
+input d0 : 8;
+input d1 : 8;
+input d2 : 8;
+input d3 : 8;
+output c0 : 16;
+output c1 : 16;
+var a0 : 16;
+var a1 : 16;
+var a2 : 16;
+var a3 : 16;
+var r0 : 16;
+var r1 : 16;
+var r2 : 16;
+var r3 : 16;
+var t0 : 16;
+var t1 : 16;
+var t2 : 16;
+var t3 : 16;
+var u0 : 16;
+var u1 : 16;
+var u2 : 16;
+var u3 : 16;
+a0 = s0 + d0;
+r0 = (255'16 < a0) ? (a0 - 255'16) : a0;
+t0 = s1 + r0;
+u0 = (255'16 < t0) ? (t0 - 255'16) : t0;
+a1 = r0 + d1;
+r1 = (255'16 < a1) ? (a1 - 255'16) : a1;
+t1 = u0 + r1;
+u1 = (255'16 < t1) ? (t1 - 255'16) : t1;
+a2 = r1 + d2;
+r2 = (255'16 < a2) ? (a2 - 255'16) : a2;
+t2 = u1 + r2;
+u2 = (255'16 < t2) ? (t2 - 255'16) : t2;
+a3 = r2 + d3;
+r3 = (255'16 < a3) ? (a3 - 255'16) : a3;
+t3 = u2 + r3;
+u3 = (255'16 < t3) ? (t3 - 255'16) : t3;
+c0 = r3;
+c1 = u3;
+end
+|}
+
+let iir2 () = Hls_speclang.Elaborate.from_string iir2_src
+let butterfly4 () = Hls_speclang.Elaborate.from_string butterfly4_src
+let fletcher16 () = Hls_speclang.Elaborate.from_string fletcher16_src

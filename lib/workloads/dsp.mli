@@ -1,0 +1,15 @@
+(** DSP and checksum kernels kept as behavioural-language sources. *)
+
+val iir2_src : string
+val butterfly4_src : string
+val fletcher16_src : string
+
+val iir2 : unit -> Hls_dfg.Graph.t
+(** Second-order IIR biquad round (Q15 coefficients, one negative tap). *)
+
+val butterfly4 : unit -> Hls_dfg.Graph.t
+(** Radix-2 FFT/DCT butterfly on one complex pair with a Q15 twiddle. *)
+
+val fletcher16 : unit -> Hls_dfg.Graph.t
+(** One Fletcher-16 checksum round over four data bytes (conditional
+    modulo-255 wraps; the language has no xor). *)

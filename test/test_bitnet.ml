@@ -104,7 +104,9 @@ let test_consumers_match_scan () =
           if Graph.is_dead g id <> dead_scan then
             Alcotest.failf "%s: is_dead mismatch at node %d" name id)
         g)
-    (Hls_workloads.Registry.all ());
+    (List.map
+       (fun e -> (e.Hls_workloads.Catalog.name, Hls_workloads.Catalog.graph e))
+       (Hls_workloads.Catalog.all ()));
   Alcotest.(check bool) "all builtin workloads match" true true
 
 (* --- scheduler and binder identity --- *)
@@ -121,7 +123,10 @@ let sched_workloads () =
     List.filter
       (fun (name, _) ->
         List.mem name [ "chain3"; "fig3"; "adpcm-iaq"; "adpcm-ttd" ])
-      (Hls_workloads.Registry.all ())
+      (List.map
+         (fun e ->
+           (e.Hls_workloads.Catalog.name, Hls_workloads.Catalog.graph e))
+         (Hls_workloads.Catalog.all ()))
   in
   let randoms =
     List.map

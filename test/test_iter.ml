@@ -126,7 +126,9 @@ let slack_latency p =
 
 let iterated_outcomes () =
   List.filter_map
-    (fun (name, g) ->
+    (fun e ->
+      let name = e.Hls_workloads.Catalog.name in
+      let g = Hls_workloads.Catalog.graph e in
       let p = P.prepare g in
       let latency = slack_latency p in
       let config = P.make_config ~iterate:12 () in
@@ -134,7 +136,7 @@ let iterated_outcomes () =
       | Ok (r, o) -> Some (name, r, o)
       | Error (Hls_util.Failure.Infeasible _) -> None
       | Error f -> Alcotest.fail (name ^ ": " ^ Hls_util.Failure.to_string f))
-    (Hls_workloads.Registry.all ())
+    (Hls_workloads.Catalog.all ())
 
 let test_iterate_monotone () =
   let outcomes = iterated_outcomes () in
@@ -200,7 +202,7 @@ let prop_iterate_random_monotone =
 (* --- critical-region extraction invariants --- *)
 
 let test_extraction_invariants () =
-  let g = Option.get (Hls_workloads.Registry.find "fir8") in
+  let g = Option.get (Hls_workloads.Catalog.find_graph "fir8") in
   let p = P.prepare g in
   let latency = slack_latency p in
   let config = P.default_config in

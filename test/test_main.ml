@@ -33,4 +33,5 @@ let () =
       ("iter", Test_iter.suite);
       ("api", Test_api.suite);
       ("router", Test_router.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

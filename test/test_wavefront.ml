@@ -174,9 +174,9 @@ let test_registry_regions () =
   (* The multi-lane stress workloads must actually exercise the region
      partition: at least one region per lane. *)
   let regions w =
-    match Hls_workloads.Registry.find w with
+    match Hls_workloads.Catalog.find_graph w with
     | Some g -> Bitnet.n_regions (Bitnet.build (P.prepare_kernel g))
-    | None -> Alcotest.failf "%s missing from the registry" w
+    | None -> Alcotest.failf "%s missing from the catalog" w
   in
   Alcotest.(check bool) "random240 multi-region" true (regions "random240" >= 3);
   Alcotest.(check bool) "random480 multi-region" true (regions "random480" >= 6)

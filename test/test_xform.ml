@@ -27,9 +27,9 @@ let contains ~affix s =
   n = 0 || go 0
 
 let workload name =
-  match Hls_workloads.Registry.find name with
+  match Hls_workloads.Catalog.find_graph name with
   | Some g -> g
-  | None -> Alcotest.failf "%s missing from the workload registry" name
+  | None -> Alcotest.failf "%s missing from the workload catalog" name
 
 (* ------------------------------------------------------------------ *)
 (* Recipe specs.                                                       *)
